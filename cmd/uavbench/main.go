@@ -1,0 +1,256 @@
+// Command uavbench regenerates every quantitative experiment recorded in
+// EXPERIMENTS.md: the paper's comparative claims (E1–E5, E7, E8) plus the
+// end-to-end Figure 3 mission (E9). Run it with no flags for the full
+// sweep, or select experiments:
+//
+//	uavbench -run e2,e3 -quick
+//
+// Absolute numbers depend on the host; the recorded results are about
+// shape: who wins, by what factor, and where crossovers sit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"uavmw/internal/experiments"
+	"uavmw/internal/flightsim"
+	"uavmw/internal/qos"
+	"uavmw/internal/services"
+	"uavmw/internal/transport"
+)
+
+func main() {
+	var (
+		runFlag = flag.String("run", "all", "comma-separated experiments: e1,e2,e3,e4,e5,e7,e8,e9 or all")
+		quick   = flag.Bool("quick", false, "reduced iteration counts for smoke runs")
+	)
+	flag.Parse()
+	selected := map[string]bool{}
+	for _, name := range strings.Split(*runFlag, ",") {
+		selected[strings.TrimSpace(strings.ToLower(name))] = true
+	}
+	want := func(name string) bool { return selected["all"] || selected[name] }
+
+	type experiment struct {
+		name string
+		fn   func(quick bool) error
+	}
+	all := []experiment{
+		{"e1", runE1}, {"e2", runE2}, {"e3", runE3}, {"e4", runE4},
+		{"e5", runE5}, {"e7", runE7}, {"e8", runE8}, {"e9", runE9},
+	}
+	for _, exp := range all {
+		if !want(exp.name) {
+			continue
+		}
+		if err := exp.fn(*quick); err != nil {
+			log.SetFlags(0)
+			log.Fatalf("uavbench %s: %v", exp.name, err)
+		}
+	}
+}
+
+func header(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}
+
+func runE1(quick bool) error {
+	header("E1 — event vs remote-invocation notification latency (§4.3 claim)")
+	n := 2000
+	if quick {
+		n = 200
+	}
+	fmt.Printf("%-10s %12s %12s %12s %12s %10s\n",
+		"payload", "event p50", "event p99", "rpc p50", "rpc p99", "rpc/event")
+	for _, size := range []int{16, 64, 256, 1024} {
+		res, err := experiments.RunE1(n, size)
+		if err != nil {
+			return err
+		}
+		ratio := float64(res.RPC.Percentile(50)) / float64(res.Event.Percentile(50))
+		fmt.Printf("%-10d %12v %12v %12v %12v %9.2fx\n",
+			size,
+			res.Event.Percentile(50).Round(time.Microsecond),
+			res.Event.Percentile(99).Round(time.Microsecond),
+			res.RPC.Percentile(50).Round(time.Microsecond),
+			res.RPC.Percentile(99).Round(time.Microsecond),
+			ratio)
+	}
+	return nil
+}
+
+func runE2(quick bool) error {
+	header("E2 — per-message ARQ vs TCP-like in-order stream under loss (§4.2 claim)")
+	n := 400
+	if quick {
+		n = 100
+	}
+	fmt.Printf("%-8s %12s %12s %12s %12s %12s %12s\n",
+		"loss", "arq total", "gbn total", "arq p99", "gbn p99", "arq retx", "gbn retx")
+	for _, loss := range []float64{0, 0.01, 0.02, 0.05, 0.10} {
+		res, err := experiments.RunE2(n, loss, 64, 42)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8.2f %12v %12v %12v %12v %12d %12d\n",
+			loss,
+			res.ARQTotal.Round(time.Millisecond),
+			res.GBNTotal.Round(time.Millisecond),
+			res.ARQPerMsg.Percentile(99).Round(time.Microsecond),
+			res.GBNPerMsg.Percentile(99).Round(time.Microsecond),
+			res.ARQRetrans, res.GBNRetrans)
+	}
+	return nil
+}
+
+func runE3(quick bool) error {
+	header("E3 — multicast vs unicast fan-out wire cost (§4.1 claim)")
+	samples := 200
+	if quick {
+		samples = 50
+	}
+	fmt.Printf("%-12s %14s %14s %14s %14s %10s\n",
+		"subscribers", "mcast pkts", "mcast KB", "ucast pkts", "ucast KB", "saving")
+	for _, subs := range []int{1, 2, 4, 8, 16, 32} {
+		res, err := experiments.RunE3(subs, samples)
+		if err != nil {
+			return err
+		}
+		saving := float64(res.UcastBytes) / float64(res.McastBytes)
+		fmt.Printf("%-12d %14d %14.1f %14d %14.1f %9.1fx\n",
+			subs, res.McastPackets, float64(res.McastBytes)/1024,
+			res.UcastPackets, float64(res.UcastBytes)/1024, saving)
+	}
+	return nil
+}
+
+func runE4(quick bool) error {
+	header("E4 — MFTP file distribution vs chunked events (§4.4 claim)")
+	sizes := []int{64 << 10, 512 << 10, 2 << 20}
+	receivers := []int{1, 4, 8}
+	if quick {
+		sizes = []int{64 << 10, 256 << 10}
+		receivers = []int{1, 4}
+	}
+	fmt.Printf("%-10s %-10s %-6s %12s %12s %12s %12s %8s\n",
+		"size", "receivers", "loss", "mftp time", "events time", "mftp KB", "events KB", "speedup")
+	for _, size := range sizes {
+		for _, recv := range receivers {
+			res, err := experiments.RunE4(size, recv, 0.02, 7)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-10s %-10d %-6.2f %12v %12v %12.0f %12.0f %7.1fx\n",
+				byteSize(size), recv, 0.02,
+				res.MFTPTime.Round(time.Millisecond),
+				res.EventsTime.Round(time.Millisecond),
+				res.MFTPWireKB, res.EventsWireKB,
+				float64(res.EventsTime)/float64(res.MFTPTime))
+		}
+	}
+	return nil
+}
+
+func runE5(quick bool) error {
+	header("E5 — same-container bypass vs network path (§4.4, F2)")
+	iters := 2000
+	if quick {
+		iters = 200
+	}
+	res, err := experiments.RunE5(1<<20, iters)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("file fetch 1MB : local %10v   remote %10v   (%.0fx)\n",
+		res.LocalFetch.Round(time.Microsecond), res.RemoteFetch.Round(time.Microsecond),
+		float64(res.RemoteFetch)/float64(res.LocalFetch))
+	fmt.Printf("variable publish: local %10v   remote %10v   (%.0fx)\n",
+		res.LocalVar.Round(time.Microsecond), res.RemoteVar.Round(time.Microsecond),
+		float64(res.RemoteVar)/float64(res.LocalVar))
+	return nil
+}
+
+func runE7(quick bool) error {
+	header("E7 — failover redirection latency after provider death (§4.3)")
+	fmt.Printf("%-18s %14s %12s\n", "failure deadline", "redirect time", "failed calls")
+	deadlines := []time.Duration{100 * time.Millisecond, 250 * time.Millisecond, 500 * time.Millisecond, time.Second}
+	if quick {
+		deadlines = deadlines[:2]
+	}
+	for _, d := range deadlines {
+		res, err := experiments.RunE7(d)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-18v %14v %12d\n", d, res.Redirect.Round(time.Millisecond), res.CallsFailed)
+	}
+	return nil
+}
+
+func runE8(quick bool) error {
+	header("E8 — fixed-priority scheduler queue latency under load (§6)")
+	background := 5000
+	foreground := 200
+	if quick {
+		background, foreground = 500, 50
+	}
+	res, err := experiments.RunE8(4, background, foreground, 50*time.Microsecond)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %12s %12s %12s\n", "priority", "p50", "p99", "max")
+	for i := len(qos.Levels()) - 1; i >= 0; i-- {
+		pr := qos.Levels()[i]
+		h := res.Priorities[pr]
+		fmt.Printf("%-10s %12v %12v %12v\n", pr,
+			h.Percentile(50).Round(time.Microsecond),
+			h.Percentile(99).Round(time.Microsecond),
+			h.Max().Round(time.Microsecond))
+	}
+	return nil
+}
+
+func runE9(quick bool) error {
+	header("E9 — Figure 3 mission end to end (§5)")
+	rows := 3
+	if quick {
+		rows = 2
+	}
+	plan := flightsim.SurveyPlan("bench", 41.2750, 1.9870, rows, 600, 200, 120, 25)
+	bus := transport.NewBus()
+	start := time.Now()
+	res, err := services.RunMission(services.MissionConfig{
+		Plan: plan,
+		Transports: func(id transport.NodeID) (transport.Transport, error) {
+			return bus.Endpoint(id)
+		},
+		TimeScale:  60,
+		SampleRate: 20 * time.Millisecond,
+		Timeout:    3 * time.Minute,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("waypoints %d  photo sites %d  wall clock %v\n",
+		len(plan.Waypoints), res.Photos, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("photos %d  stored %d  detections %d  gs positions %d  track %d\n",
+		res.Photos, res.Stored, res.Detections, res.GSPositions, res.TrackPoints)
+	fmt.Fprintln(os.Stdout)
+	return nil
+}
+
+func byteSize(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dKB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,80 @@
+// Command uavgs is a standalone ground-station terminal: it joins a UDP
+// deployment, subscribes to the position variable and the standard mission
+// event topics, and prints everything it sees — the paper's "the ground
+// station basically shows the subscribed variables and events in a
+// terminal" (§5).
+//
+//	uavgs -bind 127.0.0.1:7190 -peers fcs=127.0.0.1:7101,payload=127.0.0.1:7102
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"uavmw/internal/core"
+	"uavmw/internal/services"
+	"uavmw/internal/transport"
+)
+
+func main() {
+	var (
+		id        = flag.String("id", "uavgs", "node id")
+		bind      = flag.String("bind", "127.0.0.1:0", "UDP bind address")
+		peersFlag = flag.String("peers", "", "comma-separated peer list: id=host:port,...")
+		groupBase = flag.Int("group-port-base", 17000, "base UDP port for derived multicast groups")
+		multicast = flag.Bool("multicast", false, "use native IP multicast for groups; off = unicast fan-out to -peers")
+	)
+	flag.Parse()
+	if err := run(*id, *bind, *peersFlag, *groupBase, *multicast); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("uavgs: %v", err)
+	}
+}
+
+func run(id, bind, peersFlag string, groupBase int, multicast bool) error {
+	opts := []transport.UDPOption{transport.WithGroupPortBase(groupBase)}
+	if !multicast {
+		opts = append(opts, transport.WithUnicastFanout())
+	}
+	udp, err := transport.NewUDP(transport.NodeID(id), bind, nil, opts...)
+	if err != nil {
+		return err
+	}
+	if peersFlag != "" {
+		for _, pair := range strings.Split(peersFlag, ",") {
+			pid, addr, ok := strings.Cut(pair, "=")
+			if !ok {
+				return fmt.Errorf("bad peer %q", pair)
+			}
+			if err := udp.AddPeer(transport.NodeID(pid), addr); err != nil {
+				return err
+			}
+		}
+	}
+	node, err := core.NewNode(core.WithDatagram(udp))
+	if err != nil {
+		return err
+	}
+	defer func() { _ = node.Close() }()
+
+	gs := &services.GroundStation{Out: os.Stdout, PositionEvery: 5}
+	if _, err := node.AddService(gs); err != nil {
+		return err
+	}
+	if err := node.StartServices(); err != nil {
+		return err
+	}
+	log.Printf("uavgs listening on %s; ^C to stop", udp.LocalAddr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("\nreceived %d positions, %d photo events, %d detections\n",
+		gs.Positions(), gs.EventCount(services.EvtPhotoReady), gs.EventCount(services.EvtDetection))
+	return nil
+}

@@ -1,0 +1,143 @@
+// Command uavnode runs one service container on a real UDP network, hosting
+// any subset of the standard avionics services. Start several on one LAN
+// (or one host with distinct ports) and they discover each other through
+// multicast announcements, exactly as the paper's airframe nodes do.
+//
+// A two-host Figure 3 deployment on one machine:
+//
+//	uavnode -id fcs     -bind 127.0.0.1:7101 -peers payload=127.0.0.1:7102 -services gps,mission-control
+//	uavnode -id payload -bind 127.0.0.1:7102 -peers fcs=127.0.0.1:7101     -services camera,video,storage,ground-station
+//
+// Multicast group traffic uses addresses derived from group names; unicast
+// peers must be listed with -peers (the derived multicast discovery still
+// finds services once unicast reachability exists).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"uavmw/internal/core"
+	"uavmw/internal/flightsim"
+	"uavmw/internal/services"
+	"uavmw/internal/transport"
+)
+
+func main() {
+	var (
+		id        = flag.String("id", "", "node id (required, unique per deployment)")
+		bind      = flag.String("bind", "127.0.0.1:0", "UDP bind address")
+		peersFlag = flag.String("peers", "", "comma-separated peer list: id=host:port,...")
+		svcFlag   = flag.String("services", "", "comma-separated services: gps,mission-control,camera,video,storage,ground-station,telemetry-bridge")
+		rows      = flag.Int("rows", 2, "survey rows for the gps/mission flight plan")
+		timescale = flag.Float64("timescale", 10, "simulated seconds per wall second for the gps service")
+		groupBase = flag.Int("group-port-base", 17000, "base UDP port for derived multicast groups")
+		multicast = flag.Bool("multicast", false, "use native IP multicast for groups (needs a multicast-routing LAN); off = unicast fan-out to -peers")
+	)
+	flag.Parse()
+	if err := run(*id, *bind, *peersFlag, *svcFlag, *rows, *timescale, *groupBase, *multicast); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("uavnode: %v", err)
+	}
+}
+
+func parsePeers(s string) (map[transport.NodeID]string, error) {
+	peers := make(map[transport.NodeID]string)
+	if s == "" {
+		return peers, nil
+	}
+	for _, pair := range strings.Split(s, ",") {
+		id, addr, ok := strings.Cut(pair, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("bad peer %q (want id=host:port)", pair)
+		}
+		peers[transport.NodeID(id)] = addr
+	}
+	return peers, nil
+}
+
+func run(id, bind, peersFlag, svcFlag string, rows int, timescale float64, groupBase int, multicast bool) error {
+	if id == "" {
+		return fmt.Errorf("-id is required")
+	}
+	peers, err := parsePeers(peersFlag)
+	if err != nil {
+		return err
+	}
+	opts := []transport.UDPOption{transport.WithGroupPortBase(groupBase)}
+	if !multicast {
+		opts = append(opts, transport.WithUnicastFanout())
+	}
+	udp, err := transport.NewUDP(transport.NodeID(id), bind, nil, opts...)
+	if err != nil {
+		return err
+	}
+	for peer, addr := range peers {
+		if err := udp.AddPeer(peer, addr); err != nil {
+			return err
+		}
+	}
+	node, err := core.NewNode(core.WithDatagram(udp))
+	if err != nil {
+		return err
+	}
+	defer func() { _ = node.Close() }()
+	log.Printf("uavnode %s listening on %s", id, udp.LocalAddr())
+
+	plan := flightsim.SurveyPlan("survey", 41.2750, 1.9870, rows, 600, 200, 120, 25)
+	for _, name := range strings.Split(svcFlag, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		svc, err := buildService(name, plan, timescale)
+		if err != nil {
+			return err
+		}
+		if _, err := node.AddService(svc); err != nil {
+			return err
+		}
+		log.Printf("uavnode %s: service %s registered", id, name)
+	}
+	if err := node.StartServices(); err != nil {
+		return err
+	}
+	log.Printf("uavnode %s: all services running; ^C to stop", id)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("uavnode %s: shutting down", id)
+	return nil
+}
+
+func buildService(name string, plan flightsim.FlightPlan, timescale float64) (core.Service, error) {
+	switch name {
+	case "gps":
+		aircraft, err := flightsim.New(plan, flightsim.Options{WindSpeedMS: 2, WindDirDeg: 300, Seed: 5})
+		if err != nil {
+			return nil, err
+		}
+		return &services.GPS{Aircraft: aircraft, SampleRate: 100 * time.Millisecond, TimeScale: timescale}, nil
+	case "mission-control":
+		return &services.MissionControl{Plan: plan, DependencyTimeout: 30 * time.Second}, nil
+	case "camera":
+		return &services.Camera{}, nil
+	case "video":
+		return &services.Video{}, nil
+	case "storage":
+		return &services.Storage{}, nil
+	case "ground-station":
+		return &services.GroundStation{Out: os.Stdout}, nil
+	case "telemetry-bridge":
+		return &services.TelemetryBridge{Out: os.Stdout}, nil
+	default:
+		return nil, fmt.Errorf("unknown service %q", name)
+	}
+}

@@ -1,0 +1,21 @@
+// Package uavmw is a from-scratch Go implementation of the middleware
+// architecture for unmanned aircraft avionics published by López, Royo,
+// Pastor, Barrado and Santamaria at ACM/IFIP/USENIX Middleware 2007.
+//
+// The system is a service-container middleware for UAV mission and payload
+// control: one container per network node manages service lifecycles, name
+// resolution with proxy caching, and all network access, and offers four
+// communication primitives — Variables (best-effort multicast pub/sub),
+// Events (guaranteed delivery), Remote Invocation (typed calls with
+// redundancy failover), and File Transmission (an MFTP-like multicast bulk
+// protocol). The implementation follows the paper's PEPt layering:
+// pluggable Presentation, Encoding, Protocol and Transport subsystems plus
+// a pluggable fixed-priority scheduler.
+//
+// Start with the README for the architecture map, DESIGN.md for the system
+// inventory, and EXPERIMENTS.md for the reproduced evaluation. The
+// runnable entry points are in examples/ and cmd/.
+//
+// The benchmarks in this directory regenerate one point of each experiment
+// sweep; the full parameter sweeps live in cmd/uavbench.
+package uavmw

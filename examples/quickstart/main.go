@@ -1,0 +1,168 @@
+// Command quickstart is the smallest complete uavmw program: two service
+// containers on an in-process bus, exercising all four communication
+// primitives — a variable (best-effort telemetry), an event (guaranteed
+// notification), a remote invocation, and a file transfer.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"uavmw/internal/core"
+	"uavmw/internal/filetransfer"
+	"uavmw/internal/presentation"
+	"uavmw/internal/qos"
+	"uavmw/internal/transport"
+	"uavmw/internal/variables"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("quickstart: %v", err)
+	}
+}
+
+func run() error {
+	// One in-process bus; in a real deployment these containers live on
+	// separate airframe computers connected by Ethernet (see the
+	// uavnode command for the UDP variant).
+	bus := transport.NewBus()
+	sensorEP, err := bus.Endpoint("sensor-node")
+	if err != nil {
+		return err
+	}
+	consoleEP, err := bus.Endpoint("console-node")
+	if err != nil {
+		return err
+	}
+
+	sensor, err := core.NewNode(
+		core.WithDatagram(sensorEP),
+		core.WithAnnouncePeriod(30*time.Millisecond),
+	)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = sensor.Close() }()
+	console, err := core.NewNode(
+		core.WithDatagram(consoleEP),
+		core.WithAnnouncePeriod(30*time.Millisecond),
+	)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = console.Close() }()
+
+	// --- provider side: a variable, an event, a function, a file ---
+
+	tempType := presentation.MustParse("{celsius:f64,sensor:str}")
+	temp, err := sensor.Variables().Offer("env.temperature", "sensor", tempType,
+		qos.VariableQoS{Validity: time.Second, Period: 50 * time.Millisecond})
+	if err != nil {
+		return err
+	}
+
+	alarm, err := sensor.Events().Offer("env.overheat", "sensor",
+		presentation.MustParse("{celsius:f64}"), qos.EventQoS{})
+	if err != nil {
+		return err
+	}
+
+	if err := sensor.RPC().Register("sensor.calibrate", "sensor",
+		presentation.MustParse("{offset:f64}"), presentation.Bool(), qos.CallQoS{},
+		func(args any) (any, error) {
+			offset := args.(map[string]any)["offset"].(float64)
+			fmt.Printf("[sensor]  calibrated with offset %.2f\n", offset)
+			return true, nil
+		}); err != nil {
+		return err
+	}
+
+	if _, err := sensor.Files().Offer("sensor.manual", "sensor",
+		[]byte("UAVMW SENSOR MANUAL rev A\nHandle with care.\n"), qos.TransferQoS{}); err != nil {
+		return err
+	}
+
+	// Let discovery propagate the offers.
+	sensor.AnnounceNow()
+	time.Sleep(100 * time.Millisecond)
+
+	// --- consumer side ---
+
+	sub, err := console.Variables().Subscribe("env.temperature", tempType,
+		variables.SubscribeOptions{
+			OnSample: func(v any, ts time.Time) {
+				m := v.(map[string]any)
+				fmt.Printf("[console] temperature %.1f°C from %s\n",
+					m["celsius"], m["sensor"])
+			},
+		})
+	if err != nil {
+		return err
+	}
+	defer sub.Close()
+
+	if _, err := console.Events().Subscribe("env.overheat",
+		presentation.MustParse("{celsius:f64}"), qos.EventQoS{},
+		func(v any, from transport.NodeID) {
+			fmt.Printf("[console] OVERHEAT ALARM from %s: %v\n", from,
+				v.(map[string]any)["celsius"])
+		}); err != nil {
+		return err
+	}
+	// Wait for the event subscription to reach the publisher.
+	for i := 0; len(alarm.Subscribers()) == 0 && i < 100; i++ {
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// 1. Variable: publish a few samples; loss would be tolerated.
+	for i := 0; i < 3; i++ {
+		if err := temp.Publish(map[string]any{
+			"celsius": 21.5 + float64(i), "sensor": "bay-1",
+		}); err != nil {
+			return err
+		}
+		time.Sleep(60 * time.Millisecond)
+	}
+	if v, ts, err := sub.Get(); err == nil {
+		m := v.(map[string]any)
+		fmt.Printf("[console] cached value %.1f°C (age %v)\n",
+			m["celsius"], time.Since(ts).Round(time.Millisecond))
+	}
+
+	// 2. Remote invocation: console calibrates the sensor by name; it has
+	// no idea which node serves the call.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	ok, err := console.RPC().Call(ctx, "sensor.calibrate",
+		map[string]any{"offset": -0.5},
+		presentation.MustParse("{offset:f64}"), presentation.Bool(), qos.CallQoS{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("[console] calibration accepted: %v\n", ok)
+
+	// 3. Event: guaranteed delivery to every subscriber.
+	if err := alarm.Publish(ctx, map[string]any{"celsius": 86.0}); err != nil {
+		return err
+	}
+
+	// 4. File transfer: fetch the manual.
+	manual, rev, err := console.Files().Fetch(ctx, "sensor.manual", filetransfer.FetchOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("[console] fetched sensor.manual rev %d (%d bytes)\n", rev, len(manual))
+
+	time.Sleep(100 * time.Millisecond) // let async handlers drain
+	fmt.Fprintln(os.Stdout, "quickstart complete")
+	return nil
+}

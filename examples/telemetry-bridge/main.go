@@ -1,0 +1,85 @@
+// Command telemetry-bridge reproduces the paper's §6 integration anecdote:
+// an external telemetry consumer (FlightGear in the paper) fed from the
+// middleware's position variable through a byte-stream adapter. The bridge
+// service subscribes to gps.position and writes NMEA sentence bursts to
+// stdout; point the output at a UDP socket and FlightGear's generic NMEA
+// input consumes it unchanged.
+//
+// Run with:
+//
+//	go run ./examples/telemetry-bridge [-fixes 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"uavmw/internal/core"
+	"uavmw/internal/flightsim"
+	"uavmw/internal/services"
+	"uavmw/internal/transport"
+)
+
+func main() {
+	fixes := flag.Int("fixes", 20, "telemetry bursts to emit before exiting (0 = run forever)")
+	flag.Parse()
+	if err := run(*fixes); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("telemetry-bridge: %v", err)
+	}
+}
+
+func run(maxFixes int) error {
+	bus := transport.NewBus()
+	fcsEP, err := bus.Endpoint("fcs")
+	if err != nil {
+		return err
+	}
+	gsEP, err := bus.Endpoint("ground")
+	if err != nil {
+		return err
+	}
+
+	fcs, err := core.NewNode(core.WithDatagram(fcsEP), core.WithAnnouncePeriod(30*time.Millisecond))
+	if err != nil {
+		return err
+	}
+	defer func() { _ = fcs.Close() }()
+	ground, err := core.NewNode(core.WithDatagram(gsEP), core.WithAnnouncePeriod(30*time.Millisecond))
+	if err != nil {
+		return err
+	}
+	defer func() { _ = ground.Close() }()
+
+	plan := flightsim.SurveyPlan("telemetry-demo", 41.2750, 1.9870, 1, 1500, 200, 150, 30)
+	aircraft, err := flightsim.New(plan, flightsim.Options{WindSpeedMS: 2, WindDirDeg: 45, Seed: 3})
+	if err != nil {
+		return err
+	}
+
+	gps := &services.GPS{Aircraft: aircraft, SampleRate: 100 * time.Millisecond, TimeScale: 10}
+	if _, err := fcs.AddService(gps); err != nil {
+		return err
+	}
+	bridge := &services.TelemetryBridge{Out: os.Stdout}
+	if _, err := ground.AddService(bridge); err != nil {
+		return err
+	}
+
+	if err := fcs.StartServices(); err != nil {
+		return err
+	}
+	if err := ground.StartServices(); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(os.Stderr, "emitting NMEA telemetry (GPRMC+GPGGA per fix)...")
+	for maxFixes == 0 || bridge.Fixes() < uint64(maxFixes) {
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Fprintf(os.Stderr, "bridge emitted %d fixes; done\n", bridge.Fixes())
+	return nil
+}

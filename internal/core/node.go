@@ -1,0 +1,702 @@
+// Package core implements the paper's primary contribution: the service
+// container (§3). One container runs per network node; it executes and
+// manages services, handles name management through a proxy cache, owns all
+// network access on the node, and provides the four communication
+// primitives (§4) to its services through the Context API.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"uavmw/internal/encoding"
+	"uavmw/internal/events"
+	"uavmw/internal/fabric"
+	"uavmw/internal/filetransfer"
+	"uavmw/internal/naming"
+	"uavmw/internal/presentation"
+	"uavmw/internal/protocol"
+	"uavmw/internal/qos"
+	"uavmw/internal/rpc"
+	"uavmw/internal/scheduler"
+	"uavmw/internal/transport"
+	"uavmw/internal/variables"
+)
+
+// Errors.
+var (
+	// ErrNodeClosed reports use of a closed node.
+	ErrNodeClosed = errors.New("node closed")
+	// ErrNoDatagram reports construction without a datagram transport.
+	ErrNoDatagram = errors.New("datagram transport required")
+)
+
+// Node is one service container. Construct with NewNode, then register
+// services (AddService) or use the primitive APIs directly via Context.
+type Node struct {
+	id       transport.NodeID
+	datagram transport.Transport
+	stream   transport.Transport // optional
+	enc      encoding.Encoding
+	sched    scheduler.Scheduler
+	ownSched bool
+	dir      *naming.Directory
+	live     *naming.Liveness
+	types    *presentation.Registry
+	arq      *protocol.ARQ
+	dedup    *protocol.Dedup
+	reasm    *protocol.Reassembler
+	seq      atomic.Uint64
+	epoch    uint64
+	mtu      int
+
+	vars   *variables.Engine
+	events *events.Engine
+	rpc    *rpc.Engine
+	files  *filetransfer.Engine
+
+	announcePeriod  time.Duration
+	failureDeadline time.Duration
+	loadProbe       func() float64
+
+	budget ResourceBudget
+
+	mu           sync.Mutex
+	services     map[string]*ServiceRuntime
+	startOrder   []string
+	devices      map[string]string // device -> owning service
+	peerFailedCB []func(transport.NodeID)
+	closed       bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// nodeConfig collects option state before construction.
+type nodeConfig struct {
+	datagram        transport.Transport
+	stream          transport.Transport
+	enc             encoding.Encoding
+	sched           scheduler.Scheduler
+	announcePeriod  time.Duration
+	failureDeadline time.Duration
+	directoryTTL    time.Duration
+	arqOpts         []protocol.ARQOption
+	fileOpts        []filetransfer.Option
+	loadProbe       func() float64
+	mtu             int
+	budget          ResourceBudget
+}
+
+// NodeOption configures a Node.
+type NodeOption func(*nodeConfig)
+
+// WithDatagram sets the required datagram transport (UDP, bus, netsim).
+func WithDatagram(t transport.Transport) NodeOption {
+	return func(c *nodeConfig) { c.datagram = t }
+}
+
+// WithStream sets the optional reliable stream transport (TCP). Without
+// one, ReliableStream sends fall back to the ARQ path.
+func WithStream(t transport.Transport) NodeOption {
+	return func(c *nodeConfig) { c.stream = t }
+}
+
+// WithEncoding overrides the default binary payload encoding.
+func WithEncoding(e encoding.Encoding) NodeOption {
+	return func(c *nodeConfig) { c.enc = e }
+}
+
+// WithScheduler plugs a custom scheduler; the node stops it on Close only
+// if it created the default one.
+func WithScheduler(s scheduler.Scheduler) NodeOption {
+	return func(c *nodeConfig) { c.sched = s }
+}
+
+// WithAnnouncePeriod sets the discovery announce/heartbeat period.
+func WithAnnouncePeriod(d time.Duration) NodeOption {
+	return func(c *nodeConfig) {
+		if d > 0 {
+			c.announcePeriod = d
+		}
+	}
+}
+
+// WithFailureDeadline sets how long a silent peer survives before failover.
+func WithFailureDeadline(d time.Duration) NodeOption {
+	return func(c *nodeConfig) {
+		if d > 0 {
+			c.failureDeadline = d
+		}
+	}
+}
+
+// WithDirectoryTTL sets the name-cache entry lifetime.
+func WithDirectoryTTL(d time.Duration) NodeOption {
+	return func(c *nodeConfig) {
+		if d > 0 {
+			c.directoryTTL = d
+		}
+	}
+}
+
+// WithARQ forwards tuning options to the reliable-datagram engine.
+func WithARQ(opts ...protocol.ARQOption) NodeOption {
+	return func(c *nodeConfig) { c.arqOpts = append(c.arqOpts, opts...) }
+}
+
+// WithFileTransfer forwards tuning options to the file engine.
+func WithFileTransfer(opts ...filetransfer.Option) NodeOption {
+	return func(c *nodeConfig) { c.fileOpts = append(c.fileOpts, opts...) }
+}
+
+// WithLoadProbe sets the function whose value is announced as node load.
+func WithLoadProbe(f func() float64) NodeOption {
+	return func(c *nodeConfig) { c.loadProbe = f }
+}
+
+// WithMTU overrides the fragmentation threshold.
+func WithMTU(n int) NodeOption {
+	return func(c *nodeConfig) {
+		if n > 0 {
+			c.mtu = n
+		}
+	}
+}
+
+// WithResourceBudget sets the node's admission-control budget (§3 resource
+// management).
+func WithResourceBudget(b ResourceBudget) NodeOption {
+	return func(c *nodeConfig) { c.budget = b }
+}
+
+// DefaultAnnouncePeriod balances discovery latency against chatter.
+const DefaultAnnouncePeriod = 200 * time.Millisecond
+
+// NewNode builds and starts a container on the given transports.
+func NewNode(opts ...NodeOption) (*Node, error) {
+	cfg := nodeConfig{
+		enc:            encoding.Binary{},
+		announcePeriod: DefaultAnnouncePeriod,
+		mtu:            protocol.DefaultMTU,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.datagram == nil {
+		return nil, fmt.Errorf("core: %w", ErrNoDatagram)
+	}
+	if cfg.failureDeadline <= 0 {
+		cfg.failureDeadline = 5 * cfg.announcePeriod
+	}
+	if cfg.directoryTTL <= 0 {
+		cfg.directoryTTL = 6 * cfg.announcePeriod
+	}
+	n := &Node{
+		id:              cfg.datagram.Node(),
+		datagram:        cfg.datagram,
+		stream:          cfg.stream,
+		enc:             cfg.enc,
+		sched:           cfg.sched,
+		dir:             naming.NewDirectory(cfg.directoryTTL),
+		live:            naming.NewLiveness(cfg.failureDeadline),
+		types:           presentation.NewRegistry(),
+		dedup:           protocol.NewDedup(0),
+		reasm:           protocol.NewReassembler(0),
+		epoch:           uint64(time.Now().UnixNano()),
+		mtu:             cfg.mtu,
+		announcePeriod:  cfg.announcePeriod,
+		failureDeadline: cfg.failureDeadline,
+		loadProbe:       cfg.loadProbe,
+		services:        make(map[string]*ServiceRuntime),
+		devices:         make(map[string]string),
+		stop:            make(chan struct{}),
+	}
+	if n.sched == nil {
+		n.sched = scheduler.NewPool()
+		n.ownSched = true
+	}
+	n.budget = cfg.budget
+	n.arq = protocol.NewARQ(func(to transport.NodeID, frame []byte) error {
+		return n.datagram.Send(to, frame)
+	}, cfg.arqOpts...)
+
+	n.vars = variables.New(n)
+	n.events = events.New(n)
+	n.rpc = rpc.New(n)
+	n.files = filetransfer.New(n, cfg.fileOpts...)
+
+	if n.loadProbe == nil {
+		n.loadProbe = n.defaultLoad
+	}
+
+	n.datagram.SetHandler(n.handlePacket)
+	if n.stream != nil {
+		n.stream.SetHandler(n.handlePacket)
+	}
+	if err := n.datagram.Join(fabric.DiscoveryGroup); err != nil {
+		return nil, fmt.Errorf("core: join discovery: %w", err)
+	}
+
+	n.wg.Add(1)
+	go n.discoveryLoop()
+	return n, nil
+}
+
+// defaultLoad derives load from the scheduler backlog when the default pool
+// is in use.
+func (n *Node) defaultLoad() float64 {
+	if pool, ok := n.sched.(*scheduler.Pool); ok {
+		return float64(pool.Backlog()) / float64(scheduler.DefaultQueueCap)
+	}
+	return 0
+}
+
+// ID returns the node identity.
+func (n *Node) ID() transport.NodeID { return n.id }
+
+// Types returns the node's type registry.
+func (n *Node) Types() *presentation.Registry { return n.types }
+
+// Directory implements fabric.Fabric.
+func (n *Node) Directory() *naming.Directory { return n.dir }
+
+// Self implements fabric.Fabric.
+func (n *Node) Self() transport.NodeID { return n.id }
+
+// Encoding implements fabric.Fabric.
+func (n *Node) Encoding() encoding.Encoding { return n.enc }
+
+// Schedule implements fabric.Fabric.
+func (n *Node) Schedule(p qos.Priority, job func()) error {
+	return n.sched.Submit(p, job)
+}
+
+// NextSeq implements fabric.Fabric.
+func (n *Node) NextSeq() uint64 { return n.seq.Add(1) }
+
+// Join implements fabric.Fabric.
+func (n *Node) Join(group string) error { return n.datagram.Join(group) }
+
+// Leave implements fabric.Fabric.
+func (n *Node) Leave(group string) error { return n.datagram.Leave(group) }
+
+// SendBestEffort implements fabric.Fabric.
+func (n *Node) SendBestEffort(to transport.NodeID, f *protocol.Frame) error {
+	if f.Seq == 0 {
+		f.Seq = n.NextSeq()
+	}
+	raw, err := protocol.EncodeFrame(f)
+	if err != nil {
+		return err
+	}
+	if to == n.id {
+		n.handleFrameBytes(n.id, raw)
+		return nil
+	}
+	parts, err := protocol.Fragment(raw, f.Seq, n.mtu)
+	if err != nil {
+		return err
+	}
+	for _, part := range parts {
+		if err := n.datagram.Send(to, part); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SendGroup implements fabric.Fabric.
+func (n *Node) SendGroup(group string, f *protocol.Frame) error {
+	if f.Seq == 0 {
+		f.Seq = n.NextSeq()
+	}
+	raw, err := protocol.EncodeFrame(f)
+	if err != nil {
+		return err
+	}
+	parts, err := protocol.Fragment(raw, f.Seq, n.mtu)
+	if err != nil {
+		return err
+	}
+	for _, part := range parts {
+		if err := n.datagram.SendGroup(group, part); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SendReliable implements fabric.Fabric.
+func (n *Node) SendReliable(to transport.NodeID, f *protocol.Frame, rel qos.Reliability, done func(error)) {
+	finish := func(err error) {
+		if done != nil {
+			done(err)
+		}
+	}
+	if f.Seq == 0 {
+		f.Seq = n.NextSeq()
+	}
+	// Local loopback: deliver straight through the dispatcher.
+	if to == n.id {
+		raw, err := protocol.EncodeFrame(f)
+		if err != nil {
+			finish(err)
+			return
+		}
+		n.handleFrameBytes(n.id, raw)
+		finish(nil)
+		return
+	}
+	if rel == qos.ReliableStream && n.stream != nil {
+		raw, err := protocol.EncodeFrame(f)
+		if err != nil {
+			finish(err)
+			return
+		}
+		finish(n.stream.Send(to, raw))
+		return
+	}
+	// ARQ over the datagram transport.
+	f.Flags |= protocol.FlagAckRequired
+	raw, err := protocol.EncodeFrame(f)
+	if err != nil {
+		finish(err)
+		return
+	}
+	parts, err := protocol.Fragment(raw, f.Seq, n.mtu)
+	if err != nil {
+		finish(err)
+		return
+	}
+	if len(parts) == 1 {
+		if err := n.arq.Send(to, f.Seq, parts[0], done); err != nil {
+			finish(err)
+		}
+		return
+	}
+	// Multi-fragment reliable send: each fragment is acknowledged
+	// independently; the message completes when all fragments do.
+	var (
+		remaining atomic.Int64
+		failed    atomic.Bool
+	)
+	remaining.Store(int64(len(parts)))
+	for _, part := range parts {
+		fragFrame, derr := protocol.DecodeFrame(part)
+		if derr != nil {
+			finish(derr)
+			return
+		}
+		fragSeq := n.NextSeq()
+		// Re-encode with a unique per-fragment seq and ack flag.
+		fragFrame.Seq = fragSeq
+		fragFrame.Flags |= protocol.FlagAckRequired
+		fragRaw, eerr := protocol.EncodeFrame(fragFrame)
+		if eerr != nil {
+			finish(eerr)
+			return
+		}
+		if err := n.arq.Send(to, fragSeq, fragRaw, func(err error) {
+			if err != nil {
+				if !failed.Swap(true) {
+					finish(err)
+				}
+				return
+			}
+			if remaining.Add(-1) == 0 && !failed.Load() {
+				finish(nil)
+			}
+		}); err != nil {
+			if !failed.Swap(true) {
+				finish(err)
+			}
+			return
+		}
+	}
+}
+
+var _ fabric.Fabric = (*Node)(nil)
+
+// handlePacket is the transport receive entry point.
+func (n *Node) handlePacket(pkt transport.Packet) {
+	n.handleFrameBytes(pkt.From, pkt.Payload)
+}
+
+// handleFrameBytes decodes and routes one frame.
+func (n *Node) handleFrameBytes(from transport.NodeID, raw []byte) {
+	f, err := protocol.DecodeFrame(raw)
+	if err != nil {
+		return
+	}
+	n.handleFrame(from, f)
+}
+
+func (n *Node) handleFrame(from transport.NodeID, f *protocol.Frame) {
+	switch f.Type {
+	case protocol.MTAck:
+		n.arq.Ack(from, f.Seq)
+		return
+	case protocol.MTFragment:
+		// Ack-required fragments are acknowledged and deduped
+		// individually before reassembly.
+		if from != n.id && f.Flags&protocol.FlagAckRequired != 0 {
+			n.sendAck(from, f.Seq)
+			if n.dedup.Seen(from, f.Seq) {
+				return
+			}
+		}
+		complete, err := n.reasm.Offer(from, f)
+		if err != nil || complete == nil {
+			return
+		}
+		inner, err := protocol.DecodeFrame(complete)
+		if err != nil {
+			return
+		}
+		// Dedup the logical message too: a fully retransmitted
+		// fragment set must not deliver twice.
+		if from != n.id && n.dedup.Seen(from, inner.Seq) {
+			return
+		}
+		n.route(from, inner)
+		return
+	default:
+	}
+	if from != n.id && f.Flags&protocol.FlagAckRequired != 0 {
+		n.sendAck(from, f.Seq)
+		if n.dedup.Seen(from, f.Seq) {
+			return
+		}
+	}
+	// Frames routed asynchronously must own their payload: transports may
+	// reuse the receive buffer.
+	f.Payload = append([]byte(nil), f.Payload...)
+	n.route(from, f)
+}
+
+func (n *Node) sendAck(to transport.NodeID, seq uint64) {
+	ack := &protocol.Frame{Type: protocol.MTAck, Seq: seq, Priority: qos.PriorityCritical}
+	raw, err := protocol.EncodeFrame(ack)
+	if err != nil {
+		return
+	}
+	_ = n.datagram.Send(to, raw)
+}
+
+// route dispatches a frame to its engine.
+func (n *Node) route(from transport.NodeID, f *protocol.Frame) {
+	switch f.Type {
+	case protocol.MTAnnounce:
+		n.handleAnnounce(from, f)
+	case protocol.MTBye:
+		n.handleBye(from)
+	case protocol.MTSample:
+		n.vars.HandleSample(from, f)
+	case protocol.MTSnapshotReq:
+		n.vars.HandleSnapshotReq(from, f)
+	case protocol.MTSnapshotRep:
+		n.vars.HandleSnapshotRep(from, f)
+	case protocol.MTSubscribe:
+		n.events.HandleSubscribe(from, f)
+	case protocol.MTUnsubscribe:
+		n.events.HandleUnsubscribe(from, f)
+	case protocol.MTEvent:
+		n.events.HandleEvent(from, f)
+	case protocol.MTCall:
+		n.rpc.HandleCall(from, f)
+	case protocol.MTReturn:
+		n.rpc.HandleReturn(from, f)
+	case protocol.MTError:
+		n.rpc.HandleError(from, f)
+	case protocol.MTFileAnnounce:
+		n.files.HandleAnnounce(from, f)
+	case protocol.MTFileSubscribe:
+		n.files.HandleSubscribe(from, f)
+	case protocol.MTFileChunk:
+		n.files.HandleChunk(from, f)
+	case protocol.MTFileQuery:
+		n.files.HandleQuery(from, f)
+	case protocol.MTFileAck:
+		n.files.HandleAck(from, f)
+	case protocol.MTFileNack:
+		n.files.HandleNack(from, f)
+	default:
+		// Heartbeats are implicit in announcements; unknown types drop.
+	}
+}
+
+// --- discovery ---
+
+// discoveryLoop announces this node and sweeps dead peers.
+func (n *Node) discoveryLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.announcePeriod)
+	defer ticker.Stop()
+	n.announceNow()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-ticker.C:
+			n.announceNow()
+			n.sweep()
+			n.events.Refresh()
+		}
+	}
+}
+
+// buildAnnouncement assembles this node's full offer.
+func (n *Node) buildAnnouncement() *naming.Announcement {
+	recs := n.vars.Records()
+	recs = append(recs, n.events.Records()...)
+	recs = append(recs, n.rpc.Records()...)
+	recs = append(recs, n.files.Records()...)
+	n.mu.Lock()
+	for name, srt := range n.services {
+		if srt.State() == ServiceRunning || srt.State() == ServiceInitialized {
+			recs = append(recs, naming.Record{
+				Kind: naming.KindService, Name: name, Service: name, Node: n.id,
+			})
+		}
+	}
+	n.mu.Unlock()
+	return &naming.Announcement{
+		Node:    n.id,
+		Epoch:   n.epoch,
+		Load:    n.loadProbe(),
+		Records: recs,
+	}
+}
+
+// announceNow broadcasts the node's offer and applies it locally so local
+// lookups resolve without a network round trip.
+func (n *Node) announceNow() {
+	ann := n.buildAnnouncement()
+	n.dir.Apply(ann, time.Now())
+	payload, err := naming.EncodeAnnouncement(ann)
+	if err != nil {
+		return
+	}
+	frame := &protocol.Frame{
+		Type:     protocol.MTAnnounce,
+		Priority: qos.PriorityNormal,
+		Seq:      n.NextSeq(),
+		Payload:  payload,
+	}
+	_ = n.SendGroup(fabric.DiscoveryGroup, frame)
+}
+
+func (n *Node) handleAnnounce(from transport.NodeID, f *protocol.Frame) {
+	ann, err := naming.DecodeAnnouncement(f.Payload)
+	if err != nil || ann.Node != from {
+		return
+	}
+	if from == n.id {
+		return
+	}
+	now := time.Now()
+	n.live.Touch(from, now)
+	n.dir.Apply(ann, now)
+}
+
+func (n *Node) handleBye(from transport.NodeID) {
+	if from == n.id {
+		return
+	}
+	n.live.Forget(from)
+	n.peerGone(from)
+}
+
+// sweep detects failed peers and expired directory entries.
+func (n *Node) sweep() {
+	now := time.Now()
+	for _, node := range n.live.Sweep(now) {
+		n.peerGone(node)
+	}
+	for _, node := range n.dir.Expire(now) {
+		// TTL expiry of every record is failure-equivalent.
+		n.live.Forget(node)
+		n.peerGone(node)
+	}
+}
+
+// peerGone clears all state tied to a failed or departed node and notifies
+// the engines and registered callbacks (§3 cache clearing + §4.3 failover).
+func (n *Node) peerGone(node transport.NodeID) {
+	n.dir.RemoveNode(node)
+	n.dedup.Forget(node)
+	n.events.PeerGone(node)
+	n.files.PeerGone(node)
+	n.mu.Lock()
+	cbs := make([]func(transport.NodeID), len(n.peerFailedCB))
+	copy(cbs, n.peerFailedCB)
+	n.mu.Unlock()
+	for _, cb := range cbs {
+		cb(node)
+	}
+}
+
+// OnPeerFailed registers a callback invoked when a peer node is declared
+// failed or says goodbye.
+func (n *Node) OnPeerFailed(cb func(transport.NodeID)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peerFailedCB = append(n.peerFailedCB, cb)
+}
+
+// AnnounceNow forces an immediate announcement (used by registration paths
+// and tests to shorten discovery latency).
+func (n *Node) AnnounceNow() { n.announceNow() }
+
+// Peers lists peers currently believed alive.
+func (n *Node) Peers() []transport.NodeID { return n.live.Peers() }
+
+// Close sends a goodbye, stops loops, services and the scheduler.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+
+	// Stop services in reverse start order.
+	n.stopAllServices()
+
+	// Goodbye to the fleet.
+	bye := &protocol.Frame{Type: protocol.MTBye, Priority: qos.PriorityHigh, Seq: n.NextSeq()}
+	_ = n.SendGroup(fabric.DiscoveryGroup, bye)
+
+	close(n.stop)
+	n.wg.Wait()
+	n.arq.Close()
+	if n.ownSched {
+		n.sched.Stop()
+	}
+	err := n.datagram.Close()
+	if n.stream != nil {
+		if serr := n.stream.Close(); err == nil {
+			err = serr
+		}
+	}
+	return err
+}
+
+// Engines expose the primitive runtimes to the Context layer.
+
+// Variables returns the §4.1 engine.
+func (n *Node) Variables() *variables.Engine { return n.vars }
+
+// Events returns the §4.2 engine.
+func (n *Node) Events() *events.Engine { return n.events }
+
+// RPC returns the §4.3 engine.
+func (n *Node) RPC() *rpc.Engine { return n.rpc }
+
+// Files returns the §4.4 engine.
+func (n *Node) Files() *filetransfer.Engine { return n.files }

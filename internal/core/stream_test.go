@@ -1,0 +1,180 @@
+package core
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"uavmw/internal/naming"
+	"uavmw/internal/presentation"
+	"uavmw/internal/qos"
+	"uavmw/internal/scheduler"
+	"uavmw/internal/transport"
+	"uavmw/internal/variables"
+)
+
+// newStreamNode builds a container with a bus datagram transport plus a
+// real TCP stream transport, the paper's dual mapping (§4.2: events over
+// "TCP or over UDP").
+func newStreamNode(t *testing.T, bus *transport.Bus, id transport.NodeID) (*Node, *transport.TCP) {
+	t.Helper()
+	ep, err := bus.Endpoint(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp, err := transport.NewTCP(id, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Skipf("tcp unavailable: %v", err)
+	}
+	n, err := NewNode(
+		WithDatagram(ep),
+		WithStream(tcp),
+		WithAnnouncePeriod(25*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = n.Close() })
+	return n, tcp
+}
+
+func TestEventsOverTCPStream(t *testing.T) {
+	bus := transport.NewBus()
+	pub, pubTCP := newStreamNode(t, bus, "pub")
+	sub, subTCP := newStreamNode(t, bus, "sub")
+	pubTCP.AddPeer("sub", subTCP.LocalAddr())
+	subTCP.AddPeer("pub", pubTCP.LocalAddr())
+	syncNodes(t, pub, sub)
+
+	p, err := pub.Events().Offer("stream.topic", "svc", presentation.String_(),
+		qos.EventQoS{Reliability: qos.ReliableStream})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub.AnnounceNow()
+	waitUntil(t, 2*time.Second, "event record", func() bool {
+		return sub.Directory().ProviderCount(naming.KindEvent, "stream.topic") == 1
+	})
+	var got atomic.Value
+	if _, err := sub.Events().Subscribe("stream.topic", presentation.String_(),
+		qos.EventQoS{Reliability: qos.ReliableStream},
+		func(v any, from transport.NodeID) { got.Store(v) }); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 2*time.Second, "subscriber", func() bool { return len(p.Subscribers()) == 1 })
+
+	before := pubTCP.Stats().PacketsSent
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := p.Publish(ctx, "over-tcp"); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	waitUntil(t, 5*time.Second, "delivery over stream", func() bool {
+		v := got.Load()
+		return v != nil && v.(string) == "over-tcp"
+	})
+	// The event must have used the stream transport, not the datagram ARQ.
+	if after := pubTCP.Stats().PacketsSent; after == before {
+		t.Error("event did not travel over the TCP stream")
+	}
+}
+
+func TestRPCOverTCPStream(t *testing.T) {
+	bus := transport.NewBus()
+	server, srvTCP := newStreamNode(t, bus, "server")
+	client, cliTCP := newStreamNode(t, bus, "client")
+	srvTCP.AddPeer("client", cliTCP.LocalAddr())
+	cliTCP.AddPeer("server", srvTCP.LocalAddr())
+	syncNodes(t, server, client)
+
+	retT := presentation.Int64()
+	if err := server.RPC().Register("stream.echo", "svc", presentation.Int64(), retT,
+		qos.CallQoS{}, func(args any) (any, error) { return args, nil }); err != nil {
+		t.Fatal(err)
+	}
+	server.AnnounceNow()
+	waitUntil(t, 2*time.Second, "function record", func() bool {
+		return client.Directory().ProviderCount(naming.KindFunction, "stream.echo") == 1
+	})
+
+	before := cliTCP.Stats().PacketsSent
+	got, err := client.RPC().Call(context.Background(), "stream.echo", int64(77),
+		presentation.Int64(), retT, qos.CallQoS{Reliability: qos.ReliableStream})
+	if err != nil {
+		t.Fatalf("call over stream: %v", err)
+	}
+	if got != int64(77) {
+		t.Errorf("got %v", got)
+	}
+	if after := cliTCP.Stats().PacketsSent; after == before {
+		t.Error("call did not travel over the TCP stream")
+	}
+}
+
+func TestStreamFallsBackToARQWithoutStreamTransport(t *testing.T) {
+	// A node without a stream transport must still honor ReliableStream
+	// requests by falling back to the ARQ path.
+	bus := transport.NewBus()
+	a := newBusNode(t, bus, "a")
+	b := newBusNode(t, bus, "b")
+	syncNodes(t, a, b)
+
+	p, err := a.Events().Offer("fallback.topic", "svc", nil,
+		qos.EventQoS{Reliability: qos.ReliableStream})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.AnnounceNow()
+	waitUntil(t, 2*time.Second, "record", func() bool {
+		return b.Directory().ProviderCount(naming.KindEvent, "fallback.topic") == 1
+	})
+	var count atomic.Int64
+	if _, err := b.Events().Subscribe("fallback.topic", nil,
+		qos.EventQoS{Reliability: qos.ReliableStream},
+		func(any, transport.NodeID) { count.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 2*time.Second, "subscriber", func() bool { return len(p.Subscribers()) == 1 })
+	if err := p.Publish(context.Background(), nil); err != nil {
+		t.Fatalf("fallback publish: %v", err)
+	}
+	waitUntil(t, 2*time.Second, "fallback delivery", func() bool { return count.Load() == 1 })
+}
+
+func TestEDFSchedulerPlugsIntoNode(t *testing.T) {
+	// The paper's future-work scheduler drops into the container through
+	// the same option as the default pool (F4 + §7).
+	bus := transport.NewBus()
+	edf := scheduler.NewEDF(scheduler.WithEDFWorkers(2))
+	n := newBusNode(t, bus, "edf-node", WithScheduler(edf))
+	defer edf.Stop()
+
+	p, err := n.Variables().Offer("v", "svc", presentation.Float64(), qos.VariableQoS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got atomic.Value
+	s, err := n.Variables().Subscribe("v", presentation.Float64(), subscriptionWithSample(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := p.Publish(2.5); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 2*time.Second, "EDF-scheduled delivery", func() bool {
+		v := got.Load()
+		return v != nil && v.(float64) == 2.5
+	})
+	if edf.Executed() == 0 {
+		t.Error("EDF scheduler executed no handler jobs")
+	}
+}
+
+// subscriptionWithSample builds options that store each sample.
+func subscriptionWithSample(dst *atomic.Value) variables.SubscribeOptions {
+	return variables.SubscribeOptions{
+		OnSample: func(v any, _ time.Time) { dst.Store(v) },
+	}
+}

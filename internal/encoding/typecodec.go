@@ -1,0 +1,53 @@
+package encoding
+
+import (
+	"fmt"
+
+	"uavmw/internal/presentation"
+)
+
+// Type descriptors travel inside announcement messages so containers can
+// verify payload compatibility across nodes (§3 "Name management"). The wire
+// form reuses the canonical signature string: it is compact, human-debuggable
+// in packet dumps, and the parser already rejects malformed input. A
+// fingerprint accompanies it for cheap comparison.
+
+// EncodeType appends the wire form of a type descriptor to w.
+func EncodeType(w *Writer, t *presentation.Type) {
+	w.String(t.String())
+}
+
+// DecodeType reads a type descriptor from r.
+func DecodeType(r *Reader) (*presentation.Type, error) {
+	sig := r.String()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	t, err := presentation.Parse(sig)
+	if err != nil {
+		return nil, fmt.Errorf("encoding: bad type signature %q: %w", sig, err)
+	}
+	return t, nil
+}
+
+// MarshalType encodes a descriptor into a fresh byte slice.
+func MarshalType(t *presentation.Type) []byte {
+	w := NewWriter(len(t.String()) + 4)
+	EncodeType(w, t)
+	out := make([]byte, w.Len())
+	copy(out, w.Bytes())
+	return out
+}
+
+// UnmarshalType decodes a full buffer into a descriptor.
+func UnmarshalType(data []byte) (*presentation.Type, error) {
+	r := NewReader(data)
+	t, err := DecodeType(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.ExpectEOF(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

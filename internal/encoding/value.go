@@ -1,0 +1,289 @@
+package encoding
+
+import (
+	"fmt"
+
+	"uavmw/internal/presentation"
+)
+
+// EncodeValue appends the wire form of the canonical value v (of type t) to
+// w. The value must already be canonical (see presentation.Check /
+// presentation.Coerce); a non-canonical value yields an error, never a
+// partial write rollback — callers encode into per-message writers.
+func EncodeValue(w *Writer, t *presentation.Type, v any) error {
+	switch t.Kind() {
+	case presentation.KindVoid:
+		if v != nil {
+			return fmt.Errorf("encoding: void carries %T: %w", v, presentation.ErrTypeMismatch)
+		}
+		return nil
+	case presentation.KindBool:
+		b, ok := v.(bool)
+		if !ok {
+			return encTypeErr(t, v)
+		}
+		w.Bool(b)
+		return nil
+	case presentation.KindInt8:
+		x, ok := v.(int8)
+		if !ok {
+			return encTypeErr(t, v)
+		}
+		w.Int8(x)
+		return nil
+	case presentation.KindInt16:
+		x, ok := v.(int16)
+		if !ok {
+			return encTypeErr(t, v)
+		}
+		w.Int16(x)
+		return nil
+	case presentation.KindInt32:
+		x, ok := v.(int32)
+		if !ok {
+			return encTypeErr(t, v)
+		}
+		w.Int32(x)
+		return nil
+	case presentation.KindInt64:
+		x, ok := v.(int64)
+		if !ok {
+			return encTypeErr(t, v)
+		}
+		w.Int64(x)
+		return nil
+	case presentation.KindUint8:
+		x, ok := v.(uint8)
+		if !ok {
+			return encTypeErr(t, v)
+		}
+		w.Uint8(x)
+		return nil
+	case presentation.KindUint16:
+		x, ok := v.(uint16)
+		if !ok {
+			return encTypeErr(t, v)
+		}
+		w.Uint16(x)
+		return nil
+	case presentation.KindUint32:
+		x, ok := v.(uint32)
+		if !ok {
+			return encTypeErr(t, v)
+		}
+		w.Uint32(x)
+		return nil
+	case presentation.KindUint64:
+		x, ok := v.(uint64)
+		if !ok {
+			return encTypeErr(t, v)
+		}
+		w.Uint64(x)
+		return nil
+	case presentation.KindFloat32:
+		x, ok := v.(float32)
+		if !ok {
+			return encTypeErr(t, v)
+		}
+		w.Float32(x)
+		return nil
+	case presentation.KindFloat64:
+		x, ok := v.(float64)
+		if !ok {
+			return encTypeErr(t, v)
+		}
+		w.Float64(x)
+		return nil
+	case presentation.KindString:
+		s, ok := v.(string)
+		if !ok {
+			return encTypeErr(t, v)
+		}
+		w.String(s)
+		return nil
+	case presentation.KindBytes:
+		b, ok := v.([]byte)
+		if !ok {
+			return encTypeErr(t, v)
+		}
+		w.Bytes_(b)
+		return nil
+	case presentation.KindArray:
+		s, ok := v.([]any)
+		if !ok {
+			return encTypeErr(t, v)
+		}
+		if len(s) != t.Len() {
+			return fmt.Errorf("encoding: array wants %d elements, got %d: %w",
+				t.Len(), len(s), presentation.ErrTypeMismatch)
+		}
+		for i, e := range s {
+			if err := EncodeValue(w, t.Elem(), e); err != nil {
+				return fmt.Errorf("element %d: %w", i, err)
+			}
+		}
+		return nil
+	case presentation.KindVector:
+		s, ok := v.([]any)
+		if !ok {
+			return encTypeErr(t, v)
+		}
+		w.Uint32(uint32(len(s)))
+		for i, e := range s {
+			if err := EncodeValue(w, t.Elem(), e); err != nil {
+				return fmt.Errorf("element %d: %w", i, err)
+			}
+		}
+		return nil
+	case presentation.KindStruct:
+		m, ok := v.(map[string]any)
+		if !ok {
+			return encTypeErr(t, v)
+		}
+		for _, f := range t.Fields() {
+			fv, present := m[f.Name]
+			if !present {
+				return fmt.Errorf("encoding: missing field %q: %w", f.Name, presentation.ErrTypeMismatch)
+			}
+			if err := EncodeValue(w, f.Type, fv); err != nil {
+				return fmt.Errorf("field %q: %w", f.Name, err)
+			}
+		}
+		return nil
+	case presentation.KindUnion:
+		u, ok := v.(presentation.Union)
+		if !ok {
+			return encTypeErr(t, v)
+		}
+		idx := t.CaseIndex(u.Case)
+		if idx < 0 {
+			return fmt.Errorf("encoding: unknown case %q: %w", u.Case, presentation.ErrTypeMismatch)
+		}
+		w.Uint32(uint32(idx))
+		if err := EncodeValue(w, t.Cases()[idx].Type, u.Value); err != nil {
+			return fmt.Errorf("case %q: %w", u.Case, err)
+		}
+		return nil
+	default:
+		return fmt.Errorf("encoding: unknown kind %v: %w", t.Kind(), presentation.ErrInvalidType)
+	}
+}
+
+func encTypeErr(t *presentation.Type, v any) error {
+	return fmt.Errorf("encoding: cannot encode %T as %s: %w", v, t, presentation.ErrTypeMismatch)
+}
+
+// DecodeValue reads one value of type t from r, returning it in canonical
+// form. Errors are reported through both the return and r.Err().
+func DecodeValue(r *Reader, t *presentation.Type) (any, error) {
+	v := decodeValue(r, t)
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func decodeValue(r *Reader, t *presentation.Type) any {
+	switch t.Kind() {
+	case presentation.KindVoid:
+		return nil
+	case presentation.KindBool:
+		return r.Bool()
+	case presentation.KindInt8:
+		return r.Int8()
+	case presentation.KindInt16:
+		return r.Int16()
+	case presentation.KindInt32:
+		return r.Int32()
+	case presentation.KindInt64:
+		return r.Int64()
+	case presentation.KindUint8:
+		return r.Uint8()
+	case presentation.KindUint16:
+		return r.Uint16()
+	case presentation.KindUint32:
+		return r.Uint32()
+	case presentation.KindUint64:
+		return r.Uint64()
+	case presentation.KindFloat32:
+		return r.Float32()
+	case presentation.KindFloat64:
+		return r.Float64()
+	case presentation.KindString:
+		return r.String()
+	case presentation.KindBytes:
+		return r.BytesCopy()
+	case presentation.KindArray:
+		out := make([]any, t.Len())
+		for i := range out {
+			out[i] = decodeValue(r, t.Elem())
+			if r.Err() != nil {
+				return nil
+			}
+		}
+		return out
+	case presentation.KindVector:
+		n := r.VectorLen()
+		if r.Err() != nil {
+			return nil
+		}
+		out := make([]any, n)
+		for i := range out {
+			out[i] = decodeValue(r, t.Elem())
+			if r.Err() != nil {
+				return nil
+			}
+		}
+		return out
+	case presentation.KindStruct:
+		fields := t.Fields()
+		m := make(map[string]any, len(fields))
+		for _, f := range fields {
+			m[f.Name] = decodeValue(r, f.Type)
+			if r.Err() != nil {
+				return nil
+			}
+		}
+		return m
+	case presentation.KindUnion:
+		tag := r.Uint32()
+		if r.Err() != nil {
+			return nil
+		}
+		cases := t.Cases()
+		if int(tag) >= len(cases) {
+			r.err = fmt.Errorf("encoding: union tag %d out of %d cases: %w", tag, len(cases), ErrCorrupt)
+			return nil
+		}
+		c := cases[tag]
+		return presentation.Union{Case: c.Name, Value: decodeValue(r, c.Type)}
+	default:
+		r.err = fmt.Errorf("encoding: unknown kind %v: %w", t.Kind(), presentation.ErrInvalidType)
+		return nil
+	}
+}
+
+// Marshal encodes a canonical value into a fresh byte slice.
+func Marshal(t *presentation.Type, v any) ([]byte, error) {
+	w := NewWriter(64)
+	if err := EncodeValue(w, t, v); err != nil {
+		return nil, err
+	}
+	out := make([]byte, w.Len())
+	copy(out, w.Bytes())
+	return out, nil
+}
+
+// Unmarshal decodes a full buffer into a canonical value, rejecting trailing
+// bytes.
+func Unmarshal(t *presentation.Type, data []byte) (any, error) {
+	r := NewReader(data)
+	v, err := DecodeValue(r, t)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.ExpectEOF(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}

@@ -1,0 +1,351 @@
+package encoding
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"uavmw/internal/presentation"
+	"uavmw/internal/presentation/ptest"
+)
+
+var gpsType = presentation.MustParse("{lat:f64,lon:f64,alt:f32,fix:u8}")
+
+func gpsValue() map[string]any {
+	return map[string]any{"lat": 41.3, "lon": 2.1, "alt": float32(120.5), "fix": uint8(3)}
+}
+
+func TestMarshalUnmarshalStruct(t *testing.T) {
+	data, err := Marshal(gpsType, gpsValue())
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	// 8 + 8 + 4 + 1 bytes, no framing overhead.
+	if len(data) != 21 {
+		t.Errorf("encoded size = %d, want 21", len(data))
+	}
+	back, err := Unmarshal(gpsType, data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !presentation.EqualValues(gpsValue(), back) {
+		t.Errorf("round trip mismatch: %#v", back)
+	}
+}
+
+func TestUnmarshalRejectsTrailing(t *testing.T) {
+	data, err := Marshal(presentation.Int32(), int32(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(presentation.Int32(), append(data, 0)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("trailing bytes: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestEncodeRejectsNonCanonical(t *testing.T) {
+	tests := []struct {
+		name string
+		typ  *presentation.Type
+		v    any
+	}{
+		{"int for i32", presentation.Int32(), 5},
+		{"missing field", gpsType, map[string]any{"lat": 1.0}},
+		{"wrong container", presentation.VectorOf(presentation.Int8()), "x"},
+		{"array len", presentation.ArrayOf(2, presentation.Int8()), []any{int8(1)}},
+		{"unknown case", presentation.UnionOf(presentation.C("a", nil)), presentation.Union{Case: "z"}},
+		{"void payload", presentation.UnionOf(presentation.C("a", nil)), presentation.Union{Case: "a", Value: 1}},
+		{"union not union", presentation.UnionOf(presentation.C("a", nil)), 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Marshal(tt.typ, tt.v); err == nil {
+				t.Error("expected encode failure")
+			}
+		})
+	}
+}
+
+func TestDecodeBadUnionTag(t *testing.T) {
+	u := presentation.UnionOf(presentation.C("a", nil), presentation.C("b", nil))
+	w := NewWriter(4)
+	w.Uint32(9) // only 2 cases
+	if _, err := Unmarshal(u, w.Bytes()); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad union tag: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecodeTruncatedStruct(t *testing.T) {
+	data, err := Marshal(gpsType, gpsValue())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 1, 8, 16, 20} {
+		if _, err := Unmarshal(gpsType, data[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Errorf("cut=%d: got %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	for i := 0; i < 500; i++ {
+		typ := ptest.RandomType(r, 4)
+		v := ptest.RandomValue(r, typ)
+		data, err := Marshal(typ, v)
+		if err != nil {
+			t.Fatalf("Marshal %s: %v", typ, err)
+		}
+		back, err := Unmarshal(typ, data)
+		if err != nil {
+			t.Fatalf("Unmarshal %s: %v", typ, err)
+		}
+		if !presentation.EqualValues(v, back) {
+			t.Fatalf("round trip mismatch for %s:\n in  %#v\n out %#v", typ, v, back)
+		}
+	}
+}
+
+func TestCompiledMatchesGeneric(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for i := 0; i < 300; i++ {
+		typ := ptest.RandomType(r, 4)
+		v := ptest.RandomValue(r, typ)
+		codec, err := Compile(typ)
+		if err != nil {
+			t.Fatalf("Compile %s: %v", typ, err)
+		}
+		genData, err := Marshal(typ, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cData, err := codec.Marshal(v)
+		if err != nil {
+			t.Fatalf("codec.Marshal: %v", err)
+		}
+		if !bytes.Equal(genData, cData) {
+			t.Fatalf("compiled and generic encodings differ for %s", typ)
+		}
+		back, err := codec.Unmarshal(cData)
+		if err != nil {
+			t.Fatalf("codec.Unmarshal: %v", err)
+		}
+		if !presentation.EqualValues(v, back) {
+			t.Fatalf("compiled round trip mismatch for %s", typ)
+		}
+	}
+}
+
+func TestCompiledErrors(t *testing.T) {
+	codec := MustCompile(gpsType)
+	if _, err := codec.Marshal(map[string]any{"lat": 1.0}); err == nil {
+		t.Error("missing field must fail")
+	}
+	if _, err := codec.Marshal(42); err == nil {
+		t.Error("wrong container must fail")
+	}
+	data, err := codec.Marshal(gpsValue())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := codec.Unmarshal(data[:3]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated: %v", err)
+	}
+	if _, err := codec.Unmarshal(append(data, 1)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("trailing: %v", err)
+	}
+	if codec.Type() != gpsType {
+		t.Error("Type() must return compiled descriptor")
+	}
+}
+
+func TestCompileInvalidType(t *testing.T) {
+	if _, err := Compile(presentation.ArrayOf(0, presentation.Int8())); err == nil {
+		t.Error("Compile of invalid type must fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile must panic on invalid type")
+		}
+	}()
+	MustCompile(presentation.StructOf())
+}
+
+func TestCompiledVectorAndUnion(t *testing.T) {
+	typ := presentation.MustParse("[]<ping:void,data:{seq:u32,body:bytes}>")
+	codec := MustCompile(typ)
+	v := []any{
+		presentation.Union{Case: "ping"},
+		presentation.Union{Case: "data", Value: map[string]any{"seq": uint32(7), "body": []byte{1, 2}}},
+	}
+	data, err := codec.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := codec.Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !presentation.EqualValues(v, back) {
+		t.Fatalf("mismatch: %#v", back)
+	}
+	// Bad union tag through the compiled path.
+	w := NewWriter(8)
+	w.Uint32(1) // one element
+	w.Uint32(5) // bad tag
+	if _, err := codec.Unmarshal(w.Bytes()); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad tag via codec: %v", err)
+	}
+}
+
+func TestTypeCodecRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		typ := ptest.RandomType(r, 4)
+		data := MarshalType(typ)
+		back, err := UnmarshalType(data)
+		if err != nil {
+			t.Fatalf("UnmarshalType: %v", err)
+		}
+		if !typ.Equal(back) {
+			t.Fatalf("type round trip mismatch: %s vs %s", typ, back)
+		}
+	}
+}
+
+func TestTypeCodecErrors(t *testing.T) {
+	w := NewWriter(16)
+	w.String("not-a-type")
+	if _, err := UnmarshalType(w.Bytes()); err == nil {
+		t.Error("bad signature must fail")
+	}
+	if _, err := UnmarshalType([]byte{0, 0}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated type: %v", err)
+	}
+	data := MarshalType(presentation.Float64())
+	if _, err := UnmarshalType(append(data, 0)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("trailing type bytes: %v", err)
+	}
+}
+
+func TestEncodingPluggability(t *testing.T) {
+	// F4: the same canonical value travels through any registered
+	// Encoding implementation unchanged.
+	encodings := []Encoding{Binary{}, Debug{}}
+	r := rand.New(rand.NewSource(31))
+	for _, enc := range encodings {
+		t.Run(enc.Name(), func(t *testing.T) {
+			for i := 0; i < 100; i++ {
+				typ := ptest.RandomType(r, 3)
+				v := ptest.RandomValue(r, typ)
+				data, err := enc.Marshal(typ, v)
+				if err != nil {
+					t.Fatalf("%s Marshal %s: %v", enc.Name(), typ, err)
+				}
+				back, err := enc.Unmarshal(typ, data)
+				if err != nil {
+					t.Fatalf("%s Unmarshal %s: %v", enc.Name(), typ, err)
+				}
+				if !equalLoose(v, back) {
+					t.Fatalf("%s round trip mismatch for %s:\n in  %#v\n out %#v", enc.Name(), typ, v, back)
+				}
+			}
+		})
+	}
+}
+
+// equalLoose is EqualValues except empty bytes compare equal to nil bytes
+// (the JSON debug path decodes empty base64 as empty non-nil slice).
+func equalLoose(a, b any) bool {
+	if ab, ok := a.([]byte); ok {
+		if bb, ok := b.([]byte); ok {
+			return bytes.Equal(ab, bb)
+		}
+		return false
+	}
+	switch x := a.(type) {
+	case []any:
+		y, ok := b.([]any)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if !equalLoose(x[i], y[i]) {
+				return false
+			}
+		}
+		return true
+	case map[string]any:
+		y, ok := b.(map[string]any)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for k, v := range x {
+			if !equalLoose(v, y[k]) {
+				return false
+			}
+		}
+		return true
+	case presentation.Union:
+		y, ok := b.(presentation.Union)
+		if !ok {
+			return false
+		}
+		return x.Case == y.Case && equalLoose(x.Value, y.Value)
+	default:
+		return presentation.EqualValues(a, b)
+	}
+}
+
+func TestDebugEncodingShape(t *testing.T) {
+	enc := Debug{}
+	data, err := enc.Marshal(gpsType, gpsValue())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"lat"`, `"lon"`, `"alt"`, `"fix"`} {
+		if !bytes.Contains(data, []byte(want)) {
+			t.Errorf("debug encoding missing %s: %s", want, data)
+		}
+	}
+	if _, err := enc.Unmarshal(gpsType, []byte(`{"lat":1`)); err == nil {
+		t.Error("bad json must fail")
+	}
+	if _, err := enc.Unmarshal(gpsType, []byte(`{"lat":1,"lon":2,"alt":3}`)); err == nil {
+		t.Error("missing field must fail")
+	}
+	if _, err := enc.Unmarshal(presentation.Uint8(), []byte(`1.5`)); err == nil {
+		t.Error("fractional int must fail")
+	}
+	if _, err := enc.Marshal(gpsType, 42); err == nil {
+		t.Error("non-canonical value must fail")
+	}
+}
+
+func TestDebugEncodingIDs(t *testing.T) {
+	if (Binary{}).ID() == (Debug{}).ID() {
+		t.Error("encoding IDs must be distinct")
+	}
+	if (Binary{}).Name() == (Debug{}).Name() {
+		t.Error("encoding names must be distinct")
+	}
+}
+
+func TestNaNAndInfRoundTrip(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -0.0} {
+		data, err := Marshal(presentation.Float64(), v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Unmarshal(presentation.Float64(), data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := back.(float64)
+		if math.IsNaN(v) != math.IsNaN(got) || (!math.IsNaN(v) && got != v) {
+			t.Errorf("float64 %v -> %v", v, got)
+		}
+	}
+}

@@ -1,0 +1,499 @@
+// Package events implements the paper's §4.2 communication primitive:
+// publish/subscribe notifications with guaranteed delivery to every
+// subscribed service. "The utility of events is to inform of punctual and
+// important facts" — alarms, waypoint arrivals, triggers for
+// pre-programmed actions.
+//
+// Delivery is unicast per subscriber (the paper maps events over TCP or
+// over UDP with application-level acknowledgment and retransmission). The
+// subscriber set is maintained at the publisher: subscribers register with
+// a reliable MTSubscribe and refresh it periodically, so a restarted
+// publisher relearns its audience within one refresh interval.
+package events
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"uavmw/internal/fabric"
+	"uavmw/internal/naming"
+	"uavmw/internal/presentation"
+	"uavmw/internal/protocol"
+	"uavmw/internal/qos"
+	"uavmw/internal/transport"
+)
+
+// Errors.
+var (
+	// ErrDuplicateName reports a second publisher of a topic in one node.
+	ErrDuplicateName = errors.New("event topic already offered")
+	// ErrNoPublisher reports a subscribe for a topic with no provider.
+	ErrNoPublisher = errors.New("no event publisher")
+	// ErrPartialDelivery reports an event some subscribers did not
+	// acknowledge; the paper's degraded-mode signal.
+	ErrPartialDelivery = errors.New("event not delivered to all subscribers")
+	// ErrClosed reports use of a closed handle.
+	ErrClosed = errors.New("event handle closed")
+	// ErrTypeMismatch reports subscriber/publisher type disagreement.
+	ErrTypeMismatch = errors.New("event type mismatch")
+)
+
+// Engine is the per-container event runtime.
+type Engine struct {
+	f fabric.Fabric
+
+	mu   sync.Mutex
+	pubs map[string]*Publisher
+	subs map[string][]*Subscription
+}
+
+// New builds the engine for a container.
+func New(f fabric.Fabric) *Engine {
+	return &Engine{
+		f:    f,
+		pubs: make(map[string]*Publisher),
+		subs: make(map[string][]*Subscription),
+	}
+}
+
+// Offer registers a publisher for topic with an optional payload type (nil
+// means the event carries no data — "events can ... have meaning by
+// themselves").
+func (e *Engine) Offer(topic, service string, t *presentation.Type, q qos.EventQoS) (*Publisher, error) {
+	if t != nil {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	q = q.Normalize()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.pubs[topic]; dup {
+		return nil, fmt.Errorf("events: %q: %w", topic, ErrDuplicateName)
+	}
+	p := &Publisher{
+		engine:      e,
+		topic:       topic,
+		service:     service,
+		typ:         t,
+		q:           q,
+		subscribers: make(map[transport.NodeID]time.Time),
+	}
+	e.pubs[topic] = p
+	return p, nil
+}
+
+// Publisher is the provider-side handle of one event topic.
+type Publisher struct {
+	engine  *Engine
+	topic   string
+	service string
+	typ     *presentation.Type // nil = no payload
+	q       qos.EventQoS
+
+	mu          sync.Mutex
+	subscribers map[transport.NodeID]time.Time // last refresh
+	seq         uint64
+	closed      bool
+
+	published uint64
+	failures  uint64
+}
+
+// subscriberTTL drops remote subscribers that stop refreshing (their node
+// died without unsubscribing).
+const subscriberTTL = 5 * time.Second
+
+// Topic returns the event topic name.
+func (p *Publisher) Topic() string { return p.topic }
+
+// Subscribers returns the current remote subscriber nodes.
+func (p *Publisher) Subscribers() []transport.NodeID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]transport.NodeID, 0, len(p.subscribers))
+	for node := range p.subscribers {
+		out = append(out, node)
+	}
+	return out
+}
+
+// Publish delivers v to every subscriber and blocks until all acknowledge,
+// the context expires, or a subscriber exhausts its retries. Local
+// subscribers are delivered directly (bypass). On partial failure the
+// failed subscribers are dropped from the set (the paper's middleware
+// "detects the situation" and continues degraded) and ErrPartialDelivery
+// is returned with the count.
+func (p *Publisher) Publish(ctx context.Context, v any) error {
+	var (
+		payload []byte
+		cv      any
+		err     error
+	)
+	if p.typ != nil {
+		cv, err = presentation.Coerce(p.typ, v)
+		if err != nil {
+			return err
+		}
+		payload, err = p.engine.f.Encoding().Marshal(p.typ, cv)
+		if err != nil {
+			return err
+		}
+	} else if v != nil {
+		return fmt.Errorf("events: %q carries no payload: %w", p.topic, ErrTypeMismatch)
+	}
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return fmt.Errorf("events: %q: %w", p.topic, ErrClosed)
+	}
+	p.seq++
+	seq := p.seq
+	now := time.Now()
+	targets := make([]transport.NodeID, 0, len(p.subscribers))
+	for node, refreshed := range p.subscribers {
+		if now.Sub(refreshed) > subscriberTTL {
+			delete(p.subscribers, node)
+			continue
+		}
+		targets = append(targets, node)
+	}
+	p.published++
+	p.mu.Unlock()
+
+	// Local bypass.
+	p.engine.deliverLocal(p.topic, cv, now)
+
+	if len(targets) == 0 {
+		return nil
+	}
+
+	type outcome struct {
+		node transport.NodeID
+		err  error
+	}
+	results := make(chan outcome, len(targets))
+	for _, node := range targets {
+		frame := &protocol.Frame{
+			Type:     protocol.MTEvent,
+			Encoding: p.engine.f.Encoding().ID(),
+			Priority: p.q.Priority,
+			Channel:  p.topic,
+			Seq:      p.engine.f.NextSeq(),
+			Payload:  payload,
+		}
+		node := node
+		p.engine.f.SendReliable(node, frame, p.q.Reliability, func(err error) {
+			results <- outcome{node: node, err: err}
+		})
+	}
+	_ = seq
+
+	failed := 0
+	for range targets {
+		select {
+		case res := <-results:
+			if res.err != nil {
+				failed++
+				p.dropSubscriber(res.node)
+			}
+		case <-ctx.Done():
+			return fmt.Errorf("events: publish %q: %w", p.topic, ctx.Err())
+		}
+	}
+	if failed > 0 {
+		p.mu.Lock()
+		p.failures += uint64(failed)
+		p.mu.Unlock()
+		return fmt.Errorf("events: %q: %d of %d subscribers unreachable: %w",
+			p.topic, failed, len(targets), ErrPartialDelivery)
+	}
+	return nil
+}
+
+func (p *Publisher) dropSubscriber(node transport.NodeID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.subscribers, node)
+}
+
+// Stats reports published event and failed-subscriber counts.
+func (p *Publisher) Stats() (published, failures uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.published, p.failures
+}
+
+// Close withdraws the publisher.
+func (p *Publisher) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.engine.mu.Lock()
+	delete(p.engine.pubs, p.topic)
+	p.engine.mu.Unlock()
+}
+
+// Record returns the naming record for announcements.
+func (p *Publisher) Record() naming.Record {
+	sig := ""
+	if p.typ != nil {
+		sig = p.typ.String()
+	}
+	return naming.Record{
+		Kind:    naming.KindEvent,
+		Name:    p.topic,
+		Service: p.service,
+		Node:    p.engine.f.Self(),
+		TypeSig: sig,
+	}
+}
+
+// Handler consumes one event occurrence.
+type Handler func(v any, from transport.NodeID)
+
+// Subscription is the consumer-side handle of one topic.
+type Subscription struct {
+	engine  *Engine
+	topic   string
+	typ     *presentation.Type
+	q       qos.EventQoS
+	handler Handler
+
+	mu       sync.Mutex
+	provider transport.NodeID
+	closed   bool
+	received uint64
+}
+
+// Subscribe registers handler for topic. The subscription is announced
+// reliably to the current publisher and re-announced on refresh, so it
+// survives publisher restarts.
+func (e *Engine) Subscribe(topic string, t *presentation.Type, q qos.EventQoS, h Handler) (*Subscription, error) {
+	if t != nil {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	q = q.Normalize()
+	if h == nil {
+		return nil, fmt.Errorf("events: nil handler for %q: %w", topic, ErrTypeMismatch)
+	}
+	s := &Subscription{engine: e, topic: topic, typ: t, q: q, handler: h}
+
+	e.mu.Lock()
+	e.subs[topic] = append(e.subs[topic], s)
+	e.mu.Unlock()
+
+	// Register with the remote publisher if one exists; a local-only
+	// topic needs no frames. Missing publishers are not an error — the
+	// refresh loop will register when one appears (startup ordering).
+	s.register()
+	return s, nil
+}
+
+// register sends MTSubscribe to the current provider, if any and not local.
+func (s *Subscription) register() {
+	e := s.engine
+	e.mu.Lock()
+	_, local := e.pubs[s.topic]
+	e.mu.Unlock()
+	if local {
+		return
+	}
+	rec, err := e.f.Directory().Select(naming.KindEvent, s.topic, qos.BindDynamic, "")
+	if err != nil {
+		return
+	}
+	if s.typ != nil && rec.TypeSig != "" && rec.TypeSig != s.typ.String() {
+		return // incompatible publisher; skip registration
+	}
+	s.mu.Lock()
+	s.provider = rec.Node
+	s.mu.Unlock()
+	frame := &protocol.Frame{
+		Type:     protocol.MTSubscribe,
+		Priority: qos.PriorityHigh,
+		Channel:  s.topic,
+		Seq:      e.f.NextSeq(),
+	}
+	e.f.SendReliable(rec.Node, frame, qos.ReliableARQ, nil)
+}
+
+// Refresh re-registers every remote subscription; the container calls it on
+// its announce tick so publisher restarts relearn subscribers.
+func (e *Engine) Refresh() {
+	e.mu.Lock()
+	var all []*Subscription
+	for _, list := range e.subs {
+		all = append(all, list...)
+	}
+	e.mu.Unlock()
+	for _, s := range all {
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if !closed {
+			s.register()
+		}
+	}
+}
+
+// Received reports delivered occurrence count.
+func (s *Subscription) Received() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.received
+}
+
+// Close detaches the subscription and unsubscribes from the publisher.
+func (s *Subscription) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	provider := s.provider
+	s.mu.Unlock()
+
+	e := s.engine
+	e.mu.Lock()
+	list := e.subs[s.topic]
+	for i, sub := range list {
+		if sub == s {
+			list = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(e.subs, s.topic)
+	} else {
+		e.subs[s.topic] = list
+	}
+	remaining := len(list)
+	e.mu.Unlock()
+
+	if remaining == 0 && provider != "" && provider != e.f.Self() {
+		frame := &protocol.Frame{
+			Type:     protocol.MTUnsubscribe,
+			Priority: qos.PriorityHigh,
+			Channel:  s.topic,
+			Seq:      e.f.NextSeq(),
+		}
+		e.f.SendReliable(provider, frame, qos.ReliableARQ, nil)
+	}
+}
+
+// deliverLocal dispatches an occurrence to same-container subscribers.
+func (e *Engine) deliverLocal(topic string, v any, _ time.Time) {
+	e.mu.Lock()
+	subs := append([]*Subscription(nil), e.subs[topic]...)
+	self := e.f.Self()
+	e.mu.Unlock()
+	for _, s := range subs {
+		s.dispatch(presentation.DeepCopy(v), self)
+	}
+}
+
+func (s *Subscription) dispatch(v any, from transport.NodeID) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.received++
+	h := s.handler
+	pr := s.q.Priority
+	s.mu.Unlock()
+	_ = s.engine.f.Schedule(pr, func() { h(v, from) })
+}
+
+// HandleSubscribe processes a remote MTSubscribe.
+func (e *Engine) HandleSubscribe(from transport.NodeID, fr *protocol.Frame) {
+	e.mu.Lock()
+	pub := e.pubs[fr.Channel]
+	e.mu.Unlock()
+	if pub == nil {
+		return
+	}
+	pub.mu.Lock()
+	defer pub.mu.Unlock()
+	if !pub.closed {
+		pub.subscribers[from] = time.Now()
+	}
+}
+
+// HandleUnsubscribe processes a remote MTUnsubscribe.
+func (e *Engine) HandleUnsubscribe(from transport.NodeID, fr *protocol.Frame) {
+	e.mu.Lock()
+	pub := e.pubs[fr.Channel]
+	e.mu.Unlock()
+	if pub == nil {
+		return
+	}
+	pub.dropSubscriber(from)
+}
+
+// HandleEvent processes an incoming MTEvent occurrence.
+func (e *Engine) HandleEvent(from transport.NodeID, fr *protocol.Frame) {
+	e.mu.Lock()
+	subs := append([]*Subscription(nil), e.subs[fr.Channel]...)
+	e.mu.Unlock()
+	if len(subs) == 0 {
+		return
+	}
+	enc := e.f.Encoding()
+	if len(fr.Payload) > 0 && fr.Encoding != enc.ID() {
+		return
+	}
+	for _, s := range subs {
+		var v any
+		if s.typ != nil && len(fr.Payload) > 0 {
+			decoded, err := enc.Unmarshal(s.typ, fr.Payload)
+			if err != nil {
+				continue
+			}
+			v = decoded
+		}
+		s.dispatch(v, from)
+	}
+}
+
+// PeerGone drops a failed node from every publisher's subscriber set.
+func (e *Engine) PeerGone(node transport.NodeID) {
+	e.mu.Lock()
+	pubs := make([]*Publisher, 0, len(e.pubs))
+	for _, p := range e.pubs {
+		pubs = append(pubs, p)
+	}
+	e.mu.Unlock()
+	for _, p := range pubs {
+		p.dropSubscriber(node)
+	}
+}
+
+// Records lists this node's offered topics for announcements.
+func (e *Engine) Records() []naming.Record {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]naming.Record, 0, len(e.pubs))
+	for _, p := range e.pubs {
+		out = append(out, p.Record())
+	}
+	return out
+}

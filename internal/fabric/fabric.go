@@ -1,0 +1,58 @@
+// Package fabric defines the narrow interface between the service container
+// and the four communication-primitive engines (variables, events, remote
+// invocation, file transfer). The container implements Fabric; engines are
+// written against it, which keeps them free of container internals and lets
+// tests substitute instrumented fabrics.
+package fabric
+
+import (
+	"uavmw/internal/encoding"
+	"uavmw/internal/naming"
+	"uavmw/internal/protocol"
+	"uavmw/internal/qos"
+	"uavmw/internal/transport"
+)
+
+// Fabric is what a primitive engine may ask of its container.
+type Fabric interface {
+	// Self is the local node identity.
+	Self() transport.NodeID
+	// Encoding is the node's payload encoding.
+	Encoding() encoding.Encoding
+	// Directory is the node's name cache (§3 name management).
+	Directory() *naming.Directory
+	// Schedule queues handler work on the container scheduler (§6).
+	Schedule(p qos.Priority, job func()) error
+	// NextSeq allocates a node-unique message id for reliable sends and
+	// call matching.
+	NextSeq() uint64
+	// SendBestEffort transmits one unacknowledged frame to a node over
+	// the datagram transport (§4.1 variables).
+	SendBestEffort(to transport.NodeID, f *protocol.Frame) error
+	// SendGroup multicasts one unacknowledged frame (§4.1, §4.4).
+	SendGroup(group string, f *protocol.Frame) error
+	// SendReliable delivers one frame with the given reliability class:
+	// ReliableARQ uses the datagram transport plus the protocol-level
+	// ack/retransmit engine; ReliableStream uses the stream transport
+	// when the node has one (§4.2, §4.3). done is invoked exactly once
+	// with the outcome; it may run on a timer goroutine.
+	SendReliable(to transport.NodeID, f *protocol.Frame, rel qos.Reliability, done func(error))
+	// Join subscribes the node to a multicast group.
+	Join(group string) error
+	// Leave unsubscribes the node from a multicast group.
+	Leave(group string) error
+}
+
+// Group naming scheme shared by engines and the container.
+const (
+	// DiscoveryGroup carries announcements and byes.
+	DiscoveryGroup  = "uavmw.disco"
+	varGroupPrefix  = "v:"
+	fileGroupPrefix = "f:"
+)
+
+// VarGroup names the multicast group of a published variable.
+func VarGroup(name string) string { return varGroupPrefix + name }
+
+// FileGroup names the multicast group of a file transfer.
+func FileGroup(name string) string { return fileGroupPrefix + name }

@@ -1,0 +1,316 @@
+package filetransfer
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"uavmw/internal/encoding"
+	"uavmw/internal/naming"
+	"uavmw/internal/protocol"
+	"uavmw/internal/qos"
+	"uavmw/internal/transport"
+)
+
+func qosChunk(n int) qos.TransferQoS {
+	q := qos.TransferQoS{ChunkSize: n}.Normalize()
+	return q
+}
+
+// fakeFabric satisfies fabric.Fabric for engine-level tests: Schedule runs
+// inline, sends are recorded, reliable sends succeed immediately.
+type fakeFabric struct {
+	self transport.NodeID
+	dir  *naming.Directory
+	seq  atomic.Uint64
+
+	mu       sync.Mutex
+	unicast  []*protocol.Frame
+	group    map[string][]*protocol.Frame
+	joined   map[string]int
+	reliable []*protocol.Frame
+}
+
+func newFakeFabric(self transport.NodeID) *fakeFabric {
+	return &fakeFabric{
+		self:   self,
+		dir:    naming.NewDirectory(time.Minute),
+		group:  make(map[string][]*protocol.Frame),
+		joined: make(map[string]int),
+	}
+}
+
+func (f *fakeFabric) Self() transport.NodeID       { return f.self }
+func (f *fakeFabric) Encoding() encoding.Encoding  { return encoding.Binary{} }
+func (f *fakeFabric) Directory() *naming.Directory { return f.dir }
+func (f *fakeFabric) NextSeq() uint64              { return f.seq.Add(1) }
+func (f *fakeFabric) Schedule(_ qos.Priority, job func()) error {
+	job()
+	return nil
+}
+
+func (f *fakeFabric) SendBestEffort(_ transport.NodeID, fr *protocol.Frame) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.unicast = append(f.unicast, fr)
+	return nil
+}
+
+func (f *fakeFabric) SendGroup(group string, fr *protocol.Frame) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.group[group] = append(f.group[group], fr)
+	return nil
+}
+
+func (f *fakeFabric) SendReliable(_ transport.NodeID, fr *protocol.Frame, _ qos.Reliability, done func(error)) {
+	f.mu.Lock()
+	f.reliable = append(f.reliable, fr)
+	f.mu.Unlock()
+	if done != nil {
+		done(nil)
+	}
+}
+
+func (f *fakeFabric) Join(group string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.joined[group]++
+	return nil
+}
+
+func (f *fakeFabric) Leave(group string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.joined[group]--
+	return nil
+}
+
+func (f *fakeFabric) groupFrames(group string) []*protocol.Frame {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]*protocol.Frame(nil), f.group[group]...)
+}
+
+func TestOfferValidation(t *testing.T) {
+	e := New(newFakeFabric("n"))
+	if _, err := e.Offer("x", "svc", nil, qos.TransferQoS{}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty data: %v", err)
+	}
+	if _, err := e.Offer("x", "svc", []byte("d"), qos.TransferQoS{ChunkSize: -1}); err == nil {
+		t.Error("bad QoS accepted")
+	}
+	if _, err := e.Offer("x", "svc", []byte("d"), qos.TransferQoS{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Offer("x", "svc", []byte("d"), qos.TransferQoS{}); !errors.Is(err, ErrDuplicateName) {
+		t.Errorf("duplicate: %v", err)
+	}
+}
+
+func TestOfferUpdateAndClose(t *testing.T) {
+	e := New(newFakeFabric("n"))
+	o, err := e.Offer("cfg", "svc", []byte("v1"), qos.TransferQoS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Revision() != 1 {
+		t.Errorf("initial revision %d", o.Revision())
+	}
+	rev, err := o.Update([]byte("v2"))
+	if err != nil || rev != 2 {
+		t.Errorf("Update: rev=%d err=%v", rev, err)
+	}
+	data, rev2 := o.Data()
+	if string(data) != "v2" || rev2 != 2 {
+		t.Errorf("Data = %q rev %d", data, rev2)
+	}
+	if _, err := o.Update(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty update: %v", err)
+	}
+	o.Close()
+	o.Close() // idempotent
+	if _, err := o.Update([]byte("v3")); !errors.Is(err, ErrClosed) {
+		t.Errorf("update after close: %v", err)
+	}
+	// Name reusable after close.
+	if _, err := e.Offer("cfg", "svc", []byte("v1"), qos.TransferQoS{}); err != nil {
+		t.Errorf("reoffer after close: %v", err)
+	}
+}
+
+func TestLocalBypassFetch(t *testing.T) {
+	f := newFakeFabric("n")
+	e := New(f)
+	if _, err := e.Offer("local", "svc", []byte("content"), qos.TransferQoS{}); err != nil {
+		t.Fatal(err)
+	}
+	got, rev, err := e.Fetch(context.Background(), "local", FetchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "content" || rev != 1 {
+		t.Errorf("got %q rev %d", got, rev)
+	}
+	// Bypass must not touch the network at all.
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.unicast) != 0 || len(f.reliable) != 0 {
+		t.Error("local fetch sent frames")
+	}
+	// Returned slice must be a copy.
+	got[0] = 'X'
+	data, _ := func() ([]byte, uint64) {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return e.offers["local"].Data()
+	}()
+	if data[0] != 'c' {
+		t.Error("local fetch aliased offer data")
+	}
+}
+
+func TestFetchNoProviderTimesOut(t *testing.T) {
+	e := New(newFakeFabric("n"))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, _, err := e.Fetch(ctx, "ghost", FetchOptions{}); !errors.Is(err, ErrNoProvider) {
+		t.Errorf("want ErrNoProvider, got %v", err)
+	}
+}
+
+func TestTransferLoopServesSubscriber(t *testing.T) {
+	f := newFakeFabric("pub")
+	e := New(f, WithQueryWindow(5*time.Millisecond))
+	data := make([]byte, 2500)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	o, err := e.Offer("file", "svc", data, qos.TransferQoS{ChunkSize: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A remote node subscribes: the loop must multicast all chunks.
+	e.HandleSubscribe("subscriber", &protocol.Frame{Type: protocol.MTFileSubscribe, Channel: "file"})
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		frames := f.groupFrames("f:file")
+		chunks := 0
+		for _, fr := range frames {
+			if fr.Type == protocol.MTFileChunk {
+				chunks++
+			}
+		}
+		if chunks >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d chunk frames multicast", chunks)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// ACK removes the subscriber and the loop idles.
+	e.HandleAck("subscriber", &protocol.Frame{
+		Type: protocol.MTFileAck, Channel: "file", Payload: encodeAck(1),
+	})
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		o.mu.Lock()
+		n := len(o.subscribers)
+		o.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("subscriber not removed after ACK")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSilentSubscriberDropped(t *testing.T) {
+	f := newFakeFabric("pub")
+	e := New(f, WithQueryWindow(2*time.Millisecond), WithMaxStrikes(2))
+	if _, err := e.Offer("file", "svc", make([]byte, 100), qos.TransferQoS{}); err != nil {
+		t.Fatal(err)
+	}
+	e.HandleSubscribe("ghost", &protocol.Frame{Type: protocol.MTFileSubscribe, Channel: "file"})
+	// The ghost never responds to queries; after maxStrikes rounds it is
+	// dropped and the loop stops.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		e.mu.Lock()
+		o := e.offers["file"]
+		e.mu.Unlock()
+		o.mu.Lock()
+		n, active := len(o.subscribers), o.active
+		o.mu.Unlock()
+		if n == 0 && !active {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ghost subscriber never dropped (n=%d active=%v)", n, active)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestNackFromUnknownSubscriberAdopted(t *testing.T) {
+	// §4.4 late join: a NACK from a node that joined the multicast group
+	// without an explicit subscribe still enters the subscriber set.
+	f := newFakeFabric("pub")
+	e := New(f, WithQueryWindow(5*time.Millisecond))
+	if _, err := e.Offer("file", "svc", make([]byte, 3000), qos.TransferQoS{ChunkSize: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	w := encoding.NewWriter(32)
+	w.Uint64(1)
+	w.Raw(encodeRanges([]uint32{0, 2}))
+	e.HandleNack("late", &protocol.Frame{Type: protocol.MTFileNack, Channel: "file", Payload: w.Bytes()})
+
+	e.mu.Lock()
+	o := e.offers["file"]
+	e.mu.Unlock()
+	o.mu.Lock()
+	st := o.subscribers["late"]
+	o.mu.Unlock()
+	if st == nil {
+		t.Fatal("late NACKer not adopted as subscriber")
+	}
+	if len(st.missing) != 2 || !st.missing[0] || !st.missing[2] {
+		t.Errorf("missing set = %v", st.missing)
+	}
+}
+
+func TestPeerGoneDropsSubscribers(t *testing.T) {
+	f := newFakeFabric("pub")
+	e := New(f, WithQueryWindow(5*time.Millisecond))
+	if _, err := e.Offer("file", "svc", make([]byte, 10), qos.TransferQoS{}); err != nil {
+		t.Fatal(err)
+	}
+	e.HandleSubscribe("dying", &protocol.Frame{Type: protocol.MTFileSubscribe, Channel: "file"})
+	e.PeerGone("dying")
+	e.mu.Lock()
+	o := e.offers["file"]
+	e.mu.Unlock()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if len(o.subscribers) != 0 {
+		t.Error("dead peer still subscribed")
+	}
+}
+
+func TestRecordsExposeOffers(t *testing.T) {
+	e := New(newFakeFabric("pub"))
+	if _, err := e.Offer("a", "svc", []byte("x"), qos.TransferQoS{}); err != nil {
+		t.Fatal(err)
+	}
+	recs := e.Records()
+	if len(recs) != 1 || recs[0].Kind != naming.KindFile || recs[0].Name != "a" || recs[0].Node != "pub" {
+		t.Errorf("Records = %+v", recs)
+	}
+}

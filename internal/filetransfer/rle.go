@@ -1,0 +1,69 @@
+package filetransfer
+
+import (
+	"fmt"
+
+	"uavmw/internal/encoding"
+)
+
+// Missing-chunk lists travel in NACK frames as run-length-encoded ranges —
+// the paper's "compressed list of the chunks it lacks" (§4.4). A receiver
+// that lost chunks 3,4,5,9 sends {(3,3),(9,1)} instead of four numbers;
+// for bursty multicast loss this is drastically smaller than a bitmap.
+
+// chunkRange is a run of consecutive missing chunk indexes.
+type chunkRange struct {
+	start uint32
+	count uint32
+}
+
+// encodeRanges compresses a sorted list of missing indexes.
+func encodeRanges(missing []uint32) []byte {
+	w := encoding.NewWriter(8 + len(missing)) // worst case alternation
+	var ranges []chunkRange
+	for _, idx := range missing {
+		if n := len(ranges); n > 0 && ranges[n-1].start+ranges[n-1].count == idx {
+			ranges[n-1].count++
+			continue
+		}
+		ranges = append(ranges, chunkRange{start: idx, count: 1})
+	}
+	w.Uint32(uint32(len(ranges)))
+	for _, r := range ranges {
+		w.Uint32(r.start)
+		w.Uint32(r.count)
+	}
+	return w.Bytes()
+}
+
+// decodeRanges expands an RLE list back into indexes, bounding the total
+// against total chunks to defuse hostile counts.
+func decodeRanges(r *encoding.Reader, totalChunks int) ([]uint32, error) {
+	n := int(r.Uint32())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n > totalChunks {
+		return nil, fmt.Errorf("filetransfer: %d ranges for %d chunks: %w", n, totalChunks, encoding.ErrCorrupt)
+	}
+	var out []uint32
+	for i := 0; i < n; i++ {
+		start := r.Uint32()
+		count := r.Uint32()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if count == 0 || int(start)+int(count) > totalChunks {
+			return nil, fmt.Errorf("filetransfer: range (%d,%d) beyond %d chunks: %w",
+				start, count, totalChunks, encoding.ErrCorrupt)
+		}
+		if len(out)+int(count) > totalChunks {
+			return nil, fmt.Errorf("filetransfer: expanded ranges exceed %d chunks: %w",
+				totalChunks, encoding.ErrCorrupt)
+		}
+		for c := uint32(0); c < count; c++ {
+			out = append(out, start+c)
+		}
+	}
+	return out, nil
+}

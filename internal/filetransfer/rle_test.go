@@ -1,0 +1,169 @@
+package filetransfer
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"uavmw/internal/encoding"
+)
+
+func roundTripRanges(t *testing.T, missing []uint32, total int) []uint32 {
+	t.Helper()
+	data := encodeRanges(missing)
+	r := encoding.NewReader(data)
+	out, err := decodeRanges(r, total)
+	if err != nil {
+		t.Fatalf("decodeRanges(%v): %v", missing, err)
+	}
+	if err := r.ExpectEOF(); err != nil {
+		t.Fatalf("trailing bytes: %v", err)
+	}
+	return out
+}
+
+func TestRLERoundTrip(t *testing.T) {
+	tests := []struct {
+		name    string
+		missing []uint32
+		total   int
+	}{
+		{"empty", nil, 10},
+		{"single", []uint32{4}, 10},
+		{"run", []uint32{3, 4, 5}, 10},
+		{"two runs", []uint32{0, 1, 7, 8, 9}, 10},
+		{"alternating", []uint32{0, 2, 4, 6, 8}, 10},
+		{"everything", []uint32{0, 1, 2, 3}, 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := roundTripRanges(t, tt.missing, tt.total)
+			if len(got) != len(tt.missing) {
+				t.Fatalf("got %v, want %v", got, tt.missing)
+			}
+			for i := range got {
+				if got[i] != tt.missing[i] {
+					t.Fatalf("got %v, want %v", got, tt.missing)
+				}
+			}
+		})
+	}
+}
+
+func TestRLECompression(t *testing.T) {
+	// A contiguous run of 1000 missing chunks must encode tiny.
+	missing := make([]uint32, 1000)
+	for i := range missing {
+		missing[i] = uint32(i + 10)
+	}
+	data := encodeRanges(missing)
+	if len(data) > 16 {
+		t.Errorf("run of 1000 encoded to %d bytes, want <= 16", len(data))
+	}
+}
+
+func TestRLERejectsHostileInput(t *testing.T) {
+	// Range beyond total.
+	w := encoding.NewWriter(16)
+	w.Uint32(1)
+	w.Uint32(5)
+	w.Uint32(10) // 5..14 but total is 8
+	if _, err := decodeRanges(encoding.NewReader(w.Bytes()), 8); err == nil {
+		t.Error("out-of-bounds range accepted")
+	}
+	// Zero count.
+	w2 := encoding.NewWriter(16)
+	w2.Uint32(1)
+	w2.Uint32(2)
+	w2.Uint32(0)
+	if _, err := decodeRanges(encoding.NewReader(w2.Bytes()), 8); err == nil {
+		t.Error("zero-count range accepted")
+	}
+	// More ranges than chunks.
+	w3 := encoding.NewWriter(8)
+	w3.Uint32(100)
+	if _, err := decodeRanges(encoding.NewReader(w3.Bytes()), 8); err == nil {
+		t.Error("oversized range count accepted")
+	}
+	// Truncated.
+	if _, err := decodeRanges(encoding.NewReader([]byte{0, 0}), 8); err == nil {
+		t.Error("truncated input accepted")
+	}
+}
+
+func TestRLEProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 300; trial++ {
+		total := 1 + rng.Intn(500)
+		set := map[uint32]bool{}
+		for i := 0; i < rng.Intn(total); i++ {
+			set[uint32(rng.Intn(total))] = true
+		}
+		missing := make([]uint32, 0, len(set))
+		for idx := range set {
+			missing = append(missing, idx)
+		}
+		sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+		got := roundTripRanges(t, missing, total)
+		if len(got) != len(missing) {
+			t.Fatalf("trial %d: %v vs %v", trial, got, missing)
+		}
+		for i := range got {
+			if got[i] != missing[i] {
+				t.Fatalf("trial %d: %v vs %v", trial, got, missing)
+			}
+		}
+	}
+}
+
+func TestFileMetaCodec(t *testing.T) {
+	payload := encodeFileMeta(7, 123456, 1200, 103)
+	rev, size, cs, chunks, err := decodeFileMeta(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev != 7 || size != 123456 || cs != 1200 || chunks != 103 {
+		t.Errorf("got rev=%d size=%d cs=%d chunks=%d", rev, size, cs, chunks)
+	}
+	if _, _, _, _, err := decodeFileMeta(payload[:5]); err == nil {
+		t.Error("truncated meta accepted")
+	}
+}
+
+func TestChunkCodec(t *testing.T) {
+	body := []byte{9, 8, 7, 6}
+	payload := encodeChunk(3, 14, 100, body)
+	rev, index, total, data, err := decodeChunk(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev != 3 || index != 14 || total != 100 {
+		t.Errorf("header rev=%d index=%d total=%d", rev, index, total)
+	}
+	if string(data) != string(body) {
+		t.Errorf("body %v", data)
+	}
+	if _, _, _, _, err := decodeChunk(payload[:3]); err == nil {
+		t.Error("truncated chunk accepted")
+	}
+}
+
+func TestOfferChunking(t *testing.T) {
+	o := &Offer{q: qosChunk(100)}
+	data := make([]byte, 250)
+	o.install(1, data)
+	if len(o.chunks) != 3 {
+		t.Fatalf("chunks = %d, want 3", len(o.chunks))
+	}
+	if len(o.chunks[0]) != 100 || len(o.chunks[2]) != 50 {
+		t.Errorf("chunk sizes %d,%d,%d", len(o.chunks[0]), len(o.chunks[1]), len(o.chunks[2]))
+	}
+	// Exact multiple.
+	o.install(2, make([]byte, 200))
+	if len(o.chunks) != 2 || len(o.chunks[1]) != 100 {
+		t.Errorf("exact multiple chunks wrong: %d", len(o.chunks))
+	}
+	if o.revision != 2 {
+		t.Errorf("revision = %d", o.revision)
+	}
+}

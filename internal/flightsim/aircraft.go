@@ -1,0 +1,241 @@
+package flightsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Waypoint is one leg endpoint of a flight plan.
+type Waypoint struct {
+	// Name labels the waypoint in events and logs.
+	Name string
+	// Lat, Lon in degrees; Alt in meters.
+	Lat, Lon, AltM float64
+	// Photo marks a location where the mission controller triggers the
+	// camera (§5's "take high resolution photos at specified locations").
+	Photo bool
+}
+
+// FlightPlan is the predetermined route the FCS follows (§1).
+type FlightPlan struct {
+	// Name labels the plan.
+	Name string
+	// Waypoints in visit order; at least two (origin + one target).
+	Waypoints []Waypoint
+	// CruiseSpeedMS is the commanded ground speed in m/s.
+	CruiseSpeedMS float64
+	// ArrivalRadiusM is the distance at which a waypoint counts reached
+	// (default 30 m).
+	ArrivalRadiusM float64
+}
+
+// ErrBadPlan tags plan validation failures.
+var ErrBadPlan = errors.New("invalid flight plan")
+
+// Validate checks plan plausibility.
+func (p *FlightPlan) Validate() error {
+	if len(p.Waypoints) < 2 {
+		return fmt.Errorf("flightsim: %d waypoints: %w", len(p.Waypoints), ErrBadPlan)
+	}
+	if p.CruiseSpeedMS <= 0 {
+		return fmt.Errorf("flightsim: cruise speed %v: %w", p.CruiseSpeedMS, ErrBadPlan)
+	}
+	for i, wp := range p.Waypoints {
+		if wp.Lat < -90 || wp.Lat > 90 || wp.Lon < -180 || wp.Lon > 180 {
+			return fmt.Errorf("flightsim: waypoint %d at (%v,%v): %w", i, wp.Lat, wp.Lon, ErrBadPlan)
+		}
+	}
+	return nil
+}
+
+// TotalDistanceM sums the leg lengths.
+func (p *FlightPlan) TotalDistanceM() float64 {
+	total := 0.0
+	for i := 1; i < len(p.Waypoints); i++ {
+		a, b := p.Waypoints[i-1], p.Waypoints[i]
+		total += DistanceM(a.Lat, a.Lon, b.Lat, b.Lon)
+	}
+	return total
+}
+
+// State is one instant of the simulated aircraft.
+type State struct {
+	// Lat, Lon in degrees; Alt in meters.
+	Lat, Lon, AltM float64
+	// HeadingDeg is the ground track in degrees [0,360).
+	HeadingDeg float64
+	// SpeedMS is the ground speed in m/s.
+	SpeedMS float64
+	// Waypoint is the index of the waypoint currently being flown to.
+	Waypoint int
+	// Elapsed is simulated time since takeoff.
+	Elapsed time.Duration
+	// Complete reports that the final waypoint was reached.
+	Complete bool
+}
+
+// Options tune the aircraft model.
+type Options struct {
+	// TurnRateDps limits heading change (default 25°/s, a mini-UAV).
+	TurnRateDps float64
+	// ClimbRateMS limits altitude change (default 3 m/s).
+	ClimbRateMS float64
+	// WindSpeedMS and WindDirDeg add a constant wind drift.
+	WindSpeedMS, WindDirDeg float64
+	// GustMS adds seeded random gust noise on top of the wind.
+	GustMS float64
+	// Seed makes gusts reproducible (0 means 1).
+	Seed int64
+}
+
+// Aircraft is a point-mass aircraft following a flight plan.
+type Aircraft struct {
+	plan FlightPlan
+	opt  Options
+	rng  *rand.Rand
+
+	state State
+}
+
+// New places an aircraft at the first waypoint, heading toward the second.
+func New(plan FlightPlan, opt Options) (*Aircraft, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if plan.ArrivalRadiusM <= 0 {
+		plan.ArrivalRadiusM = 30
+	}
+	if opt.TurnRateDps <= 0 {
+		opt.TurnRateDps = 25
+	}
+	if opt.ClimbRateMS <= 0 {
+		opt.ClimbRateMS = 3
+	}
+	seed := opt.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	origin := plan.Waypoints[0]
+	next := plan.Waypoints[1]
+	return &Aircraft{
+		plan: plan,
+		opt:  opt,
+		rng:  rand.New(rand.NewSource(seed)),
+		state: State{
+			Lat:        origin.Lat,
+			Lon:        origin.Lon,
+			AltM:       origin.AltM,
+			HeadingDeg: BearingDeg(origin.Lat, origin.Lon, next.Lat, next.Lon),
+			SpeedMS:    plan.CruiseSpeedMS,
+			Waypoint:   1,
+		},
+	}, nil
+}
+
+// State returns the current instant.
+func (a *Aircraft) State() State { return a.state }
+
+// Plan returns the flight plan being flown.
+func (a *Aircraft) Plan() FlightPlan { return a.plan }
+
+// Done reports plan completion.
+func (a *Aircraft) Done() bool { return a.state.Complete }
+
+// Step advances the model by dt and returns the new state. After
+// completion, the aircraft loiters (holds position, speed zero).
+func (a *Aircraft) Step(dt time.Duration) State {
+	if a.state.Complete || dt <= 0 {
+		a.state.Elapsed += dt
+		return a.state
+	}
+	dts := dt.Seconds()
+	st := &a.state
+	target := a.plan.Waypoints[st.Waypoint]
+
+	// Heading: turn-rate-limited pursuit of the target bearing.
+	want := BearingDeg(st.Lat, st.Lon, target.Lat, target.Lon)
+	diff := angleDiffDeg(st.HeadingDeg, want)
+	maxTurn := a.opt.TurnRateDps * dts
+	turn := math.Max(-maxTurn, math.Min(maxTurn, diff))
+	st.HeadingDeg = math.Mod(st.HeadingDeg+turn+360, 360)
+
+	// Translate along heading, plus wind.
+	dist := st.SpeedMS * dts
+	st.Lat, st.Lon = OffsetM(st.Lat, st.Lon, st.HeadingDeg, dist)
+	if a.opt.WindSpeedMS > 0 || a.opt.GustMS > 0 {
+		wind := a.opt.WindSpeedMS
+		if a.opt.GustMS > 0 {
+			wind += a.rng.NormFloat64() * a.opt.GustMS
+		}
+		if wind > 0 {
+			st.Lat, st.Lon = OffsetM(st.Lat, st.Lon, a.opt.WindDirDeg, wind*dts)
+		}
+	}
+
+	// Altitude: climb-rate-limited approach to the target altitude.
+	dAlt := target.AltM - st.AltM
+	maxClimb := a.opt.ClimbRateMS * dts
+	st.AltM += math.Max(-maxClimb, math.Min(maxClimb, dAlt))
+
+	st.Elapsed += dt
+
+	// Arrival check.
+	if DistanceM(st.Lat, st.Lon, target.Lat, target.Lon) <= a.plan.ArrivalRadiusM {
+		if st.Waypoint == len(a.plan.Waypoints)-1 {
+			st.Complete = true
+			st.SpeedMS = 0
+		} else {
+			st.Waypoint++
+		}
+	}
+	return *st
+}
+
+// FlyUntilDone steps the simulation with the given tick until the plan
+// completes or maxSim simulated time elapses, invoking observe (if set)
+// after every step. It returns the final state. This is the batch driver
+// used by tests and the mission benchmarks; live services tick Step
+// themselves.
+func (a *Aircraft) FlyUntilDone(tick, maxSim time.Duration, observe func(State)) State {
+	for a.state.Elapsed < maxSim && !a.state.Complete {
+		st := a.Step(tick)
+		if observe != nil {
+			observe(st)
+		}
+	}
+	return a.state
+}
+
+// SurveyPlan builds a rectangular lawn-mower survey plan around a center
+// point: rows parallel legs spaced gapM apart, legM long, at altM. Photo
+// waypoints are placed at both ends of every leg. It is the workload
+// generator for the §5 scenario.
+func SurveyPlan(name string, centerLat, centerLon float64, rows int, legM, gapM, altM, speedMS float64) FlightPlan {
+	if rows < 1 {
+		rows = 1
+	}
+	wps := make([]Waypoint, 0, rows*2+1)
+	// Start south-west of center.
+	originLat, originLon := OffsetM(centerLat, centerLon, 225, math.Hypot(legM/2, float64(rows)*gapM/2))
+	wps = append(wps, Waypoint{Name: "origin", Lat: originLat, Lon: originLon, AltM: altM})
+	rowLat, rowLon := originLat, originLon
+	for r := 0; r < rows; r++ {
+		endLat, endLon := OffsetM(rowLat, rowLon, 90, legM)
+		if r%2 == 0 {
+			wps = append(wps,
+				Waypoint{Name: fmt.Sprintf("r%d-a", r), Lat: rowLat, Lon: rowLon, AltM: altM, Photo: true},
+				Waypoint{Name: fmt.Sprintf("r%d-b", r), Lat: endLat, Lon: endLon, AltM: altM, Photo: true},
+			)
+		} else {
+			wps = append(wps,
+				Waypoint{Name: fmt.Sprintf("r%d-a", r), Lat: endLat, Lon: endLon, AltM: altM, Photo: true},
+				Waypoint{Name: fmt.Sprintf("r%d-b", r), Lat: rowLat, Lon: rowLon, AltM: altM, Photo: true},
+			)
+		}
+		rowLat, rowLon = OffsetM(rowLat, rowLon, 0, gapM)
+	}
+	return FlightPlan{Name: name, Waypoints: wps, CruiseSpeedMS: speedMS, ArrivalRadiusM: 40}
+}

@@ -1,0 +1,238 @@
+package flightsim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// castelldefels — the authors' campus, a fitting test origin.
+const (
+	homeLat = 41.2750
+	homeLon = 1.9870
+)
+
+func simplePlan() FlightPlan {
+	lat2, lon2 := OffsetM(homeLat, homeLon, 90, 2000) // 2 km east
+	return FlightPlan{
+		Name:          "test",
+		CruiseSpeedMS: 25,
+		Waypoints: []Waypoint{
+			{Name: "home", Lat: homeLat, Lon: homeLon, AltM: 100},
+			{Name: "target", Lat: lat2, Lon: lon2, AltM: 150},
+		},
+	}
+}
+
+func TestDistanceAndBearing(t *testing.T) {
+	// 1 degree of latitude is ~111.2 km.
+	d := DistanceM(0, 0, 1, 0)
+	if math.Abs(d-111195) > 300 {
+		t.Errorf("1 deg lat = %v m", d)
+	}
+	if b := BearingDeg(0, 0, 1, 0); math.Abs(b-0) > 0.01 {
+		t.Errorf("northward bearing = %v", b)
+	}
+	if b := BearingDeg(0, 0, 0, 1); math.Abs(b-90) > 0.01 {
+		t.Errorf("eastward bearing = %v", b)
+	}
+	if d := DistanceM(homeLat, homeLon, homeLat, homeLon); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+}
+
+func TestOffsetRoundTrip(t *testing.T) {
+	for _, bearing := range []float64{0, 45, 90, 135, 180, 225, 270, 315} {
+		lat, lon := OffsetM(homeLat, homeLon, bearing, 5000)
+		d := DistanceM(homeLat, homeLon, lat, lon)
+		if math.Abs(d-5000) > 1 {
+			t.Errorf("bearing %v: offset 5000m measured %v", bearing, d)
+		}
+		back := BearingDeg(homeLat, homeLon, lat, lon)
+		if math.Abs(angleDiffDeg(back, bearing)) > 0.1 {
+			t.Errorf("bearing %v measured %v", bearing, back)
+		}
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	tests := []struct{ a, b, want float64 }{
+		{0, 10, 10},
+		{10, 0, -10},
+		{350, 10, 20},
+		{10, 350, -20},
+		{0, 180, 180},
+		{90, 270, 180},
+	}
+	for _, tt := range tests {
+		if got := angleDiffDeg(tt.a, tt.b); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("angleDiffDeg(%v,%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	good := simplePlan()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := simplePlan()
+	bad.Waypoints = bad.Waypoints[:1]
+	if err := bad.Validate(); err == nil {
+		t.Error("single waypoint must fail")
+	}
+	bad2 := simplePlan()
+	bad2.CruiseSpeedMS = 0
+	if err := bad2.Validate(); err == nil {
+		t.Error("zero speed must fail")
+	}
+	bad3 := simplePlan()
+	bad3.Waypoints[0].Lat = 99
+	if err := bad3.Validate(); err == nil {
+		t.Error("out-of-range latitude must fail")
+	}
+}
+
+func TestAircraftReachesTarget(t *testing.T) {
+	ac, err := New(simplePlan(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := ac.FlyUntilDone(100*time.Millisecond, 10*time.Minute, nil)
+	if !final.Complete {
+		t.Fatalf("plan incomplete after %v at waypoint %d", final.Elapsed, final.Waypoint)
+	}
+	// 2 km at 25 m/s is 80 s; allow turning overhead.
+	if final.Elapsed > 2*time.Minute {
+		t.Errorf("took %v for a 2km leg at 25 m/s", final.Elapsed)
+	}
+	target := ac.Plan().Waypoints[1]
+	if d := DistanceM(final.Lat, final.Lon, target.Lat, target.Lon); d > ac.Plan().ArrivalRadiusM+1 {
+		t.Errorf("final position %v m from target", d)
+	}
+	if math.Abs(final.AltM-150) > 5 {
+		t.Errorf("final altitude %v, want ~150", final.AltM)
+	}
+	if final.SpeedMS != 0 {
+		t.Error("aircraft must loiter at zero speed after completion")
+	}
+}
+
+func TestAircraftClimbRateLimited(t *testing.T) {
+	plan := simplePlan()
+	plan.Waypoints[1].AltM = 1000 // 900 m climb over an 80 s leg: impossible at 3 m/s
+	ac, err := New(plan, Options{ClimbRateMS: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ac.Step(10 * time.Second)
+	if climbed := st.AltM - 100; climbed > 31 {
+		t.Errorf("climbed %v m in 10 s at 3 m/s limit", climbed)
+	}
+}
+
+func TestAircraftTurnRateLimited(t *testing.T) {
+	// Target directly behind: the model must not snap 180° instantly.
+	plan := simplePlan()
+	west, wlon := OffsetM(homeLat, homeLon, 270, 2000)
+	plan.Waypoints[1].Lat, plan.Waypoints[1].Lon = west, wlon
+	ac, err := New(plan, Options{TurnRateDps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force heading east first.
+	ac.state.HeadingDeg = 90
+	st := ac.Step(time.Second)
+	if d := math.Abs(angleDiffDeg(90, st.HeadingDeg)); d > 10.001 {
+		t.Errorf("turned %v deg in 1 s at 10 dps limit", d)
+	}
+}
+
+func TestWindDrift(t *testing.T) {
+	calm, err := New(simplePlan(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	windy, err := New(simplePlan(), Options{WindSpeedMS: 8, WindDirDeg: 0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calmSt := calm.Step(10 * time.Second)
+	windySt := windy.Step(10 * time.Second)
+	// Northward wind pushes the windy aircraft north of the calm one.
+	if windySt.Lat <= calmSt.Lat {
+		t.Error("wind produced no northward drift")
+	}
+}
+
+func TestGustDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) State {
+		ac, err := New(simplePlan(), Options{WindSpeedMS: 2, GustMS: 3, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ac.FlyUntilDone(time.Second, 5*time.Minute, nil)
+	}
+	a, b := run(7), run(7)
+	if a.Lat != b.Lat || a.Lon != b.Lon || a.Elapsed != b.Elapsed {
+		t.Error("same seed produced different trajectories")
+	}
+}
+
+func TestSurveyPlan(t *testing.T) {
+	plan := SurveyPlan("survey", homeLat, homeLon, 3, 1500, 300, 120, 22)
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	photos := 0
+	for _, wp := range plan.Waypoints {
+		if wp.Photo {
+			photos++
+		}
+	}
+	if photos != 6 {
+		t.Errorf("3 rows should give 6 photo waypoints, got %d", photos)
+	}
+	if plan.TotalDistanceM() < 3*1500 {
+		t.Errorf("total distance %v too short", plan.TotalDistanceM())
+	}
+
+	// The plan must actually be flyable.
+	ac, err := New(plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := ac.FlyUntilDone(200*time.Millisecond, 30*time.Minute, nil)
+	if !final.Complete {
+		t.Errorf("survey incomplete after %v (waypoint %d of %d)",
+			final.Elapsed, final.Waypoint, len(plan.Waypoints))
+	}
+}
+
+func TestStepAfterCompleteLoiters(t *testing.T) {
+	ac, err := New(simplePlan(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac.FlyUntilDone(100*time.Millisecond, 10*time.Minute, nil)
+	before := ac.State()
+	after := ac.Step(time.Second)
+	if after.Lat != before.Lat || after.Lon != before.Lon {
+		t.Error("aircraft moved after completion")
+	}
+	if after.Elapsed != before.Elapsed+time.Second {
+		t.Error("elapsed time must still advance")
+	}
+}
+
+func TestObserverCallback(t *testing.T) {
+	ac, err := New(simplePlan(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count int
+	ac.FlyUntilDone(time.Second, 5*time.Minute, func(State) { count++ })
+	if count == 0 {
+		t.Error("observer never invoked")
+	}
+}

@@ -1,0 +1,64 @@
+// Package flightsim is the flight-dynamics substrate standing in for the
+// paper's real airframe and its Flight Computer System sensors (§1): a
+// point-mass aircraft model that follows a waypoint flight plan, producing
+// the position/attitude/speed stream the GPS service publishes. The
+// middleware under evaluation only sees typed telemetry samples, so a
+// kinematic model with turn-rate and climb-rate limits (plus optional wind)
+// exercises exactly the same code paths the authors' hardware did.
+package flightsim
+
+import "math"
+
+// EarthRadiusM is the mean Earth radius used by the spherical helpers.
+const EarthRadiusM = 6371000.0
+
+func degToRad(d float64) float64 { return d * math.Pi / 180 }
+
+func radToDeg(r float64) float64 { return r * 180 / math.Pi }
+
+// DistanceM returns the haversine great-circle distance in meters between
+// two lat/lon points in degrees.
+func DistanceM(lat1, lon1, lat2, lon2 float64) float64 {
+	phi1, phi2 := degToRad(lat1), degToRad(lat2)
+	dPhi := degToRad(lat2 - lat1)
+	dLambda := degToRad(lon2 - lon1)
+	a := math.Sin(dPhi/2)*math.Sin(dPhi/2) +
+		math.Cos(phi1)*math.Cos(phi2)*math.Sin(dLambda/2)*math.Sin(dLambda/2)
+	return 2 * EarthRadiusM * math.Atan2(math.Sqrt(a), math.Sqrt(1-a))
+}
+
+// BearingDeg returns the initial great-circle bearing in degrees [0,360)
+// from point 1 toward point 2.
+func BearingDeg(lat1, lon1, lat2, lon2 float64) float64 {
+	phi1, phi2 := degToRad(lat1), degToRad(lat2)
+	dLambda := degToRad(lon2 - lon1)
+	y := math.Sin(dLambda) * math.Cos(phi2)
+	x := math.Cos(phi1)*math.Sin(phi2) - math.Sin(phi1)*math.Cos(phi2)*math.Cos(dLambda)
+	b := radToDeg(math.Atan2(y, x))
+	return math.Mod(b+360, 360)
+}
+
+// OffsetM moves a lat/lon point by distance meters along bearing degrees,
+// returning the new point (spherical law of cosines; exact enough for the
+// kilometer-scale legs of a mini-UAV mission).
+func OffsetM(lat, lon, bearingDeg, distanceM float64) (newLat, newLon float64) {
+	phi := degToRad(lat)
+	lambda := degToRad(lon)
+	theta := degToRad(bearingDeg)
+	delta := distanceM / EarthRadiusM
+	phi2 := math.Asin(math.Sin(phi)*math.Cos(delta) + math.Cos(phi)*math.Sin(delta)*math.Cos(theta))
+	lambda2 := lambda + math.Atan2(
+		math.Sin(theta)*math.Sin(delta)*math.Cos(phi),
+		math.Cos(delta)-math.Sin(phi)*math.Sin(phi2))
+	return radToDeg(phi2), radToDeg(lambda2)
+}
+
+// angleDiffDeg returns the signed smallest rotation in degrees from a to b
+// in (-180, 180].
+func angleDiffDeg(a, b float64) float64 {
+	d := math.Mod(b-a+540, 360) - 180
+	if d == -180 {
+		return 180
+	}
+	return d
+}

@@ -1,0 +1,194 @@
+// Package imaging is the payload substrate standing in for the paper's
+// TV/IR camera and on-board FPGA video processor (§5): a deterministic
+// synthetic frame generator and a connected-component blob detector. The
+// file-transfer and event paths only require real byte payloads of
+// realistic size and a downstream consumer that can raise detections;
+// synthetic frames give both, reproducibly.
+package imaging
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"math/rand"
+)
+
+// Target is a bright feature injected into a synthetic frame (the thing
+// the mission is looking for).
+type Target struct {
+	// X, Y is the center pixel.
+	X, Y int
+	// Size is the half-width of the square.
+	Size int
+}
+
+// FrameSpec parameterizes generation.
+type FrameSpec struct {
+	// Width, Height in pixels.
+	Width, Height int
+	// Targets to inject; positions are derived from Seed when empty and
+	// TargetCount > 0.
+	Targets []Target
+	// TargetCount requests derived targets when Targets is empty.
+	TargetCount int
+	// NoiseLevel is the background noise amplitude (0-80 gray levels).
+	NoiseLevel int
+	// Seed makes noise and derived targets reproducible (0 means 1).
+	Seed int64
+}
+
+// ErrBadFrame tags generation/decoding failures.
+var ErrBadFrame = errors.New("bad frame")
+
+// targetIntensity is the gray level of injected targets, far above noise.
+const targetIntensity = 230
+
+// Generate renders a synthetic grayscale frame.
+func Generate(spec FrameSpec) (*image.Gray, []Target, error) {
+	if spec.Width <= 0 || spec.Height <= 0 {
+		return nil, nil, fmt.Errorf("imaging: %dx%d: %w", spec.Width, spec.Height, ErrBadFrame)
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	if spec.NoiseLevel < 0 {
+		spec.NoiseLevel = 0
+	}
+	if spec.NoiseLevel > 80 {
+		spec.NoiseLevel = 80
+	}
+
+	img := image.NewGray(image.Rect(0, 0, spec.Width, spec.Height))
+	for i := range img.Pix {
+		img.Pix[i] = uint8(30 + rng.Intn(spec.NoiseLevel+1))
+	}
+
+	targets := spec.Targets
+	if len(targets) == 0 && spec.TargetCount > 0 {
+		targets = make([]Target, spec.TargetCount)
+		for i := range targets {
+			size := 3 + rng.Intn(5)
+			targets[i] = Target{
+				X:    size + 2 + rng.Intn(max(1, spec.Width-2*size-4)),
+				Y:    size + 2 + rng.Intn(max(1, spec.Height-2*size-4)),
+				Size: size,
+			}
+		}
+	}
+	for _, tg := range targets {
+		for dy := -tg.Size; dy <= tg.Size; dy++ {
+			for dx := -tg.Size; dx <= tg.Size; dx++ {
+				x, y := tg.X+dx, tg.Y+dy
+				if x >= 0 && x < spec.Width && y >= 0 && y < spec.Height {
+					img.SetGray(x, y, color.Gray{Y: targetIntensity})
+				}
+			}
+		}
+	}
+	return img, targets, nil
+}
+
+// EncodePNG serializes a frame for file transfer.
+func EncodePNG(img *image.Gray) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := png.Encode(&buf, img); err != nil {
+		return nil, fmt.Errorf("imaging: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodePNG recovers a grayscale frame.
+func DecodePNG(data []byte) (*image.Gray, error) {
+	img, err := png.Decode(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("imaging: decode: %w", err)
+	}
+	if g, ok := img.(*image.Gray); ok {
+		return g, nil
+	}
+	// Convert other color models.
+	b := img.Bounds()
+	g := image.NewGray(b)
+	for y := b.Min.Y; y < b.Max.Y; y++ {
+		for x := b.Min.X; x < b.Max.X; x++ {
+			g.Set(x, y, img.At(x, y))
+		}
+	}
+	return g, nil
+}
+
+// Detection is one blob the detector found.
+type Detection struct {
+	// X, Y is the blob centroid.
+	X, Y int
+	// Pixels is the connected-component size.
+	Pixels int
+	// Score is mean intensity of the blob in [0,1].
+	Score float64
+}
+
+// DetectBlobs runs the FPGA-stand-in feature detector: threshold then
+// 4-connected component labeling, dropping components under minPixels.
+func DetectBlobs(img *image.Gray, threshold uint8, minPixels int) []Detection {
+	if img == nil {
+		return nil
+	}
+	b := img.Bounds()
+	w, h := b.Dx(), b.Dy()
+	visited := make([]bool, w*h)
+	var out []Detection
+
+	at := func(x, y int) uint8 { return img.Pix[y*img.Stride+x] }
+
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			idx := y*w + x
+			if visited[idx] || at(x, y) < threshold {
+				continue
+			}
+			// BFS flood fill.
+			var (
+				stack  = [][2]int{{x, y}}
+				pixels int
+				sumX   int
+				sumY   int
+				sumI   int
+			)
+			visited[idx] = true
+			for len(stack) > 0 {
+				p := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				px, py := p[0], p[1]
+				pixels++
+				sumX += px
+				sumY += py
+				sumI += int(at(px, py))
+				for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+					nx, ny := px+d[0], py+d[1]
+					if nx < 0 || nx >= w || ny < 0 || ny >= h {
+						continue
+					}
+					nidx := ny*w + nx
+					if !visited[nidx] && at(nx, ny) >= threshold {
+						visited[nidx] = true
+						stack = append(stack, [2]int{nx, ny})
+					}
+				}
+			}
+			if pixels >= minPixels {
+				out = append(out, Detection{
+					X:      sumX / pixels,
+					Y:      sumY / pixels,
+					Pixels: pixels,
+					Score:  float64(sumI) / float64(pixels) / 255,
+				})
+			}
+		}
+	}
+	return out
+}

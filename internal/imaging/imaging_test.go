@@ -1,0 +1,152 @@
+package imaging
+
+import (
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := FrameSpec{Width: 320, Height: 240, TargetCount: 3, NoiseLevel: 40, Seed: 5}
+	a, ta, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, tb, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ta) != 3 || len(tb) != 3 {
+		t.Fatalf("targets %d/%d", len(ta), len(tb))
+	}
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Error("same seed produced different targets")
+		}
+	}
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("same seed produced different pixels")
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, _, err := Generate(FrameSpec{Width: 0, Height: 10}); err == nil {
+		t.Error("zero width must fail")
+	}
+	if _, _, err := Generate(FrameSpec{Width: 10, Height: -1}); err == nil {
+		t.Error("negative height must fail")
+	}
+}
+
+func TestPNGRoundTrip(t *testing.T) {
+	img, _, err := Generate(FrameSpec{Width: 160, Height: 120, TargetCount: 2, NoiseLevel: 30, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodePNG(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty png")
+	}
+	back, err := DecodePNG(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Bounds() != img.Bounds() {
+		t.Fatalf("bounds %v vs %v", back.Bounds(), img.Bounds())
+	}
+	for i := range img.Pix {
+		if back.Pix[i] != img.Pix[i] {
+			t.Fatal("png round trip changed pixels")
+		}
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := DecodePNG([]byte("not a png")); err == nil {
+		t.Error("garbage must fail to decode")
+	}
+}
+
+func TestDetectorFindsInjectedTargets(t *testing.T) {
+	for _, count := range []int{0, 1, 3, 6} {
+		img, targets, err := Generate(FrameSpec{
+			Width: 640, Height: 480, TargetCount: count, NoiseLevel: 40, Seed: int64(count + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dets := DetectBlobs(img, 150, 9)
+		// Targets may overlap and merge, so detections <= injected; but
+		// with seeded placement on a 640x480 frame, expect most found.
+		if count == 0 && len(dets) != 0 {
+			t.Errorf("false positives on empty frame: %d", len(dets))
+		}
+		if count > 0 && len(dets) == 0 {
+			t.Errorf("count=%d: nothing detected", count)
+		}
+		if len(dets) > count {
+			t.Errorf("count=%d: %d detections", count, len(dets))
+		}
+		// Every detection must sit near an injected target.
+		for _, d := range dets {
+			near := false
+			for _, tg := range targets {
+				dx, dy := d.X-tg.X, d.Y-tg.Y
+				if dx*dx+dy*dy <= (tg.Size+2)*(tg.Size+2) {
+					near = true
+					break
+				}
+			}
+			if !near {
+				t.Errorf("detection at (%d,%d) matches no target", d.X, d.Y)
+			}
+			if d.Score < 0.5 {
+				t.Errorf("detection score %v too low", d.Score)
+			}
+		}
+	}
+}
+
+func TestDetectorThresholdRejectsNoise(t *testing.T) {
+	img, _, err := Generate(FrameSpec{Width: 320, Height: 240, NoiseLevel: 60, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dets := DetectBlobs(img, 150, 4); len(dets) != 0 {
+		t.Errorf("noise produced %d detections", len(dets))
+	}
+	// Threshold below the noise floor floods; minPixels still gates.
+	dets := DetectBlobs(img, 10, 320*240+1)
+	if len(dets) != 0 {
+		t.Error("minPixels gate failed")
+	}
+}
+
+func TestDetectorNilImage(t *testing.T) {
+	if DetectBlobs(nil, 100, 4) != nil {
+		t.Error("nil image must yield nil detections")
+	}
+}
+
+func TestDetectorCentroid(t *testing.T) {
+	img, _, err := Generate(FrameSpec{
+		Width: 100, Height: 100, NoiseLevel: 0, Seed: 2,
+		Targets: []Target{{X: 50, Y: 60, Size: 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dets := DetectBlobs(img, 150, 4)
+	if len(dets) != 1 {
+		t.Fatalf("detections = %d", len(dets))
+	}
+	if dets[0].X != 50 || dets[0].Y != 60 {
+		t.Errorf("centroid (%d,%d), want (50,60)", dets[0].X, dets[0].Y)
+	}
+	if dets[0].Pixels != 9*9 {
+		t.Errorf("pixels = %d, want 81", dets[0].Pixels)
+	}
+}

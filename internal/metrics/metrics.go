@@ -1,0 +1,255 @@
+// Package metrics provides the lightweight counters and latency histograms
+// the benchmark harness and the scheduler's soft-real-time reporting use.
+// It is intentionally tiny: lock-free counters plus a fixed-bucket
+// exponential histogram good enough for percentile summaries, with no
+// external dependencies.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a set-to-current-value measurement.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the current value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the value by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram accumulates durations into exponential buckets from 1µs to
+// ~17.9s (doubling per bucket), supporting approximate percentiles. The
+// zero value is ready to use.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [hbuckets]uint64
+	count   uint64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+const (
+	hbuckets = 25
+	hbase    = time.Microsecond
+)
+
+// bucketFor maps a duration to its bucket index.
+func bucketFor(d time.Duration) int {
+	if d < hbase {
+		return 0
+	}
+	idx := int(math.Log2(float64(d) / float64(hbase)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= hbuckets {
+		idx = hbuckets - 1
+	}
+	return idx
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i.
+func bucketUpper(i int) time.Duration {
+	return hbase << uint(i+1)
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.buckets[bucketFor(d)]++
+	h.count++
+	h.sum += d
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean reports the average observation, or 0 with no data.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Min reports the smallest observation.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max reports the largest observation.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Percentile returns the approximate p-th percentile (0 < p <= 100) as the
+// upper bound of the bucket containing that rank. Returns 0 with no data.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.min
+	}
+	if p >= 100 {
+		return h.max
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(h.count)))
+	var cum uint64
+	for i, b := range h.buckets {
+		cum += b
+		if cum >= rank {
+			upper := bucketUpper(i)
+			if upper > h.max {
+				return h.max
+			}
+			return upper
+		}
+	}
+	return h.max
+}
+
+// Reset clears all state.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.buckets = [hbuckets]uint64{}
+	h.count = 0
+	h.sum = 0
+	h.min = 0
+	h.max = 0
+}
+
+// Summary renders count/mean/p50/p95/p99/max on one line for harness tables.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		h.Count(), h.Mean().Round(time.Microsecond),
+		h.Percentile(50).Round(time.Microsecond),
+		h.Percentile(95).Round(time.Microsecond),
+		h.Percentile(99).Round(time.Microsecond),
+		h.Max().Round(time.Microsecond))
+}
+
+// Registry is a named collection of metrics for diagnostic dumps. The zero
+// value is ready to use.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = make(map[string]*Gauge)
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.histograms == nil {
+		r.histograms = make(map[string]*Histogram)
+	}
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Dump renders every metric sorted by name, one per line.
+func (r *Registry) Dump() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lines []string
+	for name, c := range r.counters {
+		lines = append(lines, fmt.Sprintf("counter %s = %d", name, c.Value()))
+	}
+	for name, g := range r.gauges {
+		lines = append(lines, fmt.Sprintf("gauge %s = %d", name, g.Value()))
+	}
+	for name, h := range r.histograms {
+		lines = append(lines, fmt.Sprintf("histogram %s: %s", name, h.Summary()))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

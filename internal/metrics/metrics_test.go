@@ -1,0 +1,183 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("Value = %d, want 5", c.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("Value = %d, want 8000", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Errorf("Value = %d, want 7", g.Value())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 {
+		t.Error("empty histogram must be all zeros")
+	}
+	durations := []time.Duration{
+		1 * time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond,
+		4 * time.Millisecond, 100 * time.Millisecond,
+	}
+	for _, d := range durations {
+		h.Observe(d)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Min() != time.Millisecond {
+		t.Errorf("Min = %v", h.Min())
+	}
+	if h.Max() != 100*time.Millisecond {
+		t.Errorf("Max = %v", h.Max())
+	}
+	if mean := h.Mean(); mean != 22*time.Millisecond {
+		t.Errorf("Mean = %v, want 22ms", mean)
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	// 100 observations at 1ms, 1 at 1s: p50 must be near 1ms, p100 = 1s.
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	h.Observe(time.Second)
+	p50 := h.Percentile(50)
+	if p50 > 4*time.Millisecond {
+		t.Errorf("p50 = %v, want ~1-2ms", p50)
+	}
+	if h.Percentile(100) != time.Second {
+		t.Errorf("p100 = %v, want 1s", h.Percentile(100))
+	}
+	if h.Percentile(0) != time.Millisecond {
+		t.Errorf("p0 = %v, want min", h.Percentile(0))
+	}
+	// Percentile upper bound never exceeds observed max.
+	var h2 Histogram
+	h2.Observe(3 * time.Millisecond)
+	if h2.Percentile(99) > 3*time.Millisecond {
+		t.Errorf("p99 %v exceeds max", h2.Percentile(99))
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	if h.Max() != 0 || h.Min() != 0 {
+		t.Error("negative duration must clamp to 0")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	s := h.Summary()
+	for _, want := range []string{"n=1", "mean=", "p50=", "p99="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Summary %q missing %q", s, want)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				h.Observe(time.Duration(j) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 2000 {
+		t.Errorf("Count = %d", h.Count())
+	}
+}
+
+func TestBucketMapping(t *testing.T) {
+	// Monotone: larger durations never map to smaller buckets.
+	prev := 0
+	for d := time.Microsecond; d < 20*time.Second; d *= 2 {
+		b := bucketFor(d)
+		if b < prev {
+			t.Fatalf("bucketFor(%v) = %d < previous %d", d, b, prev)
+		}
+		prev = b
+	}
+	if bucketFor(0) != 0 {
+		t.Error("zero maps to bucket 0")
+	}
+	if bucketFor(time.Hour) != hbuckets-1 {
+		t.Error("huge duration maps to last bucket")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Inc()
+	if r.Counter("a").Value() != 1 {
+		t.Error("counter identity not stable")
+	}
+	r.Gauge("g").Set(5)
+	r.Histogram("h").Observe(time.Millisecond)
+	dump := r.Dump()
+	for _, want := range []string{"counter a = 1", "gauge g = 5", "histogram h:"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("Dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestRegistryZeroValue(t *testing.T) {
+	var r Registry
+	r.Counter("x").Add(2)
+	if r.Counter("x").Value() != 2 {
+		t.Error("zero-value registry unusable")
+	}
+}

@@ -1,0 +1,245 @@
+package naming
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"uavmw/internal/qos"
+	"uavmw/internal/transport"
+)
+
+// Directory is the per-container proxy cache of name bindings (§3). It is
+// fed by announcements, aged by TTL, purged on failure notifications, and
+// queried by the primitives to resolve names to provider nodes.
+type Directory struct {
+	ttl time.Duration
+
+	mu      sync.Mutex
+	entries map[dirKey]map[transport.NodeID]*dirEntry
+	epochs  map[transport.NodeID]uint64
+	loads   map[transport.NodeID]float64
+	rr      map[dirKey]uint64 // round-robin cursors
+}
+
+type dirKey struct {
+	kind Kind
+	name string
+}
+
+type dirEntry struct {
+	rec     Record
+	expires time.Time
+}
+
+// DefaultTTL is how long a cached binding survives without refresh. It must
+// exceed the announce period comfortably.
+const DefaultTTL = 3 * time.Second
+
+// Errors.
+var (
+	// ErrNotFound reports a name with no live provider — the condition
+	// §4.3 says must trigger "the programmed emergency procedure".
+	ErrNotFound = errors.New("no provider for name")
+	// ErrPinnedGone reports a statically pinned provider that is no
+	// longer alive.
+	ErrPinnedGone = errors.New("pinned provider gone")
+)
+
+// NewDirectory builds a cache with the given TTL (0 means DefaultTTL).
+func NewDirectory(ttl time.Duration) *Directory {
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	return &Directory{
+		ttl:     ttl,
+		entries: make(map[dirKey]map[transport.NodeID]*dirEntry),
+		epochs:  make(map[transport.NodeID]uint64),
+		loads:   make(map[transport.NodeID]float64),
+		rr:      make(map[dirKey]uint64),
+	}
+}
+
+// Apply ingests an announcement: it refreshes the node's records, removes
+// records the node no longer offers, and rejects stale epochs. It reports
+// whether anything changed.
+func (d *Directory) Apply(a *Announcement, now time.Time) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if prev, ok := d.epochs[a.Node]; ok && a.Epoch < prev {
+		return false // stale incarnation
+	}
+	d.epochs[a.Node] = a.Epoch
+	d.loads[a.Node] = a.Load
+
+	offered := make(map[dirKey]bool, len(a.Records))
+	changed := false
+	expires := now.Add(d.ttl)
+	for _, rec := range a.Records {
+		key := dirKey{kind: rec.Kind, name: rec.Name}
+		offered[key] = true
+		nodeMap := d.entries[key]
+		if nodeMap == nil {
+			nodeMap = make(map[transport.NodeID]*dirEntry)
+			d.entries[key] = nodeMap
+		}
+		prev, exists := nodeMap[a.Node]
+		if !exists || prev.rec != rec {
+			changed = true
+		}
+		nodeMap[a.Node] = &dirEntry{rec: rec, expires: expires}
+	}
+	// Drop records this node previously offered but no longer announces.
+	for key, nodeMap := range d.entries {
+		if offered[key] {
+			continue
+		}
+		if _, had := nodeMap[a.Node]; had {
+			delete(nodeMap, a.Node)
+			changed = true
+			if len(nodeMap) == 0 {
+				delete(d.entries, key)
+			}
+		}
+	}
+	return changed
+}
+
+// RemoveNode purges every binding of a failed or departed node (§3: "In
+// case of service malfunctioning, it is also the container responsibility
+// ... to clear and update their caches").
+func (d *Directory) RemoveNode(node transport.NodeID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.loads, node)
+	for key, nodeMap := range d.entries {
+		if _, had := nodeMap[node]; had {
+			delete(nodeMap, node)
+			if len(nodeMap) == 0 {
+				delete(d.entries, key)
+			}
+		}
+	}
+}
+
+// Expire drops entries not refreshed within the TTL, returning the nodes
+// that lost their last record (candidates for failure handling).
+func (d *Directory) Expire(now time.Time) []transport.NodeID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	stale := make(map[transport.NodeID]bool)
+	for key, nodeMap := range d.entries {
+		for node, e := range nodeMap {
+			if now.After(e.expires) {
+				delete(nodeMap, node)
+				stale[node] = true
+			}
+		}
+		if len(nodeMap) == 0 {
+			delete(d.entries, key)
+		}
+	}
+	out := make([]transport.NodeID, 0, len(stale))
+	for node := range stale {
+		out = append(out, node)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Lookup returns the live providers of (kind, name), sorted by node for
+// determinism.
+func (d *Directory) Lookup(kind Kind, name string) []Record {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	nodeMap := d.entries[dirKey{kind: kind, name: name}]
+	out := make([]Record, 0, len(nodeMap))
+	for _, e := range nodeMap {
+		out = append(out, e.rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// Names lists all known names of a kind, sorted.
+func (d *Directory) Names(kind Kind) []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []string
+	for key, nodeMap := range d.entries {
+		if key.kind == kind && len(nodeMap) > 0 {
+			out = append(out, key.name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Load returns the last announced load of a node (0 if unknown).
+func (d *Directory) Load(node transport.NodeID) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.loads[node]
+}
+
+// Select picks one provider of (kind, name) according to the binding policy
+// (§4.3): BindStatic keeps using pinned while alive, failing over only when
+// it disappears; BindDynamic load-balances — round-robin across providers
+// within ~10% load of the least loaded, so fresh load reports steer calls
+// away from busy nodes without starving equal ones.
+//
+// It returns the chosen record; callers persist the returned node as the
+// new pin for static binding.
+func (d *Directory) Select(kind Kind, name string, binding qos.Binding, pinned transport.NodeID) (Record, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	key := dirKey{kind: kind, name: name}
+	nodeMap := d.entries[key]
+	if len(nodeMap) == 0 {
+		return Record{}, fmt.Errorf("naming: %v %q: %w", kind, name, ErrNotFound)
+	}
+	if binding == qos.BindStatic && pinned != "" {
+		if e, alive := nodeMap[pinned]; alive {
+			return e.rec, nil
+		}
+		// Fall through: redundancy failover even for static binding.
+	}
+	// Deterministic provider list.
+	nodes := make([]transport.NodeID, 0, len(nodeMap))
+	for node := range nodeMap {
+		nodes = append(nodes, node)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	if binding == qos.BindStatic {
+		// New pin: lowest node id for stability across containers.
+		return nodeMap[nodes[0]].rec, nil
+	}
+
+	// Dynamic: restrict to near-least-loaded, then round-robin.
+	minLoad := d.loads[nodes[0]]
+	for _, node := range nodes[1:] {
+		if l := d.loads[node]; l < minLoad {
+			minLoad = l
+		}
+	}
+	candidates := nodes[:0]
+	for _, node := range nodes {
+		if d.loads[node] <= minLoad+0.1 {
+			candidates = append(candidates, node)
+		}
+	}
+	cursor := d.rr[key]
+	d.rr[key] = cursor + 1
+	chosen := candidates[cursor%uint64(len(candidates))]
+	return nodeMap[chosen].rec, nil
+}
+
+// ProviderCount reports the number of live providers for a name.
+func (d *Directory) ProviderCount(kind Kind, name string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.entries[dirKey{kind: kind, name: name}])
+}

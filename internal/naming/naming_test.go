@@ -1,0 +1,305 @@
+package naming
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"uavmw/internal/qos"
+	"uavmw/internal/transport"
+)
+
+func sampleAnnouncement() *Announcement {
+	return &Announcement{
+		Node:  "uav1",
+		Epoch: 3,
+		Load:  0.25,
+		Records: []Record{
+			{Kind: KindService, Name: "gps", Service: "gps", Node: "uav1"},
+			{Kind: KindVariable, Name: "gps.position", Service: "gps", Node: "uav1", TypeSig: "{lat:f64,lon:f64}"},
+			{Kind: KindFunction, Name: "camera.prepare", Service: "camera", Node: "uav1", TypeSig: "bool", ArgSig: "{name:str}"},
+			{Kind: KindEvent, Name: "mission.photo", Service: "mc", Node: "uav1"},
+			{Kind: KindFile, Name: "photo.1", Service: "camera", Node: "uav1"},
+		},
+	}
+}
+
+func TestAnnouncementRoundTrip(t *testing.T) {
+	a := sampleAnnouncement()
+	data, err := EncodeAnnouncement(a)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeAnnouncement(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Node != a.Node || got.Epoch != a.Epoch || got.Load != a.Load {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if len(got.Records) != len(a.Records) {
+		t.Fatalf("record count %d", len(got.Records))
+	}
+	for i := range a.Records {
+		if got.Records[i] != a.Records[i] {
+			t.Errorf("record %d: %+v vs %+v", i, got.Records[i], a.Records[i])
+		}
+	}
+}
+
+func TestAnnouncementEncodeErrors(t *testing.T) {
+	if _, err := EncodeAnnouncement(&Announcement{}); !errors.Is(err, ErrBadAnnouncement) {
+		t.Errorf("empty node: %v", err)
+	}
+	bad := &Announcement{Node: "n", Records: []Record{{Kind: 99, Name: "x"}}}
+	if _, err := EncodeAnnouncement(bad); !errors.Is(err, ErrBadAnnouncement) {
+		t.Errorf("bad kind: %v", err)
+	}
+	bad2 := &Announcement{Node: "n", Records: []Record{{Kind: KindService, Name: ""}}}
+	if _, err := EncodeAnnouncement(bad2); !errors.Is(err, ErrBadAnnouncement) {
+		t.Errorf("unnamed record: %v", err)
+	}
+}
+
+func TestAnnouncementDecodeErrors(t *testing.T) {
+	good, err := EncodeAnnouncement(sampleAnnouncement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeAnnouncement(nil); err == nil {
+		t.Error("nil input must fail")
+	}
+	if _, err := DecodeAnnouncement(good[:10]); err == nil {
+		t.Error("truncated must fail")
+	}
+	if _, err := DecodeAnnouncement(append(good, 0)); err == nil {
+		t.Error("trailing bytes must fail")
+	}
+	bad := append([]byte{}, good...)
+	bad[0] = 9 // version
+	if _, err := DecodeAnnouncement(bad); !errors.Is(err, ErrBadAnnouncement) {
+		t.Errorf("bad version: %v", err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindVariable.String() != "variable" || KindFile.String() != "file" {
+		t.Error("kind names wrong")
+	}
+	if Kind(0).Valid() || Kind(77).Valid() {
+		t.Error("Valid bounds wrong")
+	}
+}
+
+func TestDirectoryApplyAndLookup(t *testing.T) {
+	d := NewDirectory(time.Second)
+	now := time.Now()
+	if changed := d.Apply(sampleAnnouncement(), now); !changed {
+		t.Error("first apply must report change")
+	}
+	if changed := d.Apply(sampleAnnouncement(), now); changed {
+		t.Error("identical re-apply must not report change")
+	}
+	recs := d.Lookup(KindVariable, "gps.position")
+	if len(recs) != 1 || recs[0].Node != "uav1" {
+		t.Fatalf("Lookup = %+v", recs)
+	}
+	if d.ProviderCount(KindFunction, "camera.prepare") != 1 {
+		t.Error("function provider missing")
+	}
+	if got := d.Lookup(KindVariable, "nope"); len(got) != 0 {
+		t.Error("unknown name must be empty")
+	}
+	if names := d.Names(KindVariable); len(names) != 1 || names[0] != "gps.position" {
+		t.Errorf("Names = %v", names)
+	}
+	if d.Load("uav1") != 0.25 {
+		t.Errorf("Load = %v", d.Load("uav1"))
+	}
+}
+
+func TestDirectoryWithdrawnRecordRemoved(t *testing.T) {
+	d := NewDirectory(time.Second)
+	now := time.Now()
+	d.Apply(sampleAnnouncement(), now)
+	// Second announcement without the file resource.
+	a := sampleAnnouncement()
+	a.Records = a.Records[:4]
+	if changed := d.Apply(a, now); !changed {
+		t.Error("withdrawal must report change")
+	}
+	if d.ProviderCount(KindFile, "photo.1") != 0 {
+		t.Error("withdrawn record still cached")
+	}
+}
+
+func TestDirectoryStaleEpochRejected(t *testing.T) {
+	d := NewDirectory(time.Second)
+	now := time.Now()
+	d.Apply(sampleAnnouncement(), now)
+	old := sampleAnnouncement()
+	old.Epoch = 1
+	old.Records = nil
+	if changed := d.Apply(old, now); changed {
+		t.Error("stale epoch must be ignored")
+	}
+	if d.ProviderCount(KindVariable, "gps.position") != 1 {
+		t.Error("stale epoch wiped records")
+	}
+}
+
+func TestDirectoryRemoveNode(t *testing.T) {
+	d := NewDirectory(time.Second)
+	now := time.Now()
+	d.Apply(sampleAnnouncement(), now)
+	b := sampleAnnouncement()
+	b.Node = "uav2"
+	for i := range b.Records {
+		b.Records[i].Node = "uav2"
+	}
+	d.Apply(b, now)
+	if d.ProviderCount(KindVariable, "gps.position") != 2 {
+		t.Fatal("expected two providers")
+	}
+	d.RemoveNode("uav1")
+	recs := d.Lookup(KindVariable, "gps.position")
+	if len(recs) != 1 || recs[0].Node != "uav2" {
+		t.Errorf("after RemoveNode: %+v", recs)
+	}
+}
+
+func TestDirectoryExpire(t *testing.T) {
+	d := NewDirectory(50 * time.Millisecond)
+	now := time.Now()
+	d.Apply(sampleAnnouncement(), now)
+	stale := d.Expire(now.Add(25 * time.Millisecond))
+	if len(stale) != 0 {
+		t.Errorf("premature expiry: %v", stale)
+	}
+	stale = d.Expire(now.Add(100 * time.Millisecond))
+	if len(stale) != 1 || stale[0] != "uav1" {
+		t.Errorf("Expire = %v", stale)
+	}
+	if d.ProviderCount(KindVariable, "gps.position") != 0 {
+		t.Error("expired record still cached")
+	}
+}
+
+func twoProviderDirectory(t *testing.T, loadA, loadB float64) *Directory {
+	t.Helper()
+	d := NewDirectory(time.Minute)
+	now := time.Now()
+	a := &Announcement{Node: "nodeA", Epoch: 1, Load: loadA, Records: []Record{
+		{Kind: KindFunction, Name: "fn", Service: "s", Node: "nodeA"},
+	}}
+	b := &Announcement{Node: "nodeB", Epoch: 1, Load: loadB, Records: []Record{
+		{Kind: KindFunction, Name: "fn", Service: "s", Node: "nodeB"},
+	}}
+	d.Apply(a, now)
+	d.Apply(b, now)
+	return d
+}
+
+func TestSelectDynamicRoundRobin(t *testing.T) {
+	d := twoProviderDirectory(t, 0.1, 0.1)
+	seen := map[transport.NodeID]int{}
+	for i := 0; i < 10; i++ {
+		rec, err := d.Select(KindFunction, "fn", qos.BindDynamic, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[rec.Node]++
+	}
+	if seen["nodeA"] != 5 || seen["nodeB"] != 5 {
+		t.Errorf("round robin skewed: %v", seen)
+	}
+}
+
+func TestSelectDynamicLeastLoaded(t *testing.T) {
+	d := twoProviderDirectory(t, 0.9, 0.1)
+	for i := 0; i < 6; i++ {
+		rec, err := d.Select(KindFunction, "fn", qos.BindDynamic, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Node != "nodeB" {
+			t.Fatalf("call routed to loaded node on try %d", i)
+		}
+	}
+}
+
+func TestSelectStaticPinning(t *testing.T) {
+	d := twoProviderDirectory(t, 0.5, 0.5)
+	rec, err := d.Select(KindFunction, "fn", qos.BindStatic, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pin := rec.Node
+	for i := 0; i < 5; i++ {
+		got, err := d.Select(KindFunction, "fn", qos.BindStatic, pin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Node != pin {
+			t.Fatal("static binding moved while pin alive")
+		}
+	}
+	// Pin dies: fail over to the survivor (§4.3 redundancy).
+	d.RemoveNode(pin)
+	got, err := d.Select(KindFunction, "fn", qos.BindStatic, pin)
+	if err != nil {
+		t.Fatalf("failover: %v", err)
+	}
+	if got.Node == pin {
+		t.Error("selected dead pin")
+	}
+}
+
+func TestSelectNotFound(t *testing.T) {
+	d := NewDirectory(time.Minute)
+	if _, err := d.Select(KindFunction, "ghost", qos.BindDynamic, ""); !errors.Is(err, ErrNotFound) {
+		t.Errorf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	l := NewLiveness(100 * time.Millisecond)
+	now := time.Now()
+	l.Touch("a", now)
+	l.Touch("b", now)
+	if !l.Alive("a", now) {
+		t.Error("a must be alive")
+	}
+	if l.Alive("ghost", now) {
+		t.Error("unknown node must not be alive")
+	}
+	// b keeps heartbeating; a goes silent.
+	l.Touch("b", now.Add(90*time.Millisecond))
+	failed := l.Sweep(now.Add(150 * time.Millisecond))
+	if len(failed) != 1 || failed[0] != "a" {
+		t.Errorf("Sweep = %v", failed)
+	}
+	// Reported once only (b is still within its deadline at +185ms).
+	if again := l.Sweep(now.Add(185 * time.Millisecond)); len(again) != 0 {
+		t.Errorf("second sweep = %v", again)
+	}
+	if peers := l.Peers(); len(peers) != 1 || peers[0] != "b" {
+		t.Errorf("Peers = %v", peers)
+	}
+	l.Forget("b")
+	if len(l.Peers()) != 0 {
+		t.Error("Forget failed")
+	}
+}
+
+func TestLivenessDefaultDeadline(t *testing.T) {
+	l := NewLiveness(0)
+	now := time.Now()
+	l.Touch("x", now)
+	if !l.Alive("x", now.Add(DefaultFailureDeadline)) {
+		t.Error("node at exactly the deadline must still be alive")
+	}
+	if l.Alive("x", now.Add(DefaultFailureDeadline+time.Millisecond)) {
+		t.Error("node past deadline must be dead")
+	}
+}

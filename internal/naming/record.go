@@ -1,0 +1,156 @@
+// Package naming implements the paper's §3 "Name management": services are
+// addressed by name, containers discover the real network location of named
+// resources, cache the bindings (the container "acts as a proxy cache for
+// the services it contains"), invalidate them when a provider fails, and
+// choose among redundant providers statically or dynamically (§4.3).
+package naming
+
+import (
+	"errors"
+	"fmt"
+
+	"uavmw/internal/encoding"
+	"uavmw/internal/transport"
+)
+
+// Kind classifies a named resource.
+type Kind uint8
+
+// Resource kinds.
+const (
+	KindService  Kind = iota + 1 // a whole service
+	KindVariable                 // §4.1 published variable
+	KindEvent                    // §4.2 event topic
+	KindFunction                 // §4.3 callable function
+	KindFile                     // §4.4 file resource
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindService:
+		return "service"
+	case KindVariable:
+		return "variable"
+	case KindEvent:
+		return "event"
+	case KindFunction:
+		return "function"
+	case KindFile:
+		return "file"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Valid reports whether k is a defined kind.
+func (k Kind) Valid() bool { return k >= KindService && k <= KindFile }
+
+// Record describes one named resource offered by a provider node.
+type Record struct {
+	// Kind of resource.
+	Kind Kind
+	// Name is the global resource name, e.g. "gps.position".
+	Name string
+	// Service is the providing service's name on that node.
+	Service string
+	// Node is the provider's network identity.
+	Node transport.NodeID
+	// TypeSig is the payload (or return) type signature for compatibility
+	// checking; empty when not applicable.
+	TypeSig string
+	// ArgSig is the function argument type signature (functions only).
+	ArgSig string
+}
+
+// Announcement is the periodic container broadcast (§3 "notifying the rest
+// of containers about changes in the services status"): the node's full
+// resource offer plus a load figure for least-loaded call routing.
+type Announcement struct {
+	// Node is the announcing container's node id.
+	Node transport.NodeID
+	// Epoch increments each container restart so stale records from a
+	// previous incarnation lose to fresh ones.
+	Epoch uint64
+	// Load is a normalized utilization figure in [0,1] used by dynamic
+	// call binding.
+	Load float64
+	// Records is the complete resource offer of the node.
+	Records []Record
+}
+
+// ErrBadAnnouncement tags decode failures.
+var ErrBadAnnouncement = errors.New("bad announcement")
+
+const announceVersion = 1
+
+// EncodeAnnouncement serializes a.
+func EncodeAnnouncement(a *Announcement) ([]byte, error) {
+	if a.Node == "" {
+		return nil, fmt.Errorf("naming: empty node: %w", ErrBadAnnouncement)
+	}
+	w := encoding.NewWriter(64 + 48*len(a.Records))
+	w.Uint8(announceVersion)
+	w.String(string(a.Node))
+	w.Uint64(a.Epoch)
+	w.Float64(a.Load)
+	w.Uint32(uint32(len(a.Records)))
+	for i, rec := range a.Records {
+		if !rec.Kind.Valid() {
+			return nil, fmt.Errorf("naming: record %d kind %d: %w", i, rec.Kind, ErrBadAnnouncement)
+		}
+		if rec.Name == "" {
+			return nil, fmt.Errorf("naming: record %d unnamed: %w", i, ErrBadAnnouncement)
+		}
+		w.Uint8(uint8(rec.Kind))
+		w.String(rec.Name)
+		w.String(rec.Service)
+		w.String(rec.TypeSig)
+		w.String(rec.ArgSig)
+	}
+	return w.Bytes(), nil
+}
+
+// DecodeAnnouncement parses data. Every record's Node field is filled from
+// the announcement header.
+func DecodeAnnouncement(data []byte) (*Announcement, error) {
+	r := encoding.NewReader(data)
+	if v := r.Uint8(); v != announceVersion {
+		return nil, fmt.Errorf("naming: version %d: %w", v, ErrBadAnnouncement)
+	}
+	a := &Announcement{}
+	a.Node = transport.NodeID(r.String())
+	a.Epoch = r.Uint64()
+	a.Load = r.Float64()
+	n := int(r.Uint32())
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("naming: header: %w", err)
+	}
+	if a.Node == "" {
+		return nil, fmt.Errorf("naming: empty node: %w", ErrBadAnnouncement)
+	}
+	if n > 1<<16 {
+		return nil, fmt.Errorf("naming: %d records: %w", n, ErrBadAnnouncement)
+	}
+	a.Records = make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		var rec Record
+		rec.Kind = Kind(r.Uint8())
+		rec.Name = r.String()
+		rec.Service = r.String()
+		rec.TypeSig = r.String()
+		rec.ArgSig = r.String()
+		rec.Node = a.Node
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("naming: record %d: %w", i, err)
+		}
+		if !rec.Kind.Valid() || rec.Name == "" {
+			return nil, fmt.Errorf("naming: record %d invalid: %w", i, ErrBadAnnouncement)
+		}
+		a.Records = append(a.Records, rec)
+	}
+	if err := r.ExpectEOF(); err != nil {
+		return nil, fmt.Errorf("naming: %w", err)
+	}
+	return a, nil
+}

@@ -1,0 +1,523 @@
+// Package netsim provides a deterministic simulated network implementing
+// transport.Transport. The paper's efficiency arguments (§4.1 multicast
+// bandwidth, §4.2 ARQ-vs-TCP under loss, §4.4 multicast file transfer)
+// depend on controlled loss, latency and bandwidth, which a shared CI host
+// cannot provide; netsim supplies them with a seeded RNG so experiments
+// E2–E4 are reproducible run to run.
+//
+// The model: every node attaches to a shared medium. A send is serialized
+// at the sender according to the configured bandwidth, crosses the medium
+// with latency+jitter, and is then delivered (or lost) independently per
+// receiver. A multicast send occupies the medium once however many nodes
+// receive it — the property experiment E3 measures. Directed per-link
+// overrides support asymmetric links and partitions.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"uavmw/internal/transport"
+)
+
+// Config sets network-wide defaults.
+type Config struct {
+	// Seed makes loss/jitter/duplication draws reproducible. Zero means
+	// seed 1.
+	Seed int64
+	// Latency is the one-way propagation delay applied to every packet.
+	Latency time.Duration
+	// Jitter adds a uniform random [0,Jitter) to each delivery.
+	Jitter time.Duration
+	// Loss is the probability in [0,1] that a given receiver misses a
+	// packet.
+	Loss float64
+	// Duplicate is the probability in [0,1] that a receiver sees a packet
+	// twice.
+	Duplicate float64
+	// BandwidthBPS caps each sender's transmission rate in bytes/second;
+	// 0 means unlimited.
+	BandwidthBPS int64
+}
+
+// LinkConfig overrides Config for one directed sender→receiver pair.
+type LinkConfig struct {
+	// Latency overrides the network latency when >0.
+	Latency time.Duration
+	// Jitter overrides the network jitter when >0.
+	Jitter time.Duration
+	// Loss overrides the network loss when >=0; use -1 to inherit.
+	Loss float64
+	// Duplicate overrides the network duplication when >=0; -1 inherits.
+	Duplicate float64
+	// Blocked drops every packet on the link (partition).
+	Blocked bool
+}
+
+// InheritLink returns a LinkConfig that inherits every probability field.
+func InheritLink() LinkConfig { return LinkConfig{Loss: -1, Duplicate: -1} }
+
+// Net is the simulated medium. Create nodes with Node, wire faults with
+// SetLink/Partition, and Close when done.
+type Net struct {
+	cfg Config
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	nodes    map[transport.NodeID]*Node
+	groups   map[string]map[transport.NodeID]*Node
+	links    map[linkKey]LinkConfig
+	nextFree map[transport.NodeID]time.Time // per-sender medium occupancy
+	events   eventHeap
+	seq      uint64 // tiebreaker for equal delivery times
+	closed   bool
+
+	wake chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	wirePackets atomic.Uint64
+	wireBytes   atomic.Uint64
+	lost        atomic.Uint64
+}
+
+type linkKey struct {
+	from, to transport.NodeID
+}
+
+// New creates a simulated network.
+func New(cfg Config) *Net {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	n := &Net{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(seed)),
+		nodes:    make(map[transport.NodeID]*Node),
+		groups:   make(map[string]map[transport.NodeID]*Node),
+		links:    make(map[linkKey]LinkConfig),
+		nextFree: make(map[transport.NodeID]time.Time),
+		wake:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	n.wg.Add(1)
+	go n.run()
+	return n
+}
+
+// Node attaches a new node to the medium.
+func (n *Net) Node(id transport.NodeID) (*Node, error) {
+	if id == "" {
+		return nil, fmt.Errorf("netsim: empty node id: %w", transport.ErrUnknownNode)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, fmt.Errorf("netsim: %w", transport.ErrClosed)
+	}
+	if _, exists := n.nodes[id]; exists {
+		return nil, fmt.Errorf("netsim: %q: %w", id, transport.ErrDuplicateNode)
+	}
+	node := &Node{net: n, id: id}
+	n.nodes[id] = node
+	return node, nil
+}
+
+// SetLink installs a directed override from→to.
+func (n *Net) SetLink(from, to transport.NodeID, lc LinkConfig) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[linkKey{from, to}] = lc
+}
+
+// ClearLink removes a directed override.
+func (n *Net) ClearLink(from, to transport.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.links, linkKey{from, to})
+}
+
+// Partition blocks both directions between a and b.
+func (n *Net) Partition(a, b transport.NodeID) {
+	lc := InheritLink()
+	lc.Blocked = true
+	n.SetLink(a, b, lc)
+	n.SetLink(b, a, lc)
+}
+
+// Heal removes both directed overrides between a and b.
+func (n *Net) Heal(a, b transport.NodeID) {
+	n.ClearLink(a, b)
+	n.ClearLink(b, a)
+}
+
+// WireStats reports medium-level traffic: packets and bytes that occupied
+// the medium (multicast counted once) and per-receiver losses.
+func (n *Net) WireStats() (packets, bytes, lost uint64) {
+	return n.wirePackets.Load(), n.wireBytes.Load(), n.lost.Load()
+}
+
+// ResetWireStats zeroes the medium counters between experiment phases.
+func (n *Net) ResetWireStats() {
+	n.wirePackets.Store(0)
+	n.wireBytes.Store(0)
+	n.lost.Store(0)
+}
+
+// Close stops the delivery engine. Pending deliveries are discarded.
+func (n *Net) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	n.mu.Unlock()
+	close(n.done)
+	n.wg.Wait()
+}
+
+// event is one scheduled delivery.
+type event struct {
+	at   time.Time
+	seq  uint64
+	dst  *Node
+	pkt  transport.Packet
+	dupe bool // diagnostic: this is a duplicated copy
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at.Equal(h[j].at) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].at.Before(h[j].at)
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// run is the single delivery goroutine: it pops events in timestamp order
+// and invokes receiver handlers.
+func (n *Net) run() {
+	defer n.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		n.mu.Lock()
+		var next *event
+		if len(n.events) > 0 {
+			next = n.events[0]
+		}
+		n.mu.Unlock()
+
+		if next == nil {
+			select {
+			case <-n.done:
+				return
+			case <-n.wake:
+				continue
+			}
+		}
+
+		delay := time.Until(next.at)
+		if delay > 0 {
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(delay)
+			select {
+			case <-n.done:
+				return
+			case <-n.wake:
+				continue // earlier event may have arrived
+			case <-timer.C:
+			}
+		}
+
+		n.mu.Lock()
+		if len(n.events) == 0 || n.events[0] != next {
+			n.mu.Unlock()
+			continue
+		}
+		heap.Pop(&n.events)
+		n.mu.Unlock()
+
+		next.dst.deliver(next.pkt)
+	}
+}
+
+func (n *Net) signal() {
+	select {
+	case n.wake <- struct{}{}:
+	default:
+	}
+}
+
+// linkFor resolves effective parameters for a directed pair.
+func (n *Net) linkFor(from, to transport.NodeID) (latency, jitter time.Duration, loss, dup float64, blocked bool) {
+	latency, jitter = n.cfg.Latency, n.cfg.Jitter
+	loss, dup = n.cfg.Loss, n.cfg.Duplicate
+	lc, ok := n.links[linkKey{from, to}]
+	if !ok {
+		return latency, jitter, loss, dup, false
+	}
+	if lc.Latency > 0 {
+		latency = lc.Latency
+	}
+	if lc.Jitter > 0 {
+		jitter = lc.Jitter
+	}
+	if lc.Loss >= 0 {
+		loss = lc.Loss
+	}
+	if lc.Duplicate >= 0 {
+		dup = lc.Duplicate
+	}
+	return latency, jitter, loss, dup, lc.Blocked
+}
+
+// transmit schedules delivery of payload from src to each receiver. Called
+// with the medium occupied once (multicast) regardless of receiver count.
+func (n *Net) transmit(src *Node, receivers []*Node, pkt transport.Packet) {
+	now := time.Now()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+
+	// Sender-side serialization: the medium is occupied for size/bw.
+	start := now
+	if free, ok := n.nextFree[src.id]; ok && free.After(start) {
+		start = free
+	}
+	var txDelay time.Duration
+	if n.cfg.BandwidthBPS > 0 {
+		txDelay = time.Duration(float64(len(pkt.Payload)) / float64(n.cfg.BandwidthBPS) * float64(time.Second))
+	}
+	n.nextFree[src.id] = start.Add(txDelay)
+
+	n.wirePackets.Add(1)
+	n.wireBytes.Add(uint64(len(pkt.Payload)))
+
+	for _, dst := range receivers {
+		latency, jitter, loss, dup, blocked := n.linkFor(src.id, dst.id)
+		if blocked {
+			n.lost.Add(1)
+			continue
+		}
+		if loss > 0 && n.rng.Float64() < loss {
+			n.lost.Add(1)
+			dst.stats.dropped.Add(1)
+			continue
+		}
+		copies := 1
+		if dup > 0 && n.rng.Float64() < dup {
+			copies = 2
+		}
+		for c := 0; c < copies; c++ {
+			delay := latency
+			if jitter > 0 {
+				delay += time.Duration(n.rng.Int63n(int64(jitter)))
+			}
+			n.seq++
+			ev := &event{
+				at:   start.Add(txDelay + delay),
+				seq:  n.seq,
+				dst:  dst,
+				pkt:  pkt,
+				dupe: c > 0,
+			}
+			heap.Push(&n.events, ev)
+		}
+	}
+	n.signal()
+}
+
+// membersLocked snapshots group membership. Caller must not hold n.mu.
+func (n *Net) members(group string) []*Node {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	set := n.groups[group]
+	out := make([]*Node, 0, len(set))
+	for _, node := range set {
+		out = append(out, node)
+	}
+	return out
+}
+
+// Node is one simulated host implementing transport.Transport.
+type Node struct {
+	net *Net
+	id  transport.NodeID
+
+	mu      sync.Mutex
+	handler transport.Handler
+	closed  bool
+
+	stats nodeCounters
+}
+
+type nodeCounters struct {
+	packetsSent atomic.Uint64
+	bytesSent   atomic.Uint64
+	packetsRecv atomic.Uint64
+	bytesRecv   atomic.Uint64
+	dropped     atomic.Uint64
+}
+
+var _ transport.Transport = (*Node)(nil)
+var _ transport.Multicaster = (*Node)(nil)
+
+// Node implements Transport.
+func (d *Node) Node() transport.NodeID { return d.id }
+
+// NativeMulticast implements transport.Multicaster.
+func (d *Node) NativeMulticast() bool { return true }
+
+// SetHandler implements Transport.
+func (d *Node) SetHandler(h transport.Handler) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.handler = h
+}
+
+// Send implements Transport.
+func (d *Node) Send(to transport.NodeID, payload []byte) error {
+	if d.isClosed() {
+		return fmt.Errorf("netsim: send from %q: %w", d.id, transport.ErrClosed)
+	}
+	d.net.mu.Lock()
+	dst := d.net.nodes[to]
+	d.net.mu.Unlock()
+	if dst == nil {
+		return fmt.Errorf("netsim: send to %q: %w", to, transport.ErrUnknownNode)
+	}
+	d.stats.packetsSent.Add(1)
+	d.stats.bytesSent.Add(uint64(len(payload)))
+	d.net.transmit(d, []*Node{dst}, transport.Packet{From: d.id, To: to, Payload: payload})
+	return nil
+}
+
+// SendGroup implements Transport.
+func (d *Node) SendGroup(group string, payload []byte) error {
+	if d.isClosed() {
+		return fmt.Errorf("netsim: send from %q: %w", d.id, transport.ErrClosed)
+	}
+	members := d.net.members(group)
+	// No self-loopback: like the UDP transport, local delivery is the
+	// container's bypass path, not the network's.
+	recv := members[:0]
+	for _, m := range members {
+		if m != d {
+			recv = append(recv, m)
+		}
+	}
+	d.stats.packetsSent.Add(1)
+	d.stats.bytesSent.Add(uint64(len(payload)))
+	d.net.transmit(d, recv, transport.Packet{From: d.id, Group: group, Payload: payload})
+	return nil
+}
+
+// Join implements Transport.
+func (d *Node) Join(group string) error {
+	if d.isClosed() {
+		return fmt.Errorf("netsim: join from %q: %w", d.id, transport.ErrClosed)
+	}
+	d.net.mu.Lock()
+	defer d.net.mu.Unlock()
+	set := d.net.groups[group]
+	if set == nil {
+		set = make(map[transport.NodeID]*Node)
+		d.net.groups[group] = set
+	}
+	set[d.id] = d
+	return nil
+}
+
+// Leave implements Transport.
+func (d *Node) Leave(group string) error {
+	d.net.mu.Lock()
+	defer d.net.mu.Unlock()
+	set := d.net.groups[group]
+	delete(set, d.id)
+	if len(set) == 0 {
+		delete(d.net.groups, group)
+	}
+	return nil
+}
+
+// Stats implements Transport.
+func (d *Node) Stats() transport.Stats {
+	return transport.Stats{
+		PacketsSent:    d.stats.packetsSent.Load(),
+		BytesSent:      d.stats.bytesSent.Load(),
+		PacketsWire:    d.stats.packetsSent.Load(),
+		BytesWire:      d.stats.bytesSent.Load(),
+		PacketsRecv:    d.stats.packetsRecv.Load(),
+		BytesRecv:      d.stats.bytesRecv.Load(),
+		PacketsDropped: d.stats.dropped.Load(),
+	}
+}
+
+// Close implements Transport: detaches the node; in-flight packets to it
+// are dropped at delivery.
+func (d *Node) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.mu.Unlock()
+
+	d.net.mu.Lock()
+	delete(d.net.nodes, d.id)
+	for group, set := range d.net.groups {
+		delete(set, d.id)
+		if len(set) == 0 {
+			delete(d.net.groups, group)
+		}
+	}
+	d.net.mu.Unlock()
+	return nil
+}
+
+func (d *Node) isClosed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.closed
+}
+
+// deliver runs on the net's delivery goroutine.
+func (d *Node) deliver(pkt transport.Packet) {
+	d.mu.Lock()
+	h := d.handler
+	closed := d.closed
+	d.mu.Unlock()
+	if closed || h == nil {
+		d.stats.dropped.Add(1)
+		return
+	}
+	d.stats.packetsRecv.Add(1)
+	d.stats.bytesRecv.Add(uint64(len(pkt.Payload)))
+	h(pkt)
+}

@@ -1,0 +1,392 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"uavmw/internal/transport"
+)
+
+type collector struct {
+	mu   sync.Mutex
+	pkts []transport.Packet
+}
+
+func (c *collector) handler() transport.Handler {
+	return func(pkt transport.Packet) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.pkts = append(c.pkts, pkt)
+	}
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pkts)
+}
+
+func (c *collector) wait(t *testing.T, n int, timeout time.Duration) []transport.Packet {
+	t.Helper()
+	deadline := time.After(timeout)
+	for {
+		c.mu.Lock()
+		if len(c.pkts) >= n {
+			out := make([]transport.Packet, len(c.pkts))
+			copy(out, c.pkts)
+			c.mu.Unlock()
+			return out
+		}
+		c.mu.Unlock()
+		select {
+		case <-deadline:
+			t.Fatalf("timeout waiting for %d packets, got %d", n, c.count())
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func TestUnicastDelivery(t *testing.T) {
+	net := New(Config{})
+	defer net.Close()
+	a, err := net.Node("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Node("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := &collector{}
+	b.SetHandler(col.handler())
+
+	if err := a.Send("b", []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	pkts := col.wait(t, 1, time.Second)
+	if pkts[0].From != "a" || string(pkts[0].Payload) != "hi" {
+		t.Errorf("packet = %+v", pkts[0])
+	}
+}
+
+func TestLatencyApplied(t *testing.T) {
+	net := New(Config{Latency: 30 * time.Millisecond})
+	defer net.Close()
+	a, _ := net.Node("a")
+	b, _ := net.Node("b")
+	col := &collector{}
+	b.SetHandler(col.handler())
+
+	start := time.Now()
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	col.wait(t, 1, time.Second)
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("delivered in %v, want >= ~30ms", elapsed)
+	}
+}
+
+func TestLossDeterministic(t *testing.T) {
+	// With a fixed seed the number of losses over N sends is exact.
+	run := func() int {
+		net := New(Config{Loss: 0.3, Seed: 42})
+		defer net.Close()
+		a, _ := net.Node("a")
+		b, _ := net.Node("b")
+		col := &collector{}
+		b.SetHandler(col.handler())
+		for i := 0; i < 200; i++ {
+			if err := a.Send("b", []byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// All events share delivery time ~now; give the engine time.
+		time.Sleep(100 * time.Millisecond)
+		return col.count()
+	}
+	n1, n2 := run(), run()
+	if n1 != n2 {
+		t.Errorf("same seed produced different loss: %d vs %d", n1, n2)
+	}
+	if n1 < 100 || n1 > 180 {
+		t.Errorf("loss rate implausible: delivered %d of 200 at 30%% loss", n1)
+	}
+}
+
+func TestMulticastOneWirePacket(t *testing.T) {
+	net := New(Config{})
+	defer net.Close()
+	pub, _ := net.Node("pub")
+	const group = "vars"
+	cols := make([]*collector, 4)
+	for i := range cols {
+		sub, err := net.Node(transport.NodeID(fmt.Sprintf("s%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cols[i] = &collector{}
+		sub.SetHandler(cols[i].handler())
+		if err := sub.Join(group); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pub.SendGroup(group, []byte("sample")); err != nil {
+		t.Fatal(err)
+	}
+	for i, col := range cols {
+		pkts := col.wait(t, 1, time.Second)
+		if pkts[0].Group != group {
+			t.Errorf("sub%d packet = %+v", i, pkts[0])
+		}
+	}
+	packets, bytes, _ := net.WireStats()
+	if packets != 1 {
+		t.Errorf("wire packets = %d, want 1 (multicast)", packets)
+	}
+	if bytes != uint64(len("sample")) {
+		t.Errorf("wire bytes = %d", bytes)
+	}
+}
+
+func TestMulticastNoSelfLoopback(t *testing.T) {
+	net := New(Config{})
+	defer net.Close()
+	a, _ := net.Node("a")
+	col := &collector{}
+	a.SetHandler(col.handler())
+	if err := a.Join("g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SendGroup("g", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if col.count() != 0 {
+		t.Error("sender must not hear its own multicast")
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	net := New(Config{})
+	defer net.Close()
+	a, _ := net.Node("a")
+	b, _ := net.Node("b")
+	col := &collector{}
+	b.SetHandler(col.handler())
+
+	net.Partition("a", "b")
+	if err := a.Send("b", []byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if col.count() != 0 {
+		t.Error("partitioned packet delivered")
+	}
+	_, _, lost := net.WireStats()
+	if lost == 0 {
+		t.Error("partition loss not counted")
+	}
+
+	net.Heal("a", "b")
+	if err := a.Send("b", []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	pkts := col.wait(t, 1, time.Second)
+	if string(pkts[0].Payload) != "ok" {
+		t.Errorf("post-heal packet = %+v", pkts[0])
+	}
+}
+
+func TestPerLinkLossOverride(t *testing.T) {
+	net := New(Config{Seed: 7})
+	defer net.Close()
+	a, _ := net.Node("a")
+	b, _ := net.Node("b")
+	c, _ := net.Node("c")
+	colB := &collector{}
+	b.SetHandler(colB.handler())
+	colC := &collector{}
+	c.SetHandler(colC.handler())
+
+	lc := InheritLink()
+	lc.Loss = 1.0
+	net.SetLink("a", "b", lc)
+
+	for i := 0; i < 10; i++ {
+		if err := a.Send("b", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Send("c", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	colC.wait(t, 10, time.Second)
+	if colB.count() != 0 {
+		t.Errorf("lossy link delivered %d packets", colB.count())
+	}
+}
+
+func TestDuplicateDelivery(t *testing.T) {
+	net := New(Config{Duplicate: 1.0, Seed: 3})
+	defer net.Close()
+	a, _ := net.Node("a")
+	b, _ := net.Node("b")
+	col := &collector{}
+	b.SetHandler(col.handler())
+	if err := a.Send("b", []byte("dup")); err != nil {
+		t.Fatal(err)
+	}
+	pkts := col.wait(t, 2, time.Second)
+	if len(pkts) < 2 {
+		t.Errorf("expected duplicate delivery, got %d", len(pkts))
+	}
+}
+
+func TestBandwidthSerialization(t *testing.T) {
+	// 10 KB at 100 KB/s should take ~100 ms to serialize.
+	net := New(Config{BandwidthBPS: 100_000})
+	defer net.Close()
+	a, _ := net.Node("a")
+	b, _ := net.Node("b")
+	col := &collector{}
+	b.SetHandler(col.handler())
+
+	start := time.Now()
+	if err := a.Send("b", make([]byte, 10_000)); err != nil {
+		t.Fatal(err)
+	}
+	col.wait(t, 1, 2*time.Second)
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Errorf("10KB at 100KB/s delivered in %v, want >= ~100ms", elapsed)
+	}
+}
+
+func TestNodeCloseDropsTraffic(t *testing.T) {
+	net := New(Config{})
+	defer net.Close()
+	a, _ := net.Node("a")
+	b, _ := net.Node("b")
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Error("Close must be idempotent")
+	}
+	if err := a.Send("b", []byte("x")); !errors.Is(err, transport.ErrUnknownNode) {
+		t.Errorf("send to closed node: %v", err)
+	}
+	if err := b.Send("a", []byte("x")); !errors.Is(err, transport.ErrClosed) {
+		t.Errorf("send from closed node: %v", err)
+	}
+	// Node id reusable after close.
+	if _, err := net.Node("b"); err != nil {
+		t.Errorf("reuse id: %v", err)
+	}
+}
+
+func TestNetCloseStopsDelivery(t *testing.T) {
+	net := New(Config{Latency: 50 * time.Millisecond})
+	a, _ := net.Node("a")
+	b, _ := net.Node("b")
+	col := &collector{}
+	b.SetHandler(col.handler())
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	net.Close()
+	net.Close() // idempotent
+	time.Sleep(80 * time.Millisecond)
+	if col.count() != 0 {
+		t.Error("delivery after Close")
+	}
+	if _, err := net.Node("late"); !errors.Is(err, transport.ErrClosed) {
+		t.Errorf("Node after close: %v", err)
+	}
+}
+
+func TestDuplicateNodeID(t *testing.T) {
+	net := New(Config{})
+	defer net.Close()
+	if _, err := net.Node("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Node("a"); !errors.Is(err, transport.ErrDuplicateNode) {
+		t.Errorf("duplicate: %v", err)
+	}
+	if _, err := net.Node(""); err == nil {
+		t.Error("empty id must fail")
+	}
+}
+
+func TestJitterReordersButDelivers(t *testing.T) {
+	net := New(Config{Jitter: 10 * time.Millisecond, Seed: 11})
+	defer net.Close()
+	a, _ := net.Node("a")
+	b, _ := net.Node("b")
+	col := &collector{}
+	b.SetHandler(col.handler())
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := a.Send("b", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkts := col.wait(t, n, 2*time.Second)
+	if len(pkts) != n {
+		t.Fatalf("delivered %d of %d", len(pkts), n)
+	}
+	seen := make(map[byte]bool, n)
+	for _, pkt := range pkts {
+		seen[pkt.Payload[0]] = true
+	}
+	if len(seen) != n {
+		t.Errorf("lost packets under pure jitter: %d unique", len(seen))
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	net := New(Config{})
+	defer net.Close()
+	a, _ := net.Node("a")
+	b, _ := net.Node("b")
+	col := &collector{}
+	b.SetHandler(col.handler())
+	if err := a.Send("b", []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	col.wait(t, 1, time.Second)
+	sa, sb := a.Stats(), b.Stats()
+	if sa.PacketsSent != 1 || sa.BytesSent != 3 {
+		t.Errorf("sender stats %+v", sa)
+	}
+	if sb.PacketsRecv != 1 || sb.BytesRecv != 3 {
+		t.Errorf("receiver stats %+v", sb)
+	}
+	net.ResetWireStats()
+	p, by, l := net.WireStats()
+	if p != 0 || by != 0 || l != 0 {
+		t.Error("ResetWireStats did not zero counters")
+	}
+}
+
+func TestNoHandlerCountsDrop(t *testing.T) {
+	net := New(Config{})
+	defer net.Close()
+	a, _ := net.Node("a")
+	b, _ := net.Node("b")
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(time.Second)
+	for b.Stats().PacketsDropped == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("drop not counted")
+		case <-time.After(time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package presentation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse converts a canonical signature string (the syntax produced by
+// Type.String) back into a descriptor. It is the inverse of String for every
+// valid type:
+//
+//	primitives  bool i8 i16 i32 i64 u8 u16 u32 u64 f32 f64 str bytes
+//	array       [N]T
+//	vector      []T
+//	struct      {name:T,name:T,...}
+//	union       <name:T,name:void,...>
+//
+// Whitespace is permitted around tokens for hand-written signatures.
+func Parse(sig string) (*Type, error) {
+	p := &sigParser{in: sig}
+	t, err := p.parseType(0)
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.in) {
+		return nil, fmt.Errorf("presentation: trailing input %q at %d: %w", p.in[p.pos:], p.pos, ErrInvalidType)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustParse is Parse that panics on error, for package-level type literals
+// in tests and examples.
+func MustParse(sig string) *Type {
+	t, err := Parse(sig)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+type sigParser struct {
+	in  string
+	pos int
+}
+
+func (p *sigParser) errf(format string, args ...any) error {
+	msg := fmt.Sprintf(format, args...)
+	return fmt.Errorf("presentation: %s at %d in %q: %w", msg, p.pos, p.in, ErrInvalidType)
+}
+
+func (p *sigParser) skipSpace() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t' || p.in[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *sigParser) peek() byte {
+	if p.pos >= len(p.in) {
+		return 0
+	}
+	return p.in[p.pos]
+}
+
+func (p *sigParser) expect(c byte) error {
+	p.skipSpace()
+	if p.peek() != c {
+		return p.errf("expected %q", string(c))
+	}
+	p.pos++
+	return nil
+}
+
+var primitiveTokens = map[string]*Type{
+	"bool":  typeBool,
+	"i8":    typeInt8,
+	"i16":   typeInt16,
+	"i32":   typeInt32,
+	"i64":   typeInt64,
+	"u8":    typeUint8,
+	"u16":   typeUint16,
+	"u32":   typeUint32,
+	"u64":   typeUint64,
+	"f32":   typeFloat32,
+	"f64":   typeFloat64,
+	"str":   typeString,
+	"bytes": typeBytes,
+	"void":  typeVoid,
+}
+
+func (p *sigParser) parseType(depth int) (*Type, error) {
+	if depth > maxTypeDepth {
+		return nil, p.errf("nesting exceeds %d", maxTypeDepth)
+	}
+	p.skipSpace()
+	switch p.peek() {
+	case 0:
+		return nil, p.errf("unexpected end of signature")
+	case '[':
+		return p.parseSequence(depth)
+	case '{':
+		return p.parseStruct(depth)
+	case '<':
+		return p.parseUnion(depth)
+	default:
+		word := p.parseWord()
+		if word == "" {
+			return nil, p.errf("expected type")
+		}
+		t, ok := primitiveTokens[word]
+		if !ok {
+			return nil, p.errf("unknown type %q", word)
+		}
+		return t, nil
+	}
+}
+
+func (p *sigParser) parseWord() string {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		if c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.in[start:p.pos]
+}
+
+func (p *sigParser) parseSequence(depth int) (*Type, error) {
+	p.pos++ // consume '['
+	p.skipSpace()
+	if p.peek() == ']' { // vector
+		p.pos++
+		elem, err := p.parseType(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		return VectorOf(elem), nil
+	}
+	start := p.pos
+	for p.pos < len(p.in) && p.in[p.pos] >= '0' && p.in[p.pos] <= '9' {
+		p.pos++
+	}
+	if start == p.pos {
+		return nil, p.errf("expected array length")
+	}
+	n := 0
+	for _, c := range []byte(p.in[start:p.pos]) {
+		n = n*10 + int(c-'0')
+		if n > 1<<24 {
+			return nil, p.errf("array length too large")
+		}
+	}
+	if err := p.expect(']'); err != nil {
+		return nil, err
+	}
+	elem, err := p.parseType(depth + 1)
+	if err != nil {
+		return nil, err
+	}
+	return ArrayOf(n, elem), nil
+}
+
+func (p *sigParser) parseStruct(depth int) (*Type, error) {
+	p.pos++ // consume '{'
+	var fields []Field
+	for {
+		name := p.parseWord()
+		if name == "" {
+			return nil, p.errf("expected field name")
+		}
+		if err := p.expect(':'); err != nil {
+			return nil, err
+		}
+		ft, err := p.parseType(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		fields = append(fields, Field{Name: name, Type: ft})
+		p.skipSpace()
+		switch p.peek() {
+		case ',':
+			p.pos++
+		case '}':
+			p.pos++
+			return StructOf(fields...), nil
+		default:
+			return nil, p.errf("expected ',' or '}'")
+		}
+	}
+}
+
+func (p *sigParser) parseUnion(depth int) (*Type, error) {
+	p.pos++ // consume '<'
+	var cases []Case
+	for {
+		name := p.parseWord()
+		if name == "" {
+			return nil, p.errf("expected case name")
+		}
+		if err := p.expect(':'); err != nil {
+			return nil, err
+		}
+		ct, err := p.parseType(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		cases = append(cases, Case{Name: name, Type: ct})
+		p.skipSpace()
+		switch p.peek() {
+		case ',':
+			p.pos++
+		case '>':
+			p.pos++
+			return UnionOf(cases...), nil
+		default:
+			return nil, p.errf("expected ',' or '>'")
+		}
+	}
+}
+
+// FormatValue renders a canonical value in a compact human-readable form for
+// ground-station terminals and logs.
+func FormatValue(t *Type, v any) string {
+	var b strings.Builder
+	formatValue(&b, t, v)
+	return b.String()
+}
+
+func formatValue(b *strings.Builder, t *Type, v any) {
+	if t == nil {
+		fmt.Fprintf(b, "%v", v)
+		return
+	}
+	switch t.kind {
+	case KindVoid:
+		b.WriteString("∅")
+	case KindBytes:
+		if bs, ok := v.([]byte); ok {
+			fmt.Fprintf(b, "bytes[%d]", len(bs))
+			return
+		}
+		fmt.Fprintf(b, "%v", v)
+	case KindArray, KindVector:
+		s, ok := v.([]any)
+		if !ok {
+			fmt.Fprintf(b, "%v", v)
+			return
+		}
+		b.WriteByte('[')
+		for i, e := range s {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			formatValue(b, t.elem, e)
+		}
+		b.WriteByte(']')
+	case KindStruct:
+		m, ok := v.(map[string]any)
+		if !ok {
+			fmt.Fprintf(b, "%v", v)
+			return
+		}
+		b.WriteByte('{')
+		for i, f := range t.fields {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(f.Name)
+			b.WriteByte('=')
+			formatValue(b, f.Type, m[f.Name])
+		}
+		b.WriteByte('}')
+	case KindUnion:
+		u, ok := v.(Union)
+		if !ok {
+			fmt.Fprintf(b, "%v", v)
+			return
+		}
+		b.WriteString(u.Case)
+		idx := t.CaseIndex(u.Case)
+		if idx >= 0 && t.cases[idx].Type.kind != KindVoid {
+			b.WriteByte('(')
+			formatValue(b, t.cases[idx].Type, u.Value)
+			b.WriteByte(')')
+		}
+	default:
+		fmt.Fprintf(b, "%v", v)
+	}
+}

@@ -1,0 +1,73 @@
+package presentation
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry maps application-level type names (e.g. "gps.position") to
+// descriptors. Containers keep one registry and include fingerprints in
+// announcements so peers can detect incompatible payload definitions before
+// any data flows. The zero value is ready to use.
+type Registry struct {
+	mu    sync.RWMutex
+	types map[string]*Type
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register binds name to t. Re-registering the same structural type is a
+// no-op; binding a name to a different structure is an error, because a
+// silently changed payload definition is exactly the mismatch the
+// fingerprint scheme exists to catch.
+func (r *Registry) Register(name string, t *Type) error {
+	if name == "" {
+		return fmt.Errorf("presentation: empty type name: %w", ErrInvalidType)
+	}
+	if err := t.Validate(); err != nil {
+		return fmt.Errorf("register %q: %w", name, err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.types == nil {
+		r.types = make(map[string]*Type)
+	}
+	if prev, ok := r.types[name]; ok {
+		if prev.Equal(t) {
+			return nil
+		}
+		return fmt.Errorf("presentation: %q already registered as %s, cannot rebind to %s: %w",
+			name, prev, t, ErrInvalidType)
+	}
+	r.types[name] = t
+	return nil
+}
+
+// Lookup returns the descriptor bound to name.
+func (r *Registry) Lookup(name string) (*Type, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.types[name]
+	return t, ok
+}
+
+// Names returns all registered names, sorted, for diagnostics.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.types))
+	for n := range r.types {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the number of registered types.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.types)
+}

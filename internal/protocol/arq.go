@@ -1,0 +1,254 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"uavmw/internal/transport"
+)
+
+// ARQ is the application-level acknowledgment/retransmission engine the
+// paper maps events onto when they run over UDP: "a mechanism to
+// acknowledge and resend lost packets ... more efficient for event messages
+// than the generic case provided by the TCP stack" (§4.2).
+//
+// The sender side retransmits each message with exponential backoff until
+// the peer acknowledges or the retry budget is exhausted; the receiver side
+// suppresses duplicates (retransmissions of messages whose ACK was lost).
+// ARQ is message-oriented, not stream-oriented: each message is
+// acknowledged independently, so one lost packet never head-of-line blocks
+// the messages behind it — the efficiency argument experiment E2 measures.
+type ARQ struct {
+	send       SendFunc
+	timeout    time.Duration
+	maxRetries int
+	backoff    float64
+
+	mu      sync.Mutex
+	pending map[arqKey]*arqPending
+	closed  bool
+
+	stats arqCounters
+}
+
+// SendFunc transmits a raw frame to a peer; the ARQ engine owns retries.
+type SendFunc func(to transport.NodeID, frame []byte) error
+
+// ResultFunc reports the final outcome of a reliable send: nil on ACK, or
+// ErrTimeout / transport errors after the retry budget is spent.
+type ResultFunc func(err error)
+
+type arqKey struct {
+	to  transport.NodeID
+	seq uint64
+}
+
+type arqPending struct {
+	frame   []byte
+	timer   *time.Timer
+	retries int
+	result  ResultFunc
+	done    bool
+}
+
+// ARQStats is a snapshot of engine activity for the E2 experiment.
+type ARQStats struct {
+	Sent        uint64 // first transmissions
+	Retransmits uint64
+	Acked       uint64
+	Failed      uint64
+}
+
+// arqCounters is the lock-free backing store for ARQStats.
+type arqCounters struct {
+	sent        atomic.Uint64
+	retransmits atomic.Uint64
+	acked       atomic.Uint64
+	failed      atomic.Uint64
+}
+
+func (c *arqCounters) snapshot() ARQStats {
+	return ARQStats{
+		Sent:        c.sent.Load(),
+		Retransmits: c.retransmits.Load(),
+		Acked:       c.acked.Load(),
+		Failed:      c.failed.Load(),
+	}
+}
+
+// Errors.
+var (
+	// ErrTimeout reports a message that exhausted its retries unacked.
+	ErrTimeout = errors.New("arq timeout")
+	// ErrARQClosed reports use after Close.
+	ErrARQClosed = errors.New("arq closed")
+)
+
+// Defaults applied when options are zero.
+const (
+	DefaultARQTimeout = 20 * time.Millisecond
+	DefaultARQRetries = 8
+	defaultARQBackoff = 1.6
+)
+
+// ARQOption customizes the engine.
+type ARQOption func(*ARQ)
+
+// WithTimeout sets the initial retransmission timeout.
+func WithTimeout(d time.Duration) ARQOption {
+	return func(a *ARQ) {
+		if d > 0 {
+			a.timeout = d
+		}
+	}
+}
+
+// WithMaxRetries sets the retransmission budget.
+func WithMaxRetries(n int) ARQOption {
+	return func(a *ARQ) {
+		if n > 0 {
+			a.maxRetries = n
+		}
+	}
+}
+
+// WithBackoff sets the timeout multiplier between attempts (>= 1).
+func WithBackoff(f float64) ARQOption {
+	return func(a *ARQ) {
+		if f >= 1 {
+			a.backoff = f
+		}
+	}
+}
+
+// NewARQ builds an engine that transmits via send.
+func NewARQ(send SendFunc, opts ...ARQOption) *ARQ {
+	a := &ARQ{
+		send:       send,
+		timeout:    DefaultARQTimeout,
+		maxRetries: DefaultARQRetries,
+		backoff:    defaultARQBackoff,
+		pending:    make(map[arqKey]*arqPending),
+	}
+	for _, opt := range opts {
+		opt(a)
+	}
+	return a
+}
+
+// Stats snapshots the engine counters.
+func (a *ARQ) Stats() ARQStats { return a.stats.snapshot() }
+
+// Send transmits frame to peer reliably. seq must be unique per (peer,
+// message); result is invoked exactly once from a timer or Ack goroutine.
+func (a *ARQ) Send(to transport.NodeID, seq uint64, frame []byte, result ResultFunc) error {
+	key := arqKey{to: to, seq: seq}
+	p := &arqPending{frame: frame, result: result}
+
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return fmt.Errorf("protocol: %w", ErrARQClosed)
+	}
+	if _, dup := a.pending[key]; dup {
+		a.mu.Unlock()
+		return fmt.Errorf("protocol: duplicate in-flight seq %d to %q", seq, to)
+	}
+	a.pending[key] = p
+	p.timer = time.AfterFunc(a.timeout, func() { a.retransmit(key, 1) })
+	a.mu.Unlock()
+
+	a.stats.sent.Add(1)
+
+	if err := a.send(to, frame); err != nil {
+		// First transmission failed outright (unknown node, closed
+		// transport): fail fast rather than burning the retry budget.
+		a.finish(key, fmt.Errorf("protocol: arq first send: %w", err))
+		return nil // outcome reported via result
+	}
+	return nil
+}
+
+// retransmit fires on timer expiry for attempt n.
+func (a *ARQ) retransmit(key arqKey, attempt int) {
+	a.mu.Lock()
+	p, ok := a.pending[key]
+	if !ok || p.done || a.closed {
+		a.mu.Unlock()
+		return
+	}
+	if attempt > a.maxRetries {
+		a.mu.Unlock()
+		a.stats.failed.Add(1)
+		a.finish(key, fmt.Errorf("protocol: seq %d to %q after %d attempts: %w",
+			key.seq, key.to, attempt, ErrTimeout))
+		return
+	}
+	frame := p.frame
+	delay := a.timeout
+	for i := 0; i < attempt; i++ {
+		delay = time.Duration(float64(delay) * a.backoff)
+	}
+	p.retries++
+	p.timer = time.AfterFunc(delay, func() { a.retransmit(key, attempt+1) })
+	a.mu.Unlock()
+
+	a.stats.retransmits.Add(1)
+	_ = a.send(key.to, frame) // transient failures retry on next timer
+}
+
+// Ack completes the message (peer, seq); safe to call for unknown keys
+// (late or duplicate ACKs).
+func (a *ARQ) Ack(from transport.NodeID, seq uint64) {
+	key := arqKey{to: from, seq: seq}
+	a.stats.acked.Add(1)
+	a.finish(key, nil)
+}
+
+// finish resolves a pending entry exactly once.
+func (a *ARQ) finish(key arqKey, err error) {
+	a.mu.Lock()
+	p, ok := a.pending[key]
+	if !ok || p.done {
+		a.mu.Unlock()
+		return
+	}
+	p.done = true
+	delete(a.pending, key)
+	if p.timer != nil {
+		p.timer.Stop()
+	}
+	result := p.result
+	a.mu.Unlock()
+	if result != nil {
+		result(err)
+	}
+}
+
+// Pending reports the number of unacknowledged messages.
+func (a *ARQ) Pending() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.pending)
+}
+
+// Close fails every pending message with ErrARQClosed and stops timers.
+func (a *ARQ) Close() {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return
+	}
+	a.closed = true
+	keys := make([]arqKey, 0, len(a.pending))
+	for key := range a.pending {
+		keys = append(keys, key)
+	}
+	a.mu.Unlock()
+	for _, key := range keys {
+		a.finish(key, fmt.Errorf("protocol: %w", ErrARQClosed))
+	}
+}

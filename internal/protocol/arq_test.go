@@ -1,0 +1,266 @@
+package protocol
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"uavmw/internal/transport"
+)
+
+// lossySend wraps a send function, dropping the first n calls per key.
+type lossySend struct {
+	mu      sync.Mutex
+	dropped map[uint64]int
+	drops   int
+	sent    [][]byte
+	onSend  func(seq uint64, frame []byte)
+}
+
+func (l *lossySend) send(drops int) SendFunc {
+	l.dropped = make(map[uint64]int)
+	l.drops = drops
+	return func(to transport.NodeID, frame []byte) error {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		f, err := DecodeFrame(frame)
+		if err != nil {
+			return err
+		}
+		if l.dropped[f.Seq] < l.drops {
+			l.dropped[f.Seq]++
+			return nil // dropped silently, like UDP
+		}
+		l.sent = append(l.sent, frame)
+		if l.onSend != nil {
+			l.onSend(f.Seq, frame)
+		}
+		return nil
+	}
+}
+
+func mustFrame(t *testing.T, seq uint64) []byte {
+	t.Helper()
+	raw, err := EncodeFrame(&Frame{Type: MTEvent, Channel: "c", Seq: seq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestARQImmediateAck(t *testing.T) {
+	var arq *ARQ
+	ls := &lossySend{}
+	ls.onSend = func(seq uint64, _ []byte) { go arq.Ack("peer", seq) }
+	arq = NewARQ(ls.send(0), WithTimeout(5*time.Millisecond))
+	defer arq.Close()
+
+	done := make(chan error, 1)
+	if err := arq.Send("peer", 1, mustFrame(t, 1), func(err error) { done <- err }); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("result: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no result")
+	}
+	if arq.Pending() != 0 {
+		t.Errorf("Pending = %d", arq.Pending())
+	}
+	st := arq.Stats()
+	if st.Sent != 1 || st.Acked != 1 || st.Retransmits != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestARQRetransmitsUntilAck(t *testing.T) {
+	var arq *ARQ
+	ls := &lossySend{}
+	ls.onSend = func(seq uint64, _ []byte) { go arq.Ack("peer", seq) }
+	// Drop the first 3 transmissions of every message.
+	arq = NewARQ(ls.send(3), WithTimeout(2*time.Millisecond), WithMaxRetries(10))
+	defer arq.Close()
+
+	done := make(chan error, 1)
+	if err := arq.Send("peer", 7, mustFrame(t, 7), func(err error) { done <- err }); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("result after retransmits: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no result")
+	}
+	st := arq.Stats()
+	if st.Retransmits < 3 {
+		t.Errorf("retransmits = %d, want >= 3", st.Retransmits)
+	}
+}
+
+func TestARQTimeoutAfterBudget(t *testing.T) {
+	ls := &lossySend{}
+	arq := NewARQ(ls.send(1000), WithTimeout(time.Millisecond), WithMaxRetries(3), WithBackoff(1.0))
+	defer arq.Close()
+
+	done := make(chan error, 1)
+	if err := arq.Send("peer", 9, mustFrame(t, 9), func(err error) { done <- err }); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrTimeout) {
+			t.Errorf("want ErrTimeout, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no result")
+	}
+	if arq.Stats().Failed != 1 {
+		t.Errorf("Failed = %d", arq.Stats().Failed)
+	}
+}
+
+func TestARQFirstSendErrorFailsFast(t *testing.T) {
+	sendErr := errors.New("no route")
+	arq := NewARQ(func(transport.NodeID, []byte) error { return sendErr })
+	defer arq.Close()
+
+	done := make(chan error, 1)
+	if err := arq.Send("peer", 1, mustFrame(t, 1), func(err error) { done <- err }); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, sendErr) {
+			t.Errorf("want wrapped send error, got %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no result")
+	}
+}
+
+func TestARQDuplicateInFlight(t *testing.T) {
+	arq := NewARQ(func(transport.NodeID, []byte) error { return nil },
+		WithTimeout(time.Hour)) // never fires
+	defer arq.Close()
+	if err := arq.Send("p", 5, mustFrame(t, 5), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := arq.Send("p", 5, mustFrame(t, 5), nil); err == nil {
+		t.Error("duplicate in-flight seq must be rejected")
+	}
+	// Same seq to a different peer is fine.
+	if err := arq.Send("q", 5, mustFrame(t, 5), nil); err != nil {
+		t.Errorf("distinct peer, same seq: %v", err)
+	}
+}
+
+func TestARQLateAckIgnored(t *testing.T) {
+	arq := NewARQ(func(transport.NodeID, []byte) error { return nil })
+	defer arq.Close()
+	arq.Ack("peer", 42) // nothing pending; must not panic
+	if arq.Pending() != 0 {
+		t.Error("phantom pending")
+	}
+}
+
+func TestARQCloseFailsPending(t *testing.T) {
+	arq := NewARQ(func(transport.NodeID, []byte) error { return nil },
+		WithTimeout(time.Hour))
+	done := make(chan error, 1)
+	if err := arq.Send("p", 1, mustFrame(t, 1), func(err error) { done <- err }); err != nil {
+		t.Fatal(err)
+	}
+	arq.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrARQClosed) {
+			t.Errorf("want ErrARQClosed, got %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("pending not failed on Close")
+	}
+	if err := arq.Send("p", 2, mustFrame(t, 2), nil); !errors.Is(err, ErrARQClosed) {
+		t.Errorf("send after close: %v", err)
+	}
+	arq.Close() // idempotent
+}
+
+func TestARQManyConcurrent(t *testing.T) {
+	var arq *ARQ
+	ls := &lossySend{}
+	ls.onSend = func(seq uint64, _ []byte) { go arq.Ack("peer", seq) }
+	arq = NewARQ(ls.send(1), WithTimeout(2*time.Millisecond), WithMaxRetries(10))
+	defer arq.Close()
+
+	const n = 200
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			inner := make(chan error, 1)
+			if err := arq.Send("peer", uint64(i), mustFrame(t, uint64(i)), func(err error) { inner <- err }); err != nil {
+				errs <- err
+				return
+			}
+			errs <- <-inner
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent send failed: %v", err)
+		}
+	}
+}
+
+func TestDedup(t *testing.T) {
+	d := NewDedup(4)
+	if d.Seen("a", 1) {
+		t.Error("fresh seq marked duplicate")
+	}
+	if !d.Seen("a", 1) {
+		t.Error("repeat not detected")
+	}
+	// Per-sender isolation.
+	if d.Seen("b", 1) {
+		t.Error("seq of different sender marked duplicate")
+	}
+	// Window eviction: after 4 newer seqs, 1 is forgotten.
+	for _, s := range []uint64{2, 3, 4, 5} {
+		d.Seen("a", s)
+	}
+	if d.Seen("a", 1) {
+		t.Error("evicted seq still remembered")
+	}
+	if d.Senders() != 2 {
+		t.Errorf("Senders = %d", d.Senders())
+	}
+	d.Forget("a")
+	if d.Senders() != 1 {
+		t.Error("Forget failed")
+	}
+	if d.Seen("a", 5) {
+		t.Error("forgotten sender state persisted")
+	}
+}
+
+func TestDedupDefaultWindow(t *testing.T) {
+	d := NewDedup(0)
+	for i := uint64(0); i < DefaultDedupWindow; i++ {
+		if d.Seen("s", i) {
+			t.Fatalf("seq %d falsely duplicate", i)
+		}
+	}
+	if !d.Seen("s", 0) {
+		t.Error("seq 0 should still be in the default window")
+	}
+}

@@ -1,0 +1,87 @@
+package protocol
+
+import (
+	"sync"
+
+	"uavmw/internal/transport"
+)
+
+// Dedup suppresses duplicate messages on the receiving side of the ARQ
+// scheme: when an ACK is lost the sender retransmits, and the receiver must
+// acknowledge again but deliver only once. Message identity is (sender,
+// seq) within one engine's scope.
+//
+// Per sender it keeps a ring of the most recent window seqs; anything still
+// in the ring is a duplicate. The window must exceed the maximum number of
+// messages a sender can have in flight, which the ARQ retry budget bounds.
+type Dedup struct {
+	window int
+
+	mu      sync.Mutex
+	senders map[transport.NodeID]*dedupWindow
+}
+
+type dedupWindow struct {
+	ring []uint64
+	set  map[uint64]struct{}
+	next int
+	full bool
+}
+
+// DefaultDedupWindow is ample for the default ARQ in-flight bound.
+const DefaultDedupWindow = 4096
+
+// NewDedup builds a suppressor with the given per-sender window (0 means
+// DefaultDedupWindow).
+func NewDedup(window int) *Dedup {
+	if window <= 0 {
+		window = DefaultDedupWindow
+	}
+	return &Dedup{
+		window:  window,
+		senders: make(map[transport.NodeID]*dedupWindow),
+	}
+}
+
+// Seen records (from, seq) and reports whether it was already present.
+func (d *Dedup) Seen(from transport.NodeID, seq uint64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	w := d.senders[from]
+	if w == nil {
+		w = &dedupWindow{
+			ring: make([]uint64, d.window),
+			set:  make(map[uint64]struct{}, d.window),
+		}
+		d.senders[from] = w
+	}
+	if _, dup := w.set[seq]; dup {
+		return true
+	}
+	if w.full {
+		delete(w.set, w.ring[w.next])
+	}
+	w.ring[w.next] = seq
+	w.set[seq] = struct{}{}
+	w.next++
+	if w.next == len(w.ring) {
+		w.next = 0
+		w.full = true
+	}
+	return false
+}
+
+// Forget drops all state for a sender (e.g. after its container restarts
+// with fresh sequence numbers).
+func (d *Dedup) Forget(from transport.NodeID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.senders, from)
+}
+
+// Senders reports how many peers have dedup state, for diagnostics.
+func (d *Dedup) Senders() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.senders)
+}

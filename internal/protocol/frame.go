@@ -1,0 +1,174 @@
+// Package protocol implements the PEPt "Protocol" subsystem (§6 of the
+// paper): framing encoded data "to denote the intent of the message" plus
+// the low-level bookkeeping the paper assigns to this layer — application-
+// level acknowledgment and retransmission (§4.2), fragmentation of payloads
+// beyond the datagram MTU, and duplicate suppression.
+package protocol
+
+import (
+	"errors"
+	"fmt"
+
+	"uavmw/internal/encoding"
+	"uavmw/internal/qos"
+)
+
+// MsgType denotes the intent of a frame.
+type MsgType uint8
+
+// Frame types, grouped by subsystem.
+const (
+	// Discovery / container management (§3).
+	MTAnnounce  MsgType = iota + 1 // container announces its services
+	MTHeartbeat                    // liveness + load report
+	MTBye                          // graceful shutdown notice
+
+	// Variables (§4.1).
+	MTSubscribe   // subscriber joins a variable
+	MTUnsubscribe // subscriber leaves a variable
+	MTSnapshotReq // request for guaranteed initial exact value
+	MTSnapshotRep // reliable reply carrying latest value
+	MTSample      // best-effort published sample
+
+	// Events (§4.2).
+	MTEvent    // guaranteed notification
+	MTEventAck // subscriber acknowledgment
+
+	// Remote invocation (§4.3).
+	MTCall   // request
+	MTReturn // successful reply
+	MTError  // failed reply
+
+	// File transmission (§4.4).
+	MTFileAnnounce  // announce phase: resource metadata
+	MTFileSubscribe // receiver subscribes to a transfer
+	MTFileChunk     // multicast data chunk
+	MTFileQuery     // publisher asks completion status
+	MTFileAck       // receiver has all chunks
+	MTFileNack      // receiver lacks chunks (compressed list)
+	MTFileCancel    // transfer aborted / receiver leaving
+
+	// Transport-level.
+	MTFragment // piece of an oversized frame
+	MTAck      // ARQ acknowledgment of any FlagAckRequired frame
+
+	mtMax // sentinel
+)
+
+// Frame flag bits.
+const (
+	// FlagAckRequired asks the receiving container to reply MTAck with
+	// the same Seq; the sender's ARQ engine retransmits until it does.
+	FlagAckRequired uint8 = 1 << 0
+	// FlagAppError marks an MTError frame as an application-level
+	// failure (no failover) rather than an infrastructure failure.
+	FlagAppError uint8 = 1 << 1
+)
+
+// String implements fmt.Stringer.
+func (m MsgType) String() string {
+	names := [...]string{
+		MTAnnounce: "announce", MTHeartbeat: "heartbeat", MTBye: "bye",
+		MTSubscribe: "subscribe", MTUnsubscribe: "unsubscribe",
+		MTSnapshotReq: "snapshot-req", MTSnapshotRep: "snapshot-rep", MTSample: "sample",
+		MTEvent: "event", MTEventAck: "event-ack",
+		MTCall: "call", MTReturn: "return", MTError: "error",
+		MTFileAnnounce: "file-announce", MTFileSubscribe: "file-subscribe",
+		MTFileChunk: "file-chunk", MTFileQuery: "file-query",
+		MTFileAck: "file-ack", MTFileNack: "file-nack", MTFileCancel: "file-cancel",
+		MTFragment: "fragment", MTAck: "ack",
+	}
+	if int(m) < len(names) && names[m] != "" {
+		return names[m]
+	}
+	return fmt.Sprintf("msgtype(%d)", uint8(m))
+}
+
+// Valid reports whether m is a defined frame type.
+func (m MsgType) Valid() bool { return m >= MTAnnounce && m < mtMax }
+
+// Frame is one protocol message. Channel scopes the frame to a named
+// primitive instance ("gps.position", "mission.photo", ...); Seq identifies
+// the message for acknowledgment, dedup and reply matching.
+type Frame struct {
+	// Type is the frame intent.
+	Type MsgType
+	// Flags carries type-specific bits.
+	Flags uint8
+	// Encoding is the encoding.Encoding ID used for Payload, so mixed
+	// deployments can interoperate.
+	Encoding uint8
+	// Priority is the scheduler class the sender assigned; receivers use
+	// it to queue handler work.
+	Priority qos.Priority
+	// Channel is the primitive instance name.
+	Channel string
+	// Seq is the message identifier (per sender, per subsystem).
+	Seq uint64
+	// Payload is the encoded body; interpretation depends on Type.
+	Payload []byte
+}
+
+const (
+	frameMagic   uint16 = 0x5541 // "UA"
+	frameVersion uint8  = 1
+)
+
+// MaxChannelLen bounds channel names on the wire.
+const MaxChannelLen = 255
+
+// Errors.
+var (
+	// ErrBadFrame reports an undecodable frame.
+	ErrBadFrame = errors.New("bad frame")
+	// ErrVersion reports a version mismatch.
+	ErrVersion = errors.New("protocol version mismatch")
+)
+
+// EncodeFrame serializes f.
+func EncodeFrame(f *Frame) ([]byte, error) {
+	if !f.Type.Valid() {
+		return nil, fmt.Errorf("protocol: type %d: %w", f.Type, ErrBadFrame)
+	}
+	if len(f.Channel) > MaxChannelLen {
+		return nil, fmt.Errorf("protocol: channel %q too long: %w", f.Channel[:32]+"...", ErrBadFrame)
+	}
+	w := encoding.NewWriter(24 + len(f.Channel) + len(f.Payload))
+	w.Uint16(frameMagic)
+	w.Uint8(frameVersion)
+	w.Uint8(uint8(f.Type))
+	w.Uint8(f.Flags)
+	w.Uint8(f.Encoding)
+	w.Uint8(uint8(f.Priority))
+	w.String(f.Channel)
+	w.Uint64(f.Seq)
+	w.Raw(f.Payload)
+	return w.Bytes(), nil
+}
+
+// DecodeFrame parses data into a frame. The returned frame's Payload aliases
+// data; callers that retain it must copy.
+func DecodeFrame(data []byte) (*Frame, error) {
+	r := encoding.NewReader(data)
+	if magic := r.Uint16(); magic != frameMagic {
+		return nil, fmt.Errorf("protocol: magic %#04x: %w", magic, ErrBadFrame)
+	}
+	if v := r.Uint8(); v != frameVersion {
+		return nil, fmt.Errorf("protocol: version %d, want %d: %w", v, frameVersion, ErrVersion)
+	}
+	f := &Frame{}
+	f.Type = MsgType(r.Uint8())
+	f.Flags = r.Uint8()
+	f.Encoding = r.Uint8()
+	f.Priority = qos.Priority(r.Uint8())
+	f.Channel = r.String()
+	f.Seq = r.Uint64()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("protocol: header: %w", err)
+	}
+	if !f.Type.Valid() {
+		return nil, fmt.Errorf("protocol: type %d: %w", f.Type, ErrBadFrame)
+	}
+	f.Payload = r.Raw(r.Remaining())
+	return f, nil
+}

@@ -1,0 +1,119 @@
+package protocol
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"uavmw/internal/qos"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := &Frame{
+		Type:     MTEvent,
+		Flags:    0x3,
+		Encoding: 1,
+		Priority: qos.PriorityHigh,
+		Channel:  "mission.photo",
+		Seq:      987654321,
+		Payload:  []byte("payload-bytes"),
+	}
+	raw, err := EncodeFrame(f)
+	if err != nil {
+		t.Fatalf("EncodeFrame: %v", err)
+	}
+	got, err := DecodeFrame(raw)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	if got.Type != f.Type || got.Flags != f.Flags || got.Encoding != f.Encoding ||
+		got.Priority != f.Priority || got.Channel != f.Channel || got.Seq != f.Seq {
+		t.Errorf("header mismatch: %+v vs %+v", got, f)
+	}
+	if !bytes.Equal(got.Payload, f.Payload) {
+		t.Errorf("payload mismatch: %q", got.Payload)
+	}
+}
+
+func TestFrameAllTypesRoundTrip(t *testing.T) {
+	for mt := MTAnnounce; mt < mtMax; mt++ {
+		raw, err := EncodeFrame(&Frame{Type: mt, Channel: "c", Seq: uint64(mt)})
+		if err != nil {
+			t.Fatalf("encode %v: %v", mt, err)
+		}
+		got, err := DecodeFrame(raw)
+		if err != nil {
+			t.Fatalf("decode %v: %v", mt, err)
+		}
+		if got.Type != mt {
+			t.Errorf("type %v decoded as %v", mt, got.Type)
+		}
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	raw, err := EncodeFrame(&Frame{Type: MTHeartbeat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Payload) != 0 || got.Channel != "" {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestFrameEncodeErrors(t *testing.T) {
+	if _, err := EncodeFrame(&Frame{Type: 0}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("zero type: %v", err)
+	}
+	if _, err := EncodeFrame(&Frame{Type: mtMax}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("sentinel type: %v", err)
+	}
+	long := strings.Repeat("x", MaxChannelLen+1)
+	if _, err := EncodeFrame(&Frame{Type: MTEvent, Channel: long}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("long channel: %v", err)
+	}
+}
+
+func TestFrameDecodeErrors(t *testing.T) {
+	good, err := EncodeFrame(&Frame{Type: MTEvent, Channel: "c", Seq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := DecodeFrame(nil); err == nil {
+		t.Error("nil input must fail")
+	}
+	if _, err := DecodeFrame([]byte{0x00, 0x01, 1, 1}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("bad magic: %v", err)
+	}
+	bad := append([]byte{}, good...)
+	bad[2] = 99 // version byte
+	if _, err := DecodeFrame(bad); !errors.Is(err, ErrVersion) {
+		t.Errorf("bad version: %v", err)
+	}
+	bad2 := append([]byte{}, good...)
+	bad2[3] = 0 // type byte
+	if _, err := DecodeFrame(bad2); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("bad type: %v", err)
+	}
+	if _, err := DecodeFrame(good[:8]); err == nil {
+		t.Error("truncated header must fail")
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	if MTEvent.String() != "event" || MTFileNack.String() != "file-nack" {
+		t.Error("MsgType names wrong")
+	}
+	if !strings.Contains(MsgType(200).String(), "200") {
+		t.Error("unknown type string")
+	}
+	if MsgType(0).Valid() || mtMax.Valid() {
+		t.Error("Valid() bounds wrong")
+	}
+}

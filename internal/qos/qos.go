@@ -1,0 +1,320 @@
+// Package qos defines the quality-of-service vocabulary shared by the
+// middleware communication primitives.
+//
+// The paper (§4) attaches QoS to each primitive: variables carry a validity
+// (how long a sample may be served after it was produced) and a publication
+// rate; events carry a latency-oriented priority and a reliability class
+// (TCP-like transport or UDP with application-level retransmission); remote
+// invocations carry deadlines and binding policies. This package holds only
+// the policy types; enforcement lives in each primitive's engine.
+package qos
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Priority orders work inside the container scheduler. The paper's prototype
+// uses "a simple thread pool with fixed priorities for each named primitive"
+// (§6); these are those named levels. Higher value = more urgent.
+type Priority uint8
+
+// Priority levels, lowest to highest. They start at 1 so the zero value is
+// detectably "unset" and can be defaulted by the container.
+const (
+	PriorityBulk     Priority = iota + 1 // file-transfer chunks, background
+	PriorityLow                          // non-critical telemetry
+	PriorityNormal                       // variables, ordinary calls
+	PriorityHigh                         // events
+	PriorityCritical                     // alarms, emergency procedures
+)
+
+// numPriorities is the count of defined levels (for table sizing).
+const numPriorities = 5
+
+// Levels returns all priorities from lowest to highest.
+func Levels() []Priority {
+	return []Priority{PriorityBulk, PriorityLow, PriorityNormal, PriorityHigh, PriorityCritical}
+}
+
+// NumLevels reports how many priority levels exist.
+func NumLevels() int { return numPriorities }
+
+// Valid reports whether p is one of the defined levels.
+func (p Priority) Valid() bool { return p >= PriorityBulk && p <= PriorityCritical }
+
+// String implements fmt.Stringer.
+func (p Priority) String() string {
+	switch p {
+	case PriorityBulk:
+		return "bulk"
+	case PriorityLow:
+		return "low"
+	case PriorityNormal:
+		return "normal"
+	case PriorityHigh:
+		return "high"
+	case PriorityCritical:
+		return "critical"
+	default:
+		return fmt.Sprintf("priority(%d)", uint8(p))
+	}
+}
+
+// Index returns a dense 0-based index for table lookups, or -1 if invalid.
+func (p Priority) Index() int {
+	if !p.Valid() {
+		return -1
+	}
+	return int(p - PriorityBulk)
+}
+
+// Reliability selects how a primitive's messages reach subscribers.
+type Reliability uint8
+
+const (
+	// BestEffort sends once with no acknowledgment; receivers tolerate
+	// loss. Variables default to this (§4.1).
+	BestEffort Reliability = iota + 1
+	// ReliableARQ sends over an unreliable transport with application-level
+	// acknowledgment and retransmission, the scheme §4.2 argues is "more
+	// efficient for event messages than the generic case provided by the
+	// TCP stack".
+	ReliableARQ
+	// ReliableStream maps the primitive onto an inherently reliable,
+	// ordered transport (TCP).
+	ReliableStream
+)
+
+// String implements fmt.Stringer.
+func (r Reliability) String() string {
+	switch r {
+	case BestEffort:
+		return "best-effort"
+	case ReliableARQ:
+		return "reliable-arq"
+	case ReliableStream:
+		return "reliable-stream"
+	default:
+		return fmt.Sprintf("reliability(%d)", uint8(r))
+	}
+}
+
+// Valid reports whether r is one of the defined classes.
+func (r Reliability) Valid() bool { return r >= BestEffort && r <= ReliableStream }
+
+// Binding selects how a remote-invocation client is bound to a provider
+// (§4.3: "the middleware ... can also redirect remote calls to server
+// services statically or dynamically").
+type Binding uint8
+
+const (
+	// BindDynamic re-resolves the provider on demand and load-balances
+	// across equivalent providers.
+	BindDynamic Binding = iota + 1
+	// BindStatic pins the provider at subscription time; "useful in
+	// critical services where resources ... are pre-allocated" (§4.3).
+	// Failover still applies if the pinned provider dies.
+	BindStatic
+)
+
+// String implements fmt.Stringer.
+func (b Binding) String() string {
+	switch b {
+	case BindDynamic:
+		return "dynamic"
+	case BindStatic:
+		return "static"
+	default:
+		return fmt.Sprintf("binding(%d)", uint8(b))
+	}
+}
+
+// VariableQoS is the contract between a variable publisher and its
+// subscribers (§4.1).
+type VariableQoS struct {
+	// Validity is how long a published sample remains servable after its
+	// publication instant. While a fresher sample is missing, the cache
+	// serves the previous one as long as it is still valid. Zero means
+	// samples never expire.
+	Validity time.Duration
+	// Period is the nominal publication interval. The container uses it to
+	// detect publisher silence: after DeadlineFactor*Period without a
+	// sample, subscribers get a timeout warning (§4.1 "the service
+	// container will warn of this timeout circumstance").
+	Period time.Duration
+	// DeadlineFactor scales Period into the silence deadline. Zero
+	// defaults to 3.
+	DeadlineFactor int
+	// OnChangeOnly suppresses retransmission of unchanged values between
+	// periodic refreshes ("sent at regular intervals or each time a
+	// substantial change in its value occurs").
+	OnChangeOnly bool
+	// Priority for handler scheduling. Zero defaults to PriorityNormal.
+	Priority Priority
+}
+
+// SilenceDeadline returns the duration after which a publisher is considered
+// silent. Zero Period disables silence detection.
+func (q VariableQoS) SilenceDeadline() time.Duration {
+	if q.Period <= 0 {
+		return 0
+	}
+	f := q.DeadlineFactor
+	if f <= 0 {
+		f = 3
+	}
+	return time.Duration(f) * q.Period
+}
+
+// Normalize fills defaulted fields, returning the effective policy.
+func (q VariableQoS) Normalize() VariableQoS {
+	if q.DeadlineFactor <= 0 {
+		q.DeadlineFactor = 3
+	}
+	if !q.Priority.Valid() {
+		q.Priority = PriorityNormal
+	}
+	return q
+}
+
+// Validate reports whether the policy is self-consistent.
+func (q VariableQoS) Validate() error {
+	if q.Validity < 0 {
+		return fmt.Errorf("qos: negative validity %v: %w", q.Validity, ErrInvalidPolicy)
+	}
+	if q.Period < 0 {
+		return fmt.Errorf("qos: negative period %v: %w", q.Period, ErrInvalidPolicy)
+	}
+	if q.Priority != 0 && !q.Priority.Valid() {
+		return fmt.Errorf("qos: priority %d out of range: %w", q.Priority, ErrInvalidPolicy)
+	}
+	return nil
+}
+
+// EventQoS is the contract for the event primitive (§4.2).
+type EventQoS struct {
+	// Reliability chooses ReliableARQ (default) or ReliableStream.
+	// BestEffort is rejected: events "guarantee the reception of the sent
+	// information to all the subscribed services".
+	Reliability Reliability
+	// Priority defaults to PriorityHigh; events are latency-sensitive.
+	Priority Priority
+	// AckTimeout is the initial retransmission timeout for ReliableARQ.
+	// Zero defaults to the protocol engine's default.
+	AckTimeout time.Duration
+	// MaxRetries bounds ARQ retransmissions before the publisher declares
+	// a subscriber unreachable. Zero defaults to the engine's default.
+	MaxRetries int
+}
+
+// Normalize fills defaulted fields, returning the effective policy.
+func (q EventQoS) Normalize() EventQoS {
+	if q.Reliability == 0 {
+		q.Reliability = ReliableARQ
+	}
+	if !q.Priority.Valid() {
+		q.Priority = PriorityHigh
+	}
+	return q
+}
+
+// Validate reports whether the policy is usable for events.
+func (q EventQoS) Validate() error {
+	if q.Reliability == BestEffort {
+		return fmt.Errorf("qos: events require guaranteed delivery: %w", ErrInvalidPolicy)
+	}
+	if q.Reliability != 0 && !q.Reliability.Valid() {
+		return fmt.Errorf("qos: reliability %d out of range: %w", q.Reliability, ErrInvalidPolicy)
+	}
+	if q.AckTimeout < 0 {
+		return fmt.Errorf("qos: negative ack timeout %v: %w", q.AckTimeout, ErrInvalidPolicy)
+	}
+	if q.MaxRetries < 0 {
+		return fmt.Errorf("qos: negative max retries %d: %w", q.MaxRetries, ErrInvalidPolicy)
+	}
+	return nil
+}
+
+// CallQoS is the contract for remote invocation (§4.3).
+type CallQoS struct {
+	// Deadline bounds the whole invocation including failover retries.
+	// Zero defaults to the engine default.
+	Deadline time.Duration
+	// Binding chooses static pinning or dynamic (load-balanced) provider
+	// selection. Zero defaults to BindDynamic.
+	Binding Binding
+	// Retries is the number of *additional* providers tried after the
+	// first fails (redundancy failover). Zero defaults to trying every
+	// known provider once.
+	Retries int
+	// Priority defaults to PriorityNormal.
+	Priority Priority
+	// Reliability: ReliableStream (default) or ReliableARQ. §4.3:
+	// "generally mapped ... over TCP, but UDP plus retransmission at the
+	// middleware level can also be used". Never multicast.
+	Reliability Reliability
+}
+
+// Normalize fills defaulted fields, returning the effective policy.
+func (q CallQoS) Normalize() CallQoS {
+	if q.Binding == 0 {
+		q.Binding = BindDynamic
+	}
+	if !q.Priority.Valid() {
+		q.Priority = PriorityNormal
+	}
+	if q.Reliability == 0 {
+		q.Reliability = ReliableStream
+	}
+	return q
+}
+
+// Validate reports whether the policy is usable for calls.
+func (q CallQoS) Validate() error {
+	if q.Deadline < 0 {
+		return fmt.Errorf("qos: negative deadline %v: %w", q.Deadline, ErrInvalidPolicy)
+	}
+	if q.Retries < 0 {
+		return fmt.Errorf("qos: negative retries %d: %w", q.Retries, ErrInvalidPolicy)
+	}
+	if q.Reliability == BestEffort {
+		return fmt.Errorf("qos: calls require a reliable mapping: %w", ErrInvalidPolicy)
+	}
+	return nil
+}
+
+// TransferQoS is the contract for file-based transmission (§4.4).
+type TransferQoS struct {
+	// ChunkSize is the payload bytes per multicast chunk. Zero defaults to
+	// the engine default.
+	ChunkSize int
+	// Priority defaults to PriorityBulk so transfers never starve events.
+	Priority Priority
+	// RoundPause is an optional pause between completion rounds, used to
+	// cap bandwidth on constrained links. Zero means no pause.
+	RoundPause time.Duration
+}
+
+// Normalize fills defaulted fields, returning the effective policy.
+func (q TransferQoS) Normalize() TransferQoS {
+	if !q.Priority.Valid() {
+		q.Priority = PriorityBulk
+	}
+	return q
+}
+
+// Validate reports whether the policy is usable for transfers.
+func (q TransferQoS) Validate() error {
+	if q.ChunkSize < 0 {
+		return fmt.Errorf("qos: negative chunk size %d: %w", q.ChunkSize, ErrInvalidPolicy)
+	}
+	if q.RoundPause < 0 {
+		return fmt.Errorf("qos: negative round pause %v: %w", q.RoundPause, ErrInvalidPolicy)
+	}
+	return nil
+}
+
+// ErrInvalidPolicy tags every validation failure in this package.
+var ErrInvalidPolicy = errors.New("invalid QoS policy")

@@ -1,0 +1,273 @@
+package qos
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPriorityString(t *testing.T) {
+	tests := []struct {
+		p    Priority
+		want string
+	}{
+		{PriorityBulk, "bulk"},
+		{PriorityLow, "low"},
+		{PriorityNormal, "normal"},
+		{PriorityHigh, "high"},
+		{PriorityCritical, "critical"},
+		{Priority(0), "priority(0)"},
+		{Priority(99), "priority(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.p.String(); got != tt.want {
+			t.Errorf("Priority(%d).String() = %q, want %q", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestPriorityValid(t *testing.T) {
+	for _, p := range Levels() {
+		if !p.Valid() {
+			t.Errorf("Levels() returned invalid priority %v", p)
+		}
+	}
+	if Priority(0).Valid() {
+		t.Error("zero priority must be invalid")
+	}
+	if Priority(numPriorities + 1).Valid() {
+		t.Error("out-of-range priority must be invalid")
+	}
+}
+
+func TestPriorityIndexDense(t *testing.T) {
+	seen := make(map[int]bool, NumLevels())
+	for _, p := range Levels() {
+		idx := p.Index()
+		if idx < 0 || idx >= NumLevels() {
+			t.Fatalf("Index() of %v = %d out of [0,%d)", p, idx, NumLevels())
+		}
+		if seen[idx] {
+			t.Fatalf("duplicate index %d", idx)
+		}
+		seen[idx] = true
+	}
+	if got := Priority(0).Index(); got != -1 {
+		t.Errorf("invalid priority Index() = %d, want -1", got)
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	// The scheduler depends on numeric ordering matching urgency.
+	if !(PriorityBulk < PriorityLow && PriorityLow < PriorityNormal &&
+		PriorityNormal < PriorityHigh && PriorityHigh < PriorityCritical) {
+		t.Fatal("priority levels are not monotonically increasing in urgency")
+	}
+}
+
+func TestReliabilityString(t *testing.T) {
+	tests := []struct {
+		r    Reliability
+		want string
+	}{
+		{BestEffort, "best-effort"},
+		{ReliableARQ, "reliable-arq"},
+		{ReliableStream, "reliable-stream"},
+		{Reliability(0), "reliability(0)"},
+	}
+	for _, tt := range tests {
+		if got := tt.r.String(); got != tt.want {
+			t.Errorf("Reliability(%d).String() = %q, want %q", tt.r, got, tt.want)
+		}
+	}
+}
+
+func TestVariableQoSSilenceDeadline(t *testing.T) {
+	tests := []struct {
+		name string
+		q    VariableQoS
+		want time.Duration
+	}{
+		{"zero period disables", VariableQoS{}, 0},
+		{"default factor 3", VariableQoS{Period: 100 * time.Millisecond}, 300 * time.Millisecond},
+		{"explicit factor", VariableQoS{Period: time.Second, DeadlineFactor: 5}, 5 * time.Second},
+		{"negative factor defaults", VariableQoS{Period: time.Second, DeadlineFactor: -2}, 3 * time.Second},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.q.SilenceDeadline(); got != tt.want {
+				t.Errorf("SilenceDeadline() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVariableQoSNormalize(t *testing.T) {
+	q := VariableQoS{}.Normalize()
+	if q.Priority != PriorityNormal {
+		t.Errorf("default variable priority = %v, want %v", q.Priority, PriorityNormal)
+	}
+	if q.DeadlineFactor != 3 {
+		t.Errorf("default deadline factor = %d, want 3", q.DeadlineFactor)
+	}
+	q2 := VariableQoS{Priority: PriorityCritical, DeadlineFactor: 7}.Normalize()
+	if q2.Priority != PriorityCritical || q2.DeadlineFactor != 7 {
+		t.Error("Normalize must not override explicit fields")
+	}
+}
+
+func TestVariableQoSValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		q       VariableQoS
+		wantErr bool
+	}{
+		{"zero ok", VariableQoS{}, false},
+		{"full ok", VariableQoS{Validity: time.Second, Period: 100 * time.Millisecond, Priority: PriorityHigh}, false},
+		{"negative validity", VariableQoS{Validity: -time.Second}, true},
+		{"negative period", VariableQoS{Period: -time.Millisecond}, true},
+		{"bad priority", VariableQoS{Priority: Priority(42)}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.q.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() err = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err != nil && !errors.Is(err, ErrInvalidPolicy) {
+				t.Errorf("error %v must wrap ErrInvalidPolicy", err)
+			}
+		})
+	}
+}
+
+func TestEventQoSNormalize(t *testing.T) {
+	q := EventQoS{}.Normalize()
+	if q.Reliability != ReliableARQ {
+		t.Errorf("default event reliability = %v, want %v", q.Reliability, ReliableARQ)
+	}
+	if q.Priority != PriorityHigh {
+		t.Errorf("default event priority = %v, want %v", q.Priority, PriorityHigh)
+	}
+}
+
+func TestEventQoSValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		q       EventQoS
+		wantErr bool
+	}{
+		{"zero ok", EventQoS{}, false},
+		{"arq ok", EventQoS{Reliability: ReliableARQ, AckTimeout: 10 * time.Millisecond, MaxRetries: 4}, false},
+		{"stream ok", EventQoS{Reliability: ReliableStream}, false},
+		{"best effort rejected", EventQoS{Reliability: BestEffort}, true},
+		{"negative timeout", EventQoS{AckTimeout: -1}, true},
+		{"negative retries", EventQoS{MaxRetries: -1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.q.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestCallQoSNormalize(t *testing.T) {
+	q := CallQoS{}.Normalize()
+	if q.Binding != BindDynamic {
+		t.Errorf("default binding = %v, want %v", q.Binding, BindDynamic)
+	}
+	if q.Reliability != ReliableStream {
+		t.Errorf("default call reliability = %v, want %v", q.Reliability, ReliableStream)
+	}
+	if q.Priority != PriorityNormal {
+		t.Errorf("default call priority = %v, want %v", q.Priority, PriorityNormal)
+	}
+}
+
+func TestCallQoSValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		q       CallQoS
+		wantErr bool
+	}{
+		{"zero ok", CallQoS{}, false},
+		{"static ok", CallQoS{Binding: BindStatic, Deadline: time.Second}, false},
+		{"negative deadline", CallQoS{Deadline: -time.Second}, true},
+		{"negative retries", CallQoS{Retries: -3}, true},
+		{"best effort rejected", CallQoS{Reliability: BestEffort}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.q.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestTransferQoS(t *testing.T) {
+	q := TransferQoS{}.Normalize()
+	if q.Priority != PriorityBulk {
+		t.Errorf("default transfer priority = %v, want %v", q.Priority, PriorityBulk)
+	}
+	if err := (TransferQoS{ChunkSize: -1}).Validate(); err == nil {
+		t.Error("negative chunk size must fail validation")
+	}
+	if err := (TransferQoS{RoundPause: -time.Second}).Validate(); err == nil {
+		t.Error("negative round pause must fail validation")
+	}
+	if err := (TransferQoS{ChunkSize: 1024, RoundPause: time.Millisecond}).Validate(); err != nil {
+		t.Errorf("valid transfer policy rejected: %v", err)
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	// Property: Normalize is idempotent for every policy type.
+	if err := quick.Check(func(validity, period int64, factor int, onChange bool) bool {
+		q := VariableQoS{
+			Validity:       time.Duration(validity),
+			Period:         time.Duration(period),
+			DeadlineFactor: factor,
+			OnChangeOnly:   onChange,
+		}
+		once := q.Normalize()
+		return once == once.Normalize()
+	}, nil); err != nil {
+		t.Errorf("VariableQoS.Normalize not idempotent: %v", err)
+	}
+	if err := quick.Check(func(rel, prio uint8, timeout int64, retries int) bool {
+		q := EventQoS{
+			Reliability: Reliability(rel),
+			Priority:    Priority(prio),
+			AckTimeout:  time.Duration(timeout),
+			MaxRetries:  retries,
+		}
+		once := q.Normalize()
+		return once == once.Normalize()
+	}, nil); err != nil {
+		t.Errorf("EventQoS.Normalize not idempotent: %v", err)
+	}
+}
+
+func TestValidatedPoliciesSurviveNormalize(t *testing.T) {
+	// Property: a policy that validates still validates after Normalize.
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(func(validity, period uint32, factor uint8) bool {
+		q := VariableQoS{
+			Validity:       time.Duration(validity),
+			Period:         time.Duration(period),
+			DeadlineFactor: int(factor),
+		}
+		if q.Validate() != nil {
+			return true // not applicable
+		}
+		return q.Normalize().Validate() == nil
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}

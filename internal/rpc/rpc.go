@@ -1,0 +1,564 @@
+// Package rpc implements the paper's §4.3 communication primitive: remote
+// invocation of named functions with typed parameters and an optional
+// return value. Binding is static (pinned provider, pre-allocated
+// resources) or dynamic (load-balanced); on provider failure the middleware
+// "will detect the situation and redirect requests to the redundant
+// service", letting the mission continue "perhaps in a degraded mode". At
+// startup, services "check that all the functions they need ... are
+// provided" — the DependencyCheck API.
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"uavmw/internal/encoding"
+	"uavmw/internal/fabric"
+	"uavmw/internal/naming"
+	"uavmw/internal/presentation"
+	"uavmw/internal/protocol"
+	"uavmw/internal/qos"
+	"uavmw/internal/transport"
+)
+
+// Errors.
+var (
+	// ErrNoProvider reports a call to a function nobody offers — the
+	// condition that must trigger "the programmed emergency procedure".
+	ErrNoProvider = errors.New("no provider for function")
+	// ErrAllProvidersFailed reports failover exhaustion.
+	ErrAllProvidersFailed = errors.New("all providers failed")
+	// ErrDuplicateName reports a second registration of a function name
+	// in one node.
+	ErrDuplicateName = errors.New("function already registered")
+	// ErrBadSignature reports caller/provider type disagreement.
+	ErrBadSignature = errors.New("function signature mismatch")
+	// ErrDeadline reports a call that exceeded its QoS deadline.
+	ErrDeadline = errors.New("call deadline exceeded")
+	// ErrDependency reports unmet startup dependencies (E12).
+	ErrDependency = errors.New("unmet function dependencies")
+)
+
+// AppError is a remote application-level failure: the function executed and
+// returned an error. App errors do not trigger failover — the call
+// succeeded at the middleware level.
+type AppError struct {
+	Name    string // function name
+	Message string
+}
+
+// Error implements error.
+func (e *AppError) Error() string {
+	return fmt.Sprintf("rpc: %s: remote error: %s", e.Name, e.Message)
+}
+
+// Handler executes one invocation. args is canonical for the registered
+// argument type (nil when the function takes no arguments). A returned
+// error travels to the caller as an AppError.
+type Handler func(args any) (any, error)
+
+// DefaultCallDeadline bounds a call (including failover) when the QoS does
+// not set one.
+const DefaultCallDeadline = 2 * time.Second
+
+// Engine is the per-container remote-invocation runtime.
+type Engine struct {
+	f fabric.Fabric
+
+	mu        sync.Mutex
+	functions map[string]*registration
+	pending   map[uint64]*pendingCall
+	pins      map[string]transport.NodeID // static-binding pins per function
+}
+
+type registration struct {
+	name    string
+	service string
+	argType *presentation.Type // nil = no args
+	retType *presentation.Type // nil = no return value
+	handler Handler
+	q       qos.CallQoS
+	calls   uint64
+}
+
+type pendingCall struct {
+	done chan callResult
+}
+
+type callResult struct {
+	payload  []byte
+	appErr   string
+	infraErr bool
+	from     transport.NodeID
+}
+
+// New builds the engine for a container.
+func New(f fabric.Fabric) *Engine {
+	return &Engine{
+		f:         f,
+		functions: make(map[string]*registration),
+		pending:   make(map[uint64]*pendingCall),
+		pins:      make(map[string]transport.NodeID),
+	}
+}
+
+// Register exposes a function. argType/retType may be nil for void.
+func (e *Engine) Register(name, service string, argType, retType *presentation.Type, q qos.CallQoS, h Handler) error {
+	if h == nil {
+		return fmt.Errorf("rpc: nil handler for %q: %w", name, ErrBadSignature)
+	}
+	if argType != nil {
+		if err := argType.Validate(); err != nil {
+			return err
+		}
+	}
+	if retType != nil {
+		if err := retType.Validate(); err != nil {
+			return err
+		}
+	}
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.functions[name]; dup {
+		return fmt.Errorf("rpc: %q: %w", name, ErrDuplicateName)
+	}
+	e.functions[name] = &registration{
+		name:    name,
+		service: service,
+		argType: argType,
+		retType: retType,
+		handler: h,
+		q:       q.Normalize(),
+	}
+	return nil
+}
+
+// Unregister withdraws a function.
+func (e *Engine) Unregister(name string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.functions, name)
+}
+
+func sigOf(t *presentation.Type) string {
+	if t == nil {
+		return ""
+	}
+	return t.String()
+}
+
+// Call invokes name with args under the caller's QoS. It coerces args to
+// the provider's argument type, resolves a provider per the binding policy,
+// and fails over across redundant providers on infrastructure errors.
+func (e *Engine) Call(ctx context.Context, name string, args any, argType, retType *presentation.Type, q qos.CallQoS) (any, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	q = q.Normalize()
+	deadline := q.Deadline
+	if deadline <= 0 {
+		deadline = DefaultCallDeadline
+	}
+	var cancel context.CancelFunc
+	ctx, cancel = context.WithTimeout(ctx, deadline)
+	defer cancel()
+
+	// Encode arguments once.
+	var payload []byte
+	if argType != nil {
+		cv, err := presentation.Coerce(argType, args)
+		if err != nil {
+			return nil, err
+		}
+		payload, err = e.f.Encoding().Marshal(argType, cv)
+		if err != nil {
+			return nil, err
+		}
+	} else if args != nil {
+		return nil, fmt.Errorf("rpc: %q takes no arguments: %w", name, ErrBadSignature)
+	}
+
+	tried := make(map[transport.NodeID]bool)
+	maxAttempts := q.Retries + 1
+	if q.Retries == 0 {
+		maxAttempts = 1 + e.f.Directory().ProviderCount(naming.KindFunction, name)
+		if e.hasLocal(name) {
+			maxAttempts++
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("rpc: %s: %w", name, ErrDeadline)
+		}
+		provider, local, err := e.selectProvider(name, argType, retType, q, tried)
+		if err != nil {
+			if lastErr != nil {
+				return nil, fmt.Errorf("rpc: %s: %w (last: %v)", name, ErrAllProvidersFailed, lastErr)
+			}
+			return nil, err
+		}
+		tried[provider] = true
+		var (
+			value  any
+			appErr error
+		)
+		if local {
+			value, appErr, err = e.callLocal(ctx, name, payload, argType, retType, q)
+		} else {
+			value, appErr, err = e.callRemote(ctx, provider, name, payload, retType, q)
+		}
+		if err != nil {
+			// Infrastructure failure: failover to the next provider.
+			lastErr = err
+			e.unpin(name, provider)
+			continue
+		}
+		if appErr != nil {
+			return nil, appErr // semantic failure; no failover
+		}
+		return value, nil
+	}
+	if lastErr == nil {
+		lastErr = ErrNoProvider
+	}
+	return nil, fmt.Errorf("rpc: %s after %d attempts: %w (last: %v)", name, maxAttempts, ErrAllProvidersFailed, lastErr)
+}
+
+func (e *Engine) hasLocal(name string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, ok := e.functions[name]
+	return ok
+}
+
+// selectProvider resolves the next untried provider, preferring the local
+// registration (bypass) and honoring static pins.
+func (e *Engine) selectProvider(name string, argType, retType *presentation.Type, q qos.CallQoS, tried map[transport.NodeID]bool) (transport.NodeID, bool, error) {
+	self := e.f.Self()
+	if e.hasLocal(name) && !tried[self] {
+		return self, true, nil
+	}
+	e.mu.Lock()
+	pinned := e.pins[name]
+	e.mu.Unlock()
+
+	dir := e.f.Directory()
+	// First choice goes through Select, which applies the binding policy
+	// (pin liveness for static, load-balancing for dynamic).
+	rec, err := dir.Select(naming.KindFunction, name, q.Binding, pinned)
+	if err == nil && tried[rec.Node] {
+		// Failover attempt: walk the full provider list for an untried
+		// node instead.
+		err = fmt.Errorf("rpc: %s: %w", name, ErrNoProvider)
+		for _, alt := range dir.Lookup(naming.KindFunction, name) {
+			if !tried[alt.Node] {
+				rec, err = alt, nil
+				break
+			}
+		}
+	}
+	if err != nil {
+		return "", false, fmt.Errorf("rpc: %s: %w", name, ErrNoProvider)
+	}
+	if err := checkSignature(rec, argType, retType); err != nil {
+		return "", false, err
+	}
+	if q.Binding == qos.BindStatic {
+		e.mu.Lock()
+		e.pins[name] = rec.Node
+		e.mu.Unlock()
+	}
+	return rec.Node, false, nil
+}
+
+func checkSignature(rec naming.Record, argType, retType *presentation.Type) error {
+	if rec.ArgSig != sigOf(argType) {
+		return fmt.Errorf("rpc: %s: provider args %q, caller %q: %w",
+			rec.Name, rec.ArgSig, sigOf(argType), ErrBadSignature)
+	}
+	if rec.TypeSig != sigOf(retType) {
+		return fmt.Errorf("rpc: %s: provider returns %q, caller wants %q: %w",
+			rec.Name, rec.TypeSig, sigOf(retType), ErrBadSignature)
+	}
+	return nil
+}
+
+func (e *Engine) unpin(name string, node transport.NodeID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.pins[name] == node {
+		delete(e.pins, name)
+	}
+}
+
+// callLocal executes a local registration through the scheduler (bypass
+// path: no encode/decode of the return value, but arguments were already
+// encoded once for uniformity — decode them back).
+func (e *Engine) callLocal(ctx context.Context, name string, payload []byte, argType, retType *presentation.Type, q qos.CallQoS) (any, error, error) {
+	e.mu.Lock()
+	reg := e.functions[name]
+	e.mu.Unlock()
+	if reg == nil {
+		return nil, nil, fmt.Errorf("rpc: %s: %w", name, ErrNoProvider)
+	}
+	if sigOf(reg.argType) != sigOf(argType) || sigOf(reg.retType) != sigOf(retType) {
+		return nil, nil, fmt.Errorf("rpc: %s local: %w", name, ErrBadSignature)
+	}
+	var args any
+	if reg.argType != nil {
+		decoded, err := e.f.Encoding().Unmarshal(reg.argType, payload)
+		if err != nil {
+			return nil, nil, err
+		}
+		args = decoded
+	}
+	type res struct {
+		v   any
+		err error
+	}
+	ch := make(chan res, 1)
+	if err := e.f.Schedule(q.Priority, func() {
+		v, err := reg.handler(args)
+		ch <- res{v: v, err: err}
+	}); err != nil {
+		return nil, nil, err
+	}
+	select {
+	case r := <-ch:
+		e.mu.Lock()
+		reg.calls++
+		e.mu.Unlock()
+		if r.err != nil {
+			return nil, &AppError{Name: name, Message: r.err.Error()}, nil
+		}
+		if reg.retType == nil {
+			return nil, nil, nil
+		}
+		cv, err := presentation.Coerce(reg.retType, r.v)
+		if err != nil {
+			return nil, &AppError{Name: name, Message: err.Error()}, nil
+		}
+		return cv, nil, nil
+	case <-ctx.Done():
+		return nil, nil, fmt.Errorf("rpc: %s local: %w", name, ErrDeadline)
+	}
+}
+
+// callRemote performs one remote attempt.
+func (e *Engine) callRemote(ctx context.Context, provider transport.NodeID, name string, payload []byte, retType *presentation.Type, q qos.CallQoS) (any, error, error) {
+	callID := e.f.NextSeq()
+	pc := &pendingCall{done: make(chan callResult, 1)}
+	e.mu.Lock()
+	e.pending[callID] = pc
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		delete(e.pending, callID)
+		e.mu.Unlock()
+	}()
+
+	frame := &protocol.Frame{
+		Type:     protocol.MTCall,
+		Encoding: e.f.Encoding().ID(),
+		Priority: q.Priority,
+		Channel:  name,
+		Seq:      callID,
+		Payload:  payload,
+	}
+	sendErr := make(chan error, 1)
+	e.f.SendReliable(provider, frame, q.Reliability, func(err error) {
+		if err != nil {
+			sendErr <- err
+		}
+	})
+
+	select {
+	case err := <-sendErr:
+		return nil, nil, fmt.Errorf("rpc: %s to %q: %w", name, provider, err)
+	case res := <-pc.done:
+		if res.infraErr {
+			return nil, nil, fmt.Errorf("rpc: %s: provider %q has no such function", name, provider)
+		}
+		if res.appErr != "" {
+			return nil, &AppError{Name: name, Message: res.appErr}, nil
+		}
+		if retType == nil {
+			return nil, nil, nil
+		}
+		v, err := e.f.Encoding().Unmarshal(retType, res.payload)
+		if err != nil {
+			return nil, nil, err
+		}
+		return v, nil, nil
+	case <-ctx.Done():
+		return nil, nil, fmt.Errorf("rpc: %s to %q: %w", name, provider, ErrDeadline)
+	}
+}
+
+// HandleCall executes an incoming MTCall and replies.
+func (e *Engine) HandleCall(from transport.NodeID, fr *protocol.Frame) {
+	e.mu.Lock()
+	reg := e.functions[fr.Channel]
+	e.mu.Unlock()
+	callID := fr.Seq
+	if reg == nil {
+		reply := &protocol.Frame{
+			Type:     protocol.MTError,
+			Priority: fr.Priority,
+			Channel:  fr.Channel,
+			Seq:      callID,
+		}
+		e.f.SendReliable(from, reply, qos.ReliableARQ, nil)
+		return
+	}
+	var args any
+	if reg.argType != nil {
+		decoded, err := e.f.Encoding().Unmarshal(reg.argType, fr.Payload)
+		if err != nil {
+			e.replyAppError(from, fr, fmt.Sprintf("bad arguments: %v", err))
+			return
+		}
+		args = decoded
+	}
+	pr := fr.Priority
+	if !pr.Valid() {
+		pr = reg.q.Priority
+	}
+	handler := reg.handler
+	if err := e.f.Schedule(pr, func() {
+		v, err := handler(args)
+		e.mu.Lock()
+		reg.calls++
+		e.mu.Unlock()
+		if err != nil {
+			e.replyAppError(from, fr, err.Error())
+			return
+		}
+		var payload []byte
+		if reg.retType != nil {
+			cv, cerr := presentation.Coerce(reg.retType, v)
+			if cerr != nil {
+				e.replyAppError(from, fr, cerr.Error())
+				return
+			}
+			payload, cerr = e.f.Encoding().Marshal(reg.retType, cv)
+			if cerr != nil {
+				e.replyAppError(from, fr, cerr.Error())
+				return
+			}
+		}
+		reply := &protocol.Frame{
+			Type:     protocol.MTReturn,
+			Encoding: e.f.Encoding().ID(),
+			Priority: pr,
+			Channel:  fr.Channel,
+			Seq:      callID,
+			Payload:  payload,
+		}
+		e.f.SendReliable(from, reply, qos.ReliableARQ, nil)
+	}); err != nil {
+		e.replyAppError(from, fr, "scheduler saturated")
+	}
+}
+
+func (e *Engine) replyAppError(to transport.NodeID, call *protocol.Frame, msg string) {
+	w := encoding.NewWriter(len(msg) + 4)
+	w.String(msg)
+	reply := &protocol.Frame{
+		Type:     protocol.MTError,
+		Flags:    protocol.FlagAppError,
+		Priority: call.Priority,
+		Channel:  call.Channel,
+		Seq:      call.Seq,
+		Payload:  w.Bytes(),
+	}
+	e.f.SendReliable(to, reply, qos.ReliableARQ, nil)
+}
+
+// HandleReturn completes a pending call with a success reply.
+func (e *Engine) HandleReturn(from transport.NodeID, fr *protocol.Frame) {
+	e.complete(fr.Seq, callResult{payload: append([]byte(nil), fr.Payload...), from: from})
+}
+
+// HandleError completes a pending call with a failure reply.
+func (e *Engine) HandleError(from transport.NodeID, fr *protocol.Frame) {
+	if fr.Flags&protocol.FlagAppError != 0 {
+		r := encoding.NewReader(fr.Payload)
+		msg := r.String()
+		if r.Err() != nil {
+			msg = "remote error"
+		}
+		e.complete(fr.Seq, callResult{appErr: msg, from: from})
+		return
+	}
+	e.complete(fr.Seq, callResult{infraErr: true, from: from})
+}
+
+func (e *Engine) complete(callID uint64, res callResult) {
+	e.mu.Lock()
+	pc := e.pending[callID]
+	e.mu.Unlock()
+	if pc == nil {
+		return // late reply after failover or deadline
+	}
+	select {
+	case pc.done <- res:
+	default:
+	}
+}
+
+// DependencyCheck verifies every named function has at least one provider,
+// locally or in the directory (§4.3 startup behaviour, experiment E12).
+// The returned error lists every missing name.
+func (e *Engine) DependencyCheck(names ...string) error {
+	var missing []string
+	for _, name := range names {
+		if e.hasLocal(name) {
+			continue
+		}
+		if e.f.Directory().ProviderCount(naming.KindFunction, name) > 0 {
+			continue
+		}
+		missing = append(missing, name)
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("rpc: missing %s: %w", strings.Join(missing, ", "), ErrDependency)
+	}
+	return nil
+}
+
+// Records lists this node's registered functions for announcements.
+func (e *Engine) Records() []naming.Record {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]naming.Record, 0, len(e.functions))
+	for _, reg := range e.functions {
+		out = append(out, naming.Record{
+			Kind:    naming.KindFunction,
+			Name:    reg.name,
+			Service: reg.service,
+			Node:    e.f.Self(),
+			TypeSig: sigOf(reg.retType),
+			ArgSig:  sigOf(reg.argType),
+		})
+	}
+	return out
+}
+
+// Calls reports how many times a local function has executed.
+func (e *Engine) Calls(name string) uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if reg := e.functions[name]; reg != nil {
+		return reg.calls
+	}
+	return 0
+}

@@ -1,0 +1,355 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"uavmw/internal/encoding"
+	"uavmw/internal/naming"
+	"uavmw/internal/presentation"
+	"uavmw/internal/protocol"
+	"uavmw/internal/qos"
+	"uavmw/internal/transport"
+)
+
+// fakeFabric routes reliable frames through an optional peer engine so two
+// rpc engines can converse without a container.
+type fakeFabric struct {
+	self transport.NodeID
+	dir  *naming.Directory
+	seq  atomic.Uint64
+
+	mu    sync.Mutex
+	peers map[transport.NodeID]*Engine
+	drop  map[transport.NodeID]bool
+}
+
+func newFakeFabric(self transport.NodeID) *fakeFabric {
+	return &fakeFabric{
+		self:  self,
+		dir:   naming.NewDirectory(time.Minute),
+		peers: make(map[transport.NodeID]*Engine),
+		drop:  make(map[transport.NodeID]bool),
+	}
+}
+
+func (f *fakeFabric) Self() transport.NodeID       { return f.self }
+func (f *fakeFabric) Encoding() encoding.Encoding  { return encoding.Binary{} }
+func (f *fakeFabric) Directory() *naming.Directory { return f.dir }
+func (f *fakeFabric) NextSeq() uint64              { return f.seq.Add(1) }
+func (f *fakeFabric) Schedule(_ qos.Priority, job func()) error {
+	go job() // calls block on replies, so run handler work concurrently
+	return nil
+}
+func (f *fakeFabric) SendBestEffort(transport.NodeID, *protocol.Frame) error { return nil }
+func (f *fakeFabric) SendGroup(string, *protocol.Frame) error                { return nil }
+func (f *fakeFabric) Join(string) error                                      { return nil }
+func (f *fakeFabric) Leave(string) error                                     { return nil }
+
+func (f *fakeFabric) SendReliable(to transport.NodeID, fr *protocol.Frame, _ qos.Reliability, done func(error)) {
+	f.mu.Lock()
+	peer := f.peers[to]
+	dropped := f.drop[to]
+	f.mu.Unlock()
+	if dropped || peer == nil {
+		if done != nil {
+			done(errors.New("unreachable"))
+		}
+		return
+	}
+	if done != nil {
+		done(nil)
+	}
+	// Deliver on a fresh goroutine like a real dispatcher.
+	cp := *fr
+	cp.Payload = append([]byte(nil), fr.Payload...)
+	go dispatch(peer, f.self, &cp)
+}
+
+func dispatch(e *Engine, from transport.NodeID, fr *protocol.Frame) {
+	switch fr.Type {
+	case protocol.MTCall:
+		e.HandleCall(from, fr)
+	case protocol.MTReturn:
+		e.HandleReturn(from, fr)
+	case protocol.MTError:
+		e.HandleError(from, fr)
+	}
+}
+
+// wire connects a client and a server engine through fake fabrics and
+// announces the server's functions into the client's directory.
+func wire(t *testing.T) (client, server *Engine, cf, sf *fakeFabric) {
+	t.Helper()
+	cf = newFakeFabric("client")
+	sf = newFakeFabric("server")
+	client = New(cf)
+	server = New(sf)
+	cf.peers["server"] = server
+	sf.peers["client"] = client
+	return client, server, cf, sf
+}
+
+func announce(t *testing.T, f *fakeFabric, node transport.NodeID, e *Engine) {
+	t.Helper()
+	f.dir.Apply(&naming.Announcement{Node: node, Epoch: 1, Records: e.Records()}, time.Now())
+}
+
+var (
+	addArgs = presentation.MustParse("{a:i32,b:i32}")
+	i32     = presentation.Int32()
+)
+
+func registerAdd(t *testing.T, e *Engine) {
+	t.Helper()
+	if err := e.Register("add", "calc", addArgs, i32, qos.CallQoS{},
+		func(args any) (any, error) {
+			m := args.(map[string]any)
+			return m["a"].(int32) + m["b"].(int32), nil
+		}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	e := New(newFakeFabric("n"))
+	if err := e.Register("f", "svc", nil, nil, qos.CallQoS{}, nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+	if err := e.Register("f", "svc", presentation.StructOf(), nil, qos.CallQoS{},
+		func(any) (any, error) { return nil, nil }); err == nil {
+		t.Error("invalid arg type accepted")
+	}
+	if err := e.Register("f", "svc", nil, nil, qos.CallQoS{Retries: -1},
+		func(any) (any, error) { return nil, nil }); err == nil {
+		t.Error("invalid QoS accepted")
+	}
+	ok := func(any) (any, error) { return nil, nil }
+	if err := e.Register("f", "svc", nil, nil, qos.CallQoS{}, ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register("f", "svc", nil, nil, qos.CallQoS{}, ok); !errors.Is(err, ErrDuplicateName) {
+		t.Errorf("duplicate: %v", err)
+	}
+	e.Unregister("f")
+	if err := e.Register("f", "svc", nil, nil, qos.CallQoS{}, ok); err != nil {
+		t.Errorf("re-register after unregister: %v", err)
+	}
+}
+
+func TestLocalCallBypass(t *testing.T) {
+	e := New(newFakeFabric("n"))
+	registerAdd(t, e)
+	got, err := e.Call(context.Background(), "add", map[string]any{"a": 2, "b": 3}, addArgs, i32, qos.CallQoS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != int32(5) {
+		t.Errorf("got %v", got)
+	}
+	if e.Calls("add") != 1 {
+		t.Errorf("Calls = %d", e.Calls("add"))
+	}
+	if e.Calls("ghost") != 0 {
+		t.Error("unknown function has calls")
+	}
+}
+
+func TestRemoteCall(t *testing.T) {
+	client, server, cf, _ := wire(t)
+	registerAdd(t, server)
+	announce(t, cf, "server", server)
+
+	got, err := client.Call(context.Background(), "add",
+		map[string]any{"a": 20, "b": 22}, addArgs, i32, qos.CallQoS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != int32(42) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestRemoteAppError(t *testing.T) {
+	client, server, cf, _ := wire(t)
+	if err := server.Register("boom", "svc", nil, nil, qos.CallQoS{},
+		func(any) (any, error) { return nil, errors.New("kaput") }); err != nil {
+		t.Fatal(err)
+	}
+	announce(t, cf, "server", server)
+
+	_, err := client.Call(context.Background(), "boom", nil, nil, nil, qos.CallQoS{})
+	var appErr *AppError
+	if !errors.As(err, &appErr) {
+		t.Fatalf("want AppError, got %v", err)
+	}
+	if !strings.Contains(appErr.Error(), "kaput") {
+		t.Errorf("message lost: %v", appErr)
+	}
+}
+
+func TestSignatureMismatchRejected(t *testing.T) {
+	client, server, cf, _ := wire(t)
+	registerAdd(t, server)
+	announce(t, cf, "server", server)
+
+	_, err := client.Call(context.Background(), "add",
+		map[string]any{"x": 1.5}, presentation.MustParse("{x:f64}"), i32, qos.CallQoS{})
+	if !errors.Is(err, ErrBadSignature) {
+		t.Errorf("want ErrBadSignature, got %v", err)
+	}
+	_, err = client.Call(context.Background(), "add",
+		map[string]any{"a": 1, "b": 2}, addArgs, presentation.Float64(), qos.CallQoS{})
+	if !errors.Is(err, ErrBadSignature) {
+		t.Errorf("return mismatch: %v", err)
+	}
+}
+
+func TestNoProvider(t *testing.T) {
+	e := New(newFakeFabric("n"))
+	_, err := e.Call(context.Background(), "ghost", nil, nil, nil, qos.CallQoS{})
+	if !errors.Is(err, ErrNoProvider) {
+		t.Errorf("want ErrNoProvider, got %v", err)
+	}
+}
+
+func TestFailoverToSecondProvider(t *testing.T) {
+	// Two providers; the first is unreachable at send time, so the call
+	// must redirect within one Call invocation.
+	cf := newFakeFabric("client")
+	client := New(cf)
+	sfGood := newFakeFabric("good")
+	good := New(sfGood)
+	sfGood.peers["client"] = client
+	cf.peers["good"] = good
+	cf.drop["bad"] = true
+
+	retT := presentation.String_()
+	if err := good.Register("fn", "svc", nil, retT, qos.CallQoS{},
+		func(any) (any, error) { return "good", nil }); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	cf.dir.Apply(&naming.Announcement{Node: "bad", Epoch: 1, Records: []naming.Record{
+		{Kind: naming.KindFunction, Name: "fn", Service: "svc", Node: "bad", TypeSig: retT.String()},
+	}}, now)
+	cf.dir.Apply(&naming.Announcement{Node: "good", Epoch: 1, Records: good.Records()}, now)
+
+	got, err := client.Call(context.Background(), "fn", nil, nil, retT, qos.CallQoS{})
+	if err != nil {
+		t.Fatalf("failover call: %v", err)
+	}
+	if got != "good" {
+		t.Errorf("served by %v", got)
+	}
+}
+
+func TestDeadlineRespected(t *testing.T) {
+	client, server, cf, _ := wire(t)
+	if err := server.Register("slow", "svc", nil, nil, qos.CallQoS{},
+		func(any) (any, error) {
+			time.Sleep(time.Second)
+			return nil, nil
+		}); err != nil {
+		t.Fatal(err)
+	}
+	announce(t, cf, "server", server)
+
+	start := time.Now()
+	_, err := client.Call(context.Background(), "slow", nil, nil, nil,
+		qos.CallQoS{Deadline: 50 * time.Millisecond, Retries: 1})
+	if err == nil {
+		t.Fatal("deadline ignored")
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Errorf("call took %v despite 50ms deadline", elapsed)
+	}
+}
+
+func TestHandleCallUnknownFunction(t *testing.T) {
+	client, _, cf, sf := wire(t)
+	// Server with no functions: an infra error must come back, and with a
+	// single provider the call fails as all-providers-failed.
+	cf.dir.Apply(&naming.Announcement{Node: "server", Epoch: 1, Records: []naming.Record{
+		{Kind: naming.KindFunction, Name: "phantom", Service: "svc", Node: "server"},
+	}}, time.Now())
+	_ = sf
+	_, err := client.Call(context.Background(), "phantom", nil, nil, nil,
+		qos.CallQoS{Deadline: time.Second})
+	if err == nil {
+		t.Fatal("phantom call succeeded")
+	}
+	if !errors.Is(err, ErrAllProvidersFailed) && !errors.Is(err, ErrDeadline) {
+		t.Errorf("unexpected failure mode: %v", err)
+	}
+}
+
+func TestDependencyCheck(t *testing.T) {
+	e := New(newFakeFabric("n"))
+	ok := func(any) (any, error) { return nil, nil }
+	if err := e.Register("have.local", "svc", nil, nil, qos.CallQoS{}, ok); err != nil {
+		t.Fatal(err)
+	}
+	// Remote provider via directory.
+	e.f.Directory().Apply(&naming.Announcement{Node: "remote", Epoch: 1, Records: []naming.Record{
+		{Kind: naming.KindFunction, Name: "have.remote", Service: "svc", Node: "remote"},
+	}}, time.Now())
+
+	if err := e.DependencyCheck("have.local", "have.remote"); err != nil {
+		t.Errorf("satisfied deps failed: %v", err)
+	}
+	err := e.DependencyCheck("have.local", "missing.one", "missing.two")
+	if !errors.Is(err, ErrDependency) {
+		t.Fatalf("want ErrDependency, got %v", err)
+	}
+	for _, name := range []string{"missing.one", "missing.two"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error does not name %s: %v", name, err)
+		}
+	}
+}
+
+func TestStaticPinUnpinOnFailure(t *testing.T) {
+	client, server, cf, _ := wire(t)
+	registerAdd(t, server)
+	announce(t, cf, "server", server)
+
+	q := qos.CallQoS{Binding: qos.BindStatic}
+	if _, err := client.Call(context.Background(), "add",
+		map[string]any{"a": 1, "b": 1}, addArgs, i32, q); err != nil {
+		t.Fatal(err)
+	}
+	client.mu.Lock()
+	pin := client.pins["add"]
+	client.mu.Unlock()
+	if pin != "server" {
+		t.Fatalf("pin = %q", pin)
+	}
+	// Provider becomes unreachable: call fails, pin cleared.
+	cf.mu.Lock()
+	cf.drop["server"] = true
+	cf.mu.Unlock()
+	if _, err := client.Call(context.Background(), "add",
+		map[string]any{"a": 1, "b": 1}, addArgs, i32,
+		qos.CallQoS{Binding: qos.BindStatic, Deadline: 200 * time.Millisecond}); err == nil {
+		t.Fatal("unreachable pinned provider succeeded")
+	}
+	client.mu.Lock()
+	pin = client.pins["add"]
+	client.mu.Unlock()
+	if pin != "" {
+		t.Errorf("dead pin retained: %q", pin)
+	}
+}
+
+func TestLateReplyIgnored(t *testing.T) {
+	e := New(newFakeFabric("n"))
+	// A reply for a call id nobody is waiting on must be harmless.
+	e.HandleReturn("x", &protocol.Frame{Type: protocol.MTReturn, Seq: 999})
+	e.HandleError("x", &protocol.Frame{Type: protocol.MTError, Seq: 999})
+}

@@ -1,0 +1,207 @@
+package scheduler
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+
+	"uavmw/internal/metrics"
+	"uavmw/internal/qos"
+)
+
+// EDF is the earliest-deadline-first scheduler the paper lists as future
+// work ("as a future work we plan to introduce real-time approach for the
+// critical events and services", §7). Jobs carry absolute deadlines;
+// workers always run the job whose deadline is nearest, so a tardy
+// low-priority job eventually overtakes a stream of far-deadline
+// high-priority work — the classic dynamic-priority behaviour a
+// fixed-priority pool cannot express.
+//
+// It implements the plain Scheduler interface by mapping each priority
+// class to a default relative deadline, so it can be plugged into the
+// container unchanged (WithScheduler(scheduler.NewEDF())); deadline-aware
+// callers use SubmitDeadline directly. Still soft real time: no
+// preemption, no admission test — Go's runtime is not an RTOS, the same
+// caveat the paper's CLR prototype carried.
+type EDF struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   edfHeap
+	seq     uint64
+	stopped bool
+
+	wg sync.WaitGroup
+
+	classDeadline [5]time.Duration // by qos.Priority.Index()
+
+	lateness *metrics.Histogram // completion time minus deadline (tardy only)
+	executed *metrics.Counter
+}
+
+type edfJob struct {
+	deadline time.Time
+	seq      uint64 // FIFO tiebreaker
+	job      Job
+	enqueued time.Time
+}
+
+type edfHeap []edfJob
+
+func (h edfHeap) Len() int { return len(h) }
+func (h edfHeap) Less(i, j int) bool {
+	if h[i].deadline.Equal(h[j].deadline) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].deadline.Before(h[j].deadline)
+}
+func (h edfHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *edfHeap) Push(x any)   { *h = append(*h, x.(edfJob)) }
+func (h *edfHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = edfJob{}
+	*h = old[:n-1]
+	return j
+}
+
+// Default per-class relative deadlines for the Scheduler-interface path:
+// urgent classes get tight deadlines, bulk gets a loose one.
+var defaultClassDeadlines = [5]time.Duration{
+	// index 0 = bulk ... index 4 = critical
+	500 * time.Millisecond,
+	100 * time.Millisecond,
+	20 * time.Millisecond,
+	5 * time.Millisecond,
+	time.Millisecond,
+}
+
+// EDFOption customizes the scheduler.
+type EDFOption func(*edfConfig)
+
+type edfConfig struct {
+	workers        int
+	classDeadlines [5]time.Duration
+}
+
+// WithEDFWorkers sets the worker count (>=1, default DefaultWorkers).
+func WithEDFWorkers(n int) EDFOption {
+	return func(c *edfConfig) {
+		if n >= 1 {
+			c.workers = n
+		}
+	}
+}
+
+// WithClassDeadline overrides the relative deadline assigned to a priority
+// class on the Submit path.
+func WithClassDeadline(p qos.Priority, d time.Duration) EDFOption {
+	return func(c *edfConfig) {
+		if idx := p.Index(); idx >= 0 && d > 0 {
+			c.classDeadlines[idx] = d
+		}
+	}
+}
+
+var _ Scheduler = (*EDF)(nil)
+
+// NewEDF starts an earliest-deadline-first pool.
+func NewEDF(opts ...EDFOption) *EDF {
+	cfg := edfConfig{workers: DefaultWorkers, classDeadlines: defaultClassDeadlines}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	e := &EDF{
+		classDeadline: cfg.classDeadlines,
+		lateness:      &metrics.Histogram{},
+		executed:      &metrics.Counter{},
+	}
+	e.cond = sync.NewCond(&e.mu)
+	e.wg.Add(cfg.workers)
+	for i := 0; i < cfg.workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Submit implements Scheduler: the priority class selects the relative
+// deadline.
+func (e *EDF) Submit(p qos.Priority, job Job) error {
+	idx := p.Index()
+	if idx < 0 {
+		return fmt.Errorf("scheduler: priority %d: %w", p, ErrBadPriority)
+	}
+	return e.SubmitDeadline(job, time.Now().Add(e.classDeadline[idx]))
+}
+
+// SubmitDeadline enqueues job with an absolute deadline.
+func (e *EDF) SubmitDeadline(job Job, deadline time.Time) error {
+	if job == nil {
+		return fmt.Errorf("scheduler: nil job: %w", ErrBadPriority)
+	}
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return fmt.Errorf("scheduler: %w", ErrStopped)
+	}
+	e.seq++
+	heap.Push(&e.queue, edfJob{
+		deadline: deadline,
+		seq:      e.seq,
+		job:      job,
+		enqueued: time.Now(),
+	})
+	e.mu.Unlock()
+	e.cond.Signal()
+	return nil
+}
+
+func (e *EDF) worker() {
+	defer e.wg.Done()
+	for {
+		e.mu.Lock()
+		for len(e.queue) == 0 && !e.stopped {
+			e.cond.Wait()
+		}
+		if e.stopped {
+			e.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&e.queue).(edfJob)
+		e.mu.Unlock()
+
+		j.job()
+		e.executed.Inc()
+		if tardy := time.Since(j.deadline); tardy > 0 {
+			e.lateness.Observe(tardy)
+		}
+	}
+}
+
+// Stop implements Scheduler: queued jobs are discarded.
+func (e *EDF) Stop() {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	e.stopped = true
+	e.queue = nil
+	e.mu.Unlock()
+	e.cond.Broadcast()
+	e.wg.Wait()
+}
+
+// Executed reports completed jobs.
+func (e *EDF) Executed() uint64 { return e.executed.Value() }
+
+// Lateness exposes the tardiness histogram (jobs completed past deadline).
+func (e *EDF) Lateness() *metrics.Histogram { return e.lateness }
+
+// Backlog reports queued jobs.
+func (e *EDF) Backlog() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.queue)
+}

@@ -1,0 +1,77 @@
+package services
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"uavmw/internal/core"
+	"uavmw/internal/telemetry"
+)
+
+// TelemetryBridge reproduces the paper's §6 FlightGear integration: it
+// subscribes to the position variable and writes NMEA sentence bursts to
+// any byte stream (a file, a UDP socket toward FlightGear, a terminal).
+// The whole service is a page of code — the point of the anecdote.
+type TelemetryBridge struct {
+	// Out receives the NMEA byte stream; required.
+	Out io.Writer
+
+	mu    sync.Mutex
+	fixes uint64
+}
+
+var _ core.Service = (*TelemetryBridge)(nil)
+
+// Name implements core.Service.
+func (b *TelemetryBridge) Name() string { return "telemetry-bridge" }
+
+// Init implements core.Service.
+func (b *TelemetryBridge) Init(ctx *core.Context) error {
+	if b.Out == nil {
+		return fmt.Errorf("telemetry-bridge: no output writer")
+	}
+	_, err := ctx.SubscribeVariable(VarPosition, TypePosition, subscribeOpts(func(v any, ts time.Time) {
+		m, ok := v.(map[string]any)
+		if !ok {
+			return
+		}
+		lat, _ := m["lat"].(float64)
+		lon, _ := m["lon"].(float64)
+		alt, _ := m["alt"].(float32)
+		speed, _ := m["speed"].(float32)
+		heading, _ := m["heading"].(float32)
+		fix, _ := m["fix"].(uint8)
+		burst := telemetry.Encode(telemetry.Fix{
+			Lat:       lat,
+			Lon:       lon,
+			AltM:      float64(alt),
+			SpeedMS:   float64(speed),
+			CourseDeg: float64(heading),
+			Time:      ts,
+			Valid:     fix > 0,
+		})
+		if _, err := io.WriteString(b.Out, burst); err != nil {
+			ctx.Logf("telemetry write: %v", err)
+			return
+		}
+		b.mu.Lock()
+		b.fixes++
+		b.mu.Unlock()
+	}))
+	return err
+}
+
+// Start implements core.Service.
+func (b *TelemetryBridge) Start(*core.Context) error { return nil }
+
+// Stop implements core.Service.
+func (b *TelemetryBridge) Stop(*core.Context) error { return nil }
+
+// Fixes reports emitted telemetry bursts.
+func (b *TelemetryBridge) Fixes() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fixes
+}

@@ -1,0 +1,165 @@
+package services
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"uavmw/internal/core"
+	"uavmw/internal/events"
+	"uavmw/internal/imaging"
+	"uavmw/internal/qos"
+	"uavmw/internal/transport"
+)
+
+// Camera is the payload service (§5): prepared through remote invocation,
+// triggered by mission events, publishing each captured frame as a file
+// resource and announcing it with an event.
+type Camera struct {
+	// TargetsFor decides how many detectable features appear in photo
+	// index i (default: one target in every third photo).
+	TargetsFor func(index uint32) int
+	// Noise is the frame background noise level (default 40).
+	Noise int
+
+	mu       sync.Mutex
+	prepared bool
+	prefix   string
+	width    uint32
+	height   uint32
+	count    uint32
+
+	ready *events.Publisher
+	ctx   *core.Context
+}
+
+var _ core.Service = (*Camera)(nil)
+var _ core.Resourced = (*Camera)(nil)
+
+// Name implements core.Service.
+func (c *Camera) Name() string { return "camera" }
+
+// Manifest implements core.Resourced: the imager is an exclusive device.
+func (c *Camera) Manifest() core.Manifest {
+	return core.Manifest{MemoryKB: 4096, CPUShare: 0.15, Devices: []string{"/dev/video0"}}
+}
+
+// Init implements core.Service.
+func (c *Camera) Init(ctx *core.Context) error {
+	c.ctx = ctx
+	if c.TargetsFor == nil {
+		c.TargetsFor = func(index uint32) int {
+			if index%3 == 0 {
+				return 1 + int(index%2)
+			}
+			return 0
+		}
+	}
+	if c.Noise <= 0 {
+		c.Noise = 40
+	}
+
+	ready, err := ctx.OfferEvent(EvtPhotoReady, TypePhotoReady, qos.EventQoS{})
+	if err != nil {
+		return err
+	}
+	c.ready = ready
+
+	// Remote-invocation surface: prepare(prefix, geometry) -> bool.
+	if err := ctx.RegisterFunction(FnCameraPrepare, TypeCameraPrepareArgs,
+		presentationBool(), qos.CallQoS{}, func(args any) (any, error) {
+			m, ok := args.(map[string]any)
+			if !ok {
+				return nil, fmt.Errorf("camera: bad prepare args %T", args)
+			}
+			return c.prepare(m)
+		}); err != nil {
+		return err
+	}
+
+	// Photo trigger events from mission control.
+	if _, err := ctx.SubscribeEvent(EvtPhotoRequest, TypePhotoRequest, qos.EventQoS{},
+		func(v any, from transport.NodeID) { c.takePhoto(v) }); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (c *Camera) prepare(args map[string]any) (bool, error) {
+	prefix, _ := args["prefix"].(string)
+	width, _ := args["width"].(uint32)
+	height, _ := args["height"].(uint32)
+	if prefix == "" || strings.ContainsAny(prefix, " /") {
+		return false, fmt.Errorf("camera: bad photo prefix %q", prefix)
+	}
+	if width == 0 || height == 0 {
+		return false, fmt.Errorf("camera: bad geometry %dx%d", width, height)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.prepared = true
+	c.prefix = prefix
+	c.width = width
+	c.height = height
+	return true, nil
+}
+
+// takePhoto captures, offers the file, and announces it.
+func (c *Camera) takePhoto(v any) {
+	req, ok := v.(map[string]any)
+	if !ok {
+		return
+	}
+	c.mu.Lock()
+	if !c.prepared {
+		c.mu.Unlock()
+		c.ctx.Logf("photo requested before prepare; ignoring")
+		return
+	}
+	width, height, noise := c.width, c.height, c.Noise
+	c.count++
+	shot := c.count
+	c.mu.Unlock()
+
+	name, _ := req["name"].(string)
+	index, _ := req["index"].(uint32)
+	img, _, err := imaging.Generate(imaging.FrameSpec{
+		Width:       int(width),
+		Height:      int(height),
+		TargetCount: c.TargetsFor(index),
+		NoiseLevel:  noise,
+		Seed:        int64(index) + 1,
+	})
+	if err != nil {
+		c.ctx.Logf("generate frame: %v", err)
+		return
+	}
+	data, err := imaging.EncodePNG(img)
+	if err != nil {
+		c.ctx.Logf("encode frame: %v", err)
+		return
+	}
+	if _, err := c.ctx.OfferFile(name, data, qos.TransferQoS{}); err != nil {
+		c.ctx.Logf("offer photo %q: %v", name, err)
+		return
+	}
+	ctx, cancel := publishContext()
+	defer cancel()
+	if err := c.ready.Publish(ctx, map[string]any{"name": name, "index": index}); err != nil {
+		c.ctx.Logf("announce photo %q: %v", name, err)
+	}
+	_ = shot
+}
+
+// Start implements core.Service.
+func (c *Camera) Start(*core.Context) error { return nil }
+
+// Stop implements core.Service.
+func (c *Camera) Stop(*core.Context) error { return nil }
+
+// Shots reports photos captured.
+func (c *Camera) Shots() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count
+}

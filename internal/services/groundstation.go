@@ -1,0 +1,116 @@
+package services
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"uavmw/internal/core"
+	"uavmw/internal/presentation"
+	"uavmw/internal/qos"
+	"uavmw/internal/transport"
+)
+
+// GroundStation is the operator console (§5: "basically shows the
+// subscribed variables and events in a terminal"). Output goes to any
+// io.Writer; tests capture it, the CLI points it at stdout.
+type GroundStation struct {
+	// Out receives the terminal lines; required.
+	Out io.Writer
+	// PositionEvery throttles position printing to one line per N
+	// samples (default 10).
+	PositionEvery int
+
+	mu        sync.Mutex
+	positions uint64
+	events    map[string]uint64
+	lastPos   map[string]any
+}
+
+var _ core.Service = (*GroundStation)(nil)
+
+// Name implements core.Service.
+func (gs *GroundStation) Name() string { return "ground-station" }
+
+// Init implements core.Service.
+func (gs *GroundStation) Init(ctx *core.Context) error {
+	if gs.Out == nil {
+		return fmt.Errorf("ground-station: no output writer")
+	}
+	if gs.PositionEvery <= 0 {
+		gs.PositionEvery = 10
+	}
+	gs.events = make(map[string]uint64)
+
+	if _, err := ctx.SubscribeVariable(VarPosition, TypePosition, subscribeOpts(func(v any, ts time.Time) {
+		m, ok := v.(map[string]any)
+		if !ok {
+			return
+		}
+		gs.mu.Lock()
+		gs.positions++
+		gs.lastPos = m
+		print := gs.positions%uint64(gs.PositionEvery) == 1
+		gs.mu.Unlock()
+		if print {
+			fmt.Fprintf(gs.Out, "[gs] pos %s\n", presentation.FormatValue(TypePosition, m))
+		}
+	})); err != nil {
+		return err
+	}
+
+	topics := []struct {
+		name string
+		typ  *presentation.Type
+	}{
+		{EvtPhotoRequest, TypePhotoRequest},
+		{EvtPhotoReady, TypePhotoReady},
+		{EvtDetection, TypeDetection},
+		{EvtMissionComplete, TypeMissionComplete},
+	}
+	for _, topic := range topics {
+		topic := topic
+		if _, err := ctx.SubscribeEvent(topic.name, topic.typ, qos.EventQoS{},
+			func(v any, from transport.NodeID) {
+				gs.mu.Lock()
+				gs.events[topic.name]++
+				gs.mu.Unlock()
+				fmt.Fprintf(gs.Out, "[gs] %s from %s: %s\n",
+					topic.name, from, presentation.FormatValue(topic.typ, v))
+			}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Start implements core.Service.
+func (gs *GroundStation) Start(*core.Context) error { return nil }
+
+// Stop implements core.Service.
+func (gs *GroundStation) Stop(*core.Context) error { return nil }
+
+// Positions reports received position samples.
+func (gs *GroundStation) Positions() uint64 {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	return gs.positions
+}
+
+// EventCount reports occurrences seen for a topic.
+func (gs *GroundStation) EventCount(topic string) uint64 {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	return gs.events[topic]
+}
+
+// LastPosition returns the freshest position sample, if any.
+func (gs *GroundStation) LastPosition() (map[string]any, bool) {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	if gs.lastPos == nil {
+		return nil, false
+	}
+	return gs.lastPos, true
+}

@@ -1,0 +1,27 @@
+package services
+
+import (
+	"context"
+	"time"
+
+	"uavmw/internal/presentation"
+	"uavmw/internal/variables"
+)
+
+// publishContext bounds an event publication; mission events must not hang
+// a service forever when a subscriber node is dying.
+func publishContext() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), 5*time.Second)
+}
+
+// presentationBool keeps call sites terse.
+func presentationBool() *presentation.Type { return presentation.Bool() }
+
+// presentationU32 keeps call sites terse.
+func presentationU32() *presentation.Type { return presentation.Uint32() }
+
+// subscribeOpts builds variable subscription options with just a sample
+// callback, the common service case.
+func subscribeOpts(onSample func(v any, ts time.Time)) variables.SubscribeOptions {
+	return variables.SubscribeOptions{OnSample: onSample}
+}

@@ -1,0 +1,47 @@
+package services
+
+import (
+	"testing"
+	"time"
+
+	"uavmw/internal/core"
+	"uavmw/internal/flightsim"
+	"uavmw/internal/presentation"
+	"uavmw/internal/rpc"
+	"uavmw/internal/transport"
+)
+
+func presentationCheck(t *presentation.Type, v any) error {
+	return presentation.Check(t, v)
+}
+
+func errDependency() error { return rpc.ErrDependency }
+
+// runMissionWithoutCamera brings up only the flight computer; mission
+// control's dependency check must fail.
+func runMissionWithoutCamera(t *testing.T, plan flightsim.FlightPlan,
+	factory func(transport.NodeID) (transport.Transport, error)) (*core.Node, error) {
+	t.Helper()
+	tr, err := factory("fcs-solo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := core.NewNode(core.WithDatagram(tr), core.WithAnnouncePeriod(20*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = node.Close() })
+
+	aircraft, err := flightsim.New(plan, flightsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.AddService(&GPS{Aircraft: aircraft, SampleRate: 50 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	mc := &MissionControl{Plan: plan, DependencyTimeout: 200 * time.Millisecond}
+	if _, err := node.AddService(mc); err != nil {
+		t.Fatal(err)
+	}
+	return node, node.StartServices()
+}

@@ -1,0 +1,230 @@
+package services
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"uavmw/internal/core"
+	"uavmw/internal/events"
+	"uavmw/internal/flightsim"
+	"uavmw/internal/qos"
+	"uavmw/internal/transport"
+)
+
+// MissionControl is the orchestrating service (§5): it "monitors the status
+// of the mission and following a provided flight plan orquestrates the rest
+// of services to autonomously accomplish the mission". It prepares the
+// camera via remote invocation, watches the position variable, fires photo
+// events at the plan's photo waypoints, counts detections, and raises the
+// completion event.
+type MissionControl struct {
+	// Plan is the mission flight plan; required.
+	Plan flightsim.FlightPlan
+	// PhotoRadiusM triggers a photo within this distance of a photo
+	// waypoint (default 80 m).
+	PhotoRadiusM float64
+	// PhotoPrefix names photo resources "<prefix>.<index>" (default
+	// "photo").
+	PhotoPrefix string
+	// PhotoWidth/PhotoHeight request camera geometry (default 640x480).
+	PhotoWidth, PhotoHeight uint32
+	// DependencyTimeout bounds the §4.3 startup dependency wait across
+	// asynchronous discovery (default 5 s).
+	DependencyTimeout time.Duration
+
+	photoReq *events.Publisher
+	complete *events.Publisher
+	ctx      *core.Context
+
+	mu          sync.Mutex
+	armed       bool         // photo logic enabled (camera prepared + subscribed)
+	shot        map[int]bool // photo waypoint index -> requested
+	photoIndex  uint32
+	detections  uint64
+	completeAt  time.Time
+	completeSet bool
+	started     time.Time
+}
+
+var _ core.Service = (*MissionControl)(nil)
+
+// Name implements core.Service.
+func (mc *MissionControl) Name() string { return "mission-control" }
+
+// Init implements core.Service.
+func (mc *MissionControl) Init(ctx *core.Context) error {
+	mc.ctx = ctx
+	if err := mc.Plan.Validate(); err != nil {
+		return err
+	}
+	if mc.PhotoRadiusM <= 0 {
+		mc.PhotoRadiusM = 80
+	}
+	if mc.PhotoPrefix == "" {
+		mc.PhotoPrefix = "photo"
+	}
+	if mc.PhotoWidth == 0 {
+		mc.PhotoWidth = 640
+	}
+	if mc.PhotoHeight == 0 {
+		mc.PhotoHeight = 480
+	}
+	if mc.DependencyTimeout <= 0 {
+		mc.DependencyTimeout = 5 * time.Second
+	}
+	mc.shot = make(map[int]bool)
+
+	// §4.3: check required functions exist before the mission starts.
+	// Discovery is asynchronous, so poll up to the timeout before
+	// declaring the emergency condition.
+	deadline := time.Now().Add(mc.DependencyTimeout)
+	for {
+		err := ctx.RequireFunctions(FnCameraPrepare)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("mission-control: emergency, dependencies unmet: %w", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	photoReq, err := ctx.OfferEvent(EvtPhotoRequest, TypePhotoRequest, qos.EventQoS{})
+	if err != nil {
+		return err
+	}
+	mc.photoReq = photoReq
+	complete, err := ctx.OfferEvent(EvtMissionComplete, TypeMissionComplete, qos.EventQoS{})
+	if err != nil {
+		return err
+	}
+	mc.complete = complete
+
+	if _, err := ctx.SubscribeVariable(VarPosition, TypePosition, subscribeOpts(mc.onPosition)); err != nil {
+		return err
+	}
+	if _, err := ctx.SubscribeEvent(EvtDetection, TypeDetection, qos.EventQoS{},
+		func(v any, from transport.NodeID) {
+			mc.mu.Lock()
+			mc.detections++
+			mc.mu.Unlock()
+		}); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Start implements core.Service: prepare the camera through remote
+// invocation ("all these initialization have remote call semantics").
+func (mc *MissionControl) Start(ctx *core.Context) error {
+	mc.mu.Lock()
+	mc.started = time.Now()
+	mc.mu.Unlock()
+	callCtx, cancel := context.WithTimeout(context.Background(), mc.DependencyTimeout)
+	defer cancel()
+	ok, err := ctx.Call(callCtx, FnCameraPrepare, map[string]any{
+		"prefix": mc.PhotoPrefix,
+		"width":  mc.PhotoWidth,
+		"height": mc.PhotoHeight,
+	}, TypeCameraPrepareArgs, presentationBool(), qos.CallQoS{Deadline: mc.DependencyTimeout})
+	if err != nil {
+		return fmt.Errorf("mission-control: camera prepare: %w", err)
+	}
+	if ok != true {
+		return fmt.Errorf("mission-control: camera refused preparation")
+	}
+	// Hold the mission until the photo topic has a subscriber: the
+	// camera's guaranteed-delivery subscription is established through
+	// discovery, and a plan may place its first photo waypoint at the
+	// launch point, so firing before anyone listens would silently lose
+	// the trigger.
+	deadline := time.Now().Add(mc.DependencyTimeout)
+	for len(mc.photoReq.Subscribers()) == 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("mission-control: no %s subscriber within %v", EvtPhotoRequest, mc.DependencyTimeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mc.mu.Lock()
+	mc.armed = true
+	mc.mu.Unlock()
+	return nil
+}
+
+// onPosition drives the mission state machine from position samples.
+func (mc *MissionControl) onPosition(v any, _ time.Time) {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return
+	}
+	lat, _ := m["lat"].(float64)
+	lon, _ := m["lon"].(float64)
+	complete, _ := m["complete"].(bool)
+
+	type photoShot struct {
+		name  string
+		index uint32
+	}
+	var fire []photoShot
+	mc.mu.Lock()
+	if !mc.armed {
+		mc.mu.Unlock()
+		return
+	}
+	for i, wp := range mc.Plan.Waypoints {
+		if !wp.Photo || mc.shot[i] {
+			continue
+		}
+		if flightsim.DistanceM(lat, lon, wp.Lat, wp.Lon) <= mc.PhotoRadiusM {
+			mc.shot[i] = true
+			mc.photoIndex++
+			fire = append(fire, photoShot{
+				name:  fmt.Sprintf("%s.%04d", mc.PhotoPrefix, mc.photoIndex),
+				index: mc.photoIndex,
+			})
+		}
+	}
+	var fireComplete bool
+	var photos uint32
+	var elapsed time.Duration
+	if complete && !mc.completeSet {
+		mc.completeSet = true
+		mc.completeAt = time.Now()
+		fireComplete = true
+		photos = mc.photoIndex
+		elapsed = time.Since(mc.started)
+	}
+	mc.mu.Unlock()
+
+	for _, shot := range fire {
+		pubCtx, cancel := publishContext()
+		err := mc.photoReq.Publish(pubCtx, map[string]any{
+			"name": shot.name, "index": shot.index, "lat": lat, "lon": lon,
+		})
+		cancel()
+		if err != nil {
+			mc.ctx.Logf("photo request %q: %v", shot.name, err)
+		}
+	}
+	if fireComplete {
+		pubCtx, cancel := publishContext()
+		defer cancel()
+		if err := mc.complete.Publish(pubCtx, map[string]any{
+			"photos": photos, "elapsed_ms": uint32(elapsed / time.Millisecond),
+		}); err != nil {
+			mc.ctx.Logf("mission complete event: %v", err)
+		}
+	}
+}
+
+// Stop implements core.Service.
+func (mc *MissionControl) Stop(*core.Context) error { return nil }
+
+// Progress reports photos requested, detections seen and completion.
+func (mc *MissionControl) Progress() (photos uint32, detections uint64, complete bool) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return mc.photoIndex, mc.detections, mc.completeSet
+}

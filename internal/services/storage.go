@@ -1,0 +1,160 @@
+package services
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"uavmw/internal/core"
+	"uavmw/internal/filetransfer"
+	"uavmw/internal/qos"
+	"uavmw/internal/transport"
+)
+
+// Storage is the generic storage/retrieval service (§5: "provides storage
+// and retrieval of data by providing access to an inner file system"). It
+// archives every announced photo via the file-transfer primitive and
+// records the GPS track from the position variable, exposing query
+// functions over remote invocation.
+type Storage struct {
+	// MaxTrackPoints bounds the recorded track (default 100k).
+	MaxTrackPoints int
+
+	mu    sync.Mutex
+	files map[string][]byte
+	track []map[string]any
+
+	ctx *core.Context
+}
+
+var _ core.Service = (*Storage)(nil)
+var _ core.Resourced = (*Storage)(nil)
+
+// Name implements core.Service.
+func (s *Storage) Name() string { return "storage" }
+
+// Manifest implements core.Resourced.
+func (s *Storage) Manifest() core.Manifest {
+	return core.Manifest{MemoryKB: 65536, CPUShare: 0.05}
+}
+
+// Init implements core.Service.
+func (s *Storage) Init(ctx *core.Context) error {
+	s.ctx = ctx
+	s.files = make(map[string][]byte)
+	if s.MaxTrackPoints <= 0 {
+		s.MaxTrackPoints = 100_000
+	}
+
+	// Track recording from the position variable (§5: "It is told to
+	// store the photos and the GPS positions by the MC").
+	if _, err := ctx.SubscribeVariable(VarPosition, TypePosition, subscribeOpts(func(v any, _ time.Time) {
+		m, ok := v.(map[string]any)
+		if !ok {
+			return
+		}
+		s.mu.Lock()
+		if len(s.track) < s.MaxTrackPoints {
+			s.track = append(s.track, m)
+		}
+		s.mu.Unlock()
+	})); err != nil {
+		return err
+	}
+
+	// Archive photos as they are announced.
+	if _, err := ctx.SubscribeEvent(EvtPhotoReady, TypePhotoReady, qos.EventQoS{},
+		func(v any, from transport.NodeID) { s.archive(v) }); err != nil {
+		return err
+	}
+
+	// Query surface.
+	if err := ctx.RegisterFunction(FnStorageList, nil, TypeStringList, qos.CallQoS{},
+		func(any) (any, error) {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			names := make([]string, 0, len(s.files))
+			for name := range s.files {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			return names, nil
+		}); err != nil {
+		return err
+	}
+	if err := ctx.RegisterFunction(FnStorageStat, TypeStorageStatArgs, TypeStorageStatRet, qos.CallQoS{},
+		func(args any) (any, error) {
+			m, ok := args.(map[string]any)
+			if !ok {
+				return nil, fmt.Errorf("storage: bad stat args %T", args)
+			}
+			name, _ := m["name"].(string)
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			data, found := s.files[name]
+			return map[string]any{"size": uint32(len(data)), "found": found}, nil
+		}); err != nil {
+		return err
+	}
+	if err := ctx.RegisterFunction(FnStorageTrackLen, nil, presentationU32(), qos.CallQoS{},
+		func(any) (any, error) {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return uint32(len(s.track)), nil
+		}); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (s *Storage) archive(v any) {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return
+	}
+	name, _ := m["name"].(string)
+	if name == "" {
+		return
+	}
+	fetchCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	data, rev, err := s.ctx.FetchFile(fetchCtx, name, filetransfer.FetchOptions{})
+	if err != nil {
+		s.ctx.Logf("archive %q: %v", name, err)
+		return
+	}
+	s.mu.Lock()
+	s.files[name] = data
+	s.mu.Unlock()
+	_ = rev
+}
+
+// Start implements core.Service.
+func (s *Storage) Start(*core.Context) error { return nil }
+
+// Stop implements core.Service.
+func (s *Storage) Stop(*core.Context) error { return nil }
+
+// FileCount reports archived resources.
+func (s *Storage) FileCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.files)
+}
+
+// File returns one archived resource.
+func (s *Storage) File(name string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.files[name]
+	return data, ok
+}
+
+// TrackLen reports recorded track points.
+func (s *Storage) TrackLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.track)
+}

@@ -1,0 +1,82 @@
+// Package services implements the paper's §5 application example as
+// reusable avionics services: GPS, Mission Control, Camera, Storage, Video
+// Processing, Ground Station and a FlightGear-style telemetry bridge. Each
+// is "generic enough to be reutilized in most of the UAV missions" — they
+// know only the middleware Context API and the shared resource names and
+// payload types declared here.
+package services
+
+import (
+	"time"
+
+	"uavmw/internal/flightsim"
+	"uavmw/internal/presentation"
+)
+
+// Resource names shared by the mission services. Everything is addressed
+// by these names; no service knows where another runs (§3).
+const (
+	// VarPosition is the GPS position variable (§5: "the GPS which
+	// generates the position variable").
+	VarPosition = "gps.position"
+	// EvtPhotoRequest asks the camera for a photo at the current point.
+	EvtPhotoRequest = "mission.photo"
+	// EvtPhotoReady announces a captured photo's file resource.
+	EvtPhotoReady = "camera.photo-ready"
+	// EvtDetection reports an on-board image-processing hit.
+	EvtDetection = "video.detection"
+	// EvtMissionComplete reports plan completion.
+	EvtMissionComplete = "mission.complete"
+	// FnCameraPrepare configures the camera before the first photo
+	// ("the MC instructs the camera to prepare itself to take photos and
+	// publish them with the specified name").
+	FnCameraPrepare = "camera.prepare"
+	// FnStorageList lists stored resources.
+	FnStorageList = "storage.list"
+	// FnStorageStat reports one stored resource's size.
+	FnStorageStat = "storage.stat"
+	// FnStorageTrackLen reports recorded GPS track points.
+	FnStorageTrackLen = "storage.track-len"
+)
+
+// Payload types for the shared resources.
+var (
+	// TypePosition is the GPS position sample.
+	TypePosition = presentation.MustParse(
+		"{lat:f64,lon:f64,alt:f32,speed:f32,heading:f32,fix:u8,wp:u32,complete:bool}")
+	// TypePhotoRequest is the photo-trigger event payload.
+	TypePhotoRequest = presentation.MustParse("{name:str,index:u32,lat:f64,lon:f64}")
+	// TypePhotoReady is the photo-availability event payload.
+	TypePhotoReady = presentation.MustParse("{name:str,index:u32}")
+	// TypeDetection is the detection event payload.
+	TypeDetection = presentation.MustParse("{name:str,count:u32,x:u32,y:u32,score:f64}")
+	// TypeMissionComplete is the completion event payload.
+	TypeMissionComplete = presentation.MustParse("{photos:u32,elapsed_ms:u32}")
+	// TypeCameraPrepareArgs configures photo naming and geometry.
+	TypeCameraPrepareArgs = presentation.MustParse("{prefix:str,width:u32,height:u32}")
+	// TypeStorageStatArgs names a stored resource.
+	TypeStorageStatArgs = presentation.MustParse("{name:str}")
+	// TypeStorageStatRet reports its size.
+	TypeStorageStatRet = presentation.MustParse("{size:u32,found:bool}")
+	// TypeStringList is a list of names.
+	TypeStringList = presentation.MustParse("[]str")
+)
+
+// PositionValue converts an aircraft state into the canonical VarPosition
+// payload.
+func PositionValue(st flightsim.State) map[string]any {
+	fix := uint8(3)
+	return map[string]any{
+		"lat":      st.Lat,
+		"lon":      st.Lon,
+		"alt":      float32(st.AltM),
+		"speed":    float32(st.SpeedMS),
+		"heading":  float32(st.HeadingDeg),
+		"fix":      fix,
+		"wp":       uint32(st.Waypoint),
+		"complete": st.Complete,
+	}
+}
+
+// DefaultSampleRate is the GPS publication period.
+const DefaultSampleRate = 100 * time.Millisecond

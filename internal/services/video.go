@@ -1,0 +1,127 @@
+package services
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"uavmw/internal/core"
+	"uavmw/internal/events"
+	"uavmw/internal/filetransfer"
+	"uavmw/internal/imaging"
+	"uavmw/internal/qos"
+	"uavmw/internal/transport"
+)
+
+// Video is the on-board image-processing service, the paper's FPGA module
+// (§5): it pulls every announced photo through the file-transfer primitive,
+// runs the feature detector, and raises a detection event "if the video
+// process detects the pre-programmed characteristics in the image".
+type Video struct {
+	// Threshold is the detector intensity threshold (default 150).
+	Threshold uint8
+	// MinPixels is the minimum blob size (default 9).
+	MinPixels int
+
+	detPub *events.Publisher
+	ctx    *core.Context
+
+	mu         sync.Mutex
+	processed  uint64
+	detections uint64
+}
+
+var _ core.Service = (*Video)(nil)
+var _ core.Resourced = (*Video)(nil)
+
+// Name implements core.Service.
+func (v *Video) Name() string { return "video" }
+
+// Manifest implements core.Resourced: the FPGA fabric is exclusive.
+func (v *Video) Manifest() core.Manifest {
+	return core.Manifest{MemoryKB: 16384, CPUShare: 0.3, Devices: []string{"/dev/fpga0"}}
+}
+
+// Init implements core.Service.
+func (v *Video) Init(ctx *core.Context) error {
+	v.ctx = ctx
+	if v.Threshold == 0 {
+		v.Threshold = 150
+	}
+	if v.MinPixels <= 0 {
+		v.MinPixels = 9
+	}
+	det, err := ctx.OfferEvent(EvtDetection, TypeDetection, qos.EventQoS{})
+	if err != nil {
+		return err
+	}
+	v.detPub = det
+	if _, err := ctx.SubscribeEvent(EvtPhotoReady, TypePhotoReady, qos.EventQoS{},
+		func(payload any, from transport.NodeID) { v.process(payload) }); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (v *Video) process(payload any) {
+	m, ok := payload.(map[string]any)
+	if !ok {
+		return
+	}
+	name, _ := m["name"].(string)
+	if name == "" {
+		return
+	}
+	fetchCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	data, _, err := v.ctx.FetchFile(fetchCtx, name, filetransfer.FetchOptions{})
+	if err != nil {
+		v.ctx.Logf("fetch %q: %v", name, err)
+		return
+	}
+	img, err := imaging.DecodePNG(data)
+	if err != nil {
+		v.ctx.Logf("decode %q: %v", name, err)
+		return
+	}
+	dets := imaging.DetectBlobs(img, v.Threshold, v.MinPixels)
+
+	v.mu.Lock()
+	v.processed++
+	v.detections += uint64(len(dets))
+	v.mu.Unlock()
+
+	if len(dets) == 0 {
+		return
+	}
+	best := dets[0]
+	for _, d := range dets[1:] {
+		if d.Score > best.Score {
+			best = d
+		}
+	}
+	pubCtx, cancelPub := publishContext()
+	defer cancelPub()
+	if err := v.detPub.Publish(pubCtx, map[string]any{
+		"name":  name,
+		"count": uint32(len(dets)),
+		"x":     uint32(best.X),
+		"y":     uint32(best.Y),
+		"score": best.Score,
+	}); err != nil {
+		v.ctx.Logf("publish detection for %q: %v", name, err)
+	}
+}
+
+// Start implements core.Service.
+func (v *Video) Start(*core.Context) error { return nil }
+
+// Stop implements core.Service.
+func (v *Video) Stop(*core.Context) error { return nil }
+
+// Stats reports processed frames and total detections.
+func (v *Video) Stats() (processed, detections uint64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.processed, v.detections
+}

@@ -1,0 +1,207 @@
+// Package telemetry implements the external telemetry interface of the
+// paper's §6 anecdote: "the telemetry interface with FlightGear simulator
+// has been done by a person without previous knowledge of the architecture
+// in only 2 days". It encodes aircraft state as NMEA-0183 sentences (the
+// lingua franca of GPS consumers, which FlightGear accepts) and parses them
+// back, so any external tool can consume the middleware's position
+// variable through a byte stream.
+package telemetry
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Fix is the telemetry sample exchanged with external consumers.
+type Fix struct {
+	// Lat, Lon in signed degrees.
+	Lat, Lon float64
+	// AltM in meters.
+	AltM float64
+	// SpeedMS is ground speed in m/s.
+	SpeedMS float64
+	// CourseDeg is ground track in degrees.
+	CourseDeg float64
+	// Time is the fix instant (UTC).
+	Time time.Time
+	// Valid reports GPS fix validity.
+	Valid bool
+}
+
+// ErrBadSentence tags parse failures.
+var ErrBadSentence = errors.New("bad NMEA sentence")
+
+const (
+	knotsPerMS = 1.9438444924406046
+)
+
+// checksum computes the NMEA XOR checksum of the payload between '$' and '*'.
+func checksum(payload string) byte {
+	var c byte
+	for i := 0; i < len(payload); i++ {
+		c ^= payload[i]
+	}
+	return c
+}
+
+// latField renders latitude as ddmm.mmmm plus hemisphere.
+func latField(lat float64) (string, string) {
+	hemi := "N"
+	if lat < 0 {
+		hemi = "S"
+		lat = -lat
+	}
+	deg := math.Floor(lat)
+	minutes := (lat - deg) * 60
+	return fmt.Sprintf("%02.0f%07.4f", deg, minutes), hemi
+}
+
+// lonField renders longitude as dddmm.mmmm plus hemisphere.
+func lonField(lon float64) (string, string) {
+	hemi := "E"
+	if lon < 0 {
+		hemi = "W"
+		lon = -lon
+	}
+	deg := math.Floor(lon)
+	minutes := (lon - deg) * 60
+	return fmt.Sprintf("%03.0f%07.4f", deg, minutes), hemi
+}
+
+// EncodeRMC renders a $GPRMC sentence (position, speed, course).
+func EncodeRMC(f Fix) string {
+	status := "V"
+	if f.Valid {
+		status = "A"
+	}
+	latS, latH := latField(f.Lat)
+	lonS, lonH := lonField(f.Lon)
+	payload := fmt.Sprintf("GPRMC,%s,%s,%s,%s,%s,%s,%.1f,%.1f,%s,,",
+		f.Time.UTC().Format("150405.00"), status,
+		latS, latH, lonS, lonH,
+		f.SpeedMS*knotsPerMS, f.CourseDeg,
+		f.Time.UTC().Format("020106"))
+	return fmt.Sprintf("$%s*%02X", payload, checksum(payload))
+}
+
+// EncodeGGA renders a $GPGGA sentence (position, altitude, fix quality).
+func EncodeGGA(f Fix) string {
+	quality := 0
+	if f.Valid {
+		quality = 1
+	}
+	latS, latH := latField(f.Lat)
+	lonS, lonH := lonField(f.Lon)
+	payload := fmt.Sprintf("GPGGA,%s,%s,%s,%s,%s,%d,08,1.0,%.1f,M,0.0,M,,",
+		f.Time.UTC().Format("150405.00"),
+		latS, latH, lonS, lonH,
+		quality, f.AltM)
+	return fmt.Sprintf("$%s*%02X", payload, checksum(payload))
+}
+
+// Encode renders the standard two-sentence burst for one fix.
+func Encode(f Fix) string {
+	return EncodeRMC(f) + "\r\n" + EncodeGGA(f) + "\r\n"
+}
+
+// verify splits a raw sentence, checking frame and checksum, returning the
+// comma-separated fields (first field is the sentence type).
+func verify(raw string) ([]string, error) {
+	raw = strings.TrimSpace(raw)
+	if len(raw) < 9 || raw[0] != '$' {
+		return nil, fmt.Errorf("telemetry: %q: %w", raw, ErrBadSentence)
+	}
+	star := strings.LastIndexByte(raw, '*')
+	if star < 0 || star+3 > len(raw) {
+		return nil, fmt.Errorf("telemetry: missing checksum: %w", ErrBadSentence)
+	}
+	payload := raw[1:star]
+	want, err := strconv.ParseUint(raw[star+1:star+3], 16, 8)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: checksum field: %w", ErrBadSentence)
+	}
+	if checksum(payload) != byte(want) {
+		return nil, fmt.Errorf("telemetry: checksum mismatch: %w", ErrBadSentence)
+	}
+	return strings.Split(payload, ","), nil
+}
+
+func parseCoord(field, hemi string, degDigits int) (float64, error) {
+	if len(field) < degDigits+2 {
+		return 0, fmt.Errorf("telemetry: coordinate %q: %w", field, ErrBadSentence)
+	}
+	deg, err := strconv.ParseFloat(field[:degDigits], 64)
+	if err != nil {
+		return 0, fmt.Errorf("telemetry: coordinate %q: %w", field, ErrBadSentence)
+	}
+	minutes, err := strconv.ParseFloat(field[degDigits:], 64)
+	if err != nil {
+		return 0, fmt.Errorf("telemetry: coordinate %q: %w", field, ErrBadSentence)
+	}
+	v := deg + minutes/60
+	if hemi == "S" || hemi == "W" {
+		v = -v
+	}
+	return v, nil
+}
+
+// ParseRMC extracts position/speed/course from a $GPRMC sentence.
+func ParseRMC(raw string) (Fix, error) {
+	fields, err := verify(raw)
+	if err != nil {
+		return Fix{}, err
+	}
+	if fields[0] != "GPRMC" || len(fields) < 10 {
+		return Fix{}, fmt.Errorf("telemetry: not GPRMC: %w", ErrBadSentence)
+	}
+	var f Fix
+	f.Valid = fields[2] == "A"
+	if f.Lat, err = parseCoord(fields[3], fields[4], 2); err != nil {
+		return Fix{}, err
+	}
+	if f.Lon, err = parseCoord(fields[5], fields[6], 3); err != nil {
+		return Fix{}, err
+	}
+	if fields[7] != "" {
+		knots, err := strconv.ParseFloat(fields[7], 64)
+		if err != nil {
+			return Fix{}, fmt.Errorf("telemetry: speed %q: %w", fields[7], ErrBadSentence)
+		}
+		f.SpeedMS = knots / knotsPerMS
+	}
+	if fields[8] != "" {
+		if f.CourseDeg, err = strconv.ParseFloat(fields[8], 64); err != nil {
+			return Fix{}, fmt.Errorf("telemetry: course %q: %w", fields[8], ErrBadSentence)
+		}
+	}
+	return f, nil
+}
+
+// ParseGGA extracts position/altitude from a $GPGGA sentence.
+func ParseGGA(raw string) (Fix, error) {
+	fields, err := verify(raw)
+	if err != nil {
+		return Fix{}, err
+	}
+	if fields[0] != "GPGGA" || len(fields) < 12 {
+		return Fix{}, fmt.Errorf("telemetry: not GPGGA: %w", ErrBadSentence)
+	}
+	var f Fix
+	if f.Lat, err = parseCoord(fields[2], fields[3], 2); err != nil {
+		return Fix{}, err
+	}
+	if f.Lon, err = parseCoord(fields[4], fields[5], 3); err != nil {
+		return Fix{}, err
+	}
+	f.Valid = fields[6] != "0" && fields[6] != ""
+	if fields[9] != "" {
+		if f.AltM, err = strconv.ParseFloat(fields[9], 64); err != nil {
+			return Fix{}, fmt.Errorf("telemetry: altitude %q: %w", fields[9], ErrBadSentence)
+		}
+	}
+	return f, nil
+}

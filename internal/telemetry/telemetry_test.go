@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleFix() Fix {
+	return Fix{
+		Lat:       41.275,
+		Lon:       1.987,
+		AltM:      120.5,
+		SpeedMS:   25,
+		CourseDeg: 92.4,
+		Time:      time.Date(2026, 6, 10, 12, 30, 45, 0, time.UTC),
+		Valid:     true,
+	}
+}
+
+func TestRMCRoundTrip(t *testing.T) {
+	f := sampleFix()
+	raw := EncodeRMC(f)
+	if !strings.HasPrefix(raw, "$GPRMC,") {
+		t.Fatalf("sentence %q", raw)
+	}
+	got, err := ParseRMC(raw)
+	if err != nil {
+		t.Fatalf("ParseRMC(%q): %v", raw, err)
+	}
+	if math.Abs(got.Lat-f.Lat) > 1e-5 || math.Abs(got.Lon-f.Lon) > 1e-5 {
+		t.Errorf("position (%v,%v) vs (%v,%v)", got.Lat, got.Lon, f.Lat, f.Lon)
+	}
+	if math.Abs(got.SpeedMS-f.SpeedMS) > 0.1 {
+		t.Errorf("speed %v vs %v", got.SpeedMS, f.SpeedMS)
+	}
+	if math.Abs(got.CourseDeg-f.CourseDeg) > 0.1 {
+		t.Errorf("course %v vs %v", got.CourseDeg, f.CourseDeg)
+	}
+	if !got.Valid {
+		t.Error("validity lost")
+	}
+}
+
+func TestGGARoundTrip(t *testing.T) {
+	f := sampleFix()
+	raw := EncodeGGA(f)
+	got, err := ParseGGA(raw)
+	if err != nil {
+		t.Fatalf("ParseGGA(%q): %v", raw, err)
+	}
+	if math.Abs(got.AltM-f.AltM) > 0.1 {
+		t.Errorf("altitude %v vs %v", got.AltM, f.AltM)
+	}
+	if !got.Valid {
+		t.Error("fix quality lost")
+	}
+}
+
+func TestSouthWestHemispheres(t *testing.T) {
+	f := sampleFix()
+	f.Lat, f.Lon = -33.8688, -151.2093 // negative on both axes
+	got, err := ParseRMC(EncodeRMC(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Lat >= 0 || got.Lon >= 0 {
+		t.Errorf("hemisphere signs lost: %v,%v", got.Lat, got.Lon)
+	}
+	if math.Abs(got.Lat-f.Lat) > 1e-5 || math.Abs(got.Lon-f.Lon) > 1e-5 {
+		t.Errorf("(%v,%v) vs (%v,%v)", got.Lat, got.Lon, f.Lat, f.Lon)
+	}
+}
+
+func TestInvalidFixStatus(t *testing.T) {
+	f := sampleFix()
+	f.Valid = false
+	got, err := ParseRMC(EncodeRMC(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Valid {
+		t.Error("void status parsed as valid")
+	}
+	gga, err := ParseGGA(EncodeGGA(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gga.Valid {
+		t.Error("quality-0 parsed as valid")
+	}
+}
+
+func TestChecksumRejected(t *testing.T) {
+	raw := EncodeRMC(sampleFix())
+	bad := raw[:len(raw)-2] + "00"
+	if _, err := ParseRMC(bad); err == nil {
+		t.Error("corrupt checksum accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"", "$", "GPRMC,no-dollar", "$GPRMC,123*", "$GPRMC,123*ZZ",
+		"$GPGGA,090000.00,4116.5000,N,00159.2200,E,1,08,1.0,120.0,M,0.0,M,,*00",
+	}
+	for _, raw := range cases {
+		if _, err := ParseRMC(raw); err == nil {
+			t.Errorf("ParseRMC(%q) accepted", raw)
+		}
+	}
+	// GGA parser must reject RMC sentences.
+	if _, err := ParseGGA(EncodeRMC(sampleFix())); err == nil {
+		t.Error("ParseGGA accepted GPRMC")
+	}
+	if _, err := ParseRMC(EncodeGGA(sampleFix())); err == nil {
+		t.Error("ParseRMC accepted GPGGA")
+	}
+}
+
+func TestEncodeBurst(t *testing.T) {
+	burst := Encode(sampleFix())
+	lines := strings.Split(strings.TrimSpace(burst), "\r\n")
+	if len(lines) != 2 {
+		t.Fatalf("burst = %q", burst)
+	}
+	if _, err := ParseRMC(lines[0]); err != nil {
+		t.Errorf("line 1: %v", err)
+	}
+	if _, err := ParseGGA(lines[1]); err != nil {
+		t.Errorf("line 2: %v", err)
+	}
+}
+
+func TestPositionRoundTripProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(func(latRaw, lonRaw uint32) bool {
+		lat := float64(latRaw%170000)/1000 - 85  // [-85, 85)
+		lon := float64(lonRaw%358000)/1000 - 179 // [-179, 179)
+		f := Fix{Lat: lat, Lon: lon, Time: time.Unix(1_750_000_000, 0), Valid: true}
+		got, err := ParseRMC(EncodeRMC(f))
+		if err != nil {
+			return false
+		}
+		// 4 decimal NMEA minutes ≈ 0.18 m of precision; allow 1e-5 deg.
+		return math.Abs(got.Lat-lat) < 2e-5 && math.Abs(got.Lon-lon) < 2e-5
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,259 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// netDial opens a plain UDP connection to addr for injecting raw datagrams.
+func netDial(addr string) (net.Conn, error) {
+	return net.Dial("udp4", addr)
+}
+
+// newUDPPair builds two UDP transports wired to each other on loopback.
+func newUDPPair(t *testing.T) (*UDP, *UDP) {
+	t.Helper()
+	a, err := NewUDP("a", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Skipf("udp unavailable: %v", err)
+	}
+	b, err := NewUDP("b", "127.0.0.1:0", nil)
+	if err != nil {
+		_ = a.Close()
+		t.Skipf("udp unavailable: %v", err)
+	}
+	if err := a.AddPeer("b", b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddPeer("a", a.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = a.Close()
+		_ = b.Close()
+	})
+	return a, b
+}
+
+func TestUDPUnicast(t *testing.T) {
+	a, b := newUDPPair(t)
+	col := newCollector()
+	b.SetHandler(col.handler())
+
+	if err := a.Send("b", []byte("ping")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	pkts := col.wait(t, 1, 2*time.Second)
+	if pkts[0].From != "a" || string(pkts[0].Payload) != "ping" {
+		t.Errorf("packet = %+v", pkts[0])
+	}
+	// Reply direction.
+	colA := newCollector()
+	a.SetHandler(colA.handler())
+	if err := b.Send("a", []byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	back := colA.wait(t, 1, 2*time.Second)
+	if string(back[0].Payload) != "pong" {
+		t.Errorf("reply = %+v", back[0])
+	}
+}
+
+func TestUDPUnknownPeer(t *testing.T) {
+	a, _ := newUDPPair(t)
+	if err := a.Send("ghost", []byte("x")); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("want ErrUnknownNode, got %v", err)
+	}
+}
+
+func TestUDPClose(t *testing.T) {
+	a, err := NewUDP("solo", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Skipf("udp unavailable: %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Error("Close must be idempotent")
+	}
+	if err := a.Send("x", nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("send after close: %v", err)
+	}
+}
+
+func TestUDPMulticast(t *testing.T) {
+	a, b := newUDPPair(t)
+	const group = "mc-test"
+	if err := b.Join(group); err != nil {
+		t.Skipf("multicast unavailable in this environment: %v", err)
+	}
+	col := newCollector()
+	b.SetHandler(col.handler())
+
+	// Multicast may be flaky on constrained hosts; try a few times, skip
+	// if nothing ever arrives.
+	for i := 0; i < 10; i++ {
+		if err := a.SendGroup(group, []byte("mc")); err != nil {
+			t.Skipf("multicast send failed: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+		if col.count() > 0 {
+			pkts := col.wait(t, 1, time.Second)
+			if pkts[0].Group != group || string(pkts[0].Payload) != "mc" {
+				t.Errorf("packet = %+v", pkts[0])
+			}
+			if err := b.Leave(group); err != nil {
+				t.Errorf("Leave: %v", err)
+			}
+			return
+		}
+	}
+	t.Skip("multicast not routable in this environment")
+}
+
+func TestUDPGroupAddrDeterministic(t *testing.T) {
+	a, b := newUDPPair(t)
+	if a.GroupAddr("g1").String() != b.GroupAddr("g1").String() {
+		t.Error("group address must be derived identically on all nodes")
+	}
+	if a.GroupAddr("g1").String() == a.GroupAddr("g2").String() {
+		t.Error("different groups should get different addresses")
+	}
+}
+
+func TestUDPBadDatagramIgnored(t *testing.T) {
+	a, b := newUDPPair(t)
+	col := newCollector()
+	b.SetHandler(col.handler())
+	// Raw garbage straight to the socket: must be counted dropped, not crash.
+	conn, err := netDial(b.LocalAddr())
+	if err != nil {
+		t.Skipf("dial: %v", err)
+	}
+	defer func() { _ = conn.Close() }()
+	if _, err := conn.Write([]byte{0xFF, 0x00, 0x01}); err != nil {
+		t.Skipf("write: %v", err)
+	}
+	deadline := time.After(2 * time.Second)
+	for b.Stats().PacketsDropped == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("garbage datagram not counted as dropped")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	_ = a
+}
+
+func TestTCPUnicast(t *testing.T) {
+	a, err := NewTCP("a", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Skipf("tcp unavailable: %v", err)
+	}
+	defer func() { _ = a.Close() }()
+	b, err := NewTCP("b", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Skipf("tcp unavailable: %v", err)
+	}
+	defer func() { _ = b.Close() }()
+	a.AddPeer("b", b.LocalAddr())
+	b.AddPeer("a", a.LocalAddr())
+
+	col := newCollector()
+	b.SetHandler(col.handler())
+
+	for i := 0; i < 5; i++ {
+		if err := a.Send("b", []byte{byte(i)}); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	pkts := col.wait(t, 5, 2*time.Second)
+	for i, pkt := range pkts {
+		if pkt.From != "a" || len(pkt.Payload) != 1 || pkt.Payload[0] != byte(i) {
+			t.Errorf("packet %d = %+v", i, pkt)
+		}
+	}
+
+	// Reverse direction uses its own dial.
+	colA := newCollector()
+	a.SetHandler(colA.handler())
+	if err := b.Send("a", []byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	back := colA.wait(t, 1, 2*time.Second)
+	if string(back[0].Payload) != "back" {
+		t.Errorf("reverse = %+v", back[0])
+	}
+}
+
+func TestTCPNoMulticast(t *testing.T) {
+	a, err := NewTCP("a", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Skipf("tcp unavailable: %v", err)
+	}
+	defer func() { _ = a.Close() }()
+	if err := a.SendGroup("g", nil); !errors.Is(err, ErrNoMulticast) {
+		t.Errorf("SendGroup: %v", err)
+	}
+	if err := a.Join("g"); !errors.Is(err, ErrNoMulticast) {
+		t.Errorf("Join: %v", err)
+	}
+	if err := a.Leave("g"); !errors.Is(err, ErrNoMulticast) {
+		t.Errorf("Leave: %v", err)
+	}
+}
+
+func TestTCPUnknownPeerAndClose(t *testing.T) {
+	a, err := NewTCP("a", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Skipf("tcp unavailable: %v", err)
+	}
+	if err := a.Send("ghost", []byte("x")); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("unknown peer: %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Error("Close must be idempotent")
+	}
+	if err := a.Send("b", nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("send after close: %v", err)
+	}
+}
+
+func TestTCPLargeFrame(t *testing.T) {
+	a, err := NewTCP("a", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Skipf("tcp unavailable: %v", err)
+	}
+	defer func() { _ = a.Close() }()
+	b, err := NewTCP("b", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Skipf("tcp unavailable: %v", err)
+	}
+	defer func() { _ = b.Close() }()
+	a.AddPeer("b", b.LocalAddr())
+
+	col := newCollector()
+	b.SetHandler(col.handler())
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if err := a.Send("b", big); err != nil {
+		t.Fatal(err)
+	}
+	pkts := col.wait(t, 1, 5*time.Second)
+	if len(pkts[0].Payload) != len(big) {
+		t.Fatalf("size = %d", len(pkts[0].Payload))
+	}
+	for i := 0; i < len(big); i += 4096 {
+		if pkts[0].Payload[i] != big[i] {
+			t.Fatalf("corruption at %d", i)
+		}
+	}
+}

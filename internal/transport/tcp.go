@@ -1,0 +1,280 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"uavmw/internal/encoding"
+)
+
+// TCP is the stream transport used for the primitives the paper maps onto
+// TCP (§4.2 events, §4.3 remote invocation). Frames are length-prefixed on
+// persistent connections; the transport dials lazily and keeps one outbound
+// connection per peer. Group operations are unsupported — the paper never
+// multicasts over TCP — so reliable fan-out above TCP is the event engine's
+// job (one unicast per subscriber).
+type TCP struct {
+	id       NodeID
+	listener net.Listener
+
+	mu      sync.Mutex
+	peers   map[NodeID]string
+	conns   map[NodeID]*tcpConn // outbound, keyed by destination
+	inbound map[net.Conn]struct{}
+	handler Handler
+	closed  bool
+
+	wg    sync.WaitGroup
+	stats counters
+}
+
+type tcpConn struct {
+	mu   sync.Mutex // serializes writes
+	conn net.Conn
+}
+
+var _ Transport = (*TCP)(nil)
+
+// maxTCPFrame bounds inbound frame sizes against corrupt prefixes.
+const maxTCPFrame = 16 << 20
+
+// NewTCP starts a listener for node id on bindAddr and records the initial
+// peer address book.
+func NewTCP(id NodeID, bindAddr string, peers map[NodeID]string) (*TCP, error) {
+	if id == "" {
+		return nil, fmt.Errorf("transport: empty node id: %w", ErrUnknownNode)
+	}
+	ln, err := net.Listen("tcp4", bindAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", bindAddr, err)
+	}
+	t := &TCP{
+		id:       id,
+		listener: ln,
+		peers:    make(map[NodeID]string, len(peers)),
+		conns:    make(map[NodeID]*tcpConn),
+		inbound:  make(map[net.Conn]struct{}),
+	}
+	for peer, addr := range peers {
+		t.peers[peer] = addr
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// LocalAddr returns the bound listener address.
+func (t *TCP) LocalAddr() string { return t.listener.Addr().String() }
+
+// AddPeer records or updates the address of a peer node.
+func (t *TCP) AddPeer(id NodeID, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[id] = addr
+}
+
+// Node implements Transport.
+func (t *TCP) Node() NodeID { return t.id }
+
+// SetHandler implements Transport.
+func (t *TCP) SetHandler(h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handler = h
+}
+
+func (t *TCP) currentHandler() Handler {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.handler
+}
+
+// Send implements Transport.
+func (t *TCP) Send(to NodeID, payload []byte) error {
+	conn, err := t.outbound(to)
+	if err != nil {
+		return err
+	}
+	frame := t.seal(payload)
+	t.stats.sent(len(payload))
+
+	conn.mu.Lock()
+	_, err = conn.conn.Write(frame)
+	conn.mu.Unlock()
+	if err != nil {
+		t.dropConn(to, conn)
+		t.stats.dropped()
+		return fmt.Errorf("transport: tcp send to %q: %w", to, err)
+	}
+	t.stats.wire(len(payload))
+	return nil
+}
+
+func (t *TCP) seal(payload []byte) []byte {
+	w := encoding.NewWriter(len(payload) + len(t.id) + 8)
+	w.String(string(t.id))
+	w.Raw(payload)
+	body := w.Bytes()
+	frame := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(frame, uint32(len(body)))
+	copy(frame[4:], body)
+	return frame
+}
+
+// outbound returns (dialing if needed) the connection to peer.
+func (t *TCP) outbound(to NodeID) (*tcpConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("transport: send from %q: %w", t.id, ErrClosed)
+	}
+	if c, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	addr, known := t.peers[to]
+	t.mu.Unlock()
+	if !known {
+		return nil, fmt.Errorf("transport: send to %q: %w", to, ErrUnknownNode)
+	}
+
+	raw, err := net.Dial("tcp4", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %q at %q: %w", to, addr, err)
+	}
+	c := &tcpConn{conn: raw}
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		_ = raw.Close()
+		return nil, fmt.Errorf("transport: send from %q: %w", t.id, ErrClosed)
+	}
+	if existing, ok := t.conns[to]; ok {
+		// Lost a dial race; use the winner.
+		t.mu.Unlock()
+		_ = raw.Close()
+		return existing, nil
+	}
+	t.conns[to] = c
+	t.mu.Unlock()
+
+	// Outbound connections also carry return traffic some peers choose to
+	// send on them; read and dispatch it.
+	t.wg.Add(1)
+	go t.readLoop(raw)
+	return c, nil
+}
+
+func (t *TCP) dropConn(to NodeID, c *tcpConn) {
+	t.mu.Lock()
+	if t.conns[to] == c {
+		delete(t.conns, to)
+	}
+	t.mu.Unlock()
+	_ = c.conn.Close()
+}
+
+// SendGroup implements Transport: unsupported on TCP.
+func (t *TCP) SendGroup(string, []byte) error {
+	return fmt.Errorf("transport: tcp: %w", ErrNoMulticast)
+}
+
+// Join implements Transport: unsupported on TCP.
+func (t *TCP) Join(string) error {
+	return fmt.Errorf("transport: tcp: %w", ErrNoMulticast)
+}
+
+// Leave implements Transport: unsupported on TCP.
+func (t *TCP) Leave(string) error {
+	return fmt.Errorf("transport: tcp: %w", ErrNoMulticast)
+}
+
+// Stats implements Transport.
+func (t *TCP) Stats() Stats { return t.stats.snapshot() }
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := t.conns
+	t.conns = make(map[NodeID]*tcpConn)
+	inbound := t.inbound
+	t.inbound = make(map[net.Conn]struct{})
+	t.mu.Unlock()
+
+	_ = t.listener.Close()
+	for _, c := range conns {
+		_ = c.conn.Close()
+	}
+	for c := range inbound {
+		_ = c.Close()
+	}
+	t.wg.Wait()
+	return nil
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return // closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		t.inbound[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go func() {
+			t.readLoop(conn)
+			t.mu.Lock()
+			delete(t.inbound, conn)
+			t.mu.Unlock()
+		}()
+	}
+}
+
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() { _ = conn.Close() }()
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxTCPFrame {
+			return // corrupt peer
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(conn, body); err != nil {
+			return
+		}
+		r := encoding.NewReader(body)
+		from := NodeID(r.String())
+		if r.Err() != nil || from == "" {
+			t.stats.dropped()
+			continue
+		}
+		payload := r.Raw(r.Remaining())
+		h := t.currentHandler()
+		if h == nil {
+			t.stats.dropped()
+			continue
+		}
+		t.stats.recv(len(payload))
+		h(Packet{From: from, To: t.id, Payload: payload})
+	}
+}

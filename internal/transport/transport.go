@@ -1,0 +1,161 @@
+// Package transport implements the PEPt "Transport" subsystem (§6 of the
+// paper): moving protocol frames between nodes. The paper's container
+// "abstracts the network access, allowing the middleware to be deployed in
+// different networks" (§3); that abstraction is the Transport interface.
+//
+// Four implementations exist: an in-process bus (this file's sibling
+// inproc.go) for same-host containers and tests, real UDP and TCP transports
+// over the loopback/LAN, and the deterministic simulated network in package
+// netsim used by the loss/latency experiments.
+package transport
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// NodeID identifies a container node on the network. The paper gives every
+// node exactly one service container (§3), so node and container identity
+// coincide.
+type NodeID string
+
+// Packet is one transport datagram. Payload is an opaque protocol frame.
+type Packet struct {
+	// From is the sending node.
+	From NodeID
+	// To is the destination node for unicast packets; empty for group
+	// (multicast/broadcast) packets.
+	To NodeID
+	// Group is the multicast group name for group packets; empty for
+	// unicast.
+	Group string
+	// Payload is the protocol frame. Receivers must not retain it past
+	// the handler call unless they copy.
+	Payload []byte
+}
+
+// Handler processes one received packet on the transport's dispatch
+// goroutine. Handlers must be quick; long work belongs on the container
+// scheduler.
+type Handler func(pkt Packet)
+
+// Transport moves packets between nodes. Implementations must be safe for
+// concurrent use.
+type Transport interface {
+	// Node returns the local node identity.
+	Node() NodeID
+	// Send transmits a unicast packet to the named node.
+	Send(to NodeID, payload []byte) error
+	// SendGroup transmits one packet to every current member of the
+	// group, exploiting native multicast when the underlying network has
+	// it (§4.1: "one packet sent can arrive to multiple nodes").
+	SendGroup(group string, payload []byte) error
+	// Join subscribes the local node to a multicast group.
+	Join(group string) error
+	// Leave unsubscribes the local node from a multicast group.
+	Leave(group string) error
+	// SetHandler installs the receive callback. It must be called before
+	// traffic is expected; packets arriving with no handler are counted
+	// as dropped.
+	SetHandler(h Handler)
+	// Stats returns a snapshot of traffic counters.
+	Stats() Stats
+	// Close releases resources and stops the dispatch goroutines.
+	// Implementations must be idempotent.
+	Close() error
+}
+
+// Multicaster is implemented by transports whose SendGroup puts a single
+// packet on the wire regardless of group size. The variable engine uses it
+// to choose between native multicast and unicast fan-out.
+type Multicaster interface {
+	NativeMulticast() bool
+}
+
+// Stats counts transport traffic. "Wire" counters measure what crosses the
+// network medium: one multicast send is one wire packet however many nodes
+// receive it, which is exactly the §4.1 bandwidth argument experiment E3
+// measures.
+type Stats struct {
+	// PacketsSent counts Send/SendGroup calls accepted.
+	PacketsSent uint64
+	// BytesSent counts payload bytes accepted for sending.
+	BytesSent uint64
+	// PacketsWire counts packets placed on the medium.
+	PacketsWire uint64
+	// BytesWire counts payload bytes placed on the medium.
+	BytesWire uint64
+	// PacketsRecv counts packets delivered to the handler.
+	PacketsRecv uint64
+	// BytesRecv counts payload bytes delivered to the handler.
+	BytesRecv uint64
+	// PacketsDropped counts packets lost: no handler installed, queue
+	// overflow, simulated loss, or unreachable destination.
+	PacketsDropped uint64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.PacketsSent += other.PacketsSent
+	s.BytesSent += other.BytesSent
+	s.PacketsWire += other.PacketsWire
+	s.BytesWire += other.BytesWire
+	s.PacketsRecv += other.PacketsRecv
+	s.BytesRecv += other.BytesRecv
+	s.PacketsDropped += other.PacketsDropped
+}
+
+// Errors shared by transport implementations.
+var (
+	// ErrClosed reports use of a closed transport.
+	ErrClosed = errors.New("transport closed")
+	// ErrUnknownNode reports a unicast destination with no known address.
+	ErrUnknownNode = errors.New("unknown node")
+	// ErrNoMulticast reports SendGroup on a transport without group
+	// support (TCP).
+	ErrNoMulticast = errors.New("multicast unsupported")
+	// ErrDuplicateNode reports two endpoints claiming one node identity.
+	ErrDuplicateNode = errors.New("duplicate node id")
+)
+
+// counters is the lock-free implementation backing Stats snapshots.
+type counters struct {
+	packetsSent    atomic.Uint64
+	bytesSent      atomic.Uint64
+	packetsWire    atomic.Uint64
+	bytesWire      atomic.Uint64
+	packetsRecv    atomic.Uint64
+	bytesRecv      atomic.Uint64
+	packetsDropped atomic.Uint64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		PacketsSent:    c.packetsSent.Load(),
+		BytesSent:      c.bytesSent.Load(),
+		PacketsWire:    c.packetsWire.Load(),
+		BytesWire:      c.bytesWire.Load(),
+		PacketsRecv:    c.packetsRecv.Load(),
+		BytesRecv:      c.bytesRecv.Load(),
+		PacketsDropped: c.packetsDropped.Load(),
+	}
+}
+
+func (c *counters) sent(n int) {
+	c.packetsSent.Add(1)
+	c.bytesSent.Add(uint64(n))
+}
+
+func (c *counters) wire(n int) {
+	c.packetsWire.Add(1)
+	c.bytesWire.Add(uint64(n))
+}
+
+func (c *counters) recv(n int) {
+	c.packetsRecv.Add(1)
+	c.bytesRecv.Add(uint64(n))
+}
+
+func (c *counters) dropped() {
+	c.packetsDropped.Add(1)
+}

@@ -1,0 +1,347 @@
+package transport
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net"
+	"sync"
+
+	"uavmw/internal/encoding"
+)
+
+// UDP is the datagram transport used between airframe nodes on the real
+// LAN. Unicast packets travel node-to-node; group packets use IPv4
+// multicast so one wire packet reaches every subscribed node, which is the
+// §4.1 bandwidth argument.
+//
+// Every datagram carries a small envelope (magic, kind, sender, group) so
+// receivers can attribute packets without reverse DNS of ephemeral ports.
+type UDP struct {
+	id   NodeID
+	conn *net.UDPConn // unicast socket, also used to send multicast
+
+	mu      sync.Mutex
+	peers   map[NodeID]*net.UDPAddr
+	groups  map[string]*udpGroup
+	joined  map[string]bool // groups joined (native or fan-out)
+	handler Handler
+	closed  bool
+
+	fanout bool // emulate multicast with unicast copies to all peers
+
+	wg    sync.WaitGroup
+	stats counters
+
+	groupBase int // base UDP port for derived multicast groups
+}
+
+type udpGroup struct {
+	addr *net.UDPAddr
+	conn *net.UDPConn
+}
+
+var _ Transport = (*UDP)(nil)
+var _ Multicaster = (*UDP)(nil)
+
+// envelope bytes.
+const (
+	udpMagic     = 0xA7
+	udpUnicast   = 0
+	udpMulticast = 1
+)
+
+// UDPOption customizes a UDP transport.
+type UDPOption func(*UDP)
+
+// WithGroupPortBase sets the first UDP port used for derived multicast
+// group addresses (default 17000). Distinct deployments on one host must
+// use distinct bases.
+func WithGroupPortBase(port int) UDPOption {
+	return func(u *UDP) { u.groupBase = port }
+}
+
+// WithUnicastFanout emulates group sends with one unicast copy per known
+// peer, for networks that do not route IP multicast (§4.1: multicast is
+// used "when the underlying network allows it"). Group delivery filtering
+// still applies: only peers that joined the group see the packet.
+func WithUnicastFanout() UDPOption {
+	return func(u *UDP) { u.fanout = true }
+}
+
+// NewUDP binds a unicast socket for node id on bindAddr (e.g.
+// "127.0.0.1:0") and records the initial peer address book.
+func NewUDP(id NodeID, bindAddr string, peers map[NodeID]string, opts ...UDPOption) (*UDP, error) {
+	if id == "" {
+		return nil, fmt.Errorf("transport: empty node id: %w", ErrUnknownNode)
+	}
+	laddr, err := net.ResolveUDPAddr("udp4", bindAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", bindAddr, err)
+	}
+	conn, err := net.ListenUDP("udp4", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: bind %q: %w", bindAddr, err)
+	}
+	u := &UDP{
+		id:        id,
+		conn:      conn,
+		peers:     make(map[NodeID]*net.UDPAddr, len(peers)),
+		groups:    make(map[string]*udpGroup),
+		joined:    make(map[string]bool),
+		groupBase: 17000,
+	}
+	for _, opt := range opts {
+		opt(u)
+	}
+	for peer, addr := range peers {
+		if err := u.AddPeer(peer, addr); err != nil {
+			_ = conn.Close()
+			return nil, err
+		}
+	}
+	u.wg.Add(1)
+	go u.readLoop(conn, nil)
+	return u, nil
+}
+
+// LocalAddr returns the bound unicast address, useful when binding port 0.
+func (u *UDP) LocalAddr() string { return u.conn.LocalAddr().String() }
+
+// AddPeer records or updates the unicast address of a peer node.
+func (u *UDP) AddPeer(id NodeID, addr string) error {
+	uaddr, err := net.ResolveUDPAddr("udp4", addr)
+	if err != nil {
+		return fmt.Errorf("transport: resolve peer %q addr %q: %w", id, addr, err)
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.peers[id] = uaddr
+	return nil
+}
+
+// Node implements Transport.
+func (u *UDP) Node() NodeID { return u.id }
+
+// NativeMulticast implements Multicaster: false in fan-out mode, where a
+// group send costs one wire packet per peer.
+func (u *UDP) NativeMulticast() bool { return !u.fanout }
+
+// SetHandler implements Transport.
+func (u *UDP) SetHandler(h Handler) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.handler = h
+}
+
+func (u *UDP) currentHandler() Handler {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.handler
+}
+
+// GroupAddr derives the deterministic multicast address for a group name:
+// 239.255.h/16 with a port in [base, base+512). Both ends derive the same
+// address from the name alone, so no rendezvous service is needed.
+func (u *UDP) GroupAddr(group string) *net.UDPAddr {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(group))
+	s := h.Sum32()
+	return &net.UDPAddr{
+		IP:   net.IPv4(239, 255, byte(s>>8), byte(s)),
+		Port: u.groupBase + int(s%512),
+	}
+}
+
+func (u *UDP) seal(kind uint8, group string, payload []byte) []byte {
+	w := encoding.NewWriter(len(payload) + len(u.id) + len(group) + 12)
+	w.Uint8(udpMagic)
+	w.Uint8(kind)
+	w.String(string(u.id))
+	w.String(group)
+	w.Raw(payload)
+	return w.Bytes()
+}
+
+// Send implements Transport.
+func (u *UDP) Send(to NodeID, payload []byte) error {
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return fmt.Errorf("transport: send from %q: %w", u.id, ErrClosed)
+	}
+	addr := u.peers[to]
+	u.mu.Unlock()
+	if addr == nil {
+		return fmt.Errorf("transport: send to %q: %w", to, ErrUnknownNode)
+	}
+	buf := u.seal(udpUnicast, "", payload)
+	u.stats.sent(len(payload))
+	if _, err := u.conn.WriteToUDP(buf, addr); err != nil {
+		u.stats.dropped()
+		return fmt.Errorf("transport: udp send to %q: %w", to, err)
+	}
+	u.stats.wire(len(payload))
+	return nil
+}
+
+// SendGroup implements Transport.
+func (u *UDP) SendGroup(group string, payload []byte) error {
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return fmt.Errorf("transport: send from %q: %w", u.id, ErrClosed)
+	}
+	var peerAddrs []*net.UDPAddr
+	if u.fanout {
+		peerAddrs = make([]*net.UDPAddr, 0, len(u.peers))
+		for _, addr := range u.peers {
+			peerAddrs = append(peerAddrs, addr)
+		}
+	}
+	u.mu.Unlock()
+	buf := u.seal(udpMulticast, group, payload)
+	u.stats.sent(len(payload))
+	if u.fanout {
+		for _, addr := range peerAddrs {
+			if _, err := u.conn.WriteToUDP(buf, addr); err != nil {
+				u.stats.dropped()
+				continue
+			}
+			u.stats.wire(len(payload))
+		}
+		return nil
+	}
+	if _, err := u.conn.WriteToUDP(buf, u.GroupAddr(group)); err != nil {
+		u.stats.dropped()
+		return fmt.Errorf("transport: udp multicast to %q: %w", group, err)
+	}
+	u.stats.wire(len(payload))
+	return nil
+}
+
+// Join implements Transport: opens a multicast listener on the group's
+// derived address, or just records membership in fan-out mode.
+func (u *UDP) Join(group string) error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.closed {
+		return fmt.Errorf("transport: join from %q: %w", u.id, ErrClosed)
+	}
+	u.joined[group] = true
+	if u.fanout {
+		return nil
+	}
+	if _, joined := u.groups[group]; joined {
+		return nil
+	}
+	gaddr := u.GroupAddr(group)
+	conn, err := net.ListenMulticastUDP("udp4", nil, gaddr)
+	if err != nil {
+		return fmt.Errorf("transport: join group %q at %v: %w", group, gaddr, err)
+	}
+	g := &udpGroup{addr: gaddr, conn: conn}
+	u.groups[group] = g
+	u.wg.Add(1)
+	go u.readLoop(conn, g)
+	return nil
+}
+
+// Leave implements Transport.
+func (u *UDP) Leave(group string) error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	delete(u.joined, group)
+	g, joined := u.groups[group]
+	if !joined {
+		return nil
+	}
+	delete(u.groups, group)
+	return g.conn.Close()
+}
+
+// Stats implements Transport.
+func (u *UDP) Stats() Stats { return u.stats.snapshot() }
+
+// Close implements Transport.
+func (u *UDP) Close() error {
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return nil
+	}
+	u.closed = true
+	groups := u.groups
+	u.groups = make(map[string]*udpGroup)
+	u.mu.Unlock()
+
+	_ = u.conn.Close()
+	for _, g := range groups {
+		_ = g.conn.Close()
+	}
+	u.wg.Wait()
+	return nil
+}
+
+// maxDatagram bounds receive buffers; UDP payloads beyond typical MTU-sized
+// frames are fragmented by the protocol layer, but loopback jumbo frames
+// still fit here.
+const maxDatagram = 64 << 10
+
+func (u *UDP) readLoop(conn *net.UDPConn, g *udpGroup) {
+	defer u.wg.Done()
+	buf := make([]byte, maxDatagram)
+	for {
+		n, _, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		u.handleDatagram(buf[:n])
+	}
+}
+
+func (u *UDP) handleDatagram(data []byte) {
+	r := encoding.NewReader(data)
+	if r.Uint8() != udpMagic {
+		u.stats.dropped()
+		return
+	}
+	kind := r.Uint8()
+	from := NodeID(r.String())
+	group := r.String()
+	if r.Err() != nil || from == "" {
+		u.stats.dropped()
+		return
+	}
+	payload := r.Raw(r.Remaining())
+	if kind == udpMulticast && from == u.id {
+		// Multicast loopback echoes our own sends; the middleware's
+		// local bypass already delivered them.
+		return
+	}
+	if kind == udpMulticast {
+		// Fan-out copies arrive on the unicast socket; deliver only if
+		// this node joined the group.
+		u.mu.Lock()
+		member := u.joined[group]
+		u.mu.Unlock()
+		if !member {
+			return
+		}
+	}
+	h := u.currentHandler()
+	if h == nil {
+		u.stats.dropped()
+		return
+	}
+	// Copy: buf is reused by the read loop.
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	u.stats.recv(len(cp))
+	pkt := Packet{From: from, Payload: cp}
+	if kind == udpMulticast {
+		pkt.Group = group
+	} else {
+		pkt.To = u.id
+	}
+	h(pkt)
+}

@@ -1,0 +1,321 @@
+package variables
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"uavmw/internal/encoding"
+	"uavmw/internal/naming"
+	"uavmw/internal/presentation"
+	"uavmw/internal/protocol"
+	"uavmw/internal/qos"
+	"uavmw/internal/transport"
+)
+
+// fakeFabric runs handlers inline and records outgoing frames.
+type fakeFabric struct {
+	self transport.NodeID
+	dir  *naming.Directory
+	seq  atomic.Uint64
+
+	mu       sync.Mutex
+	group    map[string][]*protocol.Frame
+	reliable []*protocol.Frame
+	joined   map[string]int
+}
+
+func newFakeFabric(self transport.NodeID) *fakeFabric {
+	return &fakeFabric{
+		self:   self,
+		dir:    naming.NewDirectory(time.Minute),
+		group:  make(map[string][]*protocol.Frame),
+		joined: make(map[string]int),
+	}
+}
+
+func (f *fakeFabric) Self() transport.NodeID       { return f.self }
+func (f *fakeFabric) Encoding() encoding.Encoding  { return encoding.Binary{} }
+func (f *fakeFabric) Directory() *naming.Directory { return f.dir }
+func (f *fakeFabric) NextSeq() uint64              { return f.seq.Add(1) }
+func (f *fakeFabric) Schedule(_ qos.Priority, job func()) error {
+	job()
+	return nil
+}
+
+func (f *fakeFabric) SendBestEffort(transport.NodeID, *protocol.Frame) error { return nil }
+
+func (f *fakeFabric) SendGroup(group string, fr *protocol.Frame) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.group[group] = append(f.group[group], fr)
+	return nil
+}
+
+func (f *fakeFabric) SendReliable(_ transport.NodeID, fr *protocol.Frame, _ qos.Reliability, done func(error)) {
+	f.mu.Lock()
+	f.reliable = append(f.reliable, fr)
+	f.mu.Unlock()
+	if done != nil {
+		done(nil)
+	}
+}
+
+func (f *fakeFabric) Join(group string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.joined[group]++
+	return nil
+}
+
+func (f *fakeFabric) Leave(group string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.joined[group]--
+	return nil
+}
+
+func (f *fakeFabric) groupFrames(group string) []*protocol.Frame {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]*protocol.Frame(nil), f.group[group]...)
+}
+
+var posType = presentation.MustParse("{lat:f64,lon:f64}")
+
+func TestSamplePayloadRoundTrip(t *testing.T) {
+	enc := encoding.Binary{}
+	ts := time.Unix(1_750_000_000, 123456789)
+	val := map[string]any{"lat": 41.0, "lon": 2.0}
+	payload, err := encodeSamplePayload(enc, posType, val, ts, 750*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotTS, validity, err := decodeSamplePayload(enc, posType, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !presentation.EqualValues(val, got) {
+		t.Errorf("value %v", got)
+	}
+	if !gotTS.Equal(ts) {
+		t.Errorf("ts %v vs %v", gotTS, ts)
+	}
+	if validity != 750*time.Millisecond {
+		t.Errorf("validity %v", validity)
+	}
+	if _, _, _, err := decodeSamplePayload(enc, posType, payload[:4]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestOfferValidation(t *testing.T) {
+	e := New(newFakeFabric("n"))
+	if _, err := e.Offer("v", "svc", presentation.ArrayOf(0, presentation.Int8()), qos.VariableQoS{}); err == nil {
+		t.Error("invalid type accepted")
+	}
+	if _, err := e.Offer("v", "svc", posType, qos.VariableQoS{Validity: -1}); err == nil {
+		t.Error("invalid QoS accepted")
+	}
+	if _, err := e.Offer("v", "svc", posType, qos.VariableQoS{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Offer("v", "svc", posType, qos.VariableQoS{}); !errors.Is(err, ErrDuplicateName) {
+		t.Errorf("duplicate: %v", err)
+	}
+	if e.PublisherCount() != 1 {
+		t.Errorf("PublisherCount = %d", e.PublisherCount())
+	}
+}
+
+func TestPublishMulticastsAndCaches(t *testing.T) {
+	f := newFakeFabric("n")
+	e := New(f)
+	p, err := e.Offer("v", "svc", posType, qos.VariableQoS{Validity: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Publish(map[string]any{"lat": 1.0, "lon": 2.0}); err != nil {
+		t.Fatal(err)
+	}
+	frames := f.groupFrames("v:v")
+	if len(frames) != 1 || frames[0].Type != protocol.MTSample || frames[0].Seq != 1 {
+		t.Fatalf("frames = %+v", frames)
+	}
+	v, _, ok := p.snapshot()
+	if !ok || !presentation.EqualValues(v, map[string]any{"lat": 1.0, "lon": 2.0}) {
+		t.Error("snapshot not cached")
+	}
+	// Coercion failures surface.
+	if err := p.Publish("garbage"); err == nil {
+		t.Error("bad value accepted")
+	}
+	p.Close()
+	if err := p.Publish(map[string]any{"lat": 1.0, "lon": 2.0}); !errors.Is(err, ErrClosed) {
+		t.Errorf("publish after close: %v", err)
+	}
+}
+
+func TestOnChangeOnlySuppression(t *testing.T) {
+	f := newFakeFabric("n")
+	e := New(f)
+	p, err := e.Offer("v", "svc", posType, qos.VariableQoS{OnChangeOnly: true, Period: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := map[string]any{"lat": 1.0, "lon": 2.0}
+	for i := 0; i < 5; i++ {
+		if err := p.Publish(val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(f.groupFrames("v:v")); got != 1 {
+		t.Errorf("unchanged value sent %d times, want 1", got)
+	}
+	// A changed value goes out immediately.
+	if err := p.Publish(map[string]any{"lat": 9.0, "lon": 2.0}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(f.groupFrames("v:v")); got != 2 {
+		t.Errorf("changed value not sent: %d frames", got)
+	}
+}
+
+func TestSubscribeTypeMismatchRejected(t *testing.T) {
+	f := newFakeFabric("n")
+	e := New(f)
+	f.dir.Apply(&naming.Announcement{
+		Node: "remote", Epoch: 1,
+		Records: []naming.Record{{
+			Kind: naming.KindVariable, Name: "v", Service: "svc",
+			Node: "remote", TypeSig: "{x:i32}",
+		}},
+	}, time.Now())
+	if _, err := e.Subscribe("v", posType, SubscribeOptions{}); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("want ErrTypeMismatch, got %v", err)
+	}
+}
+
+func TestSubscriptionLifecycle(t *testing.T) {
+	f := newFakeFabric("n")
+	e := New(f)
+	s, err := e.Subscribe("v", posType, SubscribeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get(); !errors.Is(err, ErrNoValue) {
+		t.Errorf("empty Get: %v", err)
+	}
+	if f.joined["v:v"] != 1 {
+		t.Error("subscription did not join the group")
+	}
+	s.Close()
+	s.Close() // idempotent
+	if f.joined["v:v"] != 0 {
+		t.Error("close did not leave the group")
+	}
+}
+
+func TestHandleSampleDeliversAndOrders(t *testing.T) {
+	f := newFakeFabric("n")
+	e := New(f)
+	var got atomic.Value
+	s, err := e.Subscribe("v", posType, SubscribeOptions{
+		OnSample: func(v any, _ time.Time) { got.Store(v) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	enc := encoding.Binary{}
+	mk := func(lat float64, seq uint64) *protocol.Frame {
+		payload, err := encodeSamplePayload(enc, posType, map[string]any{"lat": lat, "lon": 0.0}, time.Now(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &protocol.Frame{
+			Type: protocol.MTSample, Encoding: enc.ID(), Channel: "v",
+			Seq: seq, Payload: payload,
+		}
+	}
+	e.HandleSample("remote", mk(1.0, 5))
+	v, _, err := s.Get()
+	if err != nil || v.(map[string]any)["lat"] != 1.0 {
+		t.Fatalf("first sample: %v %v", v, err)
+	}
+	// A reordered older sample must not overwrite.
+	e.HandleSample("remote", mk(0.5, 3))
+	v, _, _ = s.Get()
+	if v.(map[string]any)["lat"] != 1.0 {
+		t.Error("stale sample overwrote newer value")
+	}
+	// Newer seq wins.
+	e.HandleSample("remote", mk(2.0, 6))
+	v, _, _ = s.Get()
+	if v.(map[string]any)["lat"] != 2.0 {
+		t.Error("newer sample rejected")
+	}
+	samples, _ := s.Stats()
+	if samples != 2 {
+		t.Errorf("samples = %d, want 2 (stale one dropped)", samples)
+	}
+}
+
+func TestHandleSnapshotReqRepliesReliably(t *testing.T) {
+	f := newFakeFabric("n")
+	e := New(f)
+	p, err := e.Offer("v", "svc", posType, qos.VariableQoS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No value yet: no reply.
+	e.HandleSnapshotReq("asker", &protocol.Frame{Type: protocol.MTSnapshotReq, Channel: "v"})
+	if len(f.reliable) != 0 {
+		t.Error("snapshot replied before any publish")
+	}
+	if err := p.Publish(map[string]any{"lat": 4.0, "lon": 5.0}); err != nil {
+		t.Fatal(err)
+	}
+	e.HandleSnapshotReq("asker", &protocol.Frame{Type: protocol.MTSnapshotReq, Channel: "v"})
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.reliable) != 1 || f.reliable[0].Type != protocol.MTSnapshotRep {
+		t.Fatalf("reliable frames = %+v", f.reliable)
+	}
+}
+
+func TestRecords(t *testing.T) {
+	e := New(newFakeFabric("node9"))
+	if _, err := e.Offer("gps.position", "gps", posType, qos.VariableQoS{}); err != nil {
+		t.Fatal(err)
+	}
+	recs := e.Records()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	r := recs[0]
+	if r.Kind != naming.KindVariable || r.Name != "gps.position" ||
+		r.Node != "node9" || r.TypeSig != posType.String() {
+		t.Errorf("record = %+v", r)
+	}
+}
+
+func TestForeignEncodingIgnored(t *testing.T) {
+	f := newFakeFabric("n")
+	e := New(f)
+	s, err := e.Subscribe("v", posType, SubscribeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	e.HandleSample("remote", &protocol.Frame{
+		Type: protocol.MTSample, Encoding: 99, Channel: "v", Seq: 1,
+		Payload: []byte{1, 2, 3},
+	})
+	if _, _, err := s.Get(); !errors.Is(err, ErrNoValue) {
+		t.Error("foreign-encoded sample was accepted")
+	}
+}
