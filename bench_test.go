@@ -46,16 +46,23 @@ func BenchmarkE2_EventARQvsTCP(b *testing.B) {
 	b.ReportMetric(float64(res.GBNPerMsg.Percentile(99))/float64(res.ARQPerMsg.Percentile(99)), "gbn/arq-p99")
 }
 
-// BenchmarkE3_MulticastBandwidth reports wire bytes per delivered sample
-// for multicast vs unicast fan-out at 8 subscribers (§4.1 claim).
+// BenchmarkE3_MulticastBandwidth reports bytes-on-wire per delivered event
+// occurrence for group-addressed multicast vs unicast ARQ fan-out at
+// 2/8/32 subscribers (§4.1 claim applied to the §4.2 event primitive):
+// multicast sends each payload once per group instead of once per
+// subscriber.
 func BenchmarkE3_MulticastBandwidth(b *testing.B) {
-	res, err := experiments.RunE3(8, 100)
-	if err != nil {
-		b.Fatal(err)
+	for _, subs := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			res, err := experiments.RunE3(subs, 100)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.McastBytes), "mcast-bytes")
+			b.ReportMetric(float64(res.UcastBytes), "ucast-bytes")
+			b.ReportMetric(float64(res.UcastBytes)/float64(res.McastBytes), "saving-x")
+		})
 	}
-	b.ReportMetric(float64(res.McastBytes), "mcast-bytes")
-	b.ReportMetric(float64(res.UcastBytes), "ucast-bytes")
-	b.ReportMetric(float64(res.UcastBytes)/float64(res.McastBytes), "saving-x")
 }
 
 // BenchmarkE4_MFTPvsEventTransfer distributes 256 KB to 4 receivers at 2%

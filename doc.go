@@ -6,11 +6,15 @@
 // control: one container per network node manages service lifecycles, name
 // resolution with proxy caching, and all network access, and offers four
 // communication primitives — Variables (best-effort multicast pub/sub),
-// Events (guaranteed delivery), Remote Invocation (typed calls with
-// redundancy failover), and File Transmission (an MFTP-like multicast bulk
-// protocol). The implementation follows the paper's PEPt layering:
-// pluggable Presentation, Encoding, Protocol and Transport subsystems plus
-// a pluggable fixed-priority scheduler.
+// Events (guaranteed delivery, unicast per subscriber or group-addressed
+// multicast with NACK-based gap repair via qos.DeliverMulticast), Remote
+// Invocation (typed calls with redundancy failover), and File Transmission
+// (an MFTP-like multicast bulk protocol). The implementation follows the
+// paper's PEPt layering: pluggable Presentation, Encoding, Protocol and
+// Transport subsystems plus a pluggable fixed-priority scheduler.
+//
+// The module path is uavmw; build with go build ./... and verify with
+// go test ./... (see README.md for the package map).
 //
 // Start with the README for the architecture map, DESIGN.md for the system
 // inventory, and EXPERIMENTS.md for the reproduced evaluation. The

@@ -1,0 +1,3 @@
+module uavmw
+
+go 1.22

@@ -506,6 +506,8 @@ func (n *Node) route(from transport.NodeID, f *protocol.Frame) {
 		n.events.HandleUnsubscribe(from, f)
 	case protocol.MTEvent:
 		n.events.HandleEvent(from, f)
+	case protocol.MTEventNack:
+		n.events.HandleEventNack(from, f)
 	case protocol.MTCall:
 		n.rpc.HandleCall(from, f)
 	case protocol.MTReturn:

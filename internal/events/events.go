@@ -4,10 +4,21 @@
 // important facts" — alarms, waypoint arrivals, triggers for
 // pre-programmed actions.
 //
-// Delivery is unicast per subscriber (the paper maps events over TCP or
-// over UDP with application-level acknowledgment and retransmission). The
-// subscriber set is maintained at the publisher: subscribers register with
-// a reliable MTSubscribe and refresh it periodically, so a restarted
+// Two delivery modes exist, selected by qos.EventQoS.Delivery:
+//
+//   - Unicast (default): the paper's baseline mapping. Each occurrence is
+//     sent once per subscriber over TCP or over UDP with application-level
+//     acknowledgment and retransmission; Publish blocks until every
+//     subscriber acknowledges.
+//   - Multicast: one group-addressed frame per occurrence regardless of
+//     audience size (§4.1: "one packet sent can arrive to multiple
+//     nodes"). Occurrences carry a per-topic sequence number; subscribers
+//     detect gaps and reclaim lost occurrences with MTEventNack, answered
+//     by unicast retransmissions from the publisher's replay buffer over
+//     the ARQ engine.
+//
+// The subscriber set is maintained at the publisher: subscribers register
+// with a reliable MTSubscribe and refresh it periodically, so a restarted
 // publisher relearns its audience within one refresh interval.
 package events
 
@@ -15,6 +26,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -41,23 +53,58 @@ var (
 	ErrTypeMismatch = errors.New("event type mismatch")
 )
 
+// numShards partitions the per-topic state so publishers and the receive
+// path of unrelated topics never contend on one engine-wide mutex. Must be
+// a power of two.
+const numShards = 16
+
+// shard holds the registries of the topics hashed onto it.
+type shard struct {
+	mu       sync.Mutex
+	pubs     map[string]*Publisher
+	subs     map[string][]*Subscription
+	trackers map[string]map[transport.NodeID]*seqTracker
+}
+
 // Engine is the per-container event runtime.
 type Engine struct {
-	f fabric.Fabric
-
-	mu   sync.Mutex
-	pubs map[string]*Publisher
-	subs map[string][]*Subscription
+	f      fabric.Fabric
+	shards [numShards]shard
 }
 
 // New builds the engine for a container.
 func New(f fabric.Fabric) *Engine {
-	return &Engine{
-		f:    f,
-		pubs: make(map[string]*Publisher),
-		subs: make(map[string][]*Subscription),
+	e := &Engine{f: f}
+	for i := range e.shards {
+		e.shards[i].pubs = make(map[string]*Publisher)
+		e.shards[i].subs = make(map[string][]*Subscription)
+		e.shards[i].trackers = make(map[string]map[transport.NodeID]*seqTracker)
 	}
+	return e
 }
+
+// shardOf maps a topic onto its shard (inline FNV-1a, no allocation).
+func (e *Engine) shardOf(topic string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(topic); i++ {
+		h ^= uint32(topic[i])
+		h *= 16777619
+	}
+	return &e.shards[h&(numShards-1)]
+}
+
+// Buffer pools for the publish hot path. Pooled buffers hold the assembled
+// event payload (per-topic seq + encoded body); they are safe to recycle as
+// soon as the fabric send returns because frame encoding copies the payload
+// into the wire buffer. Frames are pooled under the same contract: the
+// fabric must not retain the *protocol.Frame past the call.
+var (
+	payloadPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+	framePool   = sync.Pool{New: func() any { return new(protocol.Frame) }}
+)
+
+func getFrame() *protocol.Frame  { return framePool.Get().(*protocol.Frame) }
+func putFrame(f *protocol.Frame) { *f = protocol.Frame{}; framePool.Put(f) }
 
 // Offer registers a publisher for topic with an optional payload type (nil
 // means the event carries no data — "events can ... have meaning by
@@ -72,9 +119,10 @@ func (e *Engine) Offer(topic, service string, t *presentation.Type, q qos.EventQ
 		return nil, err
 	}
 	q = q.Normalize()
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if _, dup := e.pubs[topic]; dup {
+	sh := e.shardOf(topic)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.pubs[topic]; dup {
 		return nil, fmt.Errorf("events: %q: %w", topic, ErrDuplicateName)
 	}
 	p := &Publisher{
@@ -83,10 +131,50 @@ func (e *Engine) Offer(topic, service string, t *presentation.Type, q qos.EventQ
 		service:     service,
 		typ:         t,
 		q:           q,
+		id:          newPublisherID(),
 		subscribers: make(map[transport.NodeID]time.Time),
 	}
-	e.pubs[topic] = p
+	if q.Delivery == qos.DeliverMulticast {
+		p.replay = newReplayRing(replayDepth)
+	}
+	sh.pubs[topic] = p
 	return p, nil
+}
+
+// replayDepth is how many recent occurrences a multicast publisher keeps
+// for NACK repair. Gaps older than this are unrecoverable (the subscriber
+// counts them as lost).
+const replayDepth = 128
+
+// replayRing is a fixed-size buffer of recent occurrences, indexed by
+// per-topic sequence.
+type replayRing struct {
+	entries []replayEntry
+}
+
+type replayEntry struct {
+	seq  uint64
+	body []byte
+}
+
+func newReplayRing(depth int) *replayRing {
+	return &replayRing{entries: make([]replayEntry, depth)}
+}
+
+func (r *replayRing) put(seq uint64, body []byte) {
+	e := &r.entries[seq%uint64(len(r.entries))]
+	// Reuse the slot's storage when it fits to avoid re-allocating on
+	// every publish.
+	e.seq = seq
+	e.body = append(e.body[:0], body...)
+}
+
+func (r *replayRing) get(seq uint64) ([]byte, bool) {
+	e := &r.entries[seq%uint64(len(r.entries))]
+	if e.seq != seq || seq == 0 {
+		return nil, false
+	}
+	return e.body, true
 }
 
 // Publisher is the provider-side handle of one event topic.
@@ -97,18 +185,34 @@ type Publisher struct {
 	typ     *presentation.Type // nil = no payload
 	q       qos.EventQoS
 
+	// id is the publisher incarnation carried in every occurrence so
+	// subscribers reset their sequence trackers when a topic's publisher
+	// restarts with fresh numbering.
+	id uint32
+
 	mu          sync.Mutex
 	subscribers map[transport.NodeID]time.Time // last refresh
-	seq         uint64
+	seq         uint64                         // per-topic occurrence sequence
+	replay      *replayRing                    // multicast mode only
 	closed      bool
 
 	published uint64
 	failures  uint64
+	repairs   uint64 // occurrences retransmitted on NACK
 }
 
 // subscriberTTL drops remote subscribers that stop refreshing (their node
 // died without unsubscribing).
 const subscriberTTL = 5 * time.Second
+
+// newPublisherID draws a random non-zero incarnation id.
+func newPublisherID() uint32 {
+	for {
+		if id := rand.Uint32(); id != 0 {
+			return id
+		}
+	}
+}
 
 // Topic returns the event topic name.
 func (p *Publisher) Topic() string { return p.topic }
@@ -124,24 +228,32 @@ func (p *Publisher) Subscribers() []transport.NodeID {
 	return out
 }
 
-// Publish delivers v to every subscriber and blocks until all acknowledge,
-// the context expires, or a subscriber exhausts its retries. Local
-// subscribers are delivered directly (bypass). On partial failure the
-// failed subscribers are dropped from the set (the paper's middleware
-// "detects the situation" and continues degraded) and ErrPartialDelivery
-// is returned with the count.
+// Publish delivers v to every subscriber. Local subscribers are delivered
+// directly (bypass).
+//
+// In unicast mode the call blocks until all subscribers acknowledge, the
+// context expires, or a subscriber exhausts its retries. On partial failure
+// the failed subscribers are dropped from the set (the paper's middleware
+// "detects the situation" and continues degraded) and ErrPartialDelivery is
+// returned with the count. On context expiry the outcomes that completed
+// before cancellation are still accounted in Stats and unreachable
+// subscribers among them dropped.
+//
+// In multicast mode the occurrence is encoded once and sent as one
+// group-addressed frame; delivery gaps are repaired asynchronously through
+// subscriber NACKs, so the call does not block on acknowledgment.
 func (p *Publisher) Publish(ctx context.Context, v any) error {
 	var (
-		payload []byte
-		cv      any
-		err     error
+		body []byte
+		cv   any
+		err  error
 	)
 	if p.typ != nil {
 		cv, err = presentation.Coerce(p.typ, v)
 		if err != nil {
 			return err
 		}
-		payload, err = p.engine.f.Encoding().Marshal(p.typ, cv)
+		body, err = p.engine.f.Encoding().Marshal(p.typ, cv)
 		if err != nil {
 			return err
 		}
@@ -166,6 +278,9 @@ func (p *Publisher) Publish(ctx context.Context, v any) error {
 		targets = append(targets, node)
 	}
 	p.published++
+	if p.replay != nil {
+		p.replay.put(seq, body)
+	}
 	p.mu.Unlock()
 
 	// Local bypass.
@@ -174,6 +289,41 @@ func (p *Publisher) Publish(ctx context.Context, v any) error {
 	if len(targets) == 0 {
 		return nil
 	}
+	if p.q.Delivery == qos.DeliverMulticast {
+		return p.publishGroup(seq, body)
+	}
+	return p.publishUnicast(ctx, seq, body, targets)
+}
+
+// publishGroup sends one group-addressed frame for the occurrence.
+func (p *Publisher) publishGroup(seq uint64, body []byte) error {
+	bufp := payloadPool.Get().(*[]byte)
+	payload := protocol.EncodeEventPayload(p.id, seq, body, *bufp)
+	frame := getFrame()
+	frame.Type = protocol.MTEvent
+	frame.Encoding = p.engine.f.Encoding().ID()
+	frame.Priority = p.q.Priority
+	frame.Channel = p.topic
+	frame.Seq = p.engine.f.NextSeq()
+	frame.Payload = payload
+	err := p.engine.f.SendGroup(fabric.EventGroup(p.topic), frame)
+	putFrame(frame)
+	*bufp = payload[:0]
+	payloadPool.Put(bufp)
+	if err != nil {
+		p.mu.Lock()
+		p.failures++
+		p.mu.Unlock()
+		return fmt.Errorf("events: publish %q: %w", p.topic, err)
+	}
+	return nil
+}
+
+// publishUnicast performs the blocking per-subscriber reliable fan-out.
+func (p *Publisher) publishUnicast(ctx context.Context, seq uint64, body []byte, targets []transport.NodeID) error {
+	// One shared payload for every copy: the fabric encodes it into each
+	// wire frame synchronously, so sharing is safe and saves N-1 copies.
+	payload := protocol.EncodeEventPayload(p.id, seq, body, nil)
 
 	type outcome struct {
 		node transport.NodeID
@@ -181,41 +331,100 @@ func (p *Publisher) Publish(ctx context.Context, v any) error {
 	}
 	results := make(chan outcome, len(targets))
 	for _, node := range targets {
-		frame := &protocol.Frame{
-			Type:     protocol.MTEvent,
-			Encoding: p.engine.f.Encoding().ID(),
-			Priority: p.q.Priority,
-			Channel:  p.topic,
-			Seq:      p.engine.f.NextSeq(),
-			Payload:  payload,
-		}
+		frame := getFrame()
+		frame.Type = protocol.MTEvent
+		frame.Encoding = p.engine.f.Encoding().ID()
+		frame.Priority = p.q.Priority
+		frame.Channel = p.topic
+		frame.Seq = p.engine.f.NextSeq()
+		frame.Payload = payload
 		node := node
 		p.engine.f.SendReliable(node, frame, p.q.Reliability, func(err error) {
 			results <- outcome{node: node, err: err}
 		})
+		putFrame(frame)
 	}
-	_ = seq
 
 	failed := 0
-	for range targets {
+	account := func(res outcome) {
+		if res.err != nil {
+			failed++
+			p.dropSubscriber(res.node)
+		}
+	}
+	var cancelErr error
+	for done := 0; done < len(targets) && cancelErr == nil; {
 		select {
 		case res := <-results:
-			if res.err != nil {
-				failed++
-				p.dropSubscriber(res.node)
-			}
+			done++
+			account(res)
 		case <-ctx.Done():
-			return fmt.Errorf("events: publish %q: %w", p.topic, ctx.Err())
+			cancelErr = ctx.Err()
+			// Drain outcomes that completed before cancellation so
+			// Stats() and the subscriber set reflect them; in-flight
+			// sends resolve into the buffered channel and are garbage
+			// collected with it.
+			for drained := true; drained && done < len(targets); {
+				select {
+				case res := <-results:
+					done++
+					account(res)
+				default:
+					drained = false
+				}
+			}
 		}
 	}
 	if failed > 0 {
 		p.mu.Lock()
 		p.failures += uint64(failed)
 		p.mu.Unlock()
+	}
+	if cancelErr != nil {
+		return fmt.Errorf("events: publish %q (%d subscribers unreachable before cancellation): %w",
+			p.topic, failed, cancelErr)
+	}
+	if failed > 0 {
 		return fmt.Errorf("events: %q: %d of %d subscribers unreachable: %w",
 			p.topic, failed, len(targets), ErrPartialDelivery)
 	}
 	return nil
+}
+
+// repairFor retransmits NACKed occurrences to one subscriber as unicast
+// reliable sends from the replay buffer.
+func (p *Publisher) repairFor(node transport.NodeID, seqs []uint64) {
+	p.mu.Lock()
+	if p.closed || p.replay == nil {
+		p.mu.Unlock()
+		return
+	}
+	type repair struct {
+		seq  uint64
+		body []byte
+	}
+	repairs := make([]repair, 0, len(seqs))
+	for _, seq := range seqs {
+		if body, ok := p.replay.get(seq); ok {
+			// Copy: the ring slot will be overwritten by later
+			// publishes while the retransmission is in flight.
+			repairs = append(repairs, repair{seq: seq, body: append([]byte(nil), body...)})
+		}
+	}
+	p.repairs += uint64(len(repairs))
+	p.mu.Unlock()
+
+	for _, rep := range repairs {
+		frame := &protocol.Frame{
+			Type:     protocol.MTEvent,
+			Encoding: p.engine.f.Encoding().ID(),
+			Priority: p.q.Priority,
+			Channel:  p.topic,
+			Seq:      p.engine.f.NextSeq(),
+			Payload:  protocol.EncodeEventPayload(p.id, rep.seq, rep.body, nil),
+		}
+		p.engine.f.SendReliable(node, frame, qos.ReliableARQ, nil)
+	}
 }
 
 func (p *Publisher) dropSubscriber(node transport.NodeID) {
@@ -231,6 +440,14 @@ func (p *Publisher) Stats() (published, failures uint64) {
 	return p.published, p.failures
 }
 
+// Repairs reports how many occurrences were retransmitted on NACK
+// (multicast mode).
+func (p *Publisher) Repairs() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.repairs
+}
+
 // Close withdraws the publisher.
 func (p *Publisher) Close() {
 	p.mu.Lock()
@@ -240,9 +457,10 @@ func (p *Publisher) Close() {
 	}
 	p.closed = true
 	p.mu.Unlock()
-	p.engine.mu.Lock()
-	delete(p.engine.pubs, p.topic)
-	p.engine.mu.Unlock()
+	sh := p.engine.shardOf(p.topic)
+	sh.mu.Lock()
+	delete(sh.pubs, p.topic)
+	sh.mu.Unlock()
 }
 
 // Record returns the naming record for announcements.
@@ -274,12 +492,18 @@ type Subscription struct {
 	mu       sync.Mutex
 	provider transport.NodeID
 	closed   bool
+	joined   bool // multicast group membership
 	received uint64
+	gaps     uint64 // occurrences detected missing in the topic stream
+	repaired uint64 // gap occurrences later recovered
 }
 
 // Subscribe registers handler for topic. The subscription is announced
 // reliably to the current publisher and re-announced on refresh, so it
-// survives publisher restarts.
+// survives publisher restarts. Every subscription also joins the topic's
+// multicast group: the delivery mode is the publisher's choice, so a
+// subscriber that asked for unicast must still hear group-addressed
+// occurrences from a multicast publisher.
 func (e *Engine) Subscribe(topic string, t *presentation.Type, q qos.EventQoS, h Handler) (*Subscription, error) {
 	if t != nil {
 		if err := t.Validate(); err != nil {
@@ -295,9 +519,18 @@ func (e *Engine) Subscribe(topic string, t *presentation.Type, q qos.EventQoS, h
 	}
 	s := &Subscription{engine: e, topic: topic, typ: t, q: q, handler: h}
 
-	e.mu.Lock()
-	e.subs[topic] = append(e.subs[topic], s)
-	e.mu.Unlock()
+	sh := e.shardOf(topic)
+	sh.mu.Lock()
+	sh.subs[topic] = append(sh.subs[topic], s)
+	sh.mu.Unlock()
+
+	if err := e.f.Join(fabric.EventGroup(topic)); err != nil {
+		s.Close()
+		return nil, fmt.Errorf("events: join group for %q: %w", topic, err)
+	}
+	s.mu.Lock()
+	s.joined = true
+	s.mu.Unlock()
 
 	// Register with the remote publisher if one exists; a local-only
 	// topic needs no frames. Missing publishers are not an error — the
@@ -309,9 +542,10 @@ func (e *Engine) Subscribe(topic string, t *presentation.Type, q qos.EventQoS, h
 // register sends MTSubscribe to the current provider, if any and not local.
 func (s *Subscription) register() {
 	e := s.engine
-	e.mu.Lock()
-	_, local := e.pubs[s.topic]
-	e.mu.Unlock()
+	sh := e.shardOf(s.topic)
+	sh.mu.Lock()
+	_, local := sh.pubs[s.topic]
+	sh.mu.Unlock()
 	if local {
 		return
 	}
@@ -337,12 +571,15 @@ func (s *Subscription) register() {
 // Refresh re-registers every remote subscription; the container calls it on
 // its announce tick so publisher restarts relearn subscribers.
 func (e *Engine) Refresh() {
-	e.mu.Lock()
 	var all []*Subscription
-	for _, list := range e.subs {
-		all = append(all, list...)
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		for _, list := range sh.subs {
+			all = append(all, list...)
+		}
+		sh.mu.Unlock()
 	}
-	e.mu.Unlock()
 	for _, s := range all {
 		s.mu.Lock()
 		closed := s.closed
@@ -360,6 +597,27 @@ func (s *Subscription) Received() uint64 {
 	return s.received
 }
 
+// Gaps reports sequence gaps detected in the topic stream and how many of
+// the missing occurrences were subsequently recovered (NACK repair or late
+// arrival).
+func (s *Subscription) Gaps() (detected, repaired uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gaps, s.repaired
+}
+
+func (s *Subscription) noteGaps(n uint64) {
+	s.mu.Lock()
+	s.gaps += n
+	s.mu.Unlock()
+}
+
+func (s *Subscription) noteRepaired() {
+	s.mu.Lock()
+	s.repaired++
+	s.mu.Unlock()
+}
+
 // Close detaches the subscription and unsubscribes from the publisher.
 func (s *Subscription) Close() {
 	s.mu.Lock()
@@ -369,11 +627,13 @@ func (s *Subscription) Close() {
 	}
 	s.closed = true
 	provider := s.provider
+	joined := s.joined
 	s.mu.Unlock()
 
 	e := s.engine
-	e.mu.Lock()
-	list := e.subs[s.topic]
+	sh := e.shardOf(s.topic)
+	sh.mu.Lock()
+	list := sh.subs[s.topic]
 	for i, sub := range list {
 		if sub == s {
 			list = append(list[:i], list[i+1:]...)
@@ -381,13 +641,17 @@ func (s *Subscription) Close() {
 		}
 	}
 	if len(list) == 0 {
-		delete(e.subs, s.topic)
+		delete(sh.subs, s.topic)
+		delete(sh.trackers, s.topic)
 	} else {
-		e.subs[s.topic] = list
+		sh.subs[s.topic] = list
 	}
 	remaining := len(list)
-	e.mu.Unlock()
+	sh.mu.Unlock()
 
+	if remaining == 0 && joined {
+		_ = e.f.Leave(fabric.EventGroup(s.topic))
+	}
 	if remaining == 0 && provider != "" && provider != e.f.Self() {
 		frame := &protocol.Frame{
 			Type:     protocol.MTUnsubscribe,
@@ -401,10 +665,11 @@ func (s *Subscription) Close() {
 
 // deliverLocal dispatches an occurrence to same-container subscribers.
 func (e *Engine) deliverLocal(topic string, v any, _ time.Time) {
-	e.mu.Lock()
-	subs := append([]*Subscription(nil), e.subs[topic]...)
+	sh := e.shardOf(topic)
+	sh.mu.Lock()
+	subs := append([]*Subscription(nil), sh.subs[topic]...)
 	self := e.f.Self()
-	e.mu.Unlock()
+	sh.mu.Unlock()
 	for _, s := range subs {
 		s.dispatch(presentation.DeepCopy(v), self)
 	}
@@ -425,9 +690,10 @@ func (s *Subscription) dispatch(v any, from transport.NodeID) {
 
 // HandleSubscribe processes a remote MTSubscribe.
 func (e *Engine) HandleSubscribe(from transport.NodeID, fr *protocol.Frame) {
-	e.mu.Lock()
-	pub := e.pubs[fr.Channel]
-	e.mu.Unlock()
+	sh := e.shardOf(fr.Channel)
+	sh.mu.Lock()
+	pub := sh.pubs[fr.Channel]
+	sh.mu.Unlock()
 	if pub == nil {
 		return
 	}
@@ -440,31 +706,189 @@ func (e *Engine) HandleSubscribe(from transport.NodeID, fr *protocol.Frame) {
 
 // HandleUnsubscribe processes a remote MTUnsubscribe.
 func (e *Engine) HandleUnsubscribe(from transport.NodeID, fr *protocol.Frame) {
-	e.mu.Lock()
-	pub := e.pubs[fr.Channel]
-	e.mu.Unlock()
+	sh := e.shardOf(fr.Channel)
+	sh.mu.Lock()
+	pub := sh.pubs[fr.Channel]
+	sh.mu.Unlock()
 	if pub == nil {
 		return
 	}
 	pub.dropSubscriber(from)
 }
 
-// HandleEvent processes an incoming MTEvent occurrence.
-func (e *Engine) HandleEvent(from transport.NodeID, fr *protocol.Frame) {
-	e.mu.Lock()
-	subs := append([]*Subscription(nil), e.subs[fr.Channel]...)
-	e.mu.Unlock()
-	if len(subs) == 0 {
+// HandleEventNack processes a subscriber's gap report: retransmit the
+// missing occurrences unicast from the replay buffer.
+func (e *Engine) HandleEventNack(from transport.NodeID, fr *protocol.Frame) {
+	sh := e.shardOf(fr.Channel)
+	sh.mu.Lock()
+	pub := sh.pubs[fr.Channel]
+	sh.mu.Unlock()
+	if pub == nil {
 		return
 	}
+	seqs, err := protocol.DecodeEventNack(fr.Payload)
+	if err != nil {
+		return
+	}
+	pub.repairFor(from, seqs)
+}
+
+// seqTracker follows one publisher's per-topic sequence at a subscriber
+// node: gap detection, duplicate suppression, repair matching. One tracker
+// exists per (topic, source node); the publisher incarnation id resets it
+// when the topic's publisher restarts with fresh numbering.
+type seqTracker struct {
+	seen    bool
+	pub     uint32 // publisher incarnation
+	first   uint64 // initial sequence observed for this incarnation
+	last    uint64
+	missing map[uint64]struct{}
+}
+
+// frameDisposition classifies an incoming sequenced occurrence.
+type frameDisposition int
+
+const (
+	frameFresh frameDisposition = iota
+	frameRepair
+	frameDuplicate
+)
+
+// observe advances the tracker with occurrence (pubID, seq) and returns the
+// disposition, the total gap since the previously highest sequence, and the
+// subset of gap sequences worth NACKing (capped at protocol.MaxNackSeqs —
+// anything older is beyond the publisher's replay buffer anyway).
+func (tr *seqTracker) observe(pubID uint32, seq uint64) (d frameDisposition, gap uint64, nackable []uint64) {
+	if !tr.seen || tr.pub != pubID {
+		// Mid-stream join or publisher restart: prior history is not a
+		// gap in this numbering.
+		tr.seen = true
+		tr.pub = pubID
+		tr.first = seq
+		tr.last = seq
+		tr.missing = nil
+		return frameFresh, 0, nil
+	}
+	switch {
+	case seq > tr.last:
+		if gap = seq - tr.last - 1; gap > 0 {
+			if tr.missing == nil {
+				tr.missing = make(map[uint64]struct{})
+			}
+			first := tr.last + 1
+			// NACK only what the publisher's replay ring can still
+			// serve; older losses are unrecoverable and reported via
+			// the gap count alone.
+			if gap > replayDepth {
+				first = seq - replayDepth
+			}
+			for m := first; m < seq; m++ {
+				tr.missing[m] = struct{}{}
+				nackable = append(nackable, m)
+			}
+		}
+		tr.last = seq
+		tr.prune()
+		return frameFresh, gap, nackable
+	default:
+		if _, ok := tr.missing[seq]; ok {
+			delete(tr.missing, seq)
+			return frameRepair, 0, nil
+		}
+		if seq < tr.first {
+			// Reordered in-flight occurrence from before this tracker
+			// first saw the stream (concurrent publishes racing the
+			// subscribe): deliver rather than risk dropping a
+			// guaranteed event. Network-level duplicates of acked
+			// unicast frames are already suppressed by the container
+			// dedup, so this cannot double-deliver on the ARQ path.
+			return frameFresh, 0, nil
+		}
+		return frameDuplicate, 0, nil
+	}
+}
+
+// prune drops missing entries too old for any replay buffer to repair.
+func (tr *seqTracker) prune() {
+	if len(tr.missing) <= 4*protocol.MaxNackSeqs {
+		return
+	}
+	for seq := range tr.missing {
+		if tr.last-seq > 2*replayDepth {
+			delete(tr.missing, seq)
+		}
+	}
+}
+
+// HandleEvent processes an incoming MTEvent occurrence (group-addressed,
+// unicast, or NACK-triggered retransmission).
+func (e *Engine) HandleEvent(from transport.NodeID, fr *protocol.Frame) {
+	pubID, topicSeq, body, err := protocol.DecodeEventPayload(fr.Payload)
+	if err != nil {
+		// Unsequenced frame (foreign or ancient sender): deliver as-is
+		// with no gap tracking.
+		pubID, topicSeq, body = 0, 0, fr.Payload
+	}
+
+	sh := e.shardOf(fr.Channel)
+	sh.mu.Lock()
+	subs := append([]*Subscription(nil), sh.subs[fr.Channel]...)
+	var (
+		disposition = frameFresh
+		gap         uint64
+		nackable    []uint64
+		wantRepair  bool
+	)
+	if len(subs) > 0 && topicSeq != 0 && from != e.f.Self() {
+		byNode := sh.trackers[fr.Channel]
+		if byNode == nil {
+			byNode = make(map[transport.NodeID]*seqTracker)
+			sh.trackers[fr.Channel] = byNode
+		}
+		tr := byNode[from]
+		if tr == nil {
+			tr = &seqTracker{}
+			byNode[from] = tr
+		}
+		disposition, gap, nackable = tr.observe(pubID, topicSeq)
+		// NACK gaps whenever an ARQ-reliable subscription exists; a
+		// unicast publisher without a replay buffer ignores the NACK
+		// (its own ARQ retries close the gap), so this is safe in
+		// either delivery mode.
+		for _, s := range subs {
+			if s.q.Reliability == qos.ReliableARQ {
+				wantRepair = true
+				break
+			}
+		}
+	}
+	sh.mu.Unlock()
+	if len(subs) == 0 || disposition == frameDuplicate {
+		return
+	}
+
+	if gap > 0 {
+		for _, s := range subs {
+			s.noteGaps(gap)
+		}
+		if wantRepair && len(nackable) > 0 {
+			e.sendNack(from, fr.Channel, nackable)
+		}
+	}
+	if disposition == frameRepair {
+		for _, s := range subs {
+			s.noteRepaired()
+		}
+	}
+
 	enc := e.f.Encoding()
-	if len(fr.Payload) > 0 && fr.Encoding != enc.ID() {
+	if len(body) > 0 && fr.Encoding != enc.ID() {
 		return
 	}
 	for _, s := range subs {
 		var v any
-		if s.typ != nil && len(fr.Payload) > 0 {
-			decoded, err := enc.Unmarshal(s.typ, fr.Payload)
+		if s.typ != nil && len(body) > 0 {
+			decoded, err := enc.Unmarshal(s.typ, body)
 			if err != nil {
 				continue
 			}
@@ -474,14 +898,38 @@ func (e *Engine) HandleEvent(from transport.NodeID, fr *protocol.Frame) {
 	}
 }
 
-// PeerGone drops a failed node from every publisher's subscriber set.
-func (e *Engine) PeerGone(node transport.NodeID) {
-	e.mu.Lock()
-	pubs := make([]*Publisher, 0, len(e.pubs))
-	for _, p := range e.pubs {
-		pubs = append(pubs, p)
+// sendNack reports newly detected gaps to the publisher, reliably so the
+// report itself survives the loss that caused the gap.
+func (e *Engine) sendNack(to transport.NodeID, topic string, missing []uint64) {
+	payload, err := protocol.EncodeEventNack(missing)
+	if err != nil {
+		return
 	}
-	e.mu.Unlock()
+	frame := &protocol.Frame{
+		Type:     protocol.MTEventNack,
+		Priority: qos.PriorityHigh,
+		Channel:  topic,
+		Seq:      e.f.NextSeq(),
+		Payload:  payload,
+	}
+	e.f.SendReliable(to, frame, qos.ReliableARQ, nil)
+}
+
+// PeerGone drops a failed node from every publisher's subscriber set and
+// clears its sequence trackers.
+func (e *Engine) PeerGone(node transport.NodeID) {
+	var pubs []*Publisher
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		for _, p := range sh.pubs {
+			pubs = append(pubs, p)
+		}
+		for _, byNode := range sh.trackers {
+			delete(byNode, node)
+		}
+		sh.mu.Unlock()
+	}
 	for _, p := range pubs {
 		p.dropSubscriber(node)
 	}
@@ -489,11 +937,14 @@ func (e *Engine) PeerGone(node transport.NodeID) {
 
 // Records lists this node's offered topics for announcements.
 func (e *Engine) Records() []naming.Record {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	out := make([]naming.Record, 0, len(e.pubs))
-	for _, p := range e.pubs {
-		out = append(out, p.Record())
+	var out []naming.Record
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		for _, p := range sh.pubs {
+			out = append(out, p.Record())
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }

@@ -25,6 +25,10 @@ type fakeFabric struct {
 
 	mu        sync.Mutex
 	reliable  []*protocol.Frame
+	reliantTo []transport.NodeID // destination of each reliable frame
+	group     []*protocol.Frame  // group-addressed frames
+	groupName []string           // group of each group frame
+	joined    map[string]int     // Join minus Leave per group
 	failNodes map[transport.NodeID]bool
 }
 
@@ -32,6 +36,7 @@ func newFakeFabric(self transport.NodeID) *fakeFabric {
 	return &fakeFabric{
 		self:      self,
 		dir:       naming.NewDirectory(time.Minute),
+		joined:    make(map[string]int),
 		failNodes: make(map[transport.NodeID]bool),
 	}
 }
@@ -45,13 +50,39 @@ func (f *fakeFabric) Schedule(_ qos.Priority, job func()) error {
 	return nil
 }
 func (f *fakeFabric) SendBestEffort(transport.NodeID, *protocol.Frame) error { return nil }
-func (f *fakeFabric) SendGroup(string, *protocol.Frame) error                { return nil }
-func (f *fakeFabric) Join(string) error                                      { return nil }
-func (f *fakeFabric) Leave(string) error                                     { return nil }
+
+func (f *fakeFabric) SendGroup(group string, fr *protocol.Frame) error {
+	cp := *fr
+	cp.Payload = append([]byte(nil), fr.Payload...)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.group = append(f.group, &cp)
+	f.groupName = append(f.groupName, group)
+	return nil
+}
+
+func (f *fakeFabric) Join(group string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.joined[group]++
+	return nil
+}
+
+func (f *fakeFabric) Leave(group string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.joined[group]--
+	return nil
+}
 
 func (f *fakeFabric) SendReliable(to transport.NodeID, fr *protocol.Frame, _ qos.Reliability, done func(error)) {
+	// Fabric contract: the frame may be pooled by the caller after the
+	// call returns, so retain a copy, not the original.
+	cp := *fr
+	cp.Payload = append([]byte(nil), fr.Payload...)
 	f.mu.Lock()
-	f.reliable = append(f.reliable, fr)
+	f.reliable = append(f.reliable, &cp)
+	f.reliantTo = append(f.reliantTo, to)
 	fail := f.failNodes[to]
 	f.mu.Unlock()
 	if done != nil {
@@ -232,12 +263,13 @@ func TestHandleEventDecodesAndCounts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	payload, err := encoding.Marshal(alertType, map[string]any{"code": uint32(9)})
+	body, err := encoding.Marshal(alertType, map[string]any{"code": uint32(9)})
 	if err != nil {
 		t.Fatal(err)
 	}
 	e.HandleEvent("pub", &protocol.Frame{
-		Type: protocol.MTEvent, Encoding: 1, Channel: "t", Seq: 1, Payload: payload,
+		Type: protocol.MTEvent, Encoding: 1, Channel: "t", Seq: 1,
+		Payload: protocol.EncodeEventPayload(7, 1, body, nil),
 	})
 	v := got.Load()
 	if v == nil || v.(map[string]any)["code"] != uint32(9) {
@@ -248,7 +280,8 @@ func TestHandleEventDecodesAndCounts(t *testing.T) {
 	}
 	// Wrong encoding: ignored.
 	e.HandleEvent("pub", &protocol.Frame{
-		Type: protocol.MTEvent, Encoding: 99, Channel: "t", Seq: 2, Payload: payload,
+		Type: protocol.MTEvent, Encoding: 99, Channel: "t", Seq: 2,
+		Payload: protocol.EncodeEventPayload(7, 2, body, nil),
 	})
 	if s.Received() != 1 {
 		t.Error("foreign-encoded event delivered")

@@ -16,7 +16,6 @@ import (
 	"time"
 
 	"uavmw/internal/core"
-	"uavmw/internal/encoding"
 	"uavmw/internal/filetransfer"
 	"uavmw/internal/metrics"
 	"uavmw/internal/naming"
@@ -319,8 +318,11 @@ func RunE2(n int, loss float64, payloadBytes int, seed int64) (*E2Result, error)
 	return res, nil
 }
 
-// E3Result measures wire cost of distributing one variable to N subscribers
-// with multicast vs unicast fan-out (§4.1).
+// E3Result measures wire cost of distributing event occurrences to N
+// subscribers with group-addressed multicast vs unicast ARQ fan-out (§4.1
+// bandwidth argument applied to the §4.2 event primitive). The counts are
+// bytes-on-wire through the full middleware stack: frames, acks and
+// repairs included.
 type E3Result struct {
 	Subscribers  int
 	Samples      int
@@ -330,50 +332,76 @@ type E3Result struct {
 	UcastBytes   uint64
 }
 
-// RunE3 publishes samples to n subscribers both ways on a fresh netsim and
-// reports wire packet/byte counts.
+// RunE3 publishes occurrences through the event engine to n subscriber
+// containers in both delivery modes on a fresh netsim and reports wire
+// packet/byte counts.
 func RunE3(subscribers, samples int) (*E3Result, error) {
 	res := &E3Result{Subscribers: subscribers, Samples: samples}
-	payload, err := marshalTelemetry()
-	if err != nil {
-		return nil, err
-	}
 
-	run := func(multicast bool) (uint64, uint64, error) {
-		net := netsim.New(netsim.Config{Seed: 4})
+	run := func(delivery qos.Delivery) (uint64, uint64, error) {
+		net := netsim.New(netsim.Config{Seed: 4, Latency: 200 * time.Microsecond})
 		defer net.Close()
-		src, err := net.Node("src")
+		// A long announce period keeps discovery chatter out of the
+		// measured window; discovery is driven by explicit AnnounceNow.
+		mk := func(id transport.NodeID) (*core.Node, error) {
+			ep, err := net.Node(id)
+			if err != nil {
+				return nil, err
+			}
+			return core.NewNode(
+				core.WithDatagram(ep),
+				core.WithAnnouncePeriod(2*time.Second),
+				core.WithARQ(protocol.WithTimeout(5*time.Millisecond)),
+			)
+		}
+		pub, err := mk("src")
 		if err != nil {
 			return 0, 0, err
 		}
-		var delivered atomic.Int64
-		nodes := make([]*netsim.Node, subscribers)
+		defer func() { _ = pub.Close() }()
+		nodes := make([]*core.Node, subscribers)
 		for i := range nodes {
-			node, err := net.Node(transport.NodeID(fmt.Sprintf("sub%d", i)))
-			if err != nil {
+			if nodes[i], err = mk(transport.NodeID(fmt.Sprintf("sub%d", i))); err != nil {
 				return 0, 0, err
 			}
-			node.SetHandler(func(transport.Packet) { delivered.Add(1) })
-			if err := node.Join("e3.var"); err != nil {
-				return 0, 0, err
-			}
-			nodes[i] = node
+			defer func(n *core.Node) { _ = n.Close() }(nodes[i])
 		}
+
+		q := qos.EventQoS{Delivery: delivery}
+		evtPub, err := pub.Events().Offer("e3.evt", "bench", telemetryType, q)
+		if err != nil {
+			return 0, 0, err
+		}
+		pub.AnnounceNow()
+		var delivered atomic.Int64
+		for _, n := range nodes {
+			if err := waitProviders(n, kindEvent, "e3.evt", 1, 5*time.Second); err != nil {
+				return 0, 0, err
+			}
+			if _, err := n.Events().Subscribe("e3.evt", telemetryType, q,
+				func(any, transport.NodeID) { delivered.Add(1) }); err != nil {
+				return 0, 0, err
+			}
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for len(evtPub.Subscribers()) < subscribers {
+			if time.Now().After(deadline) {
+				return 0, 0, fmt.Errorf("e3: only %d subscribers registered", len(evtPub.Subscribers()))
+			}
+			time.Sleep(time.Millisecond)
+		}
+
+		net.ResetWireStats()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		val := telemetryValue()
 		for s := 0; s < samples; s++ {
-			if multicast {
-				if err := src.SendGroup("e3.var", payload); err != nil {
-					return 0, 0, err
-				}
-			} else {
-				for i := range nodes {
-					if err := src.Send(transport.NodeID(fmt.Sprintf("sub%d", i)), payload); err != nil {
-						return 0, 0, err
-					}
-				}
+			if err := evtPub.Publish(ctx, val); err != nil {
+				return 0, 0, fmt.Errorf("e3 publish %d: %w", s, err)
 			}
 		}
 		want := int64(samples * subscribers)
-		deadline := time.Now().Add(30 * time.Second)
+		deadline = time.Now().Add(30 * time.Second)
 		for delivered.Load() < want {
 			if time.Now().After(deadline) {
 				return 0, 0, fmt.Errorf("e3: delivered %d of %d", delivered.Load(), want)
@@ -384,18 +412,14 @@ func RunE3(subscribers, samples int) (*E3Result, error) {
 		return packets, bytes, nil
 	}
 
-	if res.McastPackets, res.McastBytes, err = run(true); err != nil {
+	var err error
+	if res.McastPackets, res.McastBytes, err = run(qos.DeliverMulticast); err != nil {
 		return nil, err
 	}
-	if res.UcastPackets, res.UcastBytes, err = run(false); err != nil {
+	if res.UcastPackets, res.UcastBytes, err = run(qos.DeliverUnicast); err != nil {
 		return nil, err
 	}
 	return res, nil
-}
-
-// marshalTelemetry renders the benchmark telemetry payload once.
-func marshalTelemetry() ([]byte, error) {
-	return encoding.Marshal(telemetryType, telemetryValue())
 }
 
 // E4Result compares the dedicated file-transfer primitive against naive

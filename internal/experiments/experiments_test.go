@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"uavmw/internal/qos"
+)
+
+// The full sweeps run in cmd/uavbench; these are smoke tests proving each
+// harness builds its deployment, measures, and tears down cleanly at tiny
+// parameters.
+
+func TestRunE3ShapesMatchDeliveryModes(t *testing.T) {
+	res, err := RunE3(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Subscribers != 2 || res.Samples != 10 {
+		t.Fatalf("echoed config = %d/%d", res.Subscribers, res.Samples)
+	}
+	if res.McastBytes == 0 || res.UcastBytes == 0 {
+		t.Fatalf("no wire traffic: mcast=%d ucast=%d", res.McastBytes, res.UcastBytes)
+	}
+	// The tentpole property: group addressing sends each occurrence once,
+	// unicast once per subscriber (plus acks), so at 2 subscribers the
+	// unicast byte count must exceed multicast.
+	if res.UcastBytes <= res.McastBytes {
+		t.Errorf("unicast %d bytes <= multicast %d bytes", res.UcastBytes, res.McastBytes)
+	}
+}
+
+func TestRunE8ReportsEveryPriorityClass(t *testing.T) {
+	res, err := RunE8(2, 50, 5, 20*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workers != 2 || res.Load != 50 {
+		t.Fatalf("echoed config = %d/%d", res.Workers, res.Load)
+	}
+	for _, pr := range qos.Levels() {
+		h := res.Priorities[pr]
+		if h == nil {
+			t.Fatalf("priority %v missing", pr)
+		}
+		if h.Count() == 0 {
+			t.Errorf("priority %v observed no jobs", pr)
+		}
+	}
+}
+
+func TestRunE5LocalBypassIsCheaper(t *testing.T) {
+	res, err := RunE5(32<<10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LocalFetch <= 0 || res.RemoteFetch <= 0 {
+		t.Fatalf("timings = %v / %v", res.LocalFetch, res.RemoteFetch)
+	}
+	if res.LocalFetch >= res.RemoteFetch {
+		t.Errorf("local fetch %v not cheaper than remote %v", res.LocalFetch, res.RemoteFetch)
+	}
+	if res.LocalVar <= 0 || res.RemoteVar <= 0 {
+		t.Errorf("variable timings = %v / %v", res.LocalVar, res.RemoteVar)
+	}
+}

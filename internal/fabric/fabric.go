@@ -14,6 +14,11 @@ import (
 )
 
 // Fabric is what a primitive engine may ask of its container.
+//
+// Send methods encode the frame (header and payload both) into wire buffers
+// before returning; they must not retain the *protocol.Frame or alias its
+// Payload afterwards. Engines rely on this to pool frames and payload
+// buffers on hot paths.
 type Fabric interface {
 	// Self is the local node identity.
 	Self() transport.NodeID
@@ -46,9 +51,10 @@ type Fabric interface {
 // Group naming scheme shared by engines and the container.
 const (
 	// DiscoveryGroup carries announcements and byes.
-	DiscoveryGroup  = "uavmw.disco"
-	varGroupPrefix  = "v:"
-	fileGroupPrefix = "f:"
+	DiscoveryGroup   = "uavmw.disco"
+	varGroupPrefix   = "v:"
+	fileGroupPrefix  = "f:"
+	eventGroupPrefix = "e:"
 )
 
 // VarGroup names the multicast group of a published variable.
@@ -56,3 +62,7 @@ func VarGroup(name string) string { return varGroupPrefix + name }
 
 // FileGroup names the multicast group of a file transfer.
 func FileGroup(name string) string { return fileGroupPrefix + name }
+
+// EventGroup names the multicast group of a group-addressed event topic
+// (qos.DeliverMulticast).
+func EventGroup(topic string) string { return eventGroupPrefix + topic }

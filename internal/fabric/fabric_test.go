@@ -1,0 +1,82 @@
+package fabric_test
+
+import (
+	"testing"
+
+	"uavmw/internal/core"
+	"uavmw/internal/fabric"
+	"uavmw/internal/transport"
+)
+
+func TestGroupNamingIsDisjoint(t *testing.T) {
+	name := "gps.position"
+	groups := map[string]string{
+		"variable": fabric.VarGroup(name),
+		"file":     fabric.FileGroup(name),
+		"event":    fabric.EventGroup(name),
+	}
+	seen := map[string]string{}
+	for kind, g := range groups {
+		if g == "" || g == name {
+			t.Errorf("%s group %q does not namespace the name", kind, g)
+		}
+		if g == fabric.DiscoveryGroup {
+			t.Errorf("%s group collides with the discovery group", kind)
+		}
+		if prev, dup := seen[g]; dup {
+			t.Errorf("%s and %s share group %q", kind, prev, g)
+		}
+		seen[g] = kind
+	}
+}
+
+func TestGroupNamesAreDeterministic(t *testing.T) {
+	if fabric.EventGroup("a") != fabric.EventGroup("a") {
+		t.Error("EventGroup not deterministic")
+	}
+	if fabric.EventGroup("a") == fabric.EventGroup("b") {
+		t.Error("distinct topics share a group")
+	}
+}
+
+// TestNodeConformsToFabric exercises the container through the Fabric
+// interface the engines are written against: identity, sequence allocation
+// and group membership.
+func TestNodeConformsToFabric(t *testing.T) {
+	bus := transport.NewBus()
+	ep, err := bus.Endpoint("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := core.NewNode(core.WithDatagram(ep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = node.Close() }()
+
+	var f fabric.Fabric = node
+	if f.Self() != "n1" {
+		t.Errorf("Self = %q", f.Self())
+	}
+	if f.Encoding() == nil {
+		t.Error("nil encoding")
+	}
+	if f.Directory() == nil {
+		t.Error("nil directory")
+	}
+	a, b := f.NextSeq(), f.NextSeq()
+	if b <= a {
+		t.Errorf("NextSeq not monotonic: %d then %d", a, b)
+	}
+	if err := f.Join(fabric.EventGroup("t")); err != nil {
+		t.Errorf("Join: %v", err)
+	}
+	if err := f.Leave(fabric.EventGroup("t")); err != nil {
+		t.Errorf("Leave: %v", err)
+	}
+	done := make(chan struct{})
+	if err := f.Schedule(3, func() { close(done) }); err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	<-done
+}

@@ -1,0 +1,86 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"uavmw/internal/encoding"
+)
+
+// Event payload layout (after the frame header):
+//
+//	u32 publisher incarnation id (random per Offer; lets subscribers
+//	    distinguish a restarted publisher from reordered duplicates)
+//	u64 per-topic occurrence sequence (1-based; 0 = unsequenced legacy)
+//	raw encoded occurrence value
+//
+// The per-topic sequence is independent of Frame.Seq (the node-global
+// message id used by ARQ and dedup): it numbers occurrences of one topic so
+// subscribers can detect gaps in a multicast stream and count loss on the
+// unicast path. MTEventNack payloads carry the list of missing per-topic
+// sequences a subscriber wants retransmitted.
+
+// eventHeaderLen is the fixed prefix before the encoded occurrence body.
+const eventHeaderLen = 12
+
+// MaxNackSeqs bounds one NACK frame; larger gaps are beyond any replay
+// buffer and reported as unrecoverable loss instead.
+const MaxNackSeqs = 256
+
+// EncodeEventPayload prepends the publisher incarnation and per-topic
+// sequence to an encoded occurrence body. buf, when non-nil and large
+// enough, is reused.
+func EncodeEventPayload(pubID uint32, topicSeq uint64, body []byte, buf []byte) []byte {
+	need := eventHeaderLen + len(body)
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
+	binary.BigEndian.PutUint32(buf, pubID)
+	binary.BigEndian.PutUint64(buf[4:], topicSeq)
+	copy(buf[eventHeaderLen:], body)
+	return buf
+}
+
+// DecodeEventPayload splits an MTEvent payload into the publisher
+// incarnation, the per-topic sequence and the encoded body. The body
+// aliases payload; callers that retain it must copy.
+func DecodeEventPayload(payload []byte) (pubID uint32, topicSeq uint64, body []byte, err error) {
+	if len(payload) < eventHeaderLen {
+		return 0, 0, nil, fmt.Errorf("protocol: event payload %d bytes: %w", len(payload), ErrBadFrame)
+	}
+	return binary.BigEndian.Uint32(payload), binary.BigEndian.Uint64(payload[4:]), payload[eventHeaderLen:], nil
+}
+
+// EncodeEventNack serializes the missing per-topic sequences of one topic.
+func EncodeEventNack(missing []uint64) ([]byte, error) {
+	if len(missing) == 0 || len(missing) > MaxNackSeqs {
+		return nil, fmt.Errorf("protocol: nack with %d seqs: %w", len(missing), ErrBadFrame)
+	}
+	w := encoding.NewWriter(2 + 8*len(missing))
+	w.Uint16(uint16(len(missing)))
+	for _, seq := range missing {
+		w.Uint64(seq)
+	}
+	return w.Bytes(), nil
+}
+
+// DecodeEventNack parses an MTEventNack payload.
+func DecodeEventNack(payload []byte) ([]uint64, error) {
+	r := encoding.NewReader(payload)
+	n := int(r.Uint16())
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("protocol: nack header: %w", err)
+	}
+	if n == 0 || n > MaxNackSeqs || r.Remaining() != 8*n {
+		return nil, fmt.Errorf("protocol: nack count %d for %d bytes: %w", n, r.Remaining(), ErrBadFrame)
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.Uint64()
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("protocol: nack body: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,81 @@
+package protocol
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestEventPayloadRoundTrip(t *testing.T) {
+	body := []byte("occurrence-body")
+	payload := EncodeEventPayload(0xCAFE, 42, body, nil)
+	pubID, seq, got, err := DecodeEventPayload(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pubID != 0xCAFE || seq != 42 || !bytes.Equal(got, body) {
+		t.Fatalf("decoded (%#x, %d, %q)", pubID, seq, got)
+	}
+
+	// Empty body (payload-less event) still carries the header.
+	payload = EncodeEventPayload(1, 7, nil, nil)
+	if _, seq, got, err = DecodeEventPayload(payload); err != nil || seq != 7 || len(got) != 0 {
+		t.Fatalf("empty body: seq=%d len=%d err=%v", seq, len(got), err)
+	}
+}
+
+func TestEventPayloadBufferReuse(t *testing.T) {
+	buf := make([]byte, 0, 64)
+	payload := EncodeEventPayload(9, 1, []byte("abc"), buf)
+	if &payload[0] != &buf[:1][0] {
+		t.Error("large-enough buffer was not reused")
+	}
+	// Too-small buffer: a fresh one is allocated, content still correct.
+	payload = EncodeEventPayload(9, 2, make([]byte, 100), make([]byte, 0, 8))
+	if _, seq, body, err := DecodeEventPayload(payload); err != nil || seq != 2 || len(body) != 100 {
+		t.Fatalf("grown buffer: seq=%d len=%d err=%v", seq, len(body), err)
+	}
+}
+
+func TestEventPayloadTooShort(t *testing.T) {
+	if _, _, _, err := DecodeEventPayload([]byte{1, 2, 3}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("short payload: %v", err)
+	}
+}
+
+func TestEventNackRoundTrip(t *testing.T) {
+	missing := []uint64{3, 5, 6, 900}
+	payload, err := EncodeEventNack(missing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEventNack(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(missing) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range missing {
+		if got[i] != missing[i] {
+			t.Fatalf("seq[%d] = %d, want %d", i, got[i], missing[i])
+		}
+	}
+}
+
+func TestEventNackBounds(t *testing.T) {
+	if _, err := EncodeEventNack(nil); err == nil {
+		t.Error("empty nack accepted")
+	}
+	if _, err := EncodeEventNack(make([]uint64, MaxNackSeqs+1)); err == nil {
+		t.Error("oversized nack accepted")
+	}
+	if _, err := DecodeEventNack([]byte{0, 2, 0}); err == nil {
+		t.Error("truncated nack accepted")
+	}
+	// Count lies about the body length.
+	good, _ := EncodeEventNack([]uint64{1, 2})
+	if _, err := DecodeEventNack(good[:len(good)-8]); err == nil {
+		t.Error("short body accepted")
+	}
+}

@@ -52,6 +52,11 @@ const (
 	MTFragment // piece of an oversized frame
 	MTAck      // ARQ acknowledgment of any FlagAckRequired frame
 
+	// Events, group-addressed mode (§4.1 bandwidth argument applied to
+	// §4.2 delivery). Appended after the transport types to keep existing
+	// wire values stable.
+	MTEventNack // subscriber reports per-topic sequence gaps
+
 	mtMax // sentinel
 )
 
@@ -76,7 +81,7 @@ func (m MsgType) String() string {
 		MTFileAnnounce: "file-announce", MTFileSubscribe: "file-subscribe",
 		MTFileChunk: "file-chunk", MTFileQuery: "file-query",
 		MTFileAck: "file-ack", MTFileNack: "file-nack", MTFileCancel: "file-cancel",
-		MTFragment: "fragment", MTAck: "ack",
+		MTFragment: "fragment", MTAck: "ack", MTEventNack: "event-nack",
 	}
 	if int(m) < len(names) && names[m] != "" {
 		return names[m]

@@ -104,6 +104,36 @@ func (r Reliability) String() string {
 // Valid reports whether r is one of the defined classes.
 func (r Reliability) Valid() bool { return r >= BestEffort && r <= ReliableStream }
 
+// Delivery selects how an event publisher fans an occurrence out to its
+// remote subscribers.
+type Delivery uint8
+
+const (
+	// DeliverUnicast sends one reliable copy per subscriber (the paper's
+	// baseline event mapping). Cost grows O(N·payload) with the audience.
+	DeliverUnicast Delivery = iota + 1
+	// DeliverMulticast sends one group-addressed frame per occurrence
+	// ("one packet sent can arrive to multiple nodes", §4.1) carrying a
+	// per-topic sequence number; subscribers detect gaps and repair them
+	// with NACK-triggered unicast retransmissions over the ARQ engine.
+	DeliverMulticast
+)
+
+// String implements fmt.Stringer.
+func (d Delivery) String() string {
+	switch d {
+	case DeliverUnicast:
+		return "unicast"
+	case DeliverMulticast:
+		return "multicast"
+	default:
+		return fmt.Sprintf("delivery(%d)", uint8(d))
+	}
+}
+
+// Valid reports whether d is one of the defined modes.
+func (d Delivery) Valid() bool { return d >= DeliverUnicast && d <= DeliverMulticast }
+
 // Binding selects how a remote-invocation client is bound to a provider
 // (§4.3: "the middleware ... can also redirect remote calls to server
 // services statically or dynamically").
@@ -207,6 +237,10 @@ type EventQoS struct {
 	// MaxRetries bounds ARQ retransmissions before the publisher declares
 	// a subscriber unreachable. Zero defaults to the engine's default.
 	MaxRetries int
+	// Delivery chooses unicast fan-out (default) or group-addressed
+	// multicast with NACK-based gap repair. Multicast requires
+	// ReliableARQ: repairs reuse the datagram ARQ machinery.
+	Delivery Delivery
 }
 
 // Normalize fills defaulted fields, returning the effective policy.
@@ -216,6 +250,9 @@ func (q EventQoS) Normalize() EventQoS {
 	}
 	if !q.Priority.Valid() {
 		q.Priority = PriorityHigh
+	}
+	if q.Delivery == 0 {
+		q.Delivery = DeliverUnicast
 	}
 	return q
 }
@@ -233,6 +270,12 @@ func (q EventQoS) Validate() error {
 	}
 	if q.MaxRetries < 0 {
 		return fmt.Errorf("qos: negative max retries %d: %w", q.MaxRetries, ErrInvalidPolicy)
+	}
+	if q.Delivery != 0 && !q.Delivery.Valid() {
+		return fmt.Errorf("qos: delivery %d out of range: %w", q.Delivery, ErrInvalidPolicy)
+	}
+	if q.Delivery == DeliverMulticast && q.Reliability == ReliableStream {
+		return fmt.Errorf("qos: multicast delivery cannot ride a stream transport: %w", ErrInvalidPolicy)
 	}
 	return nil
 }
