@@ -159,6 +159,26 @@ func BenchmarkE7_FailoverRedirect(b *testing.B) {
 	b.ReportMetric(float64(res.CallsFailed), "failed-calls")
 }
 
+// BenchmarkE11_RPCHedgedFailover runs 8 concurrent callers against a
+// statically-pinned provider that stalls past the 250ms QoS deadline, at
+// 2% loss. Hedged calls must complete within the deadline via the
+// redundant provider; the unhedged baseline burns the whole budget and
+// fails (§4.3 bounded-latency redirection).
+func BenchmarkE11_RPCHedgedFailover(b *testing.B) {
+	unhedged, err := experiments.RunE11(8, 10, false, 0.02, 400*time.Millisecond, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hedged, err := experiments.RunE11(8, 10, true, 0.02, 400*time.Millisecond, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(unhedged.OK), "unhedged-ok")
+	b.ReportMetric(float64(hedged.OK), "hedged-ok")
+	b.ReportMetric(hedged.Throughput, "hedged-calls/s")
+	b.ReportMetric(float64(hedged.Latency.Percentile(99).Milliseconds()), "hedged-p99-ms")
+}
+
 // BenchmarkE8_SchedulerPriority loads the fixed-priority pool and reports
 // p99 queue latency for the critical and bulk classes (§6 soft real time).
 func BenchmarkE8_SchedulerPriority(b *testing.B) {

@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		runFlag = flag.String("run", "all", "comma-separated experiments: e1,e2,e3,e4,e5,e7,e8,e9 or all")
+		runFlag = flag.String("run", "all", "comma-separated experiments: e1,e2,e3,e4,e5,e7,e8,e9,e11 or all")
 		quick   = flag.Bool("quick", false, "reduced iteration counts for smoke runs")
 	)
 	flag.Parse()
@@ -43,6 +43,7 @@ func main() {
 	all := []experiment{
 		{"e1", runE1}, {"e2", runE2}, {"e3", runE3}, {"e4", runE4},
 		{"e5", runE5}, {"e7", runE7}, {"e8", runE8}, {"e9", runE9},
+		{"e11", runE11},
 	}
 	for _, exp := range all {
 		if !want(exp.name) {
@@ -241,6 +242,35 @@ func runE9(quick bool) error {
 	fmt.Printf("photos %d  stored %d  detections %d  gs positions %d  track %d\n",
 		res.Photos, res.Stored, res.Detections, res.GSPositions, res.TrackPoints)
 	fmt.Fprintln(os.Stdout)
+	return nil
+}
+
+func runE11(quick bool) error {
+	header("E11 — concurrent RPC vs a stalled pinned provider: hedged failover (§4.3)")
+	calls := 20
+	if quick {
+		calls = 5
+	}
+	fmt.Println("static pin lands on a provider that stalls past the 250ms deadline;")
+	fmt.Println("2% loss; hedge dispatches to the redundant provider at 20% of the deadline")
+	fmt.Printf("%-8s %-8s %8s %8s %12s %12s %12s %8s %8s\n",
+		"callers", "hedged", "ok", "failed", "thruput/s", "p50", "p99", "hedges", "busy")
+	for _, callers := range []int{1, 8, 64} {
+		for _, hedged := range []bool{false, true} {
+			res, err := experiments.RunE11(callers, calls, hedged, 0.02, 400*time.Millisecond, 11)
+			if err != nil {
+				return err
+			}
+			p50, p99 := "-", "-"
+			if res.OK > 0 {
+				p50 = res.Latency.Percentile(50).Round(time.Millisecond).String()
+				p99 = res.Latency.Percentile(99).Round(time.Millisecond).String()
+			}
+			fmt.Printf("%-8d %-8v %8d %8d %12.1f %12s %12s %8d %8d\n",
+				callers, hedged, res.OK, res.Failed, res.Throughput, p50, p99,
+				res.Hedges, res.BusyRej)
+		}
+	}
 	return nil
 }
 

@@ -8,7 +8,10 @@
 // communication primitives — Variables (best-effort multicast pub/sub),
 // Events (guaranteed delivery, unicast per subscriber or group-addressed
 // multicast with NACK-based gap repair via qos.DeliverMulticast), Remote
-// Invocation (typed calls with redundancy failover), and File Transmission
+// Invocation (typed calls with redundancy failover — concurrent engine
+// with the remaining deadline propagated on the wire, hedged failover via
+// qos.CallQoS.HedgeAfter, and MTBusy admission control so overloaded
+// providers shed instead of queueing), and File Transmission
 // (an MFTP-like multicast bulk protocol). The implementation follows the
 // paper's PEPt layering: pluggable Presentation, Encoding, Protocol and
 // Transport subsystems plus a pluggable fixed-priority scheduler.

@@ -89,6 +89,7 @@ type nodeConfig struct {
 	loadProbe       func() float64
 	mtu             int
 	budget          ResourceBudget
+	rpcInflight     int
 }
 
 // NodeOption configures a Node.
@@ -173,6 +174,14 @@ func WithResourceBudget(b ResourceBudget) NodeOption {
 	return func(c *nodeConfig) { c.budget = b }
 }
 
+// WithRPCInflightLimit caps concurrently executing remote-call handlers on
+// this node; excess MTCall requests are answered MTBusy so callers fail
+// over to redundant providers instead of queueing (§4.3 admission
+// control). Zero (the default) means unlimited.
+func WithRPCInflightLimit(n int) NodeOption {
+	return func(c *nodeConfig) { c.rpcInflight = n }
+}
+
 // DefaultAnnouncePeriod balances discovery latency against chatter.
 const DefaultAnnouncePeriod = 200 * time.Millisecond
 
@@ -227,6 +236,7 @@ func NewNode(opts ...NodeOption) (*Node, error) {
 	n.vars = variables.New(n)
 	n.events = events.New(n)
 	n.rpc = rpc.New(n)
+	n.rpc.SetInflightLimit(cfg.rpcInflight)
 	n.files = filetransfer.New(n, cfg.fileOpts...)
 
 	if n.loadProbe == nil {
@@ -514,6 +524,8 @@ func (n *Node) route(from transport.NodeID, f *protocol.Frame) {
 		n.rpc.HandleReturn(from, f)
 	case protocol.MTError:
 		n.rpc.HandleError(from, f)
+	case protocol.MTBusy:
+		n.rpc.HandleBusy(from, f)
 	case protocol.MTFileAnnounce:
 		n.files.HandleAnnounce(from, f)
 	case protocol.MTFileSubscribe:

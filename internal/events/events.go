@@ -26,7 +26,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
 	"time"
 
@@ -131,7 +130,7 @@ func (e *Engine) Offer(topic, service string, t *presentation.Type, q qos.EventQ
 		service:     service,
 		typ:         t,
 		q:           q,
-		id:          newPublisherID(),
+		id:          protocol.NewIncarnation(),
 		subscribers: make(map[transport.NodeID]time.Time),
 	}
 	if q.Delivery == qos.DeliverMulticast {
@@ -204,15 +203,6 @@ type Publisher struct {
 // subscriberTTL drops remote subscribers that stop refreshing (their node
 // died without unsubscribing).
 const subscriberTTL = 5 * time.Second
-
-// newPublisherID draws a random non-zero incarnation id.
-func newPublisherID() uint32 {
-	for {
-		if id := rand.Uint32(); id != 0 {
-			return id
-		}
-	}
-}
 
 // Topic returns the event topic name.
 func (p *Publisher) Topic() string { return p.topic }

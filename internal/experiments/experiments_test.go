@@ -49,6 +49,35 @@ func TestRunE8ReportsEveryPriorityClass(t *testing.T) {
 	}
 }
 
+func TestRunE11HedgingRescuesStalledPin(t *testing.T) {
+	// The acceptance property of the concurrent RPC engine: when the
+	// statically-pinned provider stalls past the deadline, hedged calls
+	// complete within the QoS deadline via the redundant provider, where
+	// the unhedged baseline times out.
+	const slow = 400 * time.Millisecond
+	unhedged, err := RunE11(2, 3, false, 0, slow, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unhedged.OK != 0 || unhedged.Failed != 6 {
+		t.Errorf("unhedged against stalled pin: ok=%d failed=%d, want 0/6",
+			unhedged.OK, unhedged.Failed)
+	}
+	hedged, err := RunE11(2, 3, true, 0, slow, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hedged.OK != 6 || hedged.Failed != 0 {
+		t.Fatalf("hedged: ok=%d failed=%d, want 6/0", hedged.OK, hedged.Failed)
+	}
+	if hedged.Hedges == 0 {
+		t.Error("no hedges recorded")
+	}
+	if p99 := hedged.Latency.Percentile(99); p99 >= hedged.Deadline {
+		t.Errorf("hedged p99 %v not within the %v deadline", p99, hedged.Deadline)
+	}
+}
+
 func TestRunE5LocalBypassIsCheaper(t *testing.T) {
 	res, err := RunE5(32<<10, 20)
 	if err != nil {

@@ -40,7 +40,10 @@ type Fabric interface {
 	// ReliableARQ uses the datagram transport plus the protocol-level
 	// ack/retransmit engine; ReliableStream uses the stream transport
 	// when the node has one (§4.2, §4.3). done is invoked exactly once
-	// with the outcome; it may run on a timer goroutine.
+	// with the outcome; it may run on a timer goroutine, and the sender
+	// may have abandoned the exchange by then (a hedged RPC caller that
+	// already took another provider's answer), so done must not assume a
+	// waiting receiver.
 	SendReliable(to transport.NodeID, f *protocol.Frame, rel qos.Reliability, done func(error))
 	// Join subscribes the node to a multicast group.
 	Join(group string) error

@@ -3,9 +3,23 @@ package protocol
 import (
 	"encoding/binary"
 	"fmt"
+	"math/rand"
 
 	"uavmw/internal/encoding"
 )
+
+// NewIncarnation draws a random non-zero publisher incarnation id. Both
+// the event and variable engines stamp it onto the wire so subscribers can
+// distinguish a restarted publisher (fresh sequence numbering) from
+// reordered duplicates and reset their filters; zero is reserved for
+// "no incarnation" (local bypass, snapshot replies).
+func NewIncarnation() uint32 {
+	for {
+		if id := rand.Uint32(); id != 0 {
+			return id
+		}
+	}
+}
 
 // Event payload layout (after the frame header):
 //

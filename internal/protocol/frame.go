@@ -8,6 +8,7 @@ package protocol
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"uavmw/internal/encoding"
 	"uavmw/internal/qos"
@@ -57,6 +58,13 @@ const (
 	// wire values stable.
 	MTEventNack // subscriber reports per-topic sequence gaps
 
+	// Remote invocation, admission control (§4.3 bounded-latency calls).
+	// A provider answers MTCall with MTBusy instead of queueing a request
+	// it cannot serve in time (concurrency limit reached, or the call's
+	// wire-propagated deadline budget already spent), so the caller fails
+	// over to a redundant provider immediately.
+	MTBusy // provider sheds the request; caller should fail over
+
 	mtMax // sentinel
 )
 
@@ -68,6 +76,11 @@ const (
 	// FlagAppError marks an MTError frame as an application-level
 	// failure (no failover) rather than an infrastructure failure.
 	FlagAppError uint8 = 1 << 1
+	// FlagHasBudget marks a frame that carries a deadline budget word
+	// after the sequence number: the sender's remaining deadline, so
+	// receivers can shed work that can no longer meet it (§4.3). Only
+	// MTCall frames set it today, but the field is type-agnostic.
+	FlagHasBudget uint8 = 1 << 2
 )
 
 // String implements fmt.Stringer.
@@ -82,6 +95,7 @@ func (m MsgType) String() string {
 		MTFileChunk: "file-chunk", MTFileQuery: "file-query",
 		MTFileAck: "file-ack", MTFileNack: "file-nack", MTFileCancel: "file-cancel",
 		MTFragment: "fragment", MTAck: "ack", MTEventNack: "event-nack",
+		MTBusy: "busy",
 	}
 	if int(m) < len(names) && names[m] != "" {
 		return names[m]
@@ -110,9 +124,19 @@ type Frame struct {
 	Channel string
 	// Seq is the message identifier (per sender, per subsystem).
 	Seq uint64
+	// Budget is the sender's remaining deadline for the work this frame
+	// requests (zero = none declared). It travels on the wire only when
+	// non-zero (FlagHasBudget), with microsecond granularity, so a
+	// provider can reject an MTCall whose budget is already spent by the
+	// time a handler would run (§4.3 admission control).
+	Budget time.Duration
 	// Payload is the encoded body; interpretation depends on Type.
 	Payload []byte
 }
+
+// maxBudget is the largest budget encodable in the u32 microsecond wire
+// word (~71 minutes); longer budgets saturate.
+const maxBudget = time.Duration(^uint32(0)) * time.Microsecond
 
 const (
 	frameMagic   uint16 = 0x5541 // "UA"
@@ -138,15 +162,34 @@ func EncodeFrame(f *Frame) ([]byte, error) {
 	if len(f.Channel) > MaxChannelLen {
 		return nil, fmt.Errorf("protocol: channel %q too long: %w", f.Channel[:32]+"...", ErrBadFrame)
 	}
-	w := encoding.NewWriter(24 + len(f.Channel) + len(f.Payload))
+	if f.Budget < 0 {
+		return nil, fmt.Errorf("protocol: negative budget %v: %w", f.Budget, ErrBadFrame)
+	}
+	flags := f.Flags
+	if f.Budget > 0 {
+		flags |= FlagHasBudget
+	} else {
+		flags &^= FlagHasBudget
+	}
+	w := encoding.NewWriter(28 + len(f.Channel) + len(f.Payload))
 	w.Uint16(frameMagic)
 	w.Uint8(frameVersion)
 	w.Uint8(uint8(f.Type))
-	w.Uint8(f.Flags)
+	w.Uint8(flags)
 	w.Uint8(f.Encoding)
 	w.Uint8(uint8(f.Priority))
 	w.String(f.Channel)
 	w.Uint64(f.Seq)
+	if f.Budget > 0 {
+		budget := f.Budget
+		if budget > maxBudget {
+			budget = maxBudget
+		}
+		if budget < time.Microsecond {
+			budget = time.Microsecond // flag implies a non-zero word
+		}
+		w.Uint32(uint32(budget / time.Microsecond))
+	}
 	w.Raw(f.Payload)
 	return w.Bytes(), nil
 }
@@ -168,6 +211,9 @@ func DecodeFrame(data []byte) (*Frame, error) {
 	f.Priority = qos.Priority(r.Uint8())
 	f.Channel = r.String()
 	f.Seq = r.Uint64()
+	if f.Flags&FlagHasBudget != 0 {
+		f.Budget = time.Duration(r.Uint32()) * time.Microsecond
+	}
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("protocol: header: %w", err)
 	}

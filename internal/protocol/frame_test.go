@@ -5,6 +5,7 @@ import (
 	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"uavmw/internal/qos"
 )
@@ -106,9 +107,112 @@ func TestFrameDecodeErrors(t *testing.T) {
 	}
 }
 
+func TestFrameBudgetRoundTrip(t *testing.T) {
+	// An MTCall carrying its remaining deadline budget must survive the
+	// codec at microsecond granularity.
+	f := &Frame{
+		Type:     MTCall,
+		Priority: qos.PriorityNormal,
+		Channel:  "nav.compute",
+		Seq:      42,
+		Budget:   137 * time.Millisecond,
+		Payload:  []byte{1, 2, 3},
+	}
+	raw, err := EncodeFrame(f)
+	if err != nil {
+		t.Fatalf("EncodeFrame: %v", err)
+	}
+	got, err := DecodeFrame(raw)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	if got.Budget != f.Budget {
+		t.Errorf("budget %v, want %v", got.Budget, f.Budget)
+	}
+	if got.Flags&FlagHasBudget == 0 {
+		t.Error("FlagHasBudget not set on decode")
+	}
+	if !bytes.Equal(got.Payload, f.Payload) {
+		t.Errorf("payload corrupted by budget word: %v", got.Payload)
+	}
+	if got.Seq != f.Seq || got.Channel != f.Channel {
+		t.Errorf("header mismatch: %+v", got)
+	}
+}
+
+func TestFrameBudgetEdgeCases(t *testing.T) {
+	// Zero budget: no flag, no extra word, decodes to zero.
+	raw, err := EncodeFrame(&Frame{Type: MTCall, Channel: "f", Seq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Budget != 0 || got.Flags&FlagHasBudget != 0 {
+		t.Errorf("zero budget leaked onto the wire: %+v", got)
+	}
+
+	// A stale FlagHasBudget with no budget must be cleared by encode, not
+	// corrupt the payload framing.
+	raw, err = EncodeFrame(&Frame{Type: MTCall, Flags: FlagHasBudget, Channel: "f", Seq: 1, Payload: []byte{9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err = DecodeFrame(raw); err != nil {
+		t.Fatal(err)
+	}
+	if got.Budget != 0 || !bytes.Equal(got.Payload, []byte{9}) {
+		t.Errorf("stale flag mishandled: %+v", got)
+	}
+
+	// Sub-microsecond budgets round up to the smallest wire value instead
+	// of decoding to "no budget".
+	raw, err = EncodeFrame(&Frame{Type: MTCall, Channel: "f", Seq: 1, Budget: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err = DecodeFrame(raw); err != nil {
+		t.Fatal(err)
+	}
+	if got.Budget != time.Microsecond {
+		t.Errorf("tiny budget decoded as %v", got.Budget)
+	}
+
+	// Oversized budgets saturate rather than wrap.
+	raw, err = EncodeFrame(&Frame{Type: MTCall, Channel: "f", Seq: 1, Budget: 100 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err = DecodeFrame(raw); err != nil {
+		t.Fatal(err)
+	}
+	if got.Budget != maxBudget {
+		t.Errorf("oversized budget decoded as %v, want %v", got.Budget, maxBudget)
+	}
+
+	// Negative budgets are a programming error, rejected at encode.
+	if _, err := EncodeFrame(&Frame{Type: MTCall, Channel: "f", Budget: -time.Second}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("negative budget: %v", err)
+	}
+
+	// A flagged frame truncated before the budget word must fail cleanly.
+	raw, err = EncodeFrame(&Frame{Type: MTCall, Channel: "f", Seq: 1, Budget: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeFrame(raw[:len(raw)-4]); err == nil {
+		t.Error("truncated budget word accepted")
+	}
+}
+
 func TestMsgTypeString(t *testing.T) {
 	if MTEvent.String() != "event" || MTFileNack.String() != "file-nack" {
 		t.Error("MsgType names wrong")
+	}
+	if MTBusy.String() != "busy" {
+		t.Error("MTBusy name wrong")
 	}
 	if !strings.Contains(MsgType(200).String(), "200") {
 		t.Error("unknown type string")

@@ -292,6 +292,13 @@ type CallQoS struct {
 	// first fails (redundancy failover). Zero defaults to trying every
 	// known provider once.
 	Retries int
+	// HedgeAfter enables hedged failover: the fraction of the deadline
+	// (0 < HedgeAfter < 1) to wait for the current provider's reply
+	// before speculatively dispatching the same call to the next untried
+	// provider and taking whichever answers first. Zero disables hedging.
+	// Hedging can execute the function on more than one provider, so it
+	// is only safe for idempotent functions.
+	HedgeAfter float64
 	// Priority defaults to PriorityNormal.
 	Priority Priority
 	// Reliability: ReliableStream (default) or ReliableARQ. §4.3:
@@ -321,6 +328,9 @@ func (q CallQoS) Validate() error {
 	}
 	if q.Retries < 0 {
 		return fmt.Errorf("qos: negative retries %d: %w", q.Retries, ErrInvalidPolicy)
+	}
+	if q.HedgeAfter < 0 || q.HedgeAfter >= 1 {
+		return fmt.Errorf("qos: hedge fraction %v outside [0,1): %w", q.HedgeAfter, ErrInvalidPolicy)
 	}
 	if q.Reliability == BestEffort {
 		return fmt.Errorf("qos: calls require a reliable mapping: %w", ErrInvalidPolicy)

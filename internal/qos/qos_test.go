@@ -199,6 +199,10 @@ func TestCallQoSValidate(t *testing.T) {
 		{"negative deadline", CallQoS{Deadline: -time.Second}, true},
 		{"negative retries", CallQoS{Retries: -3}, true},
 		{"best effort rejected", CallQoS{Reliability: BestEffort}, true},
+		{"hedge fraction ok", CallQoS{HedgeAfter: 0.25}, false},
+		{"negative hedge", CallQoS{HedgeAfter: -0.1}, true},
+		{"hedge at whole deadline", CallQoS{HedgeAfter: 1}, true},
+		{"hedge beyond deadline", CallQoS{HedgeAfter: 1.5}, true},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

@@ -6,6 +6,20 @@
 // service", letting the mission continue "perhaps in a degraded mode". At
 // startup, services "check that all the functions they need ... are
 // provided" — the DependencyCheck API.
+//
+// The engine is built for concurrent callers: the pending-call table is
+// sharded by call id so unrelated calls never contend on one lock, and a
+// call's remaining deadline travels on the wire (protocol.Frame.Budget) so
+// providers can shed requests whose budget is already spent instead of
+// wasting work on replies nobody can use. Two mechanisms bound latency
+// under provider trouble:
+//
+//   - hedged failover (qos.CallQoS.HedgeAfter): after a configurable
+//     fraction of the deadline with no reply, the call is speculatively
+//     dispatched to the next untried provider and the first answer wins;
+//   - server-side admission control (SetInflightLimit): a provider at its
+//     concurrency limit answers MTBusy immediately, so the caller fails
+//     over to a redundant provider instead of queueing blind.
 package rpc
 
 import (
@@ -14,6 +28,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"uavmw/internal/encoding"
@@ -39,6 +54,10 @@ var (
 	ErrBadSignature = errors.New("function signature mismatch")
 	// ErrDeadline reports a call that exceeded its QoS deadline.
 	ErrDeadline = errors.New("call deadline exceeded")
+	// ErrBusy reports a provider that shed the request (admission
+	// control); the engine treats it as an infrastructure failure and
+	// fails over.
+	ErrBusy = errors.New("provider busy")
 	// ErrDependency reports unmet startup dependencies (E12).
 	ErrDependency = errors.New("unmet function dependencies")
 )
@@ -65,14 +84,34 @@ type Handler func(args any) (any, error)
 // not set one.
 const DefaultCallDeadline = 2 * time.Second
 
+// numPendingShards partitions the pending-call table so concurrent callers
+// on unrelated calls never contend on one mutex. Must be a power of two.
+const numPendingShards = 16
+
+// pendingShard holds the pending calls whose ids hash onto it.
+type pendingShard struct {
+	mu    sync.Mutex
+	calls map[uint64]*pendingCall
+}
+
 // Engine is the per-container remote-invocation runtime.
 type Engine struct {
 	f fabric.Fabric
 
-	mu        sync.Mutex
+	regMu     sync.Mutex
 	functions map[string]*registration
-	pending   map[uint64]*pendingCall
-	pins      map[string]transport.NodeID // static-binding pins per function
+
+	pinMu sync.Mutex
+	pins  map[string]transport.NodeID // static-binding pins per function
+
+	pending [numPendingShards]pendingShard
+
+	// inflightLimit caps concurrently executing remote-call handlers
+	// (0 = unlimited); excess requests are answered MTBusy.
+	inflightLimit atomic.Int64
+	inflight      atomic.Int64
+	busyRejects   atomic.Uint64 // requests shed by this provider
+	hedges        atomic.Uint64 // speculative dispatches by this caller
 }
 
 type registration struct {
@@ -82,7 +121,7 @@ type registration struct {
 	retType *presentation.Type // nil = no return value
 	handler Handler
 	q       qos.CallQoS
-	calls   uint64
+	calls   atomic.Uint64
 }
 
 type pendingCall struct {
@@ -93,18 +132,45 @@ type callResult struct {
 	payload  []byte
 	appErr   string
 	infraErr bool
+	busy     bool
 	from     transport.NodeID
 }
 
 // New builds the engine for a container.
 func New(f fabric.Fabric) *Engine {
-	return &Engine{
+	e := &Engine{
 		f:         f,
 		functions: make(map[string]*registration),
-		pending:   make(map[uint64]*pendingCall),
 		pins:      make(map[string]transport.NodeID),
 	}
+	for i := range e.pending {
+		e.pending[i].calls = make(map[uint64]*pendingCall)
+	}
+	return e
 }
+
+// SetInflightLimit caps how many remote-call handlers may execute
+// concurrently on this provider; requests beyond the cap are answered
+// MTBusy so callers fail over instead of queueing blind. Zero (the
+// default) removes the cap.
+func (e *Engine) SetInflightLimit(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.inflightLimit.Store(int64(n))
+}
+
+// BusyRejects reports how many incoming calls this provider has shed via
+// MTBusy (admission control + budget shedding).
+func (e *Engine) BusyRejects() uint64 { return e.busyRejects.Load() }
+
+// Inflight reports how many remote-call handlers are executing right now
+// (diagnostics / load probes).
+func (e *Engine) Inflight() int { return int(e.inflight.Load()) }
+
+// Hedges reports how many speculative hedged dispatches this caller has
+// issued.
+func (e *Engine) Hedges() uint64 { return e.hedges.Load() }
 
 // Register exposes a function. argType/retType may be nil for void.
 func (e *Engine) Register(name, service string, argType, retType *presentation.Type, q qos.CallQoS, h Handler) error {
@@ -124,8 +190,8 @@ func (e *Engine) Register(name, service string, argType, retType *presentation.T
 	if err := q.Validate(); err != nil {
 		return err
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.regMu.Lock()
+	defer e.regMu.Unlock()
 	if _, dup := e.functions[name]; dup {
 		return fmt.Errorf("rpc: %q: %w", name, ErrDuplicateName)
 	}
@@ -140,11 +206,16 @@ func (e *Engine) Register(name, service string, argType, retType *presentation.T
 	return nil
 }
 
-// Unregister withdraws a function.
+// Unregister withdraws a function. It is idempotent and also clears any
+// static-binding pin recorded under the same name, so a later re-resolve
+// starts fresh.
 func (e *Engine) Unregister(name string) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.regMu.Lock()
 	delete(e.functions, name)
+	e.regMu.Unlock()
+	e.pinMu.Lock()
+	delete(e.pins, name)
+	e.pinMu.Unlock()
 }
 
 func sigOf(t *presentation.Type) string {
@@ -154,9 +225,26 @@ func sigOf(t *presentation.Type) string {
 	return t.String()
 }
 
+// pendingFor returns the shard owning callID.
+func (e *Engine) pendingFor(callID uint64) *pendingShard {
+	return &e.pending[callID&(numPendingShards-1)]
+}
+
+// attemptOutcome is one provider's answer in the failover/hedging race.
+type attemptOutcome struct {
+	provider transport.NodeID
+	value    any
+	appErr   error
+	err      error
+}
+
 // Call invokes name with args under the caller's QoS. It coerces args to
 // the provider's argument type, resolves a provider per the binding policy,
-// and fails over across redundant providers on infrastructure errors.
+// and fails over across redundant providers on infrastructure errors
+// (including MTBusy sheds). With q.HedgeAfter > 0 the failover is hedged:
+// after that fraction of the deadline with no reply, the call is
+// speculatively dispatched to the next untried provider and the first
+// successful answer wins; losers are cancelled.
 func (e *Engine) Call(ctx context.Context, name string, args any, argType, retType *presentation.Type, q qos.CallQoS) (any, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
@@ -185,7 +273,6 @@ func (e *Engine) Call(ctx context.Context, name string, args any, argType, retTy
 		return nil, fmt.Errorf("rpc: %q takes no arguments: %w", name, ErrBadSignature)
 	}
 
-	tried := make(map[transport.NodeID]bool)
 	maxAttempts := q.Retries + 1
 	if q.Retries == 0 {
 		maxAttempts = 1 + e.f.Directory().ProviderCount(naming.KindFunction, name)
@@ -193,48 +280,188 @@ func (e *Engine) Call(ctx context.Context, name string, args any, argType, retTy
 			maxAttempts++
 		}
 	}
-	var lastErr error
-	for attempt := 0; attempt < maxAttempts; attempt++ {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("rpc: %s: %w", name, ErrDeadline)
+
+	tried := make(map[transport.NodeID]bool)
+	results := make(chan attemptOutcome, 8)
+	var cancels []context.CancelFunc
+	defer func() {
+		for _, c := range cancels {
+			c()
 		}
+	}()
+	inflight, launched := 0, 0
+	var (
+		lastErr error
+		appErr  error // first application error; held until the race settles
+	)
+
+	// launch dispatches one attempt against the next untried provider;
+	// it reports the selection error when none remains.
+	launch := func() error {
 		provider, local, err := e.selectProvider(name, argType, retType, q, tried)
 		if err != nil {
-			if lastErr != nil {
-				return nil, fmt.Errorf("rpc: %s: %w (last: %v)", name, ErrAllProvidersFailed, lastErr)
-			}
-			return nil, err
+			return err
 		}
 		tried[provider] = true
-		var (
-			value  any
-			appErr error
-		)
-		if local {
-			value, appErr, err = e.callLocal(ctx, name, payload, argType, retType, q)
-		} else {
-			value, appErr, err = e.callRemote(ctx, provider, name, payload, retType, q)
-		}
-		if err != nil {
-			// Infrastructure failure: failover to the next provider.
-			lastErr = err
-			e.unpin(name, provider)
-			continue
-		}
-		if appErr != nil {
-			return nil, appErr // semantic failure; no failover
-		}
-		return value, nil
+		actx, acancel := context.WithCancel(ctx)
+		cancels = append(cancels, acancel)
+		inflight++
+		launched++
+		go func() {
+			var out attemptOutcome
+			out.provider = provider
+			if local {
+				out.value, out.appErr, out.err = e.callLocal(actx, name, payload, argType, retType, q)
+			} else {
+				out.value, out.appErr, out.err = e.callRemote(actx, provider, name, payload, retType, q)
+			}
+			select {
+			case results <- out:
+			case <-ctx.Done():
+				// The call already returned; drop the outcome.
+			}
+		}()
+		return nil
 	}
-	if lastErr == nil {
-		lastErr = ErrNoProvider
+
+	if err := launch(); err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("rpc: %s after %d attempts: %w (last: %v)", name, maxAttempts, ErrAllProvidersFailed, lastErr)
+
+	// Hedging: a timer at HedgeAfter*deadline launches the next provider
+	// speculatively; each hedge re-arms it so a string of slow providers
+	// keeps cascading until providers or the deadline run out.
+	var (
+		hedgeDelay time.Duration
+		hedgeTimer *time.Timer
+		hedgeC     <-chan time.Time
+	)
+	if q.HedgeAfter > 0 {
+		hedgeDelay = time.Duration(q.HedgeAfter * float64(deadline))
+		if hedgeDelay > 0 {
+			hedgeTimer = time.NewTimer(hedgeDelay)
+			defer hedgeTimer.Stop()
+			hedgeC = hedgeTimer.C
+		}
+	}
+
+	// rearmHedge restarts the hedge window after any fresh dispatch, so a
+	// newly launched attempt gets its full HedgeAfter*deadline before the
+	// next speculative dispatch.
+	rearmHedge := func() {
+		if hedgeTimer == nil {
+			return
+		}
+		if !hedgeTimer.Stop() {
+			select {
+			case <-hedgeTimer.C:
+			default:
+			}
+		}
+		hedgeTimer.Reset(hedgeDelay)
+		hedgeC = hedgeTimer.C
+	}
+
+	// settle consumes one attempt outcome. It returns (value, err, true)
+	// when the call is decided; (_, _, false) while the race continues.
+	settle := func(out attemptOutcome) (any, error, bool) {
+		inflight--
+		if out.err == nil && out.appErr == nil {
+			// First successful answer wins; the static pin follows the
+			// winner, not the speculative dispatch.
+			if q.Binding == qos.BindStatic && out.provider != e.f.Self() {
+				e.setPin(name, out.provider)
+			}
+			return out.value, nil, true
+		}
+		if out.err == nil {
+			// Application error: the function executed, so no new
+			// attempts are warranted (no failover on app errors) — but
+			// a hedged sibling already in flight may still win with a
+			// success, so hold the error until the race settles.
+			if appErr == nil {
+				appErr = out.appErr
+			}
+			if inflight == 0 {
+				return nil, appErr, true
+			}
+			return nil, nil, false
+		}
+		// Infrastructure failure: fail over to the next provider —
+		// unless the function already executed somewhere or the
+		// deadline has already passed (no point launching dead-on-
+		// arrival attempts from the drain path).
+		lastErr = out.err
+		e.unpin(name, out.provider)
+		if appErr == nil && ctx.Err() == nil && launched < maxAttempts && launch() == nil {
+			rearmHedge()
+			return nil, nil, false
+		}
+		if inflight == 0 {
+			if appErr != nil {
+				return nil, appErr, true
+			}
+			if ctx.Err() != nil {
+				// The race ended because the deadline expired (the
+				// last attempt's outcome may arrive via results rather
+				// than the ctx.Done branch): report a deadline miss,
+				// not provider exhaustion.
+				e.unpinTried(name, tried)
+				return nil, fmt.Errorf("rpc: %s: %w (last: %v)", name, ErrDeadline, lastErr), true
+			}
+			return nil, fmt.Errorf("rpc: %s after %d attempts: %w (last: %v)",
+				name, launched, ErrAllProvidersFailed, lastErr), true
+		}
+		return nil, nil, false
+	}
+
+	for {
+		select {
+		case out := <-results:
+			if v, err, done := settle(out); done {
+				return v, err
+			}
+		case <-hedgeC:
+			if appErr == nil && launched < maxAttempts && launch() == nil {
+				e.hedges.Add(1)
+				hedgeTimer.Reset(hedgeDelay)
+				continue
+			}
+			hedgeC = nil // no untried provider left; stop hedging
+		case <-ctx.Done():
+			// An outcome may have been buffered in the same scheduling
+			// window the deadline fired in; a winner that made it in
+			// time must not be reported as a deadline miss.
+			for drained := false; !drained; {
+				select {
+				case out := <-results:
+					if v, err, done := settle(out); done {
+						return v, err
+					}
+				default:
+					drained = true
+				}
+			}
+			if appErr != nil {
+				return nil, appErr
+			}
+			// A provider that burned the whole deadline without
+			// answering must not keep its static pin: the attempt
+			// goroutines' timeout outcomes may never be observed (they
+			// race this branch), so clear the pins here before the
+			// next call re-resolves.
+			e.unpinTried(name, tried)
+			if lastErr != nil {
+				return nil, fmt.Errorf("rpc: %s: %w (last: %v)", name, ErrDeadline, lastErr)
+			}
+			return nil, fmt.Errorf("rpc: %s: %w", name, ErrDeadline)
+		}
+	}
 }
 
 func (e *Engine) hasLocal(name string) bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.regMu.Lock()
+	defer e.regMu.Unlock()
 	_, ok := e.functions[name]
 	return ok
 }
@@ -246,9 +473,9 @@ func (e *Engine) selectProvider(name string, argType, retType *presentation.Type
 	if e.hasLocal(name) && !tried[self] {
 		return self, true, nil
 	}
-	e.mu.Lock()
+	e.pinMu.Lock()
 	pinned := e.pins[name]
-	e.mu.Unlock()
+	e.pinMu.Unlock()
 
 	dir := e.f.Directory()
 	// First choice goes through Select, which applies the binding policy
@@ -271,11 +498,9 @@ func (e *Engine) selectProvider(name string, argType, retType *presentation.Type
 	if err := checkSignature(rec, argType, retType); err != nil {
 		return "", false, err
 	}
-	if q.Binding == qos.BindStatic {
-		e.mu.Lock()
-		e.pins[name] = rec.Node
-		e.mu.Unlock()
-	}
+	// Static pins are NOT written here: a speculative hedge dispatch must
+	// not move the pin. The Call loop pins the provider that actually
+	// wins the race.
 	return rec.Node, false, nil
 }
 
@@ -291,9 +516,25 @@ func checkSignature(rec naming.Record, argType, retType *presentation.Type) erro
 	return nil
 }
 
+// unpinTried clears the static pin if it points at any provider this call
+// dispatched to and got no timely answer from (deadline-miss cleanup).
+func (e *Engine) unpinTried(name string, tried map[transport.NodeID]bool) {
+	e.pinMu.Lock()
+	defer e.pinMu.Unlock()
+	if tried[e.pins[name]] {
+		delete(e.pins, name)
+	}
+}
+
+func (e *Engine) setPin(name string, node transport.NodeID) {
+	e.pinMu.Lock()
+	e.pins[name] = node
+	e.pinMu.Unlock()
+}
+
 func (e *Engine) unpin(name string, node transport.NodeID) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.pinMu.Lock()
+	defer e.pinMu.Unlock()
 	if e.pins[name] == node {
 		delete(e.pins, name)
 	}
@@ -303,9 +544,9 @@ func (e *Engine) unpin(name string, node transport.NodeID) {
 // path: no encode/decode of the return value, but arguments were already
 // encoded once for uniformity — decode them back).
 func (e *Engine) callLocal(ctx context.Context, name string, payload []byte, argType, retType *presentation.Type, q qos.CallQoS) (any, error, error) {
-	e.mu.Lock()
+	e.regMu.Lock()
 	reg := e.functions[name]
-	e.mu.Unlock()
+	e.regMu.Unlock()
 	if reg == nil {
 		return nil, nil, fmt.Errorf("rpc: %s: %w", name, ErrNoProvider)
 	}
@@ -333,9 +574,7 @@ func (e *Engine) callLocal(ctx context.Context, name string, payload []byte, arg
 	}
 	select {
 	case r := <-ch:
-		e.mu.Lock()
-		reg.calls++
-		e.mu.Unlock()
+		reg.calls.Add(1)
 		if r.err != nil {
 			return nil, &AppError{Name: name, Message: r.err.Error()}, nil
 		}
@@ -352,25 +591,36 @@ func (e *Engine) callLocal(ctx context.Context, name string, payload []byte, arg
 	}
 }
 
-// callRemote performs one remote attempt.
+// callRemote performs one remote attempt. The caller's remaining deadline
+// is stamped onto the MTCall frame so the provider can shed the request if
+// the budget is spent before a handler runs.
 func (e *Engine) callRemote(ctx context.Context, provider transport.NodeID, name string, payload []byte, retType *presentation.Type, q qos.CallQoS) (any, error, error) {
 	callID := e.f.NextSeq()
 	pc := &pendingCall{done: make(chan callResult, 1)}
-	e.mu.Lock()
-	e.pending[callID] = pc
-	e.mu.Unlock()
+	sh := e.pendingFor(callID)
+	sh.mu.Lock()
+	sh.calls[callID] = pc
+	sh.mu.Unlock()
 	defer func() {
-		e.mu.Lock()
-		delete(e.pending, callID)
-		e.mu.Unlock()
+		sh.mu.Lock()
+		delete(sh.calls, callID)
+		sh.mu.Unlock()
 	}()
 
+	var budget time.Duration
+	if dl, ok := ctx.Deadline(); ok {
+		budget = time.Until(dl)
+		if budget <= 0 {
+			return nil, nil, fmt.Errorf("rpc: %s to %q: %w", name, provider, ErrDeadline)
+		}
+	}
 	frame := &protocol.Frame{
 		Type:     protocol.MTCall,
 		Encoding: e.f.Encoding().ID(),
 		Priority: q.Priority,
 		Channel:  name,
 		Seq:      callID,
+		Budget:   budget,
 		Payload:  payload,
 	}
 	sendErr := make(chan error, 1)
@@ -384,6 +634,9 @@ func (e *Engine) callRemote(ctx context.Context, provider transport.NodeID, name
 	case err := <-sendErr:
 		return nil, nil, fmt.Errorf("rpc: %s to %q: %w", name, provider, err)
 	case res := <-pc.done:
+		if res.busy {
+			return nil, nil, fmt.Errorf("rpc: %s to %q: %w", name, provider, ErrBusy)
+		}
 		if res.infraErr {
 			return nil, nil, fmt.Errorf("rpc: %s: provider %q has no such function", name, provider)
 		}
@@ -403,11 +656,15 @@ func (e *Engine) callRemote(ctx context.Context, provider transport.NodeID, name
 	}
 }
 
-// HandleCall executes an incoming MTCall and replies.
+// HandleCall executes an incoming MTCall and replies. Admission control
+// runs before any work: a provider at its concurrency limit, or one whose
+// scheduler rejects the job, or a request whose wire-propagated deadline
+// budget is already spent by the time the handler would run, all answer
+// MTBusy so the caller fails over immediately.
 func (e *Engine) HandleCall(from transport.NodeID, fr *protocol.Frame) {
-	e.mu.Lock()
+	e.regMu.Lock()
 	reg := e.functions[fr.Channel]
-	e.mu.Unlock()
+	e.regMu.Unlock()
 	callID := fr.Seq
 	if reg == nil {
 		reply := &protocol.Frame{
@@ -419,10 +676,20 @@ func (e *Engine) HandleCall(from transport.NodeID, fr *protocol.Frame) {
 		e.f.SendReliable(from, reply, qos.ReliableARQ, nil)
 		return
 	}
+	// Concurrency limit: strict reserve-then-check so the cap holds under
+	// concurrent arrivals.
+	limit := e.inflightLimit.Load()
+	if e.inflight.Add(1) > limit && limit > 0 {
+		e.inflight.Add(-1)
+		e.replyBusy(from, fr)
+		return
+	}
+	arrival := time.Now()
 	var args any
 	if reg.argType != nil {
 		decoded, err := e.f.Encoding().Unmarshal(reg.argType, fr.Payload)
 		if err != nil {
+			e.inflight.Add(-1)
 			e.replyAppError(from, fr, fmt.Sprintf("bad arguments: %v", err))
 			return
 		}
@@ -433,11 +700,22 @@ func (e *Engine) HandleCall(from transport.NodeID, fr *protocol.Frame) {
 		pr = reg.q.Priority
 	}
 	handler := reg.handler
+	budget := fr.Budget
 	if err := e.f.Schedule(pr, func() {
+		defer e.inflight.Add(-1)
+		if budget > 0 && time.Since(arrival) >= budget {
+			// Provider-side queueing alone has consumed the caller's
+			// whole budget, so the reply cannot arrive in time: shed
+			// instead of wasting work. (Network transit before arrival
+			// is not counted — the two nodes' clocks are not assumed
+			// synchronized — so this catches queueing delay, the
+			// dominant term on an overloaded provider, not every spent
+			// budget.)
+			e.replyBusy(from, fr)
+			return
+		}
 		v, err := handler(args)
-		e.mu.Lock()
-		reg.calls++
-		e.mu.Unlock()
+		reg.calls.Add(1)
 		if err != nil {
 			e.replyAppError(from, fr, err.Error())
 			return
@@ -465,8 +743,25 @@ func (e *Engine) HandleCall(from transport.NodeID, fr *protocol.Frame) {
 		}
 		e.f.SendReliable(from, reply, qos.ReliableARQ, nil)
 	}); err != nil {
-		e.replyAppError(from, fr, "scheduler saturated")
+		// Scheduler saturated: shed so the caller fails over rather than
+		// treating local overload as an application error.
+		e.inflight.Add(-1)
+		e.replyBusy(from, fr)
 	}
+}
+
+// replyBusy sheds one request with an explicit MTBusy (§4.3 admission
+// control); the caller treats it as an infrastructure failure and fails
+// over.
+func (e *Engine) replyBusy(to transport.NodeID, call *protocol.Frame) {
+	e.busyRejects.Add(1)
+	reply := &protocol.Frame{
+		Type:     protocol.MTBusy,
+		Priority: call.Priority,
+		Channel:  call.Channel,
+		Seq:      call.Seq,
+	}
+	e.f.SendReliable(to, reply, qos.ReliableARQ, nil)
 }
 
 func (e *Engine) replyAppError(to transport.NodeID, call *protocol.Frame, msg string) {
@@ -488,6 +783,12 @@ func (e *Engine) HandleReturn(from transport.NodeID, fr *protocol.Frame) {
 	e.complete(fr.Seq, callResult{payload: append([]byte(nil), fr.Payload...), from: from})
 }
 
+// HandleBusy completes a pending call with a provider shed; the call loop
+// fails over to the next provider.
+func (e *Engine) HandleBusy(from transport.NodeID, fr *protocol.Frame) {
+	e.complete(fr.Seq, callResult{busy: true, from: from})
+}
+
 // HandleError completes a pending call with a failure reply.
 func (e *Engine) HandleError(from transport.NodeID, fr *protocol.Frame) {
 	if fr.Flags&protocol.FlagAppError != 0 {
@@ -503,9 +804,10 @@ func (e *Engine) HandleError(from transport.NodeID, fr *protocol.Frame) {
 }
 
 func (e *Engine) complete(callID uint64, res callResult) {
-	e.mu.Lock()
-	pc := e.pending[callID]
-	e.mu.Unlock()
+	sh := e.pendingFor(callID)
+	sh.mu.Lock()
+	pc := sh.calls[callID]
+	sh.mu.Unlock()
 	if pc == nil {
 		return // late reply after failover or deadline
 	}
@@ -537,8 +839,8 @@ func (e *Engine) DependencyCheck(names ...string) error {
 
 // Records lists this node's registered functions for announcements.
 func (e *Engine) Records() []naming.Record {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.regMu.Lock()
+	defer e.regMu.Unlock()
 	out := make([]naming.Record, 0, len(e.functions))
 	for _, reg := range e.functions {
 		out = append(out, naming.Record{
@@ -555,10 +857,11 @@ func (e *Engine) Records() []naming.Record {
 
 // Calls reports how many times a local function has executed.
 func (e *Engine) Calls(name string) uint64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if reg := e.functions[name]; reg != nil {
-		return reg.calls
+	e.regMu.Lock()
+	reg := e.functions[name]
+	e.regMu.Unlock()
+	if reg != nil {
+		return reg.calls.Load()
 	}
 	return 0
 }

@@ -27,6 +27,7 @@ type fakeFabric struct {
 	mu    sync.Mutex
 	peers map[transport.NodeID]*Engine
 	drop  map[transport.NodeID]bool
+	sent  []*protocol.Frame // every reliable frame this fabric sent
 }
 
 func newFakeFabric(self transport.NodeID) *fakeFabric {
@@ -53,6 +54,9 @@ func (f *fakeFabric) Leave(string) error                                     { r
 
 func (f *fakeFabric) SendReliable(to transport.NodeID, fr *protocol.Frame, _ qos.Reliability, done func(error)) {
 	f.mu.Lock()
+	rec := *fr
+	rec.Payload = append([]byte(nil), fr.Payload...)
+	f.sent = append(f.sent, &rec)
 	peer := f.peers[to]
 	dropped := f.drop[to]
 	f.mu.Unlock()
@@ -79,6 +83,8 @@ func dispatch(e *Engine, from transport.NodeID, fr *protocol.Frame) {
 		e.HandleReturn(from, fr)
 	case protocol.MTError:
 		e.HandleError(from, fr)
+	case protocol.MTBusy:
+		e.HandleBusy(from, fr)
 	}
 }
 
@@ -324,9 +330,9 @@ func TestStaticPinUnpinOnFailure(t *testing.T) {
 		map[string]any{"a": 1, "b": 1}, addArgs, i32, q); err != nil {
 		t.Fatal(err)
 	}
-	client.mu.Lock()
+	client.pinMu.Lock()
 	pin := client.pins["add"]
-	client.mu.Unlock()
+	client.pinMu.Unlock()
 	if pin != "server" {
 		t.Fatalf("pin = %q", pin)
 	}
@@ -339,9 +345,9 @@ func TestStaticPinUnpinOnFailure(t *testing.T) {
 		qos.CallQoS{Binding: qos.BindStatic, Deadline: 200 * time.Millisecond}); err == nil {
 		t.Fatal("unreachable pinned provider succeeded")
 	}
-	client.mu.Lock()
+	client.pinMu.Lock()
 	pin = client.pins["add"]
-	client.mu.Unlock()
+	client.pinMu.Unlock()
 	if pin != "" {
 		t.Errorf("dead pin retained: %q", pin)
 	}
@@ -352,4 +358,291 @@ func TestLateReplyIgnored(t *testing.T) {
 	// A reply for a call id nobody is waiting on must be harmless.
 	e.HandleReturn("x", &protocol.Frame{Type: protocol.MTReturn, Seq: 999})
 	e.HandleError("x", &protocol.Frame{Type: protocol.MTError, Seq: 999})
+	e.HandleBusy("x", &protocol.Frame{Type: protocol.MTBusy, Seq: 999})
+}
+
+// threeWay wires one client to two server engines ("a-slow" sorts before
+// "b-fast", so static binding pins the slow one first).
+func threeWay(t *testing.T) (client, slow, fast *Engine, cf *fakeFabric) {
+	t.Helper()
+	cf = newFakeFabric("client")
+	sfSlow := newFakeFabric("a-slow")
+	sfFast := newFakeFabric("b-fast")
+	client = New(cf)
+	slow = New(sfSlow)
+	fast = New(sfFast)
+	cf.peers["a-slow"] = slow
+	cf.peers["b-fast"] = fast
+	sfSlow.peers["client"] = client
+	sfFast.peers["client"] = client
+	return client, slow, fast, cf
+}
+
+func TestHedgedCallBeatsSlowProvider(t *testing.T) {
+	// The pinned provider stalls past the deadline; a hedged call must
+	// speculatively dispatch to the second provider and return its answer
+	// well inside the deadline, where an unhedged call times out.
+	client, slow, fast, cf := threeWay(t)
+	retT := presentation.String_()
+	if err := slow.Register("fn", "svc", nil, retT, qos.CallQoS{},
+		func(any) (any, error) {
+			time.Sleep(2 * time.Second)
+			return "slow", nil
+		}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fast.Register("fn", "svc", nil, retT, qos.CallQoS{},
+		func(any) (any, error) { return "fast", nil }); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	cf.dir.Apply(&naming.Announcement{Node: "a-slow", Epoch: 1, Records: slow.Records()}, now)
+	cf.dir.Apply(&naming.Announcement{Node: "b-fast", Epoch: 1, Records: fast.Records()}, now)
+
+	q := qos.CallQoS{Binding: qos.BindStatic, Deadline: 600 * time.Millisecond, HedgeAfter: 0.1}
+	start := time.Now()
+	got, err := client.Call(context.Background(), "fn", nil, nil, retT, q)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("hedged call failed: %v", err)
+	}
+	if got != "fast" {
+		t.Errorf("served by %v, want the hedged fast provider", got)
+	}
+	if elapsed >= 600*time.Millisecond {
+		t.Errorf("hedged call took %v, past the deadline", elapsed)
+	}
+	if client.Hedges() == 0 {
+		t.Error("no hedge recorded")
+	}
+	// The static pin follows the race winner, not the speculative
+	// dispatch per se.
+	client.pinMu.Lock()
+	pin := client.pins["fn"]
+	client.pinMu.Unlock()
+	if pin != "b-fast" {
+		t.Errorf("pin = %q after hedged win, want b-fast", pin)
+	}
+
+	// The same call without hedging burns the whole deadline on the
+	// stalled pin and fails. (The hedge moved the static pin to the
+	// winner; point it back at the stalled provider first.)
+	client.pinMu.Lock()
+	client.pins["fn"] = "a-slow"
+	client.pinMu.Unlock()
+	q.HedgeAfter = 0
+	q.Deadline = 150 * time.Millisecond
+	if _, err := client.Call(context.Background(), "fn", nil, nil, retT, q); !errors.Is(err, ErrDeadline) {
+		t.Errorf("unhedged call against stalled pin: %v, want deadline", err)
+	}
+}
+
+func TestBusyShedTriggersFailover(t *testing.T) {
+	// Provider a-slow has a concurrency limit of 1 and is occupied; the
+	// next call must receive MTBusy and fail over to b-fast — not queue,
+	// not surface an app error.
+	client, slow, fast, cf := threeWay(t)
+	retT := presentation.String_()
+	release := make(chan struct{})
+	if err := slow.Register("fn", "svc", nil, retT, qos.CallQoS{},
+		func(any) (any, error) {
+			<-release
+			return "slow", nil
+		}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fast.Register("fn", "svc", nil, retT, qos.CallQoS{},
+		func(any) (any, error) { return "fast", nil }); err != nil {
+		t.Fatal(err)
+	}
+	slow.SetInflightLimit(1)
+	now := time.Now()
+	cf.dir.Apply(&naming.Announcement{Node: "a-slow", Epoch: 1, Records: slow.Records()}, now)
+	cf.dir.Apply(&naming.Announcement{Node: "b-fast", Epoch: 1, Records: fast.Records()}, now)
+
+	q := qos.CallQoS{Binding: qos.BindStatic, Deadline: 2 * time.Second}
+	firstDone := make(chan error, 1)
+	go func() {
+		_, err := client.Call(context.Background(), "fn", nil, nil, retT, q)
+		firstDone <- err
+	}()
+	// Wait until the occupying call is actually executing on a-slow.
+	deadline := time.Now().Add(time.Second)
+	for slow.inflight.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("occupying call never reached the slow provider")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	got, err := client.Call(context.Background(), "fn", nil, nil, retT, q)
+	if err != nil {
+		t.Fatalf("shed call did not fail over: %v", err)
+	}
+	if got != "fast" {
+		t.Errorf("served by %v, want failover to fast", got)
+	}
+	if slow.BusyRejects() != 1 {
+		t.Errorf("BusyRejects = %d, want 1", slow.BusyRejects())
+	}
+	close(release)
+	if err := <-firstDone; err != nil {
+		t.Errorf("occupying call failed: %v", err)
+	}
+}
+
+func TestServerShedsSpentBudget(t *testing.T) {
+	// An MTCall whose wire budget is already spent by the time the
+	// handler would run must be answered MTBusy, not executed.
+	_, server, cf, sf := wire(t)
+	_ = cf
+	var executed atomic.Bool
+	if err := server.Register("fn", "svc", nil, nil, qos.CallQoS{},
+		func(any) (any, error) { executed.Store(true); return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	server.HandleCall("client", &protocol.Frame{
+		Type: protocol.MTCall, Channel: "fn", Seq: 77, Budget: time.Nanosecond,
+	})
+	deadline := time.Now().Add(time.Second)
+	for {
+		sf.mu.Lock()
+		var busy *protocol.Frame
+		for _, fr := range sf.sent {
+			if fr.Type == protocol.MTBusy {
+				busy = fr
+			}
+		}
+		sf.mu.Unlock()
+		if busy != nil {
+			if busy.Seq != 77 || busy.Channel != "fn" {
+				t.Fatalf("busy reply mismatched: %+v", busy)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no MTBusy reply to a spent-budget call")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if executed.Load() {
+		t.Error("handler ran despite spent budget")
+	}
+	if server.BusyRejects() != 1 {
+		t.Errorf("BusyRejects = %d", server.BusyRejects())
+	}
+	if server.Calls("fn") != 0 {
+		t.Error("shed call counted as executed")
+	}
+}
+
+func TestCallRemoteStampsBudget(t *testing.T) {
+	// The MTCall frame must carry the caller's remaining deadline.
+	client, server, cf, _ := wire(t)
+	registerAdd(t, server)
+	announce(t, cf, "server", server)
+	if _, err := client.Call(context.Background(), "add",
+		map[string]any{"a": 1, "b": 2}, addArgs, i32,
+		qos.CallQoS{Deadline: 800 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	cf.mu.Lock()
+	defer cf.mu.Unlock()
+	var call *protocol.Frame
+	for _, fr := range cf.sent {
+		if fr.Type == protocol.MTCall {
+			call = fr
+		}
+	}
+	if call == nil {
+		t.Fatal("no MTCall recorded")
+	}
+	if call.Budget <= 0 || call.Budget > 800*time.Millisecond {
+		t.Errorf("wire budget %v, want within (0, 800ms]", call.Budget)
+	}
+}
+
+func TestDeadlineMissUnpinsStalledProvider(t *testing.T) {
+	// A statically-pinned provider that burns the whole deadline without
+	// answering must lose its pin, so the next call re-resolves instead
+	// of re-dialing the stalled node forever.
+	client, server, cf, _ := wire(t)
+	retT := presentation.String_()
+	if err := server.Register("fn", "svc", nil, retT, qos.CallQoS{},
+		func(any) (any, error) {
+			time.Sleep(2 * time.Second)
+			return "late", nil
+		}); err != nil {
+		t.Fatal(err)
+	}
+	announce(t, cf, "server", server)
+
+	client.setPin("fn", "server")
+	q := qos.CallQoS{Binding: qos.BindStatic, Deadline: 100 * time.Millisecond}
+	if _, err := client.Call(context.Background(), "fn", nil, nil, retT, q); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("stalled call: %v, want deadline", err)
+	}
+	client.pinMu.Lock()
+	pin, pinned := client.pins["fn"]
+	client.pinMu.Unlock()
+	if pinned {
+		t.Errorf("stalled provider kept its pin: %q", pin)
+	}
+}
+
+func TestUnregisterClearsPinAndIsIdempotent(t *testing.T) {
+	e := New(newFakeFabric("n"))
+	if err := e.Register("f", "svc", nil, nil, qos.CallQoS{},
+		func(any) (any, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	e.pinMu.Lock()
+	e.pins["f"] = "stale-provider"
+	e.pinMu.Unlock()
+	e.Unregister("f")
+	e.pinMu.Lock()
+	_, pinned := e.pins["f"]
+	e.pinMu.Unlock()
+	if pinned {
+		t.Error("Unregister left a stale pin")
+	}
+	e.Unregister("f") // second withdraw is a no-op
+	if e.hasLocal("f") {
+		t.Error("function still registered")
+	}
+}
+
+func TestConcurrentCallersShardedPending(t *testing.T) {
+	// Many concurrent callers through one engine: the sharded pending
+	// table must keep every reply matched to its call (run with -race).
+	client, server, cf, _ := wire(t)
+	registerAdd(t, server)
+	announce(t, cf, "server", server)
+
+	const callers, perCaller = 16, 20
+	var wg sync.WaitGroup
+	errs := make(chan error, callers*perCaller)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perCaller; i++ {
+				got, err := client.Call(context.Background(), "add",
+					map[string]any{"a": c, "b": i}, addArgs, i32, qos.CallQoS{})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got != int32(c+i) {
+					errs <- errors.New("reply matched to the wrong call")
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
 }

@@ -84,6 +84,34 @@ func TestUDPClose(t *testing.T) {
 	}
 }
 
+func TestUDPLeaveSemantics(t *testing.T) {
+	a, err := NewUDP("solo", "127.0.0.1:0", nil, WithUnicastFanout())
+	if err != nil {
+		t.Skipf("udp unavailable: %v", err)
+	}
+	// Leaving a never-joined group is a harmless no-op.
+	if err := a.Leave("ghost-group"); err != nil {
+		t.Errorf("leave unknown group: %v", err)
+	}
+	if err := a.Join("g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Leave("g"); err != nil {
+		t.Errorf("leave joined group: %v", err)
+	}
+	if err := a.Leave("g"); err != nil {
+		t.Errorf("double leave must be idempotent: %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After Close the transport is gone; Leave must say so rather than
+	// silently mutating a dead handle.
+	if err := a.Leave("g"); !errors.Is(err, ErrClosed) {
+		t.Errorf("leave after close: %v, want ErrClosed", err)
+	}
+}
+
 func TestUDPMulticast(t *testing.T) {
 	a, b := newUDPPair(t)
 	const group = "mc-test"

@@ -246,10 +246,15 @@ func (u *UDP) Join(group string) error {
 	return nil
 }
 
-// Leave implements Transport.
+// Leave implements Transport. Leaving a group that was never joined (or
+// already left) is a no-op; leaving after Close reports ErrClosed like the
+// other operations.
 func (u *UDP) Leave(group string) error {
 	u.mu.Lock()
 	defer u.mu.Unlock()
+	if u.closed {
+		return fmt.Errorf("transport: leave from %q: %w", u.id, ErrClosed)
+	}
 	delete(u.joined, group)
 	g, joined := u.groups[group]
 	if !joined {

@@ -67,33 +67,36 @@ func New(f fabric.Fabric) *Engine {
 //
 //	i64 publish-time unix-nanos (publisher clock)
 //	u32 validity milliseconds (0 = never expires)
+//	u32 publisher incarnation (non-zero; resets subscriber seq filters)
 //	raw encoded value
 
-func encodeSamplePayload(enc encoding.Encoding, t *presentation.Type, v any, ts time.Time, validity time.Duration) ([]byte, error) {
+func encodeSamplePayload(enc encoding.Encoding, t *presentation.Type, v any, ts time.Time, validity time.Duration, pub uint32) ([]byte, error) {
 	body, err := enc.Marshal(t, v)
 	if err != nil {
 		return nil, err
 	}
-	w := encoding.NewWriter(12 + len(body))
+	w := encoding.NewWriter(16 + len(body))
 	w.Int64(ts.UnixNano())
 	w.Uint32(uint32(validity / time.Millisecond))
+	w.Uint32(pub)
 	w.Raw(body)
 	return w.Bytes(), nil
 }
 
-func decodeSamplePayload(enc encoding.Encoding, t *presentation.Type, payload []byte) (v any, ts time.Time, validity time.Duration, err error) {
+func decodeSamplePayload(enc encoding.Encoding, t *presentation.Type, payload []byte) (v any, ts time.Time, validity time.Duration, pub uint32, err error) {
 	r := encoding.NewReader(payload)
 	tsn := r.Int64()
 	valMs := r.Uint32()
+	pub = r.Uint32()
 	if err := r.Err(); err != nil {
-		return nil, time.Time{}, 0, err
+		return nil, time.Time{}, 0, 0, err
 	}
 	body := r.Raw(r.Remaining())
 	v, err = enc.Unmarshal(t, body)
 	if err != nil {
-		return nil, time.Time{}, 0, err
+		return nil, time.Time{}, 0, 0, err
 	}
-	return v, time.Unix(0, tsn), time.Duration(valMs) * time.Millisecond, nil
+	return v, time.Unix(0, tsn), time.Duration(valMs) * time.Millisecond, pub, nil
 }
 
 // Offer registers a publisher for name with the given payload type and QoS.
@@ -121,6 +124,7 @@ func (e *Engine) Offer(name, service string, t *presentation.Type, q qos.Variabl
 		typ:     t,
 		codec:   codec,
 		q:       q,
+		id:      protocol.NewIncarnation(),
 	}
 	e.pubs[name] = p
 	return p, nil
@@ -134,6 +138,11 @@ type Publisher struct {
 	typ     *presentation.Type
 	codec   *encoding.Codec
 	q       qos.VariableQoS
+
+	// id is this publisher's incarnation, carried in every sample so a
+	// restarted publisher (fresh seq numbering) is not filtered out by
+	// subscribers still holding the previous incarnation's high seq.
+	id uint32
 
 	mu       sync.Mutex
 	last     any
@@ -182,7 +191,7 @@ func (p *Publisher) Publish(v any) error {
 	p.mu.Unlock()
 
 	enc := p.engine.f.Encoding()
-	payload, err := encodeSamplePayload(enc, p.typ, cv, now, p.q.Validity)
+	payload, err := encodeSamplePayload(enc, p.typ, cv, now, p.q.Validity, p.id)
 	if err != nil {
 		return err
 	}
@@ -268,10 +277,14 @@ type Subscription struct {
 
 	mu       sync.Mutex
 	value    any
-	ts       time.Time
+	ts       time.Time     // publisher-clock publication instant
+	rxAt     time.Time     // receiver-clock arrival instant
+	rxAge    time.Duration // sample age at arrival per the publisher clock (clamped >= 0)
 	validity time.Duration
 	haveVal  bool
+	lastPub  uint32 // publisher incarnation of lastSeq
 	lastSeq  uint64
+	initCh   chan struct{} // closed when the first value lands
 	timer    *time.Timer
 	closed   bool
 
@@ -300,7 +313,7 @@ func (e *Engine) Subscribe(name string, t *presentation.Type, opts SubscribeOpti
 				name, recs[0].TypeSig, t, ErrTypeMismatch)
 		}
 	}
-	s := &Subscription{engine: e, name: name, typ: t, opts: opts}
+	s := &Subscription{engine: e, name: name, typ: t, opts: opts, initCh: make(chan struct{})}
 
 	e.mu.Lock()
 	e.subs[name] = append(e.subs[name], s)
@@ -332,7 +345,7 @@ func (s *Subscription) requestInitial() error {
 	e.mu.Unlock()
 	if pub != nil {
 		if v, ts, ok := pub.snapshot(); ok {
-			s.accept(v, ts, pub.q.Validity, 0)
+			s.accept(v, ts, pub.q.Validity, 0, 0)
 			return nil
 		}
 		return nil // no value yet; nothing to guarantee
@@ -367,31 +380,32 @@ func (s *Subscription) requestInitial() error {
 	case <-time.After(s.opts.InitialTimeout):
 		return fmt.Errorf("variables: snapshot request %q: %w", s.name, protocol.ErrTimeout)
 	}
-	// Request delivered; wait for the value itself.
-	deadline := time.Now().Add(s.opts.InitialTimeout)
-	for time.Now().Before(deadline) {
-		s.mu.Lock()
-		have := s.haveVal
-		s.mu.Unlock()
-		if have {
-			return nil
-		}
-		time.Sleep(time.Millisecond)
+	// Request delivered; wait for the value itself. accept closes initCh
+	// on the first installed sample, so this wakes immediately instead of
+	// polling.
+	select {
+	case <-s.initCh:
+		return nil
+	case <-time.After(s.opts.InitialTimeout):
+		return fmt.Errorf("variables: no snapshot reply for %q: %w", s.name, protocol.ErrTimeout)
 	}
-	return fmt.Errorf("variables: no snapshot reply for %q: %w", s.name, protocol.ErrTimeout)
 }
 
 // Get returns the freshest valid value. While the publisher is silent the
 // previous value is served until its validity lapses, after which ErrStale
-// is returned (§4.1).
+// is returned (§4.1). Sample age is the publisher-declared age at arrival
+// (clamped at zero, so a publisher clock running ahead cannot make fresh
+// samples immortal or negative-aged) plus receiver-side time since
+// arrival — an old value installed via the snapshot path is correctly
+// stale immediately, while cross-node skew cannot subtract age.
 func (s *Subscription) Get() (any, time.Time, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.haveVal {
 		return nil, time.Time{}, fmt.Errorf("variables: %q: %w", s.name, ErrNoValue)
 	}
-	if s.validity > 0 && time.Since(s.ts) > s.validity {
-		return nil, s.ts, fmt.Errorf("variables: %q age %v: %w", s.name, time.Since(s.ts).Round(time.Millisecond), ErrStale)
+	if age := s.rxAge + time.Since(s.rxAt); s.validity > 0 && age > s.validity {
+		return nil, s.ts, fmt.Errorf("variables: %q age %v: %w", s.name, age.Round(time.Millisecond), ErrStale)
 	}
 	return presentation.DeepCopy(s.value), s.ts, nil
 }
@@ -403,26 +417,62 @@ func (s *Subscription) Stats() (samples, timeouts uint64) {
 	return s.samples, s.timeouts
 }
 
-// accept installs a sample into the cache and fires OnSample.
-func (s *Subscription) accept(v any, ts time.Time, validity time.Duration, seq uint64) {
+// incarnationGrace bounds the reorder window inside which an older-stamped
+// sample from a different publisher incarnation is treated as a delayed
+// pre-restart straggler and dropped. Past it, the incarnation change is
+// honored regardless of timestamps (cross-node publisher takeover with an
+// unsynchronized clock).
+const incarnationGrace = time.Second
+
+// accept installs a sample into the cache and fires OnSample. pub is the
+// publisher incarnation (0 for local bypass and snapshot replies, which
+// bypass the reorder filter along with seq 0).
+func (s *Subscription) accept(v any, ts time.Time, validity time.Duration, pub uint32, seq uint64) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return
 	}
-	if seq != 0 && seq <= s.lastSeq && s.haveVal {
-		// Reordered stale sample: newer value already cached.
-		s.mu.Unlock()
-		return
-	}
 	if seq != 0 {
+		if pub != s.lastPub {
+			if s.haveVal && ts.Before(s.ts) && time.Since(s.rxAt) < incarnationGrace {
+				// An older-stamped sample under a different incarnation
+				// arriving moments after a fresh one is a reordered
+				// pre-restart straggler: drop it rather than flip the
+				// filter back and reinstall stale data. The guard is
+				// bounded by receiver-side recency so a replacement
+				// publisher on another node with a lagging clock is
+				// locked out for at most incarnationGrace, not until
+				// its clock catches up.
+				s.mu.Unlock()
+				return
+			}
+			// The publisher restarted (new incarnation, fresh seq
+			// numbering): reset the reorder filter instead of
+			// discarding every new sample until seq catches up.
+			s.lastPub = pub
+			s.lastSeq = 0
+		}
+		if seq <= s.lastSeq && s.haveVal {
+			// Reordered stale sample: newer value already cached.
+			s.mu.Unlock()
+			return
+		}
 		s.lastSeq = seq
 	}
 	s.value = v
 	s.ts = ts
+	s.rxAt = time.Now()
+	s.rxAge = s.rxAt.Sub(ts)
+	if s.rxAge < 0 {
+		s.rxAge = 0 // publisher clock ahead of ours
+	}
 	s.validity = validity
 	if validity == 0 {
 		s.validity = s.opts.QoS.Validity
+	}
+	if !s.haveVal {
+		close(s.initCh) // wake a pending guaranteed-initial-value wait
 	}
 	s.haveVal = true
 	s.samples++
@@ -469,7 +519,11 @@ func (s *Subscription) fireTimeout() {
 		return
 	}
 	s.timeouts++
-	silence := time.Since(s.ts)
+	// Silence is measured on the receiver's clock from the last arrival,
+	// not from the publisher's embedded timestamp: clock skew between
+	// nodes must not produce negative or wildly wrong durations in the
+	// warning.
+	silence := time.Since(s.rxAt)
 	if !s.haveVal {
 		silence = s.opts.QoS.SilenceDeadline()
 	}
@@ -524,7 +578,7 @@ func (e *Engine) deliverLocal(name string, v any, ts time.Time, validity time.Du
 	subs := append([]*Subscription(nil), e.subs[name]...)
 	e.mu.Unlock()
 	for _, s := range subs {
-		s.accept(presentation.DeepCopy(v), ts, validity, 0)
+		s.accept(presentation.DeepCopy(v), ts, validity, 0, 0)
 	}
 }
 
@@ -546,11 +600,11 @@ func (e *Engine) handleIncoming(fr *protocol.Frame, seq uint64) {
 		return // foreign encoding; this node cannot decode
 	}
 	for _, s := range subs {
-		v, ts, validity, err := decodeSamplePayload(enc, s.typ, fr.Payload)
+		v, ts, validity, pub, err := decodeSamplePayload(enc, s.typ, fr.Payload)
 		if err != nil {
 			continue // incompatible subscriber type; skip
 		}
-		s.accept(v, ts, validity, seq)
+		s.accept(v, ts, validity, pub, seq)
 	}
 }
 
@@ -567,7 +621,7 @@ func (e *Engine) HandleSnapshotReq(from transport.NodeID, fr *protocol.Frame) {
 		return // nothing published yet
 	}
 	enc := e.f.Encoding()
-	payload, err := encodeSamplePayload(enc, pub.typ, v, ts, pub.q.Validity)
+	payload, err := encodeSamplePayload(enc, pub.typ, v, ts, pub.q.Validity, pub.id)
 	if err != nil {
 		return
 	}

@@ -89,11 +89,11 @@ func TestSamplePayloadRoundTrip(t *testing.T) {
 	enc := encoding.Binary{}
 	ts := time.Unix(1_750_000_000, 123456789)
 	val := map[string]any{"lat": 41.0, "lon": 2.0}
-	payload, err := encodeSamplePayload(enc, posType, val, ts, 750*time.Millisecond)
+	payload, err := encodeSamplePayload(enc, posType, val, ts, 750*time.Millisecond, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, gotTS, validity, err := decodeSamplePayload(enc, posType, payload)
+	got, gotTS, validity, pub, err := decodeSamplePayload(enc, posType, payload)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,10 @@ func TestSamplePayloadRoundTrip(t *testing.T) {
 	if validity != 750*time.Millisecond {
 		t.Errorf("validity %v", validity)
 	}
-	if _, _, _, err := decodeSamplePayload(enc, posType, payload[:4]); err == nil {
+	if pub != 7 {
+		t.Errorf("incarnation %d, want 7", pub)
+	}
+	if _, _, _, _, err := decodeSamplePayload(enc, posType, payload[:4]); err == nil {
 		t.Error("truncated payload accepted")
 	}
 }
@@ -232,7 +235,7 @@ func TestHandleSampleDeliversAndOrders(t *testing.T) {
 
 	enc := encoding.Binary{}
 	mk := func(lat float64, seq uint64) *protocol.Frame {
-		payload, err := encodeSamplePayload(enc, posType, map[string]any{"lat": lat, "lon": 0.0}, time.Now(), 0)
+		payload, err := encodeSamplePayload(enc, posType, map[string]any{"lat": lat, "lon": 0.0}, time.Now(), 0, 11)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -300,6 +303,178 @@ func TestRecords(t *testing.T) {
 	if r.Kind != naming.KindVariable || r.Name != "gps.position" ||
 		r.Node != "node9" || r.TypeSig != posType.String() {
 		t.Errorf("record = %+v", r)
+	}
+}
+
+// sampleFrame builds an MTSample frame for subscriber-side handler tests.
+func sampleFrame(t *testing.T, lat float64, pub uint32, seq uint64, ts time.Time) *protocol.Frame {
+	t.Helper()
+	enc := encoding.Binary{}
+	payload, err := encodeSamplePayload(enc, posType, map[string]any{"lat": lat, "lon": 0.0}, ts, 0, pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &protocol.Frame{
+		Type: protocol.MTSample, Encoding: enc.ID(), Channel: "v",
+		Seq: seq, Payload: payload,
+	}
+}
+
+func TestPublisherRestartResetsReorderFilter(t *testing.T) {
+	// A restarted publisher starts a fresh seq numbering at 1. Before the
+	// incarnation id rode on the wire, the subscriber's reorder filter
+	// discarded every new sample until the new seq overtook the old
+	// high-water mark; now the incarnation change resets the filter.
+	e := New(newFakeFabric("n"))
+	s, err := e.Subscribe("v", posType, SubscribeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// First incarnation, deep into its sequence numbering.
+	e.HandleSample("remote", sampleFrame(t, 1.0, 101, 50, time.Now()))
+	if v, _, err := s.Get(); err != nil || v.(map[string]any)["lat"] != 1.0 {
+		t.Fatalf("first incarnation sample: %v %v", v, err)
+	}
+	// Publisher restarts: new incarnation, seq back to 1.
+	e.HandleSample("remote", sampleFrame(t, 2.0, 202, 1, time.Now()))
+	v, _, err := s.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(map[string]any)["lat"] != 2.0 {
+		t.Fatal("restarted publisher's first sample discarded as reordered")
+	}
+	// The filter still works within the new incarnation.
+	e.HandleSample("remote", sampleFrame(t, 3.0, 202, 3, time.Now()))
+	e.HandleSample("remote", sampleFrame(t, 2.5, 202, 2, time.Now()))
+	if v, _, _ := s.Get(); v.(map[string]any)["lat"] != 3.0 {
+		t.Error("reorder filter broken after incarnation reset")
+	}
+	// A delayed duplicate from the dead incarnation (older publish
+	// instant) must not flip the filter back and reinstall stale data.
+	e.HandleSample("remote", sampleFrame(t, 0.5, 101, 50, time.Now().Add(-time.Minute)))
+	if v, _, _ := s.Get(); v.(map[string]any)["lat"] != 3.0 {
+		t.Error("pre-restart straggler overwrote the fresh value")
+	}
+	// And the current incarnation keeps flowing afterwards.
+	e.HandleSample("remote", sampleFrame(t, 4.0, 202, 4, time.Now()))
+	if v, _, _ := s.Get(); v.(map[string]any)["lat"] != 4.0 {
+		t.Error("current incarnation rejected after straggler")
+	}
+}
+
+func TestPublisherTakeoverWithLaggingClock(t *testing.T) {
+	// A replacement publisher on another node whose clock lags the dead
+	// one must not be locked out past the grace window: once the cached
+	// sample's arrival is no longer recent, the incarnation change wins
+	// regardless of the publisher timestamps.
+	e := New(newFakeFabric("n"))
+	s, err := e.Subscribe("v", posType, SubscribeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Dead publisher's clock ran a minute ahead.
+	e.HandleSample("remote", sampleFrame(t, 1.0, 101, 9, time.Now().Add(time.Minute)))
+	// Simulate the grace window having elapsed since that arrival.
+	s.mu.Lock()
+	s.rxAt = time.Now().Add(-2 * incarnationGrace)
+	s.mu.Unlock()
+	// Replacement publisher, accurate (therefore "older") clock.
+	e.HandleSample("remote", sampleFrame(t, 5.0, 303, 1, time.Now()))
+	if v, _, err := s.Get(); err != nil || v.(map[string]any)["lat"] != 5.0 {
+		t.Fatalf("takeover publisher locked out: %v %v", v, err)
+	}
+}
+
+func TestSnapshotOfOldValueIsStale(t *testing.T) {
+	// A snapshot reply can carry a value published long ago; its age at
+	// arrival (per the publisher clock, clamped >= 0) must count against
+	// validity, so a long-expired value is not served as fresh just
+	// because it arrived now.
+	e := New(newFakeFabric("n"))
+	s, err := e.Subscribe("v", posType, SubscribeOptions{
+		QoS: qos.VariableQoS{Validity: 100 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	e.HandleSnapshotRep("pub", sampleFrame(t, 1.0, 0, 0, time.Now().Add(-10*time.Minute)))
+	if _, _, err := s.Get(); !errors.Is(err, ErrStale) {
+		t.Errorf("10-minute-old snapshot served as fresh: %v", err)
+	}
+	// A genuinely fresh sample is served.
+	e.HandleSample("remote", sampleFrame(t, 2.0, 55, 1, time.Now()))
+	if v, _, err := s.Get(); err != nil || v.(map[string]any)["lat"] != 2.0 {
+		t.Errorf("fresh sample: %v %v", v, err)
+	}
+	// And a publisher clock running ahead cannot subtract age.
+	e.HandleSample("remote", sampleFrame(t, 3.0, 55, 2, time.Now().Add(time.Hour)))
+	if v, _, err := s.Get(); err != nil || v.(map[string]any)["lat"] != 3.0 {
+		t.Errorf("ahead-clock sample: %v %v", v, err)
+	}
+}
+
+func TestRequireInitialWakesOnArrival(t *testing.T) {
+	// The guaranteed-initial-value wait must wake as soon as the snapshot
+	// reply lands, well before InitialTimeout, without polling.
+	f := newFakeFabric("n")
+	e := New(f)
+	f.dir.Apply(&naming.Announcement{Node: "pub", Epoch: 1, Records: []naming.Record{
+		{Kind: naming.KindVariable, Name: "v", Service: "svc", Node: "pub", TypeSig: posType.String()},
+	}}, time.Now())
+
+	const arriveAfter = 30 * time.Millisecond
+	go func() {
+		time.Sleep(arriveAfter)
+		e.HandleSnapshotRep("pub", sampleFrame(t, 9.0, 0, 0, time.Now()))
+	}()
+	start := time.Now()
+	s, err := e.Subscribe("v", posType, SubscribeOptions{
+		RequireInitial: true,
+		InitialTimeout: 2 * time.Second,
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if v, _, err := s.Get(); err != nil || v.(map[string]any)["lat"] != 9.0 {
+		t.Fatalf("initial value: %v %v", v, err)
+	}
+	if elapsed >= time.Second {
+		t.Errorf("initial wait took %v; should wake at ~%v", elapsed, arriveAfter)
+	}
+}
+
+func TestSilenceUsesReceiverClock(t *testing.T) {
+	// The publisher's embedded timestamp is an hour in the past (clock
+	// skew); the OnTimeout warning must report silence measured from the
+	// receiver-side arrival instant, not a bogus ~1h duration.
+	e := New(newFakeFabric("n"))
+	silences := make(chan time.Duration, 4)
+	s, err := e.Subscribe("v", posType, SubscribeOptions{
+		QoS:       qos.VariableQoS{Period: 20 * time.Millisecond, DeadlineFactor: 2},
+		OnTimeout: func(d time.Duration) { silences <- d },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	skewed := time.Now().Add(-time.Hour)
+	e.HandleSample("remote", sampleFrame(t, 1.0, 77, 1, skewed))
+	select {
+	case silence := <-silences:
+		if silence < 0 || silence > 10*time.Second {
+			t.Errorf("silence = %v; want a small receiver-side duration", silence)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no timeout warning fired")
 	}
 }
 
