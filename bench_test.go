@@ -179,6 +179,22 @@ func BenchmarkE11_RPCHedgedFailover(b *testing.B) {
 	b.ReportMetric(float64(hedged.Latency.Percentile(99).Milliseconds()), "hedged-p99-ms")
 }
 
+// BenchmarkE12_DiscoveryWireCost measures steady-state discovery bytes per
+// announce period for 16 nodes × 100 records under the incremental plane
+// (constant-size digests + registration deltas) against the old full-state
+// re-broadcast, plus the latency from a new offer to fleet-wide
+// resolvability (§3 name management at scale).
+func BenchmarkE12_DiscoveryWireCost(b *testing.B) {
+	res, err := experiments.RunE12(16, 100, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.SteadyBytesPerPeriod, "steady-B/period")
+	b.ReportMetric(res.BaselineBytesPerPeriod, "fullstate-B/period")
+	b.ReportMetric(res.BaselineBytesPerPeriod/res.SteadyBytesPerPeriod, "saving-x")
+	b.ReportMetric(float64(res.Converge.Microseconds()), "converge-us")
+}
+
 // BenchmarkE8_SchedulerPriority loads the fixed-priority pool and reports
 // p99 queue latency for the critical and bulk classes (§6 soft real time).
 func BenchmarkE8_SchedulerPriority(b *testing.B) {

@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		runFlag = flag.String("run", "all", "comma-separated experiments: e1,e2,e3,e4,e5,e7,e8,e9,e11 or all")
+		runFlag = flag.String("run", "all", "comma-separated experiments: e1,e2,e3,e4,e5,e7,e8,e9,e11,e12 or all")
 		quick   = flag.Bool("quick", false, "reduced iteration counts for smoke runs")
 	)
 	flag.Parse()
@@ -43,7 +43,7 @@ func main() {
 	all := []experiment{
 		{"e1", runE1}, {"e2", runE2}, {"e3", runE3}, {"e4", runE4},
 		{"e5", runE5}, {"e7", runE7}, {"e8", runE8}, {"e9", runE9},
-		{"e11", runE11},
+		{"e11", runE11}, {"e12", runE12},
 	}
 	for _, exp := range all {
 		if !want(exp.name) {
@@ -271,6 +271,46 @@ func runE11(quick bool) error {
 				res.Hedges, res.BusyRej)
 		}
 	}
+	return nil
+}
+
+func runE12(quick bool) error {
+	header("E12 — incremental discovery: steady-state wire cost and convergence (§3 at scale)")
+	fmt.Println("steady state sends constant-size digests (O(nodes) bytes/period); the old")
+	fmt.Println("protocol re-broadcast every record every period (O(total records))")
+	fmt.Printf("%-7s %-9s %14s %14s %9s %14s\n",
+		"nodes", "records", "steady B/prd", "full B/prd", "saving", "new-offer lat")
+	nodeCounts := []int{4, 16, 64}
+	recordCounts := []int{10, 100, 1000}
+	if quick {
+		nodeCounts = []int{4, 16}
+		recordCounts = []int{10, 100}
+	}
+	for _, nodes := range nodeCounts {
+		for _, records := range recordCounts {
+			res, err := experiments.RunE12(nodes, records, 12)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-7d %-9d %14.0f %14.0f %8.1fx %14v\n",
+				nodes, records,
+				res.SteadyBytesPerPeriod, res.BaselineBytesPerPeriod,
+				res.BaselineBytesPerPeriod/res.SteadyBytesPerPeriod,
+				res.Converge.Round(10*time.Microsecond))
+		}
+	}
+	churnNodes, churnRecords := 16, 100
+	if quick {
+		churnNodes, churnRecords = 4, 20
+	}
+	churn, err := experiments.RunE12Churn(churnNodes, churnRecords, 50, 13)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("churn: %d nodes × %d records, %d offers missed behind a partition\n",
+		churn.Nodes, churn.RecordsPerNode, churn.MissedOffers)
+	fmt.Printf("heal re-convergence %v (%d sync requests, %d heartbeats observed)\n",
+		churn.HealConverge.Round(time.Millisecond), churn.SyncsUsed, churn.HeartbeatsAfter)
 	return nil
 }
 

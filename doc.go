@@ -5,7 +5,14 @@
 // The system is a service-container middleware for UAV mission and payload
 // control: one container per network node manages service lifecycles, name
 // resolution with proxy caching, and all network access, and offers four
-// communication primitives — Variables (best-effort multicast pub/sub),
+// communication primitives. Name discovery is incremental: registrations
+// multicast compact versioned deltas (MTAnnounceDelta) the moment they
+// happen, the periodic beacon is a constant-size digest (MTHeartbeat) so
+// steady-state discovery wire cost is O(nodes) rather than O(total
+// records), and receivers repair version gaps, unknown nodes, and fresh
+// epochs with unicast anti-entropy sync (MTSyncReq/MTSyncRep — catch-up
+// deltas for small gaps, MTU-chunked full snapshots otherwise). The four
+// primitives are Variables (best-effort multicast pub/sub),
 // Events (guaranteed delivery, unicast per subscriber or group-addressed
 // multicast with NACK-based gap repair via qos.DeliverMulticast), Remote
 // Invocation (typed calls with redundancy failover — concurrent engine

@@ -53,6 +53,18 @@ type Node struct {
 	epoch    uint64
 	mtu      int
 
+	// Incremental discovery plane (§3 at fleet scale): the versioned log
+	// of this node's own offer, the reassembly state for unicast full
+	// syncs, and per-peer sync-request throttling.
+	log         *naming.Log
+	announceMu  sync.Mutex    // orders log updates with their broadcasts
+	offerDirty  chan struct{} // capacity 1: coalesces OfferChanged signals
+	syncMu      sync.Mutex
+	syncAsm     *naming.SyncAssembler
+	syncReqAt   map[transport.NodeID]time.Time
+	syncServing atomic.Int64 // full-state replies currently in flight
+	disco       discoveryCounters
+
 	vars   *variables.Engine
 	events *events.Engine
 	rpc    *rpc.Engine
@@ -217,6 +229,10 @@ func NewNode(opts ...NodeOption) (*Node, error) {
 		reasm:           protocol.NewReassembler(0),
 		epoch:           uint64(time.Now().UnixNano()),
 		mtu:             cfg.mtu,
+		log:             naming.NewLog(),
+		offerDirty:      make(chan struct{}, 1),
+		syncAsm:         naming.NewSyncAssembler(),
+		syncReqAt:       make(map[transport.NodeID]time.Time),
 		announcePeriod:  cfg.announcePeriod,
 		failureDeadline: cfg.failureDeadline,
 		loadProbe:       cfg.loadProbe,
@@ -251,8 +267,9 @@ func NewNode(opts ...NodeOption) (*Node, error) {
 		return nil, fmt.Errorf("core: join discovery: %w", err)
 	}
 
-	n.wg.Add(1)
+	n.wg.Add(2)
 	go n.discoveryLoop()
+	go n.offerFlushLoop()
 	return n, nil
 }
 
@@ -502,6 +519,14 @@ func (n *Node) route(from transport.NodeID, f *protocol.Frame) {
 	switch f.Type {
 	case protocol.MTAnnounce:
 		n.handleAnnounce(from, f)
+	case protocol.MTHeartbeat:
+		n.handleHeartbeat(from, f)
+	case protocol.MTAnnounceDelta:
+		n.handleAnnounceDelta(from, f)
+	case protocol.MTSyncReq:
+		n.handleSyncReq(from, f)
+	case protocol.MTSyncRep:
+		n.handleSyncRep(from, f)
 	case protocol.MTBye:
 		n.handleBye(from)
 	case protocol.MTSample:
@@ -539,32 +564,115 @@ func (n *Node) route(from transport.NodeID, f *protocol.Frame) {
 	case protocol.MTFileNack:
 		n.files.HandleNack(from, f)
 	default:
-		// Heartbeats are implicit in announcements; unknown types drop.
+		// Unknown types drop.
 	}
 }
 
 // --- discovery ---
 
-// discoveryLoop announces this node and sweeps dead peers.
+// The discovery plane is incremental: registrations multicast a compact
+// versioned MTAnnounceDelta the moment they happen (one network hop of
+// discovery latency), the periodic beacon is a constant-size MTHeartbeat
+// digest — O(nodes) steady-state wire cost instead of O(total records) —
+// and receivers that observe a version gap, an unknown node, or a fresh
+// epoch pull the full record set unicast over ARQ (MTSyncReq/MTSyncRep),
+// chunked under the MTU.
+
+// discoveryCounters instruments the discovery plane. Snapshot with
+// Node.DiscoveryStats.
+type discoveryCounters struct {
+	heartbeatsSent   atomic.Uint64
+	heartbeatsRecv   atomic.Uint64
+	deltasSent       atomic.Uint64
+	deltasRecv       atomic.Uint64
+	fullSent         atomic.Uint64
+	syncReqsSent     atomic.Uint64
+	syncReqsServed   atomic.Uint64
+	syncReqsDropped  atomic.Uint64
+	syncChunksSent   atomic.Uint64
+	syncDeltaReplies atomic.Uint64
+	syncApplied      atomic.Uint64
+	syncsTriggered   atomic.Uint64
+	malformed        atomic.Uint64
+	encodeErrors     atomic.Uint64
+	sendErrors       atomic.Uint64
+}
+
+// DiscoveryStats is a snapshot of the discovery plane's counters.
+type DiscoveryStats struct {
+	// HeartbeatsSent / HeartbeatsReceived count MTHeartbeat digests.
+	HeartbeatsSent, HeartbeatsReceived uint64
+	// DeltasSent / DeltasReceived count MTAnnounceDelta frames.
+	DeltasSent, DeltasReceived uint64
+	// FullAnnouncesSent counts full-state MTAnnounce broadcasts (startup
+	// and explicit AnnounceNow).
+	FullAnnouncesSent uint64
+	// SyncRequestsSent / SyncRequestsServed count MTSyncReq frames sent
+	// and answered; SyncDeltaReplies counts answers served as compact
+	// catch-up deltas from the log history; SyncChunksSent counts the
+	// MTSyncRep chunks of full-snapshot answers; SyncRepliesApplied
+	// counts fully assembled snapshots installed into the directory.
+	SyncRequestsSent, SyncRequestsServed uint64
+	// SyncRequestsDropped counts requests shed by the concurrent-serve
+	// cap; the requester retries on its next heartbeat.
+	SyncRequestsDropped                uint64
+	SyncDeltaReplies                   uint64
+	SyncChunksSent, SyncRepliesApplied uint64
+	// SyncsTriggered counts gap/epoch/unknown-node detections, including
+	// ones suppressed by per-peer throttling.
+	SyncsTriggered uint64
+	// Malformed counts discovery frames dropped as undecodable or
+	// mis-attributed (payload node != sender).
+	Malformed uint64
+	// EncodeErrors counts local encode failures (previously discarded
+	// silently); SendErrors counts transport send failures.
+	EncodeErrors, SendErrors uint64
+}
+
+// DiscoveryStats snapshots the discovery plane counters.
+func (n *Node) DiscoveryStats() DiscoveryStats {
+	return DiscoveryStats{
+		HeartbeatsSent:      n.disco.heartbeatsSent.Load(),
+		HeartbeatsReceived:  n.disco.heartbeatsRecv.Load(),
+		DeltasSent:          n.disco.deltasSent.Load(),
+		DeltasReceived:      n.disco.deltasRecv.Load(),
+		FullAnnouncesSent:   n.disco.fullSent.Load(),
+		SyncRequestsSent:    n.disco.syncReqsSent.Load(),
+		SyncRequestsServed:  n.disco.syncReqsServed.Load(),
+		SyncRequestsDropped: n.disco.syncReqsDropped.Load(),
+		SyncDeltaReplies:    n.disco.syncDeltaReplies.Load(),
+		SyncChunksSent:      n.disco.syncChunksSent.Load(),
+		SyncRepliesApplied:  n.disco.syncApplied.Load(),
+		SyncsTriggered:      n.disco.syncsTriggered.Load(),
+		Malformed:           n.disco.malformed.Load(),
+		EncodeErrors:        n.disco.encodeErrors.Load(),
+		SendErrors:          n.disco.sendErrors.Load(),
+	}
+}
+
+// discoveryLoop beacons this node's digest and sweeps dead peers.
 func (n *Node) discoveryLoop() {
 	defer n.wg.Done()
 	ticker := time.NewTicker(n.announcePeriod)
 	defer ticker.Stop()
+	// Introduce the node with one full-state announcement; from here on
+	// the beacon is the constant-size digest.
 	n.announceNow()
 	for {
 		select {
 		case <-n.stop:
 			return
 		case <-ticker.C:
-			n.announceNow()
+			n.heartbeatNow()
 			n.sweep()
 			n.events.Refresh()
 		}
 	}
 }
 
-// buildAnnouncement assembles this node's full offer.
-func (n *Node) buildAnnouncement() *naming.Announcement {
+// buildRecords assembles this node's current offer from the engines and
+// service table.
+func (n *Node) buildRecords() []naming.Record {
 	recs := n.vars.Records()
 	recs = append(recs, n.events.Records()...)
 	recs = append(recs, n.rpc.Records()...)
@@ -578,21 +686,29 @@ func (n *Node) buildAnnouncement() *naming.Announcement {
 		}
 	}
 	n.mu.Unlock()
-	return &naming.Announcement{
+	return recs
+}
+
+// announceNow broadcasts the node's full offer and applies it locally so
+// local lookups resolve without a network round trip. The record log is
+// synchronized first so the announcement carries the right version.
+func (n *Node) announceNow() {
+	n.announceMu.Lock()
+	defer n.announceMu.Unlock()
+	recs := n.buildRecords()
+	// Update returns the current version whether or not anything changed.
+	_, _, _, version, _ := n.log.Update(recs)
+	ann := &naming.Announcement{
 		Node:    n.id,
 		Epoch:   n.epoch,
+		Version: version,
 		Load:    n.loadProbe(),
 		Records: recs,
 	}
-}
-
-// announceNow broadcasts the node's offer and applies it locally so local
-// lookups resolve without a network round trip.
-func (n *Node) announceNow() {
-	ann := n.buildAnnouncement()
 	n.dir.Apply(ann, time.Now())
 	payload, err := naming.EncodeAnnouncement(ann)
 	if err != nil {
+		n.disco.encodeErrors.Add(1)
 		return
 	}
 	frame := &protocol.Frame{
@@ -601,12 +717,109 @@ func (n *Node) announceNow() {
 		Seq:      n.NextSeq(),
 		Payload:  payload,
 	}
-	_ = n.SendGroup(fabric.DiscoveryGroup, frame)
+	if err := n.SendGroup(fabric.DiscoveryGroup, frame); err != nil {
+		n.disco.sendErrors.Add(1)
+		return
+	}
+	n.disco.fullSent.Add(1)
+}
+
+// OfferChanged implements fabric.Fabric: engines call it after any
+// registration or withdrawal. It signals the flush loop, which diffs the
+// offer against the versioned record log and multicasts the delta — new
+// resources become resolvable fleet-wide after one network hop instead of
+// one announce period. The signal channel holds one token, so a burst of
+// registrations (a service bringing up hundreds of resources in a loop)
+// coalesces into a handful of batched deltas instead of one frame each:
+// total wire cost stays O(records registered), and the bounded catch-up
+// history in the log covers far larger version gaps.
+func (n *Node) OfferChanged() {
+	select {
+	case n.offerDirty <- struct{}{}:
+	default: // a flush is already pending; it will pick this change up
+	}
+}
+
+// offerFlushLoop turns OfferChanged signals into delta broadcasts.
+func (n *Node) offerFlushLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-n.offerDirty:
+			n.flushOffer()
+		}
+	}
+}
+
+// flushOffer diffs the current offer against the record log and multicasts
+// one delta covering everything that changed since the previous flush.
+func (n *Node) flushOffer() {
+	n.announceMu.Lock()
+	defer n.announceMu.Unlock()
+	recs := n.buildRecords()
+	added, withdrawn, from, to, changed := n.log.Update(recs)
+	if !changed {
+		return
+	}
+	now := time.Now()
+	load := n.loadProbe()
+	// Local lookups must resolve without waiting for the multicast.
+	n.dir.Apply(&naming.Announcement{
+		Node: n.id, Epoch: n.epoch, Version: to, Load: load, Records: recs,
+	}, now)
+	payload, err := naming.EncodeDelta(&naming.Delta{
+		Node: n.id, Epoch: n.epoch, From: from, To: to, Load: load,
+		Added: added, Withdrawn: withdrawn,
+	})
+	if err != nil {
+		n.disco.encodeErrors.Add(1)
+		return
+	}
+	frame := &protocol.Frame{
+		Type:     protocol.MTAnnounceDelta,
+		Priority: qos.PriorityNormal,
+		Seq:      n.NextSeq(),
+		Payload:  payload,
+	}
+	if err := n.SendGroup(fabric.DiscoveryGroup, frame); err != nil {
+		n.disco.sendErrors.Add(1)
+		return
+	}
+	n.disco.deltasSent.Add(1)
+}
+
+// heartbeatNow multicasts the constant-size liveness digest.
+func (n *Node) heartbeatNow() {
+	payload, err := naming.EncodeDigest(&naming.Digest{
+		Node:        n.id,
+		Epoch:       n.epoch,
+		Version:     n.log.Version(),
+		Load:        n.loadProbe(),
+		RecordCount: uint32(n.log.Count()),
+	})
+	if err != nil {
+		n.disco.encodeErrors.Add(1)
+		return
+	}
+	frame := &protocol.Frame{
+		Type:     protocol.MTHeartbeat,
+		Priority: qos.PriorityNormal,
+		Seq:      n.NextSeq(),
+		Payload:  payload,
+	}
+	if err := n.SendGroup(fabric.DiscoveryGroup, frame); err != nil {
+		n.disco.sendErrors.Add(1)
+		return
+	}
+	n.disco.heartbeatsSent.Add(1)
 }
 
 func (n *Node) handleAnnounce(from transport.NodeID, f *protocol.Frame) {
 	ann, err := naming.DecodeAnnouncement(f.Payload)
 	if err != nil || ann.Node != from {
+		n.disco.malformed.Add(1)
 		return
 	}
 	if from == n.id {
@@ -615,6 +828,188 @@ func (n *Node) handleAnnounce(from transport.NodeID, f *protocol.Frame) {
 	now := time.Now()
 	n.live.Touch(from, now)
 	n.dir.Apply(ann, now)
+}
+
+func (n *Node) handleHeartbeat(from transport.NodeID, f *protocol.Frame) {
+	g, err := naming.DecodeDigest(f.Payload)
+	if err != nil || g.Node != from {
+		n.disco.malformed.Add(1)
+		return
+	}
+	if from == n.id {
+		return
+	}
+	n.disco.heartbeatsRecv.Add(1)
+	now := time.Now()
+	n.live.Touch(from, now)
+	if n.dir.ApplyDigest(g, now) {
+		n.requestSync(from)
+	}
+}
+
+func (n *Node) handleAnnounceDelta(from transport.NodeID, f *protocol.Frame) {
+	d, err := naming.DecodeDelta(f.Payload)
+	if err != nil || d.Node != from {
+		n.disco.malformed.Add(1)
+		return
+	}
+	if from == n.id {
+		return
+	}
+	n.disco.deltasRecv.Add(1)
+	now := time.Now()
+	n.live.Touch(from, now)
+	if n.dir.ApplyDelta(d, now) {
+		n.requestSync(from)
+	}
+}
+
+// requestSync asks a peer for its full record set, at most once per
+// announce period per peer: if the request or its reply is lost, the next
+// heartbeat re-detects the gap and retries.
+func (n *Node) requestSync(to transport.NodeID) {
+	n.disco.syncsTriggered.Add(1)
+	now := time.Now()
+	n.syncMu.Lock()
+	if at, ok := n.syncReqAt[to]; ok && now.Sub(at) < n.announcePeriod {
+		n.syncMu.Unlock()
+		return
+	}
+	n.syncReqAt[to] = now
+	n.syncMu.Unlock()
+	epoch, version, _ := n.dir.NodeVersion(to)
+	frame := &protocol.Frame{
+		Type:     protocol.MTSyncReq,
+		Priority: qos.PriorityHigh,
+		Seq:      n.NextSeq(),
+		Payload:  naming.EncodeSyncRequest(&naming.SyncRequest{KnownEpoch: epoch, KnownVersion: version}),
+	}
+	if err := n.SendBestEffort(to, frame); err != nil {
+		n.disco.sendErrors.Add(1)
+		return
+	}
+	n.disco.syncReqsSent.Add(1)
+}
+
+// syncFrameOverhead is headroom reserved for the frame header when sizing
+// sync chunks so each rides in a single datagram.
+const syncFrameOverhead = 64
+
+// syncDeltaMaxRecords bounds the catch-up-delta reply: a gap touching more
+// records than this is served as a chunked snapshot instead. Chunks ride
+// one per datagram with independent ARQ, so a single lost packet costs one
+// chunk retransmission — a multi-fragment mega-delta would fail whole.
+const syncDeltaMaxRecords = 64
+
+// maxConcurrentSyncServes caps full-state replies in flight per node. A
+// thundering herd of requesters (mass join, partition heal) is served in
+// rounds — the dropped requesters simply re-request on the next heartbeat —
+// instead of flooding the medium until every reply misses its ARQ budget
+// (congestion collapse).
+const maxConcurrentSyncServes = 4
+
+func (n *Node) handleSyncReq(from transport.NodeID, f *protocol.Frame) {
+	req, err := naming.DecodeSyncRequest(f.Payload)
+	if err != nil {
+		n.disco.malformed.Add(1)
+		return
+	}
+	if from == n.id {
+		return
+	}
+	n.live.Touch(from, time.Now())
+	// A requester only slightly behind in the current epoch gets a
+	// compact catch-up delta from the log history — O(gap) wire bytes —
+	// instead of the full chunked catalog. This keeps anti-entropy cheap
+	// under registration churn, when version gaps are routine.
+	if req.KnownEpoch == n.epoch {
+		if added, withdrawn, to, ok := n.log.DeltaSince(req.KnownVersion); ok &&
+			len(added)+len(withdrawn) <= syncDeltaMaxRecords {
+			if to == req.KnownVersion {
+				return // requester already current (racing digest)
+			}
+			payload, err := naming.EncodeDelta(&naming.Delta{
+				Node: n.id, Epoch: n.epoch, From: req.KnownVersion, To: to,
+				Load: n.loadProbe(), Added: added, Withdrawn: withdrawn,
+			})
+			if err != nil {
+				n.disco.encodeErrors.Add(1)
+				return
+			}
+			frame := &protocol.Frame{
+				Type:     protocol.MTAnnounceDelta,
+				Priority: qos.PriorityHigh,
+				Seq:      n.NextSeq(),
+				Payload:  payload,
+			}
+			n.SendReliable(from, frame, qos.ReliableARQ, func(err error) {
+				if err != nil {
+					n.disco.sendErrors.Add(1)
+				}
+			})
+			n.disco.syncReqsServed.Add(1)
+			n.disco.syncDeltaReplies.Add(1)
+			return
+		}
+	}
+	if n.syncServing.Add(1) > maxConcurrentSyncServes {
+		// At capacity: drop; the requester retries on its next heartbeat.
+		n.syncServing.Add(-1)
+		n.disco.syncReqsDropped.Add(1)
+		return
+	}
+	recs, version := n.log.Snapshot()
+	ann := &naming.Announcement{
+		Node: n.id, Epoch: n.epoch, Version: version,
+		Load: n.loadProbe(), Records: recs,
+	}
+	chunks, err := naming.EncodeSyncChunks(ann, n.mtu-syncFrameOverhead)
+	if err != nil {
+		n.syncServing.Add(-1)
+		n.disco.encodeErrors.Add(1)
+		return
+	}
+	var outstanding atomic.Int64
+	outstanding.Store(int64(len(chunks)))
+	for _, chunk := range chunks {
+		frame := &protocol.Frame{
+			Type:     protocol.MTSyncRep,
+			Priority: qos.PriorityHigh,
+			Seq:      n.NextSeq(),
+			Payload:  chunk,
+		}
+		n.SendReliable(from, frame, qos.ReliableARQ, func(err error) {
+			if err != nil {
+				n.disco.sendErrors.Add(1)
+			}
+			if outstanding.Add(-1) == 0 {
+				n.syncServing.Add(-1)
+			}
+		})
+	}
+	n.disco.syncReqsServed.Add(1)
+	n.disco.syncChunksSent.Add(uint64(len(chunks)))
+}
+
+func (n *Node) handleSyncRep(from transport.NodeID, f *protocol.Frame) {
+	c, err := naming.DecodeSyncChunk(f.Payload)
+	if err != nil || c.Node != from {
+		n.disco.malformed.Add(1)
+		return
+	}
+	if from == n.id {
+		return
+	}
+	n.syncMu.Lock()
+	ann := n.syncAsm.Offer(c)
+	n.syncMu.Unlock()
+	if ann == nil {
+		return
+	}
+	now := time.Now()
+	n.live.Touch(from, now)
+	n.dir.Apply(ann, now)
+	n.disco.syncApplied.Add(1)
 }
 
 func (n *Node) handleBye(from transport.NodeID) {
@@ -628,10 +1023,24 @@ func (n *Node) handleBye(from transport.NodeID) {
 // sweep detects failed peers and expired directory entries.
 func (n *Node) sweep() {
 	now := time.Now()
+	// The node's own records never expire: the old full-state announce
+	// re-applied them every tick; under digest beacons they are touched
+	// explicitly instead.
+	n.dir.TouchNode(n.id, now)
 	for _, node := range n.live.Sweep(now) {
 		n.peerGone(node)
 	}
+	// Records of live peers never expire out from under them: freshness
+	// follows liveness (any discovery frame), so a queue-delayed or
+	// version-skewed digest cannot purge a healthy node's catalog. The
+	// directory TTL remains as a backstop for nodes liveness has lost.
+	for _, node := range n.live.Peers() {
+		n.dir.TouchNode(node, now)
+	}
 	for _, node := range n.dir.Expire(now) {
+		if node == n.id {
+			continue
+		}
 		// TTL expiry of every record is failure-equivalent.
 		n.live.Forget(node)
 		n.peerGone(node)
@@ -643,6 +1052,10 @@ func (n *Node) sweep() {
 func (n *Node) peerGone(node transport.NodeID) {
 	n.dir.RemoveNode(node)
 	n.dedup.Forget(node)
+	n.syncMu.Lock()
+	n.syncAsm.Forget(node)
+	delete(n.syncReqAt, node)
+	n.syncMu.Unlock()
 	n.events.PeerGone(node)
 	n.files.PeerGone(node)
 	n.mu.Lock()
@@ -662,9 +1075,14 @@ func (n *Node) OnPeerFailed(cb func(transport.NodeID)) {
 	n.peerFailedCB = append(n.peerFailedCB, cb)
 }
 
-// AnnounceNow forces an immediate announcement (used by registration paths
-// and tests to shorten discovery latency).
+// AnnounceNow forces an immediate full-state announcement. Registration
+// paths announce incrementally on their own (OfferChanged); this remains
+// for tests and for operators who want a full refresh pushed out.
 func (n *Node) AnnounceNow() { n.announceNow() }
+
+// OfferVersion reports the node's current record-log version. Remote
+// directories citing the same version for this node hold its exact offer.
+func (n *Node) OfferVersion() uint64 { return n.log.Version() }
 
 // Peers lists peers currently believed alive.
 func (n *Node) Peers() []transport.NodeID { return n.live.Peers() }

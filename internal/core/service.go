@@ -214,7 +214,12 @@ func (n *Node) StartServices() error {
 		}
 		rt.setState(ServiceInitialized, nil)
 	}
-	// Resources registered during Init become visible before Start.
+	// Push one synchronous full-state announcement after the Init pass:
+	// resources registered during Init already announced incrementally,
+	// but announceNow also applies the whole offer (including the new
+	// service records) to the local directory before any Start callback
+	// runs, and gives peers one coalesced bulk push instead of relying on
+	// the async delta flusher mid-boot.
 	n.announceNow()
 
 	for _, name := range order {
@@ -272,7 +277,7 @@ func (n *Node) stopRuntime(rt *ServiceRuntime, cause error) error {
 		rt.setState(ServiceStopped, err)
 	}
 	// Tell the fleet this node's offer changed (§3 status notification).
-	n.announceNow()
+	n.OfferChanged()
 	return err
 }
 
@@ -376,7 +381,6 @@ func (c *Context) OfferVariable(name string, t *presentation.Type, q qos.Variabl
 		return nil, err
 	}
 	c.addCleanup(p.Close)
-	c.node.announceNow()
 	return p, nil
 }
 
@@ -408,7 +412,6 @@ func (c *Context) OfferEvent(topic string, t *presentation.Type, q qos.EventQoS)
 		return nil, err
 	}
 	c.addCleanup(p.Close)
-	c.node.announceNow()
 	return p, nil
 }
 
@@ -439,7 +442,6 @@ func (c *Context) RegisterFunction(name string, argType, retType *presentation.T
 		return err
 	}
 	c.addCleanup(func() { c.node.rpc.Unregister(name) })
-	c.node.announceNow()
 	return nil
 }
 
@@ -462,7 +464,6 @@ func (c *Context) OfferFile(name string, data []byte, q qos.TransferQoS) (*filet
 		return nil, err
 	}
 	c.addCleanup(o.Close)
-	c.node.announceNow()
 	return o, nil
 }
 

@@ -120,8 +120,8 @@ func (e *Engine) Offer(topic, service string, t *presentation.Type, q qos.EventQ
 	q = q.Normalize()
 	sh := e.shardOf(topic)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if _, dup := sh.pubs[topic]; dup {
+		sh.mu.Unlock()
 		return nil, fmt.Errorf("events: %q: %w", topic, ErrDuplicateName)
 	}
 	p := &Publisher{
@@ -137,6 +137,8 @@ func (e *Engine) Offer(topic, service string, t *presentation.Type, q qos.EventQ
 		p.replay = newReplayRing(replayDepth)
 	}
 	sh.pubs[topic] = p
+	sh.mu.Unlock()
+	e.f.OfferChanged()
 	return p, nil
 }
 
@@ -451,6 +453,7 @@ func (p *Publisher) Close() {
 	sh.mu.Lock()
 	delete(sh.pubs, p.topic)
 	sh.mu.Unlock()
+	p.engine.f.OfferChanged()
 }
 
 // Record returns the naming record for announcements.

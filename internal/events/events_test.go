@@ -23,6 +23,10 @@ type fakeFabric struct {
 	dir  *naming.Directory
 	seq  atomic.Uint64
 
+	// offerChanges counts OfferChanged notifications (the container would
+	// broadcast a discovery delta for each).
+	offerChanges atomic.Uint64
+
 	mu        sync.Mutex
 	reliable  []*protocol.Frame
 	reliantTo []transport.NodeID // destination of each reliable frame
@@ -45,6 +49,7 @@ func (f *fakeFabric) Self() transport.NodeID       { return f.self }
 func (f *fakeFabric) Encoding() encoding.Encoding  { return encoding.Binary{} }
 func (f *fakeFabric) Directory() *naming.Directory { return f.dir }
 func (f *fakeFabric) NextSeq() uint64              { return f.seq.Add(1) }
+func (f *fakeFabric) OfferChanged()                { f.offerChanges.Add(1) }
 func (f *fakeFabric) Schedule(_ qos.Priority, job func()) error {
 	job()
 	return nil

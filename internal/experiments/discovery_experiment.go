@@ -1,0 +1,322 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"uavmw/internal/core"
+	"uavmw/internal/naming"
+	"uavmw/internal/netsim"
+	"uavmw/internal/protocol"
+	"uavmw/internal/qos"
+	"uavmw/internal/transport"
+)
+
+// E12Result measures the discovery plane's steady-state wire cost and its
+// registration-to-resolvable latency. The incremental protocol's claim:
+// steady-state bytes per period scale with the node count (constant-size
+// digests), not with the total record count, while the old full-state
+// protocol re-broadcast every record every period.
+type E12Result struct {
+	Nodes          int
+	RecordsPerNode int
+	AnnouncePeriod time.Duration
+
+	// SteadyBytesPerPeriod / SteadyPacketsPerPeriod are the measured
+	// discovery wire cost per announce period once the fleet is
+	// converged (heartbeat digests only).
+	SteadyBytesPerPeriod   float64
+	SteadyPacketsPerPeriod float64
+	// BaselineBytesPerPeriod is the same fleet re-broadcasting its full
+	// record set once per period — the pre-refactor protocol, measured
+	// over the same wire.
+	BaselineBytesPerPeriod float64
+	// Converge is the latency from offering one new variable on a node
+	// to it being resolvable on the farthest other node.
+	Converge time.Duration
+}
+
+// e12Fn names one synthetic function registration.
+func e12Fn(node transport.NodeID, i int) string {
+	return fmt.Sprintf("fn.%s.%04d", node, i)
+}
+
+// buildE12Fleet spins up n converged nodes each offering records functions.
+func buildE12Fleet(net *netsim.Net, n, records int, period time.Duration) ([]*core.Node, error) {
+	nodes := make([]*core.Node, n)
+	for i := range nodes {
+		ep, err := net.Node(transport.NodeID(fmt.Sprintf("n%03d", i)))
+		if err != nil {
+			return nil, err
+		}
+		// The ARQ retransmit timer must exceed the fleet's worst-case
+		// processing backlog: an over-aggressive timer turns transient
+		// queueing into a retransmission storm that feeds the queue.
+		// Generous failure deadline and TTL: the benchmark drives the
+		// simulated medium at tens of thousands of deliveries per
+		// second on shared (possibly single-core) hosts, so wall-clock
+		// liveness must tolerate simulation backlog; E12 measures wire
+		// cost and convergence, not failover.
+		// 60 periods: the staggered full-state bootstrap can starve a
+		// node's beacon processing for tens of seconds on a single-core
+		// host, and a liveness flap firing after that starvation would
+		// purge catalogs mid-measurement and flood the wire with
+		// re-syncs.
+		failureDeadline := 3 * time.Second
+		if d := 60 * period; d > failureDeadline {
+			failureDeadline = d
+		}
+		if nodes[i], err = core.NewNode(
+			core.WithDatagram(ep),
+			core.WithAnnouncePeriod(period),
+			core.WithFailureDeadline(failureDeadline),
+			core.WithDirectoryTTL(2*failureDeadline),
+			core.WithARQ(protocol.WithTimeout(20*time.Millisecond), protocol.WithMaxRetries(12)),
+		); err != nil {
+			return nil, err
+		}
+	}
+	handler := func(any) (any, error) { return nil, nil }
+	for _, node := range nodes {
+		for i := 0; i < records; i++ {
+			if err := node.RPC().Register(e12Fn(node.ID(), i), "bench", nil, nil,
+				qos.CallQoS{}, handler); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Bootstrap with full-state multicasts — what a container does after
+	// bulk service registration (StartServices) — so a mass join costs
+	// O(nodes) multicasts per round instead of O(nodes²) unicast snapshot
+	// transfers. Staggered, as real fleets boot: a synchronized burst of
+	// n full catalogs would monopolize the medium and starve the liveness
+	// beacons behind it. Nodes some peer still lags on re-announce each
+	// round; anti-entropy sync covers residual gaps.
+	//
+	// Converged: every node holds every other node's full catalog — its
+	// cached log version matches the offerer's own current version (an
+	// O(1) check per pair; burst registrations coalesce into batched
+	// deltas, so the version count is not the registration count).
+	stagger := period / 8
+	if stagger < 25*time.Millisecond {
+		stagger = 25 * time.Millisecond
+	}
+	deadline := time.Now().Add(5 * time.Minute)
+	lagging := append([]*core.Node(nil), nodes...)
+	for {
+		for _, node := range lagging {
+			node.AnnounceNow()
+			time.Sleep(stagger)
+		}
+		settle := time.Now().Add(10 * period)
+		for {
+			lagging = nil
+			for _, b := range nodes {
+				for _, a := range nodes {
+					if a == b {
+						continue
+					}
+					if _, ver, known := a.Directory().NodeVersion(b.ID()); !known || ver != b.OfferVersion() {
+						lagging = append(lagging, b)
+						break
+					}
+				}
+			}
+			if len(lagging) == 0 {
+				return nodes, nil
+			}
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("e12: fleet never converged (%d nodes still lagging)", len(lagging))
+			}
+			if time.Now().After(settle) {
+				break // next announce round for the stragglers
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+}
+
+// e12Period picks the beacon period for a fleet size: larger fleets beacon
+// less often, as real deployments do — and as the in-process simulation
+// requires (64 containers, their schedulers and the netsim medium all
+// timeshare the host, possibly a single core) to stay within its delivery
+// throughput. Wire cost per period and convergence-vs-period contrast are
+// unaffected by the absolute period.
+func e12Period(nodes int) time.Duration {
+	if nodes >= 32 {
+		return time.Second
+	}
+	return 50 * time.Millisecond
+}
+
+// RunE12 measures steady-state discovery wire cost (digest heartbeats vs
+// full-state re-broadcast) and post-registration convergence latency on a
+// fleet of nodes × recordsPerNode.
+func RunE12(nodes, recordsPerNode int, seed int64) (*E12Result, error) {
+	period := e12Period(nodes)
+	res := &E12Result{Nodes: nodes, RecordsPerNode: recordsPerNode, AnnouncePeriod: period}
+
+	net := netsim.New(netsim.Config{Seed: seed, Latency: 200 * time.Microsecond})
+	defer net.Close()
+	fleet, err := buildE12Fleet(net, nodes, recordsPerNode, period)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, n := range fleet {
+			_ = n.Close()
+		}
+	}()
+
+	// Let the tail of the registration storm (residual sync repairs, ARQ
+	// retransmissions) drain before measuring: steady state is reached
+	// when several consecutive periods carry approximately the heartbeat
+	// digests alone.
+	quiesce := time.Now().Add(3 * time.Minute)
+	quiet := 0
+	for quiet < 3 {
+		net.ResetWireStats()
+		time.Sleep(period)
+		pkts, _, _ := net.WireStats()
+		if pkts <= uint64(nodes+2) {
+			quiet++
+		} else {
+			quiet = 0
+		}
+		if time.Now().After(quiesce) {
+			return nil, fmt.Errorf("e12: traffic never quiesced (%d pkts/period)", pkts)
+		}
+	}
+
+	// Steady state: only heartbeat digests should cross the wire.
+	const steadyPeriods = 6
+	net.ResetWireStats()
+	time.Sleep(steadyPeriods * period)
+	packets, bytes, _ := net.WireStats()
+	res.SteadyBytesPerPeriod = float64(bytes) / steadyPeriods
+	res.SteadyPacketsPerPeriod = float64(packets) / steadyPeriods
+
+	// Convergence: a brand-new offer must be resolvable fleet-wide in
+	// well under one announce period (one delta hop, no beacon wait).
+	// Median of several probes: a single probe can land on a residual
+	// post-bootstrap repair cycle and measure anti-entropy instead.
+	last := fleet[len(fleet)-1]
+	var probes []time.Duration
+	for p := 0; p < 3; p++ {
+		name := fmt.Sprintf("fn.fresh.%d", p)
+		start := time.Now()
+		if err := fleet[0].RPC().Register(name, "bench", nil, nil,
+			qos.CallQoS{}, func(any) (any, error) { return nil, nil }); err != nil {
+			return nil, err
+		}
+		for last.Directory().ProviderCount(naming.KindFunction, name) == 0 {
+			if time.Since(start) > 60*time.Second {
+				return nil, fmt.Errorf("e12: fresh offer never converged")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		probes = append(probes, time.Since(start))
+		time.Sleep(2 * period) // let any repair triggered by the probe settle
+	}
+	sort.Slice(probes, func(i, j int) bool { return probes[i] < probes[j] })
+	res.Converge = probes[len(probes)/2]
+
+	// Baseline last (it floods the simulated wire with megabytes of
+	// full-state fragments, which would pollute the other measurements):
+	// the old protocol's full-state broadcast, one per node per period,
+	// measured over the same wire (AnnounceNow still emits the
+	// pre-refactor MTAnnounce).
+	const baselineRounds = 2
+	net.ResetWireStats()
+	for round := 0; round < baselineRounds; round++ {
+		for _, n := range fleet {
+			n.AnnounceNow()
+		}
+	}
+	_, bytes, _ = net.WireStats()
+	res.BaselineBytesPerPeriod = float64(bytes) / baselineRounds
+	return res, nil
+}
+
+// E12ChurnResult measures re-convergence after a partition heals: a node
+// cut off from the fleet misses registrations, then pulls the full state
+// through anti-entropy sync once the partition heals.
+type E12ChurnResult struct {
+	Nodes           int
+	RecordsPerNode  int
+	MissedOffers    int
+	AnnouncePeriod  time.Duration
+	HealConverge    time.Duration // heal -> partitioned node fully caught up
+	SyncsUsed       uint64        // anti-entropy requests the healed node issued
+	HeartbeatsAfter uint64        // heartbeats it took to detect the gap
+}
+
+// RunE12Churn partitions one node away, registers offers it cannot see,
+// heals, and times full re-convergence of the survivor.
+func RunE12Churn(nodes, recordsPerNode, missedOffers int, seed int64) (*E12ChurnResult, error) {
+	period := e12Period(nodes)
+	res := &E12ChurnResult{
+		Nodes: nodes, RecordsPerNode: recordsPerNode,
+		MissedOffers: missedOffers, AnnouncePeriod: period,
+	}
+	net := netsim.New(netsim.Config{Seed: seed, Latency: 200 * time.Microsecond})
+	defer net.Close()
+	fleet, err := buildE12Fleet(net, nodes, recordsPerNode, period)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, n := range fleet {
+			_ = n.Close()
+		}
+	}()
+
+	// Cut the last node off from the first (the registration source);
+	// keep the failure detector quiet so the heal exercises version-gap
+	// repair rather than a rejoin from scratch.
+	src, cut := fleet[0], fleet[len(fleet)-1]
+	net.Partition(src.ID(), cut.ID())
+	handler := func(any) (any, error) { return nil, nil }
+	for i := 0; i < missedOffers; i++ {
+		if err := src.RPC().Register(fmt.Sprintf("fn.churn.%04d", i), "bench", nil, nil,
+			qos.CallQoS{}, handler); err != nil {
+			return nil, err
+		}
+	}
+	// Wait until the (coalesced) registration deltas have actually been
+	// broadcast and applied by a connected peer — otherwise the flush
+	// could land after the heal and reach the cut node directly, and the
+	// scenario would not exercise gap repair at all.
+	witness := fleet[1]
+	settleDeadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, ver, known := witness.Directory().NodeVersion(src.ID()); known && ver == src.OfferVersion() &&
+			witness.Directory().NodeRecordCount(src.ID()) == recordsPerNode+missedOffers {
+			break
+		}
+		if time.Now().After(settleDeadline) {
+			return nil, fmt.Errorf("e12 churn: partition-time offers never reached the survivors")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	statsBefore := cut.DiscoveryStats()
+
+	net.Heal(src.ID(), cut.ID())
+	healed := time.Now()
+	for {
+		if _, ver, known := cut.Directory().NodeVersion(src.ID()); known && ver == src.OfferVersion() &&
+			cut.Directory().NodeRecordCount(src.ID()) == recordsPerNode+missedOffers {
+			break
+		}
+		if time.Since(healed) > 30*time.Second {
+			return nil, fmt.Errorf("e12 churn: healed node never re-converged")
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	res.HealConverge = time.Since(healed)
+	statsAfter := cut.DiscoveryStats()
+	res.SyncsUsed = statsAfter.SyncRequestsSent - statsBefore.SyncRequestsSent
+	res.HeartbeatsAfter = statsAfter.HeartbeatsReceived - statsBefore.HeartbeatsReceived
+	return res, nil
+}

@@ -125,8 +125,8 @@ func RunE1(n, payloadBytes int) (*E1Result, error) {
 		func(any) (any, error) { return nil, nil }); err != nil {
 		return nil, err
 	}
-	pub.AnnounceNow()
-	sub.AnnounceNow()
+	// Registrations announce incrementally on their own; just wait for
+	// the subscription handshake.
 	deadline := time.Now().Add(5 * time.Second)
 	for len(evtPub.Subscribers()) == 0 {
 		if time.Now().After(deadline) {
@@ -341,8 +341,9 @@ func RunE3(subscribers, samples int) (*E3Result, error) {
 	run := func(delivery qos.Delivery) (uint64, uint64, error) {
 		net := netsim.New(netsim.Config{Seed: 4, Latency: 200 * time.Microsecond})
 		defer net.Close()
-		// A long announce period keeps discovery chatter out of the
-		// measured window; discovery is driven by explicit AnnounceNow.
+		// A long announce period keeps heartbeat chatter out of the
+		// measured window; discovery itself is incremental (deltas fire
+		// on registration), so no explicit announcement is needed.
 		mk := func(id transport.NodeID) (*core.Node, error) {
 			ep, err := net.Node(id)
 			if err != nil {
@@ -372,7 +373,6 @@ func RunE3(subscribers, samples int) (*E3Result, error) {
 		if err != nil {
 			return 0, 0, err
 		}
-		pub.AnnounceNow()
 		var delivered atomic.Int64
 		for _, n := range nodes {
 			if err := waitProviders(n, kindEvent, "e3.evt", 1, 5*time.Second); err != nil {
@@ -489,7 +489,6 @@ func RunE4(fileBytes, receivers int, loss float64, seed int64) (*E4Result, error
 			cleanup()
 			return nil, err
 		}
-		pub.AnnounceNow()
 		for _, s := range subs {
 			if err := waitProviders(s, kindFile, "e4.file", 1, 5*time.Second); err != nil {
 				cleanup()
@@ -547,7 +546,6 @@ func RunE4(fileBytes, receivers int, loss float64, seed int64) (*E4Result, error
 			done chan struct{}
 		}
 		states := make([]*recvState, receivers)
-		pub.AnnounceNow()
 		for i, s := range subs {
 			st := &recvState{done: make(chan struct{})}
 			states[i] = st
@@ -619,7 +617,6 @@ func RunE5(fileBytes, iters int) (*E5Result, error) {
 	if _, err := local.Files().Offer("e5.file", "bench", data, qos.TransferQoS{}); err != nil {
 		return nil, err
 	}
-	local.AnnounceNow()
 	if err := waitProviders(remote, kindFile, "e5.file", 1, 5*time.Second); err != nil {
 		return nil, err
 	}
@@ -740,7 +737,6 @@ func RunE7(failureDeadline time.Duration) (*E7Result, error) {
 			func(any) (any, error) { return id, nil }); err != nil {
 			return nil, err
 		}
-		n.AnnounceNow()
 	}
 	if err := waitProviders(client, kindFunction, "e7.fn", 2, 5*time.Second); err != nil {
 		return nil, err

@@ -78,6 +78,39 @@ func TestRunE11HedgingRescuesStalledPin(t *testing.T) {
 	}
 }
 
+func TestRunE12DeltaDiscoveryBeatsFullBroadcast(t *testing.T) {
+	res, err := RunE12(4, 25, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SteadyBytesPerPeriod <= 0 {
+		t.Fatal("no steady-state discovery traffic measured")
+	}
+	// The tentpole property: steady-state discovery is constant-size
+	// digests, far cheaper than re-broadcasting 4×25 records per period.
+	if res.BaselineBytesPerPeriod < 2*res.SteadyBytesPerPeriod {
+		t.Errorf("full-state baseline %.0f B/period not clearly above steady %.0f B/period",
+			res.BaselineBytesPerPeriod, res.SteadyBytesPerPeriod)
+	}
+	// A new offer must be resolvable well under one announce period.
+	if res.Converge >= res.AnnouncePeriod {
+		t.Errorf("new offer converged in %v, want under the %v period", res.Converge, res.AnnouncePeriod)
+	}
+}
+
+func TestRunE12ChurnHealsViaSync(t *testing.T) {
+	res, err := RunE12Churn(3, 10, 20, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SyncsUsed == 0 {
+		t.Error("heal did not use anti-entropy sync")
+	}
+	if res.HealConverge > 10*res.AnnouncePeriod {
+		t.Errorf("heal took %v, want within ~10 beacon periods", res.HealConverge)
+	}
+}
+
 func TestRunE5LocalBypassIsCheaper(t *testing.T) {
 	res, err := RunE5(32<<10, 20)
 	if err != nil {

@@ -64,7 +64,7 @@ func RunE11(callers, callsPerCaller int, hedged bool, loss float64, slowDelay ti
 		}
 		return core.NewNode(
 			core.WithDatagram(ep),
-			core.WithAnnouncePeriod(2*time.Second), // discovery via explicit AnnounceNow
+			core.WithAnnouncePeriod(2*time.Second), // deltas announce registrations; heartbeats stay out of the way
 			core.WithARQ(protocol.WithTimeout(4*time.Millisecond), protocol.WithMaxRetries(15)),
 		)
 	}
@@ -98,9 +98,6 @@ func RunE11(callers, callsPerCaller int, hedged bool, loss float64, slowDelay ti
 		func(any) (any, error) { return "b-fast", nil }); err != nil {
 		return nil, err
 	}
-	slow.AnnounceNow()
-	fast.AnnounceNow()
-	client.AnnounceNow()
 	if err := waitProviders(client, kindFunction, "e11.fn", 2, 5*time.Second); err != nil {
 		return nil, err
 	}

@@ -49,6 +49,12 @@ type Fabric interface {
 	Join(group string) error
 	// Leave unsubscribes the node from a multicast group.
 	Leave(group string) error
+	// OfferChanged tells the container the local resource offer changed
+	// (a registration or withdrawal). The container diffs the offer
+	// against its versioned record log and multicasts an incremental
+	// announcement immediately, so discovery latency is one network hop
+	// rather than one announce period (§3 name management).
+	OfferChanged()
 }
 
 // Group naming scheme shared by engines and the container.

@@ -139,6 +139,7 @@ func (e *Engine) Offer(name, service string, data []byte, q qos.TransferQoS) (*O
 	o.install(1, data)
 	e.offers[name] = o
 	e.mu.Unlock()
+	e.f.OfferChanged()
 	return o, nil
 }
 
@@ -257,6 +258,7 @@ func (o *Offer) Close() {
 	o.engine.mu.Lock()
 	delete(o.engine.offers, o.name)
 	o.engine.mu.Unlock()
+	o.engine.f.OfferChanged()
 }
 
 func (o *Offer) kick() {

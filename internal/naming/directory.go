@@ -12,26 +12,30 @@ import (
 )
 
 // Directory is the per-container proxy cache of name bindings (§3). It is
-// fed by announcements, aged by TTL, purged on failure notifications, and
-// queried by the primitives to resolve names to provider nodes.
+// fed by full announcements, incremental deltas and heartbeat digests, aged
+// by TTL, purged on failure notifications, and queried by the primitives to
+// resolve names to provider nodes.
+//
+// Freshness is tracked per node, not per record: every discovery message a
+// node emits covers its whole offer (a digest vouches for all of it, a
+// delta advances all of it), so one expiry instant per node suffices and a
+// constant-size heartbeat refreshes a thousand cached records in O(1).
 type Directory struct {
 	ttl time.Duration
 
-	mu      sync.Mutex
-	entries map[dirKey]map[transport.NodeID]*dirEntry
-	epochs  map[transport.NodeID]uint64
-	loads   map[transport.NodeID]float64
-	rr      map[dirKey]uint64 // round-robin cursors
+	mu       sync.Mutex
+	entries  map[dirKey]map[transport.NodeID]Record
+	byNode   map[transport.NodeID]map[dirKey]struct{} // per-node key index
+	epochs   map[transport.NodeID]uint64
+	versions map[transport.NodeID]uint64    // record-log version per node
+	expiries map[transport.NodeID]time.Time // per-node freshness deadline
+	loads    map[transport.NodeID]float64
+	rr       map[dirKey]uint64 // round-robin cursors
 }
 
 type dirKey struct {
 	kind Kind
 	name string
-}
-
-type dirEntry struct {
-	rec     Record
-	expires time.Time
 }
 
 // DefaultTTL is how long a cached binding survives without refresh. It must
@@ -54,49 +58,63 @@ func NewDirectory(ttl time.Duration) *Directory {
 		ttl = DefaultTTL
 	}
 	return &Directory{
-		ttl:     ttl,
-		entries: make(map[dirKey]map[transport.NodeID]*dirEntry),
-		epochs:  make(map[transport.NodeID]uint64),
-		loads:   make(map[transport.NodeID]float64),
-		rr:      make(map[dirKey]uint64),
+		ttl:      ttl,
+		entries:  make(map[dirKey]map[transport.NodeID]Record),
+		byNode:   make(map[transport.NodeID]map[dirKey]struct{}),
+		epochs:   make(map[transport.NodeID]uint64),
+		versions: make(map[transport.NodeID]uint64),
+		expiries: make(map[transport.NodeID]time.Time),
+		loads:    make(map[transport.NodeID]float64),
+		rr:       make(map[dirKey]uint64),
 	}
 }
 
-// Apply ingests an announcement: it refreshes the node's records, removes
-// records the node no longer offers, and rejects stale epochs. It reports
-// whether anything changed.
+// Apply ingests a full-state announcement: it refreshes the node's records,
+// removes records the node no longer offers, rejects stale epochs, and
+// records the announced log version. It reports whether anything changed.
 func (d *Directory) Apply(a *Announcement, now time.Time) bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if prev, ok := d.epochs[a.Node]; ok && a.Epoch < prev {
 		return false // stale incarnation
 	}
+	if prev, ok := d.epochs[a.Node]; ok && a.Epoch == prev {
+		// Same-epoch versions are monotonic: a delayed sync snapshot or
+		// re-broadcast from an older version must not roll back records
+		// registered since (it would delete them until the next
+		// anti-entropy round noticed).
+		if ver, known := d.versions[a.Node]; known && a.Version < ver {
+			return false
+		}
+	}
 	d.epochs[a.Node] = a.Epoch
+	d.versions[a.Node] = a.Version
 	d.loads[a.Node] = a.Load
+	d.expiries[a.Node] = now.Add(d.ttl)
 
-	offered := make(map[dirKey]bool, len(a.Records))
+	offered := make(map[dirKey]struct{}, len(a.Records))
 	changed := false
-	expires := now.Add(d.ttl)
 	for _, rec := range a.Records {
 		key := dirKey{kind: rec.Kind, name: rec.Name}
-		offered[key] = true
+		offered[key] = struct{}{}
 		nodeMap := d.entries[key]
 		if nodeMap == nil {
-			nodeMap = make(map[transport.NodeID]*dirEntry)
+			nodeMap = make(map[transport.NodeID]Record)
 			d.entries[key] = nodeMap
 		}
 		prev, exists := nodeMap[a.Node]
-		if !exists || prev.rec != rec {
+		if !exists || prev != rec {
 			changed = true
 		}
-		nodeMap[a.Node] = &dirEntry{rec: rec, expires: expires}
+		nodeMap[a.Node] = rec
 	}
 	// Drop records this node previously offered but no longer announces.
-	for key, nodeMap := range d.entries {
-		if offered[key] {
+	// The per-node index makes this O(node's records), not O(directory).
+	for key := range d.byNode[a.Node] {
+		if _, still := offered[key]; still {
 			continue
 		}
-		if _, had := nodeMap[a.Node]; had {
+		if nodeMap := d.entries[key]; nodeMap != nil {
 			delete(nodeMap, a.Node)
 			changed = true
 			if len(nodeMap) == 0 {
@@ -104,7 +122,139 @@ func (d *Directory) Apply(a *Announcement, now time.Time) bool {
 			}
 		}
 	}
+	d.byNode[a.Node] = offered
 	return changed
+}
+
+// ApplyDelta ingests an incremental announcement. It applies cleanly only
+// when the receiver's cached state for the node is exactly the delta's base
+// version (or the node is brand new in this epoch and the delta starts from
+// version zero). It reports whether a full anti-entropy sync is needed:
+// true on a version gap, an unknown node mid-history, or a fresh epoch that
+// the delta alone cannot reconstruct.
+func (d *Directory) ApplyDelta(dl *Delta, now time.Time) (needSync bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	prevEpoch, epochKnown := d.epochs[dl.Node]
+	if epochKnown && dl.Epoch < prevEpoch {
+		return false // stale incarnation
+	}
+	ver, verKnown := d.versions[dl.Node]
+	baseline := epochKnown && verKnown && dl.Epoch == prevEpoch
+	if !baseline {
+		if dl.From != 0 {
+			return true // joined mid-history: need the full set
+		}
+		// A node's first registrations (version 0 → N) are self-contained:
+		// apply them as the complete offer. A fresh epoch resets any state
+		// left from the previous incarnation.
+		d.purgeNodeLocked(dl.Node)
+	} else {
+		if dl.To <= ver {
+			// Duplicate or reordered old delta; current state is newer.
+			d.loads[dl.Node] = dl.Load
+			d.expiries[dl.Node] = now.Add(d.ttl)
+			return false
+		}
+		if dl.From != ver {
+			// Gap: a delta in between was lost. The node is alive and
+			// its cached records are mostly right, so refresh their
+			// freshness — the version skew is repaired by sync, not by
+			// letting the cache rot and purging a live node.
+			d.expiries[dl.Node] = now.Add(d.ttl)
+			return true
+		}
+	}
+	index := d.byNode[dl.Node]
+	if index == nil {
+		index = make(map[dirKey]struct{}, len(dl.Added))
+		d.byNode[dl.Node] = index
+	}
+	for _, rec := range dl.Added {
+		key := dirKey{kind: rec.Kind, name: rec.Name}
+		nodeMap := d.entries[key]
+		if nodeMap == nil {
+			nodeMap = make(map[transport.NodeID]Record)
+			d.entries[key] = nodeMap
+		}
+		nodeMap[dl.Node] = rec
+		index[key] = struct{}{}
+	}
+	for _, k := range dl.Withdrawn {
+		key := dirKey{kind: k.Kind, name: k.Name}
+		if nodeMap := d.entries[key]; nodeMap != nil {
+			delete(nodeMap, dl.Node)
+			if len(nodeMap) == 0 {
+				delete(d.entries, key)
+			}
+		}
+		delete(index, key)
+	}
+	d.epochs[dl.Node] = dl.Epoch
+	d.versions[dl.Node] = dl.To
+	d.loads[dl.Node] = dl.Load
+	d.expiries[dl.Node] = now.Add(d.ttl)
+	return false
+}
+
+// ApplyDigest ingests a constant-size heartbeat. A matching digest
+// refreshes the freshness deadline of every cached record of the node in
+// O(1); a mismatch — unknown node with a non-empty offer, version gap, or
+// fresh epoch — reports that a full sync is needed. The load figure is
+// taken either way.
+func (d *Directory) ApplyDigest(g *Digest, now time.Time) (needSync bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	prevEpoch, epochKnown := d.epochs[g.Node]
+	if epochKnown && g.Epoch < prevEpoch {
+		return false // stale incarnation
+	}
+	d.loads[g.Node] = g.Load
+	ver, verKnown := d.versions[g.Node]
+	if epochKnown && verKnown && g.Epoch == prevEpoch && g.Version == ver {
+		d.expiries[g.Node] = now.Add(d.ttl)
+		return false
+	}
+	if g.Version == 0 {
+		// The node offers nothing (and never has in this epoch): there is
+		// nothing to pull. Record the baseline so its first delta applies.
+		d.purgeNodeLocked(g.Node)
+		d.epochs[g.Node] = g.Epoch
+		d.versions[g.Node] = 0
+		d.expiries[g.Node] = now.Add(d.ttl)
+		return false
+	}
+	// Version skew with a live node: keep whatever is cached fresh while
+	// the sync repairs it — purging a live node's records over a lost
+	// delta would thrash the whole plane under churn.
+	if verKnown {
+		d.expiries[g.Node] = now.Add(d.ttl)
+	}
+	return true
+}
+
+// TouchNode refreshes the freshness deadline of every record cached for
+// node (the effect of a matching heartbeat digest).
+func (d *Directory) TouchNode(node transport.NodeID, now time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.expiries[node] = now.Add(d.ttl)
+}
+
+// NodeVersion reports the cached (epoch, record-log version) for node.
+func (d *Directory) NodeVersion(node transport.NodeID) (epoch, version uint64, known bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	version, known = d.versions[node]
+	return d.epochs[node], version, known
+}
+
+// NodeRecordCount reports how many records are cached for node (used to
+// cross-check digests and in convergence tests).
+func (d *Directory) NodeRecordCount(node transport.NodeID) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.byNode[node])
 }
 
 // RemoveNode purges every binding of a failed or departed node (§3: "In
@@ -114,36 +264,39 @@ func (d *Directory) RemoveNode(node transport.NodeID) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	delete(d.loads, node)
-	for key, nodeMap := range d.entries {
-		if _, had := nodeMap[node]; had {
+	// Dropping the cached version forces a full sync if the node is heard
+	// from again: the purged record set no longer matches any version.
+	delete(d.versions, node)
+	delete(d.expiries, node)
+	d.purgeNodeLocked(node)
+}
+
+func (d *Directory) purgeNodeLocked(node transport.NodeID) {
+	for key := range d.byNode[node] {
+		if nodeMap := d.entries[key]; nodeMap != nil {
 			delete(nodeMap, node)
 			if len(nodeMap) == 0 {
 				delete(d.entries, key)
 			}
 		}
 	}
+	delete(d.byNode, node)
 }
 
-// Expire drops entries not refreshed within the TTL, returning the nodes
-// that lost their last record (candidates for failure handling).
+// Expire drops every record of nodes whose freshness deadline passed,
+// returning those nodes (candidates for failure handling). The purged
+// version forces a full sync if an expired node is heard from again.
 func (d *Directory) Expire(now time.Time) []transport.NodeID {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	stale := make(map[transport.NodeID]bool)
-	for key, nodeMap := range d.entries {
-		for node, e := range nodeMap {
-			if now.After(e.expires) {
-				delete(nodeMap, node)
-				stale[node] = true
-			}
+	var out []transport.NodeID
+	for node, deadline := range d.expiries {
+		if now.After(deadline) {
+			delete(d.expiries, node)
+			delete(d.versions, node)
+			d.purgeNodeLocked(node)
+			out = append(out, node)
 		}
-		if len(nodeMap) == 0 {
-			delete(d.entries, key)
-		}
-	}
-	out := make([]transport.NodeID, 0, len(stale))
-	for node := range stale {
-		out = append(out, node)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -156,8 +309,8 @@ func (d *Directory) Lookup(kind Kind, name string) []Record {
 	defer d.mu.Unlock()
 	nodeMap := d.entries[dirKey{kind: kind, name: name}]
 	out := make([]Record, 0, len(nodeMap))
-	for _, e := range nodeMap {
-		out = append(out, e.rec)
+	for _, rec := range nodeMap {
+		out = append(out, rec)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
 	return out
@@ -201,8 +354,8 @@ func (d *Directory) Select(kind Kind, name string, binding qos.Binding, pinned t
 		return Record{}, fmt.Errorf("naming: %v %q: %w", kind, name, ErrNotFound)
 	}
 	if binding == qos.BindStatic && pinned != "" {
-		if e, alive := nodeMap[pinned]; alive {
-			return e.rec, nil
+		if rec, alive := nodeMap[pinned]; alive {
+			return rec, nil
 		}
 		// Fall through: redundancy failover even for static binding.
 	}
@@ -215,7 +368,7 @@ func (d *Directory) Select(kind Kind, name string, binding qos.Binding, pinned t
 
 	if binding == qos.BindStatic {
 		// New pin: lowest node id for stability across containers.
-		return nodeMap[nodes[0]].rec, nil
+		return nodeMap[nodes[0]], nil
 	}
 
 	// Dynamic: restrict to near-least-loaded, then round-robin.
@@ -234,7 +387,7 @@ func (d *Directory) Select(kind Kind, name string, binding qos.Binding, pinned t
 	cursor := d.rr[key]
 	d.rr[key] = cursor + 1
 	chosen := candidates[cursor%uint64(len(candidates))]
-	return nodeMap[chosen].rec, nil
+	return nodeMap[chosen], nil
 }
 
 // ProviderCount reports the number of live providers for a name.

@@ -72,6 +72,10 @@ type Announcement struct {
 	// Epoch increments each container restart so stale records from a
 	// previous incarnation lose to fresh ones.
 	Epoch uint64
+	// Version is the node's record-log version this offer corresponds to
+	// (see Log). Receivers store it so later deltas and heartbeat digests
+	// can be checked for gaps.
+	Version uint64
 	// Load is a normalized utilization figure in [0,1] used by dynamic
 	// call binding.
 	Load float64
@@ -82,7 +86,7 @@ type Announcement struct {
 // ErrBadAnnouncement tags decode failures.
 var ErrBadAnnouncement = errors.New("bad announcement")
 
-const announceVersion = 1
+const announceVersion = 2
 
 // EncodeAnnouncement serializes a.
 func EncodeAnnouncement(a *Announcement) ([]byte, error) {
@@ -93,22 +97,56 @@ func EncodeAnnouncement(a *Announcement) ([]byte, error) {
 	w.Uint8(announceVersion)
 	w.String(string(a.Node))
 	w.Uint64(a.Epoch)
+	w.Uint64(a.Version)
 	w.Float64(a.Load)
 	w.Uint32(uint32(len(a.Records)))
 	for i, rec := range a.Records {
-		if !rec.Kind.Valid() {
-			return nil, fmt.Errorf("naming: record %d kind %d: %w", i, rec.Kind, ErrBadAnnouncement)
+		if err := encodeRecord(w, rec); err != nil {
+			return nil, fmt.Errorf("naming: record %d: %w", i, err)
 		}
-		if rec.Name == "" {
-			return nil, fmt.Errorf("naming: record %d unnamed: %w", i, ErrBadAnnouncement)
-		}
-		w.Uint8(uint8(rec.Kind))
-		w.String(rec.Name)
-		w.String(rec.Service)
-		w.String(rec.TypeSig)
-		w.String(rec.ArgSig)
 	}
 	return w.Bytes(), nil
+}
+
+// encodeRecord writes one record body (everything but the provider node,
+// which travels once in the enclosing message header).
+func encodeRecord(w *encoding.Writer, rec Record) error {
+	if !rec.Kind.Valid() {
+		return fmt.Errorf("kind %d: %w", rec.Kind, ErrBadAnnouncement)
+	}
+	if rec.Name == "" {
+		return fmt.Errorf("unnamed: %w", ErrBadAnnouncement)
+	}
+	w.Uint8(uint8(rec.Kind))
+	w.String(rec.Name)
+	w.String(rec.Service)
+	w.String(rec.TypeSig)
+	w.String(rec.ArgSig)
+	return nil
+}
+
+// encodedRecordSize is the wire size of one record body.
+func encodedRecordSize(rec Record) int {
+	// kind byte plus four length-prefixed (u32) strings.
+	return 1 + 4*4 + len(rec.Name) + len(rec.Service) + len(rec.TypeSig) + len(rec.ArgSig)
+}
+
+// decodeRecord reads one record body and stamps it with the provider node.
+func decodeRecord(r *encoding.Reader, node transport.NodeID) (Record, error) {
+	var rec Record
+	rec.Kind = Kind(r.Uint8())
+	rec.Name = r.String()
+	rec.Service = r.String()
+	rec.TypeSig = r.String()
+	rec.ArgSig = r.String()
+	rec.Node = node
+	if err := r.Err(); err != nil {
+		return Record{}, err
+	}
+	if !rec.Kind.Valid() || rec.Name == "" {
+		return Record{}, fmt.Errorf("invalid record: %w", ErrBadAnnouncement)
+	}
+	return rec, nil
 }
 
 // DecodeAnnouncement parses data. Every record's Node field is filled from
@@ -121,6 +159,7 @@ func DecodeAnnouncement(data []byte) (*Announcement, error) {
 	a := &Announcement{}
 	a.Node = transport.NodeID(r.String())
 	a.Epoch = r.Uint64()
+	a.Version = r.Uint64()
 	a.Load = r.Float64()
 	n := int(r.Uint32())
 	if err := r.Err(); err != nil {
@@ -134,18 +173,9 @@ func DecodeAnnouncement(data []byte) (*Announcement, error) {
 	}
 	a.Records = make([]Record, 0, n)
 	for i := 0; i < n; i++ {
-		var rec Record
-		rec.Kind = Kind(r.Uint8())
-		rec.Name = r.String()
-		rec.Service = r.String()
-		rec.TypeSig = r.String()
-		rec.ArgSig = r.String()
-		rec.Node = a.Node
-		if err := r.Err(); err != nil {
+		rec, err := decodeRecord(r, a.Node)
+		if err != nil {
 			return nil, fmt.Errorf("naming: record %d: %w", i, err)
-		}
-		if !rec.Kind.Valid() || rec.Name == "" {
-			return nil, fmt.Errorf("naming: record %d invalid: %w", i, ErrBadAnnouncement)
 		}
 		a.Records = append(a.Records, rec)
 	}

@@ -65,6 +65,16 @@ const (
 	// over to a redundant provider immediately.
 	MTBusy // provider sheds the request; caller should fail over
 
+	// Discovery, incremental mode (§3 name management at fleet scale).
+	// Registration changes multicast a compact versioned delta the moment
+	// they happen; the periodic beacon is a constant-size digest
+	// (MTHeartbeat, defined above); receivers that observe a version gap,
+	// an unknown node, or a fresh epoch pull the full record set unicast
+	// (anti-entropy sync), chunked under the MTU and carried over ARQ.
+	MTAnnounceDelta // added/withdrawn records since the previous version
+	MTSyncReq       // receiver asks a node for its full record set
+	MTSyncRep       // one chunk of the full record set
+
 	mtMax // sentinel
 )
 
@@ -95,7 +105,8 @@ func (m MsgType) String() string {
 		MTFileChunk: "file-chunk", MTFileQuery: "file-query",
 		MTFileAck: "file-ack", MTFileNack: "file-nack", MTFileCancel: "file-cancel",
 		MTFragment: "fragment", MTAck: "ack", MTEventNack: "event-nack",
-		MTBusy: "busy",
+		MTBusy: "busy", MTAnnounceDelta: "announce-delta",
+		MTSyncReq: "sync-req", MTSyncRep: "sync-rep",
 	}
 	if int(m) < len(names) && names[m] != "" {
 		return names[m]

@@ -191,8 +191,8 @@ func (e *Engine) Register(name, service string, argType, retType *presentation.T
 		return err
 	}
 	e.regMu.Lock()
-	defer e.regMu.Unlock()
 	if _, dup := e.functions[name]; dup {
+		e.regMu.Unlock()
 		return fmt.Errorf("rpc: %q: %w", name, ErrDuplicateName)
 	}
 	e.functions[name] = &registration{
@@ -203,6 +203,8 @@ func (e *Engine) Register(name, service string, argType, retType *presentation.T
 		handler: h,
 		q:       q.Normalize(),
 	}
+	e.regMu.Unlock()
+	e.f.OfferChanged()
 	return nil
 }
 
@@ -211,11 +213,15 @@ func (e *Engine) Register(name, service string, argType, retType *presentation.T
 // starts fresh.
 func (e *Engine) Unregister(name string) {
 	e.regMu.Lock()
+	_, had := e.functions[name]
 	delete(e.functions, name)
 	e.regMu.Unlock()
 	e.pinMu.Lock()
 	delete(e.pins, name)
 	e.pinMu.Unlock()
+	if had {
+		e.f.OfferChanged()
+	}
 }
 
 func sigOf(t *presentation.Type) string {
@@ -671,7 +677,7 @@ func (e *Engine) HandleCall(from transport.NodeID, fr *protocol.Frame) {
 			Type:     protocol.MTError,
 			Priority: fr.Priority,
 			Channel:  fr.Channel,
-			Seq:      callID,
+			Payload:  encodeReply(callID, nil),
 		}
 		e.f.SendReliable(from, reply, qos.ReliableARQ, nil)
 		return
@@ -738,8 +744,7 @@ func (e *Engine) HandleCall(from transport.NodeID, fr *protocol.Frame) {
 			Encoding: e.f.Encoding().ID(),
 			Priority: pr,
 			Channel:  fr.Channel,
-			Seq:      callID,
-			Payload:  payload,
+			Payload:  encodeReply(callID, payload),
 		}
 		e.f.SendReliable(from, reply, qos.ReliableARQ, nil)
 	}); err != nil {
@@ -759,48 +764,86 @@ func (e *Engine) replyBusy(to transport.NodeID, call *protocol.Frame) {
 		Type:     protocol.MTBusy,
 		Priority: call.Priority,
 		Channel:  call.Channel,
-		Seq:      call.Seq,
+		Payload:  encodeReply(call.Seq, nil),
 	}
 	e.f.SendReliable(to, reply, qos.ReliableARQ, nil)
 }
 
 func (e *Engine) replyAppError(to transport.NodeID, call *protocol.Frame, msg string) {
-	w := encoding.NewWriter(len(msg) + 4)
+	w := encoding.NewWriter(12 + len(msg))
+	w.Uint64(call.Seq)
 	w.String(msg)
 	reply := &protocol.Frame{
 		Type:     protocol.MTError,
 		Flags:    protocol.FlagAppError,
 		Priority: call.Priority,
 		Channel:  call.Channel,
-		Seq:      call.Seq,
 		Payload:  w.Bytes(),
 	}
 	e.f.SendReliable(to, reply, qos.ReliableARQ, nil)
 }
 
+// Replies must not reuse the caller-allocated call id as their wire
+// sequence number: frame seq spaces (ARQ pending state, receive-side
+// dedup) are per sender, so a reply frame squatting a number from the
+// caller's space can collide with an unrelated frame the provider sends
+// later under its own numbering — and be silently dropped as a duplicate.
+// The call id therefore travels as a u64 prefix of the reply payload and
+// the reply's Seq is provider-allocated (SendReliable fills it).
+
+// encodeReply prefixes a reply body with the call id it answers.
+func encodeReply(callID uint64, body []byte) []byte {
+	w := encoding.NewWriter(8 + len(body))
+	w.Uint64(callID)
+	w.Raw(body)
+	return w.Bytes()
+}
+
+// decodeReply splits a reply payload into call id and body.
+func decodeReply(payload []byte) (callID uint64, body []byte, ok bool) {
+	r := encoding.NewReader(payload)
+	callID = r.Uint64()
+	if r.Err() != nil {
+		return 0, nil, false
+	}
+	return callID, r.Raw(r.Remaining()), true
+}
+
 // HandleReturn completes a pending call with a success reply.
 func (e *Engine) HandleReturn(from transport.NodeID, fr *protocol.Frame) {
-	e.complete(fr.Seq, callResult{payload: append([]byte(nil), fr.Payload...), from: from})
+	callID, body, ok := decodeReply(fr.Payload)
+	if !ok {
+		return
+	}
+	e.complete(callID, callResult{payload: append([]byte(nil), body...), from: from})
 }
 
 // HandleBusy completes a pending call with a provider shed; the call loop
 // fails over to the next provider.
 func (e *Engine) HandleBusy(from transport.NodeID, fr *protocol.Frame) {
-	e.complete(fr.Seq, callResult{busy: true, from: from})
+	callID, _, ok := decodeReply(fr.Payload)
+	if !ok {
+		return
+	}
+	e.complete(callID, callResult{busy: true, from: from})
 }
 
 // HandleError completes a pending call with a failure reply.
 func (e *Engine) HandleError(from transport.NodeID, fr *protocol.Frame) {
+	callID, body, ok := decodeReply(fr.Payload)
+	if !ok {
+		return
+	}
 	if fr.Flags&protocol.FlagAppError != 0 {
-		r := encoding.NewReader(fr.Payload)
+		r := encoding.NewReader(body)
 		msg := r.String()
 		if r.Err() != nil {
 			msg = "remote error"
 		}
-		e.complete(fr.Seq, callResult{appErr: msg, from: from})
+		e.complete(callID, callResult{appErr: msg, from: from})
 		return
 	}
-	e.complete(fr.Seq, callResult{infraErr: true, from: from})
+	e.complete(callID, callResult{infraErr: true, from: from})
 }
 
 func (e *Engine) complete(callID uint64, res callResult) {

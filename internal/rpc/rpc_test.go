@@ -24,6 +24,10 @@ type fakeFabric struct {
 	dir  *naming.Directory
 	seq  atomic.Uint64
 
+	// offerChanges counts OfferChanged notifications (the container would
+	// broadcast a discovery delta for each).
+	offerChanges atomic.Uint64
+
 	mu    sync.Mutex
 	peers map[transport.NodeID]*Engine
 	drop  map[transport.NodeID]bool
@@ -43,6 +47,7 @@ func (f *fakeFabric) Self() transport.NodeID       { return f.self }
 func (f *fakeFabric) Encoding() encoding.Encoding  { return encoding.Binary{} }
 func (f *fakeFabric) Directory() *naming.Directory { return f.dir }
 func (f *fakeFabric) NextSeq() uint64              { return f.seq.Add(1) }
+func (f *fakeFabric) OfferChanged()                { f.offerChanges.Add(1) }
 func (f *fakeFabric) Schedule(_ qos.Priority, job func()) error {
 	go job() // calls block on replies, so run handler work concurrently
 	return nil
@@ -355,10 +360,14 @@ func TestStaticPinUnpinOnFailure(t *testing.T) {
 
 func TestLateReplyIgnored(t *testing.T) {
 	e := New(newFakeFabric("n"))
-	// A reply for a call id nobody is waiting on must be harmless.
-	e.HandleReturn("x", &protocol.Frame{Type: protocol.MTReturn, Seq: 999})
-	e.HandleError("x", &protocol.Frame{Type: protocol.MTError, Seq: 999})
-	e.HandleBusy("x", &protocol.Frame{Type: protocol.MTBusy, Seq: 999})
+	// A reply for a call id nobody is waiting on must be harmless, as
+	// must a truncated reply payload with no call id at all.
+	e.HandleReturn("x", &protocol.Frame{Type: protocol.MTReturn, Payload: encodeReply(999, nil)})
+	e.HandleError("x", &protocol.Frame{Type: protocol.MTError, Payload: encodeReply(999, nil)})
+	e.HandleBusy("x", &protocol.Frame{Type: protocol.MTBusy, Payload: encodeReply(999, nil)})
+	e.HandleReturn("x", &protocol.Frame{Type: protocol.MTReturn})
+	e.HandleError("x", &protocol.Frame{Type: protocol.MTError})
+	e.HandleBusy("x", &protocol.Frame{Type: protocol.MTBusy})
 }
 
 // threeWay wires one client to two server engines ("a-slow" sorts before
@@ -515,7 +524,10 @@ func TestServerShedsSpentBudget(t *testing.T) {
 		}
 		sf.mu.Unlock()
 		if busy != nil {
-			if busy.Seq != 77 || busy.Channel != "fn" {
+			// The call id travels in the reply payload, not the frame
+			// seq (replies use the provider's own seq space).
+			callID, _, ok := decodeReply(busy.Payload)
+			if !ok || callID != 77 || busy.Channel != "fn" {
 				t.Fatalf("busy reply mismatched: %+v", busy)
 			}
 			break

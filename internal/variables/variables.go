@@ -113,8 +113,8 @@ func (e *Engine) Offer(name, service string, t *presentation.Type, q qos.Variabl
 		return nil, err
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if _, dup := e.pubs[name]; dup {
+		e.mu.Unlock()
 		return nil, fmt.Errorf("variables: %q: %w", name, ErrDuplicateName)
 	}
 	p := &Publisher{
@@ -127,6 +127,8 @@ func (e *Engine) Offer(name, service string, t *presentation.Type, q qos.Variabl
 		id:      protocol.NewIncarnation(),
 	}
 	e.pubs[name] = p
+	e.mu.Unlock()
+	e.f.OfferChanged()
 	return p, nil
 }
 
@@ -235,6 +237,7 @@ func (p *Publisher) Close() {
 	p.engine.mu.Lock()
 	delete(p.engine.pubs, p.name)
 	p.engine.mu.Unlock()
+	p.engine.f.OfferChanged()
 }
 
 // Record returns the naming record for announcements.
