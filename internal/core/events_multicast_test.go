@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"uavmw/internal/egress"
 	"uavmw/internal/naming"
 	"uavmw/internal/netsim"
 	"uavmw/internal/presentation"
@@ -22,7 +23,10 @@ var mcastEventQoS = qos.EventQoS{Delivery: qos.DeliverMulticast}
 func TestMulticastEventNackRepairUnderLoss(t *testing.T) {
 	net := netsim.New(netsim.Config{Loss: 0.15, Seed: 77, Latency: time.Millisecond})
 	defer net.Close()
-	pub := newSimNode(t, net, "uav")
+	// Coalescing off: this test's subject is per-occurrence loss and
+	// repair, so each occurrence must ride its own datagram for the
+	// seeded loss pattern to hit individual sequence numbers.
+	pub := newSimNode(t, net, "uav", WithEgress(egress.Config{CoalesceMax: -1}))
 	sub := newSimNode(t, net, "gs")
 	syncNodes(t, pub, sub)
 

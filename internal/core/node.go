@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"uavmw/internal/egress"
 	"uavmw/internal/encoding"
 	"uavmw/internal/events"
 	"uavmw/internal/fabric"
@@ -47,6 +48,7 @@ type Node struct {
 	live     *naming.Liveness
 	types    *presentation.Registry
 	arq      *protocol.ARQ
+	egress   *egress.Plane
 	dedup    *protocol.Dedup
 	reasm    *protocol.Reassembler
 	seq      atomic.Uint64
@@ -102,6 +104,7 @@ type nodeConfig struct {
 	mtu             int
 	budget          ResourceBudget
 	rpcInflight     int
+	egressCfg       egress.Config
 }
 
 // NodeOption configures a Node.
@@ -186,6 +189,21 @@ func WithResourceBudget(b ResourceBudget) NodeOption {
 	return func(c *nodeConfig) { c.budget = b }
 }
 
+// WithEgress tunes the priority-aware egress plane (per-link QoS lanes,
+// bulk pacing, frame coalescing). Zero fields take the plane defaults.
+func WithEgress(cfg egress.Config) NodeOption {
+	return func(c *nodeConfig) { c.egressCfg = cfg }
+}
+
+// WithBulkRateBPS token-bucket-shapes the node's PriorityBulk egress lane
+// (file-transfer chunks) to the given wire bytes/second. Set it at or just
+// below the narrowest link the node transmits over, so bulk traffic never
+// fills a link queue that critical frames would then wait behind (§4
+// priority inversion at the sender). Zero leaves bulk unshaped.
+func WithBulkRateBPS(bps int64) NodeOption {
+	return func(c *nodeConfig) { c.egressCfg.BulkRateBPS = bps }
+}
+
 // WithRPCInflightLimit caps concurrently executing remote-call handlers on
 // this node; excess MTCall requests are answered MTBusy so callers fail
 // over to redundant providers instead of queueing (§4.3 admission
@@ -245,8 +263,17 @@ func NewNode(opts ...NodeOption) (*Node, error) {
 		n.ownSched = true
 	}
 	n.budget = cfg.budget
+	// All datagram transmission drains through the egress plane: strict
+	// per-destination priority lanes, shaped bulk, coalesced small frames.
+	// The plane's MTU budget for coalesced batches tracks the node's.
+	if cfg.egressCfg.MaxDatagram == 0 {
+		cfg.egressCfg.MaxDatagram = cfg.mtu
+	}
+	n.egress = egress.New(cfg.datagram, cfg.egressCfg)
+	// ARQ retransmissions re-enter the plane in the lane of the frame
+	// they carry (the priority rides in the encoded header).
 	n.arq = protocol.NewARQ(func(to transport.NodeID, frame []byte) error {
-		return n.datagram.Send(to, frame)
+		return n.egress.Enqueue(to, protocol.PeekPriority(frame), frame)
 	}, cfg.arqOpts...)
 
 	n.vars = variables.New(n)
@@ -329,7 +356,7 @@ func (n *Node) SendBestEffort(to transport.NodeID, f *protocol.Frame) error {
 		return err
 	}
 	for _, part := range parts {
-		if err := n.datagram.Send(to, part); err != nil {
+		if err := n.egress.Enqueue(to, f.Priority, part); err != nil {
 			return err
 		}
 	}
@@ -350,7 +377,7 @@ func (n *Node) SendGroup(group string, f *protocol.Frame) error {
 		return err
 	}
 	for _, part := range parts {
-		if err := n.datagram.SendGroup(group, part); err != nil {
+		if err := n.egress.EnqueueGroup(group, f.Priority, part); err != nil {
 			return err
 		}
 	}
@@ -467,6 +494,19 @@ func (n *Node) handleFrame(from transport.NodeID, f *protocol.Frame) {
 	case protocol.MTAck:
 		n.arq.Ack(from, f.Seq)
 		return
+	case protocol.MTBatch:
+		// Transparent batched receive: unpack coalesced frames and feed
+		// each through the full decode path, so per-frame acknowledgment,
+		// dedup and priority scheduling behave exactly as if the frames
+		// had arrived in separate datagrams.
+		subs, err := protocol.DecodeBatch(f.Payload)
+		if err != nil {
+			return
+		}
+		for _, sub := range subs {
+			n.handleFrameBytes(from, sub)
+		}
+		return
 	case protocol.MTFragment:
 		// Ack-required fragments are acknowledged and deduped
 		// individually before reassembly.
@@ -511,7 +551,10 @@ func (n *Node) sendAck(to transport.NodeID, seq uint64) {
 	if err != nil {
 		return
 	}
-	_ = n.datagram.Send(to, raw)
+	// Acks ride the critical lane: a delayed ack inflates the peer's ARQ
+	// RTT and triggers spurious retransmissions exactly when a link is
+	// congested with lower-class traffic.
+	_ = n.egress.Enqueue(to, qos.PriorityCritical, raw)
 }
 
 // route dispatches a frame to its engine.
@@ -625,7 +668,11 @@ type DiscoveryStats struct {
 	// mis-attributed (payload node != sender).
 	Malformed uint64
 	// EncodeErrors counts local encode failures (previously discarded
-	// silently); SendErrors counts transport send failures.
+	// silently). SendErrors counts frames the egress plane refused
+	// (node closing): since transmission drains asynchronously through
+	// the plane, "sent" here means accepted into an egress lane, and
+	// post-enqueue transport failures or overflow drops are accounted in
+	// EgressStats, not per discovery frame.
 	EncodeErrors, SendErrors uint64
 }
 
@@ -1107,6 +1154,9 @@ func (n *Node) Close() error {
 	close(n.stop)
 	n.wg.Wait()
 	n.arq.Close()
+	// Flush the egress plane (goodbye, final acks) before the transports
+	// close underneath it.
+	n.egress.Close()
 	if n.ownSched {
 		n.sched.Stop()
 	}
@@ -1132,3 +1182,17 @@ func (n *Node) RPC() *rpc.Engine { return n.rpc }
 
 // Files returns the §4.4 engine.
 func (n *Node) Files() *filetransfer.Engine { return n.files }
+
+// EgressStats snapshots the egress plane counters (per-class enqueued /
+// sent / dropped / coalesced, pacing waits, transport errors).
+func (n *Node) EgressStats() egress.Stats { return n.egress.Stats() }
+
+// SetBulkRate re-shapes the PriorityBulk egress lane at runtime (0 turns
+// shaping off) — for links whose capacity is discovered or negotiated
+// after the node starts.
+func (n *Node) SetBulkRate(bps int64) { n.egress.SetBulkRate(bps) }
+
+// FlushEgress blocks until every frame queued on the egress plane at call
+// time has been handed to the transport. Tests and experiments use it to
+// line wire-level measurements up with the asynchronous drain.
+func (n *Node) FlushEgress() { n.egress.Flush() }

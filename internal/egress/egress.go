@@ -1,0 +1,515 @@
+// Package egress implements the container's priority-aware transmit path.
+//
+// The paper attaches a priority to every primitive (§4) and enforces it in
+// the container's fixed-priority pool (§6) — but scheduler enforcement is
+// receiver-side only. On a bandwidth-constrained link the inversion happens
+// at the *sender*: a bulk file transfer that hands the transport 60KB of
+// chunks has already serialized them ahead of any PriorityCritical alarm
+// published a moment later. This package closes that gap with transmit-side
+// QoS:
+//
+//   - per-destination (node or multicast group) lanes, one strict-priority
+//     FIFO queue per qos.Priority class, drained highest class first with
+//     round-robin fairness among destinations inside a class;
+//   - a token-bucket pacer that shapes the PriorityBulk class to a
+//     configured rate, so bulk traffic never fills a link queue that
+//     urgent frames would then have to wait behind;
+//   - drop-oldest overflow per (destination, class) queue — a stalled
+//     destination sheds its stalest frames first and never blocks senders;
+//   - frame coalescing: small frames waiting for the same destination in
+//     the same class are packed into one protocol.MTBatch datagram, fewer
+//     syscalls and wire packets on small-frame-heavy paths.
+//
+// The plane sits between the container's Send* methods and the datagram
+// transport; the stream transport (TCP) paces itself and bypasses it.
+package egress
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"uavmw/internal/protocol"
+	"uavmw/internal/qos"
+	"uavmw/internal/transport"
+)
+
+// Sender is the downstream transmit interface (the raw datagram transport).
+type Sender interface {
+	Send(to transport.NodeID, payload []byte) error
+	SendGroup(group string, payload []byte) error
+}
+
+// Defaults applied when Config fields are zero.
+const (
+	// DefaultQueueCap bounds each (destination, class) queue in frames.
+	DefaultQueueCap = 256
+	// DefaultCoalesceMax is the largest frame eligible for coalescing;
+	// bigger frames (file chunks, fragments) always ride alone.
+	DefaultCoalesceMax = 512
+	// DefaultBulkBurst is the bulk token bucket capacity in bytes.
+	DefaultBulkBurst = 4096
+)
+
+// numClasses mirrors qos.NumLevels(); sized as a constant for arrays. A
+// test pins the two against each other.
+const numClasses = 5
+
+// bulkClass is the dense index of qos.PriorityBulk.
+var bulkClass = qos.PriorityBulk.Index()
+
+// ErrClosed reports an enqueue on a closed plane.
+var ErrClosed = errors.New("egress plane closed")
+
+// Config tunes a Plane.
+type Config struct {
+	// BulkRateBPS token-bucket-shapes the PriorityBulk lane to this many
+	// wire bytes/second. Zero disables shaping (bulk drains at transport
+	// speed, still strictly below every other class).
+	BulkRateBPS int64
+	// BulkBurst is the bucket capacity in bytes (default DefaultBulkBurst).
+	// It bounds how far ahead of the shaped rate a bulk burst may run, and
+	// therefore how much bulk can sit in front of an urgent frame at the
+	// link: keep it near one datagram on tightly constrained links.
+	BulkBurst int
+	// QueueCap bounds each (destination, class) queue in frames (default
+	// DefaultQueueCap). On overflow the oldest frame in that queue drops.
+	QueueCap int
+	// MaxDatagram is the size budget for coalesced batch datagrams
+	// (default protocol.DefaultMTU).
+	MaxDatagram int
+	// CoalesceMax is the largest frame eligible for coalescing (default
+	// DefaultCoalesceMax); negative disables coalescing entirely.
+	CoalesceMax int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BulkBurst <= 0 {
+		c.BulkBurst = DefaultBulkBurst
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = DefaultQueueCap
+	}
+	if c.MaxDatagram <= 0 {
+		c.MaxDatagram = protocol.DefaultMTU
+	}
+	if c.CoalesceMax == 0 {
+		c.CoalesceMax = DefaultCoalesceMax
+	}
+	return c
+}
+
+// destKey identifies a lane: exactly one of node or group is set.
+type destKey struct {
+	node  transport.NodeID
+	group string
+}
+
+// lane holds one destination's per-class queues.
+type lane struct {
+	key    destKey
+	q      [numClasses][][]byte
+	queued [numClasses]bool // lane is on the ready list for the class
+}
+
+func (ln *lane) empty() bool {
+	for c := range ln.q {
+		if len(ln.q[c]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ClassStats counts egress activity for one priority class.
+type ClassStats struct {
+	// Enqueued counts frames accepted into lanes of this class.
+	Enqueued uint64
+	// Sent counts frames handed to the transport (batched frames count
+	// individually).
+	Sent uint64
+	// Datagrams counts transport sends (a batch counts once).
+	Datagrams uint64
+	// Coalesced counts frames that shared a batch datagram with others.
+	Coalesced uint64
+	// Dropped counts frames evicted by drop-oldest overflow.
+	Dropped uint64
+	// Bytes counts wire bytes handed to the transport.
+	Bytes uint64
+}
+
+// Stats is a snapshot of plane activity.
+type Stats struct {
+	// PerClass is indexed by qos.Priority.Index().
+	PerClass [numClasses]ClassStats
+	// SendErrors counts transport send failures (frames already dequeued).
+	SendErrors uint64
+	// BulkWaits counts drains that had to pause for bulk tokens.
+	BulkWaits uint64
+}
+
+// Class returns the stats for one priority level.
+func (s Stats) Class(p qos.Priority) ClassStats {
+	if i := p.Index(); i >= 0 {
+		return s.PerClass[i]
+	}
+	return ClassStats{}
+}
+
+// Totals sums the per-class counters.
+func (s Stats) Totals() ClassStats {
+	var t ClassStats
+	for _, c := range s.PerClass {
+		t.Enqueued += c.Enqueued
+		t.Sent += c.Sent
+		t.Datagrams += c.Datagrams
+		t.Coalesced += c.Coalesced
+		t.Dropped += c.Dropped
+		t.Bytes += c.Bytes
+	}
+	return t
+}
+
+// Plane is one container's egress plane. Construct with New; Close flushes
+// what it can and stops the drainer.
+type Plane struct {
+	cfg    Config
+	sender Sender
+
+	mu           sync.Mutex
+	idle         *sync.Cond // signalled when a transmit completes
+	lanes        map[destKey]*lane
+	ready        [numClasses][]*lane
+	tokens       float64 // bulk bucket fill, bytes; may go briefly negative
+	lastRefill   time.Time
+	rate         int64 // current bulk shaping rate (0 = off)
+	transmitting bool  // drainer holds a dequeued datagram
+	stats        Stats
+	closed       bool
+
+	wake chan struct{}
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds and starts a plane draining into sender.
+func New(sender Sender, cfg Config) *Plane {
+	cfg = cfg.withDefaults()
+	p := &Plane{
+		cfg:        cfg,
+		sender:     sender,
+		lanes:      make(map[destKey]*lane),
+		rate:       cfg.BulkRateBPS,
+		tokens:     float64(cfg.BulkBurst),
+		lastRefill: time.Now(),
+		wake:       make(chan struct{}, 1),
+		stop:       make(chan struct{}),
+	}
+	p.idle = sync.NewCond(&p.mu)
+	p.wg.Add(1)
+	go p.run()
+	return p
+}
+
+// SetBulkRate changes the bulk shaping rate at runtime (0 disables). Useful
+// when link capacity is discovered or negotiated after construction.
+func (p *Plane) SetBulkRate(bps int64) {
+	p.mu.Lock()
+	p.refillLocked(time.Now())
+	p.rate = bps
+	p.mu.Unlock()
+	p.signal()
+}
+
+// Stats snapshots the plane counters.
+func (p *Plane) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Enqueue queues one encoded datagram for a unicast destination.
+func (p *Plane) Enqueue(to transport.NodeID, pr qos.Priority, raw []byte) error {
+	return p.enqueue(destKey{node: to}, pr, raw)
+}
+
+// EnqueueGroup queues one encoded datagram for a multicast group.
+func (p *Plane) EnqueueGroup(group string, pr qos.Priority, raw []byte) error {
+	return p.enqueue(destKey{group: group}, pr, raw)
+}
+
+func (p *Plane) enqueue(key destKey, pr qos.Priority, raw []byte) error {
+	c := pr.Index()
+	if c < 0 {
+		c = qos.PriorityNormal.Index()
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	ln := p.lanes[key]
+	if ln == nil {
+		ln = &lane{key: key}
+		p.lanes[key] = ln
+	}
+	if len(ln.q[c]) >= p.cfg.QueueCap {
+		// Drop-oldest: the stalest frame in this lane+class makes room.
+		ln.q[c] = ln.q[c][1:]
+		p.stats.PerClass[c].Dropped++
+	}
+	ln.q[c] = append(ln.q[c], raw)
+	p.stats.PerClass[c].Enqueued++
+	if !ln.queued[c] {
+		ln.queued[c] = true
+		p.ready[c] = append(p.ready[c], ln)
+	}
+	p.mu.Unlock()
+	p.signal()
+	return nil
+}
+
+func (p *Plane) signal() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// refillLocked accrues bulk tokens. Caller holds p.mu.
+func (p *Plane) refillLocked(now time.Time) {
+	if elapsed := now.Sub(p.lastRefill); elapsed > 0 && p.rate > 0 {
+		p.tokens += elapsed.Seconds() * float64(p.rate)
+		if burst := float64(p.cfg.BulkBurst); p.tokens > burst {
+			p.tokens = burst
+		}
+	}
+	p.lastRefill = now
+}
+
+// next picks the next datagram to transmit: the head of the highest
+// non-empty class, round-robin across that class's destinations, coalescing
+// small same-lane same-class frames into a batch. If only throttled bulk is
+// pending it returns wait > 0 instead.
+func (p *Plane) next() (datagram []byte, key destKey, wait time.Duration, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for c := numClasses - 1; c >= 0; c-- {
+		for len(p.ready[c]) > 0 {
+			ln := p.ready[c][0]
+			if len(ln.q[c]) == 0 { // emptied by a flush; drop the entry
+				p.ready[c] = p.ready[c][1:]
+				ln.queued[c] = false
+				p.reapLocked(ln)
+				continue
+			}
+			if c == bulkClass && p.rate > 0 {
+				p.refillLocked(time.Now())
+				// A frame larger than the whole bucket must still pass
+				// once the bucket is full; the deficit is repaid below.
+				need := float64(len(ln.q[c][0]))
+				if burst := float64(p.cfg.BulkBurst); need > burst {
+					need = burst
+				}
+				if p.tokens < need {
+					p.stats.BulkWaits++
+					wait = time.Duration((need - p.tokens) / float64(p.rate) * float64(time.Second))
+					if wait <= 0 {
+						wait = time.Millisecond
+					}
+					return nil, destKey{}, wait, false
+				}
+			}
+			frames := p.collectLocked(ln, c)
+			if len(frames) == 1 {
+				datagram = frames[0]
+			} else {
+				var err error
+				datagram, err = protocol.EncodeBatch(frames, qos.PriorityBulk+qos.Priority(c))
+				if err != nil {
+					// Cannot happen with well-formed queues; fall back to
+					// the head frame alone rather than wedging the lane.
+					datagram = frames[0]
+					frames = frames[:1]
+				} else {
+					p.stats.PerClass[c].Coalesced += uint64(len(frames))
+				}
+			}
+			if c == bulkClass && p.rate > 0 {
+				p.tokens -= float64(len(datagram))
+			}
+			p.stats.PerClass[c].Sent += uint64(len(frames))
+			p.stats.PerClass[c].Datagrams++
+			p.stats.PerClass[c].Bytes += uint64(len(datagram))
+			// Rotate for round-robin fairness within the class.
+			p.ready[c] = p.ready[c][1:]
+			if len(ln.q[c]) > 0 {
+				p.ready[c] = append(p.ready[c], ln)
+			} else {
+				ln.queued[c] = false
+				p.reapLocked(ln)
+			}
+			p.transmitting = true
+			return datagram, ln.key, 0, true
+		}
+	}
+	return nil, destKey{}, 0, false
+}
+
+// collectLocked pops the head frame of lane ln at class c plus any
+// immediately following small frames that fit one batch datagram. Caller
+// holds p.mu.
+func (p *Plane) collectLocked(ln *lane, c int) [][]byte {
+	head := ln.q[c][0]
+	ln.q[c] = ln.q[c][1:]
+	frames := [][]byte{head}
+	if p.cfg.CoalesceMax < 0 || len(head) > p.cfg.CoalesceMax {
+		return frames
+	}
+	total := protocol.BatchOverhead(1) + len(head)
+	for len(ln.q[c]) > 0 {
+		nxt := ln.q[c][0]
+		if len(nxt) > p.cfg.CoalesceMax ||
+			total+protocol.BatchEntryOverhead+len(nxt) > p.cfg.MaxDatagram {
+			break
+		}
+		ln.q[c] = ln.q[c][1:]
+		frames = append(frames, nxt)
+		total += protocol.BatchEntryOverhead + len(nxt)
+	}
+	return frames
+}
+
+// reapLocked deletes a fully drained lane so the map stays bounded by the
+// set of destinations with traffic in flight. Caller holds p.mu.
+func (p *Plane) reapLocked(ln *lane) {
+	if !ln.empty() {
+		return
+	}
+	for _, q := range ln.queued {
+		if q {
+			return
+		}
+	}
+	delete(p.lanes, ln.key)
+}
+
+// transmit hands one datagram to the transport.
+func (p *Plane) transmit(key destKey, datagram []byte) {
+	var err error
+	if key.group != "" {
+		err = p.sender.SendGroup(key.group, datagram)
+	} else {
+		err = p.sender.Send(key.node, datagram)
+	}
+	if err != nil {
+		p.mu.Lock()
+		p.stats.SendErrors++
+		p.mu.Unlock()
+	}
+}
+
+// run is the drain goroutine.
+func (p *Plane) run() {
+	defer p.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		datagram, key, wait, ok := p.next()
+		if ok {
+			p.transmit(key, datagram)
+			p.mu.Lock()
+			p.transmitting = false
+			p.idle.Broadcast()
+			p.mu.Unlock()
+			continue
+		}
+		if wait > 0 {
+			// Only throttled bulk is pending: sleep for tokens, but wake
+			// early if higher-class work arrives.
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(wait)
+			select {
+			case <-p.stop:
+				return
+			case <-p.wake:
+			case <-timer.C:
+			}
+			continue
+		}
+		select {
+		case <-p.stop:
+			return
+		case <-p.wake:
+		}
+	}
+}
+
+// Flush blocks until every frame queued at call time has been handed to
+// the transport (shaped bulk included, at its paced rate). Frames enqueued
+// while flushing extend the wait. Experiments use it to line wire-level
+// measurements up with the asynchronous drain; a closed plane is already
+// flushed.
+func (p *Plane) Flush() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for !p.closed && (p.transmitting || p.pendingLocked()) {
+		p.idle.Wait()
+	}
+}
+
+// pendingLocked reports whether any lane still holds frames. Caller holds
+// p.mu.
+func (p *Plane) pendingLocked() bool {
+	for c := range p.ready {
+		for _, ln := range p.ready[c] {
+			if len(ln.q[c]) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Close stops the drainer and synchronously flushes everything still
+// queued, in priority order, ignoring pacing — a closing container's
+// goodbye and any pending acknowledgments still reach the wire. Enqueues
+// after Close fail with ErrClosed.
+func (p *Plane) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.idle.Broadcast()
+	p.mu.Unlock()
+	close(p.stop)
+	p.wg.Wait()
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for c := numClasses - 1; c >= 0; c-- {
+		for _, ln := range p.ready[c] {
+			for _, raw := range ln.q[c] {
+				if ln.key.group != "" {
+					_ = p.sender.SendGroup(ln.key.group, raw)
+				} else {
+					_ = p.sender.Send(ln.key.node, raw)
+				}
+				p.stats.PerClass[c].Sent++
+				p.stats.PerClass[c].Datagrams++
+				p.stats.PerClass[c].Bytes += uint64(len(raw))
+			}
+			ln.q[c] = nil
+			ln.queued[c] = false
+		}
+		p.ready[c] = nil
+	}
+	p.lanes = make(map[destKey]*lane)
+}

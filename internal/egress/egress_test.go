@@ -1,0 +1,412 @@
+package egress
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"uavmw/internal/protocol"
+	"uavmw/internal/qos"
+	"uavmw/internal/transport"
+)
+
+// gateSender records transmissions and can hold the drainer on a gate so
+// tests can fill queues while the first datagram is "on the wire".
+type gateSender struct {
+	mu    sync.Mutex
+	sends []sendRec
+	gate  chan struct{} // when non-nil, each send blocks until a token
+	errs  error
+}
+
+type sendRec struct {
+	to    transport.NodeID
+	group string
+	raw   []byte
+}
+
+func (s *gateSender) Send(to transport.NodeID, payload []byte) error {
+	return s.record(sendRec{to: to, raw: payload})
+}
+
+func (s *gateSender) SendGroup(group string, payload []byte) error {
+	return s.record(sendRec{group: group, raw: payload})
+}
+
+func (s *gateSender) record(r sendRec) error {
+	if s.gate != nil {
+		<-s.gate
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sends = append(s.sends, r)
+	return s.errs
+}
+
+func (s *gateSender) snapshot() []sendRec {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]sendRec(nil), s.sends...)
+}
+
+func frameBytes(t *testing.T, typ protocol.MsgType, p qos.Priority, seq uint64, size int) []byte {
+	t.Helper()
+	raw, err := protocol.EncodeFrame(&protocol.Frame{
+		Type: typ, Priority: p, Channel: "t", Seq: seq, Payload: make([]byte, size),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// decodeAll expands a sent datagram into its logical frames (unpacking
+// batches) and returns their seqs in order.
+func decodeAll(t *testing.T, recs []sendRec) []uint64 {
+	t.Helper()
+	var seqs []uint64
+	for _, r := range recs {
+		f, err := protocol.DecodeFrame(r.raw)
+		if err != nil {
+			t.Fatalf("decode sent datagram: %v", err)
+		}
+		if f.Type != protocol.MTBatch {
+			seqs = append(seqs, f.Seq)
+			continue
+		}
+		subs, err := protocol.DecodeBatch(f.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sub := range subs {
+			inner, err := protocol.DecodeFrame(sub)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seqs = append(seqs, inner.Seq)
+		}
+	}
+	return seqs
+}
+
+// waitDequeued blocks until the drainer has popped n frames of class pr —
+// i.e. the gated sender is now holding the wire and later enqueues will
+// observably queue behind it.
+func waitDequeued(t *testing.T, p *Plane, pr qos.Priority, n uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Stats().Class(pr).Sent < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("drainer never dequeued %d %v frames", n, pr)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func waitSends(t *testing.T, s *gateSender, want int) []sendRec {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		recs := s.snapshot()
+		if len(recs) >= want {
+			return recs
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d datagrams sent", len(recs), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestClassCountMatchesQoS(t *testing.T) {
+	if numClasses != qos.NumLevels() {
+		t.Fatalf("numClasses = %d, qos.NumLevels() = %d", numClasses, qos.NumLevels())
+	}
+}
+
+// TestStrictPriorityOrdering is the regression test pinning the egress
+// queue's ordering guarantee: with bulk frames queued ahead in time, a
+// later-enqueued critical frame is transmitted first.
+func TestStrictPriorityOrdering(t *testing.T) {
+	s := &gateSender{gate: make(chan struct{})}
+	p := New(s, Config{CoalesceMax: -1})
+	defer p.Close()
+
+	// Hold the drainer on the first bulk frame while the rest queue up.
+	if err := p.Enqueue("gs", qos.PriorityBulk, frameBytes(t, protocol.MTFileChunk, qos.PriorityBulk, 1, 600)); err != nil {
+		t.Fatal(err)
+	}
+	waitDequeued(t, p, qos.PriorityBulk, 1)
+	for seq := uint64(2); seq <= 6; seq++ {
+		if err := p.Enqueue("gs", qos.PriorityBulk, frameBytes(t, protocol.MTFileChunk, qos.PriorityBulk, seq, 600)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Enqueued last, must transmit before every still-queued bulk frame.
+	if err := p.Enqueue("gs", qos.PriorityCritical, frameBytes(t, protocol.MTEvent, qos.PriorityCritical, 100, 40)); err != nil {
+		t.Fatal(err)
+	}
+	close(s.gate) // release the wire
+	recs := waitSends(t, s, 7)
+	seqs := decodeAll(t, recs)
+	if seqs[0] != 1 {
+		t.Fatalf("first datagram seq = %d, want 1 (already draining)", seqs[0])
+	}
+	if seqs[1] != 100 {
+		t.Fatalf("critical frame drained at position %v, want immediately after in-flight bulk (order %v)", seqs[1], seqs)
+	}
+	for i, want := range []uint64{2, 3, 4, 5, 6} {
+		if seqs[2+i] != want {
+			t.Fatalf("bulk order broken: %v", seqs)
+		}
+	}
+}
+
+func TestRoundRobinAcrossDestinationsWithinClass(t *testing.T) {
+	s := &gateSender{gate: make(chan struct{})}
+	p := New(s, Config{CoalesceMax: -1})
+	defer p.Close()
+	if err := p.Enqueue("hold", qos.PriorityNormal, frameBytes(t, protocol.MTSample, qos.PriorityNormal, 1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	waitDequeued(t, p, qos.PriorityNormal, 1)
+	for seq := uint64(10); seq < 13; seq++ {
+		_ = p.Enqueue("a", qos.PriorityNormal, frameBytes(t, protocol.MTSample, qos.PriorityNormal, seq, 10))
+		_ = p.Enqueue("b", qos.PriorityNormal, frameBytes(t, protocol.MTSample, qos.PriorityNormal, seq+10, 10))
+	}
+	close(s.gate)
+	recs := waitSends(t, s, 7)
+	// After the held frame, destinations a and b must alternate.
+	var destOrder []transport.NodeID
+	for _, r := range recs[1:] {
+		destOrder = append(destOrder, r.to)
+	}
+	for i := 1; i < len(destOrder); i++ {
+		if destOrder[i] == destOrder[i-1] {
+			t.Fatalf("no round-robin: %v", destOrder)
+		}
+	}
+}
+
+func TestDropOldestOverflow(t *testing.T) {
+	s := &gateSender{gate: make(chan struct{})}
+	p := New(s, Config{QueueCap: 4, CoalesceMax: -1})
+	defer p.Close()
+	_ = p.Enqueue("hold", qos.PriorityBulk, frameBytes(t, protocol.MTFileChunk, qos.PriorityBulk, 1, 10))
+	waitDequeued(t, p, qos.PriorityBulk, 1)
+	for seq := uint64(10); seq < 20; seq++ { // 10 frames into a cap-4 queue
+		_ = p.Enqueue("gs", qos.PriorityBulk, frameBytes(t, protocol.MTFileChunk, qos.PriorityBulk, seq, 10))
+	}
+	close(s.gate)
+	recs := waitSends(t, s, 1+4)
+	seqs := decodeAll(t, recs)
+	want := []uint64{1, 16, 17, 18, 19} // newest 4 survive, oldest dropped
+	for i := range want {
+		if seqs[i] != want[i] {
+			t.Fatalf("drop-oldest order = %v, want %v", seqs, want)
+		}
+	}
+	st := p.Stats().Class(qos.PriorityBulk)
+	if st.Dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", st.Dropped)
+	}
+	if st.Enqueued != 11 || st.Sent != 5 {
+		t.Fatalf("enqueued/sent = %d/%d, want 11/5", st.Enqueued, st.Sent)
+	}
+}
+
+func TestCoalescingPacksSmallFramesIntoOneDatagram(t *testing.T) {
+	s := &gateSender{gate: make(chan struct{})}
+	p := New(s, Config{})
+	defer p.Close()
+	_ = p.Enqueue("hold", qos.PriorityNormal, frameBytes(t, protocol.MTSample, qos.PriorityNormal, 1, 10))
+	waitDequeued(t, p, qos.PriorityNormal, 1)
+	for seq := uint64(2); seq <= 9; seq++ {
+		_ = p.Enqueue("gs", qos.PriorityNormal, frameBytes(t, protocol.MTSample, qos.PriorityNormal, seq, 50))
+	}
+	close(s.gate)
+	recs := waitSends(t, s, 2)
+	if len(s.snapshot()) != 2 {
+		t.Fatalf("sent %d datagrams, want 2 (hold + one batch)", len(s.snapshot()))
+	}
+	seqs := decodeAll(t, recs)
+	if len(seqs) != 9 {
+		t.Fatalf("decoded %d frames, want 9: %v", len(seqs), seqs)
+	}
+	for i, want := range []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9} {
+		if seqs[i] != want {
+			t.Fatalf("batch order = %v", seqs)
+		}
+	}
+	st := p.Stats().Class(qos.PriorityNormal)
+	if st.Coalesced != 8 {
+		t.Fatalf("coalesced = %d, want 8", st.Coalesced)
+	}
+	if st.Datagrams != 2 {
+		t.Fatalf("datagrams = %d, want 2", st.Datagrams)
+	}
+}
+
+func TestCoalescingRespectsDatagramBudget(t *testing.T) {
+	s := &gateSender{gate: make(chan struct{})}
+	p := New(s, Config{MaxDatagram: 700, CoalesceMax: 512})
+	defer p.Close()
+	_ = p.Enqueue("hold", qos.PriorityNormal, frameBytes(t, protocol.MTSample, qos.PriorityNormal, 1, 10))
+	waitDequeued(t, p, qos.PriorityNormal, 1)
+	for seq := uint64(2); seq <= 5; seq++ {
+		_ = p.Enqueue("gs", qos.PriorityNormal, frameBytes(t, protocol.MTSample, qos.PriorityNormal, seq, 250))
+	}
+	close(s.gate)
+	recs := waitSends(t, s, 3)
+	for _, r := range recs {
+		if len(r.raw) > 700 {
+			t.Fatalf("datagram %d bytes exceeds 700 budget", len(r.raw))
+		}
+	}
+	if got := len(decodeAll(t, recs)); got != 5 {
+		t.Fatalf("frames delivered = %d, want 5", got)
+	}
+}
+
+func TestLargeFramesNeverCoalesce(t *testing.T) {
+	s := &gateSender{gate: make(chan struct{})}
+	p := New(s, Config{})
+	defer p.Close()
+	_ = p.Enqueue("hold", qos.PriorityBulk, frameBytes(t, protocol.MTFileChunk, qos.PriorityBulk, 1, 10))
+	waitDequeued(t, p, qos.PriorityBulk, 1)
+	for seq := uint64(2); seq <= 4; seq++ {
+		_ = p.Enqueue("gs", qos.PriorityBulk, frameBytes(t, protocol.MTFileChunk, qos.PriorityBulk, seq, 1200))
+	}
+	close(s.gate)
+	recs := waitSends(t, s, 4)
+	for _, r := range recs {
+		f, err := protocol.DecodeFrame(r.raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Type == protocol.MTBatch {
+			t.Fatal("1200-byte chunks were coalesced")
+		}
+	}
+}
+
+func TestBulkPacingShapesRate(t *testing.T) {
+	s := &gateSender{}
+	const rate = 100_000 // B/s
+	p := New(s, Config{BulkRateBPS: rate, BulkBurst: 1200, CoalesceMax: -1})
+	defer p.Close()
+	const n, size = 20, 1000
+	raws := make([][]byte, n)
+	for i := range raws {
+		raws[i] = frameBytes(t, protocol.MTFileChunk, qos.PriorityBulk, uint64(i+1), size)
+	}
+	wire := len(raws[0]) * n
+	start := time.Now()
+	for _, raw := range raws {
+		_ = p.Enqueue("gs", qos.PriorityBulk, raw)
+	}
+	waitSends(t, s, n)
+	elapsed := time.Since(start)
+	// First ~burst bytes pass free; the rest are paced at the rate.
+	expect := time.Duration(float64(wire-1200) / rate * float64(time.Second))
+	if elapsed < expect/2 {
+		t.Fatalf("drained %d wire bytes in %v, pacing expects ≈%v", wire, elapsed, expect)
+	}
+	if elapsed > 4*expect {
+		t.Fatalf("pacing too slow: %v for ≈%v of traffic", elapsed, expect)
+	}
+	if p.Stats().BulkWaits == 0 {
+		t.Fatal("pacer never throttled")
+	}
+}
+
+func TestBulkPacingDoesNotDelayHigherClasses(t *testing.T) {
+	s := &gateSender{}
+	p := New(s, Config{BulkRateBPS: 10_000, BulkBurst: 600, CoalesceMax: -1})
+	defer p.Close()
+	// Saturate bulk far beyond the bucket.
+	for seq := uint64(1); seq <= 10; seq++ {
+		_ = p.Enqueue("gs", qos.PriorityBulk, frameBytes(t, protocol.MTFileChunk, qos.PriorityBulk, seq, 500))
+	}
+	time.Sleep(20 * time.Millisecond) // drainer now waiting on tokens
+	start := time.Now()
+	_ = p.Enqueue("gs", qos.PriorityCritical, frameBytes(t, protocol.MTEvent, qos.PriorityCritical, 99, 40))
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if st := p.Stats().Class(qos.PriorityCritical); st.Sent == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("critical frame stuck behind bulk pacing")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if waited := time.Since(start); waited > 500*time.Millisecond {
+		t.Fatalf("critical frame waited %v behind throttled bulk", waited)
+	}
+}
+
+func TestCloseFlushesQueuedFrames(t *testing.T) {
+	s := &gateSender{gate: make(chan struct{})}
+	p := New(s, Config{CoalesceMax: -1})
+	_ = p.Enqueue("hold", qos.PriorityNormal, frameBytes(t, protocol.MTSample, qos.PriorityNormal, 1, 10))
+	waitDequeued(t, p, qos.PriorityNormal, 1)
+	for seq := uint64(2); seq <= 5; seq++ {
+		_ = p.EnqueueGroup("g", qos.PriorityHigh, frameBytes(t, protocol.MTBye, qos.PriorityHigh, seq, 10))
+	}
+	done := make(chan struct{})
+	go func() { p.Close(); close(done) }()
+	close(s.gate)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close never returned")
+	}
+	if got := len(decodeAll(t, s.snapshot())); got != 5 {
+		t.Fatalf("flushed %d frames, want 5", got)
+	}
+	if err := p.Enqueue("gs", qos.PriorityNormal, frameBytes(t, protocol.MTSample, qos.PriorityNormal, 9, 10)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("enqueue after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestGroupAndUnicastLanesAreIndependent(t *testing.T) {
+	s := &gateSender{}
+	p := New(s, Config{CoalesceMax: -1})
+	defer p.Close()
+	_ = p.Enqueue("gs", qos.PriorityNormal, frameBytes(t, protocol.MTSample, qos.PriorityNormal, 1, 10))
+	_ = p.EnqueueGroup("gs", qos.PriorityNormal, frameBytes(t, protocol.MTSample, qos.PriorityNormal, 2, 10))
+	recs := waitSends(t, s, 2)
+	var uni, grp int
+	for _, r := range recs {
+		if r.group != "" {
+			grp++
+		} else {
+			uni++
+		}
+	}
+	if uni != 1 || grp != 1 {
+		t.Fatalf("unicast/group sends = %d/%d, want 1/1", uni, grp)
+	}
+}
+
+func TestStatsTotals(t *testing.T) {
+	s := &gateSender{}
+	p := New(s, Config{CoalesceMax: -1})
+	defer p.Close()
+	for i, pr := range qos.Levels() {
+		_ = p.Enqueue(transport.NodeID(fmt.Sprintf("n%d", i)), pr, frameBytes(t, protocol.MTSample, pr, uint64(i+1), 20))
+	}
+	waitSends(t, s, 5)
+	tot := p.Stats().Totals()
+	if tot.Enqueued != 5 || tot.Sent != 5 || tot.Dropped != 0 {
+		t.Fatalf("totals = %+v", tot)
+	}
+	for _, pr := range qos.Levels() {
+		if st := p.Stats().Class(pr); st.Sent != 1 {
+			t.Fatalf("class %v sent = %d, want 1", pr, st.Sent)
+		}
+	}
+}

@@ -552,6 +552,8 @@ func (s *Subscription) register() {
 	s.mu.Lock()
 	s.provider = rec.Node
 	s.mu.Unlock()
+	// Subscriptions ride the high egress lane ahead of sample/bulk
+	// backlog, so joining a topic stays fast on a congested link.
 	frame := &protocol.Frame{
 		Type:     protocol.MTSubscribe,
 		Priority: qos.PriorityHigh,

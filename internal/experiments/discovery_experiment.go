@@ -234,6 +234,11 @@ func RunE12(nodes, recordsPerNode int, seed int64) (*E12Result, error) {
 			n.AnnounceNow()
 		}
 	}
+	// Announcements drain through the asynchronous egress plane; flush
+	// every node before reading the wire counters.
+	for _, n := range fleet {
+		n.FlushEgress()
+	}
 	_, bytes, _ = net.WireStats()
 	res.BaselineBytesPerPeriod = float64(bytes) / baselineRounds
 	return res, nil

@@ -1,0 +1,325 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"uavmw/internal/core"
+	"uavmw/internal/egress"
+	"uavmw/internal/filetransfer"
+	"uavmw/internal/metrics"
+	"uavmw/internal/netsim"
+	"uavmw/internal/presentation"
+	"uavmw/internal/protocol"
+	"uavmw/internal/qos"
+	"uavmw/internal/transport"
+)
+
+// E13 measures transmit-side priority inversion on a bandwidth-constrained
+// link and its fix by the egress plane. One UAV node runs a bulk file
+// transfer to a ground station over a 1 Mb/s air-to-ground link while
+// publishing PriorityCritical alarms at a fixed rate:
+//
+//   - flood mode (bulk unshaped) hands the whole file to the link at once;
+//     every alarm then queues behind seconds of chunk backlog — the
+//     receiver-side priority scheduler never gets a chance to matter.
+//   - shaped mode paces the transfer just under the link rate
+//     (qos.TransferQoS.RateBPS + the egress plane's bulk token bucket), so
+//     the link queue stays ~one chunk deep and alarms, draining from the
+//     strict-priority critical lane, stay bounded near the unloaded
+//     latency while bulk still moves at close to line rate.
+type E13Result struct {
+	LinkBPS   int64
+	FileBytes int
+	AlarmHz   int
+
+	// Unloaded is alarm latency with no transfer running (shaped
+	// topology; the modes share it).
+	Unloaded *metrics.Histogram
+	// Flood / Shaped are alarm latencies concurrent with the transfer.
+	Flood, Shaped *metrics.Histogram
+	// FloodLost / ShapedLost count alarms published during the transfer
+	// that never reached the subscriber (dropped subscription windows,
+	// exhausted retries).
+	FloodLost, ShapedLost int
+	// FloodSent / ShapedSent count alarms published during the transfer.
+	FloodSent, ShapedSent int
+
+	// Transfer completion times and goodput (file bytes / completion).
+	FloodTransfer, ShapedTransfer time.Duration
+	FloodGoodput, ShapedGoodput   float64 // bytes/second
+
+	// ShapedDropped counts bulk frames shed by the egress drop-oldest
+	// policy during the shaped run (pacing should keep it at zero).
+	ShapedDropped uint64
+	// ShapedCoalesced counts frames that shared a batch datagram.
+	ShapedCoalesced uint64
+}
+
+// alarmRecorder correlates published alarms with their arrival at the
+// subscriber. Alarms carry a 1-based sequence as a uint32 payload.
+type alarmRecorder struct {
+	mu       sync.Mutex
+	sentAt   []time.Time
+	arrivals []time.Time
+}
+
+func (r *alarmRecorder) nextSeq(now time.Time) uint32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sentAt = append(r.sentAt, now)
+	r.arrivals = append(r.arrivals, time.Time{})
+	return uint32(len(r.sentAt))
+}
+
+func (r *alarmRecorder) arrived(seq uint32, now time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i := int(seq) - 1; i >= 0 && i < len(r.arrivals) && r.arrivals[i].IsZero() {
+		r.arrivals[i] = now
+	}
+}
+
+// collect bins latencies for alarms with 1-based seq in [from, to].
+func (r *alarmRecorder) collect(from, to int) (h *metrics.Histogram, lost int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h = &metrics.Histogram{}
+	for i := from - 1; i < to && i < len(r.sentAt); i++ {
+		if r.arrivals[i].IsZero() {
+			lost++
+			continue
+		}
+		h.Observe(r.arrivals[i].Sub(r.sentAt[i]))
+	}
+	return h, lost
+}
+
+func (r *alarmRecorder) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.sentAt)
+}
+
+func (r *alarmRecorder) arrivedCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, at := range r.arrivals {
+		if !at.IsZero() {
+			n++
+		}
+	}
+	return n
+}
+
+// RunE13 runs both modes and returns the comparison. alarmHz is the
+// critical-alarm publication rate; linkBPS the air-to-ground capacity.
+func RunE13(fileBytes int, linkBPS int64, alarmHz int, seed int64) (*E13Result, error) {
+	res := &E13Result{LinkBPS: linkBPS, FileBytes: fileBytes, AlarmHz: alarmHz}
+
+	// Shaped mode also measures the unloaded baseline (same topology).
+	if err := runE13Phase(res, true, seed); err != nil {
+		return nil, fmt.Errorf("e13 shaped: %w", err)
+	}
+	if err := runE13Phase(res, false, seed+1); err != nil {
+		return nil, fmt.Errorf("e13 flood: %w", err)
+	}
+	return res, nil
+}
+
+// e13ShapeFraction paces bulk at this fraction of the link rate: just under
+// capacity, so the link queue never grows while bulk still nears line rate.
+const e13ShapeFraction = 0.92
+
+func runE13Phase(res *E13Result, shaped bool, seed int64) error {
+	const latency = 15 * time.Millisecond
+	net := netsim.New(netsim.Config{Seed: seed, Latency: latency})
+	defer net.Close()
+
+	// One constrained air-to-ground direction; everything else is fast.
+	lc := netsim.InheritLink()
+	lc.BandwidthBPS = res.LinkBPS
+	net.SetLink("uav", "gs", lc)
+
+	shapedRate := int64(float64(res.LinkBPS) * e13ShapeFraction)
+	mk := func(id transport.NodeID, extra ...core.NodeOption) (*core.Node, error) {
+		ep, err := net.Node(id)
+		if err != nil {
+			return nil, err
+		}
+		opts := []core.NodeOption{
+			core.WithDatagram(ep),
+			core.WithAnnouncePeriod(100 * time.Millisecond),
+			// Under flood the constrained link delays heartbeats by
+			// seconds; liveness and the directory must tolerate that.
+			core.WithFailureDeadline(60 * time.Second),
+			core.WithDirectoryTTL(60 * time.Second),
+			core.WithARQ(protocol.WithTimeout(80*time.Millisecond), protocol.WithMaxRetries(8)),
+			core.WithFileTransfer(
+				filetransfer.WithQueryWindow(3*time.Second),
+				filetransfer.WithMaxStrikes(100)),
+		}
+		opts = append(opts, extra...)
+		return core.NewNode(opts...)
+	}
+	var uavOpts []core.NodeOption
+	if shaped {
+		uavOpts = append(uavOpts, core.WithEgress(egress.Config{
+			BulkRateBPS: shapedRate,
+			BulkBurst:   2048, // ≲ two chunks may ever sit ahead of an alarm
+		}))
+	}
+	uav, err := mk("uav", uavOpts...)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = uav.Close() }()
+	gs, err := mk("gs")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = gs.Close() }()
+
+	// Critical alarm topic, UAV → ground station.
+	alarmType := presentation.Uint32()
+	alarmQoS := qos.EventQoS{Priority: qos.PriorityCritical}
+	pub, err := uav.Events().Offer("e13.alarm", "bench", alarmType, alarmQoS)
+	if err != nil {
+		return err
+	}
+	rec := &alarmRecorder{}
+	if err := waitProviders(gs, kindEvent, "e13.alarm", 1, 5*time.Second); err != nil {
+		return err
+	}
+	if _, err := gs.Events().Subscribe("e13.alarm", alarmType, alarmQoS,
+		func(v any, _ transport.NodeID) { rec.arrived(v.(uint32), time.Now()) }); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(pub.Subscribers()) == 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("alarm subscriber never registered")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// publishAlarms fires at alarmHz until stopCh closes, from a goroutine
+	// per tick: a flooded link can hold one publish in ARQ for seconds and
+	// must not stall the tick cadence.
+	publishAlarms := func(stopCh <-chan struct{}, maxDur time.Duration) {
+		interval := time.Second / time.Duration(res.AlarmHz)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		stopAt := time.Now().Add(maxDur)
+		var wg sync.WaitGroup
+		for {
+			select {
+			case <-stopCh:
+				wg.Wait()
+				return
+			case now := <-ticker.C:
+				if now.After(stopAt) {
+					wg.Wait()
+					return
+				}
+				seq := rec.nextSeq(now)
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+					defer cancel()
+					_ = pub.Publish(ctx, seq) // late/lost alarms are the measurement
+				}()
+			}
+		}
+	}
+
+	// Unloaded baseline (shaped phase only; topology identical).
+	if shaped {
+		publishAlarms(make(chan struct{}), 1200*time.Millisecond)
+		time.Sleep(4 * latency) // let the tail arrive
+		res.Unloaded, _ = rec.collect(1, rec.count())
+	}
+	loadedFrom := rec.count() + 1
+
+	// The bulk transfer.
+	data := make([]byte, res.FileBytes)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	tq := qos.TransferQoS{ChunkSize: 1024}
+	if shaped {
+		tq.RateBPS = shapedRate
+	}
+	offer, err := uav.Files().Offer("e13.file", "bench", data, tq)
+	if err != nil {
+		return err
+	}
+	defer offer.Close()
+	if err := waitProviders(gs, kindFile, "e13.file", 1, 5*time.Second); err != nil {
+		return err
+	}
+
+	fetchDone := make(chan error, 1)
+	var transfer time.Duration
+	start := time.Now()
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+		defer cancel()
+		got, _, err := gs.Files().Fetch(ctx, "e13.file", filetransfer.FetchOptions{})
+		transfer = time.Since(start)
+		if err == nil && len(got) != res.FileBytes {
+			err = fmt.Errorf("short fetch: %d of %d bytes", len(got), res.FileBytes)
+		}
+		fetchDone <- err
+	}()
+
+	// Alarms run concurrently until the transfer completes (capped).
+	alarmStop := make(chan struct{})
+	alarmsDone := make(chan struct{})
+	go func() {
+		defer close(alarmsDone)
+		publishAlarms(alarmStop, 60*time.Second)
+	}()
+	if err := <-fetchDone; err != nil {
+		close(alarmStop)
+		return err
+	}
+	close(alarmStop)
+	<-alarmsDone
+	loadedTo := rec.count()
+
+	// Let stragglers drain: in flood mode alarms can trail the transfer by
+	// the remaining link backlog. Wait until arrivals stabilize.
+	stableSince := time.Now()
+	last := rec.arrivedCount()
+	drainCap := time.Now().Add(30 * time.Second)
+	for time.Now().Before(drainCap) {
+		time.Sleep(100 * time.Millisecond)
+		if n := rec.arrivedCount(); n != last {
+			last = n
+			stableSince = time.Now()
+			continue
+		}
+		if time.Since(stableSince) > time.Second {
+			break
+		}
+	}
+
+	hist, lost := rec.collect(loadedFrom, loadedTo)
+	goodput := float64(res.FileBytes) / transfer.Seconds()
+	if shaped {
+		res.Shaped, res.ShapedLost, res.ShapedSent = hist, lost, loadedTo-loadedFrom+1
+		res.ShapedTransfer, res.ShapedGoodput = transfer, goodput
+		st := uav.EgressStats()
+		res.ShapedDropped = st.Class(qos.PriorityBulk).Dropped
+		res.ShapedCoalesced = st.Totals().Coalesced
+	} else {
+		res.Flood, res.FloodLost, res.FloodSent = hist, lost, loadedTo-loadedFrom+1
+		res.FloodTransfer, res.FloodGoodput = transfer, goodput
+	}
+	return nil
+}

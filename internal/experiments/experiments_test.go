@@ -126,3 +126,43 @@ func TestRunE5LocalBypassIsCheaper(t *testing.T) {
 		t.Errorf("variable timings = %v / %v", res.LocalVar, res.RemoteVar)
 	}
 }
+
+// TestRunE13EgressFixesPriorityInversion pins the tentpole property: on a
+// constrained link a concurrent bulk transfer balloons critical-alarm
+// latency when bulk is unshaped, and the egress plane (strict-priority
+// lanes + paced bulk) keeps it bounded while bulk throughput stays near
+// line rate. Margins are generous — CI hosts are noisy — the shape is what
+// matters: flood ≫ unloaded, shaped ≈ unloaded.
+func TestRunE13EgressFixesPriorityInversion(t *testing.T) {
+	const linkBPS = 125_000
+	res, err := RunE13(64*1024, linkBPS, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unloaded := res.Unloaded.Percentile(99)
+	flood := res.Flood.Percentile(99)
+	shaped := res.Shaped.Percentile(99)
+	if unloaded <= 0 || res.Unloaded.Count() == 0 {
+		t.Fatal("no unloaded baseline measured")
+	}
+	if flood < 3*unloaded {
+		t.Errorf("flood alarm p99 %v not clearly above unloaded %v: no inversion to fix?", flood, unloaded)
+	}
+	if shaped > flood/2 {
+		t.Errorf("shaped alarm p99 %v not clearly below flood %v", shaped, flood)
+	}
+	if shaped > 5*unloaded {
+		t.Errorf("shaped alarm p99 %v not bounded near unloaded %v", shaped, unloaded)
+	}
+	if res.ShapedLost > 0 {
+		t.Errorf("%d of %d shaped alarms lost", res.ShapedLost, res.ShapedSent)
+	}
+	// Bulk must still move: within ~2.5x of line rate even on a tiny file
+	// where setup latency dominates (the uavbench sweep measures 1MB).
+	if res.ShapedGoodput < float64(linkBPS)/2.5 {
+		t.Errorf("shaped goodput %.0f B/s too far below the %d B/s line", res.ShapedGoodput, linkBPS)
+	}
+	if res.ShapedDropped != 0 {
+		t.Errorf("pacing should keep the bulk lane shallow, egress dropped %d chunks", res.ShapedDropped)
+	}
+}

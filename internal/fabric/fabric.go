@@ -19,6 +19,15 @@ import (
 // before returning; they must not retain the *protocol.Frame or alias its
 // Payload afterwards. Engines rely on this to pool frames and payload
 // buffers on hot paths.
+//
+// Transmission is priority-aware: the frame's Priority selects the egress
+// lane it drains from (strict priority per destination, token-bucket-shaped
+// PriorityBulk, small-frame coalescing — see package egress). Datagram
+// sends are therefore asynchronous: a nil return means the frame was
+// accepted into its lane, not that it reached the transport; post-enqueue
+// transport failures surface in the container's egress stats. Engines must
+// set Priority deliberately — it decides both who the frame may overtake on
+// a congested link and how the receiver schedules its handler.
 type Fabric interface {
 	// Self is the local node identity.
 	Self() transport.NodeID

@@ -319,3 +319,99 @@ func TestRecordsExposeOffers(t *testing.T) {
 		t.Errorf("Records = %+v", recs)
 	}
 }
+
+// waitInactive polls until the offer's transfer loop has exited.
+func waitInactive(t *testing.T, o *Offer, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		o.mu.Lock()
+		active := o.active
+		o.mu.Unlock()
+		if !active {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("transfer loop still running %v after Close", within)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestCloseAbortsRoundPause pins the fast-shutdown property: Close must
+// not wait out a multi-second RoundPause (the loop's sleeps are abortable).
+func TestCloseAbortsRoundPause(t *testing.T) {
+	f := newFakeFabric("pub")
+	e := New(f, WithQueryWindow(time.Millisecond))
+	o, err := e.Offer("big", "svc", make([]byte, 4096), qos.TransferQoS{
+		ChunkSize: 1024, RoundPause: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.addSubscriber("sub") // starts the loop; first round ends in the pause
+	time.Sleep(20 * time.Millisecond)
+	start := time.Now()
+	o.Close()
+	waitInactive(t, o, time.Second)
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Close took %v against a 30s round pause", elapsed)
+	}
+}
+
+// TestCloseAbortsQueryWindow pins the same property for the completion
+// query window.
+func TestCloseAbortsQueryWindow(t *testing.T) {
+	f := newFakeFabric("pub")
+	e := New(f, WithQueryWindow(30*time.Second))
+	o, err := e.Offer("big", "svc", make([]byte, 4096), qos.TransferQoS{ChunkSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.addSubscriber("sub")
+	time.Sleep(20 * time.Millisecond) // loop is now inside the query window
+	start := time.Now()
+	o.Close()
+	waitInactive(t, o, time.Second)
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Close took %v against a 30s query window", elapsed)
+	}
+}
+
+// TestRateBPSPacesChunkEmission pins TransferQoS.RateBPS: chunk multicast
+// is spread over ≈ wireBytes/rate rather than blasted at once.
+func TestRateBPSPacesChunkEmission(t *testing.T) {
+	f := newFakeFabric("pub")
+	e := New(f, WithQueryWindow(time.Millisecond))
+	const chunks, chunkSize = 8, 1000
+	rate := int64(8 * (chunkSize + chunkWireOverhead) * 10) // whole file ≈ 100ms
+	o, err := e.Offer("paced", "svc", make([]byte, chunks*chunkSize), qos.TransferQoS{
+		ChunkSize: chunkSize, RateBPS: rate, RoundPause: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	start := time.Now()
+	o.addSubscriber("sub")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		sent := 0
+		for _, fr := range f.groupFrames("f:paced") {
+			if fr.Type == protocol.MTFileChunk {
+				sent++
+			}
+		}
+		if sent >= chunks {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d chunks emitted", sent, chunks)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// First chunk is free; the remaining 7 are paced at ≈10 chunks/s.
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("8 paced chunks emitted in %v, want ≈70ms+", elapsed)
+	}
+}

@@ -56,6 +56,9 @@ const (
 	DefaultQueryWindow = 40 * time.Millisecond
 	// DefaultMaxStrikes drops a subscriber after this many silent rounds.
 	DefaultMaxStrikes = 5
+	// chunkWireOverhead estimates frame header + chunk header bytes per
+	// chunk datagram, for RateBPS pacing arithmetic.
+	chunkWireOverhead = 64
 )
 
 // Engine is the per-container file-transfer runtime.
@@ -135,6 +138,7 @@ func (e *Engine) Offer(name, service string, data []byte, q qos.TransferQoS) (*O
 		q:           q,
 		subscribers: make(map[transport.NodeID]*subState),
 		wake:        make(chan struct{}, 1),
+		stop:        make(chan struct{}),
 	}
 	o.install(1, data)
 	e.offers[name] = o
@@ -161,6 +165,7 @@ type Offer struct {
 	rounds      uint64 // total transfer rounds run (diagnostics/E4)
 
 	wake chan struct{}
+	stop chan struct{} // closed by Close; aborts transfer-loop sleeps
 }
 
 type subState struct {
@@ -245,7 +250,9 @@ func (o *Offer) Record() naming.Record {
 	}
 }
 
-// Close withdraws the offer and stops its transfer loop.
+// Close withdraws the offer and stops its transfer loop. The loop's
+// pacing, query-window and round-pause sleeps all abort on Close, so
+// shutdown is prompt even mid-pause.
 func (o *Offer) Close() {
 	o.mu.Lock()
 	if o.closed {
@@ -254,6 +261,7 @@ func (o *Offer) Close() {
 	}
 	o.closed = true
 	o.mu.Unlock()
+	close(o.stop)
 	o.kick()
 	o.engine.mu.Lock()
 	delete(o.engine.offers, o.name)
@@ -265,6 +273,23 @@ func (o *Offer) kick() {
 	select {
 	case o.wake <- struct{}{}:
 	default:
+	}
+}
+
+// sleep pauses the transfer loop for d, returning false immediately if the
+// offer closes first. Bare time.Sleep here used to pin Close behind a full
+// query window or round pause.
+func (o *Offer) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-o.stop:
+		return false
+	case <-t.C:
+		return true
 	}
 }
 
@@ -345,12 +370,29 @@ func (o *Offer) transferLoop() {
 		// Phase 1 refresher for late joiners.
 		o.announce()
 
-		// Phase 2: multicast pending chunks in index order.
+		// Phase 2: multicast pending chunks in index order. With a QoS
+		// rate cap the emission is paced chunk by chunk, so a
+		// bandwidth-constrained link is never handed a burst the egress
+		// bulk lane would have to buffer (or drop) — the per-transfer
+		// half of the bulk-shaping story; the container egress plane's
+		// token bucket shapes the class as a whole.
 		group := fabric.FileGroup(o.name)
 		total := uint32(len(chunks))
+		var nextSend time.Time
+		aborted := false
 		for i := uint32(0); i < total; i++ {
 			if !pending[i] {
 				continue
+			}
+			if o.q.RateBPS > 0 {
+				if now := time.Now(); nextSend.After(now) {
+					if !o.sleep(nextSend.Sub(now)) {
+						aborted = true
+						break
+					}
+				} else if nextSend.Before(now) {
+					nextSend = now // credit never accumulates across idle gaps
+				}
 			}
 			frame := &protocol.Frame{
 				Type:     protocol.MTFileChunk,
@@ -359,10 +401,19 @@ func (o *Offer) transferLoop() {
 				Seq:      e.f.NextSeq(),
 				Payload:  encodeChunk(revision, i, total, chunks[i]),
 			}
+			if o.q.RateBPS > 0 {
+				wire := len(frame.Payload) + chunkWireOverhead
+				nextSend = nextSend.Add(time.Duration(float64(wire) / float64(o.q.RateBPS) * float64(time.Second)))
+			}
 			_ = e.f.SendGroup(group, frame)
 		}
+		if aborted {
+			continue // loop head observes closed and exits
+		}
 
-		// Phase 3: query and collect.
+		// Phase 3: query and collect. The query rides the transfer's own
+		// class so it trails the round's chunks through the egress lane;
+		// overtaking them would solicit NACKs for chunks still in flight.
 		query := &protocol.Frame{
 			Type:     protocol.MTFileQuery,
 			Priority: o.q.Priority,
@@ -371,7 +422,9 @@ func (o *Offer) transferLoop() {
 			Payload:  encodeFileMeta(revision, 0, uint32(o.q.ChunkSize), total),
 		}
 		_ = e.f.SendGroup(group, query)
-		time.Sleep(e.queryWindow)
+		if !o.sleep(e.queryWindow) {
+			continue
+		}
 
 		o.mu.Lock()
 		o.rounds++
@@ -387,8 +440,8 @@ func (o *Offer) transferLoop() {
 		}
 		o.mu.Unlock()
 
-		if o.q.RoundPause > 0 {
-			time.Sleep(o.q.RoundPause)
+		if o.q.RoundPause > 0 && !o.sleep(o.q.RoundPause) {
+			continue // closed mid-pause; loop head exits
 		}
 	}
 }
@@ -553,9 +606,12 @@ func (e *Engine) subscribeToProvider(ctx context.Context, st *fetchState) error 
 			st.mu.Lock()
 			st.provider = rec.Node
 			st.mu.Unlock()
+			// Control frames ride PriorityNormal, not the bulk lane: a
+			// subscription must not queue behind another transfer's
+			// chunk backlog on the same egress plane.
 			frame := &protocol.Frame{
 				Type:     protocol.MTFileSubscribe,
-				Priority: qos.PriorityBulk,
+				Priority: qos.PriorityNormal,
 				Channel:  st.name,
 				Seq:      e.f.NextSeq(),
 			}
@@ -762,9 +818,11 @@ func (e *Engine) sendAck(to transport.NodeID, name string, revision uint64) {
 	if to == "" {
 		return
 	}
+	// Completion control rides PriorityNormal so it cannot starve behind
+	// bulk chunk traffic flowing the other way through a shared medium.
 	frame := &protocol.Frame{
 		Type:     protocol.MTFileAck,
-		Priority: qos.PriorityBulk,
+		Priority: qos.PriorityNormal,
 		Channel:  name,
 		Seq:      e.f.NextSeq(),
 		Payload:  encodeAck(revision),
@@ -808,7 +866,7 @@ func (e *Engine) HandleQuery(from transport.NodeID, fr *protocol.Frame) {
 	w.Raw(encodeRanges(missing))
 	frame := &protocol.Frame{
 		Type:     protocol.MTFileNack,
-		Priority: qos.PriorityBulk,
+		Priority: qos.PriorityNormal,
 		Channel:  fr.Channel,
 		Seq:      e.f.NextSeq(),
 		Payload:  w.Bytes(),

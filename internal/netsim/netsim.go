@@ -54,11 +54,20 @@ type LinkConfig struct {
 	Loss float64
 	// Duplicate overrides the network duplication when >=0; -1 inherits.
 	Duplicate float64
+	// BandwidthBPS, when >0, serializes this directed link at the given
+	// bytes/second on top of the sender-wide Config.BandwidthBPS: packets
+	// queue FIFO at the link and occupy it for size/rate each. Zero
+	// inherits (no extra per-link serialization beyond the global cap).
+	// It models one constrained hop — an air-to-ground radio — inside an
+	// otherwise fast fleet, the topology experiment E13 measures.
+	BandwidthBPS int64
 	// Blocked drops every packet on the link (partition).
 	Blocked bool
 }
 
-// InheritLink returns a LinkConfig that inherits every probability field.
+// InheritLink returns a LinkConfig that inherits every field: probability
+// fields at -1, latency/jitter/bandwidth at zero (zero bandwidth means no
+// per-link serialization beyond the sender-wide Config.BandwidthBPS).
 func InheritLink() LinkConfig { return LinkConfig{Loss: -1, Duplicate: -1} }
 
 // Net is the simulated medium. Create nodes with Node, wire faults with
@@ -72,6 +81,7 @@ type Net struct {
 	groups   map[string]map[transport.NodeID]*Node
 	links    map[linkKey]LinkConfig
 	nextFree map[transport.NodeID]time.Time // per-sender medium occupancy
+	linkFree map[linkKey]time.Time          // per-link occupancy (BandwidthBPS overrides)
 	events   eventHeap
 	seq      uint64 // tiebreaker for equal delivery times
 	closed   bool
@@ -102,6 +112,7 @@ func New(cfg Config) *Net {
 		groups:   make(map[string]map[transport.NodeID]*Node),
 		links:    make(map[linkKey]LinkConfig),
 		nextFree: make(map[transport.NodeID]time.Time),
+		linkFree: make(map[linkKey]time.Time),
 		wake:     make(chan struct{}, 1),
 		done:     make(chan struct{}),
 	}
@@ -271,13 +282,14 @@ func (n *Net) signal() {
 	}
 }
 
-// linkFor resolves effective parameters for a directed pair.
-func (n *Net) linkFor(from, to transport.NodeID) (latency, jitter time.Duration, loss, dup float64, blocked bool) {
+// linkFor resolves effective parameters for a directed pair. bw is the
+// per-link serialization rate (0 = none beyond the sender-wide cap).
+func (n *Net) linkFor(from, to transport.NodeID) (latency, jitter time.Duration, loss, dup float64, bw int64, blocked bool) {
 	latency, jitter = n.cfg.Latency, n.cfg.Jitter
 	loss, dup = n.cfg.Loss, n.cfg.Duplicate
 	lc, ok := n.links[linkKey{from, to}]
 	if !ok {
-		return latency, jitter, loss, dup, false
+		return latency, jitter, loss, dup, 0, false
 	}
 	if lc.Latency > 0 {
 		latency = lc.Latency
@@ -291,7 +303,7 @@ func (n *Net) linkFor(from, to transport.NodeID) (latency, jitter time.Duration,
 	if lc.Duplicate >= 0 {
 		dup = lc.Duplicate
 	}
-	return latency, jitter, loss, dup, lc.Blocked
+	return latency, jitter, loss, dup, lc.BandwidthBPS, lc.Blocked
 }
 
 // transmit schedules delivery of payload from src to each receiver. Called
@@ -319,10 +331,22 @@ func (n *Net) transmit(src *Node, receivers []*Node, pkt transport.Packet) {
 	n.wireBytes.Add(uint64(len(pkt.Payload)))
 
 	for _, dst := range receivers {
-		latency, jitter, loss, dup, blocked := n.linkFor(src.id, dst.id)
+		latency, jitter, loss, dup, bw, blocked := n.linkFor(src.id, dst.id)
 		if blocked {
 			n.lost.Add(1)
 			continue
+		}
+		// Per-link serialization: after leaving the sender the packet
+		// queues FIFO at the constrained directed link and occupies it
+		// for size/rate — whether or not the receiver then loses it.
+		depart := start.Add(txDelay)
+		if bw > 0 {
+			key := linkKey{src.id, dst.id}
+			if free, ok := n.linkFree[key]; ok && free.After(depart) {
+				depart = free
+			}
+			depart = depart.Add(time.Duration(float64(len(pkt.Payload)) / float64(bw) * float64(time.Second)))
+			n.linkFree[key] = depart
 		}
 		if loss > 0 && n.rng.Float64() < loss {
 			n.lost.Add(1)
@@ -340,7 +364,7 @@ func (n *Net) transmit(src *Node, receivers []*Node, pkt transport.Packet) {
 			}
 			n.seq++
 			ev := &event{
-				at:   start.Add(txDelay + delay),
+				at:   depart.Add(delay),
 				seq:  n.seq,
 				dst:  dst,
 				pkt:  pkt,

@@ -390,3 +390,94 @@ func TestNoHandlerCountsDrop(t *testing.T) {
 		}
 	}
 }
+
+// TestPerLinkBandwidthConformance pins the link model experiment E13
+// depends on: N bytes through a link capped at R bytes/second arrive in
+// ≈ N/R, with packets serialized FIFO at the link.
+func TestPerLinkBandwidthConformance(t *testing.T) {
+	net := New(Config{})
+	defer net.Close()
+	a, _ := net.Node("a")
+	b, _ := net.Node("b")
+	col := &collector{}
+	b.SetHandler(col.handler())
+
+	lc := InheritLink()
+	lc.BandwidthBPS = 1_000_000 // 1 MB/s
+	net.SetLink("a", "b", lc)
+
+	const pkts, size = 50, 2000 // 100 KB total → 100 ms at 1 MB/s
+	start := time.Now()
+	for i := 0; i < pkts; i++ {
+		if err := a.Send("b", make([]byte, size)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	col.wait(t, pkts, 5*time.Second)
+	elapsed := time.Since(start)
+	want := time.Duration(float64(pkts*size) / 1_000_000 * float64(time.Second))
+	if elapsed < want-want/10 {
+		t.Errorf("%d bytes at 1MB/s delivered in %v, conformance wants >= ~%v", pkts*size, elapsed, want)
+	}
+	if elapsed > 6*want {
+		t.Errorf("%d bytes at 1MB/s took %v, want ≈%v", pkts*size, elapsed, want)
+	}
+}
+
+// TestPerLinkBandwidthIsolated pins the E13 topology: one constrained
+// directed link does not slow traffic from the same sender to other nodes.
+func TestPerLinkBandwidthIsolated(t *testing.T) {
+	net := New(Config{})
+	defer net.Close()
+	a, _ := net.Node("a")
+	slow, _ := net.Node("slow")
+	fast, _ := net.Node("fast")
+	colSlow, colFast := &collector{}, &collector{}
+	slow.SetHandler(colSlow.handler())
+	fast.SetHandler(colFast.handler())
+
+	lc := InheritLink()
+	lc.BandwidthBPS = 100_000 // 100 KB/s
+	net.SetLink("a", "slow", lc)
+
+	// 50 KB down the slow link (≈500 ms), then one packet to the fast peer.
+	for i := 0; i < 25; i++ {
+		if err := a.Send("slow", make([]byte, 2000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := time.Now()
+	if err := a.Send("fast", make([]byte, 2000)); err != nil {
+		t.Fatal(err)
+	}
+	colFast.wait(t, 1, 2*time.Second)
+	if elapsed := time.Since(start); elapsed > 200*time.Millisecond {
+		t.Errorf("fast-link packet took %v behind a congested sibling link", elapsed)
+	}
+	colSlow.wait(t, 25, 5*time.Second)
+	if elapsed := time.Since(start); elapsed < 350*time.Millisecond {
+		t.Errorf("slow link finished 50KB at 100KB/s in %v, want ≈500ms", elapsed)
+	}
+}
+
+// TestPerLinkBandwidthInherit pins that a link override with zero
+// BandwidthBPS (InheritLink) still serializes at the sender-wide cap.
+func TestPerLinkBandwidthInherit(t *testing.T) {
+	net := New(Config{BandwidthBPS: 100_000})
+	defer net.Close()
+	a, _ := net.Node("a")
+	b, _ := net.Node("b")
+	col := &collector{}
+	b.SetHandler(col.handler())
+
+	net.SetLink("a", "b", InheritLink()) // override present, bandwidth inherited
+
+	start := time.Now()
+	if err := a.Send("b", make([]byte, 10_000)); err != nil { // ≈100 ms at 100 KB/s
+		t.Fatal(err)
+	}
+	col.wait(t, 1, 2*time.Second)
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Errorf("inherited bandwidth ignored: 10KB at 100KB/s delivered in %v", elapsed)
+	}
+}

@@ -1,0 +1,91 @@
+package protocol
+
+import (
+	"fmt"
+
+	"uavmw/internal/encoding"
+	"uavmw/internal/qos"
+)
+
+// Batch wire layout. An MTBatch frame is an ordinary frame whose payload is
+// a sequence of complete encoded frames, each prefixed by its length:
+//
+//	| u32 len | frame bytes | u32 len | frame bytes | ...
+//
+// The outer frame carries no sequence semantics of its own (Seq is unused,
+// never ack-required); reliability belongs to the inner frames, which the
+// receiver feeds through the normal decode path one by one. The outer
+// Priority is the egress lane the batch was drained from, so transports or
+// diagnostics that peek at the header still see the right class.
+
+// BatchEntryOverhead is the per-inner-frame cost of riding in a batch.
+const BatchEntryOverhead = 4
+
+// batchHeaderOverhead is the outer frame header cost (magic u16, version,
+// type, flags, encoding, priority, empty-channel u32 length, seq u64).
+const batchHeaderOverhead = 19
+
+// BatchOverhead returns the wire bytes an n-frame batch adds on top of the
+// inner frames themselves. Egress uses it to keep coalesced datagrams under
+// the MTU.
+func BatchOverhead(n int) int { return batchHeaderOverhead + n*BatchEntryOverhead }
+
+// EncodeBatch packs the given encoded frames into one MTBatch datagram.
+// Order is preserved; the outer frame's priority is p.
+func EncodeBatch(frames [][]byte, p qos.Priority) ([]byte, error) {
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("protocol: empty batch: %w", ErrBadFrame)
+	}
+	size := 0
+	for _, f := range frames {
+		size += BatchEntryOverhead + len(f)
+	}
+	w := encoding.NewWriter(size)
+	for _, f := range frames {
+		w.Uint32(uint32(len(f)))
+		w.Raw(f)
+	}
+	return EncodeFrame(&Frame{Type: MTBatch, Priority: p, Payload: w.Bytes()})
+}
+
+// DecodeBatch splits an MTBatch payload back into the raw inner frames. The
+// returned slices alias payload; callers that retain them must copy.
+func DecodeBatch(payload []byte) ([][]byte, error) {
+	r := encoding.NewReader(payload)
+	var frames [][]byte
+	for r.Remaining() > 0 {
+		n := r.Uint32()
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("protocol: batch entry: %w", err)
+		}
+		if int(n) > r.Remaining() {
+			return nil, fmt.Errorf("protocol: batch entry %d bytes, %d left: %w",
+				n, r.Remaining(), ErrBadFrame)
+		}
+		frames = append(frames, r.Raw(int(n)))
+	}
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("protocol: empty batch: %w", ErrBadFrame)
+	}
+	return frames, nil
+}
+
+// priorityOffset is the byte position of the Priority field in an encoded
+// frame header: magic u16, version u8, type u8, flags u8, encoding u8.
+const priorityOffset = 6
+
+// PeekPriority reads the scheduler class out of an encoded frame without a
+// full decode. The egress plane uses it to lane retransmissions, which the
+// ARQ engine holds only in encoded form. Undecodable input maps to
+// PriorityNormal so a malformed frame still drains.
+func PeekPriority(raw []byte) qos.Priority {
+	if len(raw) <= priorityOffset ||
+		raw[0] != byte(frameMagic>>8) || raw[1] != byte(frameMagic&0xff) {
+		return qos.PriorityNormal
+	}
+	p := qos.Priority(raw[priorityOffset])
+	if !p.Valid() {
+		return qos.PriorityNormal
+	}
+	return p
+}

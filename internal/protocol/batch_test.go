@@ -1,0 +1,111 @@
+package protocol
+
+import (
+	"errors"
+	"testing"
+
+	"uavmw/internal/qos"
+)
+
+func encodeTestFrame(t *testing.T, f *Frame) []byte {
+	t.Helper()
+	raw, err := EncodeFrame(f)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return raw
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	frames := [][]byte{
+		encodeTestFrame(t, &Frame{Type: MTSample, Priority: qos.PriorityNormal,
+			Channel: "gps.position", Seq: 1, Payload: []byte("alpha")}),
+		encodeTestFrame(t, &Frame{Type: MTEvent, Priority: qos.PriorityHigh,
+			Channel: "alarm", Seq: 2, Payload: []byte("beta")}),
+		encodeTestFrame(t, &Frame{Type: MTHeartbeat, Priority: qos.PriorityNormal, Seq: 3}),
+	}
+	raw, err := EncodeBatch(frames, qos.PriorityHigh)
+	if err != nil {
+		t.Fatalf("EncodeBatch: %v", err)
+	}
+	outer, err := DecodeFrame(raw)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	if outer.Type != MTBatch {
+		t.Fatalf("outer type = %v, want batch", outer.Type)
+	}
+	if outer.Priority != qos.PriorityHigh {
+		t.Fatalf("outer priority = %v, want high", outer.Priority)
+	}
+	subs, err := DecodeBatch(outer.Payload)
+	if err != nil {
+		t.Fatalf("DecodeBatch: %v", err)
+	}
+	if len(subs) != len(frames) {
+		t.Fatalf("decoded %d frames, want %d", len(subs), len(frames))
+	}
+	wantSeq := []uint64{1, 2, 3}
+	wantType := []MsgType{MTSample, MTEvent, MTHeartbeat}
+	for i, sub := range subs {
+		f, err := DecodeFrame(sub)
+		if err != nil {
+			t.Fatalf("inner %d: %v", i, err)
+		}
+		if f.Seq != wantSeq[i] || f.Type != wantType[i] {
+			t.Fatalf("inner %d = %v seq %d, want %v seq %d", i, f.Type, f.Seq, wantType[i], wantSeq[i])
+		}
+	}
+}
+
+func TestBatchOverheadAccountsForWire(t *testing.T) {
+	frames := [][]byte{
+		encodeTestFrame(t, &Frame{Type: MTSample, Channel: "a", Seq: 1, Payload: make([]byte, 100)}),
+		encodeTestFrame(t, &Frame{Type: MTSample, Channel: "b", Seq: 2, Payload: make([]byte, 100)}),
+	}
+	raw, err := EncodeBatch(frames, qos.PriorityNormal)
+	if err != nil {
+		t.Fatalf("EncodeBatch: %v", err)
+	}
+	inner := len(frames[0]) + len(frames[1])
+	if got, want := len(raw), inner+BatchOverhead(len(frames)); got != want {
+		t.Fatalf("batch datagram %d bytes, want exactly %d (inner %d + overhead)", got, want, inner)
+	}
+}
+
+func TestBatchRejectsEmptyAndTruncated(t *testing.T) {
+	if _, err := EncodeBatch(nil, qos.PriorityNormal); err == nil {
+		t.Fatal("EncodeBatch(nil) succeeded")
+	}
+	if _, err := DecodeBatch(nil); err == nil {
+		t.Fatal("DecodeBatch(nil) succeeded")
+	}
+	frame := encodeTestFrame(t, &Frame{Type: MTSample, Channel: "a", Seq: 1})
+	raw, err := EncodeBatch([][]byte{frame}, qos.PriorityNormal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, err := DecodeFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the payload mid-entry: decode must fail, not panic.
+	if _, err := DecodeBatch(outer.Payload[:len(outer.Payload)-3]); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("truncated batch: err = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestPeekPriority(t *testing.T) {
+	for _, p := range qos.Levels() {
+		raw := encodeTestFrame(t, &Frame{Type: MTSample, Priority: p, Channel: "x", Seq: 9})
+		if got := PeekPriority(raw); got != p {
+			t.Fatalf("PeekPriority = %v, want %v", got, p)
+		}
+	}
+	if got := PeekPriority([]byte{1, 2, 3}); got != qos.PriorityNormal {
+		t.Fatalf("short input: %v, want normal", got)
+	}
+	if got := PeekPriority(make([]byte, 32)); got != qos.PriorityNormal {
+		t.Fatalf("bad magic: %v, want normal", got)
+	}
+}

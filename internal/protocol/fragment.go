@@ -42,6 +42,10 @@ func Fragment(raw []byte, msgID uint64, mtu int) ([][]byte, error) {
 	if total > maxFragments {
 		return nil, fmt.Errorf("protocol: %d fragments exceeds %d: %w", total, maxFragments, ErrBadFrame)
 	}
+	// Fragments inherit the original frame's priority so they drain from
+	// the same egress lane and the ARQ resend path (which lanes by the
+	// encoded header) cannot promote bulk to normal or demote critical.
+	pr := PeekPriority(raw)
 	out := make([][]byte, 0, total)
 	for i := 0; i < total; i++ {
 		start := i * mtu
@@ -52,9 +56,10 @@ func Fragment(raw []byte, msgID uint64, mtu int) ([][]byte, error) {
 		w.Uint16(uint16(total))
 		w.Raw(raw[start:end])
 		frame, err := EncodeFrame(&Frame{
-			Type:    MTFragment,
-			Seq:     msgID,
-			Payload: w.Bytes(),
+			Type:     MTFragment,
+			Priority: pr,
+			Seq:      msgID,
+			Payload:  w.Bytes(),
 		})
 		if err != nil {
 			return nil, err

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"time"
+
+	"uavmw/internal/qos"
 )
 
 func TestFragmentPassthroughUnderMTU(t *testing.T) {
@@ -188,5 +190,43 @@ func TestFragmentMTUDefault(t *testing.T) {
 	}
 	if len(frags) != 2 {
 		t.Errorf("default MTU fragmentation produced %d parts", len(frags))
+	}
+}
+
+// TestFragmentsInheritPriority pins the egress-lane property: fragments of
+// an oversized frame carry the original frame's priority in their own
+// headers, so priority-peeking send paths (ARQ resends, egress laning)
+// keep every fragment in the original class.
+func TestFragmentsInheritPriority(t *testing.T) {
+	for _, pr := range qos.Levels() {
+		raw, err := EncodeFrame(&Frame{
+			Type: MTFileChunk, Priority: pr, Channel: "big", Seq: 7,
+			Payload: make([]byte, 4000),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts, err := Fragment(raw, 7, 1400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(parts) < 2 {
+			t.Fatalf("expected fragmentation, got %d part(s)", len(parts))
+		}
+		for i, part := range parts {
+			f, err := DecodeFrame(part)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.Type != MTFragment {
+				t.Fatalf("part %d type %v", i, f.Type)
+			}
+			if f.Priority != pr {
+				t.Fatalf("fragment %d priority = %v, want %v", i, f.Priority, pr)
+			}
+			if got := PeekPriority(part); got != pr {
+				t.Fatalf("PeekPriority(fragment %d) = %v, want %v", i, got, pr)
+			}
+		}
 	}
 }

@@ -75,6 +75,15 @@ const (
 	MTSyncReq       // receiver asks a node for its full record set
 	MTSyncRep       // one chunk of the full record set
 
+	// Egress coalescing (§6 framing, transmit side). While small frames
+	// for the same destination wait in an egress lane, the plane packs
+	// them into one MTBatch datagram — fewer syscalls and wire packets on
+	// small-frame-heavy paths. The payload is a sequence of length-
+	// prefixed complete frames (see EncodeBatch); receivers unpack and
+	// route each inner frame exactly as if it had arrived alone, so
+	// acknowledgment, dedup and priority scheduling are unaffected.
+	MTBatch // container of length-prefixed coalesced frames
+
 	mtMax // sentinel
 )
 
@@ -106,7 +115,7 @@ func (m MsgType) String() string {
 		MTFileAck: "file-ack", MTFileNack: "file-nack", MTFileCancel: "file-cancel",
 		MTFragment: "fragment", MTAck: "ack", MTEventNack: "event-nack",
 		MTBusy: "busy", MTAnnounceDelta: "announce-delta",
-		MTSyncReq: "sync-req", MTSyncRep: "sync-rep",
+		MTSyncReq: "sync-req", MTSyncRep: "sync-rep", MTBatch: "batch",
 	}
 	if int(m) < len(names) && names[m] != "" {
 		return names[m]

@@ -348,6 +348,15 @@ type TransferQoS struct {
 	// RoundPause is an optional pause between completion rounds, used to
 	// cap bandwidth on constrained links. Zero means no pause.
 	RoundPause time.Duration
+	// RateBPS caps the transfer's transmit rate in estimated wire
+	// bytes/second: the publisher paces chunk emission so the egress bulk
+	// lane stays shallow and a bandwidth-constrained link is never handed
+	// more bulk than it can carry (priority inversion at the link queue).
+	// Zero means unpaced. Set it just below the narrowest link on the
+	// path; the container-level egress token bucket (which shapes the
+	// whole PriorityBulk class) is the backstop when several transfers
+	// share a node.
+	RateBPS int64
 }
 
 // Normalize fills defaulted fields, returning the effective policy.
@@ -365,6 +374,9 @@ func (q TransferQoS) Validate() error {
 	}
 	if q.RoundPause < 0 {
 		return fmt.Errorf("qos: negative round pause %v: %w", q.RoundPause, ErrInvalidPolicy)
+	}
+	if q.RateBPS < 0 {
+		return fmt.Errorf("qos: negative rate %d B/s: %w", q.RateBPS, ErrInvalidPolicy)
 	}
 	return nil
 }

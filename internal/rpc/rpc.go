@@ -620,6 +620,9 @@ func (e *Engine) callRemote(ctx context.Context, provider transport.NodeID, name
 			return nil, nil, fmt.Errorf("rpc: %s to %q: %w", name, provider, ErrDeadline)
 		}
 	}
+	// The call's QoS priority selects both the remote handler's scheduler
+	// class and the local egress lane the request drains from, so an
+	// urgent call overtakes queued bulk on its way out too.
 	frame := &protocol.Frame{
 		Type:     protocol.MTCall,
 		Encoding: e.f.Encoding().ID(),

@@ -358,6 +358,8 @@ func (s *Subscription) requestInitial() error {
 	if err != nil {
 		return fmt.Errorf("variables: initial value for %q: %w", s.name, err)
 	}
+	// Control frames ride the high egress lane: an initial-value request
+	// must not queue behind sample or bulk traffic on a congested link.
 	frame := &protocol.Frame{
 		Type:     protocol.MTSnapshotReq,
 		Encoding: e.f.Encoding().ID(),
