@@ -398,3 +398,23 @@ func BenchmarkFrameCodec(b *testing.B) {
 func sizedName(n int) string { return fmt.Sprintf("%d", n) }
 
 var _ = sizedName // reserved for sweep-style sub-benchmarks
+
+// BenchmarkE14_BearerHandover drives the multi-bearer link plane through a
+// WiFi→radio handover: a 96KB transfer rides the 1 Mb/s wifi bearer while
+// 50Hz critical alarms pin to the 250 kb/s radio; wifi blacks out
+// mid-transfer. Reported: alarm p99 across the blackout vs unloaded, the
+// handover detection time, and the bulk rate recovered on the surviving
+// radio against its shaped rate.
+func BenchmarkE14_BearerHandover(b *testing.B) {
+	res, err := experiments.RunE14(96*1024, 400*time.Millisecond, 14)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(res.Unloaded.Percentile(99).Microseconds()), "unloaded-p99-us")
+	b.ReportMetric(float64(res.Multi.Percentile(99).Microseconds()), "loaded-p99-us")
+	b.ReportMetric(float64(res.MultiLost), "alarms-lost")
+	b.ReportMetric(float64(res.HandoverDetect.Milliseconds()), "handover-ms")
+	b.ReportMetric(res.RecoveredBPS/1024, "recovered-KB/s")
+	b.ReportMetric(100*res.RecoveredBPS/float64(res.RadioShaped), "recovered-shaped-%")
+	b.ReportMetric(float64(res.SingleLost), "single-bearer-lost")
+}

@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		runFlag = flag.String("run", "all", "comma-separated experiments: e1,e2,e3,e4,e5,e7,e8,e9,e11,e12,e13 or all")
+		runFlag = flag.String("run", "all", "comma-separated experiments: e1,e2,e3,e4,e5,e7,e8,e9,e11,e12,e13,e14 or all")
 		quick   = flag.Bool("quick", false, "reduced iteration counts for smoke runs")
 	)
 	flag.Parse()
@@ -43,7 +43,7 @@ func main() {
 	all := []experiment{
 		{"e1", runE1}, {"e2", runE2}, {"e3", runE3}, {"e4", runE4},
 		{"e5", runE5}, {"e7", runE7}, {"e8", runE8}, {"e9", runE9},
-		{"e11", runE11}, {"e12", runE12}, {"e13", runE13},
+		{"e11", runE11}, {"e12", runE12}, {"e13", runE13}, {"e14", runE14},
 	}
 	for _, exp := range all {
 		if !want(exp.name) {
@@ -315,6 +315,40 @@ func runE13(quick bool) error {
 		float64(res.Flood.Percentile(99))/float64(res.Unloaded.Percentile(99)),
 		float64(res.Shaped.Percentile(99))/float64(res.Unloaded.Percentile(99)),
 		res.ShapedDropped, res.ShapedCoalesced)
+	return nil
+}
+
+func runE14(quick bool) error {
+	header("E14 — multi-bearer link plane: WiFi→radio handover under blackout")
+	fileBytes := 256 * 1024
+	blackoutAfter := 800 * time.Millisecond
+	if quick {
+		fileBytes = 96 * 1024
+		blackoutAfter = 400 * time.Millisecond
+	}
+	res, err := experiments.RunE14(fileBytes, blackoutAfter, 14)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%dKB transfer UAV→GS; wifi %d B/s (shaped %d) + radio %d B/s (shaped %d); %dHz critical alarms\n",
+		res.FileBytes/1024, res.WifiBPS, res.WifiShapedBPS, res.RadioBPS, res.RadioShaped, res.AlarmHz)
+	fmt.Printf("policy: critical pins to the robust radio, bulk rides the fat wifi; wifi blacks out %v into the transfer\n",
+		res.BlackoutAfter)
+	fmt.Printf("%-14s %12s %12s %9s\n", "alarms", "p50", "p99", "lost")
+	fmt.Printf("%-14s %12v %12v %9s\n", "unloaded",
+		res.Unloaded.Percentile(50).Round(time.Microsecond),
+		res.Unloaded.Percentile(99).Round(time.Microsecond),
+		fmt.Sprintf("0/%d", res.Unloaded.Count()))
+	fmt.Printf("%-14s %12v %12v %9s\n", "loaded+blackout",
+		res.Multi.Percentile(50).Round(time.Microsecond),
+		res.Multi.Percentile(99).Round(time.Microsecond),
+		fmt.Sprintf("%d/%d", res.MultiLost, res.MultiSent))
+	fmt.Printf("handover: wifi declared down %v after blackout; transfer completed in %v\n",
+		res.HandoverDetect.Round(time.Millisecond), res.Transfer.Round(time.Millisecond))
+	fmt.Printf("wire split UAV→GS: wifi %dKB, radio %dKB; bulk recovered to %.0f B/s = %.0f%% of the radio's shaped rate\n",
+		res.WifiBytes/1024, res.RadioBytes/1024, res.RecoveredBPS, 100*res.RecoveredBPS/float64(res.RadioShaped))
+	fmt.Printf("single-bearer baseline: %d of %d alarms lost across a %v wifi blackout (no second link to fail to)\n",
+		res.SingleLost, res.SingleSent, res.SingleBlackout)
 	return nil
 }
 

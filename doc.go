@@ -33,6 +33,22 @@
 // receivers unpack transparently. Experiment E13 measures the priority
 // inversion this removes on a 1 Mb/s air-to-ground link.
 //
+// Transmission spans redundant heterogeneous datalinks: a node registers N
+// datagram bearers (core.WithBearer — e.g. short-range WiFi plus a
+// long-range radio modem), each wrapped in a link monitor
+// (internal/link) that tracks per-bearer liveness, probe RTT and loss
+// (MTProbe/MTProbeEcho on idle links; every received packet otherwise),
+// and each with its own egress lanes and bulk pacer keyed
+// (bearer, destination, class). A policy layer (qos.LinkPolicy, or the
+// default derived from qos.BearerProfile) routes classes onto bearers —
+// bulk on the highest-rate healthy link, critical pinned to the most
+// robust — and fails a class over within a failure deadline when its
+// bearer blacks out: queued frames are rerouted, ARQ retransmissions
+// re-select, and discovery (which rides every bearer, with per-bearer
+// reachability advertised as naming.KindBearer records in the offer log)
+// keeps peer liveness alive through any single link's loss. Experiment E14
+// drives a mission through a WiFi→radio handover under a mid-run blackout.
+//
 // The module path is uavmw; build with go build ./... and verify with
 // go test ./... (see README.md for the package map).
 //

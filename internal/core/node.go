@@ -17,6 +17,7 @@ import (
 	"uavmw/internal/events"
 	"uavmw/internal/fabric"
 	"uavmw/internal/filetransfer"
+	"uavmw/internal/link"
 	"uavmw/internal/naming"
 	"uavmw/internal/presentation"
 	"uavmw/internal/protocol"
@@ -33,13 +34,43 @@ var (
 	ErrNodeClosed = errors.New("node closed")
 	// ErrNoDatagram reports construction without a datagram transport.
 	ErrNoDatagram = errors.New("datagram transport required")
+	// ErrBadBearer reports an invalid bearer set: duplicate names, an
+	// empty name, or transports that disagree on the node identity.
+	ErrBadBearer = errors.New("invalid bearer configuration")
 )
+
+// DefaultBearer names the bearer WithDatagram registers — single-datalink
+// nodes never see bearer names unless they ask.
+const DefaultBearer = egress.DefaultBearer
+
+// bearerRuntime is one datalink the node transmits over: the transport,
+// its declared profile, and the link monitor estimating its health.
+type bearerRuntime struct {
+	name    string
+	tr      transport.Transport
+	profile qos.BearerProfile
+	mon     *link.Monitor
+	// wasDown latches the last health state the sweep observed, so a
+	// healthy→down transition triggers exactly one egress reroute.
+	wasDown atomic.Bool
+}
 
 // Node is one service container. Construct with NewNode, then register
 // services (AddService) or use the primitive APIs directly via Context.
 type Node struct {
-	id       transport.NodeID
-	datagram transport.Transport
+	id transport.NodeID
+	// bearers holds the node's datagram links in registration order;
+	// bearers[0] is the default. bearerByName indexes them. classOrder is
+	// the policy-derived bearer preference per qos.Priority index.
+	bearers      []*bearerRuntime
+	bearerByName map[string]*bearerRuntime
+	classOrder   [qosNumClasses][]string
+	// reach caches which bearers each peer advertises (KindBearer records
+	// in its offer), so the per-frame bearer selector never walks the
+	// directory.
+	reachMu sync.RWMutex
+	reach   map[transport.NodeID]map[string]bool
+
 	stream   transport.Transport // optional
 	enc      encoding.Encoding
 	sched    scheduler.Scheduler
@@ -89,9 +120,21 @@ type Node struct {
 	wg   sync.WaitGroup
 }
 
+// qosNumClasses mirrors qos.NumLevels(); sized as a constant for arrays. A
+// test pins the two against each other.
+const qosNumClasses = 5
+
+// bearerSpec is one WithBearer/WithDatagram registration.
+type bearerSpec struct {
+	name    string
+	tr      transport.Transport
+	profile qos.BearerProfile
+}
+
 // nodeConfig collects option state before construction.
 type nodeConfig struct {
-	datagram        transport.Transport
+	bearers         []bearerSpec
+	policy          qos.LinkPolicy
 	stream          transport.Transport
 	enc             encoding.Encoding
 	sched           scheduler.Scheduler
@@ -110,9 +153,36 @@ type nodeConfig struct {
 // NodeOption configures a Node.
 type NodeOption func(*nodeConfig)
 
-// WithDatagram sets the required datagram transport (UDP, bus, netsim).
+// WithDatagram sets a datagram transport (UDP, bus, netsim) as the node's
+// default bearer — the single-datalink configuration. It is shorthand for
+// WithBearer(DefaultBearer, t, qos.BearerProfile{}).
 func WithDatagram(t transport.Transport) NodeOption {
-	return func(c *nodeConfig) { c.datagram = t }
+	return WithBearer(DefaultBearer, t, qos.BearerProfile{})
+}
+
+// WithBearer registers one named datalink (bearer) the node transmits
+// over. A node may carry several dissimilar bearers at once — short-range
+// high-bandwidth WiFi, a long-range radio modem, satcom — each wrapped in
+// a link monitor and given its own egress lanes and bulk pacer; the link
+// policy (WithLinkPolicy, or the profile-derived default) routes each
+// traffic class onto the preferred healthy bearer and fails it over within
+// a failure-deadline when that bearer blacks out. Bearer names are fleet-
+// wide vocabulary: discovery advertises them, and peers match them against
+// their own bearer set, so give the same physical network the same name on
+// every node. The first bearer registered is the default. All bearer
+// transports must agree on the node identity.
+func WithBearer(name string, t transport.Transport, profile qos.BearerProfile) NodeOption {
+	return func(c *nodeConfig) {
+		c.bearers = append(c.bearers, bearerSpec{name: name, tr: t, profile: profile})
+	}
+}
+
+// WithLinkPolicy sets the class→bearer affinity and failover order for
+// multi-bearer nodes. Without it, the default policy derived from bearer
+// profiles applies: bulk rides the highest-rate healthy bearer, critical
+// pins to the most robust one, interactive classes chase latency.
+func WithLinkPolicy(p qos.LinkPolicy) NodeOption {
+	return func(c *nodeConfig) { c.policy = p }
 }
 
 // WithStream sets the optional reliable stream transport (TCP). Without
@@ -225,8 +295,29 @@ func NewNode(opts ...NodeOption) (*Node, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	if cfg.datagram == nil {
+	if len(cfg.bearers) == 0 {
 		return nil, fmt.Errorf("core: %w", ErrNoDatagram)
+	}
+	if err := cfg.policy.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	id := cfg.bearers[0].tr.Node()
+	seen := make(map[string]bool, len(cfg.bearers))
+	for _, spec := range cfg.bearers {
+		if spec.name == "" {
+			return nil, fmt.Errorf("core: empty bearer name: %w", ErrBadBearer)
+		}
+		if spec.tr == nil {
+			return nil, fmt.Errorf("core: bearer %q has no transport: %w", spec.name, ErrBadBearer)
+		}
+		if seen[spec.name] {
+			return nil, fmt.Errorf("core: duplicate bearer %q: %w", spec.name, ErrBadBearer)
+		}
+		seen[spec.name] = true
+		if spec.tr.Node() != id {
+			return nil, fmt.Errorf("core: bearer %q is node %q, want %q: %w",
+				spec.name, spec.tr.Node(), id, ErrBadBearer)
+		}
 	}
 	if cfg.failureDeadline <= 0 {
 		cfg.failureDeadline = 5 * cfg.announcePeriod
@@ -235,8 +326,9 @@ func NewNode(opts ...NodeOption) (*Node, error) {
 		cfg.directoryTTL = 6 * cfg.announcePeriod
 	}
 	n := &Node{
-		id:              cfg.datagram.Node(),
-		datagram:        cfg.datagram,
+		id:              id,
+		bearerByName:    make(map[string]*bearerRuntime, len(cfg.bearers)),
+		reach:           make(map[transport.NodeID]map[string]bool),
 		stream:          cfg.stream,
 		enc:             cfg.enc,
 		sched:           cfg.sched,
@@ -264,12 +356,46 @@ func NewNode(opts ...NodeOption) (*Node, error) {
 	}
 	n.budget = cfg.budget
 	// All datagram transmission drains through the egress plane: strict
-	// per-destination priority lanes, shaped bulk, coalesced small frames.
-	// The plane's MTU budget for coalesced batches tracks the node's.
+	// per-(bearer, destination) priority lanes, shaped bulk per bearer,
+	// coalesced small frames. The plane's MTU budget for coalesced batches
+	// tracks the node's.
 	if cfg.egressCfg.MaxDatagram == 0 {
 		cfg.egressCfg.MaxDatagram = cfg.mtu
 	}
-	n.egress = egress.New(cfg.datagram, cfg.egressCfg)
+	now := time.Now()
+	n.egress = egress.NewPlane()
+	profiles := make(map[string]qos.BearerProfile, len(cfg.bearers))
+	for _, spec := range cfg.bearers {
+		br := &bearerRuntime{
+			name:    spec.name,
+			tr:      spec.tr,
+			profile: spec.profile,
+			mon:     link.NewMonitor(spec.name, cfg.failureDeadline, now),
+		}
+		n.bearers = append(n.bearers, br)
+		n.bearerByName[spec.name] = br
+		profiles[spec.name] = spec.profile
+		// Each bearer gets its own lanes and bulk pacer: the profile's
+		// BulkRateBPS overrides the node-wide rate so a 1 Mb/s WiFi pipe
+		// and a 250 kb/s radio modem are shaped independently.
+		bcfg := cfg.egressCfg
+		if spec.profile.BulkRateBPS != 0 {
+			bcfg.BulkRateBPS = spec.profile.BulkRateBPS
+		}
+		if err := n.egress.AddBearer(spec.name, spec.tr, bcfg); err != nil {
+			n.egress.Close()
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	for _, p := range qos.Levels() {
+		n.classOrder[p.Index()] = cfg.policy.Order(p, profiles)
+	}
+	if len(n.bearers) > 1 {
+		// Single-bearer nodes keep the static default route; the selector
+		// (policy order × link health × peer reachability) only runs when
+		// there is a choice to make.
+		n.egress.SetSelector(bearerSelector{n})
+	}
 	// ARQ retransmissions re-enter the plane in the lane of the frame
 	// they carry (the priority rides in the encoded header).
 	n.arq = protocol.NewARQ(func(to transport.NodeID, frame []byte) error {
@@ -286,12 +412,27 @@ func NewNode(opts ...NodeOption) (*Node, error) {
 		n.loadProbe = n.defaultLoad
 	}
 
-	n.datagram.SetHandler(n.handlePacket)
+	// Each bearer's receive path is tagged with the bearer name: the link
+	// monitor sees every arrival, and replies that must ride the arrival
+	// link (ARQ acks, probe echoes) know where to go.
+	for _, br := range n.bearers {
+		br := br
+		br.tr.SetHandler(func(pkt transport.Packet) {
+			br.mon.SawRx(pkt.From, time.Now())
+			n.handleFrameBytesOn(br.name, pkt.From, pkt.Payload)
+		})
+	}
 	if n.stream != nil {
 		n.stream.SetHandler(n.handlePacket)
 	}
-	if err := n.datagram.Join(fabric.DiscoveryGroup); err != nil {
-		return nil, fmt.Errorf("core: join discovery: %w", err)
+	// Discovery rides every bearer: digests and deltas go out on each live
+	// link and receivers dedup the copies, so peer liveness survives any
+	// single bearer's blackout.
+	for _, br := range n.bearers {
+		if err := br.tr.Join(fabric.DiscoveryGroup); err != nil {
+			n.egress.Close()
+			return nil, fmt.Errorf("core: join discovery on %q: %w", br.name, err)
+		}
 	}
 
 	n.wg.Add(2)
@@ -332,11 +473,29 @@ func (n *Node) Schedule(p qos.Priority, job func()) error {
 // NextSeq implements fabric.Fabric.
 func (n *Node) NextSeq() uint64 { return n.seq.Add(1) }
 
-// Join implements fabric.Fabric.
-func (n *Node) Join(group string) error { return n.datagram.Join(group) }
+// Join implements fabric.Fabric: membership spans every bearer, because
+// group traffic may arrive on whichever link the sender's policy selected.
+// All bearers are attempted; the first error is reported.
+func (n *Node) Join(group string) error {
+	var firstErr error
+	for _, br := range n.bearers {
+		if err := br.tr.Join(group); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
 
-// Leave implements fabric.Fabric.
-func (n *Node) Leave(group string) error { return n.datagram.Leave(group) }
+// Leave implements fabric.Fabric: leaves the group on every bearer.
+func (n *Node) Leave(group string) error {
+	var firstErr error
+	for _, br := range n.bearers {
+		if err := br.tr.Leave(group); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
 
 // SendBestEffort implements fabric.Fabric.
 func (n *Node) SendBestEffort(to transport.NodeID, f *protocol.Frame) error {
@@ -384,8 +543,15 @@ func (n *Node) SendGroup(group string, f *protocol.Frame) error {
 	return nil
 }
 
-// SendReliable implements fabric.Fabric.
+// SendReliable implements fabric.Fabric with engine-default ARQ tuning.
 func (n *Node) SendReliable(to transport.NodeID, f *protocol.Frame, rel qos.Reliability, done func(error)) {
+	n.SendReliableTuned(to, f, rel, fabric.ReliableOpts{}, done)
+}
+
+// SendReliableTuned implements fabric.TunedSender: SendReliable with
+// per-send ARQ timeout/retry overrides carried from the primitive's QoS.
+func (n *Node) SendReliableTuned(to transport.NodeID, f *protocol.Frame, rel qos.Reliability, opts fabric.ReliableOpts, done func(error)) {
+	tune := protocol.SendTuning{Timeout: opts.AckTimeout, MaxRetries: opts.MaxRetries}
 	finish := func(err error) {
 		if done != nil {
 			done(err)
@@ -427,7 +593,7 @@ func (n *Node) SendReliable(to transport.NodeID, f *protocol.Frame, rel qos.Reli
 		return
 	}
 	if len(parts) == 1 {
-		if err := n.arq.Send(to, f.Seq, parts[0], done); err != nil {
+		if err := n.arq.SendTuned(to, f.Seq, parts[0], tune, done); err != nil {
 			finish(err)
 		}
 		return
@@ -454,7 +620,7 @@ func (n *Node) SendReliable(to transport.NodeID, f *protocol.Frame, rel qos.Reli
 			finish(eerr)
 			return
 		}
-		if err := n.arq.Send(to, fragSeq, fragRaw, func(err error) {
+		if err := n.arq.SendTuned(to, fragSeq, fragRaw, tune, func(err error) {
 			if err != nil {
 				if !failed.Swap(true) {
 					finish(err)
@@ -473,23 +639,33 @@ func (n *Node) SendReliable(to transport.NodeID, f *protocol.Frame, rel qos.Reli
 	}
 }
 
-var _ fabric.Fabric = (*Node)(nil)
+var (
+	_ fabric.Fabric      = (*Node)(nil)
+	_ fabric.TunedSender = (*Node)(nil)
+)
 
-// handlePacket is the transport receive entry point.
+// handlePacket is the stream transport's receive entry point (bearer-less).
 func (n *Node) handlePacket(pkt transport.Packet) {
 	n.handleFrameBytes(pkt.From, pkt.Payload)
 }
 
-// handleFrameBytes decodes and routes one frame.
+// handleFrameBytes decodes and routes one frame with no bearer attribution
+// (local bypass, stream transport).
 func (n *Node) handleFrameBytes(from transport.NodeID, raw []byte) {
+	n.handleFrameBytesOn("", from, raw)
+}
+
+// handleFrameBytesOn decodes and routes one frame that arrived on the
+// named bearer ("" when no datagram bearer carried it).
+func (n *Node) handleFrameBytesOn(bearer string, from transport.NodeID, raw []byte) {
 	f, err := protocol.DecodeFrame(raw)
 	if err != nil {
 		return
 	}
-	n.handleFrame(from, f)
+	n.handleFrame(bearer, from, f)
 }
 
-func (n *Node) handleFrame(from transport.NodeID, f *protocol.Frame) {
+func (n *Node) handleFrame(bearer string, from transport.NodeID, f *protocol.Frame) {
 	switch f.Type {
 	case protocol.MTAck:
 		n.arq.Ack(from, f.Seq)
@@ -504,14 +680,14 @@ func (n *Node) handleFrame(from transport.NodeID, f *protocol.Frame) {
 			return
 		}
 		for _, sub := range subs {
-			n.handleFrameBytes(from, sub)
+			n.handleFrameBytesOn(bearer, from, sub)
 		}
 		return
 	case protocol.MTFragment:
 		// Ack-required fragments are acknowledged and deduped
 		// individually before reassembly.
 		if from != n.id && f.Flags&protocol.FlagAckRequired != 0 {
-			n.sendAck(from, f.Seq)
+			n.sendAck(bearer, from, f.Seq)
 			if n.dedup.Seen(from, f.Seq) {
 				return
 			}
@@ -529,12 +705,12 @@ func (n *Node) handleFrame(from transport.NodeID, f *protocol.Frame) {
 		if from != n.id && n.dedup.Seen(from, inner.Seq) {
 			return
 		}
-		n.route(from, inner)
+		n.route(bearer, from, inner)
 		return
 	default:
 	}
 	if from != n.id && f.Flags&protocol.FlagAckRequired != 0 {
-		n.sendAck(from, f.Seq)
+		n.sendAck(bearer, from, f.Seq)
 		if n.dedup.Seen(from, f.Seq) {
 			return
 		}
@@ -542,10 +718,10 @@ func (n *Node) handleFrame(from transport.NodeID, f *protocol.Frame) {
 	// Frames routed asynchronously must own their payload: transports may
 	// reuse the receive buffer.
 	f.Payload = append([]byte(nil), f.Payload...)
-	n.route(from, f)
+	n.route(bearer, from, f)
 }
 
-func (n *Node) sendAck(to transport.NodeID, seq uint64) {
+func (n *Node) sendAck(bearer string, to transport.NodeID, seq uint64) {
 	ack := &protocol.Frame{Type: protocol.MTAck, Seq: seq, Priority: qos.PriorityCritical}
 	raw, err := protocol.EncodeFrame(ack)
 	if err != nil {
@@ -553,12 +729,14 @@ func (n *Node) sendAck(to transport.NodeID, seq uint64) {
 	}
 	// Acks ride the critical lane: a delayed ack inflates the peer's ARQ
 	// RTT and triggers spurious retransmissions exactly when a link is
-	// congested with lower-class traffic.
-	_ = n.egress.Enqueue(to, qos.PriorityCritical, raw)
+	// congested with lower-class traffic. They are pinned to the bearer
+	// the data arrived on, so acknowledgment traffic keeps measuring (and
+	// keeping alive) the same link as the data it acknowledges.
+	_ = n.egress.EnqueueOn(bearer, to, qos.PriorityCritical, raw)
 }
 
 // route dispatches a frame to its engine.
-func (n *Node) route(from transport.NodeID, f *protocol.Frame) {
+func (n *Node) route(bearer string, from transport.NodeID, f *protocol.Frame) {
 	switch f.Type {
 	case protocol.MTAnnounce:
 		n.handleAnnounce(from, f)
@@ -572,6 +750,10 @@ func (n *Node) route(from transport.NodeID, f *protocol.Frame) {
 		n.handleSyncRep(from, f)
 	case protocol.MTBye:
 		n.handleBye(from)
+	case protocol.MTProbe:
+		n.handleProbe(bearer, from, f)
+	case protocol.MTProbeEcho:
+		n.handleProbeEcho(bearer, f)
 	case protocol.MTSample:
 		n.vars.HandleSample(from, f)
 	case protocol.MTSnapshotReq:
@@ -712,18 +894,30 @@ func (n *Node) discoveryLoop() {
 		case <-ticker.C:
 			n.heartbeatNow()
 			n.sweep()
+			n.bearerSweep(time.Now())
 			n.events.Refresh()
 		}
 	}
 }
 
 // buildRecords assembles this node's current offer from the engines and
-// service table.
+// service table, plus one KindBearer record per datalink so peers learn
+// which bearers can reach this node (and at what address, on transports
+// with a dialable one). Bearer reachability rides the ordinary offer log:
+// it propagates through the same deltas, digests and anti-entropy syncs as
+// every other record.
 func (n *Node) buildRecords() []naming.Record {
 	recs := n.vars.Records()
 	recs = append(recs, n.events.Records()...)
 	recs = append(recs, n.rpc.Records()...)
 	recs = append(recs, n.files.Records()...)
+	for _, br := range n.bearers {
+		rec := naming.Record{Kind: naming.KindBearer, Name: br.name, Node: n.id}
+		if a, ok := br.tr.(transport.Addressable); ok {
+			rec.Service = a.LocalAddr()
+		}
+		recs = append(recs, rec)
+	}
 	n.mu.Lock()
 	for name, srt := range n.services {
 		if srt.State() == ServiceRunning || srt.State() == ServiceInitialized {
@@ -875,6 +1069,7 @@ func (n *Node) handleAnnounce(from transport.NodeID, f *protocol.Frame) {
 	now := time.Now()
 	n.live.Touch(from, now)
 	n.dir.Apply(ann, now)
+	n.applyBearerOffer(from, ann.Records)
 }
 
 func (n *Node) handleHeartbeat(from transport.NodeID, f *protocol.Frame) {
@@ -906,6 +1101,7 @@ func (n *Node) handleAnnounceDelta(from transport.NodeID, f *protocol.Frame) {
 	n.disco.deltasRecv.Add(1)
 	now := time.Now()
 	n.live.Touch(from, now)
+	n.applyBearerDelta(from, d.Added, d.Withdrawn)
 	if n.dir.ApplyDelta(d, now) {
 		n.requestSync(from)
 	}
@@ -1056,6 +1252,7 @@ func (n *Node) handleSyncRep(from transport.NodeID, f *protocol.Frame) {
 	now := time.Now()
 	n.live.Touch(from, now)
 	n.dir.Apply(ann, now)
+	n.applyBearerOffer(from, ann.Records)
 	n.disco.syncApplied.Add(1)
 }
 
@@ -1065,6 +1262,330 @@ func (n *Node) handleBye(from transport.NodeID) {
 	}
 	n.live.Forget(from)
 	n.peerGone(from)
+}
+
+// --- bearer plane ---
+
+// The bearer plane routes each egress frame onto one of the node's
+// datalinks. Policy (qos.LinkPolicy, precomputed per class at
+// construction) supplies the static preference order; the per-bearer link
+// monitors supply dynamic health; discovery-advertised KindBearer records
+// plus per-bearer receive history supply peer reachability. Selection runs
+// per enqueue, so an ARQ retransmission re-selects — a frame stranded on a
+// bearer that blacks out follows its class's failover order on the next
+// retry, and bearerSweep additionally reroutes whole queues the moment a
+// monitor declares a bearer down.
+
+// bearerSelector adapts the node to egress.Selector without exporting the
+// selection methods on Node.
+type bearerSelector struct{ n *Node }
+
+func (s bearerSelector) Unicast(to transport.NodeID, pr qos.Priority) string {
+	return s.n.selectBearer(to, pr)
+}
+
+func (s bearerSelector) Group(group string, pr qos.Priority) []string {
+	return s.n.selectGroupBearers(group, pr)
+}
+
+// classBearerOrder returns the policy order for a priority (defaulting
+// out-of-range priorities to PriorityNormal, mirroring the egress plane).
+func (n *Node) classBearerOrder(pr qos.Priority) []string {
+	i := pr.Index()
+	if i < 0 {
+		i = qos.PriorityNormal.Index()
+	}
+	return n.classOrder[i]
+}
+
+// selectBearer picks the bearer for one unicast frame: the first bearer in
+// the class's policy order that is both healthy and believed able to reach
+// the destination; failing that, the first that can reach it (a link the
+// monitor calls down but the peer is known on beats a healthy link the
+// peer was never seen on — sending into a maybe-down link can succeed,
+// sending to a transport that has no address for the peer cannot);
+// failing that, the first healthy bearer; failing everything, the class's
+// primary.
+func (n *Node) selectBearer(to transport.NodeID, pr qos.Priority) string {
+	order := n.classBearerOrder(pr)
+	now := time.Now()
+	firstReach, firstHealthy := "", ""
+	for _, name := range order {
+		br := n.bearerByName[name]
+		if br == nil {
+			continue
+		}
+		healthy := br.mon.Healthy(now)
+		reach := br.mon.PeerHeard(to, now) || n.peerAdvertises(to, name)
+		switch {
+		case healthy && reach:
+			return name
+		case reach && firstReach == "":
+			firstReach = name
+		case healthy && firstHealthy == "":
+			firstHealthy = name
+		}
+	}
+	if firstReach != "" {
+		return firstReach
+	}
+	if firstHealthy != "" {
+		return firstHealthy
+	}
+	return order[0]
+}
+
+// selectGroupBearers picks the bearers for one group frame. Discovery
+// rides every bearer — digests are constant-size, receivers dedup the
+// copies, and a heartbeat on each link is what keeps every link monitor
+// fed for free — while data groups ride the class's preferred healthy
+// bearer only.
+func (n *Node) selectGroupBearers(group string, pr qos.Priority) []string {
+	if group == fabric.DiscoveryGroup {
+		names := make([]string, len(n.bearers))
+		for i, br := range n.bearers {
+			names[i] = br.name
+		}
+		return names
+	}
+	order := n.classBearerOrder(pr)
+	now := time.Now()
+	for _, name := range order {
+		if br := n.bearerByName[name]; br != nil && br.mon.Healthy(now) {
+			return []string{name}
+		}
+	}
+	return order[:1]
+}
+
+// peerAdvertises reports whether the peer's discovered offer includes the
+// named bearer.
+func (n *Node) peerAdvertises(peer transport.NodeID, bearer string) bool {
+	n.reachMu.RLock()
+	defer n.reachMu.RUnlock()
+	return n.reach[peer][bearer]
+}
+
+// applyBearerOffer replaces the cached bearer set for a peer from a full
+// offer (announce or assembled sync), and keeps PeerBook transports'
+// address books in step with the advertised per-bearer addresses.
+func (n *Node) applyBearerOffer(peer transport.NodeID, recs []naming.Record) {
+	if peer == n.id {
+		return
+	}
+	set := make(map[string]string)
+	for _, rec := range recs {
+		if rec.Kind == naming.KindBearer {
+			set[rec.Name] = rec.Service // Service carries the dialable address
+		}
+	}
+	n.reachMu.Lock()
+	old := n.reach[peer]
+	if len(set) == 0 {
+		delete(n.reach, peer)
+	} else {
+		m := make(map[string]bool, len(set))
+		for name := range set {
+			m[name] = true
+		}
+		n.reach[peer] = m
+	}
+	n.reachMu.Unlock()
+	for name, addr := range set {
+		n.addBearerPeer(name, peer, addr)
+	}
+	for name := range old {
+		if _, still := set[name]; !still {
+			n.removeBearerPeer(name, peer)
+		}
+	}
+}
+
+// applyBearerDelta updates the cached bearer set from an incremental
+// offer delta.
+func (n *Node) applyBearerDelta(peer transport.NodeID, added []naming.Record, withdrawn []naming.RecordKey) {
+	if peer == n.id {
+		return
+	}
+	for _, rec := range added {
+		if rec.Kind != naming.KindBearer {
+			continue
+		}
+		n.reachMu.Lock()
+		m := n.reach[peer]
+		if m == nil {
+			m = make(map[string]bool)
+			n.reach[peer] = m
+		}
+		m[rec.Name] = true
+		n.reachMu.Unlock()
+		n.addBearerPeer(rec.Name, peer, rec.Service)
+	}
+	for _, key := range withdrawn {
+		if key.Kind != naming.KindBearer {
+			continue
+		}
+		n.reachMu.Lock()
+		delete(n.reach[peer], key.Name)
+		if len(n.reach[peer]) == 0 {
+			delete(n.reach, peer)
+		}
+		n.reachMu.Unlock()
+		n.removeBearerPeer(key.Name, peer)
+	}
+}
+
+// addBearerPeer installs a peer's advertised address into the matching
+// local bearer's address book, when that bearer's transport has one.
+func (n *Node) addBearerPeer(bearer string, peer transport.NodeID, addr string) {
+	br := n.bearerByName[bearer]
+	if br == nil || addr == "" || peer == n.id {
+		return
+	}
+	if pb, ok := br.tr.(transport.PeerBook); ok {
+		_ = pb.AddPeer(peer, addr)
+	}
+}
+
+// removeBearerPeer drops a departed peer from the matching local bearer's
+// address book.
+func (n *Node) removeBearerPeer(bearer string, peer transport.NodeID) {
+	br := n.bearerByName[bearer]
+	if br == nil {
+		return
+	}
+	if pb, ok := br.tr.(transport.PeerBook); ok {
+		pb.RemovePeer(peer)
+	}
+}
+
+// handleProbe answers a link-monitor probe: echo the payload back on the
+// bearer it arrived on. The probe rides PriorityHigh so a congested bulk
+// lane cannot make a live link look dead.
+func (n *Node) handleProbe(bearer string, from transport.NodeID, f *protocol.Frame) {
+	if from == n.id {
+		return
+	}
+	echo := &protocol.Frame{
+		Type:     protocol.MTProbeEcho,
+		Priority: qos.PriorityHigh,
+		Seq:      n.NextSeq(),
+		Payload:  f.Payload,
+	}
+	raw, err := protocol.EncodeFrame(echo)
+	if err != nil {
+		return
+	}
+	_ = n.egress.EnqueueOn(bearer, from, qos.PriorityHigh, raw)
+}
+
+// handleProbeEcho closes a probe round trip on the bearer that carried it.
+func (n *Node) handleProbeEcho(bearer string, f *protocol.Frame) {
+	br := n.bearerByName[bearer]
+	if br == nil {
+		return
+	}
+	r := encoding.NewReader(f.Payload)
+	nonce := r.Uint64()
+	if r.Err() != nil {
+		return
+	}
+	br.mon.ProbeEchoed(nonce, time.Now())
+}
+
+// bearerSweep runs once per announce period on multi-bearer nodes: it
+// probes bearers that have gone quiet (a healthy bearer is never quiet —
+// discovery digests ride every bearer every period — so silence means the
+// link, not the fleet), and on a healthy→down transition reroutes the dead
+// bearer's queued frames through the selector so failover happens within
+// the failure deadline instead of waiting for per-frame retries.
+func (n *Node) bearerSweep(now time.Time) {
+	if len(n.bearers) <= 1 {
+		return
+	}
+	for _, br := range n.bearers {
+		if br.mon.Idle(now, n.announcePeriod) && now.Sub(br.mon.LastProbe()) >= n.announcePeriod {
+			n.probeBearer(br, now)
+		}
+		if br.mon.Healthy(now) {
+			br.wasDown.Store(false)
+			continue
+		}
+		if !br.wasDown.Swap(true) {
+			n.egress.Reroute(br.name)
+		}
+	}
+}
+
+// probeBearer sends one MTProbe to every live peer expected on the bearer.
+// Probes keep flowing while the bearer is down, which is how its recovery
+// is detected: the first echo marks it healthy again and traffic fails
+// back per policy.
+func (n *Node) probeBearer(br *bearerRuntime, now time.Time) {
+	for _, peer := range n.live.Peers() {
+		if !br.mon.PeerKnown(peer) && !n.peerAdvertises(peer, br.name) {
+			continue
+		}
+		w := encoding.NewWriter(8)
+		w.Uint64(br.mon.NextProbe(now))
+		frame := &protocol.Frame{
+			Type:     protocol.MTProbe,
+			Priority: qos.PriorityHigh,
+			Seq:      n.NextSeq(),
+			Payload:  w.Bytes(),
+		}
+		raw, err := protocol.EncodeFrame(frame)
+		if err != nil {
+			return
+		}
+		_ = n.egress.EnqueueOn(br.name, peer, qos.PriorityHigh, raw)
+	}
+}
+
+// LinkStats describes one bearer's declared profile and observed state —
+// one uniform shape per link whatever transport backs it.
+type LinkStats struct {
+	// Name is the bearer name; Profile its declared characteristics.
+	Name    string
+	Profile qos.BearerProfile
+	// Healthy mirrors the link monitor's verdict at snapshot time.
+	Healthy bool
+	// Link is the monitor's quality report (last-heard, probe RTT EWMA,
+	// probe loss, peers heard).
+	Link link.Report
+	// Transport is the bearer transport's counter snapshot.
+	Transport transport.Stats
+	// Egress is the bearer's egress-lane snapshot (per-class queued/sent/
+	// dropped, pacer waits, reroutes).
+	Egress egress.Stats
+}
+
+// LinkStats snapshots every bearer, in registration order.
+func (n *Node) LinkStats() []LinkStats {
+	now := time.Now()
+	out := make([]LinkStats, 0, len(n.bearers))
+	for _, br := range n.bearers {
+		es, _ := n.egress.BearerStats(br.name)
+		rep := br.mon.Report(now)
+		out = append(out, LinkStats{
+			Name:      br.name,
+			Profile:   br.profile,
+			Healthy:   rep.Healthy,
+			Link:      rep,
+			Transport: br.tr.Stats(),
+			Egress:    es,
+		})
+	}
+	return out
+}
+
+// Bearers lists the node's bearer names in registration order.
+func (n *Node) Bearers() []string {
+	out := make([]string, len(n.bearers))
+	for i, br := range n.bearers {
+		out[i] = br.name
+	}
+	return out
 }
 
 // sweep detects failed peers and expired directory entries.
@@ -1103,6 +1624,18 @@ func (n *Node) peerGone(node transport.NodeID) {
 	n.syncAsm.Forget(node)
 	delete(n.syncReqAt, node)
 	n.syncMu.Unlock()
+	// Bearer plane: forget the peer's advertised reachability, its
+	// per-bearer presence, and any address-book entries discovery
+	// installed for it.
+	n.reachMu.Lock()
+	delete(n.reach, node)
+	n.reachMu.Unlock()
+	for _, br := range n.bearers {
+		br.mon.ForgetPeer(node)
+		if pb, ok := br.tr.(transport.PeerBook); ok {
+			pb.RemovePeer(node)
+		}
+	}
 	n.events.PeerGone(node)
 	n.files.PeerGone(node)
 	n.mu.Lock()
@@ -1160,7 +1693,13 @@ func (n *Node) Close() error {
 	if n.ownSched {
 		n.sched.Stop()
 	}
-	err := n.datagram.Close()
+	// Close every bearer transport exactly once, keeping the first error.
+	var err error
+	for _, br := range n.bearers {
+		if cerr := br.tr.Close(); err == nil {
+			err = cerr
+		}
+	}
 	if n.stream != nil {
 		if serr := n.stream.Close(); err == nil {
 			err = serr
@@ -1187,10 +1726,18 @@ func (n *Node) Files() *filetransfer.Engine { return n.files }
 // sent / dropped / coalesced, pacing waits, transport errors).
 func (n *Node) EgressStats() egress.Stats { return n.egress.Stats() }
 
-// SetBulkRate re-shapes the PriorityBulk egress lane at runtime (0 turns
-// shaping off) — for links whose capacity is discovered or negotiated
-// after the node starts.
+// SetBulkRate re-shapes the *default bearer's* PriorityBulk egress lane at
+// runtime (0 turns shaping off) — for links whose capacity is discovered
+// or negotiated after the node starts. On a multi-bearer node only the
+// first-registered bearer is affected; use SetBearerBulkRate to re-shape a
+// named bearer.
 func (n *Node) SetBulkRate(bps int64) { n.egress.SetBulkRate(bps) }
+
+// SetBearerBulkRate re-shapes one named bearer's PriorityBulk lane at
+// runtime (0 turns shaping off). It reports whether the bearer exists.
+func (n *Node) SetBearerBulkRate(name string, bps int64) bool {
+	return n.egress.SetBearerBulkRate(name, bps)
+}
 
 // FlushEgress blocks until every frame queued on the egress plane at call
 // time has been handed to the transport. Tests and experiments use it to

@@ -635,7 +635,7 @@ func TestPEPtPluggability(t *testing.T) {
 }
 
 // datagramStats exposes transport counters to the tests.
-func (n *Node) datagramStats() transport.Stats { return n.datagram.Stats() }
+func (n *Node) datagramStats() transport.Stats { return n.bearers[0].tr.Stats() }
 
 // debugEnc and inlineSched are the alternate PEPt plugins used by the
 // pluggability test.

@@ -20,12 +20,24 @@
 //     the same class are packed into one protocol.MTBatch datagram, fewer
 //     syscalls and wire packets on small-frame-heavy paths.
 //
+// The plane is multi-bearer: a node with several heterogeneous datalinks
+// (WiFi, radio modem, satcom) registers each as a named bearer, and lanes
+// are keyed (bearer, destination, class). Every bearer owns its queues, its
+// drain goroutine and its own bulk token bucket, so a 1 Mb/s WiFi pipe and
+// a 250 kb/s radio modem are paced independently. A pluggable Selector
+// (installed by the container, combining qos.LinkPolicy with per-bearer
+// link-monitor health) routes each frame to a bearer at enqueue time;
+// Reroute moves a blacked-out bearer's queued frames through the selector
+// again so failover does not strand traffic. A plane built with New has a
+// single default bearer and behaves exactly like the pre-bearer plane.
+//
 // The plane sits between the container's Send* methods and the datagram
-// transport; the stream transport (TCP) paces itself and bypasses it.
+// transports; the stream transport (TCP) paces itself and bypasses it.
 package egress
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -34,11 +46,29 @@ import (
 	"uavmw/internal/transport"
 )
 
-// Sender is the downstream transmit interface (the raw datagram transport).
+// Sender is the downstream transmit interface (one raw datagram transport).
 type Sender interface {
 	Send(to transport.NodeID, payload []byte) error
 	SendGroup(group string, payload []byte) error
 }
+
+// Selector routes frames to bearers. The container implements it by
+// combining the static class→bearer policy (qos.LinkPolicy) with dynamic
+// link-monitor health and per-peer reachability. Implementations must be
+// fast and must not call back into the Plane. Returned names that don't
+// match a registered bearer fall back to the default bearer.
+type Selector interface {
+	// Unicast names the bearer to carry one frame to the given node at the
+	// given class.
+	Unicast(to transport.NodeID, pr qos.Priority) string
+	// Group names the bearers to carry one group frame; the frame is
+	// enqueued once per distinct name (discovery rides every live bearer,
+	// data groups usually exactly one).
+	Group(group string, pr qos.Priority) []string
+}
+
+// DefaultBearer names the bearer created by New for single-link nodes.
+const DefaultBearer = "datagram"
 
 // Defaults applied when Config fields are zero.
 const (
@@ -58,14 +88,20 @@ const numClasses = 5
 // bulkClass is the dense index of qos.PriorityBulk.
 var bulkClass = qos.PriorityBulk.Index()
 
-// ErrClosed reports an enqueue on a closed plane.
-var ErrClosed = errors.New("egress plane closed")
+// Errors.
+var (
+	// ErrClosed reports an enqueue on a closed plane.
+	ErrClosed = errors.New("egress plane closed")
+	// ErrNoBearer reports an operation on a plane with no bearers, or an
+	// AddBearer conflict.
+	ErrNoBearer = errors.New("no such egress bearer")
+)
 
-// Config tunes a Plane.
+// Config tunes one bearer's lanes and pacing.
 type Config struct {
-	// BulkRateBPS token-bucket-shapes the PriorityBulk lane to this many
-	// wire bytes/second. Zero disables shaping (bulk drains at transport
-	// speed, still strictly below every other class).
+	// BulkRateBPS token-bucket-shapes the bearer's PriorityBulk lane to
+	// this many wire bytes/second. Zero disables shaping (bulk drains at
+	// transport speed, still strictly below every other class).
 	BulkRateBPS int64
 	// BulkBurst is the bucket capacity in bytes (default DefaultBulkBurst).
 	// It bounds how far ahead of the shaped rate a bulk burst may run, and
@@ -99,13 +135,14 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// destKey identifies a lane: exactly one of node or group is set.
+// destKey identifies a lane within a bearer: exactly one of node or group
+// is set.
 type destKey struct {
 	node  transport.NodeID
 	group string
 }
 
-// lane holds one destination's per-class queues.
+// lane holds one destination's per-class queues on one bearer.
 type lane struct {
 	key    destKey
 	q      [numClasses][][]byte
@@ -138,7 +175,7 @@ type ClassStats struct {
 	Bytes uint64
 }
 
-// Stats is a snapshot of plane activity.
+// Stats is a snapshot of plane (or single-bearer) activity.
 type Stats struct {
 	// PerClass is indexed by qos.Priority.Index().
 	PerClass [numClasses]ClassStats
@@ -146,6 +183,9 @@ type Stats struct {
 	SendErrors uint64
 	// BulkWaits counts drains that had to pause for bulk tokens.
 	BulkWaits uint64
+	// Rerouted counts frames moved off this bearer by Reroute (zero in the
+	// aggregate of a healthy plane's lifetime only if no failover ran).
+	Rerouted uint64
 }
 
 // Class returns the stats for one priority level.
@@ -170,9 +210,311 @@ func (s Stats) Totals() ClassStats {
 	return t
 }
 
-// Plane is one container's egress plane. Construct with New; Close flushes
-// what it can and stops the drainer.
+func (s *Stats) add(other Stats) {
+	for i := range s.PerClass {
+		c, o := &s.PerClass[i], other.PerClass[i]
+		c.Enqueued += o.Enqueued
+		c.Sent += o.Sent
+		c.Datagrams += o.Datagrams
+		c.Coalesced += o.Coalesced
+		c.Dropped += o.Dropped
+		c.Bytes += o.Bytes
+	}
+	s.SendErrors += other.SendErrors
+	s.BulkWaits += other.BulkWaits
+	s.Rerouted += other.Rerouted
+}
+
+// Plane is one container's egress plane: one or more bearers plus the
+// selector that routes frames among them. Construct with New (single
+// default bearer) or NewPlane + AddBearer; Close flushes what it can and
+// stops every drainer.
 type Plane struct {
+	mu       sync.RWMutex
+	bearers  map[string]*bearer
+	order    []string // registration order; order[0] is the default bearer
+	selector Selector
+	closed   bool
+}
+
+// NewPlane builds an empty plane; register links with AddBearer before
+// enqueueing.
+func NewPlane() *Plane {
+	return &Plane{bearers: make(map[string]*bearer)}
+}
+
+// New builds a plane with a single bearer named DefaultBearer draining
+// into sender — the one-datalink configuration.
+func New(sender Sender, cfg Config) *Plane {
+	p := NewPlane()
+	_ = p.AddBearer(DefaultBearer, sender, cfg)
+	return p
+}
+
+// AddBearer registers a named bearer draining into sender with its own
+// lanes and pacing. The first bearer registered is the default (used when
+// no selector is installed or a selector names an unknown bearer).
+func (p *Plane) AddBearer(name string, sender Sender, cfg Config) error {
+	if name == "" {
+		return fmt.Errorf("egress: empty bearer name: %w", ErrNoBearer)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	if _, dup := p.bearers[name]; dup {
+		return fmt.Errorf("egress: bearer %q already registered: %w", name, ErrNoBearer)
+	}
+	p.bearers[name] = newBearer(name, sender, cfg)
+	p.order = append(p.order, name)
+	return nil
+}
+
+// SetSelector installs the bearer-routing policy. A nil selector routes
+// everything to the default bearer.
+func (p *Plane) SetSelector(s Selector) {
+	p.mu.Lock()
+	p.selector = s
+	p.mu.Unlock()
+}
+
+// Bearers lists registered bearer names in registration order.
+func (p *Plane) Bearers() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return append([]string(nil), p.order...)
+}
+
+// getSelector snapshots the selector.
+func (p *Plane) getSelector() Selector {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.selector
+}
+
+// bearerOrDefault resolves name, falling back to the default bearer. Nil
+// when the plane is closed or has no bearers.
+func (p *Plane) bearerOrDefault(name string) *bearer {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed || len(p.order) == 0 {
+		return nil
+	}
+	if b, ok := p.bearers[name]; ok {
+		return b
+	}
+	return p.bearers[p.order[0]]
+}
+
+// Enqueue queues one encoded datagram for a unicast destination on the
+// bearer the selector chooses.
+func (p *Plane) Enqueue(to transport.NodeID, pr qos.Priority, raw []byte) error {
+	var name string
+	if s := p.getSelector(); s != nil {
+		name = s.Unicast(to, pr)
+	}
+	b := p.bearerOrDefault(name)
+	if b == nil {
+		return ErrClosed
+	}
+	return b.enqueue(destKey{node: to}, pr, raw)
+}
+
+// EnqueueOn queues one encoded unicast datagram pinned to the named
+// bearer, bypassing the selector — used for replies that must ride the
+// link they arrived on (ARQ acks, probe echoes), so acknowledgment traffic
+// measures the same bearer as the data it acknowledges. An unknown name
+// falls back to the default bearer.
+func (p *Plane) EnqueueOn(bearerName string, to transport.NodeID, pr qos.Priority, raw []byte) error {
+	b := p.bearerOrDefault(bearerName)
+	if b == nil {
+		return ErrClosed
+	}
+	return b.enqueue(destKey{node: to}, pr, raw)
+}
+
+// EnqueueGroup queues one encoded datagram for a multicast group on every
+// bearer the selector names (once per distinct name).
+func (p *Plane) EnqueueGroup(group string, pr qos.Priority, raw []byte) error {
+	var names []string
+	if s := p.getSelector(); s != nil {
+		names = s.Group(group, pr)
+	}
+	if len(names) == 0 {
+		b := p.bearerOrDefault("")
+		if b == nil {
+			return ErrClosed
+		}
+		return b.enqueue(destKey{group: group}, pr, raw)
+	}
+	var firstErr error
+	accepted := false
+	seen := make(map[string]bool, len(names))
+	for _, name := range names {
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		b := p.bearerOrDefault(name)
+		if b == nil {
+			if firstErr == nil {
+				firstErr = ErrClosed
+			}
+			continue
+		}
+		if err := b.enqueue(destKey{group: group}, pr, raw); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		accepted = true
+	}
+	if accepted {
+		return nil
+	}
+	return firstErr
+}
+
+// Stats snapshots the plane counters aggregated across bearers.
+func (p *Plane) Stats() Stats {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var s Stats
+	for _, name := range p.order {
+		s.add(p.bearers[name].snapshot())
+	}
+	return s
+}
+
+// BearerStats snapshots one bearer's counters.
+func (p *Plane) BearerStats(name string) (Stats, bool) {
+	p.mu.RLock()
+	b := p.bearers[name]
+	p.mu.RUnlock()
+	if b == nil {
+		return Stats{}, false
+	}
+	return b.snapshot(), true
+}
+
+// SetBulkRate changes the default bearer's bulk shaping rate at runtime
+// (0 disables) — the single-datalink API.
+func (p *Plane) SetBulkRate(bps int64) {
+	if b := p.bearerOrDefault(""); b != nil {
+		b.setBulkRate(bps)
+	}
+}
+
+// SetBearerBulkRate changes one bearer's bulk shaping rate at runtime.
+// It reports whether the bearer exists.
+func (p *Plane) SetBearerBulkRate(name string, bps int64) bool {
+	p.mu.RLock()
+	b := p.bearers[name]
+	p.mu.RUnlock()
+	if b == nil {
+		return false
+	}
+	b.setBulkRate(bps)
+	return true
+}
+
+// Reroute drains everything queued on the named bearer and re-enqueues it
+// through the selector — called when a bearer's link monitor declares it
+// down, so already-queued frames follow their class's failover order
+// instead of draining into a dead link. Unicast frames the selector routes
+// back to the same bearer stay on it; group frames never return to the
+// drained bearer — they ride the first *other* bearer the selector names
+// (fan-out groups like discovery already put their own copies on every
+// live bearer at enqueue time, and receivers dedup, so one surviving copy
+// suffices). Returns the number of frames moved or requeued.
+func (p *Plane) Reroute(name string) int {
+	p.mu.RLock()
+	b := p.bearers[name]
+	p.mu.RUnlock()
+	if b == nil {
+		return 0
+	}
+	sel := p.getSelector()
+	items := b.drainQueued()
+	for _, it := range items {
+		pr := qos.PriorityBulk + qos.Priority(it.class)
+		if it.key.group == "" {
+			_ = p.Enqueue(it.key.node, pr, it.raw)
+			continue
+		}
+		target := ""
+		if sel != nil {
+			for _, cand := range sel.Group(it.key.group, pr) {
+				if cand != name {
+					target = cand
+					break
+				}
+			}
+		}
+		if target == "" {
+			// No other bearer to carry it: leave it on the drained one
+			// rather than dropping silently.
+			target = name
+		}
+		_ = p.EnqueueOnGroup(target, it.key.group, pr, it.raw)
+	}
+	return len(items)
+}
+
+// EnqueueOnGroup queues one encoded group datagram pinned to the named
+// bearer, bypassing the selector. An unknown name falls back to the
+// default bearer.
+func (p *Plane) EnqueueOnGroup(bearerName, group string, pr qos.Priority, raw []byte) error {
+	b := p.bearerOrDefault(bearerName)
+	if b == nil {
+		return ErrClosed
+	}
+	return b.enqueue(destKey{group: group}, pr, raw)
+}
+
+// Flush blocks until every frame queued at call time on every bearer has
+// been handed to its transport (shaped bulk included, at its paced rate).
+// Frames enqueued while flushing extend the wait. Experiments use it to
+// line wire-level measurements up with the asynchronous drain; a closed
+// plane is already flushed.
+func (p *Plane) Flush() {
+	p.mu.RLock()
+	bearers := make([]*bearer, 0, len(p.order))
+	for _, name := range p.order {
+		bearers = append(bearers, p.bearers[name])
+	}
+	p.mu.RUnlock()
+	for _, b := range bearers {
+		b.flush()
+	}
+}
+
+// Close stops every bearer's drainer and synchronously flushes everything
+// still queued, in priority order, ignoring pacing — a closing container's
+// goodbye and any pending acknowledgments still reach the wire. Enqueues
+// after Close fail with ErrClosed.
+func (p *Plane) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	bearers := make([]*bearer, 0, len(p.order))
+	for _, name := range p.order {
+		bearers = append(bearers, p.bearers[name])
+	}
+	p.mu.Unlock()
+	for _, b := range bearers {
+		b.close()
+	}
+}
+
+// bearer is one datalink's lanes, pacer and drain goroutine.
+type bearer struct {
+	name   string
 	cfg    Config
 	sender Sender
 
@@ -192,10 +534,10 @@ type Plane struct {
 	wg   sync.WaitGroup
 }
 
-// New builds and starts a plane draining into sender.
-func New(sender Sender, cfg Config) *Plane {
+func newBearer(name string, sender Sender, cfg Config) *bearer {
 	cfg = cfg.withDefaults()
-	p := &Plane{
+	b := &bearer{
+		name:       name,
 		cfg:        cfg,
 		sender:     sender,
 		lanes:      make(map[destKey]*lane),
@@ -205,122 +547,109 @@ func New(sender Sender, cfg Config) *Plane {
 		wake:       make(chan struct{}, 1),
 		stop:       make(chan struct{}),
 	}
-	p.idle = sync.NewCond(&p.mu)
-	p.wg.Add(1)
-	go p.run()
-	return p
+	b.idle = sync.NewCond(&b.mu)
+	b.wg.Add(1)
+	go b.run()
+	return b
 }
 
-// SetBulkRate changes the bulk shaping rate at runtime (0 disables). Useful
-// when link capacity is discovered or negotiated after construction.
-func (p *Plane) SetBulkRate(bps int64) {
-	p.mu.Lock()
-	p.refillLocked(time.Now())
-	p.rate = bps
-	p.mu.Unlock()
-	p.signal()
+func (b *bearer) setBulkRate(bps int64) {
+	b.mu.Lock()
+	b.refillLocked(time.Now())
+	b.rate = bps
+	b.mu.Unlock()
+	b.signal()
 }
 
-// Stats snapshots the plane counters.
-func (p *Plane) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+func (b *bearer) snapshot() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
 }
 
-// Enqueue queues one encoded datagram for a unicast destination.
-func (p *Plane) Enqueue(to transport.NodeID, pr qos.Priority, raw []byte) error {
-	return p.enqueue(destKey{node: to}, pr, raw)
-}
-
-// EnqueueGroup queues one encoded datagram for a multicast group.
-func (p *Plane) EnqueueGroup(group string, pr qos.Priority, raw []byte) error {
-	return p.enqueue(destKey{group: group}, pr, raw)
-}
-
-func (p *Plane) enqueue(key destKey, pr qos.Priority, raw []byte) error {
+func (b *bearer) enqueue(key destKey, pr qos.Priority, raw []byte) error {
 	c := pr.Index()
 	if c < 0 {
 		c = qos.PriorityNormal.Index()
 	}
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
 		return ErrClosed
 	}
-	ln := p.lanes[key]
+	ln := b.lanes[key]
 	if ln == nil {
 		ln = &lane{key: key}
-		p.lanes[key] = ln
+		b.lanes[key] = ln
 	}
-	if len(ln.q[c]) >= p.cfg.QueueCap {
+	if len(ln.q[c]) >= b.cfg.QueueCap {
 		// Drop-oldest: the stalest frame in this lane+class makes room.
 		ln.q[c] = ln.q[c][1:]
-		p.stats.PerClass[c].Dropped++
+		b.stats.PerClass[c].Dropped++
 	}
 	ln.q[c] = append(ln.q[c], raw)
-	p.stats.PerClass[c].Enqueued++
+	b.stats.PerClass[c].Enqueued++
 	if !ln.queued[c] {
 		ln.queued[c] = true
-		p.ready[c] = append(p.ready[c], ln)
+		b.ready[c] = append(b.ready[c], ln)
 	}
-	p.mu.Unlock()
-	p.signal()
+	b.mu.Unlock()
+	b.signal()
 	return nil
 }
 
-func (p *Plane) signal() {
+func (b *bearer) signal() {
 	select {
-	case p.wake <- struct{}{}:
+	case b.wake <- struct{}{}:
 	default:
 	}
 }
 
-// refillLocked accrues bulk tokens. Caller holds p.mu.
-func (p *Plane) refillLocked(now time.Time) {
-	if elapsed := now.Sub(p.lastRefill); elapsed > 0 && p.rate > 0 {
-		p.tokens += elapsed.Seconds() * float64(p.rate)
-		if burst := float64(p.cfg.BulkBurst); p.tokens > burst {
-			p.tokens = burst
+// refillLocked accrues bulk tokens. Caller holds b.mu.
+func (b *bearer) refillLocked(now time.Time) {
+	if elapsed := now.Sub(b.lastRefill); elapsed > 0 && b.rate > 0 {
+		b.tokens += elapsed.Seconds() * float64(b.rate)
+		if burst := float64(b.cfg.BulkBurst); b.tokens > burst {
+			b.tokens = burst
 		}
 	}
-	p.lastRefill = now
+	b.lastRefill = now
 }
 
 // next picks the next datagram to transmit: the head of the highest
 // non-empty class, round-robin across that class's destinations, coalescing
 // small same-lane same-class frames into a batch. If only throttled bulk is
 // pending it returns wait > 0 instead.
-func (p *Plane) next() (datagram []byte, key destKey, wait time.Duration, ok bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+func (b *bearer) next() (datagram []byte, key destKey, wait time.Duration, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	for c := numClasses - 1; c >= 0; c-- {
-		for len(p.ready[c]) > 0 {
-			ln := p.ready[c][0]
+		for len(b.ready[c]) > 0 {
+			ln := b.ready[c][0]
 			if len(ln.q[c]) == 0 { // emptied by a flush; drop the entry
-				p.ready[c] = p.ready[c][1:]
+				b.ready[c] = b.ready[c][1:]
 				ln.queued[c] = false
-				p.reapLocked(ln)
+				b.reapLocked(ln)
 				continue
 			}
-			if c == bulkClass && p.rate > 0 {
-				p.refillLocked(time.Now())
+			if c == bulkClass && b.rate > 0 {
+				b.refillLocked(time.Now())
 				// A frame larger than the whole bucket must still pass
 				// once the bucket is full; the deficit is repaid below.
 				need := float64(len(ln.q[c][0]))
-				if burst := float64(p.cfg.BulkBurst); need > burst {
+				if burst := float64(b.cfg.BulkBurst); need > burst {
 					need = burst
 				}
-				if p.tokens < need {
-					p.stats.BulkWaits++
-					wait = time.Duration((need - p.tokens) / float64(p.rate) * float64(time.Second))
+				if b.tokens < need {
+					b.stats.BulkWaits++
+					wait = time.Duration((need - b.tokens) / float64(b.rate) * float64(time.Second))
 					if wait <= 0 {
 						wait = time.Millisecond
 					}
 					return nil, destKey{}, wait, false
 				}
 			}
-			frames := p.collectLocked(ln, c)
+			frames := b.collectLocked(ln, c)
 			if len(frames) == 1 {
 				datagram = frames[0]
 			} else {
@@ -332,24 +661,24 @@ func (p *Plane) next() (datagram []byte, key destKey, wait time.Duration, ok boo
 					datagram = frames[0]
 					frames = frames[:1]
 				} else {
-					p.stats.PerClass[c].Coalesced += uint64(len(frames))
+					b.stats.PerClass[c].Coalesced += uint64(len(frames))
 				}
 			}
-			if c == bulkClass && p.rate > 0 {
-				p.tokens -= float64(len(datagram))
+			if c == bulkClass && b.rate > 0 {
+				b.tokens -= float64(len(datagram))
 			}
-			p.stats.PerClass[c].Sent += uint64(len(frames))
-			p.stats.PerClass[c].Datagrams++
-			p.stats.PerClass[c].Bytes += uint64(len(datagram))
+			b.stats.PerClass[c].Sent += uint64(len(frames))
+			b.stats.PerClass[c].Datagrams++
+			b.stats.PerClass[c].Bytes += uint64(len(datagram))
 			// Rotate for round-robin fairness within the class.
-			p.ready[c] = p.ready[c][1:]
+			b.ready[c] = b.ready[c][1:]
 			if len(ln.q[c]) > 0 {
-				p.ready[c] = append(p.ready[c], ln)
+				b.ready[c] = append(b.ready[c], ln)
 			} else {
 				ln.queued[c] = false
-				p.reapLocked(ln)
+				b.reapLocked(ln)
 			}
-			p.transmitting = true
+			b.transmitting = true
 			return datagram, ln.key, 0, true
 		}
 	}
@@ -358,19 +687,19 @@ func (p *Plane) next() (datagram []byte, key destKey, wait time.Duration, ok boo
 
 // collectLocked pops the head frame of lane ln at class c plus any
 // immediately following small frames that fit one batch datagram. Caller
-// holds p.mu.
-func (p *Plane) collectLocked(ln *lane, c int) [][]byte {
+// holds b.mu.
+func (b *bearer) collectLocked(ln *lane, c int) [][]byte {
 	head := ln.q[c][0]
 	ln.q[c] = ln.q[c][1:]
 	frames := [][]byte{head}
-	if p.cfg.CoalesceMax < 0 || len(head) > p.cfg.CoalesceMax {
+	if b.cfg.CoalesceMax < 0 || len(head) > b.cfg.CoalesceMax {
 		return frames
 	}
 	total := protocol.BatchOverhead(1) + len(head)
 	for len(ln.q[c]) > 0 {
 		nxt := ln.q[c][0]
-		if len(nxt) > p.cfg.CoalesceMax ||
-			total+protocol.BatchEntryOverhead+len(nxt) > p.cfg.MaxDatagram {
+		if len(nxt) > b.cfg.CoalesceMax ||
+			total+protocol.BatchEntryOverhead+len(nxt) > b.cfg.MaxDatagram {
 			break
 		}
 		ln.q[c] = ln.q[c][1:]
@@ -381,8 +710,8 @@ func (p *Plane) collectLocked(ln *lane, c int) [][]byte {
 }
 
 // reapLocked deletes a fully drained lane so the map stays bounded by the
-// set of destinations with traffic in flight. Caller holds p.mu.
-func (p *Plane) reapLocked(ln *lane) {
+// set of destinations with traffic in flight. Caller holds b.mu.
+func (b *bearer) reapLocked(ln *lane) {
 	if !ln.empty() {
 		return
 	}
@@ -391,37 +720,37 @@ func (p *Plane) reapLocked(ln *lane) {
 			return
 		}
 	}
-	delete(p.lanes, ln.key)
+	delete(b.lanes, ln.key)
 }
 
 // transmit hands one datagram to the transport.
-func (p *Plane) transmit(key destKey, datagram []byte) {
+func (b *bearer) transmit(key destKey, datagram []byte) {
 	var err error
 	if key.group != "" {
-		err = p.sender.SendGroup(key.group, datagram)
+		err = b.sender.SendGroup(key.group, datagram)
 	} else {
-		err = p.sender.Send(key.node, datagram)
+		err = b.sender.Send(key.node, datagram)
 	}
 	if err != nil {
-		p.mu.Lock()
-		p.stats.SendErrors++
-		p.mu.Unlock()
+		b.mu.Lock()
+		b.stats.SendErrors++
+		b.mu.Unlock()
 	}
 }
 
 // run is the drain goroutine.
-func (p *Plane) run() {
-	defer p.wg.Done()
+func (b *bearer) run() {
+	defer b.wg.Done()
 	timer := time.NewTimer(time.Hour)
 	defer timer.Stop()
 	for {
-		datagram, key, wait, ok := p.next()
+		datagram, key, wait, ok := b.next()
 		if ok {
-			p.transmit(key, datagram)
-			p.mu.Lock()
-			p.transmitting = false
-			p.idle.Broadcast()
-			p.mu.Unlock()
+			b.transmit(key, datagram)
+			b.mu.Lock()
+			b.transmitting = false
+			b.idle.Broadcast()
+			b.mu.Unlock()
 			continue
 		}
 		if wait > 0 {
@@ -435,39 +764,34 @@ func (p *Plane) run() {
 			}
 			timer.Reset(wait)
 			select {
-			case <-p.stop:
+			case <-b.stop:
 				return
-			case <-p.wake:
+			case <-b.wake:
 			case <-timer.C:
 			}
 			continue
 		}
 		select {
-		case <-p.stop:
+		case <-b.stop:
 			return
-		case <-p.wake:
+		case <-b.wake:
 		}
 	}
 }
 
-// Flush blocks until every frame queued at call time has been handed to
-// the transport (shaped bulk included, at its paced rate). Frames enqueued
-// while flushing extend the wait. Experiments use it to line wire-level
-// measurements up with the asynchronous drain; a closed plane is already
-// flushed.
-func (p *Plane) Flush() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for !p.closed && (p.transmitting || p.pendingLocked()) {
-		p.idle.Wait()
+func (b *bearer) flush() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for !b.closed && (b.transmitting || b.pendingLocked()) {
+		b.idle.Wait()
 	}
 }
 
 // pendingLocked reports whether any lane still holds frames. Caller holds
-// p.mu.
-func (p *Plane) pendingLocked() bool {
-	for c := range p.ready {
-		for _, ln := range p.ready[c] {
+// b.mu.
+func (b *bearer) pendingLocked() bool {
+	for c := range b.ready {
+		for _, ln := range b.ready[c] {
 			if len(ln.q[c]) > 0 {
 				return true
 			}
@@ -476,40 +800,72 @@ func (p *Plane) pendingLocked() bool {
 	return false
 }
 
-// Close stops the drainer and synchronously flushes everything still
-// queued, in priority order, ignoring pacing — a closing container's
-// goodbye and any pending acknowledgments still reach the wire. Enqueues
-// after Close fail with ErrClosed.
-func (p *Plane) Close() {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		return
-	}
-	p.closed = true
-	p.idle.Broadcast()
-	p.mu.Unlock()
-	close(p.stop)
-	p.wg.Wait()
+// queuedFrame is one frame pulled off a bearer by drainQueued.
+type queuedFrame struct {
+	key   destKey
+	class int
+	raw   []byte
+}
 
-	p.mu.Lock()
-	defer p.mu.Unlock()
+// drainQueued atomically removes everything queued on the bearer and
+// returns it in strict class-descending order for re-enqueueing elsewhere.
+func (b *bearer) drainQueued() []queuedFrame {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	var out []queuedFrame
 	for c := numClasses - 1; c >= 0; c-- {
-		for _, ln := range p.ready[c] {
+		for _, ln := range b.ready[c] {
 			for _, raw := range ln.q[c] {
-				if ln.key.group != "" {
-					_ = p.sender.SendGroup(ln.key.group, raw)
-				} else {
-					_ = p.sender.Send(ln.key.node, raw)
-				}
-				p.stats.PerClass[c].Sent++
-				p.stats.PerClass[c].Datagrams++
-				p.stats.PerClass[c].Bytes += uint64(len(raw))
+				out = append(out, queuedFrame{key: ln.key, class: c, raw: raw})
 			}
 			ln.q[c] = nil
 			ln.queued[c] = false
 		}
-		p.ready[c] = nil
+		b.ready[c] = nil
 	}
-	p.lanes = make(map[destKey]*lane)
+	for key, ln := range b.lanes {
+		if ln.empty() {
+			delete(b.lanes, key)
+		}
+	}
+	b.stats.Rerouted += uint64(len(out))
+	b.idle.Broadcast()
+	return out
+}
+
+func (b *bearer) close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	b.idle.Broadcast()
+	b.mu.Unlock()
+	close(b.stop)
+	b.wg.Wait()
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for c := numClasses - 1; c >= 0; c-- {
+		for _, ln := range b.ready[c] {
+			for _, raw := range ln.q[c] {
+				if ln.key.group != "" {
+					_ = b.sender.SendGroup(ln.key.group, raw)
+				} else {
+					_ = b.sender.Send(ln.key.node, raw)
+				}
+				b.stats.PerClass[c].Sent++
+				b.stats.PerClass[c].Datagrams++
+				b.stats.PerClass[c].Bytes += uint64(len(raw))
+			}
+			ln.q[c] = nil
+			ln.queued[c] = false
+		}
+		b.ready[c] = nil
+	}
+	b.lanes = make(map[destKey]*lane)
 }

@@ -331,7 +331,7 @@ func (p *Publisher) publishUnicast(ctx context.Context, seq uint64, body []byte,
 		frame.Seq = p.engine.f.NextSeq()
 		frame.Payload = payload
 		node := node
-		p.engine.f.SendReliable(node, frame, p.q.Reliability, func(err error) {
+		p.sendEvent(node, frame, p.q.Reliability, func(err error) {
 			results <- outcome{node: node, err: err}
 		})
 		putFrame(frame)
@@ -415,8 +415,23 @@ func (p *Publisher) repairFor(node transport.NodeID, seqs []uint64) {
 			Seq:      p.engine.f.NextSeq(),
 			Payload:  protocol.EncodeEventPayload(p.id, rep.seq, rep.body, nil),
 		}
-		p.engine.f.SendReliable(node, frame, qos.ReliableARQ, nil)
+		p.sendEvent(node, frame, qos.ReliableARQ, nil)
 	}
+}
+
+// sendEvent transmits one event frame with the topic's per-send ARQ
+// tuning (qos.EventQoS.AckTimeout / MaxRetries) when the fabric supports
+// it — a topic routed onto a high-latency bearer needs a longer
+// retransmission fuse than the engine default, or queueing jitter spawns
+// duplicates. Fabrics without per-send tuning get the plain reliable path.
+func (p *Publisher) sendEvent(node transport.NodeID, frame *protocol.Frame, rel qos.Reliability, done func(error)) {
+	if ts, ok := p.engine.f.(fabric.TunedSender); ok && (p.q.AckTimeout > 0 || p.q.MaxRetries > 0) {
+		ts.SendReliableTuned(node, frame, rel, fabric.ReliableOpts{
+			AckTimeout: p.q.AckTimeout, MaxRetries: p.q.MaxRetries,
+		}, done)
+		return
+	}
+	p.engine.f.SendReliable(node, frame, rel, done)
 }
 
 func (p *Publisher) dropSubscriber(node transport.NodeID) {

@@ -1,0 +1,480 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"uavmw/internal/core"
+	"uavmw/internal/egress"
+	"uavmw/internal/filetransfer"
+	"uavmw/internal/metrics"
+	"uavmw/internal/netsim"
+	"uavmw/internal/presentation"
+	"uavmw/internal/protocol"
+	"uavmw/internal/qos"
+	"uavmw/internal/transport"
+)
+
+// E14 measures the bearer plane end to end: a UAV and a ground station
+// share two dissimilar datalinks — a fat, short-range, low-latency "wifi"
+// pipe and a slow, long-range, robust "radio" modem — each a separate
+// simulated network with its own bandwidth and latency. Policy routes by
+// class: critical alarms pin to the robust radio, the bulk imagery
+// transfer rides wifi, each bearer's bulk lane shaped just under its link
+// rate. Mid-transfer the wifi link blacks out (the UAV flying out of
+// range):
+//
+//   - the multi-bearer node detects the blackout within a failure
+//     deadline (link monitor silence + unanswered probes), reroutes the
+//     dead bearer's queues, and the transfer degrades gracefully to the
+//     radio's shaped rate — alarms never notice, because they were on the
+//     radio all along and the radio's own pacer keeps bulk from crowding
+//     them;
+//   - a single-bearer baseline on wifi alone loses alarms for the whole
+//     blackout once the ARQ budget is spent, and its transfer stalls.
+type E14Result struct {
+	WifiBPS, RadioBPS          int64
+	WifiShapedBPS, RadioShaped int64
+	FileBytes                  int
+	AlarmHz                    int
+	BlackoutAfter              time.Duration
+
+	// Unloaded is the alarm latency histogram with no transfer running
+	// (alarms ride the radio per policy — the same link they hold through
+	// the blackout).
+	Unloaded *metrics.Histogram
+	// Multi is the alarm latency histogram across the loaded multi-bearer
+	// run, blackout included. MultiLost counts alarms that never arrived.
+	Multi                *metrics.Histogram
+	MultiLost, MultiSent int
+
+	// HandoverDetect is how long after the blackout the UAV's link monitor
+	// declared the wifi bearer down.
+	HandoverDetect time.Duration
+	// Transfer is the total fetch wall time across the handover.
+	Transfer time.Duration
+	// WifiBytes / RadioBytes split the UAV→GS wire bytes per bearer.
+	WifiBytes, RadioBytes uint64
+	// RecoveredBPS is the peak sustained (1s window) UAV→GS wire rate on
+	// the radio after the blackout — the "bulk degraded to the surviving
+	// link's shaped rate" figure.
+	RecoveredBPS float64
+
+	// Single-bearer baseline: alarms only, same blackout, wifi only.
+	SingleSent, SingleLost int
+	SingleBlackout         time.Duration
+}
+
+// e14ShapeFraction paces each bearer's bulk lane below its link rate. It
+// sits lower than E13's 0.92 deliberately: here the same link also carries
+// the critical alarms, the discovery digests of both bearers' heartbeat
+// schedule, the subscription refreshes and the ARQ acks — shaping bulk to
+// 92% of a 31 kB/s radio would leave that control traffic fighting for the
+// last kilobyte and the link queue growing without bound.
+const e14ShapeFraction = 0.85
+
+// RunE14 runs the multi-bearer handover scenario and the single-bearer
+// baseline. fileBytes sizes the bulk transfer; blackoutAfter is how far
+// into the transfer the wifi link dies.
+func RunE14(fileBytes int, blackoutAfter time.Duration, seed int64) (*E14Result, error) {
+	res := &E14Result{
+		WifiBPS: 125_000, RadioBPS: 31_250,
+		FileBytes: fileBytes, AlarmHz: 50,
+		BlackoutAfter: blackoutAfter,
+	}
+	res.WifiShapedBPS = int64(float64(res.WifiBPS) * e14ShapeFraction)
+	res.RadioShaped = int64(float64(res.RadioBPS) * e14ShapeFraction)
+	if err := runE14Multi(res, seed); err != nil {
+		return nil, fmt.Errorf("e14 multi-bearer: %w", err)
+	}
+	if err := runE14Single(res, seed+1); err != nil {
+		return nil, fmt.Errorf("e14 single-bearer: %w", err)
+	}
+	return res, nil
+}
+
+// e14Link constrains both directions between uav and gs on one net.
+func e14Link(net *netsim.Net, bps int64) {
+	lc := netsim.InheritLink()
+	lc.BandwidthBPS = bps
+	net.SetLink("uav", "gs", lc)
+	net.SetLink("gs", "uav", lc)
+}
+
+func runE14Multi(res *E14Result, seed int64) error {
+	// Two separate media: the bearers share nothing but the endpoints.
+	wifi := netsim.New(netsim.Config{Seed: seed, Latency: 5 * time.Millisecond})
+	defer wifi.Close()
+	radio := netsim.New(netsim.Config{Seed: seed + 100, Latency: 40 * time.Millisecond})
+	defer radio.Close()
+	e14Link(wifi, res.WifiBPS)
+	e14Link(radio, res.RadioBPS)
+
+	wifiProf := qos.BearerProfile{
+		RateBPS: res.WifiBPS, Latency: 5 * time.Millisecond,
+		Robustness: 1, BulkRateBPS: res.WifiShapedBPS,
+	}
+	radioProf := qos.BearerProfile{
+		RateBPS: res.RadioBPS, Latency: 40 * time.Millisecond,
+		Robustness: 10, BulkRateBPS: res.RadioShaped,
+	}
+	mk := func(id transport.NodeID) (*core.Node, error) {
+		wep, err := wifi.Node(id)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := radio.Node(id)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewNode(
+			core.WithBearer("wifi", wep, wifiProf),
+			core.WithBearer("radio", rep, radioProf),
+			core.WithAnnouncePeriod(50*time.Millisecond),
+			// The bearer failure deadline: wifi silence past this marks the
+			// bearer down and triggers the handover.
+			core.WithFailureDeadline(250*time.Millisecond),
+			core.WithDirectoryTTL(60*time.Second),
+			core.WithARQ(protocol.WithTimeout(60*time.Millisecond), protocol.WithMaxRetries(8)),
+			core.WithFileTransfer(
+				filetransfer.WithQueryWindow(time.Second),
+				filetransfer.WithMaxStrikes(100)),
+			// Keep the bulk burst near one chunk: on the radio a single
+			// 1KB chunk occupies the link for ~34ms, and every queued
+			// chunk beyond it is latency an alarm could inherit. The deep
+			// bulk queue is deliberate: the transfer pushes chunks at the
+			// wifi rate, and after the handover the radio lane must absorb
+			// the mismatch in memory rather than shed chunks that NACK
+			// repair would only re-send (wire redundancy on the narrow
+			// link).
+			core.WithEgress(egress.Config{BulkBurst: 1100, QueueCap: 2048}),
+		)
+	}
+	uav, err := mk("uav")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = uav.Close() }()
+	gs, err := mk("gs")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = gs.Close() }()
+
+	// Critical alarm topic, UAV → GS. Policy pins it to the radio. The
+	// retransmission timeout must clear the radio's worst-case queueing
+	// (latency + a chunk ahead at the link) or every queued-but-fine alarm
+	// spawns duplicates that steal the link's headroom.
+	alarmType := presentation.Uint32()
+	alarmQoS := qos.EventQoS{
+		Priority:   qos.PriorityCritical,
+		AckTimeout: 500 * time.Millisecond,
+		MaxRetries: 10,
+	}
+	pub, err := uav.Events().Offer("e14.alarm", "bench", alarmType, alarmQoS)
+	if err != nil {
+		return err
+	}
+	rec := &alarmRecorder{}
+	if err := waitProviders(gs, kindEvent, "e14.alarm", 1, 5*time.Second); err != nil {
+		return err
+	}
+	if _, err := gs.Events().Subscribe("e14.alarm", alarmType, alarmQoS,
+		func(v any, _ transport.NodeID) { rec.arrived(v.(uint32), time.Now()) }); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(pub.Subscribers()) == 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("alarm subscriber never registered")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	publishAlarms := func(stopCh <-chan struct{}, maxDur time.Duration) {
+		interval := time.Second / time.Duration(res.AlarmHz)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		stopAt := time.Now().Add(maxDur)
+		var wg sync.WaitGroup
+		for {
+			select {
+			case <-stopCh:
+				wg.Wait()
+				return
+			case now := <-ticker.C:
+				if now.After(stopAt) {
+					wg.Wait()
+					return
+				}
+				seq := rec.nextSeq(now)
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+					defer cancel()
+					_ = pub.Publish(ctx, seq) // late/lost alarms are the measurement
+				}()
+			}
+		}
+	}
+
+	// Unloaded baseline: alarms alone, over the same policy (radio).
+	publishAlarms(make(chan struct{}), time.Second)
+	time.Sleep(200 * time.Millisecond) // let the tail arrive
+	res.Unloaded, _ = rec.collect(1, rec.count())
+	loadedFrom := rec.count() + 1
+	wifi.ResetWireStats()
+	radio.ResetWireStats()
+
+	// The bulk transfer: paced into the plane at the wifi rate; each
+	// bearer's own token bucket governs what actually reaches its link.
+	data := make([]byte, res.FileBytes)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	offer, err := uav.Files().Offer("e14.file", "bench", data,
+		qos.TransferQoS{ChunkSize: 1024, RateBPS: res.WifiShapedBPS})
+	if err != nil {
+		return err
+	}
+	defer offer.Close()
+	if err := waitProviders(gs, kindFile, "e14.file", 1, 5*time.Second); err != nil {
+		return err
+	}
+
+	// Sample the radio's UAV→GS wire bytes at 20ms so the recovered rate
+	// can be read as a peak sustained window, immune to trailing query
+	// idle time.
+	type sample struct {
+		at    time.Time
+		bytes uint64
+	}
+	var (
+		samplesMu sync.Mutex
+		samples   []sample
+	)
+	samplerStop := make(chan struct{})
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		ticker := time.NewTicker(20 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-samplerStop:
+				return
+			case now := <-ticker.C:
+				ls := radio.LinkStats("uav", "gs")
+				samplesMu.Lock()
+				samples = append(samples, sample{at: now, bytes: ls.Bytes})
+				samplesMu.Unlock()
+			}
+		}
+	}()
+
+	fetchDone := make(chan error, 1)
+	var transfer time.Duration
+	start := time.Now()
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+		defer cancel()
+		got, _, err := gs.Files().Fetch(ctx, "e14.file", filetransfer.FetchOptions{})
+		transfer = time.Since(start)
+		if err == nil && len(got) != res.FileBytes {
+			err = fmt.Errorf("short fetch: %d of %d bytes", len(got), res.FileBytes)
+		}
+		fetchDone <- err
+	}()
+
+	alarmStop := make(chan struct{})
+	alarmsDone := make(chan struct{})
+	go func() {
+		defer close(alarmsDone)
+		publishAlarms(alarmStop, 120*time.Second)
+	}()
+
+	// Mid-transfer blackout: the UAV flies out of wifi range.
+	time.Sleep(res.BlackoutAfter)
+	wifi.Partition("uav", "gs")
+	blackoutAt := time.Now()
+
+	// Time the handover detection on the UAV.
+	detect := make(chan time.Duration, 1)
+	go func() {
+		for {
+			for _, ls := range uav.LinkStats() {
+				if ls.Name == "wifi" && !ls.Healthy {
+					detect <- time.Since(blackoutAt)
+					return
+				}
+			}
+			if time.Since(blackoutAt) > 30*time.Second {
+				detect <- -1
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	if err := <-fetchDone; err != nil {
+		close(alarmStop)
+		close(samplerStop)
+		return err
+	}
+	res.Transfer = transfer
+	close(alarmStop)
+	<-alarmsDone
+	loadedTo := rec.count()
+	res.HandoverDetect = <-detect
+	if res.HandoverDetect < 0 {
+		return fmt.Errorf("wifi blackout never detected")
+	}
+	close(samplerStop)
+	samplerWG.Wait()
+
+	// Recovered throughput: the best sustained 1s window of radio wire
+	// rate after the blackout.
+	samplesMu.Lock()
+	post := samples[:0]
+	for _, s := range samples {
+		if s.at.After(blackoutAt) {
+			post = append(post, s)
+		}
+	}
+	const window = time.Second
+	for i := 0; i < len(post); i++ {
+		for j := i + 1; j < len(post); j++ {
+			if d := post[j].at.Sub(post[i].at); d >= window {
+				if rate := float64(post[j].bytes-post[i].bytes) / d.Seconds(); rate > res.RecoveredBPS {
+					res.RecoveredBPS = rate
+				}
+				break
+			}
+		}
+	}
+	samplesMu.Unlock()
+	res.WifiBytes = wifi.LinkStats("uav", "gs").Bytes
+	res.RadioBytes = radio.LinkStats("uav", "gs").Bytes
+
+	// Let alarm stragglers drain before collecting.
+	stableSince := time.Now()
+	last := rec.arrivedCount()
+	drainCap := time.Now().Add(15 * time.Second)
+	for time.Now().Before(drainCap) {
+		time.Sleep(100 * time.Millisecond)
+		if n := rec.arrivedCount(); n != last {
+			last = n
+			stableSince = time.Now()
+			continue
+		}
+		if time.Since(stableSince) > time.Second {
+			break
+		}
+	}
+	res.Multi, res.MultiLost = rec.collect(loadedFrom, loadedTo)
+	res.MultiSent = loadedTo - loadedFrom + 1
+	return nil
+}
+
+// runE14Single runs the baseline: the same alarm stream over wifi alone,
+// with the same blackout. The ARQ budget is real but finite; once it is
+// spent the alarms are gone — there is no second link to fail over to.
+func runE14Single(res *E14Result, seed int64) error {
+	wifi := netsim.New(netsim.Config{Seed: seed, Latency: 5 * time.Millisecond})
+	defer wifi.Close()
+	e14Link(wifi, res.WifiBPS)
+	const blackout = 1500 * time.Millisecond
+	res.SingleBlackout = blackout
+
+	mk := func(id transport.NodeID) (*core.Node, error) {
+		ep, err := wifi.Node(id)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewNode(
+			core.WithDatagram(ep),
+			core.WithAnnouncePeriod(50*time.Millisecond),
+			// Liveness must survive the blackout or the subscription is
+			// torn down; the point here is link loss, not peer loss.
+			core.WithFailureDeadline(60*time.Second),
+			core.WithDirectoryTTL(60*time.Second),
+			core.WithARQ(protocol.WithTimeout(30*time.Millisecond), protocol.WithMaxRetries(4)),
+		)
+	}
+	uav, err := mk("uav")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = uav.Close() }()
+	gs, err := mk("gs")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = gs.Close() }()
+
+	alarmType := presentation.Uint32()
+	alarmQoS := qos.EventQoS{Priority: qos.PriorityCritical}
+	pub, err := uav.Events().Offer("e14.alarm", "bench", alarmType, alarmQoS)
+	if err != nil {
+		return err
+	}
+	rec := &alarmRecorder{}
+	if err := waitProviders(gs, kindEvent, "e14.alarm", 1, 5*time.Second); err != nil {
+		return err
+	}
+	if _, err := gs.Events().Subscribe("e14.alarm", alarmType, alarmQoS,
+		func(v any, _ transport.NodeID) { rec.arrived(v.(uint32), time.Now()) }); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(pub.Subscribers()) == 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("alarm subscriber never registered")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	interval := time.Second / time.Duration(res.AlarmHz)
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		var wg sync.WaitGroup
+		for {
+			select {
+			case <-stop:
+				wg.Wait()
+				return
+			case now := <-ticker.C:
+				seq := rec.nextSeq(now)
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+					defer cancel()
+					_ = pub.Publish(ctx, seq)
+				}()
+			}
+		}
+	}()
+
+	time.Sleep(400 * time.Millisecond)
+	wifi.Partition("uav", "gs")
+	time.Sleep(blackout)
+	wifi.Heal("uav", "gs")
+	time.Sleep(500 * time.Millisecond)
+	close(stop)
+	<-done
+	time.Sleep(time.Second) // drain stragglers
+
+	_, lost := rec.collect(1, rec.count())
+	res.SingleSent = rec.count()
+	res.SingleLost = lost
+	return nil
+}

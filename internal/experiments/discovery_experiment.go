@@ -293,11 +293,14 @@ func RunE12Churn(nodes, recordsPerNode, missedOffers int, seed int64) (*E12Churn
 	// broadcast and applied by a connected peer — otherwise the flush
 	// could land after the heal and reach the cut node directly, and the
 	// scenario would not exercise gap repair at all.
+	// The full offer also carries one KindBearer record per datalink on
+	// top of the registered resources.
+	srcCount := recordsPerNode + missedOffers + len(src.Bearers())
 	witness := fleet[1]
 	settleDeadline := time.Now().Add(30 * time.Second)
 	for {
 		if _, ver, known := witness.Directory().NodeVersion(src.ID()); known && ver == src.OfferVersion() &&
-			witness.Directory().NodeRecordCount(src.ID()) == recordsPerNode+missedOffers {
+			witness.Directory().NodeRecordCount(src.ID()) == srcCount {
 			break
 		}
 		if time.Now().After(settleDeadline) {
@@ -311,7 +314,7 @@ func RunE12Churn(nodes, recordsPerNode, missedOffers int, seed int64) (*E12Churn
 	healed := time.Now()
 	for {
 		if _, ver, known := cut.Directory().NodeVersion(src.ID()); known && ver == src.OfferVersion() &&
-			cut.Directory().NodeRecordCount(src.ID()) == recordsPerNode+missedOffers {
+			cut.Directory().NodeRecordCount(src.ID()) == srcCount {
 			break
 		}
 		if time.Since(healed) > 30*time.Second {

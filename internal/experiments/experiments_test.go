@@ -166,3 +166,43 @@ func TestRunE13EgressFixesPriorityInversion(t *testing.T) {
 		t.Errorf("pacing should keep the bulk lane shallow, egress dropped %d chunks", res.ShapedDropped)
 	}
 }
+
+// TestRunE14BearerHandoverKeepsCriticalAlive pins the bearer-plane
+// acceptance properties: with the primary (wifi) bearer blacked out
+// mid-transfer, critical alarms lose zero events and hold p99 within 3x
+// the unloaded baseline; bulk degrades to >=80% of the surviving radio's
+// shaped rate; the blackout is detected within a few failure deadlines;
+// and the single-bearer baseline loses alarms for the bulk of the
+// blackout.
+func TestRunE14BearerHandoverKeepsCriticalAlive(t *testing.T) {
+	res, err := RunE14(96*1024, 400*time.Millisecond, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unloaded.Count() == 0 {
+		t.Fatal("no unloaded baseline measured")
+	}
+	if res.MultiLost != 0 {
+		t.Errorf("%d of %d multi-bearer alarms lost across the blackout", res.MultiLost, res.MultiSent)
+	}
+	unloaded := res.Unloaded.Percentile(99)
+	loaded := res.Multi.Percentile(99)
+	if loaded > 3*unloaded {
+		t.Errorf("loaded alarm p99 %v above 3x unloaded %v", loaded, unloaded)
+	}
+	if res.HandoverDetect > time.Second {
+		t.Errorf("handover detection took %v, want within ~a few failure deadlines", res.HandoverDetect)
+	}
+	if min := 0.8 * float64(res.RadioShaped); res.RecoveredBPS < min {
+		t.Errorf("recovered bulk rate %.0f B/s below 80%% of the radio's shaped %d B/s", res.RecoveredBPS, res.RadioShaped)
+	}
+	if res.WifiBytes == 0 || res.RadioBytes == 0 {
+		t.Error("traffic should have crossed both bearers")
+	}
+	// The baseline has no second link: a blackout longer than the ARQ
+	// budget must lose a substantial share of the alarms published during
+	// it (~75 of 120 at 50Hz over 1.5s in practice).
+	if res.SingleLost < res.SingleSent/4 {
+		t.Errorf("single-bearer baseline lost %d of %d alarms; expected the blackout to cost far more", res.SingleLost, res.SingleSent)
+	}
+}

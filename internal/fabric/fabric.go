@@ -6,6 +6,8 @@
 package fabric
 
 import (
+	"time"
+
 	"uavmw/internal/encoding"
 	"uavmw/internal/naming"
 	"uavmw/internal/protocol"
@@ -28,6 +30,20 @@ import (
 // transport failures surface in the container's egress stats. Engines must
 // set Priority deliberately — it decides both who the frame may overtake on
 // a congested link and how the receiver schedules its handler.
+//
+// Transmission is also bearer-aware: a container may carry several
+// datagram links (WiFi, radio modem, satcom), and the frame's Priority —
+// through the container's link policy and per-bearer health monitoring —
+// additionally selects WHICH link the frame rides (bulk on the fattest
+// healthy pipe, critical on the most robust one, automatic failover when a
+// bearer blacks out). Engines stay bearer-agnostic: they never name a
+// link, and a frame's class is the only routing input they control.
+// Unicast sends ride exactly one bearer per transmission attempt (ARQ
+// retransmissions may re-select, which is how in-flight reliable traffic
+// survives a bearer blackout); SendGroup may put one copy on several
+// bearers (discovery rides every live bearer; receivers dedup), so group
+// senders must tolerate duplicate delivery — the ack/dedup layer already
+// guarantees this for ack-required frames.
 type Fabric interface {
 	// Self is the local node identity.
 	Self() transport.NodeID
@@ -64,6 +80,27 @@ type Fabric interface {
 	// announcement immediately, so discovery latency is one network hop
 	// rather than one announce period (§3 name management).
 	OfferChanged()
+}
+
+// ReliableOpts tunes one reliable-ARQ send. Zero fields take the
+// container's engine defaults.
+type ReliableOpts struct {
+	// AckTimeout is the initial retransmission timeout. QoS policies set
+	// it per primitive (qos.EventQoS.AckTimeout): a critical alarm routed
+	// onto a 40ms-latency radio bearer needs a longer fuse than the same
+	// alarm on local WiFi, or queueing jitter spawns duplicate
+	// transmissions that eat the narrow link's headroom.
+	AckTimeout time.Duration
+	// MaxRetries is the retransmission budget before the send fails.
+	MaxRetries int
+}
+
+// TunedSender is optionally implemented by fabrics whose ReliableARQ path
+// accepts per-send tuning. Engines should feature-test for it and fall
+// back to SendReliable (engine-default tuning) when absent, so
+// instrumented test fabrics keep working unchanged.
+type TunedSender interface {
+	SendReliableTuned(to transport.NodeID, f *protocol.Frame, rel qos.Reliability, opts ReliableOpts, done func(error))
 }
 
 // Group naming scheme shared by engines and the container.

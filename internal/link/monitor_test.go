@@ -1,0 +1,136 @@
+package link
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 1, 1, 12, 0, 0, 0, time.UTC)
+
+func TestHealthyOptimisticAtBirthThenDecays(t *testing.T) {
+	m := NewMonitor("wifi", time.Second, t0)
+	if !m.Healthy(t0) {
+		t.Error("fresh monitor should be healthy")
+	}
+	if !m.Healthy(t0.Add(time.Second)) {
+		t.Error("should stay healthy up to the deadline")
+	}
+	if m.Healthy(t0.Add(time.Second + time.Millisecond)) {
+		t.Error("silent past the deadline should be unhealthy")
+	}
+}
+
+func TestRxRefreshesHealthAndPeerPresence(t *testing.T) {
+	m := NewMonitor("wifi", time.Second, t0)
+	at := t0.Add(5 * time.Second)
+	m.SawRx("gs", at)
+	if !m.Healthy(at.Add(time.Second)) {
+		t.Error("heard bearer should be healthy within deadline of rx")
+	}
+	if m.Healthy(at.Add(2 * time.Second)) {
+		t.Error("bearer silent past deadline should go unhealthy again")
+	}
+	if !m.PeerHeard("gs", at.Add(500*time.Millisecond)) {
+		t.Error("peer heard recently should report heard")
+	}
+	if m.PeerHeard("gs", at.Add(2*time.Second)) {
+		t.Error("peer silence past deadline should report not heard")
+	}
+	if !m.PeerKnown("gs") || m.PeerKnown("other") {
+		t.Error("PeerKnown should track ever-heard peers only")
+	}
+	m.ForgetPeer("gs")
+	if m.PeerKnown("gs") {
+		t.Error("forgotten peer should not be known")
+	}
+}
+
+func TestProbeRoundTripFeedsRTT(t *testing.T) {
+	m := NewMonitor("radio", time.Second, t0)
+	n1 := m.NextProbe(t0)
+	rtt, ok := m.ProbeEchoed(n1, t0.Add(80*time.Millisecond))
+	if !ok || rtt != 80*time.Millisecond {
+		t.Fatalf("first echo: rtt=%v ok=%v", rtt, ok)
+	}
+	if got := m.Report(t0).RTT; got != 80*time.Millisecond {
+		t.Errorf("first sample should seed the EWMA, got %v", got)
+	}
+	n2 := m.NextProbe(t0.Add(time.Second))
+	if _, ok := m.ProbeEchoed(n2, t0.Add(time.Second+160*time.Millisecond)); !ok {
+		t.Fatal("second echo not matched")
+	}
+	got := m.Report(t0).RTT
+	if got <= 80*time.Millisecond || got >= 160*time.Millisecond {
+		t.Errorf("EWMA should land between samples, got %v", got)
+	}
+	// Duplicate and unknown nonces are rejected.
+	if _, ok := m.ProbeEchoed(n2, t0); ok {
+		t.Error("duplicate echo accepted")
+	}
+	if _, ok := m.ProbeEchoed(9999, t0); ok {
+		t.Error("unknown nonce accepted")
+	}
+}
+
+func TestProbeLossAccounting(t *testing.T) {
+	m := NewMonitor("radio", time.Second, t0)
+	n1 := m.NextProbe(t0)
+	m.NextProbe(t0) // never echoed
+	if _, ok := m.ProbeEchoed(n1, t0.Add(time.Millisecond)); !ok {
+		t.Fatal("echo not matched")
+	}
+	r := m.Report(t0)
+	if r.ProbesSent != 2 || r.ProbesEchoed != 1 {
+		t.Fatalf("sent/echoed = %d/%d, want 2/1", r.ProbesSent, r.ProbesEchoed)
+	}
+	if r.ProbeLoss != 0.5 {
+		t.Errorf("loss = %v, want 0.5", r.ProbeLoss)
+	}
+}
+
+func TestProbeTableBounded(t *testing.T) {
+	m := NewMonitor("radio", time.Second, t0)
+	var first uint64
+	for i := 0; i < maxOutstandingProbes+10; i++ {
+		n := m.NextProbe(t0)
+		if i == 0 {
+			first = n
+		}
+	}
+	if _, ok := m.ProbeEchoed(first, t0); ok {
+		t.Error("evicted nonce should no longer match")
+	}
+	r := m.Report(t0)
+	if r.ProbesEvicted != 10 {
+		t.Errorf("evicted = %d, want 10", r.ProbesEvicted)
+	}
+}
+
+func TestIdle(t *testing.T) {
+	m := NewMonitor("wifi", time.Second, t0)
+	if m.Idle(t0.Add(99*time.Millisecond), 100*time.Millisecond) {
+		t.Error("not yet idle")
+	}
+	if !m.Idle(t0.Add(100*time.Millisecond), 100*time.Millisecond) {
+		t.Error("should be idle after threshold from birth")
+	}
+	m.SawRx("gs", t0.Add(time.Second))
+	if m.Idle(t0.Add(time.Second+50*time.Millisecond), 100*time.Millisecond) {
+		t.Error("rx should reset idleness")
+	}
+}
+
+func TestProbeExpiryRetiresStaleNonces(t *testing.T) {
+	m := NewMonitor("radio", time.Second, t0)
+	stale := m.NextProbe(t0)
+	fresh := m.NextProbe(t0.Add(probeExpiry + time.Second))
+	if _, ok := m.ProbeEchoed(stale, t0.Add(probeExpiry+2*time.Second)); ok {
+		t.Error("expired nonce should no longer match")
+	}
+	if _, ok := m.ProbeEchoed(fresh, t0.Add(probeExpiry+2*time.Second)); !ok {
+		t.Error("fresh nonce must still match")
+	}
+	if r := m.Report(t0); r.ProbesEvicted != 1 {
+		t.Errorf("evicted = %d, want 1", r.ProbesEvicted)
+	}
+}

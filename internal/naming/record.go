@@ -23,6 +23,15 @@ const (
 	KindEvent                    // §4.2 event topic
 	KindFunction                 // §4.3 callable function
 	KindFile                     // §4.4 file resource
+	// KindBearer advertises one datalink (bearer) the node is reachable
+	// over: Name is the bearer name ("wifi", "radio", ...), shared across
+	// the fleet so peers can match it against their own bearer set, and
+	// Service carries the bearer's dialable transport address when the
+	// substrate needs one (UDP), empty on substrates with a global address
+	// book (bus, netsim). Riding the ordinary offer log means bearer
+	// reachability propagates through the same deltas, digests and
+	// anti-entropy syncs as every other record.
+	KindBearer
 )
 
 // String implements fmt.Stringer.
@@ -38,13 +47,15 @@ func (k Kind) String() string {
 		return "function"
 	case KindFile:
 		return "file"
+	case KindBearer:
+		return "bearer"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
 }
 
 // Valid reports whether k is a defined kind.
-func (k Kind) Valid() bool { return k >= KindService && k <= KindFile }
+func (k Kind) Valid() bool { return k >= KindService && k <= KindBearer }
 
 // Record describes one named resource offered by a provider node.
 type Record struct {

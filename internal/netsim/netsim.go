@@ -75,16 +75,17 @@ func InheritLink() LinkConfig { return LinkConfig{Loss: -1, Duplicate: -1} }
 type Net struct {
 	cfg Config
 
-	mu       sync.Mutex
-	rng      *rand.Rand
-	nodes    map[transport.NodeID]*Node
-	groups   map[string]map[transport.NodeID]*Node
-	links    map[linkKey]LinkConfig
-	nextFree map[transport.NodeID]time.Time // per-sender medium occupancy
-	linkFree map[linkKey]time.Time          // per-link occupancy (BandwidthBPS overrides)
-	events   eventHeap
-	seq      uint64 // tiebreaker for equal delivery times
-	closed   bool
+	mu        sync.Mutex
+	rng       *rand.Rand
+	nodes     map[transport.NodeID]*Node
+	groups    map[string]map[transport.NodeID]*Node
+	links     map[linkKey]LinkConfig
+	nextFree  map[transport.NodeID]time.Time // per-sender medium occupancy
+	linkFree  map[linkKey]time.Time          // per-link occupancy (BandwidthBPS overrides)
+	linkStats map[linkKey]*LinkStats         // per-directed-link wire counters
+	events    eventHeap
+	seq       uint64 // tiebreaker for equal delivery times
+	closed    bool
 
 	wake chan struct{}
 	done chan struct{}
@@ -106,15 +107,16 @@ func New(cfg Config) *Net {
 		seed = 1
 	}
 	n := &Net{
-		cfg:      cfg,
-		rng:      rand.New(rand.NewSource(seed)),
-		nodes:    make(map[transport.NodeID]*Node),
-		groups:   make(map[string]map[transport.NodeID]*Node),
-		links:    make(map[linkKey]LinkConfig),
-		nextFree: make(map[transport.NodeID]time.Time),
-		linkFree: make(map[linkKey]time.Time),
-		wake:     make(chan struct{}, 1),
-		done:     make(chan struct{}),
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(seed)),
+		nodes:     make(map[transport.NodeID]*Node),
+		groups:    make(map[string]map[transport.NodeID]*Node),
+		links:     make(map[linkKey]LinkConfig),
+		nextFree:  make(map[transport.NodeID]time.Time),
+		linkFree:  make(map[linkKey]time.Time),
+		linkStats: make(map[linkKey]*LinkStats),
+		wake:      make(chan struct{}, 1),
+		done:      make(chan struct{}),
 	}
 	n.wg.Add(1)
 	go n.run()
@@ -173,11 +175,50 @@ func (n *Net) WireStats() (packets, bytes, lost uint64) {
 	return n.wirePackets.Load(), n.wireBytes.Load(), n.lost.Load()
 }
 
-// ResetWireStats zeroes the medium counters between experiment phases.
+// LinkStats counts traffic on one directed sender→receiver link.
+type LinkStats struct {
+	// Packets / Bytes count what was offered to the link (multicast counts
+	// once per receiver here, since each directed copy traverses its own
+	// link), whether or not the receiver then lost it.
+	Packets, Bytes uint64
+	// Lost counts per-receiver losses on the link: blocked (partition),
+	// random loss, and deliveries dropped at a closed or handlerless
+	// receiver.
+	Lost uint64
+}
+
+// LinkStats reports the directed from→to wire counters. Experiments use it
+// to attribute traffic to one bearer in a multi-datalink topology (E14).
+func (n *Net) LinkStats(from, to transport.NodeID) LinkStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ls := n.linkStats[linkKey{from, to}]; ls != nil {
+		return *ls
+	}
+	return LinkStats{}
+}
+
+// linkStatsLocked returns (creating if needed) the counters for a directed
+// link. Caller holds n.mu.
+func (n *Net) linkStatsLocked(from, to transport.NodeID) *LinkStats {
+	key := linkKey{from, to}
+	ls := n.linkStats[key]
+	if ls == nil {
+		ls = &LinkStats{}
+		n.linkStats[key] = ls
+	}
+	return ls
+}
+
+// ResetWireStats zeroes the medium counters (per-directed-link counters
+// included) between experiment phases.
 func (n *Net) ResetWireStats() {
 	n.wirePackets.Store(0)
 	n.wireBytes.Store(0)
 	n.lost.Store(0)
+	n.mu.Lock()
+	n.linkStats = make(map[linkKey]*LinkStats)
+	n.mu.Unlock()
 }
 
 // Close stops the delivery engine. Pending deliveries are discarded.
@@ -271,7 +312,7 @@ func (n *Net) run() {
 		heap.Pop(&n.events)
 		n.mu.Unlock()
 
-		next.dst.deliver(next.pkt)
+		next.dst.deliver(next.pkt, next.dupe)
 	}
 }
 
@@ -332,8 +373,12 @@ func (n *Net) transmit(src *Node, receivers []*Node, pkt transport.Packet) {
 
 	for _, dst := range receivers {
 		latency, jitter, loss, dup, bw, blocked := n.linkFor(src.id, dst.id)
+		ls := n.linkStatsLocked(src.id, dst.id)
+		ls.Packets++
+		ls.Bytes += uint64(len(pkt.Payload))
 		if blocked {
 			n.lost.Add(1)
+			ls.Lost++
 			continue
 		}
 		// Per-link serialization: after leaving the sender the packet
@@ -350,6 +395,7 @@ func (n *Net) transmit(src *Node, receivers []*Node, pkt transport.Packet) {
 		}
 		if loss > 0 && n.rng.Float64() < loss {
 			n.lost.Add(1)
+			ls.Lost++
 			dst.stats.dropped.Add(1)
 			continue
 		}
@@ -531,14 +577,22 @@ func (d *Node) isClosed() bool {
 	return d.closed
 }
 
-// deliver runs on the net's delivery goroutine.
-func (d *Node) deliver(pkt transport.Packet) {
+// deliver runs on the net's delivery goroutine. dupe marks a duplicated
+// copy: its loss at a dead receiver is not charged to the link counters a
+// second time (LinkStats.Packets counts the original once, so Lost must
+// too, or delivery-rate arithmetic goes negative under duplication).
+func (d *Node) deliver(pkt transport.Packet, dupe bool) {
 	d.mu.Lock()
 	h := d.handler
 	closed := d.closed
 	d.mu.Unlock()
 	if closed || h == nil {
 		d.stats.dropped.Add(1)
+		if !dupe {
+			d.net.mu.Lock()
+			d.net.linkStatsLocked(pkt.From, d.id).Lost++
+			d.net.mu.Unlock()
+		}
 		return
 	}
 	d.stats.packetsRecv.Add(1)

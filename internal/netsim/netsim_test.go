@@ -481,3 +481,105 @@ func TestPerLinkBandwidthInherit(t *testing.T) {
 		t.Errorf("inherited bandwidth ignored: 10KB at 100KB/s delivered in %v", elapsed)
 	}
 }
+
+// TestLinkStatsAttributeDirectedTraffic pins the per-directed-link wire
+// counters: unicast and multicast traffic is attributed to each from→to
+// link independently, losses (blocked links, random loss) are charged to
+// the link that lost them, and ResetWireStats clears everything.
+func TestLinkStatsAttributeDirectedTraffic(t *testing.T) {
+	net := New(Config{})
+	defer net.Close()
+	a, err := net.Node("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Node("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := net.Node("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, cc := &collector{}, &collector{}
+	b.SetHandler(cb.handler())
+	c.SetHandler(cc.handler())
+	for _, n := range []*Node{a, b, c} {
+		if err := n.Join("g"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// 2 unicasts a→b of 10 bytes, 1 multicast of 7 bytes (a→b and a→c).
+	for i := 0; i < 2; i++ {
+		if err := a.Send("b", make([]byte, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.SendGroup("g", make([]byte, 7)); err != nil {
+		t.Fatal(err)
+	}
+	cb.wait(t, 3, time.Second)
+	cc.wait(t, 1, time.Second)
+
+	ab := net.LinkStats("a", "b")
+	if ab.Packets != 3 || ab.Bytes != 27 || ab.Lost != 0 {
+		t.Errorf("a→b = %+v, want {3 27 0}", ab)
+	}
+	ac := net.LinkStats("a", "c")
+	if ac.Packets != 1 || ac.Bytes != 7 || ac.Lost != 0 {
+		t.Errorf("a→c = %+v, want {1 7 0}", ac)
+	}
+	if ba := net.LinkStats("b", "a"); ba.Packets != 0 {
+		t.Errorf("b→a should be untouched, got %+v", ba)
+	}
+
+	// A blocked link charges losses to that directed link only.
+	lc := InheritLink()
+	lc.Blocked = true
+	net.SetLink("a", "b", lc)
+	if err := a.SendGroup("g", make([]byte, 5)); err != nil {
+		t.Fatal(err)
+	}
+	cc.wait(t, 2, time.Second)
+	ab = net.LinkStats("a", "b")
+	if ab.Packets != 4 || ab.Lost != 1 {
+		t.Errorf("a→b after blackout = %+v, want Packets 4, Lost 1", ab)
+	}
+	if ac = net.LinkStats("a", "c"); ac.Lost != 0 {
+		t.Errorf("a→c should have no losses, got %+v", ac)
+	}
+
+	net.ResetWireStats()
+	if got := net.LinkStats("a", "b"); got != (LinkStats{}) {
+		t.Errorf("reset left a→b = %+v", got)
+	}
+}
+
+// TestLinkStatsCountRandomLoss pins loss attribution under a per-link loss
+// override.
+func TestLinkStatsCountRandomLoss(t *testing.T) {
+	net := New(Config{Seed: 3})
+	defer net.Close()
+	a, err := net.Node("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Node("b"); err != nil {
+		t.Fatal(err)
+	}
+	lc := InheritLink()
+	lc.Loss = 1.0
+	net.SetLink("a", "b", lc)
+	if err := a.Send("b", make([]byte, 4)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for net.LinkStats("a", "b").Lost == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	ab := net.LinkStats("a", "b")
+	if ab.Packets != 1 || ab.Bytes != 4 || ab.Lost != 1 {
+		t.Errorf("a→b = %+v, want {1 4 1}", ab)
+	}
+}

@@ -52,6 +52,21 @@ type arqPending struct {
 	retries int
 	result  ResultFunc
 	done    bool
+	// timeout / maxRetries are this message's overrides (zero = engine
+	// default): a critical alarm on a 40ms-latency radio modem needs a
+	// longer fuse than a chunk ack on local WiFi, and QoS policies carry
+	// that per primitive (qos.EventQoS.AckTimeout / MaxRetries).
+	timeout    time.Duration
+	maxRetries int
+}
+
+// SendTuning carries per-message ARQ overrides; zero fields take the
+// engine defaults.
+type SendTuning struct {
+	// Timeout is the initial retransmission timeout for this message.
+	Timeout time.Duration
+	// MaxRetries is this message's retransmission budget.
+	MaxRetries int
 }
 
 // ARQStats is a snapshot of engine activity for the E2 experiment.
@@ -142,11 +157,17 @@ func NewARQ(send SendFunc, opts ...ARQOption) *ARQ {
 // Stats snapshots the engine counters.
 func (a *ARQ) Stats() ARQStats { return a.stats.snapshot() }
 
-// Send transmits frame to peer reliably. seq must be unique per (peer,
-// message); result is invoked exactly once from a timer or Ack goroutine.
+// Send transmits frame to peer reliably with the engine-default tuning.
+// seq must be unique per (peer, message); result is invoked exactly once
+// from a timer or Ack goroutine.
 func (a *ARQ) Send(to transport.NodeID, seq uint64, frame []byte, result ResultFunc) error {
+	return a.SendTuned(to, seq, frame, SendTuning{}, result)
+}
+
+// SendTuned is Send with per-message timeout / retry overrides.
+func (a *ARQ) SendTuned(to transport.NodeID, seq uint64, frame []byte, tune SendTuning, result ResultFunc) error {
 	key := arqKey{to: to, seq: seq}
-	p := &arqPending{frame: frame, result: result}
+	p := &arqPending{frame: frame, result: result, timeout: tune.Timeout, maxRetries: tune.MaxRetries}
 
 	a.mu.Lock()
 	if a.closed {
@@ -158,7 +179,7 @@ func (a *ARQ) Send(to transport.NodeID, seq uint64, frame []byte, result ResultF
 		return fmt.Errorf("protocol: duplicate in-flight seq %d to %q", seq, to)
 	}
 	a.pending[key] = p
-	p.timer = time.AfterFunc(a.timeout, func() { a.retransmit(key, 1) })
+	p.timer = time.AfterFunc(a.timeoutFor(p), func() { a.retransmit(key, 1) })
 	a.mu.Unlock()
 
 	a.stats.sent.Add(1)
@@ -180,7 +201,7 @@ func (a *ARQ) retransmit(key arqKey, attempt int) {
 		a.mu.Unlock()
 		return
 	}
-	if attempt > a.maxRetries {
+	if attempt > a.retriesFor(p) {
 		a.mu.Unlock()
 		a.stats.failed.Add(1)
 		a.finish(key, fmt.Errorf("protocol: seq %d to %q after %d attempts: %w",
@@ -188,7 +209,7 @@ func (a *ARQ) retransmit(key arqKey, attempt int) {
 		return
 	}
 	frame := p.frame
-	delay := a.timeout
+	delay := a.timeoutFor(p)
 	for i := 0; i < attempt; i++ {
 		delay = time.Duration(float64(delay) * a.backoff)
 	}
@@ -198,6 +219,22 @@ func (a *ARQ) retransmit(key arqKey, attempt int) {
 
 	a.stats.retransmits.Add(1)
 	_ = a.send(key.to, frame) // transient failures retry on next timer
+}
+
+// timeoutFor resolves one message's effective initial timeout.
+func (a *ARQ) timeoutFor(p *arqPending) time.Duration {
+	if p.timeout > 0 {
+		return p.timeout
+	}
+	return a.timeout
+}
+
+// retriesFor resolves one message's effective retry budget.
+func (a *ARQ) retriesFor(p *arqPending) int {
+	if p.maxRetries > 0 {
+		return p.maxRetries
+	}
+	return a.maxRetries
 }
 
 // Ack completes the message (peer, seq); safe to call for unknown keys

@@ -3,6 +3,7 @@ package protocol
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -262,5 +263,47 @@ func TestDedupDefaultWindow(t *testing.T) {
 	}
 	if !d.Seen("s", 0) {
 		t.Error("seq 0 should still be in the default window")
+	}
+}
+
+// TestARQSendTunedOverrides pins per-message tuning: a SendTuned timeout
+// longer than the engine default suppresses retransmissions the default
+// would have fired, and a per-message retry budget overrides the engine's.
+func TestARQSendTunedOverrides(t *testing.T) {
+	// Engine default 5ms; the tuned message waits 500ms before its first
+	// retransmission, so within ~100ms nothing must have been re-sent.
+	var sends atomic.Int32
+	arq := NewARQ(func(transport.NodeID, []byte) error {
+		sends.Add(1)
+		return nil
+	}, WithTimeout(5*time.Millisecond))
+	defer arq.Close()
+	if err := arq.SendTuned("peer", 1, mustFrame(t, 1), SendTuning{Timeout: 500 * time.Millisecond}, nil); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if n := sends.Load(); n != 1 {
+		t.Errorf("tuned message transmitted %d times within the long fuse, want 1", n)
+	}
+	arq.Ack("peer", 1)
+
+	// A per-message retry budget of 1 fails after exactly one retransmit
+	// even though the engine default is 8.
+	sends.Store(0)
+	done := make(chan error, 1)
+	if err := arq.SendTuned("peer", 2, mustFrame(t, 2), SendTuning{Timeout: time.Millisecond, MaxRetries: 1},
+		func(err error) { done <- err }); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrTimeout) {
+			t.Errorf("tuned send err = %v, want ErrTimeout", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("tuned send never concluded")
+	}
+	if n := sends.Load(); n != 2 {
+		t.Errorf("transmitted %d times, want 2 (initial + 1 retry)", n)
 	}
 }

@@ -84,6 +84,15 @@ const (
 	// acknowledgment, dedup and priority scheduling are unaffected.
 	MTBatch // container of length-prefixed coalesced frames
 
+	// Bearer plane (multi-datalink nodes). Each bearer's link monitor sends
+	// a lightweight MTProbe to known peers when the bearer has been idle,
+	// and the peer echoes the payload back as MTProbeEcho on the same
+	// bearer. The round trip gives per-bearer liveness and RTT even on
+	// links that carry no application traffic, and is how a blacked-out
+	// bearer's recovery is detected.
+	MTProbe     // link-monitor probe: u64 nonce payload
+	MTProbeEcho // probe reply: nonce echoed verbatim
+
 	mtMax // sentinel
 )
 
@@ -116,6 +125,7 @@ func (m MsgType) String() string {
 		MTFragment: "fragment", MTAck: "ack", MTEventNack: "event-nack",
 		MTBusy: "busy", MTAnnounceDelta: "announce-delta",
 		MTSyncReq: "sync-req", MTSyncRep: "sync-rep", MTBatch: "batch",
+		MTProbe: "probe", MTProbeEcho: "probe-echo",
 	}
 	if int(m) < len(names) && names[m] != "" {
 		return names[m]

@@ -12,6 +12,7 @@ package qos
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -379,6 +380,107 @@ func (q TransferQoS) Validate() error {
 		return fmt.Errorf("qos: negative rate %d B/s: %w", q.RateBPS, ErrInvalidPolicy)
 	}
 	return nil
+}
+
+// BearerProfile describes the static characteristics of one datalink
+// (bearer) a node transmits over. A UAV typically carries several dissimilar
+// bearers at once — short-range high-bandwidth WiFi, a long-range low-rate
+// radio modem, satcom — and the middleware chooses per traffic class which
+// one carries each frame (see LinkPolicy). The profile feeds the default
+// class→bearer ordering; the link monitor supplies the dynamic half
+// (liveness, observed RTT and loss).
+type BearerProfile struct {
+	// RateBPS is the nominal link capacity in wire bytes/second. Bulk
+	// classes prefer the highest-rate healthy bearer. Zero means unknown.
+	RateBPS int64
+	// Latency is the nominal one-way latency; latency-sensitive classes
+	// tie-break toward the lowest.
+	Latency time.Duration
+	// Robustness ranks how dependable the link is across the mission
+	// envelope (range, weather, occlusion): higher is more dependable.
+	// Critical classes pin to the most robust healthy bearer.
+	Robustness int
+	// BulkRateBPS token-bucket-shapes the PriorityBulk egress lane of this
+	// bearer (see package egress). Set it at or just below RateBPS so bulk
+	// never fills the link queue critical frames would wait behind. Zero
+	// inherits the node-wide bulk rate (which may itself be zero: unshaped).
+	BulkRateBPS int64
+}
+
+// LinkPolicy maps traffic classes to bearers: which datalink each
+// qos.Priority class prefers, and in what order the remaining bearers are
+// tried when the preferred one is unhealthy (automatic failover order).
+type LinkPolicy struct {
+	// Affinity[p] lists bearer names in preference order for class p.
+	// Bearers not listed are appended in the class's default order, so an
+	// affinity entry narrows preference without ever stranding a class with
+	// no failover path. A nil map (or missing class) uses the default
+	// ordering for every class.
+	Affinity map[Priority][]string
+}
+
+// Validate reports whether the policy is self-consistent.
+func (lp LinkPolicy) Validate() error {
+	for p := range lp.Affinity {
+		if !p.Valid() {
+			return fmt.Errorf("qos: link affinity priority %d out of range: %w", p, ErrInvalidPolicy)
+		}
+	}
+	return nil
+}
+
+// Order returns the bearer preference order for class p over the given
+// bearer set: the explicit affinity list first (unknown names skipped),
+// then every remaining bearer in the class's default order. The default
+// order encodes the multi-bearer doctrine: bulk rides the fattest pipe,
+// critical pins to the most robust link, and interactive classes chase
+// latency.
+func (lp LinkPolicy) Order(p Priority, bearers map[string]BearerProfile) []string {
+	out := make([]string, 0, len(bearers))
+	seen := make(map[string]bool, len(bearers))
+	for _, name := range lp.Affinity[p] {
+		if _, ok := bearers[name]; ok && !seen[name] {
+			out = append(out, name)
+			seen[name] = true
+		}
+	}
+	rest := make([]string, 0, len(bearers))
+	for name := range bearers {
+		if !seen[name] {
+			rest = append(rest, name)
+		}
+	}
+	sort.Slice(rest, func(i, j int) bool {
+		return defaultBearerLess(p, rest[i], rest[j], bearers)
+	})
+	return append(out, rest...)
+}
+
+// defaultBearerLess orders bearers a, b for class p by profile, with the
+// bearer name as the final deterministic tie-break.
+func defaultBearerLess(p Priority, a, b string, bearers map[string]BearerProfile) bool {
+	pa, pb := bearers[a], bearers[b]
+	type cmp struct{ x, y int64 }
+	var keys []cmp
+	switch {
+	case p <= PriorityLow:
+		// Bulk and low telemetry: fattest pipe first, dependability next.
+		keys = []cmp{{pa.RateBPS, pb.RateBPS}, {int64(pa.Robustness), int64(pb.Robustness)}}
+	case p >= PriorityHigh:
+		// Events, alarms, emergencies: most robust link first, then the
+		// lowest-latency among equally robust ones.
+		keys = []cmp{{int64(pa.Robustness), int64(pb.Robustness)}, {int64(pb.Latency), int64(pa.Latency)}}
+	default:
+		// Interactive traffic (variables, ordinary calls): lowest latency
+		// first, then capacity.
+		keys = []cmp{{int64(pb.Latency), int64(pa.Latency)}, {pa.RateBPS, pb.RateBPS}}
+	}
+	for _, k := range keys {
+		if k.x != k.y {
+			return k.x > k.y
+		}
+	}
+	return a < b
 }
 
 // ErrInvalidPolicy tags every validation failure in this package.

@@ -285,3 +285,91 @@ func TestTCPLargeFrame(t *testing.T) {
 		}
 	}
 }
+
+// Compile-time checks: the address-book transports implement PeerBook and
+// Addressable, so the container's bearer plane can manage their peers from
+// discovery records.
+var (
+	_ PeerBook    = (*UDP)(nil)
+	_ PeerBook    = (*TCP)(nil)
+	_ Addressable = (*UDP)(nil)
+	_ Addressable = (*TCP)(nil)
+)
+
+func TestUDPAddPeerIdempotentUpdate(t *testing.T) {
+	a, b := newUDPPair(t)
+	// Stand up a third endpoint and re-point "b" at it: the next Send must
+	// go to the new address, not the original b.
+	c, err := NewUDP("c", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Skipf("udp unavailable: %v", err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	colB, colC := newCollector(), newCollector()
+	b.SetHandler(colB.handler())
+	c.SetHandler(colC.handler())
+
+	if err := a.AddPeer("b", c.LocalAddr()); err != nil {
+		t.Fatalf("re-AddPeer: %v", err)
+	}
+	if err := a.Send("b", []byte("moved")); err != nil {
+		t.Fatalf("Send after update: %v", err)
+	}
+	pkts := colC.wait(t, 1, 2*time.Second)
+	if string(pkts[0].Payload) != "moved" {
+		t.Errorf("payload = %q", pkts[0].Payload)
+	}
+	if colB.count() != 0 {
+		t.Errorf("old address still received %d packets", colB.count())
+	}
+	if err := a.AddPeer("", c.LocalAddr()); err == nil {
+		t.Error("empty peer id accepted")
+	}
+}
+
+func TestUDPRemovePeer(t *testing.T) {
+	a, b := newUDPPair(t)
+	a.RemovePeer("b")
+	if err := a.Send("b", []byte("x")); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("Send after RemovePeer = %v, want ErrUnknownNode", err)
+	}
+	a.RemovePeer("b") // removing again is a no-op
+	// Re-adding restores delivery.
+	col := newCollector()
+	b.SetHandler(col.handler())
+	if err := a.AddPeer("b", b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", []byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	col.wait(t, 1, 2*time.Second)
+}
+
+func TestTCPRemovePeer(t *testing.T) {
+	a, err := NewTCP("a", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Skipf("tcp unavailable: %v", err)
+	}
+	t.Cleanup(func() { _ = a.Close() })
+	b, err := NewTCP("b", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Skipf("tcp unavailable: %v", err)
+	}
+	t.Cleanup(func() { _ = b.Close() })
+	if err := a.AddPeer("b", b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	col := newCollector()
+	b.SetHandler(col.handler())
+	if err := a.Send("b", []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	col.wait(t, 1, 2*time.Second)
+
+	a.RemovePeer("b")
+	if err := a.Send("b", []byte("gone")); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("Send after RemovePeer = %v, want ErrUnknownNode", err)
+	}
+	a.RemovePeer("zz") // unknown peer is a no-op
+}

@@ -69,11 +69,30 @@ func NewTCP(id NodeID, bindAddr string, peers map[NodeID]string) (*TCP, error) {
 // LocalAddr returns the bound listener address.
 func (t *TCP) LocalAddr() string { return t.listener.Addr().String() }
 
-// AddPeer records or updates the address of a peer node.
-func (t *TCP) AddPeer(id NodeID, addr string) {
+// AddPeer records or updates the address of a peer node. Idempotent; an
+// updated address applies to the next dial (an existing connection to the
+// old address keeps serving until it drops).
+func (t *TCP) AddPeer(id NodeID, addr string) error {
+	if id == "" {
+		return fmt.Errorf("transport: add peer: empty node id: %w", ErrUnknownNode)
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.peers[id] = addr
+	return nil
+}
+
+// RemovePeer forgets a peer's address and closes any outbound connection
+// to it. Removing an unknown peer is a no-op.
+func (t *TCP) RemovePeer(id NodeID) {
+	t.mu.Lock()
+	delete(t.peers, id)
+	c := t.conns[id]
+	delete(t.conns, id)
+	t.mu.Unlock()
+	if c != nil {
+		_ = c.conn.Close()
+	}
 }
 
 // Node implements Transport.

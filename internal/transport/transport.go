@@ -72,6 +72,26 @@ type Multicaster interface {
 	NativeMulticast() bool
 }
 
+// PeerBook is implemented by transports that resolve unicast destinations
+// through an explicit address book (UDP, TCP). The container's bearer
+// plane uses it to track peers whose per-bearer addresses arrive through
+// discovery: AddPeer is idempotent and re-adding a peer with a new address
+// updates it (a bearer's endpoint can move at runtime — a UAV re-acquiring
+// WiFi on a different ground segment); RemovePeer drops the entry so
+// frames to a departed peer fail fast instead of dialing a stale address.
+// Substrates with a global address book (bus, netsim) don't implement it.
+type PeerBook interface {
+	AddPeer(id NodeID, addr string) error
+	RemovePeer(id NodeID)
+}
+
+// Addressable is implemented by transports with a dialable local address
+// (UDP, TCP). The container advertises it in the bearer's discovery record
+// so remote peers can populate their PeerBook for this link.
+type Addressable interface {
+	LocalAddr() string
+}
+
 // Stats counts transport traffic. "Wire" counters measure what crosses the
 // network medium: one multicast send is one wire packet however many nodes
 // receive it, which is exactly the §4.1 bandwidth argument experiment E3

@@ -107,8 +107,14 @@ func NewUDP(id NodeID, bindAddr string, peers map[NodeID]string, opts ...UDPOpti
 // LocalAddr returns the bound unicast address, useful when binding port 0.
 func (u *UDP) LocalAddr() string { return u.conn.LocalAddr().String() }
 
-// AddPeer records or updates the unicast address of a peer node.
+// AddPeer records or updates the unicast address of a peer node. It is
+// idempotent: re-adding a known peer with a new address replaces the old
+// one, so a bearer endpoint that moves at runtime (discovery advertising a
+// fresh address) takes effect on the next Send.
 func (u *UDP) AddPeer(id NodeID, addr string) error {
+	if id == "" {
+		return fmt.Errorf("transport: add peer: empty node id: %w", ErrUnknownNode)
+	}
 	uaddr, err := net.ResolveUDPAddr("udp4", addr)
 	if err != nil {
 		return fmt.Errorf("transport: resolve peer %q addr %q: %w", id, addr, err)
@@ -117,6 +123,15 @@ func (u *UDP) AddPeer(id NodeID, addr string) error {
 	defer u.mu.Unlock()
 	u.peers[id] = uaddr
 	return nil
+}
+
+// RemovePeer forgets a peer's unicast address. Subsequent Sends to it fail
+// with ErrUnknownNode until a new AddPeer. Removing an unknown peer is a
+// no-op.
+func (u *UDP) RemovePeer(id NodeID) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	delete(u.peers, id)
 }
 
 // Node implements Transport.
