@@ -54,7 +54,7 @@ func BenchmarkE2_EventARQvsTCP(b *testing.B) {
 func BenchmarkE3_MulticastBandwidth(b *testing.B) {
 	for _, subs := range []int{2, 8, 32} {
 		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
-			res, err := experiments.RunE3(subs, 100)
+			res, err := experiments.RunE3(nil, subs, 100)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -165,11 +165,11 @@ func BenchmarkE7_FailoverRedirect(b *testing.B) {
 // redundant provider; the unhedged baseline burns the whole budget and
 // fails (§4.3 bounded-latency redirection).
 func BenchmarkE11_RPCHedgedFailover(b *testing.B) {
-	unhedged, err := experiments.RunE11(8, 10, false, 0.02, 400*time.Millisecond, 11)
+	unhedged, err := experiments.RunE11(nil, 8, 10, false, 0.02, 400*time.Millisecond, 11)
 	if err != nil {
 		b.Fatal(err)
 	}
-	hedged, err := experiments.RunE11(8, 10, true, 0.02, 400*time.Millisecond, 11)
+	hedged, err := experiments.RunE11(nil, 8, 10, true, 0.02, 400*time.Millisecond, 11)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -185,7 +185,7 @@ func BenchmarkE11_RPCHedgedFailover(b *testing.B) {
 // re-broadcast, plus the latency from a new offer to fleet-wide
 // resolvability (§3 name management at scale).
 func BenchmarkE12_DiscoveryWireCost(b *testing.B) {
-	res, err := experiments.RunE12(16, 100, 12)
+	res, err := experiments.RunE12(nil, 16, 100, 12)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -202,7 +202,7 @@ func BenchmarkE12_DiscoveryWireCost(b *testing.B) {
 // priority lanes + paced bulk) keeps alarm p99 near the unloaded baseline
 // while bulk stays near line rate.
 func BenchmarkE13_EgressPriorityInversion(b *testing.B) {
-	res, err := experiments.RunE13(96*1024, 125_000, 50, 13)
+	res, err := experiments.RunE13(nil, 96*1024, 125_000, 50, 13)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -406,7 +406,7 @@ var _ = sizedName // reserved for sweep-style sub-benchmarks
 // handover detection time, and the bulk rate recovered on the surviving
 // radio against its shaped rate.
 func BenchmarkE14_BearerHandover(b *testing.B) {
-	res, err := experiments.RunE14(96*1024, 400*time.Millisecond, 14)
+	res, err := experiments.RunE14(nil, 96*1024, 400*time.Millisecond, 14)
 	if err != nil {
 		b.Fatal(err)
 	}

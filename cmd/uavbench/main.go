@@ -1,22 +1,35 @@
 // Command uavbench regenerates every quantitative experiment recorded in
-// EXPERIMENTS.md: the paper's comparative claims (E1–E5, E7, E8) plus the
-// end-to-end Figure 3 mission (E9). Run it with no flags for the full
-// sweep, or select experiments:
+// EXPERIMENTS.md: the paper's comparative claims (E1–E5, E7, E8), the
+// end-to-end Figure 3 mission (E9), and the middleware-plane experiments
+// (E11–E14). Run it with no flags for the full sweep, or select
+// experiments:
 //
 //	uavbench -run e2,e3 -quick
 //
-// Absolute numbers depend on the host; the recorded results are about
-// shape: who wins, by what factor, and where crossovers sit.
+// The simulation-backed experiments (E3, E11–E14) run on a virtual
+// discrete-event clock by default: minutes of scenario time execute in
+// wall milliseconds with identical protocol semantics, deterministically
+// for a given seed. Pass -realtime to pace them against the wall clock
+// instead. Each experiment writes a BENCH_E<n>.json trajectory record
+// (seed, virtual and wall durations, headline metrics) next to the
+// binary or under -bench-dir.
+//
+// Absolute numbers depend on the host for the wall-clock experiments;
+// the recorded results are about shape: who wins, by what factor, and
+// where crossovers sit.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
+	"uavmw/internal/clock"
 	"uavmw/internal/experiments"
 	"uavmw/internal/flightsim"
 	"uavmw/internal/qos"
@@ -24,10 +37,28 @@ import (
 	"uavmw/internal/transport"
 )
 
+// benchRecord is the BENCH_E<n>.json trajectory document.
+type benchRecord struct {
+	Experiment string         `json:"experiment"`
+	Seed       int64          `json:"seed,omitempty"`
+	Quick      bool           `json:"quick"`
+	Virtual    bool           `json:"virtual"`
+	VirtualMS  float64        `json:"virtual_ms,omitempty"`
+	WallMS     float64        `json:"wall_ms"`
+	Speedup    float64        `json:"speedup,omitempty"`
+	Metrics    map[string]any `json:"metrics"`
+}
+
+// runner executes one experiment. clk is nil for wall-clock runs; the
+// virtual-capable experiments thread it into their harnesses.
+type runner func(clk clock.Clock, quick bool) (map[string]any, error)
+
 func main() {
 	var (
-		runFlag = flag.String("run", "all", "comma-separated experiments: e1,e2,e3,e4,e5,e7,e8,e9,e11,e12,e13,e14 or all")
-		quick   = flag.Bool("quick", false, "reduced iteration counts for smoke runs")
+		runFlag  = flag.String("run", "all", "comma-separated experiments: e1,e2,e3,e4,e5,e7,e8,e9,e11,e12,e13,e14 or all")
+		quick    = flag.Bool("quick", false, "reduced iteration counts for smoke runs")
+		realtime = flag.Bool("realtime", false, "pace the simulation-backed experiments (e3, e11-e14) against the wall clock instead of the virtual clock")
+		benchDir = flag.String("bench-dir", ".", "directory for BENCH_E<n>.json records")
 	)
 	flag.Parse()
 	selected := map[string]bool{}
@@ -37,30 +68,70 @@ func main() {
 	want := func(name string) bool { return selected["all"] || selected[name] }
 
 	type experiment struct {
-		name string
-		fn   func(quick bool) error
+		name    string
+		seed    int64
+		virtual bool // runs under the virtual clock unless -realtime
+		fn      runner
 	}
 	all := []experiment{
-		{"e1", runE1}, {"e2", runE2}, {"e3", runE3}, {"e4", runE4},
-		{"e5", runE5}, {"e7", runE7}, {"e8", runE8}, {"e9", runE9},
-		{"e11", runE11}, {"e12", runE12}, {"e13", runE13}, {"e14", runE14},
+		{"e1", 0, false, runE1}, {"e2", 42, false, runE2},
+		{"e3", 4, true, runE3}, {"e4", 7, false, runE4},
+		{"e5", 0, false, runE5}, {"e7", 0, false, runE7},
+		{"e8", 0, false, runE8}, {"e9", 0, false, runE9},
+		{"e11", 11, true, runE11}, {"e12", 12, true, runE12},
+		{"e13", 13, true, runE13}, {"e14", 14, true, runE14},
 	}
+	log.SetFlags(0)
 	for _, exp := range all {
 		if !want(exp.name) {
 			continue
 		}
-		if err := exp.fn(*quick); err != nil {
-			log.SetFlags(0)
+		rec := benchRecord{Experiment: exp.name, Seed: exp.seed, Quick: *quick}
+		startWall := time.Now()
+		var err error
+		if exp.virtual && !*realtime {
+			rec.Virtual = true
+			var el experiments.Elapsed
+			el, err = experiments.RunVirtual(func(clk clock.Clock) error {
+				m, ferr := exp.fn(clk, *quick)
+				rec.Metrics = m
+				return ferr
+			})
+			rec.VirtualMS = float64(el.Virtual) / float64(time.Millisecond)
+			rec.Speedup = el.Speedup()
+		} else {
+			rec.Metrics, err = exp.fn(nil, *quick)
+		}
+		rec.WallMS = float64(time.Since(startWall)) / float64(time.Millisecond)
+		if err != nil {
+			log.Fatalf("uavbench %s: %v", exp.name, err)
+		}
+		if rec.Virtual {
+			fmt.Printf("[%s: %.1fs of scenario time in %.0fms of wall time, %.0fx]\n",
+				exp.name, rec.VirtualMS/1000, rec.WallMS, rec.Speedup)
+		}
+		if err := writeBench(*benchDir, rec); err != nil {
 			log.Fatalf("uavbench %s: %v", exp.name, err)
 		}
 	}
+}
+
+func writeBench(dir string, rec benchRecord) error {
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	name := filepath.Join(dir, "BENCH_"+strings.ToUpper(rec.Experiment)+".json")
+	return os.WriteFile(name, append(data, '\n'), 0o644)
 }
 
 func header(title string) {
 	fmt.Printf("\n=== %s ===\n", title)
 }
 
-func runE1(quick bool) error {
+func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+func runE1(_ clock.Clock, quick bool) (map[string]any, error) {
 	header("E1 — event vs remote-invocation notification latency (§4.3 claim)")
 	n := 2000
 	if quick {
@@ -68,10 +139,11 @@ func runE1(quick bool) error {
 	}
 	fmt.Printf("%-10s %12s %12s %12s %12s %10s\n",
 		"payload", "event p50", "event p99", "rpc p50", "rpc p99", "rpc/event")
+	var rows []map[string]any
 	for _, size := range []int{16, 64, 256, 1024} {
 		res, err := experiments.RunE1(n, size)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		ratio := float64(res.RPC.Percentile(50)) / float64(res.Event.Percentile(50))
 		fmt.Printf("%-10d %12v %12v %12v %12v %9.2fx\n",
@@ -81,11 +153,15 @@ func runE1(quick bool) error {
 			res.RPC.Percentile(50).Round(time.Microsecond),
 			res.RPC.Percentile(99).Round(time.Microsecond),
 			ratio)
+		rows = append(rows, map[string]any{
+			"payload": size, "event_p50_us": us(res.Event.Percentile(50)),
+			"rpc_p50_us": us(res.RPC.Percentile(50)), "rpc_over_event": ratio,
+		})
 	}
-	return nil
+	return map[string]any{"sizes": rows}, nil
 }
 
-func runE2(quick bool) error {
+func runE2(_ clock.Clock, quick bool) (map[string]any, error) {
 	header("E2 — per-message ARQ vs TCP-like in-order stream under loss (§4.2 claim)")
 	n := 400
 	if quick {
@@ -93,10 +169,11 @@ func runE2(quick bool) error {
 	}
 	fmt.Printf("%-8s %12s %12s %12s %12s %12s %12s\n",
 		"loss", "arq total", "gbn total", "arq p99", "gbn p99", "arq retx", "gbn retx")
+	var rows []map[string]any
 	for _, loss := range []float64{0, 0.01, 0.02, 0.05, 0.10} {
 		res, err := experiments.RunE2(n, loss, 64, 42)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Printf("%-8.2f %12v %12v %12v %12v %12d %12d\n",
 			loss,
@@ -105,11 +182,16 @@ func runE2(quick bool) error {
 			res.ARQPerMsg.Percentile(99).Round(time.Microsecond),
 			res.GBNPerMsg.Percentile(99).Round(time.Microsecond),
 			res.ARQRetrans, res.GBNRetrans)
+		rows = append(rows, map[string]any{
+			"loss": loss, "arq_p99_us": us(res.ARQPerMsg.Percentile(99)),
+			"gbn_p99_us": us(res.GBNPerMsg.Percentile(99)),
+			"arq_retx":   res.ARQRetrans, "gbn_retx": res.GBNRetrans,
+		})
 	}
-	return nil
+	return map[string]any{"loss_sweep": rows}, nil
 }
 
-func runE3(quick bool) error {
+func runE3(clk clock.Clock, quick bool) (map[string]any, error) {
 	header("E3 — event fan-out wire cost: group-addressed multicast vs unicast ARQ (§4.1, §4.2)")
 	samples := 200
 	if quick {
@@ -117,20 +199,26 @@ func runE3(quick bool) error {
 	}
 	fmt.Printf("%-12s %14s %14s %14s %14s %10s\n",
 		"subscribers", "mcast pkts", "mcast KB", "ucast pkts", "ucast KB", "saving")
+	var rows []map[string]any
 	for _, subs := range []int{2, 8, 32} {
-		res, err := experiments.RunE3(subs, samples)
+		res, err := experiments.RunE3(clk, subs, samples)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		saving := float64(res.UcastBytes) / float64(res.McastBytes)
 		fmt.Printf("%-12d %14d %14.1f %14d %14.1f %9.1fx\n",
 			subs, res.McastPackets, float64(res.McastBytes)/1024,
 			res.UcastPackets, float64(res.UcastBytes)/1024, saving)
+		rows = append(rows, map[string]any{
+			"subscribers": subs, "mcast_pkts": res.McastPackets,
+			"mcast_bytes": res.McastBytes, "ucast_pkts": res.UcastPackets,
+			"ucast_bytes": res.UcastBytes, "saving": saving,
+		})
 	}
-	return nil
+	return map[string]any{"fanout": rows}, nil
 }
 
-func runE4(quick bool) error {
+func runE4(_ clock.Clock, quick bool) (map[string]any, error) {
 	header("E4 — MFTP file distribution vs chunked events (§4.4 claim)")
 	sizes := []int{64 << 10, 512 << 10, 2 << 20}
 	receivers := []int{1, 4, 8}
@@ -140,11 +228,12 @@ func runE4(quick bool) error {
 	}
 	fmt.Printf("%-10s %-10s %-6s %12s %12s %12s %12s %8s\n",
 		"size", "receivers", "loss", "mftp time", "events time", "mftp KB", "events KB", "speedup")
+	var rows []map[string]any
 	for _, size := range sizes {
 		for _, recv := range receivers {
 			res, err := experiments.RunE4(size, recv, 0.02, 7)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			fmt.Printf("%-10s %-10d %-6.2f %12v %12v %12.0f %12.0f %7.1fx\n",
 				byteSize(size), recv, 0.02,
@@ -152,12 +241,17 @@ func runE4(quick bool) error {
 				res.EventsTime.Round(time.Millisecond),
 				res.MFTPWireKB, res.EventsWireKB,
 				float64(res.EventsTime)/float64(res.MFTPTime))
+			rows = append(rows, map[string]any{
+				"size": size, "receivers": recv,
+				"mftp_ms":   float64(res.MFTPTime) / float64(time.Millisecond),
+				"events_ms": float64(res.EventsTime) / float64(time.Millisecond),
+			})
 		}
 	}
-	return nil
+	return map[string]any{"matrix": rows}, nil
 }
 
-func runE5(quick bool) error {
+func runE5(_ clock.Clock, quick bool) (map[string]any, error) {
 	header("E5 — same-container bypass vs network path (§4.4, F2)")
 	iters := 2000
 	if quick {
@@ -165,7 +259,7 @@ func runE5(quick bool) error {
 	}
 	res, err := experiments.RunE5(1<<20, iters)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Printf("file fetch 1MB : local %10v   remote %10v   (%.0fx)\n",
 		res.LocalFetch.Round(time.Microsecond), res.RemoteFetch.Round(time.Microsecond),
@@ -173,27 +267,36 @@ func runE5(quick bool) error {
 	fmt.Printf("variable publish: local %10v   remote %10v   (%.0fx)\n",
 		res.LocalVar.Round(time.Microsecond), res.RemoteVar.Round(time.Microsecond),
 		float64(res.RemoteVar)/float64(res.LocalVar))
-	return nil
+	return map[string]any{
+		"local_fetch_us": us(res.LocalFetch), "remote_fetch_us": us(res.RemoteFetch),
+		"local_var_us": us(res.LocalVar), "remote_var_us": us(res.RemoteVar),
+	}, nil
 }
 
-func runE7(quick bool) error {
+func runE7(_ clock.Clock, quick bool) (map[string]any, error) {
 	header("E7 — failover redirection latency after provider death (§4.3)")
 	fmt.Printf("%-18s %14s %12s\n", "failure deadline", "redirect time", "failed calls")
 	deadlines := []time.Duration{100 * time.Millisecond, 250 * time.Millisecond, 500 * time.Millisecond, time.Second}
 	if quick {
 		deadlines = deadlines[:2]
 	}
+	var rows []map[string]any
 	for _, d := range deadlines {
 		res, err := experiments.RunE7(d)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Printf("%-18v %14v %12d\n", d, res.Redirect.Round(time.Millisecond), res.CallsFailed)
+		rows = append(rows, map[string]any{
+			"deadline_ms": float64(d) / float64(time.Millisecond),
+			"redirect_ms": float64(res.Redirect) / float64(time.Millisecond),
+			"failed":      res.CallsFailed,
+		})
 	}
-	return nil
+	return map[string]any{"deadlines": rows}, nil
 }
 
-func runE8(quick bool) error {
+func runE8(_ clock.Clock, quick bool) (map[string]any, error) {
 	header("E8 — fixed-priority scheduler queue latency under load (§6)")
 	background := 5000
 	foreground := 200
@@ -202,9 +305,10 @@ func runE8(quick bool) error {
 	}
 	res, err := experiments.RunE8(4, background, foreground, 50*time.Microsecond)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Printf("%-10s %12s %12s %12s\n", "priority", "p50", "p99", "max")
+	metrics := map[string]any{}
 	for i := len(qos.Levels()) - 1; i >= 0; i-- {
 		pr := qos.Levels()[i]
 		h := res.Priorities[pr]
@@ -212,11 +316,12 @@ func runE8(quick bool) error {
 			h.Percentile(50).Round(time.Microsecond),
 			h.Percentile(99).Round(time.Microsecond),
 			h.Max().Round(time.Microsecond))
+		metrics[fmt.Sprintf("%s_p99_us", pr)] = us(h.Percentile(99))
 	}
-	return nil
+	return metrics, nil
 }
 
-func runE9(quick bool) error {
+func runE9(_ clock.Clock, quick bool) (map[string]any, error) {
 	header("E9 — Figure 3 mission end to end (§5)")
 	rows := 3
 	if quick {
@@ -235,17 +340,20 @@ func runE9(quick bool) error {
 		Timeout:    3 * time.Minute,
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Printf("waypoints %d  photo sites %d  wall clock %v\n",
 		len(plan.Waypoints), res.Photos, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("photos %d  stored %d  detections %d  gs positions %d  track %d\n",
 		res.Photos, res.Stored, res.Detections, res.GSPositions, res.TrackPoints)
 	fmt.Fprintln(os.Stdout)
-	return nil
+	return map[string]any{
+		"waypoints": len(plan.Waypoints), "photos": res.Photos, "stored": res.Stored,
+		"detections": res.Detections, "gs_positions": res.GSPositions,
+	}, nil
 }
 
-func runE11(quick bool) error {
+func runE11(clk clock.Clock, quick bool) (map[string]any, error) {
 	header("E11 — concurrent RPC vs a stalled pinned provider: hedged failover (§4.3)")
 	calls := 20
 	if quick {
@@ -255,11 +363,12 @@ func runE11(quick bool) error {
 	fmt.Println("2% loss; hedge dispatches to the redundant provider at 20% of the deadline")
 	fmt.Printf("%-8s %-8s %8s %8s %12s %12s %12s %8s %8s\n",
 		"callers", "hedged", "ok", "failed", "thruput/s", "p50", "p99", "hedges", "busy")
+	var rows []map[string]any
 	for _, callers := range []int{1, 8, 64} {
 		for _, hedged := range []bool{false, true} {
-			res, err := experiments.RunE11(callers, calls, hedged, 0.02, 400*time.Millisecond, 11)
+			res, err := experiments.RunE11(clk, callers, calls, hedged, 0.02, 400*time.Millisecond, 11)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			p50, p99 := "-", "-"
 			if res.OK > 0 {
@@ -269,12 +378,87 @@ func runE11(quick bool) error {
 			fmt.Printf("%-8d %-8v %8d %8d %12.1f %12s %12s %8d %8d\n",
 				callers, hedged, res.OK, res.Failed, res.Throughput, p50, p99,
 				res.Hedges, res.BusyRej)
+			rows = append(rows, map[string]any{
+				"callers": callers, "hedged": hedged, "ok": res.OK, "failed": res.Failed,
+				"p99_us": us(res.Latency.Percentile(99)), "hedges": res.Hedges,
+			})
 		}
 	}
-	return nil
+	return map[string]any{"sweep": rows}, nil
 }
 
-func runE13(quick bool) error {
+func runE12(clk clock.Clock, quick bool) (map[string]any, error) {
+	header("E12 — incremental discovery: steady-state wire cost and convergence (§3 at scale)")
+	fmt.Println("steady state sends constant-size digests (O(nodes) bytes/period); the old")
+	fmt.Println("protocol re-broadcast every record every period (O(total records))")
+	fmt.Printf("%-7s %-9s %14s %14s %9s %14s\n",
+		"nodes", "records", "steady B/prd", "full B/prd", "saving", "new-offer lat")
+	nodeCounts := []int{4, 16, 64}
+	recordCounts := []int{10, 100, 1000}
+	if quick {
+		nodeCounts = []int{4, 16}
+		recordCounts = []int{10, 100}
+	}
+	var rows []map[string]any
+	for _, nodes := range nodeCounts {
+		for _, records := range recordCounts {
+			res, err := experiments.RunE12(clk, nodes, records, 12)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Printf("%-7d %-9d %14.0f %14.0f %8.1fx %14v\n",
+				nodes, records,
+				res.SteadyBytesPerPeriod, res.BaselineBytesPerPeriod,
+				res.BaselineBytesPerPeriod/res.SteadyBytesPerPeriod,
+				res.Converge.Round(10*time.Microsecond))
+			rows = append(rows, map[string]any{
+				"nodes": nodes, "records": records,
+				"steady_bytes_per_period":   res.SteadyBytesPerPeriod,
+				"baseline_bytes_per_period": res.BaselineBytesPerPeriod,
+				"converge_us":               us(res.Converge),
+			})
+		}
+	}
+	churnNodes, churnRecords := 16, 100
+	if quick {
+		churnNodes, churnRecords = 4, 20
+	}
+	churn, err := experiments.RunE12Churn(clk, churnNodes, churnRecords, 50, 13)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("churn: %d nodes × %d records, %d offers missed behind a partition\n",
+		churn.Nodes, churn.RecordsPerNode, churn.MissedOffers)
+	fmt.Printf("heal re-convergence %v (%d sync requests, %d heartbeats observed)\n",
+		churn.HealConverge.Round(time.Millisecond), churn.SyncsUsed, churn.HeartbeatsAfter)
+	metrics := map[string]any{
+		"sweep": rows,
+		"churn": map[string]any{
+			"nodes": churn.Nodes, "records": churn.RecordsPerNode,
+			"heal_converge_ms": float64(churn.HealConverge) / float64(time.Millisecond),
+			"syncs":            churn.SyncsUsed,
+		},
+	}
+	// The 256-node fleet exists only under virtual time: its staggered
+	// bootstrap paces out minutes of scenario time.
+	if clk != nil && !quick {
+		scale, err := experiments.RunE12Scale(clk, 256, 2, 256)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("scale: %d nodes boot-converged in %v; steady %.0f pkts/period; fresh offer in %v\n",
+			scale.Nodes, scale.BootConverge.Round(time.Second),
+			scale.SteadyPacketsPerPeriod, scale.Converge.Round(time.Millisecond))
+		metrics["scale"] = map[string]any{
+			"nodes": scale.Nodes, "boot_converge_ms": float64(scale.BootConverge) / float64(time.Millisecond),
+			"steady_packets_per_period": scale.SteadyPacketsPerPeriod,
+			"converge_us":               us(scale.Converge),
+		}
+	}
+	return metrics, nil
+}
+
+func runE13(clk clock.Clock, quick bool) (map[string]any, error) {
 	header("E13 — priority-aware egress: critical alarms vs bulk transfer on a 1 Mb/s link")
 	fileBytes := 1 << 20
 	if quick {
@@ -285,9 +469,9 @@ func runE13(quick bool) error {
 		fileBytes/1024, linkBPS, alarmHz)
 	fmt.Println("flood: bulk unshaped — alarms queue behind the chunk backlog at the link")
 	fmt.Println("shaped: egress bulk lane paced at 92% of line rate, strict-priority drain")
-	res, err := experiments.RunE13(fileBytes, linkBPS, alarmHz, 13)
+	res, err := experiments.RunE13(clk, fileBytes, linkBPS, alarmHz, 13)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	row := func(name string, h interface {
 		Percentile(float64) time.Duration
@@ -315,10 +499,17 @@ func runE13(quick bool) error {
 		float64(res.Flood.Percentile(99))/float64(res.Unloaded.Percentile(99)),
 		float64(res.Shaped.Percentile(99))/float64(res.Unloaded.Percentile(99)),
 		res.ShapedDropped, res.ShapedCoalesced)
-	return nil
+	return map[string]any{
+		"unloaded_p99_us": us(res.Unloaded.Percentile(99)),
+		"flood_p99_us":    us(res.Flood.Percentile(99)),
+		"shaped_p99_us":   us(res.Shaped.Percentile(99)),
+		"flood_lost":      res.FloodLost, "shaped_lost": res.ShapedLost,
+		"shaped_goodput_bps": res.ShapedGoodput,
+		"shaped_dropped":     res.ShapedDropped,
+	}, nil
 }
 
-func runE14(quick bool) error {
+func runE14(clk clock.Clock, quick bool) (map[string]any, error) {
 	header("E14 — multi-bearer link plane: WiFi→radio handover under blackout")
 	fileBytes := 256 * 1024
 	blackoutAfter := 800 * time.Millisecond
@@ -326,9 +517,9 @@ func runE14(quick bool) error {
 		fileBytes = 96 * 1024
 		blackoutAfter = 400 * time.Millisecond
 	}
-	res, err := experiments.RunE14(fileBytes, blackoutAfter, 14)
+	res, err := experiments.RunE14(clk, fileBytes, blackoutAfter, 14)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Printf("%dKB transfer UAV→GS; wifi %d B/s (shaped %d) + radio %d B/s (shaped %d); %dHz critical alarms\n",
 		res.FileBytes/1024, res.WifiBPS, res.WifiShapedBPS, res.RadioBPS, res.RadioShaped, res.AlarmHz)
@@ -349,47 +540,18 @@ func runE14(quick bool) error {
 		res.WifiBytes/1024, res.RadioBytes/1024, res.RecoveredBPS, 100*res.RecoveredBPS/float64(res.RadioShaped))
 	fmt.Printf("single-bearer baseline: %d of %d alarms lost across a %v wifi blackout (no second link to fail to)\n",
 		res.SingleLost, res.SingleSent, res.SingleBlackout)
-	return nil
-}
-
-func runE12(quick bool) error {
-	header("E12 — incremental discovery: steady-state wire cost and convergence (§3 at scale)")
-	fmt.Println("steady state sends constant-size digests (O(nodes) bytes/period); the old")
-	fmt.Println("protocol re-broadcast every record every period (O(total records))")
-	fmt.Printf("%-7s %-9s %14s %14s %9s %14s\n",
-		"nodes", "records", "steady B/prd", "full B/prd", "saving", "new-offer lat")
-	nodeCounts := []int{4, 16, 64}
-	recordCounts := []int{10, 100, 1000}
-	if quick {
-		nodeCounts = []int{4, 16}
-		recordCounts = []int{10, 100}
-	}
-	for _, nodes := range nodeCounts {
-		for _, records := range recordCounts {
-			res, err := experiments.RunE12(nodes, records, 12)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("%-7d %-9d %14.0f %14.0f %8.1fx %14v\n",
-				nodes, records,
-				res.SteadyBytesPerPeriod, res.BaselineBytesPerPeriod,
-				res.BaselineBytesPerPeriod/res.SteadyBytesPerPeriod,
-				res.Converge.Round(10*time.Microsecond))
-		}
-	}
-	churnNodes, churnRecords := 16, 100
-	if quick {
-		churnNodes, churnRecords = 4, 20
-	}
-	churn, err := experiments.RunE12Churn(churnNodes, churnRecords, 50, 13)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("churn: %d nodes × %d records, %d offers missed behind a partition\n",
-		churn.Nodes, churn.RecordsPerNode, churn.MissedOffers)
-	fmt.Printf("heal re-convergence %v (%d sync requests, %d heartbeats observed)\n",
-		churn.HealConverge.Round(time.Millisecond), churn.SyncsUsed, churn.HeartbeatsAfter)
-	return nil
+	return map[string]any{
+		"multi_lost": res.MultiLost, "multi_sent": res.MultiSent,
+		"multi_p99_us":        us(res.Multi.Percentile(99)),
+		"handover_detect_ms":  float64(res.HandoverDetect) / float64(time.Millisecond),
+		"recovered_bps":       res.RecoveredBPS,
+		"wifi_bytes":          res.WifiBytes,
+		"radio_bytes":         res.RadioBytes,
+		"single_lost":         res.SingleLost,
+		"single_sent":         res.SingleSent,
+		"transfer_ms":         float64(res.Transfer) / float64(time.Millisecond),
+		"single_blackout_sec": res.SingleBlackout.Seconds(),
+	}, nil
 }
 
 func byteSize(n int) string {

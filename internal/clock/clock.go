@@ -1,0 +1,154 @@
+// Package clock is the time plane: every layer that paces, times out,
+// sweeps or measures does so through an injected Clock rather than the
+// time package, so a whole node graph can run against either wall time
+// (Real) or a discrete-event simulated time source (Virtual).
+//
+// Virtual is the payoff: it advances time only when every goroutine
+// registered with it is parked on the clock, so a multi-second mission
+// executes in milliseconds of wall time with identical timing semantics —
+// the design of time-accurate protocol virtualization applied to the
+// middleware's own stack. Determinism follows from the same property:
+// same seed, same event order, same wire stats.
+//
+// Rules for code running under a Virtual clock:
+//
+//   - Spawn long-lived goroutines with Go (or Virtual.Go) so the clock
+//     knows they exist; time never advances while a registered goroutine
+//     is runnable.
+//   - Park only through clock-managed operations — Sleep, SleepStop,
+//     Trigger.Wait, Cond.Wait, Ticker.Wait — whose wake-ups decrement the
+//     parked count at fire time, before the sleeper is runnable.
+//   - A registered goroutine that must wait on a plain channel (an RPC
+//     reply, a WaitGroup) wraps the wait in Blocking so virtual time may
+//     advance while it waits. The un-park there is best effort: time can
+//     briefly advance past the wake-up, which is why hot loops use the
+//     managed primitives instead.
+//
+// Timer/Ticker channels (C) keep stdlib semantics (capacity-1,
+// non-blocking send) for unregistered consumers; registered goroutines
+// should prefer the managed waits above.
+package clock
+
+import "time"
+
+// Clock is the injected time source.
+type Clock interface {
+	// Now is the current instant on this clock.
+	Now() time.Time
+	// Since is Now().Sub(t).
+	Since(t time.Time) time.Duration
+	// Sleep pauses the calling goroutine for d.
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the clock time after d.
+	After(d time.Duration) <-chan time.Time
+	// NewTimer returns a timer that delivers on C after d.
+	NewTimer(d time.Duration) Timer
+	// NewTicker returns a ticker with period d (drift-free cadence).
+	NewTicker(d time.Duration) Ticker
+	// AfterFunc runs f on its own goroutine after d.
+	AfterFunc(d time.Duration, f func()) Timer
+}
+
+// Timer mirrors time.Timer behind the Clock.
+type Timer interface {
+	// C delivers the fire instant (nil for AfterFunc timers).
+	C() <-chan time.Time
+	// Stop cancels the timer; false if it already fired or was stopped.
+	Stop() bool
+	// Reset re-arms the timer for d; reports whether it was active.
+	Reset(d time.Duration) bool
+}
+
+// Ticker mirrors time.Ticker behind the Clock, plus a managed Wait for
+// goroutines registered with a Virtual clock.
+type Ticker interface {
+	// C delivers ticks (capacity 1; ticks coalesce under a slow reader).
+	C() <-chan time.Time
+	// Stop cancels the ticker.
+	Stop()
+	// Wait parks until the next tick (true) or stop closes (false). This
+	// is the loop-safe receive: under Virtual the wake-up is accounted at
+	// fire time, so time cannot advance past the woken loop.
+	Wait(stop <-chan struct{}) bool
+}
+
+// Go spawns fn registered with c when c is Virtual, as a plain goroutine
+// otherwise. Every long-lived goroutine in a clock-injected component
+// must be spawned this way or virtual time will advance while it runs.
+func Go(c Clock, fn func()) {
+	if v, ok := c.(*Virtual); ok {
+		v.Go(fn)
+		return
+	}
+	go fn()
+}
+
+// Live registers the calling goroutine with a Virtual clock for the
+// duration of fn, so time cannot advance while it is runnable — the
+// companion to Go for goroutines the component did not spawn itself (an
+// engine making its caller's in-call work visible to the clock). Nested
+// use and already-registered callers are no-ops; on a Real clock it just
+// runs fn.
+func Live(c Clock, fn func()) {
+	v, ok := c.(*Virtual)
+	if !ok {
+		fn()
+		return
+	}
+	id := gid()
+	v.mu.Lock()
+	if v.reg[id] > 0 {
+		// Already visible (registering again would inflate the worker
+		// count past what one goroutine's park can satisfy).
+		v.mu.Unlock()
+		fn()
+		return
+	}
+	v.workers++
+	v.reg[id]++
+	v.mu.Unlock()
+	defer v.unregister(id)
+	fn()
+}
+
+// SleepStop sleeps d or until stop closes; false means stopped. It is
+// the clock-safe form of the ubiquitous timer/stop select loop.
+func SleepStop(c Clock, d time.Duration, stop <-chan struct{}) bool {
+	select {
+	case <-stop:
+		return false
+	default:
+	}
+	if v, ok := c.(*Virtual); ok {
+		return v.sleepStop(d, stop)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-stop:
+		return false
+	}
+}
+
+// Blocking marks the calling goroutine as parked for the duration of
+// wait, so a Virtual clock may advance while it blocks on something the
+// clock cannot see (an RPC reply channel, a WaitGroup). On a Real clock
+// it just runs wait.
+func Blocking(c Clock, wait func()) {
+	if v, ok := c.(*Virtual); ok {
+		v.Blocking(wait)
+		return
+	}
+	wait()
+}
+
+// Or returns c, or Real when c is nil — the idiom for optional clock
+// configuration fields.
+func Or(c Clock) Clock {
+	if c == nil {
+		return Real{}
+	}
+	return c
+}

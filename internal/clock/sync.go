@@ -1,0 +1,258 @@
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Trigger is a coalescing wake-up for single-consumer work loops of the
+// shape `for { drain work; wait for more or a deadline }` — the netsim
+// delivery loop, egress lane drains, the discovery offer flush. Signal
+// from any goroutine wakes the parked waiter (or is remembered if none
+// is parked); Wait parks until a signal, an optional deadline, or stop.
+//
+// Under a Virtual clock the wake-up is accounted inside the clock lock,
+// so virtual time cannot advance past a loop that has just been
+// signalled — the property that keeps event delivery time-accurate.
+type Trigger interface {
+	// Signal wakes the parked waiter, or marks a pending wake-up.
+	Signal()
+	// Wait parks until Signal, the deadline d (d < 0 means no deadline),
+	// or stop. It returns false only when stop closed; deadline expiry
+	// and signals both return true (the loop re-checks its work either
+	// way).
+	Wait(d time.Duration, stop <-chan struct{}) bool
+}
+
+// NewTrigger builds a trigger bound to c.
+func NewTrigger(c Clock) Trigger {
+	if v, ok := c.(*Virtual); ok {
+		return &virtualTrigger{v: v}
+	}
+	return &realTrigger{}
+}
+
+type realTrigger struct {
+	mu      sync.Mutex
+	pending bool
+	waiter  chan struct{}
+}
+
+func (t *realTrigger) Signal() {
+	t.mu.Lock()
+	if t.waiter != nil {
+		close(t.waiter)
+		t.waiter = nil
+	} else {
+		t.pending = true
+	}
+	t.mu.Unlock()
+}
+
+func (t *realTrigger) Wait(d time.Duration, stop <-chan struct{}) bool {
+	t.mu.Lock()
+	if t.pending {
+		t.pending = false
+		t.mu.Unlock()
+		return true
+	}
+	w := make(chan struct{})
+	t.waiter = w
+	t.mu.Unlock()
+
+	var tc <-chan time.Time
+	if d >= 0 {
+		tm := time.NewTimer(d)
+		defer tm.Stop()
+		tc = tm.C
+	}
+	select {
+	case <-w:
+		return true
+	case <-tc:
+		t.clear(w)
+		return true
+	case <-stop:
+		t.clear(w)
+		return false
+	}
+}
+
+// clear retires an abandoned waiter; a signal that raced the abandon is
+// preserved as pending.
+func (t *realTrigger) clear(w chan struct{}) {
+	t.mu.Lock()
+	if t.waiter == w {
+		t.waiter = nil
+	} else {
+		t.pending = true
+	}
+	t.mu.Unlock()
+}
+
+type virtualTrigger struct {
+	v       *Virtual
+	pending bool     // guarded by v.mu
+	waiter  *vparker // guarded by v.mu
+}
+
+type vparker struct {
+	ch    chan struct{}
+	ev    *event
+	woken bool
+}
+
+func (t *virtualTrigger) Signal() {
+	v := t.v
+	v.mu.Lock()
+	if w := t.waiter; w != nil {
+		t.waiter = nil
+		w.woken = true
+		if w.ev != nil {
+			v.removeLocked(w.ev)
+			w.ev = nil
+		}
+		v.blocked--
+		close(w.ch)
+	} else {
+		t.pending = true
+	}
+	v.mu.Unlock()
+}
+
+func (t *virtualTrigger) Wait(d time.Duration, stop <-chan struct{}) bool {
+	select {
+	case <-stop:
+		return false
+	default:
+	}
+	id := gid()
+	v := t.v
+	v.mu.Lock()
+	if t.pending {
+		t.pending = false
+		v.mu.Unlock()
+		return true
+	}
+	w := &vparker{ch: make(chan struct{})}
+	t.waiter = w
+	if d >= 0 {
+		w.ev = v.scheduleLocked(d, func() {
+			if t.waiter == w {
+				t.waiter = nil
+			}
+			w.ev = nil
+			w.woken = true
+			v.blocked--
+			close(w.ch)
+		})
+	}
+	temp := v.enterParkLocked(id)
+	v.mu.Unlock()
+	select {
+	case <-w.ch:
+		v.exitPark(temp)
+		return true
+	case <-stop:
+		v.mu.Lock()
+		if !w.woken {
+			if t.waiter == w {
+				t.waiter = nil
+			}
+			if w.ev != nil {
+				v.removeLocked(w.ev)
+				w.ev = nil
+			}
+			v.blocked--
+		}
+		v.mu.Unlock()
+		v.exitPark(temp)
+		return false
+	}
+}
+
+// Cond is sync.Cond behind the Clock: workers idling in a scheduler pool
+// park on it, and under a Virtual clock a Signal releases the woken
+// waiter's parked count inside the clock lock — virtual time cannot
+// advance past a just-dispatched job. FIFO wake order.
+type Cond struct {
+	// L is held by callers of Wait, as with sync.Cond.
+	L sync.Locker
+
+	v       *Virtual   // nil on a real clock
+	mu      sync.Mutex // guards waiters on a real clock (v.mu otherwise)
+	waiters []chan struct{}
+}
+
+// NewCond builds a condition variable bound to c with locker l.
+func NewCond(c Clock, l sync.Locker) *Cond {
+	v, _ := c.(*Virtual)
+	return &Cond{L: l, v: v}
+}
+
+// Wait atomically releases L and parks until Signal/Broadcast, then
+// re-acquires L. As with sync.Cond, callers re-check their predicate in
+// a loop.
+func (c *Cond) Wait() {
+	ch := make(chan struct{})
+	var temp bool
+	if c.v != nil {
+		id := gid()
+		c.v.mu.Lock()
+		c.waiters = append(c.waiters, ch)
+		temp = c.v.enterParkLocked(id)
+		c.v.mu.Unlock()
+	} else {
+		c.mu.Lock()
+		c.waiters = append(c.waiters, ch)
+		c.mu.Unlock()
+	}
+	c.L.Unlock()
+	<-ch
+	c.L.Lock()
+	if c.v != nil {
+		c.v.exitPark(temp)
+	}
+}
+
+// Signal wakes the longest-parked waiter, if any.
+func (c *Cond) Signal() {
+	if c.v != nil {
+		c.v.mu.Lock()
+		if len(c.waiters) > 0 {
+			ch := c.waiters[0]
+			c.waiters = c.waiters[1:]
+			c.v.blocked--
+			close(ch)
+		}
+		c.v.mu.Unlock()
+		return
+	}
+	c.mu.Lock()
+	if len(c.waiters) > 0 {
+		ch := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		close(ch)
+	}
+	c.mu.Unlock()
+}
+
+// Broadcast wakes every parked waiter.
+func (c *Cond) Broadcast() {
+	if c.v != nil {
+		c.v.mu.Lock()
+		for _, ch := range c.waiters {
+			c.v.blocked--
+			close(ch)
+		}
+		c.waiters = nil
+		c.v.mu.Unlock()
+		return
+	}
+	c.mu.Lock()
+	for _, ch := range c.waiters {
+		close(ch)
+	}
+	c.waiters = nil
+	c.mu.Unlock()
+}

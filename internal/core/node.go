@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"uavmw/internal/clock"
 	"uavmw/internal/egress"
 	"uavmw/internal/encoding"
 	"uavmw/internal/events"
@@ -58,7 +59,8 @@ type bearerRuntime struct {
 // Node is one service container. Construct with NewNode, then register
 // services (AddService) or use the primitive APIs directly via Context.
 type Node struct {
-	id transport.NodeID
+	id  transport.NodeID
+	clk clock.Clock
 	// bearers holds the node's datagram links in registration order;
 	// bearers[0] is the default. bearerByName indexes them. classOrder is
 	// the policy-derived bearer preference per qos.Priority index.
@@ -91,7 +93,7 @@ type Node struct {
 	// syncs, and per-peer sync-request throttling.
 	log         *naming.Log
 	announceMu  sync.Mutex    // orders log updates with their broadcasts
-	offerDirty  chan struct{} // capacity 1: coalesces OfferChanged signals
+	offerDirty  clock.Trigger // coalesces OfferChanged signals
 	syncMu      sync.Mutex
 	syncAsm     *naming.SyncAssembler
 	syncReqAt   map[transport.NodeID]time.Time
@@ -148,6 +150,7 @@ type nodeConfig struct {
 	budget          ResourceBudget
 	rpcInflight     int
 	egressCfg       egress.Config
+	clk             clock.Clock
 }
 
 // NodeOption configures a Node.
@@ -282,8 +285,21 @@ func WithRPCInflightLimit(n int) NodeOption {
 	return func(c *nodeConfig) { c.rpcInflight = n }
 }
 
+// WithClock injects the node's time source (nil means the wall clock).
+// Every time-driven part of the container rides it — discovery beacons,
+// liveness sweeps, link monitors, ARQ retransmission timers, egress pacing
+// and the default scheduler — so a node built on a clock.Virtual runs its
+// full protocol behaviour in discrete-event time.
+func WithClock(c clock.Clock) NodeOption {
+	return func(cfg *nodeConfig) { cfg.clk = c }
+}
+
 // DefaultAnnouncePeriod balances discovery latency against chatter.
 const DefaultAnnouncePeriod = 200 * time.Millisecond
+
+// epochSalt disambiguates node epochs minted at the same instant — under a
+// virtual clock every node in a process reads the identical Now.
+var epochSalt atomic.Uint64
 
 // NewNode builds and starts a container on the given transports.
 func NewNode(opts ...NodeOption) (*Node, error) {
@@ -325,8 +341,10 @@ func NewNode(opts ...NodeOption) (*Node, error) {
 	if cfg.directoryTTL <= 0 {
 		cfg.directoryTTL = 6 * cfg.announcePeriod
 	}
+	clk := clock.Or(cfg.clk)
 	n := &Node{
 		id:              id,
+		clk:             clk,
 		bearerByName:    make(map[string]*bearerRuntime, len(cfg.bearers)),
 		reach:           make(map[transport.NodeID]map[string]bool),
 		stream:          cfg.stream,
@@ -336,11 +354,10 @@ func NewNode(opts ...NodeOption) (*Node, error) {
 		live:            naming.NewLiveness(cfg.failureDeadline),
 		types:           presentation.NewRegistry(),
 		dedup:           protocol.NewDedup(0),
-		reasm:           protocol.NewReassembler(0),
-		epoch:           uint64(time.Now().UnixNano()),
+		reasm:           protocol.NewReassembler(0, clk),
+		epoch:           uint64(clk.Now().UnixNano()) + epochSalt.Add(1),
 		mtu:             cfg.mtu,
 		log:             naming.NewLog(),
-		offerDirty:      make(chan struct{}, 1),
 		syncAsm:         naming.NewSyncAssembler(),
 		syncReqAt:       make(map[transport.NodeID]time.Time),
 		announcePeriod:  cfg.announcePeriod,
@@ -351,9 +368,10 @@ func NewNode(opts ...NodeOption) (*Node, error) {
 		stop:            make(chan struct{}),
 	}
 	if n.sched == nil {
-		n.sched = scheduler.NewPool()
+		n.sched = scheduler.NewPool(scheduler.WithPoolClock(clk))
 		n.ownSched = true
 	}
+	n.offerDirty = clock.NewTrigger(clk)
 	n.budget = cfg.budget
 	// All datagram transmission drains through the egress plane: strict
 	// per-(bearer, destination) priority lanes, shaped bulk per bearer,
@@ -362,7 +380,7 @@ func NewNode(opts ...NodeOption) (*Node, error) {
 	if cfg.egressCfg.MaxDatagram == 0 {
 		cfg.egressCfg.MaxDatagram = cfg.mtu
 	}
-	now := time.Now()
+	cfg.egressCfg.Clock = clk
 	n.egress = egress.NewPlane()
 	profiles := make(map[string]qos.BearerProfile, len(cfg.bearers))
 	for _, spec := range cfg.bearers {
@@ -370,7 +388,7 @@ func NewNode(opts ...NodeOption) (*Node, error) {
 			name:    spec.name,
 			tr:      spec.tr,
 			profile: spec.profile,
-			mon:     link.NewMonitor(spec.name, cfg.failureDeadline, now),
+			mon:     link.NewMonitor(spec.name, cfg.failureDeadline, clk),
 		}
 		n.bearers = append(n.bearers, br)
 		n.bearerByName[spec.name] = br
@@ -400,7 +418,7 @@ func NewNode(opts ...NodeOption) (*Node, error) {
 	// they carry (the priority rides in the encoded header).
 	n.arq = protocol.NewARQ(func(to transport.NodeID, frame []byte) error {
 		return n.egress.Enqueue(to, protocol.PeekPriority(frame), frame)
-	}, cfg.arqOpts...)
+	}, append([]protocol.ARQOption{protocol.WithClock(clk)}, cfg.arqOpts...)...)
 
 	n.vars = variables.New(n)
 	n.events = events.New(n)
@@ -418,7 +436,7 @@ func NewNode(opts ...NodeOption) (*Node, error) {
 	for _, br := range n.bearers {
 		br := br
 		br.tr.SetHandler(func(pkt transport.Packet) {
-			br.mon.SawRx(pkt.From, time.Now())
+			br.mon.SawRx(pkt.From, n.clk.Now())
 			n.handleFrameBytesOn(br.name, pkt.From, pkt.Payload)
 		})
 	}
@@ -436,8 +454,8 @@ func NewNode(opts ...NodeOption) (*Node, error) {
 	}
 
 	n.wg.Add(2)
-	go n.discoveryLoop()
-	go n.offerFlushLoop()
+	clock.Go(clk, n.discoveryLoop)
+	clock.Go(clk, n.offerFlushLoop)
 	return n, nil
 }
 
@@ -452,6 +470,9 @@ func (n *Node) defaultLoad() float64 {
 
 // ID returns the node identity.
 func (n *Node) ID() transport.NodeID { return n.id }
+
+// Clock implements fabric.Clocked: the node's time source, wall or virtual.
+func (n *Node) Clock() clock.Clock { return n.clk }
 
 // Types returns the node's type registry.
 func (n *Node) Types() *presentation.Registry { return n.types }
@@ -882,21 +903,16 @@ func (n *Node) DiscoveryStats() DiscoveryStats {
 // discoveryLoop beacons this node's digest and sweeps dead peers.
 func (n *Node) discoveryLoop() {
 	defer n.wg.Done()
-	ticker := time.NewTicker(n.announcePeriod)
+	ticker := n.clk.NewTicker(n.announcePeriod)
 	defer ticker.Stop()
 	// Introduce the node with one full-state announcement; from here on
 	// the beacon is the constant-size digest.
 	n.announceNow()
-	for {
-		select {
-		case <-n.stop:
-			return
-		case <-ticker.C:
-			n.heartbeatNow()
-			n.sweep()
-			n.bearerSweep(time.Now())
-			n.events.Refresh()
-		}
+	for ticker.Wait(n.stop) {
+		n.heartbeatNow()
+		n.sweep()
+		n.bearerSweep(n.clk.Now())
+		n.events.Refresh()
 	}
 }
 
@@ -946,7 +962,7 @@ func (n *Node) announceNow() {
 		Load:    n.loadProbe(),
 		Records: recs,
 	}
-	n.dir.Apply(ann, time.Now())
+	n.dir.Apply(ann, n.clk.Now())
 	payload, err := naming.EncodeAnnouncement(ann)
 	if err != nil {
 		n.disco.encodeErrors.Add(1)
@@ -969,28 +985,20 @@ func (n *Node) announceNow() {
 // registration or withdrawal. It signals the flush loop, which diffs the
 // offer against the versioned record log and multicasts the delta — new
 // resources become resolvable fleet-wide after one network hop instead of
-// one announce period. The signal channel holds one token, so a burst of
-// registrations (a service bringing up hundreds of resources in a loop)
-// coalesces into a handful of batched deltas instead of one frame each:
-// total wire cost stays O(records registered), and the bounded catch-up
-// history in the log covers far larger version gaps.
+// one announce period. The trigger coalesces, so a burst of registrations
+// (a service bringing up hundreds of resources in a loop) collapses into a
+// handful of batched deltas instead of one frame each: total wire cost
+// stays O(records registered), and the bounded catch-up history in the log
+// covers far larger version gaps.
 func (n *Node) OfferChanged() {
-	select {
-	case n.offerDirty <- struct{}{}:
-	default: // a flush is already pending; it will pick this change up
-	}
+	n.offerDirty.Signal()
 }
 
 // offerFlushLoop turns OfferChanged signals into delta broadcasts.
 func (n *Node) offerFlushLoop() {
 	defer n.wg.Done()
-	for {
-		select {
-		case <-n.stop:
-			return
-		case <-n.offerDirty:
-			n.flushOffer()
-		}
+	for n.offerDirty.Wait(-1, n.stop) {
+		n.flushOffer()
 	}
 }
 
@@ -1004,7 +1012,7 @@ func (n *Node) flushOffer() {
 	if !changed {
 		return
 	}
-	now := time.Now()
+	now := n.clk.Now()
 	load := n.loadProbe()
 	// Local lookups must resolve without waiting for the multicast.
 	n.dir.Apply(&naming.Announcement{
@@ -1066,7 +1074,7 @@ func (n *Node) handleAnnounce(from transport.NodeID, f *protocol.Frame) {
 	if from == n.id {
 		return
 	}
-	now := time.Now()
+	now := n.clk.Now()
 	n.live.Touch(from, now)
 	n.dir.Apply(ann, now)
 	n.applyBearerOffer(from, ann.Records)
@@ -1082,7 +1090,7 @@ func (n *Node) handleHeartbeat(from transport.NodeID, f *protocol.Frame) {
 		return
 	}
 	n.disco.heartbeatsRecv.Add(1)
-	now := time.Now()
+	now := n.clk.Now()
 	n.live.Touch(from, now)
 	if n.dir.ApplyDigest(g, now) {
 		n.requestSync(from)
@@ -1099,7 +1107,7 @@ func (n *Node) handleAnnounceDelta(from transport.NodeID, f *protocol.Frame) {
 		return
 	}
 	n.disco.deltasRecv.Add(1)
-	now := time.Now()
+	now := n.clk.Now()
 	n.live.Touch(from, now)
 	n.applyBearerDelta(from, d.Added, d.Withdrawn)
 	if n.dir.ApplyDelta(d, now) {
@@ -1112,7 +1120,7 @@ func (n *Node) handleAnnounceDelta(from transport.NodeID, f *protocol.Frame) {
 // heartbeat re-detects the gap and retries.
 func (n *Node) requestSync(to transport.NodeID) {
 	n.disco.syncsTriggered.Add(1)
-	now := time.Now()
+	now := n.clk.Now()
 	n.syncMu.Lock()
 	if at, ok := n.syncReqAt[to]; ok && now.Sub(at) < n.announcePeriod {
 		n.syncMu.Unlock()
@@ -1160,7 +1168,7 @@ func (n *Node) handleSyncReq(from transport.NodeID, f *protocol.Frame) {
 	if from == n.id {
 		return
 	}
-	n.live.Touch(from, time.Now())
+	n.live.Touch(from, n.clk.Now())
 	// A requester only slightly behind in the current epoch gets a
 	// compact catch-up delta from the log history — O(gap) wire bytes —
 	// instead of the full chunked catalog. This keeps anti-entropy cheap
@@ -1249,7 +1257,7 @@ func (n *Node) handleSyncRep(from transport.NodeID, f *protocol.Frame) {
 	if ann == nil {
 		return
 	}
-	now := time.Now()
+	now := n.clk.Now()
 	n.live.Touch(from, now)
 	n.dir.Apply(ann, now)
 	n.applyBearerOffer(from, ann.Records)
@@ -1308,7 +1316,7 @@ func (n *Node) classBearerOrder(pr qos.Priority) []string {
 // primary.
 func (n *Node) selectBearer(to transport.NodeID, pr qos.Priority) string {
 	order := n.classBearerOrder(pr)
-	now := time.Now()
+	now := n.clk.Now()
 	firstReach, firstHealthy := "", ""
 	for _, name := range order {
 		br := n.bearerByName[name]
@@ -1349,7 +1357,7 @@ func (n *Node) selectGroupBearers(group string, pr qos.Priority) []string {
 		return names
 	}
 	order := n.classBearerOrder(pr)
-	now := time.Now()
+	now := n.clk.Now()
 	for _, name := range order {
 		if br := n.bearerByName[name]; br != nil && br.mon.Healthy(now) {
 			return []string{name}
@@ -1490,7 +1498,7 @@ func (n *Node) handleProbeEcho(bearer string, f *protocol.Frame) {
 	if r.Err() != nil {
 		return
 	}
-	br.mon.ProbeEchoed(nonce, time.Now())
+	br.mon.ProbeEchoed(nonce, n.clk.Now())
 }
 
 // bearerSweep runs once per announce period on multi-bearer nodes: it
@@ -1562,7 +1570,7 @@ type LinkStats struct {
 
 // LinkStats snapshots every bearer, in registration order.
 func (n *Node) LinkStats() []LinkStats {
-	now := time.Now()
+	now := n.clk.Now()
 	out := make([]LinkStats, 0, len(n.bearers))
 	for _, br := range n.bearers {
 		es, _ := n.egress.BearerStats(br.name)
@@ -1590,7 +1598,7 @@ func (n *Node) Bearers() []string {
 
 // sweep detects failed peers and expired directory entries.
 func (n *Node) sweep() {
-	now := time.Now()
+	now := n.clk.Now()
 	// The node's own records never expire: the old full-state announce
 	// re-applied them every tick; under digest beacons they are touched
 	// explicitly instead.
@@ -1685,7 +1693,7 @@ func (n *Node) Close() error {
 	_ = n.SendGroup(fabric.DiscoveryGroup, bye)
 
 	close(n.stop)
-	n.wg.Wait()
+	clock.Blocking(n.clk, n.wg.Wait)
 	n.arq.Close()
 	// Flush the egress plane (goodbye, final acks) before the transports
 	// close underneath it.

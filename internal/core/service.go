@@ -7,6 +7,7 @@ import (
 	"log"
 	"sync"
 	"time"
+	"uavmw/internal/clock"
 
 	"uavmw/internal/events"
 	"uavmw/internal/filetransfer"
@@ -325,6 +326,10 @@ type Context struct {
 
 // Node returns the owning container.
 func (c *Context) Node() *Node { return c.node }
+
+// Clock returns the container's time source. Services pace their loops on
+// it so a virtual-time container carries its services' timing with it.
+func (c *Context) Clock() clock.Clock { return c.node.clk }
 
 // ServiceName returns the owning service's name.
 func (c *Context) ServiceName() string { return c.service }

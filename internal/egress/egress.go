@@ -41,6 +41,7 @@ import (
 	"sync"
 	"time"
 
+	"uavmw/internal/clock"
 	"uavmw/internal/protocol"
 	"uavmw/internal/qos"
 	"uavmw/internal/transport"
@@ -117,6 +118,9 @@ type Config struct {
 	// CoalesceMax is the largest frame eligible for coalescing (default
 	// DefaultCoalesceMax); negative disables coalescing entirely.
 	CoalesceMax int
+	// Clock is the time source pacing the bearer (token refill, bulk
+	// waits); nil means the wall clock.
+	Clock clock.Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -518,8 +522,10 @@ type bearer struct {
 	cfg    Config
 	sender Sender
 
+	clk clock.Clock
+
 	mu           sync.Mutex
-	idle         *sync.Cond // signalled when a transmit completes
+	idle         *clock.Cond // signalled when a transmit completes
 	lanes        map[destKey]*lane
 	ready        [numClasses][]*lane
 	tokens       float64 // bulk bucket fill, bytes; may go briefly negative
@@ -529,33 +535,35 @@ type bearer struct {
 	stats        Stats
 	closed       bool
 
-	wake chan struct{}
-	stop chan struct{}
-	wg   sync.WaitGroup
+	trigger clock.Trigger
+	stop    chan struct{}
+	wg      sync.WaitGroup
 }
 
 func newBearer(name string, sender Sender, cfg Config) *bearer {
 	cfg = cfg.withDefaults()
+	clk := clock.Or(cfg.Clock)
 	b := &bearer{
 		name:       name,
 		cfg:        cfg,
 		sender:     sender,
+		clk:        clk,
 		lanes:      make(map[destKey]*lane),
 		rate:       cfg.BulkRateBPS,
 		tokens:     float64(cfg.BulkBurst),
-		lastRefill: time.Now(),
-		wake:       make(chan struct{}, 1),
+		lastRefill: clk.Now(),
+		trigger:    clock.NewTrigger(clk),
 		stop:       make(chan struct{}),
 	}
-	b.idle = sync.NewCond(&b.mu)
+	b.idle = clock.NewCond(clk, &b.mu)
 	b.wg.Add(1)
-	go b.run()
+	clock.Go(clk, b.run)
 	return b
 }
 
 func (b *bearer) setBulkRate(bps int64) {
 	b.mu.Lock()
-	b.refillLocked(time.Now())
+	b.refillLocked(b.clk.Now())
 	b.rate = bps
 	b.mu.Unlock()
 	b.signal()
@@ -598,12 +606,7 @@ func (b *bearer) enqueue(key destKey, pr qos.Priority, raw []byte) error {
 	return nil
 }
 
-func (b *bearer) signal() {
-	select {
-	case b.wake <- struct{}{}:
-	default:
-	}
-}
+func (b *bearer) signal() { b.trigger.Signal() }
 
 // refillLocked accrues bulk tokens. Caller holds b.mu.
 func (b *bearer) refillLocked(now time.Time) {
@@ -633,7 +636,7 @@ func (b *bearer) next() (datagram []byte, key destKey, wait time.Duration, ok bo
 				continue
 			}
 			if c == bulkClass && b.rate > 0 {
-				b.refillLocked(time.Now())
+				b.refillLocked(b.clk.Now())
 				// A frame larger than the whole bucket must still pass
 				// once the bucket is full; the deficit is repaid below.
 				need := float64(len(ln.q[c][0]))
@@ -738,11 +741,10 @@ func (b *bearer) transmit(key destKey, datagram []byte) {
 	}
 }
 
-// run is the drain goroutine.
+// run is the drain goroutine. It parks on the clock between frames, so
+// under a Virtual clock bulk pacing is discrete-event driven.
 func (b *bearer) run() {
 	defer b.wg.Done()
-	timer := time.NewTimer(time.Hour)
-	defer timer.Stop()
 	for {
 		datagram, key, wait, ok := b.next()
 		if ok {
@@ -753,28 +755,13 @@ func (b *bearer) run() {
 			b.mu.Unlock()
 			continue
 		}
-		if wait > 0 {
-			// Only throttled bulk is pending: sleep for tokens, but wake
-			// early if higher-class work arrives.
-			if !timer.Stop() {
-				select {
-				case <-timer.C:
-				default:
-				}
-			}
-			timer.Reset(wait)
-			select {
-			case <-b.stop:
-				return
-			case <-b.wake:
-			case <-timer.C:
-			}
-			continue
+		if wait <= 0 {
+			wait = -1 // nothing queued: park until signalled
 		}
-		select {
-		case <-b.stop:
+		// Throttled bulk pending: sleep for tokens, but wake early if
+		// higher-class work arrives.
+		if !b.trigger.Wait(wait, b.stop) {
 			return
-		case <-b.wake:
 		}
 	}
 }
@@ -846,7 +833,7 @@ func (b *bearer) close() {
 	b.idle.Broadcast()
 	b.mu.Unlock()
 	close(b.stop)
-	b.wg.Wait()
+	clock.Blocking(b.clk, b.wg.Wait)
 
 	b.mu.Lock()
 	defer b.mu.Unlock()

@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"uavmw/internal/clock"
 	"uavmw/internal/fabric"
 	"uavmw/internal/naming"
 	"uavmw/internal/presentation"
@@ -68,12 +69,17 @@ type shard struct {
 // Engine is the per-container event runtime.
 type Engine struct {
 	f      fabric.Fabric
+	clk    clock.Clock
 	shards [numShards]shard
 }
 
 // New builds the engine for a container.
 func New(f fabric.Fabric) *Engine {
-	e := &Engine{f: f}
+	clk := clock.Clock(clock.Real{})
+	if c, ok := f.(fabric.Clocked); ok {
+		clk = clock.Or(c.Clock())
+	}
+	e := &Engine{f: f, clk: clk}
 	for i := range e.shards {
 		e.shards[i].pubs = make(map[string]*Publisher)
 		e.shards[i].subs = make(map[string][]*Subscription)
@@ -260,7 +266,7 @@ func (p *Publisher) Publish(ctx context.Context, v any) error {
 	}
 	p.seq++
 	seq := p.seq
-	now := time.Now()
+	now := p.engine.clk.Now()
 	targets := make([]transport.NodeID, 0, len(p.subscribers))
 	for node, refreshed := range p.subscribers {
 		if now.Sub(refreshed) > subscriberTTL {
@@ -344,29 +350,34 @@ func (p *Publisher) publishUnicast(ctx context.Context, seq uint64, body []byte,
 			p.dropSubscriber(res.node)
 		}
 	}
+	// The ack wait blocks on plain channels; under a Virtual clock the
+	// delivery and retransmission events that resolve it only fire while
+	// this goroutine is accounted as parked, so the wait runs in Blocking.
 	var cancelErr error
-	for done := 0; done < len(targets) && cancelErr == nil; {
-		select {
-		case res := <-results:
-			done++
-			account(res)
-		case <-ctx.Done():
-			cancelErr = ctx.Err()
-			// Drain outcomes that completed before cancellation so
-			// Stats() and the subscriber set reflect them; in-flight
-			// sends resolve into the buffered channel and are garbage
-			// collected with it.
-			for drained := true; drained && done < len(targets); {
-				select {
-				case res := <-results:
-					done++
-					account(res)
-				default:
-					drained = false
+	clock.Blocking(p.engine.clk, func() {
+		for done := 0; done < len(targets) && cancelErr == nil; {
+			select {
+			case res := <-results:
+				done++
+				account(res)
+			case <-ctx.Done():
+				cancelErr = ctx.Err()
+				// Drain outcomes that completed before cancellation so
+				// Stats() and the subscriber set reflect them; in-flight
+				// sends resolve into the buffered channel and are garbage
+				// collected with it.
+				for drained := true; drained && done < len(targets); {
+					select {
+					case res := <-results:
+						done++
+						account(res)
+					default:
+						drained = false
+					}
 				}
 			}
 		}
-	}
+	})
 	if failed > 0 {
 		p.mu.Lock()
 		p.failures += uint64(failed)
@@ -710,7 +721,7 @@ func (e *Engine) HandleSubscribe(from transport.NodeID, fr *protocol.Frame) {
 	pub.mu.Lock()
 	defer pub.mu.Unlock()
 	if !pub.closed {
-		pub.subscribers[from] = time.Now()
+		pub.subscribers[from] = e.clk.Now()
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"uavmw/internal/clock"
 	"uavmw/internal/core"
 	"uavmw/internal/egress"
 	"uavmw/internal/filetransfer"
@@ -78,7 +79,8 @@ const e14ShapeFraction = 0.85
 // RunE14 runs the multi-bearer handover scenario and the single-bearer
 // baseline. fileBytes sizes the bulk transfer; blackoutAfter is how far
 // into the transfer the wifi link dies.
-func RunE14(fileBytes int, blackoutAfter time.Duration, seed int64) (*E14Result, error) {
+func RunE14(clk clock.Clock, fileBytes int, blackoutAfter time.Duration, seed int64) (*E14Result, error) {
+	clk = clock.Or(clk)
 	res := &E14Result{
 		WifiBPS: 125_000, RadioBPS: 31_250,
 		FileBytes: fileBytes, AlarmHz: 50,
@@ -86,10 +88,10 @@ func RunE14(fileBytes int, blackoutAfter time.Duration, seed int64) (*E14Result,
 	}
 	res.WifiShapedBPS = int64(float64(res.WifiBPS) * e14ShapeFraction)
 	res.RadioShaped = int64(float64(res.RadioBPS) * e14ShapeFraction)
-	if err := runE14Multi(res, seed); err != nil {
+	if err := runE14Multi(clk, res, seed); err != nil {
 		return nil, fmt.Errorf("e14 multi-bearer: %w", err)
 	}
-	if err := runE14Single(res, seed+1); err != nil {
+	if err := runE14Single(clk, res, seed+1); err != nil {
 		return nil, fmt.Errorf("e14 single-bearer: %w", err)
 	}
 	return res, nil
@@ -103,11 +105,11 @@ func e14Link(net *netsim.Net, bps int64) {
 	net.SetLink("gs", "uav", lc)
 }
 
-func runE14Multi(res *E14Result, seed int64) error {
+func runE14Multi(clk clock.Clock, res *E14Result, seed int64) error {
 	// Two separate media: the bearers share nothing but the endpoints.
-	wifi := netsim.New(netsim.Config{Seed: seed, Latency: 5 * time.Millisecond})
+	wifi := netsim.New(netsim.Config{Seed: seed, Latency: 5 * time.Millisecond, Clock: clk})
 	defer wifi.Close()
-	radio := netsim.New(netsim.Config{Seed: seed + 100, Latency: 40 * time.Millisecond})
+	radio := netsim.New(netsim.Config{Seed: seed + 100, Latency: 40 * time.Millisecond, Clock: clk})
 	defer radio.Close()
 	e14Link(wifi, res.WifiBPS)
 	e14Link(radio, res.RadioBPS)
@@ -130,6 +132,7 @@ func runE14Multi(res *E14Result, seed int64) error {
 			return nil, err
 		}
 		return core.NewNode(
+			core.WithClock(clk),
 			core.WithBearer("wifi", wep, wifiProf),
 			core.WithBearer("radio", rep, radioProf),
 			core.WithAnnouncePeriod(50*time.Millisecond),
@@ -178,52 +181,47 @@ func runE14Multi(res *E14Result, seed int64) error {
 		return err
 	}
 	rec := &alarmRecorder{}
-	if err := waitProviders(gs, kindEvent, "e14.alarm", 1, 5*time.Second); err != nil {
+	if err := waitProviders(clk, gs, kindEvent, "e14.alarm", 1, 5*time.Second); err != nil {
 		return err
 	}
 	if _, err := gs.Events().Subscribe("e14.alarm", alarmType, alarmQoS,
-		func(v any, _ transport.NodeID) { rec.arrived(v.(uint32), time.Now()) }); err != nil {
+		func(v any, _ transport.NodeID) { rec.arrived(v.(uint32), clk.Now()) }); err != nil {
 		return err
 	}
-	deadline := time.Now().Add(5 * time.Second)
+	deadline := clk.Now().Add(5 * time.Second)
 	for len(pub.Subscribers()) == 0 {
-		if time.Now().After(deadline) {
+		if clk.Now().After(deadline) {
 			return fmt.Errorf("alarm subscriber never registered")
 		}
-		time.Sleep(2 * time.Millisecond)
+		clk.Sleep(2 * time.Millisecond)
 	}
 
 	publishAlarms := func(stopCh <-chan struct{}, maxDur time.Duration) {
 		interval := time.Second / time.Duration(res.AlarmHz)
-		ticker := time.NewTicker(interval)
+		ticker := clk.NewTicker(interval)
 		defer ticker.Stop()
-		stopAt := time.Now().Add(maxDur)
+		stopAt := clk.Now().Add(maxDur)
 		var wg sync.WaitGroup
-		for {
-			select {
-			case <-stopCh:
-				wg.Wait()
-				return
-			case now := <-ticker.C:
-				if now.After(stopAt) {
-					wg.Wait()
-					return
-				}
-				seq := rec.nextSeq(now)
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-					defer cancel()
-					_ = pub.Publish(ctx, seq) // late/lost alarms are the measurement
-				}()
+		for ticker.Wait(stopCh) {
+			now := clk.Now()
+			if now.After(stopAt) {
+				break
 			}
+			seq := rec.nextSeq(now)
+			wg.Add(1)
+			clock.Go(clk, func() {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				_ = pub.Publish(ctx, seq) // late/lost alarms are the measurement
+			})
 		}
+		clock.Blocking(clk, wg.Wait)
 	}
 
 	// Unloaded baseline: alarms alone, over the same policy (radio).
 	publishAlarms(make(chan struct{}), time.Second)
-	time.Sleep(200 * time.Millisecond) // let the tail arrive
+	clk.Sleep(200 * time.Millisecond) // let the tail arrive
 	res.Unloaded, _ = rec.collect(1, rec.count())
 	loadedFrom := rec.count() + 1
 	wifi.ResetWireStats()
@@ -241,7 +239,7 @@ func runE14Multi(res *E14Result, seed int64) error {
 		return err
 	}
 	defer offer.Close()
-	if err := waitProviders(gs, kindFile, "e14.file", 1, 5*time.Second); err != nil {
+	if err := waitProviders(clk, gs, kindFile, "e14.file", 1, 5*time.Second); err != nil {
 		return err
 	}
 
@@ -259,82 +257,84 @@ func runE14Multi(res *E14Result, seed int64) error {
 	samplerStop := make(chan struct{})
 	var samplerWG sync.WaitGroup
 	samplerWG.Add(1)
-	go func() {
+	clock.Go(clk, func() {
 		defer samplerWG.Done()
-		ticker := time.NewTicker(20 * time.Millisecond)
+		ticker := clk.NewTicker(20 * time.Millisecond)
 		defer ticker.Stop()
-		for {
-			select {
-			case <-samplerStop:
-				return
-			case now := <-ticker.C:
-				ls := radio.LinkStats("uav", "gs")
-				samplesMu.Lock()
-				samples = append(samples, sample{at: now, bytes: ls.Bytes})
-				samplesMu.Unlock()
-			}
+		for ticker.Wait(samplerStop) {
+			ls := radio.LinkStats("uav", "gs")
+			samplesMu.Lock()
+			samples = append(samples, sample{at: clk.Now(), bytes: ls.Bytes})
+			samplesMu.Unlock()
 		}
-	}()
+	})
 
 	fetchDone := make(chan error, 1)
 	var transfer time.Duration
-	start := time.Now()
-	go func() {
+	start := clk.Now()
+	clock.Go(clk, func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
 		defer cancel()
 		got, _, err := gs.Files().Fetch(ctx, "e14.file", filetransfer.FetchOptions{})
-		transfer = time.Since(start)
+		transfer = clk.Since(start)
 		if err == nil && len(got) != res.FileBytes {
 			err = fmt.Errorf("short fetch: %d of %d bytes", len(got), res.FileBytes)
 		}
 		fetchDone <- err
-	}()
+	})
 
 	alarmStop := make(chan struct{})
 	alarmsDone := make(chan struct{})
-	go func() {
+	clock.Go(clk, func() {
 		defer close(alarmsDone)
 		publishAlarms(alarmStop, 120*time.Second)
-	}()
+	})
 
 	// Mid-transfer blackout: the UAV flies out of wifi range.
-	time.Sleep(res.BlackoutAfter)
+	clk.Sleep(res.BlackoutAfter)
 	wifi.Partition("uav", "gs")
-	blackoutAt := time.Now()
+	blackoutAt := clk.Now()
 
 	// Time the handover detection on the UAV.
 	detect := make(chan time.Duration, 1)
-	go func() {
+	detectStop := make(chan struct{})
+	clock.Go(clk, func() {
 		for {
 			for _, ls := range uav.LinkStats() {
 				if ls.Name == "wifi" && !ls.Healthy {
-					detect <- time.Since(blackoutAt)
+					detect <- clk.Since(blackoutAt)
 					return
 				}
 			}
-			if time.Since(blackoutAt) > 30*time.Second {
+			if clk.Since(blackoutAt) > 30*time.Second {
 				detect <- -1
 				return
 			}
-			time.Sleep(5 * time.Millisecond)
+			if !clock.SleepStop(clk, 5*time.Millisecond, detectStop) {
+				return
+			}
 		}
-	}()
+	})
 
-	if err := <-fetchDone; err != nil {
+	var fetchErr error
+	clock.Blocking(clk, func() { fetchErr = <-fetchDone })
+	if fetchErr != nil {
 		close(alarmStop)
 		close(samplerStop)
-		return err
+		close(detectStop)
+		return fetchErr
 	}
 	res.Transfer = transfer
 	close(alarmStop)
-	<-alarmsDone
+	clock.Blocking(clk, func() { <-alarmsDone })
 	loadedTo := rec.count()
-	res.HandoverDetect = <-detect
+	clock.Blocking(clk, func() { res.HandoverDetect = <-detect })
+	close(detectStop)
 	if res.HandoverDetect < 0 {
 		return fmt.Errorf("wifi blackout never detected")
 	}
 	close(samplerStop)
-	samplerWG.Wait()
+	clock.Blocking(clk, samplerWG.Wait)
 
 	// Recovered throughput: the best sustained 1s window of radio wire
 	// rate after the blackout.
@@ -361,17 +361,17 @@ func runE14Multi(res *E14Result, seed int64) error {
 	res.RadioBytes = radio.LinkStats("uav", "gs").Bytes
 
 	// Let alarm stragglers drain before collecting.
-	stableSince := time.Now()
+	stableSince := clk.Now()
 	last := rec.arrivedCount()
-	drainCap := time.Now().Add(15 * time.Second)
-	for time.Now().Before(drainCap) {
-		time.Sleep(100 * time.Millisecond)
+	drainCap := clk.Now().Add(15 * time.Second)
+	for clk.Now().Before(drainCap) {
+		clk.Sleep(100 * time.Millisecond)
 		if n := rec.arrivedCount(); n != last {
 			last = n
-			stableSince = time.Now()
+			stableSince = clk.Now()
 			continue
 		}
-		if time.Since(stableSince) > time.Second {
+		if clk.Since(stableSince) > time.Second {
 			break
 		}
 	}
@@ -383,8 +383,8 @@ func runE14Multi(res *E14Result, seed int64) error {
 // runE14Single runs the baseline: the same alarm stream over wifi alone,
 // with the same blackout. The ARQ budget is real but finite; once it is
 // spent the alarms are gone — there is no second link to fail over to.
-func runE14Single(res *E14Result, seed int64) error {
-	wifi := netsim.New(netsim.Config{Seed: seed, Latency: 5 * time.Millisecond})
+func runE14Single(clk clock.Clock, res *E14Result, seed int64) error {
+	wifi := netsim.New(netsim.Config{Seed: seed, Latency: 5 * time.Millisecond, Clock: clk})
 	defer wifi.Close()
 	e14Link(wifi, res.WifiBPS)
 	const blackout = 1500 * time.Millisecond
@@ -396,6 +396,7 @@ func runE14Single(res *E14Result, seed int64) error {
 			return nil, err
 		}
 		return core.NewNode(
+			core.WithClock(clk),
 			core.WithDatagram(ep),
 			core.WithAnnouncePeriod(50*time.Millisecond),
 			// Liveness must survive the blackout or the subscription is
@@ -423,55 +424,50 @@ func runE14Single(res *E14Result, seed int64) error {
 		return err
 	}
 	rec := &alarmRecorder{}
-	if err := waitProviders(gs, kindEvent, "e14.alarm", 1, 5*time.Second); err != nil {
+	if err := waitProviders(clk, gs, kindEvent, "e14.alarm", 1, 5*time.Second); err != nil {
 		return err
 	}
 	if _, err := gs.Events().Subscribe("e14.alarm", alarmType, alarmQoS,
-		func(v any, _ transport.NodeID) { rec.arrived(v.(uint32), time.Now()) }); err != nil {
+		func(v any, _ transport.NodeID) { rec.arrived(v.(uint32), clk.Now()) }); err != nil {
 		return err
 	}
-	deadline := time.Now().Add(5 * time.Second)
+	deadline := clk.Now().Add(5 * time.Second)
 	for len(pub.Subscribers()) == 0 {
-		if time.Now().After(deadline) {
+		if clk.Now().After(deadline) {
 			return fmt.Errorf("alarm subscriber never registered")
 		}
-		time.Sleep(2 * time.Millisecond)
+		clk.Sleep(2 * time.Millisecond)
 	}
 
 	stop := make(chan struct{})
 	done := make(chan struct{})
 	interval := time.Second / time.Duration(res.AlarmHz)
-	go func() {
+	clock.Go(clk, func() {
 		defer close(done)
-		ticker := time.NewTicker(interval)
+		ticker := clk.NewTicker(interval)
 		defer ticker.Stop()
 		var wg sync.WaitGroup
-		for {
-			select {
-			case <-stop:
-				wg.Wait()
-				return
-			case now := <-ticker.C:
-				seq := rec.nextSeq(now)
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-					defer cancel()
-					_ = pub.Publish(ctx, seq)
-				}()
-			}
+		for ticker.Wait(stop) {
+			seq := rec.nextSeq(clk.Now())
+			wg.Add(1)
+			clock.Go(clk, func() {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				defer cancel()
+				_ = pub.Publish(ctx, seq)
+			})
 		}
-	}()
+		clock.Blocking(clk, wg.Wait)
+	})
 
-	time.Sleep(400 * time.Millisecond)
+	clk.Sleep(400 * time.Millisecond)
 	wifi.Partition("uav", "gs")
-	time.Sleep(blackout)
+	clk.Sleep(blackout)
 	wifi.Heal("uav", "gs")
-	time.Sleep(500 * time.Millisecond)
+	clk.Sleep(500 * time.Millisecond)
 	close(stop)
-	<-done
-	time.Sleep(time.Second) // drain stragglers
+	clock.Blocking(clk, func() { <-done })
+	clk.Sleep(time.Second) // drain stragglers
 
 	_, lost := rec.collect(1, rec.count())
 	res.SingleSent = rec.count()

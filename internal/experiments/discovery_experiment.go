@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"uavmw/internal/clock"
 	"uavmw/internal/core"
 	"uavmw/internal/naming"
 	"uavmw/internal/netsim"
@@ -43,7 +44,7 @@ func e12Fn(node transport.NodeID, i int) string {
 }
 
 // buildE12Fleet spins up n converged nodes each offering records functions.
-func buildE12Fleet(net *netsim.Net, n, records int, period time.Duration) ([]*core.Node, error) {
+func buildE12Fleet(clk clock.Clock, net *netsim.Net, n, records int, period time.Duration) ([]*core.Node, error) {
 	nodes := make([]*core.Node, n)
 	for i := range nodes {
 		ep, err := net.Node(transport.NodeID(fmt.Sprintf("n%03d", i)))
@@ -68,6 +69,7 @@ func buildE12Fleet(net *netsim.Net, n, records int, period time.Duration) ([]*co
 			failureDeadline = d
 		}
 		if nodes[i], err = core.NewNode(
+			core.WithClock(clk),
 			core.WithDatagram(ep),
 			core.WithAnnouncePeriod(period),
 			core.WithFailureDeadline(failureDeadline),
@@ -102,14 +104,14 @@ func buildE12Fleet(net *netsim.Net, n, records int, period time.Duration) ([]*co
 	if stagger < 25*time.Millisecond {
 		stagger = 25 * time.Millisecond
 	}
-	deadline := time.Now().Add(5 * time.Minute)
+	deadline := clk.Now().Add(5 * time.Minute)
 	lagging := append([]*core.Node(nil), nodes...)
 	for {
 		for _, node := range lagging {
 			node.AnnounceNow()
-			time.Sleep(stagger)
+			clk.Sleep(stagger)
 		}
-		settle := time.Now().Add(10 * period)
+		settle := clk.Now().Add(10 * period)
 		for {
 			lagging = nil
 			for _, b := range nodes {
@@ -126,13 +128,13 @@ func buildE12Fleet(net *netsim.Net, n, records int, period time.Duration) ([]*co
 			if len(lagging) == 0 {
 				return nodes, nil
 			}
-			if time.Now().After(deadline) {
+			if clk.Now().After(deadline) {
 				return nil, fmt.Errorf("e12: fleet never converged (%d nodes still lagging)", len(lagging))
 			}
-			if time.Now().After(settle) {
+			if clk.Now().After(settle) {
 				break // next announce round for the stragglers
 			}
-			time.Sleep(100 * time.Millisecond)
+			clk.Sleep(100 * time.Millisecond)
 		}
 	}
 }
@@ -153,13 +155,14 @@ func e12Period(nodes int) time.Duration {
 // RunE12 measures steady-state discovery wire cost (digest heartbeats vs
 // full-state re-broadcast) and post-registration convergence latency on a
 // fleet of nodes × recordsPerNode.
-func RunE12(nodes, recordsPerNode int, seed int64) (*E12Result, error) {
+func RunE12(clk clock.Clock, nodes, recordsPerNode int, seed int64) (*E12Result, error) {
+	clk = clock.Or(clk)
 	period := e12Period(nodes)
 	res := &E12Result{Nodes: nodes, RecordsPerNode: recordsPerNode, AnnouncePeriod: period}
 
-	net := netsim.New(netsim.Config{Seed: seed, Latency: 200 * time.Microsecond})
+	net := netsim.New(netsim.Config{Seed: seed, Latency: 200 * time.Microsecond, Clock: clk})
 	defer net.Close()
-	fleet, err := buildE12Fleet(net, nodes, recordsPerNode, period)
+	fleet, err := buildE12Fleet(clk, net, nodes, recordsPerNode, period)
 	if err != nil {
 		return nil, err
 	}
@@ -173,18 +176,18 @@ func RunE12(nodes, recordsPerNode int, seed int64) (*E12Result, error) {
 	// retransmissions) drain before measuring: steady state is reached
 	// when several consecutive periods carry approximately the heartbeat
 	// digests alone.
-	quiesce := time.Now().Add(3 * time.Minute)
+	quiesce := clk.Now().Add(3 * time.Minute)
 	quiet := 0
 	for quiet < 3 {
 		net.ResetWireStats()
-		time.Sleep(period)
+		clk.Sleep(period)
 		pkts, _, _ := net.WireStats()
 		if pkts <= uint64(nodes+2) {
 			quiet++
 		} else {
 			quiet = 0
 		}
-		if time.Now().After(quiesce) {
+		if clk.Now().After(quiesce) {
 			return nil, fmt.Errorf("e12: traffic never quiesced (%d pkts/period)", pkts)
 		}
 	}
@@ -192,7 +195,7 @@ func RunE12(nodes, recordsPerNode int, seed int64) (*E12Result, error) {
 	// Steady state: only heartbeat digests should cross the wire.
 	const steadyPeriods = 6
 	net.ResetWireStats()
-	time.Sleep(steadyPeriods * period)
+	clk.Sleep(steadyPeriods * period)
 	packets, bytes, _ := net.WireStats()
 	res.SteadyBytesPerPeriod = float64(bytes) / steadyPeriods
 	res.SteadyPacketsPerPeriod = float64(packets) / steadyPeriods
@@ -205,19 +208,19 @@ func RunE12(nodes, recordsPerNode int, seed int64) (*E12Result, error) {
 	var probes []time.Duration
 	for p := 0; p < 3; p++ {
 		name := fmt.Sprintf("fn.fresh.%d", p)
-		start := time.Now()
+		start := clk.Now()
 		if err := fleet[0].RPC().Register(name, "bench", nil, nil,
 			qos.CallQoS{}, func(any) (any, error) { return nil, nil }); err != nil {
 			return nil, err
 		}
 		for last.Directory().ProviderCount(naming.KindFunction, name) == 0 {
-			if time.Since(start) > 60*time.Second {
+			if clk.Since(start) > 60*time.Second {
 				return nil, fmt.Errorf("e12: fresh offer never converged")
 			}
-			time.Sleep(time.Millisecond)
+			clk.Sleep(time.Millisecond)
 		}
-		probes = append(probes, time.Since(start))
-		time.Sleep(2 * period) // let any repair triggered by the probe settle
+		probes = append(probes, clk.Since(start))
+		clk.Sleep(2 * period) // let any repair triggered by the probe settle
 	}
 	sort.Slice(probes, func(i, j int) bool { return probes[i] < probes[j] })
 	res.Converge = probes[len(probes)/2]
@@ -244,6 +247,93 @@ func RunE12(nodes, recordsPerNode int, seed int64) (*E12Result, error) {
 	return res, nil
 }
 
+// E12ScaleResult is the large-fleet discovery scenario: a fleet size
+// whose wall-clock cost is prohibitive under real time (the staggered
+// bootstrap alone paces out minutes of announce periods) but cheap under
+// a Virtual clock, where only the event count is paid for.
+type E12ScaleResult struct {
+	Nodes          int
+	RecordsPerNode int
+	AnnouncePeriod time.Duration
+
+	// BootConverge is first boot to full-fleet catalog convergence
+	// (every node holds every other node's catalog at current version).
+	BootConverge time.Duration
+	// Steady wire cost per announce period once converged.
+	SteadyBytesPerPeriod   float64
+	SteadyPacketsPerPeriod float64
+	// Converge is fresh-offer registration to fleet-wide resolvability.
+	Converge time.Duration
+}
+
+// RunE12Scale boots a fleet of nodes × recordsPerNode, waits for full
+// catalog convergence, then measures steady heartbeat wire cost and
+// fresh-offer propagation — E12's measurements at a fleet size (hundreds
+// of nodes) only reachable under virtual time. It skips E12's full-state
+// baseline flood: at this scale the point is convergence, not contrast.
+func RunE12Scale(clk clock.Clock, nodes, recordsPerNode int, seed int64) (*E12ScaleResult, error) {
+	clk = clock.Or(clk)
+	period := e12Period(nodes)
+	res := &E12ScaleResult{Nodes: nodes, RecordsPerNode: recordsPerNode, AnnouncePeriod: period}
+
+	net := netsim.New(netsim.Config{Seed: seed, Latency: 200 * time.Microsecond, Clock: clk})
+	defer net.Close()
+	start := clk.Now()
+	fleet, err := buildE12Fleet(clk, net, nodes, recordsPerNode, period)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, n := range fleet {
+			_ = n.Close()
+		}
+	}()
+	res.BootConverge = clk.Since(start)
+
+	// Quiesce: the bootstrap tail (residual sync repairs, ARQ
+	// retransmissions) drains within a few periods once every catalog
+	// version matches.
+	quiesce := clk.Now().Add(10 * time.Minute)
+	quiet := 0
+	for quiet < 2 {
+		net.ResetWireStats()
+		clk.Sleep(period)
+		pkts, _, _ := net.WireStats()
+		if pkts <= uint64(nodes+2) {
+			quiet++
+		} else {
+			quiet = 0
+		}
+		if clk.Now().After(quiesce) {
+			return nil, fmt.Errorf("e12 scale: traffic never quiesced (%d pkts/period)", pkts)
+		}
+	}
+
+	const steadyPeriods = 3
+	net.ResetWireStats()
+	clk.Sleep(steadyPeriods * period)
+	packets, bytes, _ := net.WireStats()
+	res.SteadyBytesPerPeriod = float64(bytes) / steadyPeriods
+	res.SteadyPacketsPerPeriod = float64(packets) / steadyPeriods
+
+	// One fresh-offer probe, first node to farthest node.
+	last := fleet[len(fleet)-1]
+	const name = "fn.fresh.scale"
+	start = clk.Now()
+	if err := fleet[0].RPC().Register(name, "bench", nil, nil,
+		qos.CallQoS{}, func(any) (any, error) { return nil, nil }); err != nil {
+		return nil, err
+	}
+	for last.Directory().ProviderCount(naming.KindFunction, name) == 0 {
+		if clk.Since(start) > 60*time.Second {
+			return nil, fmt.Errorf("e12 scale: fresh offer never converged")
+		}
+		clk.Sleep(time.Millisecond)
+	}
+	res.Converge = clk.Since(start)
+	return res, nil
+}
+
 // E12ChurnResult measures re-convergence after a partition heals: a node
 // cut off from the fleet misses registrations, then pulls the full state
 // through anti-entropy sync once the partition heals.
@@ -259,15 +349,16 @@ type E12ChurnResult struct {
 
 // RunE12Churn partitions one node away, registers offers it cannot see,
 // heals, and times full re-convergence of the survivor.
-func RunE12Churn(nodes, recordsPerNode, missedOffers int, seed int64) (*E12ChurnResult, error) {
+func RunE12Churn(clk clock.Clock, nodes, recordsPerNode, missedOffers int, seed int64) (*E12ChurnResult, error) {
+	clk = clock.Or(clk)
 	period := e12Period(nodes)
 	res := &E12ChurnResult{
 		Nodes: nodes, RecordsPerNode: recordsPerNode,
 		MissedOffers: missedOffers, AnnouncePeriod: period,
 	}
-	net := netsim.New(netsim.Config{Seed: seed, Latency: 200 * time.Microsecond})
+	net := netsim.New(netsim.Config{Seed: seed, Latency: 200 * time.Microsecond, Clock: clk})
 	defer net.Close()
-	fleet, err := buildE12Fleet(net, nodes, recordsPerNode, period)
+	fleet, err := buildE12Fleet(clk, net, nodes, recordsPerNode, period)
 	if err != nil {
 		return nil, err
 	}
@@ -297,32 +388,32 @@ func RunE12Churn(nodes, recordsPerNode, missedOffers int, seed int64) (*E12Churn
 	// top of the registered resources.
 	srcCount := recordsPerNode + missedOffers + len(src.Bearers())
 	witness := fleet[1]
-	settleDeadline := time.Now().Add(30 * time.Second)
+	settleDeadline := clk.Now().Add(30 * time.Second)
 	for {
 		if _, ver, known := witness.Directory().NodeVersion(src.ID()); known && ver == src.OfferVersion() &&
 			witness.Directory().NodeRecordCount(src.ID()) == srcCount {
 			break
 		}
-		if time.Now().After(settleDeadline) {
+		if clk.Now().After(settleDeadline) {
 			return nil, fmt.Errorf("e12 churn: partition-time offers never reached the survivors")
 		}
-		time.Sleep(time.Millisecond)
+		clk.Sleep(time.Millisecond)
 	}
 	statsBefore := cut.DiscoveryStats()
 
 	net.Heal(src.ID(), cut.ID())
-	healed := time.Now()
+	healed := clk.Now()
 	for {
 		if _, ver, known := cut.Directory().NodeVersion(src.ID()); known && ver == src.OfferVersion() &&
 			cut.Directory().NodeRecordCount(src.ID()) == srcCount {
 			break
 		}
-		if time.Since(healed) > 30*time.Second {
+		if clk.Since(healed) > 30*time.Second {
 			return nil, fmt.Errorf("e12 churn: healed node never re-converged")
 		}
-		time.Sleep(500 * time.Microsecond)
+		clk.Sleep(500 * time.Microsecond)
 	}
-	res.HealConverge = time.Since(healed)
+	res.HealConverge = clk.Since(healed)
 	statsAfter := cut.DiscoveryStats()
 	res.SyncsUsed = statsAfter.SyncRequestsSent - statsBefore.SyncRequestsSent
 	res.HeartbeatsAfter = statsAfter.HeartbeatsReceived - statsBefore.HeartbeatsReceived

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"uavmw/internal/clock"
 	"uavmw/internal/core"
 	"uavmw/internal/egress"
 	"uavmw/internal/filetransfer"
@@ -117,14 +118,15 @@ func (r *alarmRecorder) arrivedCount() int {
 
 // RunE13 runs both modes and returns the comparison. alarmHz is the
 // critical-alarm publication rate; linkBPS the air-to-ground capacity.
-func RunE13(fileBytes int, linkBPS int64, alarmHz int, seed int64) (*E13Result, error) {
+func RunE13(clk clock.Clock, fileBytes int, linkBPS int64, alarmHz int, seed int64) (*E13Result, error) {
+	clk = clock.Or(clk)
 	res := &E13Result{LinkBPS: linkBPS, FileBytes: fileBytes, AlarmHz: alarmHz}
 
 	// Shaped mode also measures the unloaded baseline (same topology).
-	if err := runE13Phase(res, true, seed); err != nil {
+	if err := runE13Phase(clk, res, true, seed); err != nil {
 		return nil, fmt.Errorf("e13 shaped: %w", err)
 	}
-	if err := runE13Phase(res, false, seed+1); err != nil {
+	if err := runE13Phase(clk, res, false, seed+1); err != nil {
 		return nil, fmt.Errorf("e13 flood: %w", err)
 	}
 	return res, nil
@@ -134,9 +136,9 @@ func RunE13(fileBytes int, linkBPS int64, alarmHz int, seed int64) (*E13Result, 
 // capacity, so the link queue never grows while bulk still nears line rate.
 const e13ShapeFraction = 0.92
 
-func runE13Phase(res *E13Result, shaped bool, seed int64) error {
+func runE13Phase(clk clock.Clock, res *E13Result, shaped bool, seed int64) error {
 	const latency = 15 * time.Millisecond
-	net := netsim.New(netsim.Config{Seed: seed, Latency: latency})
+	net := netsim.New(netsim.Config{Seed: seed, Latency: latency, Clock: clk})
 	defer net.Close()
 
 	// One constrained air-to-ground direction; everything else is fast.
@@ -151,6 +153,7 @@ func runE13Phase(res *E13Result, shaped bool, seed int64) error {
 			return nil, err
 		}
 		opts := []core.NodeOption{
+			core.WithClock(clk),
 			core.WithDatagram(ep),
 			core.WithAnnouncePeriod(100 * time.Millisecond),
 			// Under flood the constrained link delays heartbeats by
@@ -191,19 +194,19 @@ func runE13Phase(res *E13Result, shaped bool, seed int64) error {
 		return err
 	}
 	rec := &alarmRecorder{}
-	if err := waitProviders(gs, kindEvent, "e13.alarm", 1, 5*time.Second); err != nil {
+	if err := waitProviders(clk, gs, kindEvent, "e13.alarm", 1, 5*time.Second); err != nil {
 		return err
 	}
 	if _, err := gs.Events().Subscribe("e13.alarm", alarmType, alarmQoS,
-		func(v any, _ transport.NodeID) { rec.arrived(v.(uint32), time.Now()) }); err != nil {
+		func(v any, _ transport.NodeID) { rec.arrived(v.(uint32), clk.Now()) }); err != nil {
 		return err
 	}
-	deadline := time.Now().Add(5 * time.Second)
+	deadline := clk.Now().Add(5 * time.Second)
 	for len(pub.Subscribers()) == 0 {
-		if time.Now().After(deadline) {
+		if clk.Now().After(deadline) {
 			return fmt.Errorf("alarm subscriber never registered")
 		}
-		time.Sleep(2 * time.Millisecond)
+		clk.Sleep(2 * time.Millisecond)
 	}
 
 	// publishAlarms fires at alarmHz until stopCh closes, from a goroutine
@@ -211,36 +214,31 @@ func runE13Phase(res *E13Result, shaped bool, seed int64) error {
 	// must not stall the tick cadence.
 	publishAlarms := func(stopCh <-chan struct{}, maxDur time.Duration) {
 		interval := time.Second / time.Duration(res.AlarmHz)
-		ticker := time.NewTicker(interval)
+		ticker := clk.NewTicker(interval)
 		defer ticker.Stop()
-		stopAt := time.Now().Add(maxDur)
+		stopAt := clk.Now().Add(maxDur)
 		var wg sync.WaitGroup
-		for {
-			select {
-			case <-stopCh:
-				wg.Wait()
-				return
-			case now := <-ticker.C:
-				if now.After(stopAt) {
-					wg.Wait()
-					return
-				}
-				seq := rec.nextSeq(now)
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-					defer cancel()
-					_ = pub.Publish(ctx, seq) // late/lost alarms are the measurement
-				}()
+		for ticker.Wait(stopCh) {
+			now := clk.Now()
+			if now.After(stopAt) {
+				break
 			}
+			seq := rec.nextSeq(now)
+			wg.Add(1)
+			clock.Go(clk, func() {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				_ = pub.Publish(ctx, seq) // late/lost alarms are the measurement
+			})
 		}
+		clock.Blocking(clk, wg.Wait)
 	}
 
 	// Unloaded baseline (shaped phase only; topology identical).
 	if shaped {
 		publishAlarms(make(chan struct{}), 1200*time.Millisecond)
-		time.Sleep(4 * latency) // let the tail arrive
+		clk.Sleep(4 * latency) // let the tail arrive
 		res.Unloaded, _ = rec.collect(1, rec.count())
 	}
 	loadedFrom := rec.count() + 1
@@ -259,52 +257,54 @@ func runE13Phase(res *E13Result, shaped bool, seed int64) error {
 		return err
 	}
 	defer offer.Close()
-	if err := waitProviders(gs, kindFile, "e13.file", 1, 5*time.Second); err != nil {
+	if err := waitProviders(clk, gs, kindFile, "e13.file", 1, 5*time.Second); err != nil {
 		return err
 	}
 
 	fetchDone := make(chan error, 1)
 	var transfer time.Duration
-	start := time.Now()
-	go func() {
+	start := clk.Now()
+	clock.Go(clk, func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
 		defer cancel()
 		got, _, err := gs.Files().Fetch(ctx, "e13.file", filetransfer.FetchOptions{})
-		transfer = time.Since(start)
+		transfer = clk.Since(start)
 		if err == nil && len(got) != res.FileBytes {
 			err = fmt.Errorf("short fetch: %d of %d bytes", len(got), res.FileBytes)
 		}
 		fetchDone <- err
-	}()
+	})
 
 	// Alarms run concurrently until the transfer completes (capped).
 	alarmStop := make(chan struct{})
 	alarmsDone := make(chan struct{})
-	go func() {
+	clock.Go(clk, func() {
 		defer close(alarmsDone)
 		publishAlarms(alarmStop, 60*time.Second)
-	}()
-	if err := <-fetchDone; err != nil {
+	})
+	var fetchErr error
+	clock.Blocking(clk, func() { fetchErr = <-fetchDone })
+	if fetchErr != nil {
 		close(alarmStop)
-		return err
+		return fetchErr
 	}
 	close(alarmStop)
-	<-alarmsDone
+	clock.Blocking(clk, func() { <-alarmsDone })
 	loadedTo := rec.count()
 
 	// Let stragglers drain: in flood mode alarms can trail the transfer by
 	// the remaining link backlog. Wait until arrivals stabilize.
-	stableSince := time.Now()
+	stableSince := clk.Now()
 	last := rec.arrivedCount()
-	drainCap := time.Now().Add(30 * time.Second)
-	for time.Now().Before(drainCap) {
-		time.Sleep(100 * time.Millisecond)
+	drainCap := clk.Now().Add(30 * time.Second)
+	for clk.Now().Before(drainCap) {
+		clk.Sleep(100 * time.Millisecond)
 		if n := rec.arrivedCount(); n != last {
 			last = n
-			stableSince = time.Now()
+			stableSince = clk.Now()
 			continue
 		}
-		if time.Since(stableSince) > time.Second {
+		if clk.Since(stableSince) > time.Second {
 			break
 		}
 	}

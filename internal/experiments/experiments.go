@@ -1,11 +1,21 @@
 // Package experiments implements the measurement harnesses for every
-// experiment in EXPERIMENTS.md (E1–E9). The uavbench command runs the full
-// parameter sweeps and prints the paper-style tables; the repository-root
-// benchmarks wrap single points of each sweep in testing.B.
+// experiment in EXPERIMENTS.md (E1–E9, E11–E14). The uavbench command runs
+// the full parameter sweeps and prints the paper-style tables; the
+// repository-root benchmarks wrap single points of each sweep in testing.B.
 //
 // Every harness builds a fresh middleware deployment on an in-process or
 // simulated substrate, measures, and tears down, so experiments are
 // independent and repeatable (seeded netsim, no shared global state).
+//
+// The simulation-backed harnesses (RunE3, RunE11–RunE14) take an injected
+// clock.Clock and by default run under RunVirtual on a discrete-event
+// virtual clock: minutes of scenario time execute in wall milliseconds,
+// and a given seed reproduces byte-identical results. Passing a nil clock
+// selects the wall clock. Goroutines inside a virtual harness must be
+// registered with the clock (clock.Go / clock.Live), block on managed
+// primitives (clock.Trigger, clock.Cond, Sleep), and wrap foreign blocking
+// (channel receives, WaitGroup waits) in clock.Blocking — see the clock
+// package docs for the accounting rules.
 package experiments
 
 import (
@@ -15,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"uavmw/internal/clock"
 	"uavmw/internal/core"
 	"uavmw/internal/filetransfer"
 	"uavmw/internal/metrics"
@@ -72,13 +83,14 @@ func pair(opts ...core.NodeOption) (a, b *core.Node, cleanup func(), err error) 
 }
 
 // waitProviders blocks until node sees n providers of the named resource.
-func waitProviders(node *core.Node, kind naming.Kind, name string, n int, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
+// The poll runs on clk so discovery waits work under a Virtual clock.
+func waitProviders(clk clock.Clock, node *core.Node, kind naming.Kind, name string, n int, timeout time.Duration) error {
+	deadline := clk.Now().Add(timeout)
+	for clk.Now().Before(deadline) {
 		if node.Directory().ProviderCount(kind, name) >= n {
 			return nil
 		}
-		time.Sleep(2 * time.Millisecond)
+		clk.Sleep(2 * time.Millisecond)
 	}
 	return fmt.Errorf("experiments: %s never discovered", name)
 }
@@ -334,12 +346,14 @@ type E3Result struct {
 
 // RunE3 publishes occurrences through the event engine to n subscriber
 // containers in both delivery modes on a fresh netsim and reports wire
-// packet/byte counts.
-func RunE3(subscribers, samples int) (*E3Result, error) {
+// packet/byte counts. A nil clk runs on wall time; pass a Virtual clock
+// (from inside its Run) for a discrete-event run.
+func RunE3(clk clock.Clock, subscribers, samples int) (*E3Result, error) {
+	clk = clock.Or(clk)
 	res := &E3Result{Subscribers: subscribers, Samples: samples}
 
 	run := func(delivery qos.Delivery) (uint64, uint64, error) {
-		net := netsim.New(netsim.Config{Seed: 4, Latency: 200 * time.Microsecond})
+		net := netsim.New(netsim.Config{Seed: 4, Latency: 200 * time.Microsecond, Clock: clk})
 		defer net.Close()
 		// A long announce period keeps heartbeat chatter out of the
 		// measured window; discovery itself is incremental (deltas fire
@@ -350,6 +364,7 @@ func RunE3(subscribers, samples int) (*E3Result, error) {
 				return nil, err
 			}
 			return core.NewNode(
+				core.WithClock(clk),
 				core.WithDatagram(ep),
 				core.WithAnnouncePeriod(2*time.Second),
 				core.WithARQ(protocol.WithTimeout(5*time.Millisecond)),
@@ -375,7 +390,7 @@ func RunE3(subscribers, samples int) (*E3Result, error) {
 		}
 		var delivered atomic.Int64
 		for _, n := range nodes {
-			if err := waitProviders(n, kindEvent, "e3.evt", 1, 5*time.Second); err != nil {
+			if err := waitProviders(clk, n, kindEvent, "e3.evt", 1, 5*time.Second); err != nil {
 				return 0, 0, err
 			}
 			if _, err := n.Events().Subscribe("e3.evt", telemetryType, q,
@@ -383,12 +398,12 @@ func RunE3(subscribers, samples int) (*E3Result, error) {
 				return 0, 0, err
 			}
 		}
-		deadline := time.Now().Add(5 * time.Second)
+		deadline := clk.Now().Add(5 * time.Second)
 		for len(evtPub.Subscribers()) < subscribers {
-			if time.Now().After(deadline) {
+			if clk.Now().After(deadline) {
 				return 0, 0, fmt.Errorf("e3: only %d subscribers registered", len(evtPub.Subscribers()))
 			}
-			time.Sleep(time.Millisecond)
+			clk.Sleep(time.Millisecond)
 		}
 
 		net.ResetWireStats()
@@ -401,12 +416,12 @@ func RunE3(subscribers, samples int) (*E3Result, error) {
 			}
 		}
 		want := int64(samples * subscribers)
-		deadline = time.Now().Add(30 * time.Second)
+		deadline = clk.Now().Add(30 * time.Second)
 		for delivered.Load() < want {
-			if time.Now().After(deadline) {
+			if clk.Now().After(deadline) {
 				return 0, 0, fmt.Errorf("e3: delivered %d of %d", delivered.Load(), want)
 			}
-			time.Sleep(time.Millisecond)
+			clk.Sleep(time.Millisecond)
 		}
 		packets, bytes, _ := net.WireStats()
 		return packets, bytes, nil
@@ -490,7 +505,7 @@ func RunE4(fileBytes, receivers int, loss float64, seed int64) (*E4Result, error
 			return nil, err
 		}
 		for _, s := range subs {
-			if err := waitProviders(s, kindFile, "e4.file", 1, 5*time.Second); err != nil {
+			if err := waitProviders(clock.Real{}, s, kindFile, "e4.file", 1, 5*time.Second); err != nil {
 				cleanup()
 				return nil, err
 			}
@@ -549,7 +564,7 @@ func RunE4(fileBytes, receivers int, loss float64, seed int64) (*E4Result, error
 		for i, s := range subs {
 			st := &recvState{done: make(chan struct{})}
 			states[i] = st
-			if err := waitProviders(s, kindEvent, "e4.chunks", 1, 5*time.Second); err != nil {
+			if err := waitProviders(clock.Real{}, s, kindEvent, "e4.chunks", 1, 5*time.Second); err != nil {
 				return nil, err
 			}
 			if _, err := s.Events().Subscribe("e4.chunks", chunkType, qos.EventQoS{},
@@ -617,7 +632,7 @@ func RunE5(fileBytes, iters int) (*E5Result, error) {
 	if _, err := local.Files().Offer("e5.file", "bench", data, qos.TransferQoS{}); err != nil {
 		return nil, err
 	}
-	if err := waitProviders(remote, kindFile, "e5.file", 1, 5*time.Second); err != nil {
+	if err := waitProviders(clock.Real{}, remote, kindFile, "e5.file", 1, 5*time.Second); err != nil {
 		return nil, err
 	}
 	ctx := context.Background()
@@ -738,7 +753,7 @@ func RunE7(failureDeadline time.Duration) (*E7Result, error) {
 			return nil, err
 		}
 	}
-	if err := waitProviders(client, kindFunction, "e7.fn", 2, 5*time.Second); err != nil {
+	if err := waitProviders(clock.Real{}, client, kindFunction, "e7.fn", 2, 5*time.Second); err != nil {
 		return nil, err
 	}
 

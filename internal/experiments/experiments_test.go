@@ -4,15 +4,24 @@ import (
 	"testing"
 	"time"
 
+	"uavmw/internal/clock"
 	"uavmw/internal/qos"
 )
 
 // The full sweeps run in cmd/uavbench; these are smoke tests proving each
 // harness builds its deployment, measures, and tears down cleanly at tiny
-// parameters.
+// parameters. E3 and E11–E14 run under a Virtual clock — the same way
+// uavbench runs them by default — so they double as regressions for the
+// virtual-time plane: identical protocol semantics at a fraction of the
+// wall time.
 
 func TestRunE3ShapesMatchDeliveryModes(t *testing.T) {
-	res, err := RunE3(2, 10)
+	var res *E3Result
+	_, err := RunVirtual(func(clk clock.Clock) error {
+		var err error
+		res, err = RunE3(clk, 2, 10)
+		return err
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +64,12 @@ func TestRunE11HedgingRescuesStalledPin(t *testing.T) {
 	// complete within the QoS deadline via the redundant provider, where
 	// the unhedged baseline times out.
 	const slow = 400 * time.Millisecond
-	unhedged, err := RunE11(2, 3, false, 0, slow, 11)
+	var unhedged, hedged *E11Result
+	_, err := RunVirtual(func(clk clock.Clock) error {
+		var err error
+		unhedged, err = RunE11(clk, 2, 3, false, 0, slow, 11)
+		return err
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +77,11 @@ func TestRunE11HedgingRescuesStalledPin(t *testing.T) {
 		t.Errorf("unhedged against stalled pin: ok=%d failed=%d, want 0/6",
 			unhedged.OK, unhedged.Failed)
 	}
-	hedged, err := RunE11(2, 3, true, 0, slow, 11)
+	_, err = RunVirtual(func(clk clock.Clock) error {
+		var err error
+		hedged, err = RunE11(clk, 2, 3, true, 0, slow, 11)
+		return err
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +97,12 @@ func TestRunE11HedgingRescuesStalledPin(t *testing.T) {
 }
 
 func TestRunE12DeltaDiscoveryBeatsFullBroadcast(t *testing.T) {
-	res, err := RunE12(4, 25, 5)
+	var res *E12Result
+	_, err := RunVirtual(func(clk clock.Clock) error {
+		var err error
+		res, err = RunE12(clk, 4, 25, 5)
+		return err
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +122,12 @@ func TestRunE12DeltaDiscoveryBeatsFullBroadcast(t *testing.T) {
 }
 
 func TestRunE12ChurnHealsViaSync(t *testing.T) {
-	res, err := RunE12Churn(3, 10, 20, 6)
+	var res *E12ChurnResult
+	_, err := RunVirtual(func(clk clock.Clock) error {
+		var err error
+		res, err = RunE12Churn(clk, 3, 10, 20, 6)
+		return err
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +163,12 @@ func TestRunE5LocalBypassIsCheaper(t *testing.T) {
 // matters: flood ≫ unloaded, shaped ≈ unloaded.
 func TestRunE13EgressFixesPriorityInversion(t *testing.T) {
 	const linkBPS = 125_000
-	res, err := RunE13(64*1024, linkBPS, 50, 7)
+	var res *E13Result
+	_, err := RunVirtual(func(clk clock.Clock) error {
+		var err error
+		res, err = RunE13(clk, 64*1024, linkBPS, 50, 7)
+		return err
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,10 +208,17 @@ func TestRunE13EgressFixesPriorityInversion(t *testing.T) {
 // and the single-bearer baseline loses alarms for the bulk of the
 // blackout.
 func TestRunE14BearerHandoverKeepsCriticalAlive(t *testing.T) {
-	res, err := RunE14(96*1024, 400*time.Millisecond, 14)
+	var res *E14Result
+	el, err := RunVirtual(func(clk clock.Clock) error {
+		var err error
+		res, err = RunE14(clk, 96*1024, 400*time.Millisecond, 14)
+		return err
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Logf("e14 virtual: %v of scenario time in %v of wall time (%.0fx)",
+		el.Virtual, el.Wall, el.Speedup())
 	if res.Unloaded.Count() == 0 {
 		t.Fatal("no unloaded baseline measured")
 	}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"uavmw/internal/clock"
 	"uavmw/internal/core"
 	"uavmw/internal/metrics"
 	"uavmw/internal/netsim"
@@ -44,7 +45,8 @@ type E11Result struct {
 // slowDelay beyond the deadline, un-hedged calls burn their whole budget
 // on the stalled pin; hedged calls dispatch speculatively to the fast
 // replica after 20% of the deadline and win.
-func RunE11(callers, callsPerCaller int, hedged bool, loss float64, slowDelay time.Duration, seed int64) (*E11Result, error) {
+func RunE11(clk clock.Clock, callers, callsPerCaller int, hedged bool, loss float64, slowDelay time.Duration, seed int64) (*E11Result, error) {
+	clk = clock.Or(clk)
 	const deadline = 250 * time.Millisecond
 	res := &E11Result{
 		Callers:   callers,
@@ -55,7 +57,7 @@ func RunE11(callers, callsPerCaller int, hedged bool, loss float64, slowDelay ti
 		Latency:   &metrics.Histogram{},
 	}
 
-	net := netsim.New(netsim.Config{Loss: loss, Seed: seed, Latency: 300 * time.Microsecond})
+	net := netsim.New(netsim.Config{Loss: loss, Seed: seed, Latency: 300 * time.Microsecond, Clock: clk})
 	defer net.Close()
 	mk := func(id transport.NodeID) (*core.Node, error) {
 		ep, err := net.Node(id)
@@ -63,6 +65,7 @@ func RunE11(callers, callsPerCaller int, hedged bool, loss float64, slowDelay ti
 			return nil, err
 		}
 		return core.NewNode(
+			core.WithClock(clk),
 			core.WithDatagram(ep),
 			core.WithAnnouncePeriod(2*time.Second), // deltas announce registrations; heartbeats stay out of the way
 			core.WithARQ(protocol.WithTimeout(4*time.Millisecond), protocol.WithMaxRetries(15)),
@@ -88,7 +91,7 @@ func RunE11(callers, callsPerCaller int, hedged bool, loss float64, slowDelay ti
 	if err := slow.RPC().Register("e11.fn", "bench", nil, retT, qos.CallQoS{},
 		func(any) (any, error) {
 			if slowDelay > 0 {
-				time.Sleep(slowDelay)
+				clk.Sleep(slowDelay)
 			}
 			return "a-slow", nil
 		}); err != nil {
@@ -98,7 +101,7 @@ func RunE11(callers, callsPerCaller int, hedged bool, loss float64, slowDelay ti
 		func(any) (any, error) { return "b-fast", nil }); err != nil {
 		return nil, err
 	}
-	if err := waitProviders(client, kindFunction, "e11.fn", 2, 5*time.Second); err != nil {
+	if err := waitProviders(clk, client, kindFunction, "e11.fn", 2, 5*time.Second); err != nil {
 		return nil, err
 	}
 
@@ -121,15 +124,15 @@ func RunE11(callers, callsPerCaller int, hedged bool, loss float64, slowDelay ti
 		ctx     = context.Background()
 		callErr error
 	)
-	start := time.Now()
+	start := clk.Now()
 	for c := 0; c < callers; c++ {
 		wg.Add(1)
-		go func() {
+		clock.Go(clk, func() {
 			defer wg.Done()
 			local := tally{}
 			localLats := make([]time.Duration, 0, callsPerCaller)
 			for i := 0; i < callsPerCaller; i++ {
-				t0 := time.Now()
+				t0 := clk.Now()
 				_, err := client.RPC().Call(ctx, "e11.fn", nil, nil, retT, q)
 				if err != nil {
 					if !errors.Is(err, rpc.ErrDeadline) && !errors.Is(err, rpc.ErrAllProvidersFailed) {
@@ -144,17 +147,21 @@ func RunE11(callers, callsPerCaller int, hedged bool, loss float64, slowDelay ti
 					continue
 				}
 				local.ok++
-				localLats = append(localLats, time.Since(t0))
+				localLats = append(localLats, clk.Since(t0))
 			}
 			mu.Lock()
 			totals.ok += local.ok
 			totals.failed += local.failed
 			lats = append(lats, localLats...)
 			mu.Unlock()
-		}()
+		})
 	}
-	wg.Wait()
-	res.Wall = time.Since(start)
+	// Caller goroutines are registered with the clock so their measured
+	// windows (t0 -> reply) cannot have virtual time advance underneath the
+	// dispatch work; the coordinator itself must not stall virtual time
+	// while it waits for them.
+	clock.Blocking(clk, wg.Wait)
+	res.Wall = clk.Since(start)
 	if callErr != nil {
 		return nil, callErr
 	}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"testing"
+
+	"uavmw/internal/clock"
+)
+
+// Two virtual runs of the same scenario with the same seed must produce
+// byte-identical results: the clock starts at the same epoch, the netsim
+// medium draws from the same seeded stream, and event order is serialized
+// by the clock — so every measured field (wire bytes, packet counts,
+// convergence latencies) lands on exactly the same value. This is the
+// regression for the determinism property itself; any time.Now or
+// unmanaged wake-up sneaking back into a measured path shows up here as
+// a flaky diff.
+func TestVirtualRunsAreDeterministic(t *testing.T) {
+	run := func() E12Result {
+		var res *E12Result
+		_, err := RunVirtual(func(clk clock.Clock) error {
+			var err error
+			res, err = RunE12(clk, 4, 25, 12)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return *res
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different results:\n  first:  %+v\n  second: %+v", a, b)
+	}
+}
+
+// The 256-node discovery scenario exists only because of the virtual
+// clock: its announce period is 1s and the staggered bootstrap alone
+// paces out minutes of scenario time, which under real time would be a
+// minutes-long test. Under virtual time the fleet must boot, converge,
+// settle to heartbeat-only wire cost, and propagate a fresh offer in
+// well under a period.
+func TestE12ScaleConverges256Nodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-node fleet is the CI-scale scenario; skipped in -short")
+	}
+	var res *E12ScaleResult
+	el, err := RunVirtual(func(clk clock.Clock) error {
+		var err error
+		res, err = RunE12Scale(clk, 256, 2, 256)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("e12 scale: boot %v, steady %.0f pkts/period, converge %v; %v of scenario in %v of wall (%.0fx)",
+		res.BootConverge, res.SteadyPacketsPerPeriod, res.Converge,
+		el.Virtual, el.Wall, el.Speedup())
+	if res.Converge >= res.AnnouncePeriod {
+		t.Errorf("fresh offer converged in %v, want under one announce period (%v)",
+			res.Converge, res.AnnouncePeriod)
+	}
+	// Steady state is heartbeat digests: one multicast per node per
+	// period, with a small allowance for residual repair traffic.
+	if res.SteadyPacketsPerPeriod > float64(res.Nodes)*1.5 {
+		t.Errorf("steady wire cost %.0f pkts/period for %d nodes: fleet did not settle to heartbeats",
+			res.SteadyPacketsPerPeriod, res.Nodes)
+	}
+}

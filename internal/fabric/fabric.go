@@ -8,6 +8,8 @@ package fabric
 import (
 	"time"
 
+	"uavmw/internal/clock"
+
 	"uavmw/internal/encoding"
 	"uavmw/internal/naming"
 	"uavmw/internal/protocol"
@@ -101,6 +103,15 @@ type ReliableOpts struct {
 // instrumented test fabrics keep working unchanged.
 type TunedSender interface {
 	SendReliableTuned(to transport.NodeID, f *protocol.Frame, rel qos.Reliability, opts ReliableOpts, done func(error))
+}
+
+// Clocked is optionally implemented by fabrics that run on an injectable
+// time source. Engines feature-test for it and pace their loops on the
+// same clock as the container, so a node built on a virtual clock carries
+// every layer's timing with it; absent, engines default to the wall clock
+// and test fabrics keep working unchanged.
+type Clocked interface {
+	Clock() clock.Clock
 }
 
 // Group naming scheme shared by engines and the container.

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"uavmw/internal/clock"
 	"uavmw/internal/encoding"
 	"uavmw/internal/fabric"
 	"uavmw/internal/naming"
@@ -63,7 +64,8 @@ const (
 
 // Engine is the per-container file-transfer runtime.
 type Engine struct {
-	f fabric.Fabric
+	f   fabric.Fabric
+	clk clock.Clock
 
 	queryWindow time.Duration
 	maxStrikes  int
@@ -97,10 +99,18 @@ func WithMaxStrikes(n int) Option {
 	}
 }
 
-// New builds the engine for a container.
+// New builds the engine for a container. The engine paces its transfer
+// rounds on the fabric's clock when the fabric exposes one
+// (fabric.Clocked), so virtual-time containers carry file-transfer timing
+// with them.
 func New(f fabric.Fabric, opts ...Option) *Engine {
+	var clk clock.Clock
+	if c, ok := f.(fabric.Clocked); ok {
+		clk = c.Clock()
+	}
 	e := &Engine{
 		f:           f,
+		clk:         clock.Or(clk),
 		queryWindow: DefaultQueryWindow,
 		maxStrikes:  DefaultMaxStrikes,
 		offers:      make(map[string]*Offer),
@@ -283,14 +293,7 @@ func (o *Offer) sleep(d time.Duration) bool {
 	if d <= 0 {
 		return true
 	}
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-o.stop:
-		return false
-	case <-t.C:
-		return true
-	}
+	return clock.SleepStop(o.engine.clk, d, o.stop)
 }
 
 // announce multicasts resource metadata (phase 1).
@@ -324,7 +327,7 @@ func (o *Offer) addSubscriber(node transport.NodeID) {
 	}
 	o.mu.Unlock()
 	if start {
-		go o.transferLoop()
+		clock.Go(o.engine.clk, o.transferLoop)
 	} else {
 		o.kick()
 	}
@@ -385,7 +388,7 @@ func (o *Offer) transferLoop() {
 				continue
 			}
 			if o.q.RateBPS > 0 {
-				if now := time.Now(); nextSend.After(now) {
+				if now := e.clk.Now(); nextSend.After(now) {
 					if !o.sleep(nextSend.Sub(now)) {
 						aborted = true
 						break
@@ -589,14 +592,22 @@ func (e *Engine) Fetch(ctx context.Context, name string, opts FetchOptions) ([]b
 		return nil, 0, err
 	}
 
-	select {
-	case <-st.done:
-		st.mu.Lock()
-		defer st.mu.Unlock()
-		return st.data, st.revision, nil
-	case <-ctx.Done():
+	// Completion arrives from the network; a virtual-clock caller parks
+	// through the clock so delivery time keeps advancing while it waits.
+	var complete bool
+	clock.Blocking(e.clk, func() {
+		select {
+		case <-st.done:
+			complete = true
+		case <-ctx.Done():
+		}
+	})
+	if !complete {
 		return nil, 0, fmt.Errorf("filetransfer: fetch %q: %w", name, ctx.Err())
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.data, st.revision, nil
 }
 
 func (e *Engine) subscribeToProvider(ctx context.Context, st *fetchState) error {
@@ -618,10 +629,8 @@ func (e *Engine) subscribeToProvider(ctx context.Context, st *fetchState) error 
 			e.f.SendReliable(rec.Node, frame, qos.ReliableARQ, nil)
 			return nil
 		}
-		select {
-		case <-ctx.Done():
+		if !clock.SleepStop(e.clk, 10*time.Millisecond, ctx.Done()) {
 			return fmt.Errorf("filetransfer: fetch %q: %w", st.name, ErrNoProvider)
-		case <-time.After(10 * time.Millisecond):
 		}
 	}
 }
@@ -662,17 +671,23 @@ func (e *Engine) Watch(ctx context.Context, name string, opts FetchOptions, cb f
 			have = rev
 			cb(data, rev)
 		}
-		// Wait for a newer revision.
-	waitNewer:
-		for {
-			select {
-			case rev := <-notify:
-				if rev > have {
-					break waitNewer
+		// Wait for a newer revision (parking through the clock, as above).
+		var ended bool
+		clock.Blocking(e.clk, func() {
+			for {
+				select {
+				case rev := <-notify:
+					if rev > have {
+						return
+					}
+				case <-ctx.Done():
+					ended = true
+					return
 				}
-			case <-ctx.Done():
-				return nil
 			}
+		})
+		if ended {
+			return nil
 		}
 	}
 }

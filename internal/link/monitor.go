@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"uavmw/internal/clock"
 	"uavmw/internal/transport"
 )
 
@@ -41,10 +42,13 @@ const probeExpiry = 10 * time.Second
 const rttAlpha = 0.25
 
 // Monitor tracks one bearer's health. All methods are safe for concurrent
-// use; time flows in via arguments so tests control the clock.
+// use; observation instants flow in via arguments, and callers take them
+// from the same injected clock the monitor was built against — one time
+// source for birth, probe cadence and health windows, wall or virtual.
 type Monitor struct {
 	name     string
 	deadline time.Duration
+	clk      clock.Clock
 
 	mu        sync.Mutex
 	birth     time.Time
@@ -60,19 +64,26 @@ type Monitor struct {
 	lastProbe time.Time
 }
 
-// NewMonitor builds a monitor for the named bearer. deadline is how long
-// the bearer may stay silent before it is reported unhealthy — the same
-// failure-deadline vocabulary the container uses for peer liveness, applied
-// per link.
-func NewMonitor(name string, deadline time.Duration, now time.Time) *Monitor {
+// NewMonitor builds a monitor for the named bearer against the given
+// clock (nil means the wall clock); birth is the clock's current instant.
+// deadline is how long the bearer may stay silent before it is reported
+// unhealthy — the same failure-deadline vocabulary the container uses for
+// peer liveness, applied per link.
+func NewMonitor(name string, deadline time.Duration, clk clock.Clock) *Monitor {
+	clk = clock.Or(clk)
 	return &Monitor{
 		name:     name,
 		deadline: deadline,
-		birth:    now,
+		clk:      clk,
+		birth:    clk.Now(),
 		peers:    make(map[transport.NodeID]time.Time),
 		probes:   make(map[uint64]time.Time),
 	}
 }
+
+// Clock is the time source the monitor was built against; the container
+// takes its observation instants from it.
+func (m *Monitor) Clock() clock.Clock { return m.clk }
 
 // Name returns the bearer name.
 func (m *Monitor) Name() string { return m.name }

@@ -3,12 +3,20 @@ package link
 import (
 	"testing"
 	"time"
+
+	"uavmw/internal/clock"
 )
 
 var t0 = time.Date(2026, 1, 1, 12, 0, 0, 0, time.UTC)
 
+// newTestMonitor builds a monitor born at t0 on a virtual clock; the
+// tests then probe its windows with explicit instants.
+func newTestMonitor(name string, deadline time.Duration) *Monitor {
+	return NewMonitor(name, deadline, clock.NewVirtualAt(t0))
+}
+
 func TestHealthyOptimisticAtBirthThenDecays(t *testing.T) {
-	m := NewMonitor("wifi", time.Second, t0)
+	m := newTestMonitor("wifi", time.Second)
 	if !m.Healthy(t0) {
 		t.Error("fresh monitor should be healthy")
 	}
@@ -21,7 +29,7 @@ func TestHealthyOptimisticAtBirthThenDecays(t *testing.T) {
 }
 
 func TestRxRefreshesHealthAndPeerPresence(t *testing.T) {
-	m := NewMonitor("wifi", time.Second, t0)
+	m := newTestMonitor("wifi", time.Second)
 	at := t0.Add(5 * time.Second)
 	m.SawRx("gs", at)
 	if !m.Healthy(at.Add(time.Second)) {
@@ -46,7 +54,7 @@ func TestRxRefreshesHealthAndPeerPresence(t *testing.T) {
 }
 
 func TestProbeRoundTripFeedsRTT(t *testing.T) {
-	m := NewMonitor("radio", time.Second, t0)
+	m := newTestMonitor("radio", time.Second)
 	n1 := m.NextProbe(t0)
 	rtt, ok := m.ProbeEchoed(n1, t0.Add(80*time.Millisecond))
 	if !ok || rtt != 80*time.Millisecond {
@@ -73,7 +81,7 @@ func TestProbeRoundTripFeedsRTT(t *testing.T) {
 }
 
 func TestProbeLossAccounting(t *testing.T) {
-	m := NewMonitor("radio", time.Second, t0)
+	m := newTestMonitor("radio", time.Second)
 	n1 := m.NextProbe(t0)
 	m.NextProbe(t0) // never echoed
 	if _, ok := m.ProbeEchoed(n1, t0.Add(time.Millisecond)); !ok {
@@ -89,7 +97,7 @@ func TestProbeLossAccounting(t *testing.T) {
 }
 
 func TestProbeTableBounded(t *testing.T) {
-	m := NewMonitor("radio", time.Second, t0)
+	m := newTestMonitor("radio", time.Second)
 	var first uint64
 	for i := 0; i < maxOutstandingProbes+10; i++ {
 		n := m.NextProbe(t0)
@@ -107,7 +115,7 @@ func TestProbeTableBounded(t *testing.T) {
 }
 
 func TestIdle(t *testing.T) {
-	m := NewMonitor("wifi", time.Second, t0)
+	m := newTestMonitor("wifi", time.Second)
 	if m.Idle(t0.Add(99*time.Millisecond), 100*time.Millisecond) {
 		t.Error("not yet idle")
 	}
@@ -121,7 +129,7 @@ func TestIdle(t *testing.T) {
 }
 
 func TestProbeExpiryRetiresStaleNonces(t *testing.T) {
-	m := NewMonitor("radio", time.Second, t0)
+	m := newTestMonitor("radio", time.Second)
 	stale := m.NextProbe(t0)
 	fresh := m.NextProbe(t0.Add(probeExpiry + time.Second))
 	if _, ok := m.ProbeEchoed(stale, t0.Add(probeExpiry+2*time.Second)); ok {

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"uavmw/internal/clock"
 	"uavmw/internal/transport"
 )
 
@@ -42,6 +43,10 @@ type Config struct {
 	// BandwidthBPS caps each sender's transmission rate in bytes/second;
 	// 0 means unlimited.
 	BandwidthBPS int64
+	// Clock is the time source driving serialization and delivery; nil
+	// means the wall clock. Pass a *clock.Virtual to run the whole medium
+	// in discrete-event time.
+	Clock clock.Clock
 }
 
 // LinkConfig overrides Config for one directed sender→receiver pair.
@@ -74,6 +79,7 @@ func InheritLink() LinkConfig { return LinkConfig{Loss: -1, Duplicate: -1} }
 // SetLink/Partition, and Close when done.
 type Net struct {
 	cfg Config
+	clk clock.Clock
 
 	mu        sync.Mutex
 	rng       *rand.Rand
@@ -87,9 +93,9 @@ type Net struct {
 	seq       uint64 // tiebreaker for equal delivery times
 	closed    bool
 
-	wake chan struct{}
-	done chan struct{}
-	wg   sync.WaitGroup
+	trigger clock.Trigger
+	done    chan struct{}
+	wg      sync.WaitGroup
 
 	wirePackets atomic.Uint64
 	wireBytes   atomic.Uint64
@@ -108,6 +114,7 @@ func New(cfg Config) *Net {
 	}
 	n := &Net{
 		cfg:       cfg,
+		clk:       clock.Or(cfg.Clock),
 		rng:       rand.New(rand.NewSource(seed)),
 		nodes:     make(map[transport.NodeID]*Node),
 		groups:    make(map[string]map[transport.NodeID]*Node),
@@ -115,13 +122,16 @@ func New(cfg Config) *Net {
 		nextFree:  make(map[transport.NodeID]time.Time),
 		linkFree:  make(map[linkKey]time.Time),
 		linkStats: make(map[linkKey]*LinkStats),
-		wake:      make(chan struct{}, 1),
 		done:      make(chan struct{}),
 	}
+	n.trigger = clock.NewTrigger(n.clk)
 	n.wg.Add(1)
-	go n.run()
+	clock.Go(n.clk, n.run)
 	return n
 }
+
+// Clock is the time source the medium runs on.
+func (n *Net) Clock() clock.Clock { return n.clk }
 
 // Node attaches a new node to the medium.
 func (n *Net) Node(id transport.NodeID) (*Node, error) {
@@ -231,7 +241,7 @@ func (n *Net) Close() {
 	n.closed = true
 	n.mu.Unlock()
 	close(n.done)
-	n.wg.Wait()
+	clock.Blocking(n.clk, n.wg.Wait)
 }
 
 // event is one scheduled delivery.
@@ -264,64 +274,39 @@ func (h *eventHeap) Pop() any {
 }
 
 // run is the single delivery goroutine: it pops events in timestamp order
-// and invokes receiver handlers.
+// and invokes receiver handlers. It parks on the clock between events, so
+// under a Virtual clock the whole medium is discrete-event driven.
 func (n *Net) run() {
 	defer n.wg.Done()
-	timer := time.NewTimer(time.Hour)
-	defer timer.Stop()
 	for {
 		n.mu.Lock()
-		var next *event
-		if len(n.events) > 0 {
-			next = n.events[0]
+		var due []*event
+		wait := time.Duration(-1)
+		now := n.clk.Now()
+		for len(n.events) > 0 {
+			next := n.events[0]
+			if d := next.at.Sub(now); d > 0 {
+				wait = d
+				break
+			}
+			heap.Pop(&n.events)
+			due = append(due, next)
 		}
 		n.mu.Unlock()
 
-		if next == nil {
-			select {
-			case <-n.done:
-				return
-			case <-n.wake:
-				continue
+		if len(due) > 0 {
+			for _, ev := range due {
+				ev.dst.deliver(ev.pkt, ev.dupe)
 			}
-		}
-
-		delay := time.Until(next.at)
-		if delay > 0 {
-			if !timer.Stop() {
-				select {
-				case <-timer.C:
-				default:
-				}
-			}
-			timer.Reset(delay)
-			select {
-			case <-n.done:
-				return
-			case <-n.wake:
-				continue // earlier event may have arrived
-			case <-timer.C:
-			}
-		}
-
-		n.mu.Lock()
-		if len(n.events) == 0 || n.events[0] != next {
-			n.mu.Unlock()
 			continue
 		}
-		heap.Pop(&n.events)
-		n.mu.Unlock()
-
-		next.dst.deliver(next.pkt, next.dupe)
+		if !n.trigger.Wait(wait, n.done) {
+			return
+		}
 	}
 }
 
-func (n *Net) signal() {
-	select {
-	case n.wake <- struct{}{}:
-	default:
-	}
-}
+func (n *Net) signal() { n.trigger.Signal() }
 
 // linkFor resolves effective parameters for a directed pair. bw is the
 // per-link serialization rate (0 = none beyond the sender-wide cap).
@@ -350,7 +335,7 @@ func (n *Net) linkFor(from, to transport.NodeID) (latency, jitter time.Duration,
 // transmit schedules delivery of payload from src to each receiver. Called
 // with the medium occupied once (multicast) regardless of receiver count.
 func (n *Net) transmit(src *Node, receivers []*Node, pkt transport.Packet) {
-	now := time.Now()
+	now := n.clk.Now()
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.closed {

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"uavmw/internal/clock"
 	"uavmw/internal/transport"
 )
 
@@ -23,6 +24,7 @@ import (
 // the messages behind it — the efficiency argument experiment E2 measures.
 type ARQ struct {
 	send       SendFunc
+	clk        clock.Clock
 	timeout    time.Duration
 	maxRetries int
 	backoff    float64
@@ -48,7 +50,7 @@ type arqKey struct {
 
 type arqPending struct {
 	frame   []byte
-	timer   *time.Timer
+	timer   clock.Timer
 	retries int
 	result  ResultFunc
 	done    bool
@@ -130,6 +132,16 @@ func WithMaxRetries(n int) ARQOption {
 	}
 }
 
+// WithClock sets the time source for retransmission timers (default:
+// the wall clock).
+func WithClock(c clock.Clock) ARQOption {
+	return func(a *ARQ) {
+		if c != nil {
+			a.clk = c
+		}
+	}
+}
+
 // WithBackoff sets the timeout multiplier between attempts (>= 1).
 func WithBackoff(f float64) ARQOption {
 	return func(a *ARQ) {
@@ -143,6 +155,7 @@ func WithBackoff(f float64) ARQOption {
 func NewARQ(send SendFunc, opts ...ARQOption) *ARQ {
 	a := &ARQ{
 		send:       send,
+		clk:        clock.Real{},
 		timeout:    DefaultARQTimeout,
 		maxRetries: DefaultARQRetries,
 		backoff:    defaultARQBackoff,
@@ -179,7 +192,7 @@ func (a *ARQ) SendTuned(to transport.NodeID, seq uint64, frame []byte, tune Send
 		return fmt.Errorf("protocol: duplicate in-flight seq %d to %q", seq, to)
 	}
 	a.pending[key] = p
-	p.timer = time.AfterFunc(a.timeoutFor(p), func() { a.retransmit(key, 1) })
+	p.timer = a.clk.AfterFunc(a.timeoutFor(p), func() { a.retransmit(key, 1) })
 	a.mu.Unlock()
 
 	a.stats.sent.Add(1)
@@ -214,7 +227,7 @@ func (a *ARQ) retransmit(key arqKey, attempt int) {
 		delay = time.Duration(float64(delay) * a.backoff)
 	}
 	p.retries++
-	p.timer = time.AfterFunc(delay, func() { a.retransmit(key, attempt+1) })
+	p.timer = a.clk.AfterFunc(delay, func() { a.retransmit(key, attempt+1) })
 	a.mu.Unlock()
 
 	a.stats.retransmits.Add(1)

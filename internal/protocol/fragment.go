@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"uavmw/internal/clock"
 	"uavmw/internal/encoding"
 	"uavmw/internal/transport"
 )
@@ -74,6 +75,7 @@ func Fragment(raw []byte, msgID uint64, mtu int) ([][]byte, error) {
 // fragments cannot pin memory.
 type Reassembler struct {
 	ttl time.Duration
+	clk clock.Clock
 
 	mu      sync.Mutex
 	pending map[reasmKey]*reasmState
@@ -94,13 +96,15 @@ type reasmState struct {
 const DefaultReassemblyTTL = 5 * time.Second
 
 // NewReassembler builds a reassembler with the given partial-message TTL
-// (0 means DefaultReassemblyTTL).
-func NewReassembler(ttl time.Duration) *Reassembler {
+// (0 means DefaultReassemblyTTL). clk is the time source for expiry; nil
+// means the wall clock.
+func NewReassembler(ttl time.Duration, clk clock.Clock) *Reassembler {
 	if ttl <= 0 {
 		ttl = DefaultReassemblyTTL
 	}
 	return &Reassembler{
 		ttl:     ttl,
+		clk:     clock.Or(clk),
 		pending: make(map[reasmKey]*reasmState),
 	}
 }
@@ -126,7 +130,7 @@ func (ra *Reassembler) Offer(from transport.NodeID, f *Frame) ([]byte, error) {
 
 	ra.mu.Lock()
 	defer ra.mu.Unlock()
-	now := time.Now()
+	now := ra.clk.Now()
 	ra.expireLocked(now)
 
 	key := reasmKey{from: from, msgID: msgID}

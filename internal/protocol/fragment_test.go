@@ -32,7 +32,7 @@ func TestFragmentReassembleRoundTrip(t *testing.T) {
 		if len(frags) < 2 {
 			t.Fatalf("size %d produced %d fragments", size, len(frags))
 		}
-		ra := NewReassembler(0)
+		ra := NewReassembler(0, nil)
 		var out []byte
 		for i, fr := range frags {
 			f, err := DecodeFrame(fr)
@@ -71,7 +71,7 @@ func TestFragmentReassembleOutOfOrderAndDuplicates(t *testing.T) {
 	}
 	// Shuffle and duplicate every fragment.
 	order := rand.New(rand.NewSource(9)).Perm(len(frags))
-	ra := NewReassembler(0)
+	ra := NewReassembler(0, nil)
 	var out []byte
 	offered := 0
 	for _, idx := range order {
@@ -99,7 +99,7 @@ func TestFragmentReassembleOutOfOrderAndDuplicates(t *testing.T) {
 func TestFragmentSenderIsolation(t *testing.T) {
 	raw := make([]byte, 3000)
 	frags, _ := Fragment(raw, 5, 1400)
-	ra := NewReassembler(0)
+	ra := NewReassembler(0, nil)
 	// Same msgID from two senders must not cross-pollinate.
 	f0, _ := DecodeFrame(frags[0])
 	if got, _ := ra.Offer("a", f0); got != nil {
@@ -123,7 +123,7 @@ func TestFragmentSenderIsolation(t *testing.T) {
 func TestFragmentTTLExpiry(t *testing.T) {
 	raw := make([]byte, 3000)
 	frags, _ := Fragment(raw, 11, 1400)
-	ra := NewReassembler(10 * time.Millisecond)
+	ra := NewReassembler(10*time.Millisecond, nil)
 	f0, _ := DecodeFrame(frags[0])
 	if _, err := ra.Offer("a", f0); err != nil {
 		t.Fatal(err)
@@ -144,7 +144,7 @@ func TestFragmentTTLExpiry(t *testing.T) {
 }
 
 func TestFragmentBadInputs(t *testing.T) {
-	ra := NewReassembler(0)
+	ra := NewReassembler(0, nil)
 	// Non-fragment frame.
 	if _, err := ra.Offer("a", &Frame{Type: MTEvent}); err == nil {
 		t.Error("non-fragment frame must fail")

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"uavmw/internal/clock"
 	"uavmw/internal/encoding"
 	"uavmw/internal/transport"
 )
@@ -25,13 +26,14 @@ type GoBackN struct {
 	peer    transport.NodeID
 	window  int
 	timeout time.Duration
+	clk     clock.Clock
 
 	mu       sync.Mutex
 	sendBase uint64 // lowest unacked seq
 	nextSeq  uint64
 	buf      map[uint64][]byte // unacked messages
 	pending  [][]byte          // waiting for window space
-	timer    *time.Timer
+	timer    clock.Timer
 	closed   bool
 
 	recvNext uint64 // next in-order seq expected
@@ -70,24 +72,42 @@ var ErrGBNClosed = errors.New("gbn stream closed")
 // DefaultGBNWindow is the sender window size in messages.
 const DefaultGBNWindow = 32
 
+// GBNOption customizes a stream.
+type GBNOption func(*GoBackN)
+
+// WithGBNClock sets the time source for the retransmission timer
+// (default: the wall clock).
+func WithGBNClock(c clock.Clock) GBNOption {
+	return func(g *GoBackN) {
+		if c != nil {
+			g.clk = c
+		}
+	}
+}
+
 // NewGoBackN builds one direction of a stream to peer. deliver receives
 // messages strictly in send order.
-func NewGoBackN(peer transport.NodeID, send SendFunc, deliver func([]byte), timeout time.Duration, window int) *GoBackN {
+func NewGoBackN(peer transport.NodeID, send SendFunc, deliver func([]byte), timeout time.Duration, window int, opts ...GBNOption) *GoBackN {
 	if timeout <= 0 {
 		timeout = DefaultARQTimeout
 	}
 	if window <= 0 {
 		window = DefaultGBNWindow
 	}
-	return &GoBackN{
+	g := &GoBackN{
 		send:    send,
 		peer:    peer,
 		window:  window,
 		timeout: timeout,
+		clk:     clock.Real{},
 		buf:     make(map[uint64][]byte),
 		recvBuf: make(map[uint64][]byte),
 		deliver: deliver,
 	}
+	for _, opt := range opts {
+		opt(g)
+	}
+	return g
 }
 
 // Stats snapshots the counters.
@@ -123,7 +143,7 @@ func (g *GoBackN) transmitLocked(msg []byte) {
 	g.buf[seq] = cp
 	g.stats.Sent++
 	if g.timer == nil {
-		g.timer = time.AfterFunc(g.timeout, g.onTimeout)
+		g.timer = g.clk.AfterFunc(g.timeout, g.onTimeout)
 	}
 	g.rawSend(gbnData, seq, cp)
 }
@@ -157,7 +177,7 @@ func (g *GoBackN) onTimeout() {
 		}
 	}
 	g.stats.Retransmits += uint64(len(frames))
-	g.timer = time.AfterFunc(g.timeout, g.onTimeout)
+	g.timer = g.clk.AfterFunc(g.timeout, g.onTimeout)
 	g.mu.Unlock()
 	for _, f := range frames {
 		g.rawSend(gbnData, f.seq, f.msg)

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"uavmw/internal/clock"
 	"uavmw/internal/encoding"
 	"uavmw/internal/fabric"
 	"uavmw/internal/naming"
@@ -96,7 +97,8 @@ type pendingShard struct {
 
 // Engine is the per-container remote-invocation runtime.
 type Engine struct {
-	f fabric.Fabric
+	f   fabric.Fabric
+	clk clock.Clock
 
 	regMu     sync.Mutex
 	functions map[string]*registration
@@ -124,8 +126,33 @@ type registration struct {
 	calls   atomic.Uint64
 }
 
+// pendingCall carries one in-flight remote attempt's reply slot. The
+// completer stores the result and signals the trigger — under a Virtual
+// clock the Signal releases the waiting attempt's parked count inside the
+// clock lock, so virtual time cannot advance past a just-delivered reply
+// (a raw channel send would leave the waiter invisible to the clock while
+// it is runnable, letting time jump to the call deadline underneath it).
 type pendingCall struct {
-	done chan callResult
+	trig clock.Trigger
+	mu   sync.Mutex
+	res  *callResult
+}
+
+// complete delivers res; only the first result wins (a busy shed racing a
+// late success, say).
+func (pc *pendingCall) complete(res callResult) {
+	pc.mu.Lock()
+	if pc.res == nil {
+		pc.res = &res
+	}
+	pc.mu.Unlock()
+	pc.trig.Signal()
+}
+
+func (pc *pendingCall) take() *callResult {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.res
 }
 
 type callResult struct {
@@ -133,13 +160,19 @@ type callResult struct {
 	appErr   string
 	infraErr bool
 	busy     bool
+	sendErr  error // reliable-send failure before any reply
 	from     transport.NodeID
 }
 
 // New builds the engine for a container.
 func New(f fabric.Fabric) *Engine {
+	clk := clock.Clock(clock.Real{})
+	if c, ok := f.(fabric.Clocked); ok {
+		clk = clock.Or(c.Clock())
+	}
 	e := &Engine{
 		f:         f,
+		clk:       clk,
 		functions: make(map[string]*registration),
 		pins:      make(map[string]transport.NodeID),
 	}
@@ -260,9 +293,16 @@ func (e *Engine) Call(ctx context.Context, name string, args any, argType, retTy
 	if deadline <= 0 {
 		deadline = DefaultCallDeadline
 	}
+	// The call deadline rides the injected clock (not context.WithTimeout,
+	// which only knows wall time): a timer cancels the context when the
+	// clock says the budget is spent, so virtual-time runs see the same
+	// deadline behaviour as real ones.
 	var cancel context.CancelFunc
-	ctx, cancel = context.WithTimeout(ctx, deadline)
+	ctx, cancel = context.WithCancel(ctx)
 	defer cancel()
+	dlAt := e.clk.Now().Add(deadline)
+	dlTimer := e.clk.AfterFunc(deadline, cancel)
+	defer dlTimer.Stop()
 
 	// Encode arguments once.
 	var payload []byte
@@ -288,7 +328,6 @@ func (e *Engine) Call(ctx context.Context, name string, args any, argType, retTy
 	}
 
 	tried := make(map[transport.NodeID]bool)
-	results := make(chan attemptOutcome, 8)
 	var cancels []context.CancelFunc
 	defer func() {
 		for _, c := range cancels {
@@ -301,8 +340,32 @@ func (e *Engine) Call(ctx context.Context, name string, args any, argType, retTy
 		appErr  error // first application error; held until the race settles
 	)
 
+	// Attempt outcomes arrive through a trigger-signalled queue rather than
+	// a raw channel: under a Virtual clock the Signal wakes this goroutine
+	// with its parked count released inside the clock lock, so time cannot
+	// advance between an outcome landing and the race loop acting on it.
+	var (
+		outMu    sync.Mutex
+		outcomes []attemptOutcome
+	)
+	trig := clock.NewTrigger(e.clk)
+	report := func(out attemptOutcome) {
+		outMu.Lock()
+		outcomes = append(outcomes, out)
+		outMu.Unlock()
+		trig.Signal()
+	}
+	drain := func() []attemptOutcome {
+		outMu.Lock()
+		batch := outcomes
+		outcomes = nil
+		outMu.Unlock()
+		return batch
+	}
+
 	// launch dispatches one attempt against the next untried provider;
-	// it reports the selection error when none remains.
+	// it reports the selection error when none remains. Attempts are
+	// registered with the clock: their dispatch work pins virtual time.
 	launch := func() error {
 		provider, local, err := e.selectProvider(name, argType, retType, q, tried)
 		if err != nil {
@@ -313,59 +376,36 @@ func (e *Engine) Call(ctx context.Context, name string, args any, argType, retTy
 		cancels = append(cancels, acancel)
 		inflight++
 		launched++
-		go func() {
+		clock.Go(e.clk, func() {
 			var out attemptOutcome
 			out.provider = provider
 			if local {
 				out.value, out.appErr, out.err = e.callLocal(actx, name, payload, argType, retType, q)
 			} else {
-				out.value, out.appErr, out.err = e.callRemote(actx, provider, name, payload, retType, q)
+				out.value, out.appErr, out.err = e.callRemote(actx, provider, name, payload, retType, q, dlAt)
 			}
-			select {
-			case results <- out:
-			case <-ctx.Done():
-				// The call already returned; drop the outcome.
-			}
-		}()
+			report(out)
+		})
 		return nil
 	}
 
-	if err := launch(); err != nil {
-		return nil, err
-	}
-
-	// Hedging: a timer at HedgeAfter*deadline launches the next provider
-	// speculatively; each hedge re-arms it so a string of slow providers
-	// keeps cascading until providers or the deadline run out.
+	// Hedging: after HedgeAfter*deadline with no reply the call dispatches
+	// the next provider speculatively; each fresh dispatch re-arms the
+	// window so a string of slow providers keeps cascading until providers
+	// or the deadline run out.
 	var (
 		hedgeDelay time.Duration
-		hedgeTimer *time.Timer
-		hedgeC     <-chan time.Time
+		hedgeAt    time.Time
+		hedging    bool
 	)
 	if q.HedgeAfter > 0 {
 		hedgeDelay = time.Duration(q.HedgeAfter * float64(deadline))
-		if hedgeDelay > 0 {
-			hedgeTimer = time.NewTimer(hedgeDelay)
-			defer hedgeTimer.Stop()
-			hedgeC = hedgeTimer.C
-		}
+		hedging = hedgeDelay > 0
 	}
-
-	// rearmHedge restarts the hedge window after any fresh dispatch, so a
-	// newly launched attempt gets its full HedgeAfter*deadline before the
-	// next speculative dispatch.
 	rearmHedge := func() {
-		if hedgeTimer == nil {
-			return
+		if hedging {
+			hedgeAt = e.clk.Now().Add(hedgeDelay)
 		}
-		if !hedgeTimer.Stop() {
-			select {
-			case <-hedgeTimer.C:
-			default:
-			}
-		}
-		hedgeTimer.Reset(hedgeDelay)
-		hedgeC = hedgeTimer.C
 	}
 
 	// settle consumes one attempt outcome. It returns (value, err, true)
@@ -421,48 +461,65 @@ func (e *Engine) Call(ctx context.Context, name string, args any, argType, retTy
 		return nil, nil, false
 	}
 
-	for {
-		select {
-		case out := <-results:
-			if v, err, done := settle(out); done {
-				return v, err
+	// The race loop parks on the trigger (managed: under a Virtual clock a
+	// wake — outcome, hedge edge or deadline — is accounted before this
+	// goroutine runs). Live makes the caller itself visible to the clock
+	// for the call's duration, so the dispatch work between parks pins
+	// virtual time instead of letting it advance underneath the race.
+	race := func() (any, error) {
+		if err := launch(); err != nil {
+			return nil, err
+		}
+		rearmHedge()
+		for {
+			for _, out := range drain() {
+				if v, err, done := settle(out); done {
+					return v, err
+				}
 			}
-		case <-hedgeC:
-			if appErr == nil && launched < maxAttempts && launch() == nil {
-				e.hedges.Add(1)
-				hedgeTimer.Reset(hedgeDelay)
+			if hedging && appErr == nil && !e.clk.Now().Before(hedgeAt) {
+				if launched < maxAttempts && launch() == nil {
+					e.hedges.Add(1)
+					rearmHedge()
+				} else {
+					hedging = false // no untried provider left; stop hedging
+				}
 				continue
 			}
-			hedgeC = nil // no untried provider left; stop hedging
-		case <-ctx.Done():
-			// An outcome may have been buffered in the same scheduling
-			// window the deadline fired in; a winner that made it in
-			// time must not be reported as a deadline miss.
-			for drained := false; !drained; {
-				select {
-				case out := <-results:
+			wait := time.Duration(-1)
+			if hedging && appErr == nil {
+				wait = hedgeAt.Sub(e.clk.Now())
+			}
+			if !trig.Wait(wait, ctx.Done()) {
+				// Deadline (or caller cancellation). An outcome may have
+				// landed in the same scheduling window the deadline fired
+				// in; a winner that made it in time must not be reported
+				// as a deadline miss.
+				for _, out := range drain() {
 					if v, err, done := settle(out); done {
 						return v, err
 					}
-				default:
-					drained = true
 				}
+				if appErr != nil {
+					return nil, appErr
+				}
+				// A provider that burned the whole deadline without
+				// answering must not keep its static pin: the attempt
+				// goroutines' timeout outcomes may never be observed (they
+				// race this branch), so clear the pins here before the
+				// next call re-resolves.
+				e.unpinTried(name, tried)
+				if lastErr != nil {
+					return nil, fmt.Errorf("rpc: %s: %w (last: %v)", name, ErrDeadline, lastErr)
+				}
+				return nil, fmt.Errorf("rpc: %s: %w", name, ErrDeadline)
 			}
-			if appErr != nil {
-				return nil, appErr
-			}
-			// A provider that burned the whole deadline without
-			// answering must not keep its static pin: the attempt
-			// goroutines' timeout outcomes may never be observed (they
-			// race this branch), so clear the pins here before the
-			// next call re-resolves.
-			e.unpinTried(name, tried)
-			if lastErr != nil {
-				return nil, fmt.Errorf("rpc: %s: %w (last: %v)", name, ErrDeadline, lastErr)
-			}
-			return nil, fmt.Errorf("rpc: %s: %w", name, ErrDeadline)
 		}
 	}
+	var retV any
+	var retErr error
+	clock.Live(e.clk, func() { retV, retErr = race() })
+	return retV, retErr
 }
 
 func (e *Engine) hasLocal(name string) bool {
@@ -567,42 +624,56 @@ func (e *Engine) callLocal(ctx context.Context, name string, payload []byte, arg
 		}
 		args = decoded
 	}
+	// The handler's result comes back through a trigger-signalled slot so
+	// the wait is clock-managed (see pendingCall).
 	type res struct {
 		v   any
 		err error
 	}
-	ch := make(chan res, 1)
+	var (
+		rmu sync.Mutex
+		out *res
+	)
+	trig := clock.NewTrigger(e.clk)
 	if err := e.f.Schedule(q.Priority, func() {
 		v, err := reg.handler(args)
-		ch <- res{v: v, err: err}
+		rmu.Lock()
+		out = &res{v: v, err: err}
+		rmu.Unlock()
+		trig.Signal()
 	}); err != nil {
 		return nil, nil, err
 	}
-	select {
-	case r := <-ch:
-		reg.calls.Add(1)
-		if r.err != nil {
-			return nil, &AppError{Name: name, Message: r.err.Error()}, nil
+	for {
+		rmu.Lock()
+		r := out
+		rmu.Unlock()
+		if r != nil {
+			reg.calls.Add(1)
+			if r.err != nil {
+				return nil, &AppError{Name: name, Message: r.err.Error()}, nil
+			}
+			if reg.retType == nil {
+				return nil, nil, nil
+			}
+			cv, err := presentation.Coerce(reg.retType, r.v)
+			if err != nil {
+				return nil, &AppError{Name: name, Message: err.Error()}, nil
+			}
+			return cv, nil, nil
 		}
-		if reg.retType == nil {
-			return nil, nil, nil
+		if !trig.Wait(-1, ctx.Done()) {
+			return nil, nil, fmt.Errorf("rpc: %s local: %w", name, ErrDeadline)
 		}
-		cv, err := presentation.Coerce(reg.retType, r.v)
-		if err != nil {
-			return nil, &AppError{Name: name, Message: err.Error()}, nil
-		}
-		return cv, nil, nil
-	case <-ctx.Done():
-		return nil, nil, fmt.Errorf("rpc: %s local: %w", name, ErrDeadline)
 	}
 }
 
 // callRemote performs one remote attempt. The caller's remaining deadline
 // is stamped onto the MTCall frame so the provider can shed the request if
 // the budget is spent before a handler runs.
-func (e *Engine) callRemote(ctx context.Context, provider transport.NodeID, name string, payload []byte, retType *presentation.Type, q qos.CallQoS) (any, error, error) {
+func (e *Engine) callRemote(ctx context.Context, provider transport.NodeID, name string, payload []byte, retType *presentation.Type, q qos.CallQoS, dlAt time.Time) (any, error, error) {
 	callID := e.f.NextSeq()
-	pc := &pendingCall{done: make(chan callResult, 1)}
+	pc := &pendingCall{trig: clock.NewTrigger(e.clk)}
 	sh := e.pendingFor(callID)
 	sh.mu.Lock()
 	sh.calls[callID] = pc
@@ -613,12 +684,9 @@ func (e *Engine) callRemote(ctx context.Context, provider transport.NodeID, name
 		sh.mu.Unlock()
 	}()
 
-	var budget time.Duration
-	if dl, ok := ctx.Deadline(); ok {
-		budget = time.Until(dl)
-		if budget <= 0 {
-			return nil, nil, fmt.Errorf("rpc: %s to %q: %w", name, provider, ErrDeadline)
-		}
+	budget := dlAt.Sub(e.clk.Now())
+	if budget <= 0 {
+		return nil, nil, fmt.Errorf("rpc: %s to %q: %w", name, provider, ErrDeadline)
 	}
 	// The call's QoS priority selects both the remote handler's scheduler
 	// class and the local egress lane the request drains from, so an
@@ -632,36 +700,38 @@ func (e *Engine) callRemote(ctx context.Context, provider transport.NodeID, name
 		Budget:   budget,
 		Payload:  payload,
 	}
-	sendErr := make(chan error, 1)
 	e.f.SendReliable(provider, frame, q.Reliability, func(err error) {
 		if err != nil {
-			sendErr <- err
+			pc.complete(callResult{sendErr: err})
 		}
 	})
 
-	select {
-	case err := <-sendErr:
-		return nil, nil, fmt.Errorf("rpc: %s to %q: %w", name, provider, err)
-	case res := <-pc.done:
-		if res.busy {
-			return nil, nil, fmt.Errorf("rpc: %s to %q: %w", name, provider, ErrBusy)
+	for {
+		if res := pc.take(); res != nil {
+			if res.sendErr != nil {
+				return nil, nil, fmt.Errorf("rpc: %s to %q: %w", name, provider, res.sendErr)
+			}
+			if res.busy {
+				return nil, nil, fmt.Errorf("rpc: %s to %q: %w", name, provider, ErrBusy)
+			}
+			if res.infraErr {
+				return nil, nil, fmt.Errorf("rpc: %s: provider %q has no such function", name, provider)
+			}
+			if res.appErr != "" {
+				return nil, &AppError{Name: name, Message: res.appErr}, nil
+			}
+			if retType == nil {
+				return nil, nil, nil
+			}
+			v, err := e.f.Encoding().Unmarshal(retType, res.payload)
+			if err != nil {
+				return nil, nil, err
+			}
+			return v, nil, nil
 		}
-		if res.infraErr {
-			return nil, nil, fmt.Errorf("rpc: %s: provider %q has no such function", name, provider)
+		if !pc.trig.Wait(-1, ctx.Done()) {
+			return nil, nil, fmt.Errorf("rpc: %s to %q: %w", name, provider, ErrDeadline)
 		}
-		if res.appErr != "" {
-			return nil, &AppError{Name: name, Message: res.appErr}, nil
-		}
-		if retType == nil {
-			return nil, nil, nil
-		}
-		v, err := e.f.Encoding().Unmarshal(retType, res.payload)
-		if err != nil {
-			return nil, nil, err
-		}
-		return v, nil, nil
-	case <-ctx.Done():
-		return nil, nil, fmt.Errorf("rpc: %s to %q: %w", name, provider, ErrDeadline)
 	}
 }
 
@@ -693,7 +763,7 @@ func (e *Engine) HandleCall(from transport.NodeID, fr *protocol.Frame) {
 		e.replyBusy(from, fr)
 		return
 	}
-	arrival := time.Now()
+	arrival := e.clk.Now()
 	var args any
 	if reg.argType != nil {
 		decoded, err := e.f.Encoding().Unmarshal(reg.argType, fr.Payload)
@@ -712,7 +782,7 @@ func (e *Engine) HandleCall(from transport.NodeID, fr *protocol.Frame) {
 	budget := fr.Budget
 	if err := e.f.Schedule(pr, func() {
 		defer e.inflight.Add(-1)
-		if budget > 0 && time.Since(arrival) >= budget {
+		if budget > 0 && e.clk.Since(arrival) >= budget {
 			// Provider-side queueing alone has consumed the caller's
 			// whole budget, so the reply cannot arrive in time: shed
 			// instead of wasting work. (Network transit before arrival
@@ -857,10 +927,7 @@ func (e *Engine) complete(callID uint64, res callResult) {
 	if pc == nil {
 		return // late reply after failover or deadline
 	}
-	select {
-	case pc.done <- res:
-	default:
-	}
+	pc.complete(res)
 }
 
 // DependencyCheck verifies every named function has at least one provider,

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"uavmw/internal/clock"
 	"uavmw/internal/metrics"
 	"uavmw/internal/qos"
 )
@@ -25,8 +26,9 @@ import (
 // preemption, no admission test — Go's runtime is not an RTOS, the same
 // caveat the paper's CLR prototype carried.
 type EDF struct {
+	clk     clock.Clock
 	mu      sync.Mutex
-	cond    *sync.Cond
+	cond    *clock.Cond
 	queue   edfHeap
 	seq     uint64
 	stopped bool
@@ -83,6 +85,7 @@ type EDFOption func(*edfConfig)
 type edfConfig struct {
 	workers        int
 	classDeadlines [5]time.Duration
+	clk            clock.Clock
 }
 
 // WithEDFWorkers sets the worker count (>=1, default DefaultWorkers).
@@ -90,6 +93,18 @@ func WithEDFWorkers(n int) EDFOption {
 	return func(c *edfConfig) {
 		if n >= 1 {
 			c.workers = n
+		}
+	}
+}
+
+// WithEDFClock sets the scheduler's time source (default: the wall
+// clock). Deadline arithmetic — assignment on Submit and the tardiness
+// measurement after each job — runs on this clock, so shedding decisions
+// are reproducible in simulation.
+func WithEDFClock(c clock.Clock) EDFOption {
+	return func(cfg *edfConfig) {
+		if c != nil {
+			cfg.clk = c
 		}
 	}
 }
@@ -113,14 +128,15 @@ func NewEDF(opts ...EDFOption) *EDF {
 		opt(&cfg)
 	}
 	e := &EDF{
+		clk:           clock.Or(cfg.clk),
 		classDeadline: cfg.classDeadlines,
 		lateness:      &metrics.Histogram{},
 		executed:      &metrics.Counter{},
 	}
-	e.cond = sync.NewCond(&e.mu)
+	e.cond = clock.NewCond(e.clk, &e.mu)
 	e.wg.Add(cfg.workers)
 	for i := 0; i < cfg.workers; i++ {
-		go e.worker()
+		clock.Go(e.clk, e.worker)
 	}
 	return e
 }
@@ -132,7 +148,7 @@ func (e *EDF) Submit(p qos.Priority, job Job) error {
 	if idx < 0 {
 		return fmt.Errorf("scheduler: priority %d: %w", p, ErrBadPriority)
 	}
-	return e.SubmitDeadline(job, time.Now().Add(e.classDeadline[idx]))
+	return e.SubmitDeadline(job, e.clk.Now().Add(e.classDeadline[idx]))
 }
 
 // SubmitDeadline enqueues job with an absolute deadline.
@@ -150,7 +166,7 @@ func (e *EDF) SubmitDeadline(job Job, deadline time.Time) error {
 		deadline: deadline,
 		seq:      e.seq,
 		job:      job,
-		enqueued: time.Now(),
+		enqueued: e.clk.Now(),
 	})
 	e.mu.Unlock()
 	e.cond.Signal()
@@ -173,7 +189,7 @@ func (e *EDF) worker() {
 
 		j.job()
 		e.executed.Inc()
-		if tardy := time.Since(j.deadline); tardy > 0 {
+		if tardy := e.clk.Since(j.deadline); tardy > 0 {
 			e.lateness.Observe(tardy)
 		}
 	}
@@ -190,7 +206,7 @@ func (e *EDF) Stop() {
 	e.queue = nil
 	e.mu.Unlock()
 	e.cond.Broadcast()
-	e.wg.Wait()
+	clock.Blocking(e.clk, e.wg.Wait)
 }
 
 // Executed reports completed jobs.

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"uavmw/internal/clock"
 	"uavmw/internal/metrics"
 	"uavmw/internal/qos"
 )
@@ -45,8 +46,9 @@ var (
 // Pool is the fixed-priority worker pool. Workers always take from the
 // highest-priority non-empty queue.
 type Pool struct {
+	clk      clock.Clock
 	mu       sync.Mutex
-	cond     *sync.Cond
+	cond     *clock.Cond
 	queues   []jobQueue // index = qos.Priority.Index(), ascending urgency
 	queueCap int
 	stopped  bool
@@ -104,6 +106,7 @@ type PoolOption func(*poolConfig)
 type poolConfig struct {
 	workers  int
 	queueCap int
+	clk      clock.Clock
 }
 
 // WithWorkers sets the worker count (>=1).
@@ -111,6 +114,18 @@ func WithWorkers(n int) PoolOption {
 	return func(c *poolConfig) {
 		if n >= 1 {
 			c.workers = n
+		}
+	}
+}
+
+// WithPoolClock sets the pool's time source (default: the wall clock).
+// Under a virtual clock the workers are registered with it, so simulated
+// time halts while handlers run — handler latency histograms then
+// measure queueing, not wall-clock scheduling noise.
+func WithPoolClock(c clock.Clock) PoolOption {
+	return func(cfg *poolConfig) {
+		if c != nil {
+			cfg.clk = c
 		}
 	}
 }
@@ -134,13 +149,14 @@ func NewPool(opts ...PoolOption) *Pool {
 	}
 	n := qos.NumLevels()
 	p := &Pool{
+		clk:        clock.Or(cfg.clk),
 		queues:     make([]jobQueue, n),
 		workers:    cfg.workers,
 		queueDelay: make([]*metrics.Histogram, n),
 		executed:   make([]*metrics.Counter, n),
 		rejected:   make([]*metrics.Counter, n),
 	}
-	p.cond = sync.NewCond(&p.mu)
+	p.cond = clock.NewCond(p.clk, &p.mu)
 	p.queueCap = cfg.queueCap
 	for i := 0; i < n; i++ {
 		p.queueDelay[i] = &metrics.Histogram{}
@@ -149,7 +165,7 @@ func NewPool(opts ...PoolOption) *Pool {
 	}
 	p.wg.Add(cfg.workers)
 	for i := 0; i < cfg.workers; i++ {
-		go p.worker()
+		clock.Go(p.clk, p.worker)
 	}
 	return p
 }
@@ -173,7 +189,7 @@ func (p *Pool) Submit(pr qos.Priority, job Job) error {
 		p.rejected[idx].Inc()
 		return fmt.Errorf("scheduler: priority %v: %w", pr, ErrQueueFull)
 	}
-	p.queues[idx].push(queuedJob{job: job, enqueued: time.Now()})
+	p.queues[idx].push(queuedJob{job: job, enqueued: p.clk.Now()})
 	p.pending++
 	p.mu.Unlock()
 	p.cond.Signal()
@@ -207,7 +223,7 @@ func (p *Pool) worker() {
 		if qj.job == nil {
 			continue
 		}
-		p.queueDelay[idx].Observe(time.Since(qj.enqueued))
+		p.queueDelay[idx].Observe(p.clk.Since(qj.enqueued))
 		qj.job()
 		p.executed[idx].Inc()
 	}
@@ -227,7 +243,9 @@ func (p *Pool) Stop() {
 	p.pending = 0
 	p.mu.Unlock()
 	p.cond.Broadcast()
-	p.wg.Wait()
+	// Workers mid-job may be parked on a Virtual clock (a handler sleeping
+	// in simulated time): the drain must let time advance under them.
+	clock.Blocking(p.clk, p.wg.Wait)
 }
 
 // QueueDelay exposes the queue-latency histogram for a priority, for the

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"uavmw/internal/clock"
 	"uavmw/internal/core"
 	"uavmw/internal/flightsim"
 	"uavmw/internal/qos"
@@ -77,29 +78,27 @@ func (g *GPS) Init(ctx *core.Context) error {
 func (g *GPS) Start(ctx *core.Context) error {
 	g.stop = make(chan struct{})
 	g.wg.Add(1)
-	go g.run(ctx)
+	clock.Go(ctx.Clock(), func() { g.run(ctx) })
 	return nil
 }
 
 func (g *GPS) run(ctx *core.Context) {
 	defer g.wg.Done()
-	ticker := time.NewTicker(g.SampleRate)
+	// The sample cadence rides the container's clock: under a virtual
+	// clock a whole mission's worth of GPS ticks runs in discrete-event
+	// time, drift-free.
+	ticker := ctx.Clock().NewTicker(g.SampleRate)
 	defer ticker.Stop()
 	simStep := time.Duration(float64(g.SampleRate) * g.TimeScale)
-	for {
-		select {
-		case <-g.stop:
-			return
-		case <-ticker.C:
-			st := g.Aircraft.Step(simStep)
-			if err := g.pub.Publish(PositionValue(st)); err != nil {
-				ctx.Logf("publish position: %v", err)
-				continue
-			}
-			g.mu.Lock()
-			g.published++
-			g.mu.Unlock()
+	for ticker.Wait(g.stop) {
+		st := g.Aircraft.Step(simStep)
+		if err := g.pub.Publish(PositionValue(st)); err != nil {
+			ctx.Logf("publish position: %v", err)
+			continue
 		}
+		g.mu.Lock()
+		g.published++
+		g.mu.Unlock()
 	}
 }
 

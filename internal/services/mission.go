@@ -79,16 +79,17 @@ func (mc *MissionControl) Init(ctx *core.Context) error {
 	// §4.3: check required functions exist before the mission starts.
 	// Discovery is asynchronous, so poll up to the timeout before
 	// declaring the emergency condition.
-	deadline := time.Now().Add(mc.DependencyTimeout)
+	clk := ctx.Clock()
+	deadline := clk.Now().Add(mc.DependencyTimeout)
 	for {
 		err := ctx.RequireFunctions(FnCameraPrepare)
 		if err == nil {
 			break
 		}
-		if time.Now().After(deadline) {
+		if clk.Now().After(deadline) {
 			return fmt.Errorf("mission-control: emergency, dependencies unmet: %w", err)
 		}
-		time.Sleep(20 * time.Millisecond)
+		clk.Sleep(20 * time.Millisecond)
 	}
 
 	photoReq, err := ctx.OfferEvent(EvtPhotoRequest, TypePhotoRequest, qos.EventQoS{})
@@ -119,8 +120,9 @@ func (mc *MissionControl) Init(ctx *core.Context) error {
 // Start implements core.Service: prepare the camera through remote
 // invocation ("all these initialization have remote call semantics").
 func (mc *MissionControl) Start(ctx *core.Context) error {
+	clk := ctx.Clock()
 	mc.mu.Lock()
-	mc.started = time.Now()
+	mc.started = clk.Now()
 	mc.mu.Unlock()
 	callCtx, cancel := context.WithTimeout(context.Background(), mc.DependencyTimeout)
 	defer cancel()
@@ -140,12 +142,12 @@ func (mc *MissionControl) Start(ctx *core.Context) error {
 	// discovery, and a plan may place its first photo waypoint at the
 	// launch point, so firing before anyone listens would silently lose
 	// the trigger.
-	deadline := time.Now().Add(mc.DependencyTimeout)
+	deadline := clk.Now().Add(mc.DependencyTimeout)
 	for len(mc.photoReq.Subscribers()) == 0 {
-		if time.Now().After(deadline) {
+		if clk.Now().After(deadline) {
 			return fmt.Errorf("mission-control: no %s subscriber within %v", EvtPhotoRequest, mc.DependencyTimeout)
 		}
-		time.Sleep(5 * time.Millisecond)
+		clk.Sleep(5 * time.Millisecond)
 	}
 	mc.mu.Lock()
 	mc.armed = true
@@ -191,10 +193,11 @@ func (mc *MissionControl) onPosition(v any, _ time.Time) {
 	var elapsed time.Duration
 	if complete && !mc.completeSet {
 		mc.completeSet = true
-		mc.completeAt = time.Now()
+		now := mc.ctx.Clock().Now()
+		mc.completeAt = now
 		fireComplete = true
 		photos = mc.photoIndex
-		elapsed = time.Since(mc.started)
+		elapsed = now.Sub(mc.started)
 	}
 	mc.mu.Unlock()
 

@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"uavmw/internal/clock"
 	"uavmw/internal/core"
 	"uavmw/internal/filetransfer"
 	"uavmw/internal/flightsim"
@@ -34,6 +35,12 @@ type MissionConfig struct {
 	AnnouncePeriod time.Duration
 	// Wind adds disturbance to the airframe model.
 	Wind flightsim.Options
+	// Clock injects the mission's time source (nil means the wall clock).
+	// With a clock.Virtual, the whole Figure 3 deployment — discovery,
+	// GPS sampling, transfers, the completion poll — runs in
+	// discrete-event time; callers drive it from a registered goroutine
+	// (clock.Virtual.Run).
+	Clock clock.Clock
 }
 
 // MissionResult summarizes a completed mission.
@@ -91,6 +98,7 @@ func RunMission(cfg MissionConfig) (*MissionResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	clk := clock.Or(cfg.Clock)
 
 	newNode := func(id transport.NodeID) (*core.Node, error) {
 		tr, err := cfg.Transports(id)
@@ -99,6 +107,7 @@ func RunMission(cfg MissionConfig) (*MissionResult, error) {
 		}
 		return core.NewNode(
 			core.WithDatagram(tr),
+			core.WithClock(clk),
 			core.WithAnnouncePeriod(cfg.AnnouncePeriod),
 			core.WithARQ(protocol.WithTimeout(10*time.Millisecond)),
 			core.WithFileTransfer(filetransfer.WithQueryWindow(15*time.Millisecond)),
@@ -163,7 +172,7 @@ func RunMission(cfg MissionConfig) (*MissionResult, error) {
 
 	// Bring up providers first so mission control's dependency check and
 	// camera preparation resolve; its Init polls across discovery anyway.
-	start := time.Now()
+	start := clk.Now()
 	if err := payload.StartServices(); err != nil {
 		return nil, err
 	}
@@ -184,7 +193,7 @@ func RunMission(cfg MissionConfig) (*MissionResult, error) {
 		}
 	}
 
-	deadline := time.Now().Add(cfg.Timeout)
+	deadline := clk.Now().Add(cfg.Timeout)
 	for {
 		photos, _, complete := mc.Progress()
 		processed, _ := video.Stats()
@@ -197,13 +206,13 @@ func RunMission(cfg MissionConfig) (*MissionResult, error) {
 			// acknowledgment round-trip has settled; teardown is quiet.
 			break
 		}
-		if time.Now().After(deadline) {
+		if clk.Now().After(deadline) {
 			return nil, fmt.Errorf(
 				"services: photos=%d/%d stored=%d processed=%d complete=%v: %w",
 				photos, expectedPhotos, storage.FileCount(), processed, complete,
 				ErrMissionTimeout)
 		}
-		time.Sleep(5 * time.Millisecond)
+		clk.Sleep(5 * time.Millisecond)
 	}
 
 	photos, detections, _ := mc.Progress()
@@ -213,7 +222,7 @@ func RunMission(cfg MissionConfig) (*MissionResult, error) {
 		Stored:      storage.FileCount(),
 		TrackPoints: storage.TrackLen(),
 		GSPositions: gs.Positions(),
-		Elapsed:     time.Since(start),
+		Elapsed:     clk.Since(start),
 		GSEvents: map[string]uint64{
 			EvtPhotoRequest:    gs.EventCount(EvtPhotoRequest),
 			EvtPhotoReady:      gs.EventCount(EvtPhotoReady),
