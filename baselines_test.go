@@ -1,0 +1,129 @@
+package uavmw
+
+// Baseline guards for the observability plane: re-run the E13 and E14
+// scenarios at the exact parameters that produced the committed
+// testdata/bench_baseline snapshots and assert the headline metrics are
+// unchanged within noise. The metrics registry sits on the egress and
+// ARQ hot paths, so a regression here means the instrumentation (or any
+// later change) altered scheduling or wire behaviour, not just numbers.
+//
+// Both scenarios run entirely under virtual time, so "noise" is not OS
+// jitter — the tolerances absorb intentional, reviewed shifts in event
+// interleaving (e.g. an extra timer on a measured path), while anything
+// structural (priority inversion back, handover undetected, lost alarms)
+// lands far outside them. Skipped in -short: CI's race run stays fast
+// and a dedicated non-short step executes these.
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"uavmw/internal/clock"
+	"uavmw/internal/experiments"
+)
+
+type benchBaseline struct {
+	Experiment string             `json:"experiment"`
+	Seed       int64              `json:"seed"`
+	Quick      bool               `json:"quick"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func loadBaseline(t *testing.T, name string) benchBaseline {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "bench_baseline", name))
+	if err != nil {
+		t.Fatalf("baseline missing: %v", err)
+	}
+	var b benchBaseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatalf("baseline %s does not parse: %v", name, err)
+	}
+	if b.Quick {
+		t.Fatalf("baseline %s was recorded with -quick; guards need the full-size run", name)
+	}
+	return b
+}
+
+// withinRel fails the test when got strays more than frac from the
+// baseline value (relative), with a small absolute floor so near-zero
+// baselines don't demand impossible precision.
+func withinRel(t *testing.T, base benchBaseline, key string, got, frac, absFloor float64) {
+	t.Helper()
+	want, ok := base.Metrics[key]
+	if !ok {
+		t.Fatalf("baseline %s has no metric %q", base.Experiment, key)
+	}
+	tol := math.Max(math.Abs(want)*frac, absFloor)
+	if diff := math.Abs(got - want); diff > tol {
+		t.Errorf("%s %s = %.3f, baseline %.3f (|diff| %.3f > tolerance %.3f)",
+			base.Experiment, key, got, want, diff, tol)
+	}
+}
+
+// exact fails on any deviation — used for counts that the deterministic
+// virtual run must reproduce exactly (losses, sent totals).
+func exact(t *testing.T, base benchBaseline, key string, got float64) {
+	t.Helper()
+	withinRel(t, base, key, got, 0, 0)
+}
+
+func TestE13MatchesBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size E13 baseline run; executed by the dedicated CI step")
+	}
+	base := loadBaseline(t, "BENCH_E13.json")
+
+	var res *experiments.E13Result
+	if _, err := experiments.RunVirtual(func(clk clock.Clock) error {
+		var err error
+		res, err = experiments.RunE13(clk, 1<<20, 125_000, 50, base.Seed)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Virtual-time latencies shift only when event interleaving shifts;
+	// 25% absorbs a reordered timer without passing a priority inversion
+	// (flood p99 is ~140x shaped p99 in the baseline).
+	withinRel(t, base, "unloaded_p99_us", float64(res.Unloaded.Percentile(99).Microseconds()), 0.25, 500)
+	withinRel(t, base, "flood_p99_us", float64(res.Flood.Percentile(99).Microseconds()), 0.25, 500)
+	withinRel(t, base, "shaped_p99_us", float64(res.Shaped.Percentile(99).Microseconds()), 0.25, 500)
+	withinRel(t, base, "shaped_goodput_bps", res.ShapedGoodput, 0.10, 0)
+	exact(t, base, "flood_lost", float64(res.FloodLost))
+	exact(t, base, "shaped_lost", float64(res.ShapedLost))
+	exact(t, base, "shaped_dropped", float64(res.ShapedDropped))
+}
+
+func TestE14MatchesBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size E14 baseline run; executed by the dedicated CI step")
+	}
+	base := loadBaseline(t, "BENCH_E14.json")
+
+	var res *experiments.E14Result
+	if _, err := experiments.RunVirtual(func(clk clock.Clock) error {
+		var err error
+		res, err = experiments.RunE14(clk, 256*1024, 800*time.Millisecond, base.Seed)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	withinRel(t, base, "multi_p99_us", float64(res.Multi.Percentile(99).Microseconds()), 0.25, 500)
+	withinRel(t, base, "handover_detect_ms", float64(res.HandoverDetect)/float64(time.Millisecond), 0.25, 10)
+	withinRel(t, base, "recovered_bps", res.RecoveredBPS, 0.10, 0)
+	withinRel(t, base, "transfer_ms", float64(res.Transfer)/float64(time.Millisecond), 0.10, 0)
+	// Wire split drifts a little when retransmission timing moves; 10%
+	// still catches traffic landing on the wrong bearer.
+	withinRel(t, base, "wifi_bytes", float64(res.WifiBytes), 0.10, 0)
+	withinRel(t, base, "radio_bytes", float64(res.RadioBytes), 0.10, 0)
+	exact(t, base, "multi_lost", float64(res.MultiLost))
+	exact(t, base, "multi_sent", float64(res.MultiSent))
+	exact(t, base, "single_lost", float64(res.SingleLost))
+	exact(t, base, "single_sent", float64(res.SingleSent))
+}

@@ -51,7 +51,7 @@ type benchRecord struct {
 
 // runner executes one experiment. clk is nil for wall-clock runs; the
 // virtual-capable experiments thread it into their harnesses.
-type runner func(clk clock.Clock, quick bool) (map[string]any, error)
+type runner func(clk clock.Clock, quick bool) (map[string]any, string, error)
 
 func main() {
 	var (
@@ -89,18 +89,19 @@ func main() {
 		rec := benchRecord{Experiment: exp.name, Seed: exp.seed, Quick: *quick}
 		startWall := time.Now()
 		var err error
+		var snapshot string
 		if exp.virtual && !*realtime {
 			rec.Virtual = true
 			var el experiments.Elapsed
 			el, err = experiments.RunVirtual(func(clk clock.Clock) error {
-				m, ferr := exp.fn(clk, *quick)
-				rec.Metrics = m
+				m, snap, ferr := exp.fn(clk, *quick)
+				rec.Metrics, snapshot = m, snap
 				return ferr
 			})
 			rec.VirtualMS = float64(el.Virtual) / float64(time.Millisecond)
 			rec.Speedup = el.Speedup()
 		} else {
-			rec.Metrics, err = exp.fn(nil, *quick)
+			rec.Metrics, snapshot, err = exp.fn(nil, *quick)
 		}
 		rec.WallMS = float64(time.Since(startWall)) / float64(time.Millisecond)
 		if err != nil {
@@ -113,7 +114,20 @@ func main() {
 		if err := writeBench(*benchDir, rec); err != nil {
 			log.Fatalf("uavbench %s: %v", exp.name, err)
 		}
+		if snapshot != "" {
+			if err := writeMetrics(*benchDir, exp.name, snapshot); err != nil {
+				log.Fatalf("uavbench %s: %v", exp.name, err)
+			}
+		}
 	}
+}
+
+// writeMetrics lands an experiment node's observability snapshot
+// (metrics.Snapshot.Text) next to its BENCH record, so each CI run ships
+// the full counter/gauge state that produced the headline numbers.
+func writeMetrics(dir, experiment, snapshot string) error {
+	name := filepath.Join(dir, "METRICS_"+strings.ToUpper(experiment)+".txt")
+	return os.WriteFile(name, []byte(snapshot), 0o644)
 }
 
 func writeBench(dir string, rec benchRecord) error {
@@ -131,7 +145,7 @@ func header(title string) {
 
 func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
 
-func runE1(_ clock.Clock, quick bool) (map[string]any, error) {
+func runE1(_ clock.Clock, quick bool) (map[string]any, string, error) {
 	header("E1 — event vs remote-invocation notification latency (§4.3 claim)")
 	n := 2000
 	if quick {
@@ -143,7 +157,7 @@ func runE1(_ clock.Clock, quick bool) (map[string]any, error) {
 	for _, size := range []int{16, 64, 256, 1024} {
 		res, err := experiments.RunE1(n, size)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		ratio := float64(res.RPC.Percentile(50)) / float64(res.Event.Percentile(50))
 		fmt.Printf("%-10d %12v %12v %12v %12v %9.2fx\n",
@@ -158,10 +172,10 @@ func runE1(_ clock.Clock, quick bool) (map[string]any, error) {
 			"rpc_p50_us": us(res.RPC.Percentile(50)), "rpc_over_event": ratio,
 		})
 	}
-	return map[string]any{"sizes": rows}, nil
+	return map[string]any{"sizes": rows}, "", nil
 }
 
-func runE2(_ clock.Clock, quick bool) (map[string]any, error) {
+func runE2(_ clock.Clock, quick bool) (map[string]any, string, error) {
 	header("E2 — per-message ARQ vs TCP-like in-order stream under loss (§4.2 claim)")
 	n := 400
 	if quick {
@@ -173,7 +187,7 @@ func runE2(_ clock.Clock, quick bool) (map[string]any, error) {
 	for _, loss := range []float64{0, 0.01, 0.02, 0.05, 0.10} {
 		res, err := experiments.RunE2(n, loss, 64, 42)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		fmt.Printf("%-8.2f %12v %12v %12v %12v %12d %12d\n",
 			loss,
@@ -188,10 +202,10 @@ func runE2(_ clock.Clock, quick bool) (map[string]any, error) {
 			"arq_retx":   res.ARQRetrans, "gbn_retx": res.GBNRetrans,
 		})
 	}
-	return map[string]any{"loss_sweep": rows}, nil
+	return map[string]any{"loss_sweep": rows}, "", nil
 }
 
-func runE3(clk clock.Clock, quick bool) (map[string]any, error) {
+func runE3(clk clock.Clock, quick bool) (map[string]any, string, error) {
 	header("E3 — event fan-out wire cost: group-addressed multicast vs unicast ARQ (§4.1, §4.2)")
 	samples := 200
 	if quick {
@@ -203,7 +217,7 @@ func runE3(clk clock.Clock, quick bool) (map[string]any, error) {
 	for _, subs := range []int{2, 8, 32} {
 		res, err := experiments.RunE3(clk, subs, samples)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		saving := float64(res.UcastBytes) / float64(res.McastBytes)
 		fmt.Printf("%-12d %14d %14.1f %14d %14.1f %9.1fx\n",
@@ -215,10 +229,10 @@ func runE3(clk clock.Clock, quick bool) (map[string]any, error) {
 			"ucast_bytes": res.UcastBytes, "saving": saving,
 		})
 	}
-	return map[string]any{"fanout": rows}, nil
+	return map[string]any{"fanout": rows}, "", nil
 }
 
-func runE4(_ clock.Clock, quick bool) (map[string]any, error) {
+func runE4(_ clock.Clock, quick bool) (map[string]any, string, error) {
 	header("E4 — MFTP file distribution vs chunked events (§4.4 claim)")
 	sizes := []int{64 << 10, 512 << 10, 2 << 20}
 	receivers := []int{1, 4, 8}
@@ -233,7 +247,7 @@ func runE4(_ clock.Clock, quick bool) (map[string]any, error) {
 		for _, recv := range receivers {
 			res, err := experiments.RunE4(size, recv, 0.02, 7)
 			if err != nil {
-				return nil, err
+				return nil, "", err
 			}
 			fmt.Printf("%-10s %-10d %-6.2f %12v %12v %12.0f %12.0f %7.1fx\n",
 				byteSize(size), recv, 0.02,
@@ -248,10 +262,10 @@ func runE4(_ clock.Clock, quick bool) (map[string]any, error) {
 			})
 		}
 	}
-	return map[string]any{"matrix": rows}, nil
+	return map[string]any{"matrix": rows}, "", nil
 }
 
-func runE5(_ clock.Clock, quick bool) (map[string]any, error) {
+func runE5(_ clock.Clock, quick bool) (map[string]any, string, error) {
 	header("E5 — same-container bypass vs network path (§4.4, F2)")
 	iters := 2000
 	if quick {
@@ -259,7 +273,7 @@ func runE5(_ clock.Clock, quick bool) (map[string]any, error) {
 	}
 	res, err := experiments.RunE5(1<<20, iters)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	fmt.Printf("file fetch 1MB : local %10v   remote %10v   (%.0fx)\n",
 		res.LocalFetch.Round(time.Microsecond), res.RemoteFetch.Round(time.Microsecond),
@@ -270,10 +284,10 @@ func runE5(_ clock.Clock, quick bool) (map[string]any, error) {
 	return map[string]any{
 		"local_fetch_us": us(res.LocalFetch), "remote_fetch_us": us(res.RemoteFetch),
 		"local_var_us": us(res.LocalVar), "remote_var_us": us(res.RemoteVar),
-	}, nil
+	}, "", nil
 }
 
-func runE7(_ clock.Clock, quick bool) (map[string]any, error) {
+func runE7(_ clock.Clock, quick bool) (map[string]any, string, error) {
 	header("E7 — failover redirection latency after provider death (§4.3)")
 	fmt.Printf("%-18s %14s %12s\n", "failure deadline", "redirect time", "failed calls")
 	deadlines := []time.Duration{100 * time.Millisecond, 250 * time.Millisecond, 500 * time.Millisecond, time.Second}
@@ -284,7 +298,7 @@ func runE7(_ clock.Clock, quick bool) (map[string]any, error) {
 	for _, d := range deadlines {
 		res, err := experiments.RunE7(d)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		fmt.Printf("%-18v %14v %12d\n", d, res.Redirect.Round(time.Millisecond), res.CallsFailed)
 		rows = append(rows, map[string]any{
@@ -293,10 +307,10 @@ func runE7(_ clock.Clock, quick bool) (map[string]any, error) {
 			"failed":      res.CallsFailed,
 		})
 	}
-	return map[string]any{"deadlines": rows}, nil
+	return map[string]any{"deadlines": rows}, "", nil
 }
 
-func runE8(_ clock.Clock, quick bool) (map[string]any, error) {
+func runE8(_ clock.Clock, quick bool) (map[string]any, string, error) {
 	header("E8 — fixed-priority scheduler queue latency under load (§6)")
 	background := 5000
 	foreground := 200
@@ -305,7 +319,7 @@ func runE8(_ clock.Clock, quick bool) (map[string]any, error) {
 	}
 	res, err := experiments.RunE8(4, background, foreground, 50*time.Microsecond)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	fmt.Printf("%-10s %12s %12s %12s\n", "priority", "p50", "p99", "max")
 	metrics := map[string]any{}
@@ -318,10 +332,10 @@ func runE8(_ clock.Clock, quick bool) (map[string]any, error) {
 			h.Max().Round(time.Microsecond))
 		metrics[fmt.Sprintf("%s_p99_us", pr)] = us(h.Percentile(99))
 	}
-	return metrics, nil
+	return metrics, "", nil
 }
 
-func runE9(_ clock.Clock, quick bool) (map[string]any, error) {
+func runE9(_ clock.Clock, quick bool) (map[string]any, string, error) {
 	header("E9 — Figure 3 mission end to end (§5)")
 	rows := 3
 	if quick {
@@ -340,7 +354,7 @@ func runE9(_ clock.Clock, quick bool) (map[string]any, error) {
 		Timeout:    3 * time.Minute,
 	})
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	fmt.Printf("waypoints %d  photo sites %d  wall clock %v\n",
 		len(plan.Waypoints), res.Photos, time.Since(start).Round(time.Millisecond))
@@ -350,10 +364,10 @@ func runE9(_ clock.Clock, quick bool) (map[string]any, error) {
 	return map[string]any{
 		"waypoints": len(plan.Waypoints), "photos": res.Photos, "stored": res.Stored,
 		"detections": res.Detections, "gs_positions": res.GSPositions,
-	}, nil
+	}, "", nil
 }
 
-func runE11(clk clock.Clock, quick bool) (map[string]any, error) {
+func runE11(clk clock.Clock, quick bool) (map[string]any, string, error) {
 	header("E11 — concurrent RPC vs a stalled pinned provider: hedged failover (§4.3)")
 	calls := 20
 	if quick {
@@ -368,7 +382,7 @@ func runE11(clk clock.Clock, quick bool) (map[string]any, error) {
 		for _, hedged := range []bool{false, true} {
 			res, err := experiments.RunE11(clk, callers, calls, hedged, 0.02, 400*time.Millisecond, 11)
 			if err != nil {
-				return nil, err
+				return nil, "", err
 			}
 			p50, p99 := "-", "-"
 			if res.OK > 0 {
@@ -384,10 +398,10 @@ func runE11(clk clock.Clock, quick bool) (map[string]any, error) {
 			})
 		}
 	}
-	return map[string]any{"sweep": rows}, nil
+	return map[string]any{"sweep": rows}, "", nil
 }
 
-func runE12(clk clock.Clock, quick bool) (map[string]any, error) {
+func runE12(clk clock.Clock, quick bool) (map[string]any, string, error) {
 	header("E12 — incremental discovery: steady-state wire cost and convergence (§3 at scale)")
 	fmt.Println("steady state sends constant-size digests (O(nodes) bytes/period); the old")
 	fmt.Println("protocol re-broadcast every record every period (O(total records))")
@@ -400,12 +414,14 @@ func runE12(clk clock.Clock, quick bool) (map[string]any, error) {
 		recordCounts = []int{10, 100}
 	}
 	var rows []map[string]any
+	var snapText string
 	for _, nodes := range nodeCounts {
 		for _, records := range recordCounts {
 			res, err := experiments.RunE12(clk, nodes, records, 12)
 			if err != nil {
-				return nil, err
+				return nil, "", err
 			}
+			snapText = res.MetricsText
 			fmt.Printf("%-7d %-9d %14.0f %14.0f %8.1fx %14v\n",
 				nodes, records,
 				res.SteadyBytesPerPeriod, res.BaselineBytesPerPeriod,
@@ -425,7 +441,7 @@ func runE12(clk clock.Clock, quick bool) (map[string]any, error) {
 	}
 	churn, err := experiments.RunE12Churn(clk, churnNodes, churnRecords, 50, 13)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	fmt.Printf("churn: %d nodes × %d records, %d offers missed behind a partition\n",
 		churn.Nodes, churn.RecordsPerNode, churn.MissedOffers)
@@ -444,7 +460,7 @@ func runE12(clk clock.Clock, quick bool) (map[string]any, error) {
 	if clk != nil && !quick {
 		scale, err := experiments.RunE12Scale(clk, 256, 2, 256)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		fmt.Printf("scale: %d nodes boot-converged in %v; steady %.0f pkts/period; fresh offer in %v\n",
 			scale.Nodes, scale.BootConverge.Round(time.Second),
@@ -455,10 +471,10 @@ func runE12(clk clock.Clock, quick bool) (map[string]any, error) {
 			"converge_us":               us(scale.Converge),
 		}
 	}
-	return metrics, nil
+	return metrics, snapText, nil
 }
 
-func runE13(clk clock.Clock, quick bool) (map[string]any, error) {
+func runE13(clk clock.Clock, quick bool) (map[string]any, string, error) {
 	header("E13 — priority-aware egress: critical alarms vs bulk transfer on a 1 Mb/s link")
 	fileBytes := 1 << 20
 	if quick {
@@ -471,7 +487,7 @@ func runE13(clk clock.Clock, quick bool) (map[string]any, error) {
 	fmt.Println("shaped: egress bulk lane paced at 92% of line rate, strict-priority drain")
 	res, err := experiments.RunE13(clk, fileBytes, linkBPS, alarmHz, 13)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	row := func(name string, h interface {
 		Percentile(float64) time.Duration
@@ -506,10 +522,10 @@ func runE13(clk clock.Clock, quick bool) (map[string]any, error) {
 		"flood_lost":      res.FloodLost, "shaped_lost": res.ShapedLost,
 		"shaped_goodput_bps": res.ShapedGoodput,
 		"shaped_dropped":     res.ShapedDropped,
-	}, nil
+	}, res.MetricsText, nil
 }
 
-func runE14(clk clock.Clock, quick bool) (map[string]any, error) {
+func runE14(clk clock.Clock, quick bool) (map[string]any, string, error) {
 	header("E14 — multi-bearer link plane: WiFi→radio handover under blackout")
 	fileBytes := 256 * 1024
 	blackoutAfter := 800 * time.Millisecond
@@ -519,7 +535,7 @@ func runE14(clk clock.Clock, quick bool) (map[string]any, error) {
 	}
 	res, err := experiments.RunE14(clk, fileBytes, blackoutAfter, 14)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	fmt.Printf("%dKB transfer UAV→GS; wifi %d B/s (shaped %d) + radio %d B/s (shaped %d); %dHz critical alarms\n",
 		res.FileBytes/1024, res.WifiBPS, res.WifiShapedBPS, res.RadioBPS, res.RadioShaped, res.AlarmHz)
@@ -551,7 +567,7 @@ func runE14(clk clock.Clock, quick bool) (map[string]any, error) {
 		"single_sent":         res.SingleSent,
 		"transfer_ms":         float64(res.Transfer) / float64(time.Millisecond),
 		"single_blackout_sec": res.SingleBlackout.Seconds(),
-	}, nil
+	}, res.MetricsText, nil
 }
 
 func byteSize(n int) string {

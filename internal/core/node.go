@@ -19,6 +19,7 @@ import (
 	"uavmw/internal/fabric"
 	"uavmw/internal/filetransfer"
 	"uavmw/internal/link"
+	"uavmw/internal/metrics"
 	"uavmw/internal/naming"
 	"uavmw/internal/presentation"
 	"uavmw/internal/protocol"
@@ -26,6 +27,7 @@ import (
 	"uavmw/internal/rpc"
 	"uavmw/internal/scheduler"
 	"uavmw/internal/transport"
+	"uavmw/internal/uerr"
 	"uavmw/internal/variables"
 )
 
@@ -43,6 +45,33 @@ var (
 // DefaultBearer names the bearer WithDatagram registers — single-datalink
 // nodes never see bearer names unless they ask.
 const DefaultBearer = egress.DefaultBearer
+
+// Wire-path error codes (§ observability). Every failure the container
+// used to drop silently or fold into an anonymous counter constructs
+// through one of these, so the registry's "discovery.errors" /
+// "core.errors" families count it by category the moment it happens.
+var (
+	codeAnnounceEncode = uerr.Register("discovery.announce_encode", uerr.CatEncode)
+	codeAnnounceSend   = uerr.Register("discovery.announce_send", uerr.CatSend)
+	codeDeltaEncode    = uerr.Register("discovery.delta_encode", uerr.CatEncode)
+	codeDeltaSend      = uerr.Register("discovery.delta_send", uerr.CatSend)
+	codeHeartbeatEnc   = uerr.Register("discovery.heartbeat_encode", uerr.CatEncode)
+	codeHeartbeatSend  = uerr.Register("discovery.heartbeat_send", uerr.CatSend)
+	codeSyncReqSend    = uerr.Register("discovery.sync_request_send", uerr.CatSend)
+	codeSyncRepEncode  = uerr.Register("discovery.sync_reply_encode", uerr.CatEncode)
+	codeSyncRepSend    = uerr.Register("discovery.sync_reply_send", uerr.CatSend)
+	codeSyncShed       = uerr.Register("discovery.sync_shed", uerr.CatAdmission)
+	codeDiscoMalformed = uerr.Register("discovery.frame_malformed", uerr.CatDecode)
+	codeNodeMismatch   = uerr.Register("discovery.node_mismatch", uerr.CatProtocol)
+	codeFrameDecode    = uerr.Register("core.frame_decode", uerr.CatDecode)
+	codeBatchDecode    = uerr.Register("core.batch_decode", uerr.CatDecode)
+	codeFragReassembly = uerr.Register("core.fragment_reassembly", uerr.CatDecode)
+	codeAckEncode      = uerr.Register("core.ack_encode", uerr.CatEncode)
+	codeAckSend        = uerr.Register("core.ack_send", uerr.CatSend)
+	codeProbeEncode    = uerr.Register("core.probe_encode", uerr.CatEncode)
+	codeProbeSend      = uerr.Register("core.probe_send", uerr.CatSend)
+	codeByeSend        = uerr.Register("core.bye_send", uerr.CatSend)
+)
 
 // bearerRuntime is one datalink the node transmits over: the transport,
 // its declared profile, and the link monitor estimating its health.
@@ -99,6 +128,11 @@ type Node struct {
 	syncReqAt   map[transport.NodeID]time.Time
 	syncServing atomic.Int64 // full-state replies currently in flight
 	disco       discoveryCounters
+
+	// metrics is the node's unified registry: every plane's counter
+	// families and typed-error families land here, and MetricsSnapshot
+	// exports them all (§ observability).
+	metrics *metrics.Registry
 
 	vars   *variables.Engine
 	events *events.Engine
@@ -367,6 +401,8 @@ func NewNode(opts ...NodeOption) (*Node, error) {
 		devices:         make(map[string]string),
 		stop:            make(chan struct{}),
 	}
+	n.metrics = metrics.NewRegistry()
+	n.disco = newDiscoveryCounters(n.metrics)
 	if n.sched == nil {
 		n.sched = scheduler.NewPool(scheduler.WithPoolClock(clk))
 		n.ownSched = true
@@ -381,6 +417,7 @@ func NewNode(opts ...NodeOption) (*Node, error) {
 		cfg.egressCfg.MaxDatagram = cfg.mtu
 	}
 	cfg.egressCfg.Clock = clk
+	cfg.egressCfg.Metrics = n.metrics
 	n.egress = egress.NewPlane()
 	profiles := make(map[string]qos.BearerProfile, len(cfg.bearers))
 	for _, spec := range cfg.bearers {
@@ -418,7 +455,7 @@ func NewNode(opts ...NodeOption) (*Node, error) {
 	// they carry (the priority rides in the encoded header).
 	n.arq = protocol.NewARQ(func(to transport.NodeID, frame []byte) error {
 		return n.egress.Enqueue(to, protocol.PeekPriority(frame), frame)
-	}, append([]protocol.ARQOption{protocol.WithClock(clk)}, cfg.arqOpts...)...)
+	}, append([]protocol.ARQOption{protocol.WithClock(clk), protocol.WithMetrics(n.metrics)}, cfg.arqOpts...)...)
 
 	n.vars = variables.New(n)
 	n.events = events.New(n)
@@ -661,8 +698,9 @@ func (n *Node) SendReliableTuned(to transport.NodeID, f *protocol.Frame, rel qos
 }
 
 var (
-	_ fabric.Fabric      = (*Node)(nil)
-	_ fabric.TunedSender = (*Node)(nil)
+	_ fabric.Fabric       = (*Node)(nil)
+	_ fabric.TunedSender  = (*Node)(nil)
+	_ fabric.Instrumented = (*Node)(nil)
 )
 
 // handlePacket is the stream transport's receive entry point (bearer-less).
@@ -681,6 +719,7 @@ func (n *Node) handleFrameBytes(from transport.NodeID, raw []byte) {
 func (n *Node) handleFrameBytesOn(bearer string, from transport.NodeID, raw []byte) {
 	f, err := protocol.DecodeFrame(raw)
 	if err != nil {
+		uerr.Note(n.metrics, codeFrameDecode, err, "drop undecodable frame")
 		return
 	}
 	n.handleFrame(bearer, from, f)
@@ -698,6 +737,7 @@ func (n *Node) handleFrame(bearer string, from transport.NodeID, f *protocol.Fra
 		// had arrived in separate datagrams.
 		subs, err := protocol.DecodeBatch(f.Payload)
 		if err != nil {
+			uerr.Note(n.metrics, codeBatchDecode, err, "drop undecodable batch")
 			return
 		}
 		for _, sub := range subs {
@@ -714,11 +754,16 @@ func (n *Node) handleFrame(bearer string, from transport.NodeID, f *protocol.Fra
 			}
 		}
 		complete, err := n.reasm.Offer(from, f)
-		if err != nil || complete == nil {
+		if err != nil {
+			uerr.Note(n.metrics, codeFragReassembly, err, "drop bad fragment")
+			return
+		}
+		if complete == nil {
 			return
 		}
 		inner, err := protocol.DecodeFrame(complete)
 		if err != nil {
+			uerr.Note(n.metrics, codeFrameDecode, err, "drop undecodable reassembly")
 			return
 		}
 		// Dedup the logical message too: a fully retransmitted
@@ -746,14 +791,17 @@ func (n *Node) sendAck(bearer string, to transport.NodeID, seq uint64) {
 	ack := &protocol.Frame{Type: protocol.MTAck, Seq: seq, Priority: qos.PriorityCritical}
 	raw, err := protocol.EncodeFrame(ack)
 	if err != nil {
+		uerr.Note(n.metrics, codeAckEncode, err, "encode ack")
 		return
 	}
 	// Acks ride the critical lane: a delayed ack inflates the peer's ARQ
 	// RTT and triggers spurious retransmissions exactly when a link is
 	// congested with lower-class traffic. They are pinned to the bearer
 	// the data arrived on, so acknowledgment traffic keeps measuring (and
-	// keeping alive) the same link as the data it acknowledges.
-	_ = n.egress.EnqueueOn(bearer, to, qos.PriorityCritical, raw)
+	// keeping alive) the same link as the data it acknowledges. A refused
+	// enqueue (node closing) is counted, not returned: the peer's ARQ
+	// retry is the recovery path.
+	uerr.Note(n.metrics, codeAckSend, n.egress.EnqueueOn(bearer, to, qos.PriorityCritical, raw), "enqueue ack")
 }
 
 // route dispatches a frame to its engine.
@@ -824,24 +872,41 @@ func (n *Node) route(bearer string, from transport.NodeID, f *protocol.Frame) {
 // epoch pull the full record set unicast over ARQ (MTSyncReq/MTSyncRep),
 // chunked under the MTU.
 
-// discoveryCounters instruments the discovery plane. Snapshot with
-// Node.DiscoveryStats.
+// discoveryCounters holds the discovery plane's pre-resolved counter
+// handles in the node registry ("discovery" component). Resolution
+// happens once at construction; increments are lock-free atomics.
+// Failure counts have no handles here — they live in the
+// "discovery.errors" family, fed by uerr construction, and
+// Node.DiscoveryStats reads them back as category sums.
 type discoveryCounters struct {
-	heartbeatsSent   atomic.Uint64
-	heartbeatsRecv   atomic.Uint64
-	deltasSent       atomic.Uint64
-	deltasRecv       atomic.Uint64
-	fullSent         atomic.Uint64
-	syncReqsSent     atomic.Uint64
-	syncReqsServed   atomic.Uint64
-	syncReqsDropped  atomic.Uint64
-	syncChunksSent   atomic.Uint64
-	syncDeltaReplies atomic.Uint64
-	syncApplied      atomic.Uint64
-	syncsTriggered   atomic.Uint64
-	malformed        atomic.Uint64
-	encodeErrors     atomic.Uint64
-	sendErrors       atomic.Uint64
+	heartbeatsSent   *metrics.Counter
+	heartbeatsRecv   *metrics.Counter
+	deltasSent       *metrics.Counter
+	deltasRecv       *metrics.Counter
+	fullSent         *metrics.Counter
+	syncReqsSent     *metrics.Counter
+	syncReqsServed   *metrics.Counter
+	syncChunksSent   *metrics.Counter
+	syncDeltaReplies *metrics.Counter
+	syncApplied      *metrics.Counter
+	syncsTriggered   *metrics.Counter
+}
+
+func newDiscoveryCounters(reg *metrics.Registry) discoveryCounters {
+	c := func(name string) *metrics.Counter { return reg.Counter("discovery", name) }
+	return discoveryCounters{
+		heartbeatsSent:   c("heartbeats_sent"),
+		heartbeatsRecv:   c("heartbeats_received"),
+		deltasSent:       c("deltas_sent"),
+		deltasRecv:       c("deltas_received"),
+		fullSent:         c("full_announces_sent"),
+		syncReqsSent:     c("sync_requests_sent"),
+		syncReqsServed:   c("sync_requests_served"),
+		syncChunksSent:   c("sync_chunks_sent"),
+		syncDeltaReplies: c("sync_delta_replies"),
+		syncApplied:      c("sync_replies_applied"),
+		syncsTriggered:   c("syncs_triggered"),
+	}
 }
 
 // DiscoveryStats is a snapshot of the discovery plane's counters.
@@ -879,24 +944,29 @@ type DiscoveryStats struct {
 	EncodeErrors, SendErrors uint64
 }
 
-// DiscoveryStats snapshots the discovery plane counters.
+// DiscoveryStats snapshots the discovery plane counters. It is a view
+// over the node registry: plain counters read their handles, the failure
+// fields sum the "discovery.errors" family by category.
 func (n *Node) DiscoveryStats() DiscoveryStats {
+	cat := func(c uerr.Category) uint64 {
+		return n.metrics.SumCounters("discovery", "errors", metrics.L("category", c.String()))
+	}
 	return DiscoveryStats{
-		HeartbeatsSent:      n.disco.heartbeatsSent.Load(),
-		HeartbeatsReceived:  n.disco.heartbeatsRecv.Load(),
-		DeltasSent:          n.disco.deltasSent.Load(),
-		DeltasReceived:      n.disco.deltasRecv.Load(),
-		FullAnnouncesSent:   n.disco.fullSent.Load(),
-		SyncRequestsSent:    n.disco.syncReqsSent.Load(),
-		SyncRequestsServed:  n.disco.syncReqsServed.Load(),
-		SyncRequestsDropped: n.disco.syncReqsDropped.Load(),
-		SyncDeltaReplies:    n.disco.syncDeltaReplies.Load(),
-		SyncChunksSent:      n.disco.syncChunksSent.Load(),
-		SyncRepliesApplied:  n.disco.syncApplied.Load(),
-		SyncsTriggered:      n.disco.syncsTriggered.Load(),
-		Malformed:           n.disco.malformed.Load(),
-		EncodeErrors:        n.disco.encodeErrors.Load(),
-		SendErrors:          n.disco.sendErrors.Load(),
+		HeartbeatsSent:      n.disco.heartbeatsSent.Value(),
+		HeartbeatsReceived:  n.disco.heartbeatsRecv.Value(),
+		DeltasSent:          n.disco.deltasSent.Value(),
+		DeltasReceived:      n.disco.deltasRecv.Value(),
+		FullAnnouncesSent:   n.disco.fullSent.Value(),
+		SyncRequestsSent:    n.disco.syncReqsSent.Value(),
+		SyncRequestsServed:  n.disco.syncReqsServed.Value(),
+		SyncRequestsDropped: cat(uerr.CatAdmission),
+		SyncDeltaReplies:    n.disco.syncDeltaReplies.Value(),
+		SyncChunksSent:      n.disco.syncChunksSent.Value(),
+		SyncRepliesApplied:  n.disco.syncApplied.Value(),
+		SyncsTriggered:      n.disco.syncsTriggered.Value(),
+		Malformed:           cat(uerr.CatDecode) + cat(uerr.CatProtocol),
+		EncodeErrors:        cat(uerr.CatEncode),
+		SendErrors:          cat(uerr.CatSend),
 	}
 }
 
@@ -965,7 +1035,7 @@ func (n *Node) announceNow() {
 	n.dir.Apply(ann, n.clk.Now())
 	payload, err := naming.EncodeAnnouncement(ann)
 	if err != nil {
-		n.disco.encodeErrors.Add(1)
+		uerr.Note(n.metrics, codeAnnounceEncode, err, "encode full announce")
 		return
 	}
 	frame := &protocol.Frame{
@@ -975,10 +1045,10 @@ func (n *Node) announceNow() {
 		Payload:  payload,
 	}
 	if err := n.SendGroup(fabric.DiscoveryGroup, frame); err != nil {
-		n.disco.sendErrors.Add(1)
+		uerr.Note(n.metrics, codeAnnounceSend, err, "broadcast full announce")
 		return
 	}
-	n.disco.fullSent.Add(1)
+	n.disco.fullSent.Inc()
 }
 
 // OfferChanged implements fabric.Fabric: engines call it after any
@@ -1023,7 +1093,7 @@ func (n *Node) flushOffer() {
 		Added: added, Withdrawn: withdrawn,
 	})
 	if err != nil {
-		n.disco.encodeErrors.Add(1)
+		uerr.Note(n.metrics, codeDeltaEncode, err, "encode offer delta")
 		return
 	}
 	frame := &protocol.Frame{
@@ -1033,10 +1103,10 @@ func (n *Node) flushOffer() {
 		Payload:  payload,
 	}
 	if err := n.SendGroup(fabric.DiscoveryGroup, frame); err != nil {
-		n.disco.sendErrors.Add(1)
+		uerr.Note(n.metrics, codeDeltaSend, err, "broadcast offer delta")
 		return
 	}
-	n.disco.deltasSent.Add(1)
+	n.disco.deltasSent.Inc()
 }
 
 // heartbeatNow multicasts the constant-size liveness digest.
@@ -1049,7 +1119,7 @@ func (n *Node) heartbeatNow() {
 		RecordCount: uint32(n.log.Count()),
 	})
 	if err != nil {
-		n.disco.encodeErrors.Add(1)
+		uerr.Note(n.metrics, codeHeartbeatEnc, err, "encode digest")
 		return
 	}
 	frame := &protocol.Frame{
@@ -1059,16 +1129,20 @@ func (n *Node) heartbeatNow() {
 		Payload:  payload,
 	}
 	if err := n.SendGroup(fabric.DiscoveryGroup, frame); err != nil {
-		n.disco.sendErrors.Add(1)
+		uerr.Note(n.metrics, codeHeartbeatSend, err, "broadcast digest")
 		return
 	}
-	n.disco.heartbeatsSent.Add(1)
+	n.disco.heartbeatsSent.Inc()
 }
 
 func (n *Node) handleAnnounce(from transport.NodeID, f *protocol.Frame) {
 	ann, err := naming.DecodeAnnouncement(f.Payload)
-	if err != nil || ann.Node != from {
-		n.disco.malformed.Add(1)
+	if err != nil {
+		uerr.Note(n.metrics, codeDiscoMalformed, err, "announce decode")
+		return
+	}
+	if ann.Node != from {
+		uerr.Newf(n.metrics, codeNodeMismatch, "announce from %s claims node %s", from, ann.Node)
 		return
 	}
 	if from == n.id {
@@ -1082,14 +1156,18 @@ func (n *Node) handleAnnounce(from transport.NodeID, f *protocol.Frame) {
 
 func (n *Node) handleHeartbeat(from transport.NodeID, f *protocol.Frame) {
 	g, err := naming.DecodeDigest(f.Payload)
-	if err != nil || g.Node != from {
-		n.disco.malformed.Add(1)
+	if err != nil {
+		uerr.Note(n.metrics, codeDiscoMalformed, err, "digest decode")
+		return
+	}
+	if g.Node != from {
+		uerr.Newf(n.metrics, codeNodeMismatch, "digest from %s claims node %s", from, g.Node)
 		return
 	}
 	if from == n.id {
 		return
 	}
-	n.disco.heartbeatsRecv.Add(1)
+	n.disco.heartbeatsRecv.Inc()
 	now := n.clk.Now()
 	n.live.Touch(from, now)
 	if n.dir.ApplyDigest(g, now) {
@@ -1099,14 +1177,18 @@ func (n *Node) handleHeartbeat(from transport.NodeID, f *protocol.Frame) {
 
 func (n *Node) handleAnnounceDelta(from transport.NodeID, f *protocol.Frame) {
 	d, err := naming.DecodeDelta(f.Payload)
-	if err != nil || d.Node != from {
-		n.disco.malformed.Add(1)
+	if err != nil {
+		uerr.Note(n.metrics, codeDiscoMalformed, err, "delta decode")
+		return
+	}
+	if d.Node != from {
+		uerr.Newf(n.metrics, codeNodeMismatch, "delta from %s claims node %s", from, d.Node)
 		return
 	}
 	if from == n.id {
 		return
 	}
-	n.disco.deltasRecv.Add(1)
+	n.disco.deltasRecv.Inc()
 	now := n.clk.Now()
 	n.live.Touch(from, now)
 	n.applyBearerDelta(from, d.Added, d.Withdrawn)
@@ -1119,7 +1201,7 @@ func (n *Node) handleAnnounceDelta(from transport.NodeID, f *protocol.Frame) {
 // announce period per peer: if the request or its reply is lost, the next
 // heartbeat re-detects the gap and retries.
 func (n *Node) requestSync(to transport.NodeID) {
-	n.disco.syncsTriggered.Add(1)
+	n.disco.syncsTriggered.Inc()
 	now := n.clk.Now()
 	n.syncMu.Lock()
 	if at, ok := n.syncReqAt[to]; ok && now.Sub(at) < n.announcePeriod {
@@ -1136,10 +1218,10 @@ func (n *Node) requestSync(to transport.NodeID) {
 		Payload:  naming.EncodeSyncRequest(&naming.SyncRequest{KnownEpoch: epoch, KnownVersion: version}),
 	}
 	if err := n.SendBestEffort(to, frame); err != nil {
-		n.disco.sendErrors.Add(1)
+		uerr.Note(n.metrics, codeSyncReqSend, err, "send sync request")
 		return
 	}
-	n.disco.syncReqsSent.Add(1)
+	n.disco.syncReqsSent.Inc()
 }
 
 // syncFrameOverhead is headroom reserved for the frame header when sizing
@@ -1162,7 +1244,7 @@ const maxConcurrentSyncServes = 4
 func (n *Node) handleSyncReq(from transport.NodeID, f *protocol.Frame) {
 	req, err := naming.DecodeSyncRequest(f.Payload)
 	if err != nil {
-		n.disco.malformed.Add(1)
+		uerr.Note(n.metrics, codeDiscoMalformed, err, "sync request decode")
 		return
 	}
 	if from == n.id {
@@ -1184,7 +1266,7 @@ func (n *Node) handleSyncReq(from transport.NodeID, f *protocol.Frame) {
 				Load: n.loadProbe(), Added: added, Withdrawn: withdrawn,
 			})
 			if err != nil {
-				n.disco.encodeErrors.Add(1)
+				uerr.Note(n.metrics, codeSyncRepEncode, err, "encode catch-up delta")
 				return
 			}
 			frame := &protocol.Frame{
@@ -1194,19 +1276,18 @@ func (n *Node) handleSyncReq(from transport.NodeID, f *protocol.Frame) {
 				Payload:  payload,
 			}
 			n.SendReliable(from, frame, qos.ReliableARQ, func(err error) {
-				if err != nil {
-					n.disco.sendErrors.Add(1)
-				}
+				uerr.Note(n.metrics, codeSyncRepSend, err, "deliver catch-up delta")
 			})
-			n.disco.syncReqsServed.Add(1)
-			n.disco.syncDeltaReplies.Add(1)
+			n.disco.syncReqsServed.Inc()
+			n.disco.syncDeltaReplies.Inc()
 			return
 		}
 	}
 	if n.syncServing.Add(1) > maxConcurrentSyncServes {
 		// At capacity: drop; the requester retries on its next heartbeat.
 		n.syncServing.Add(-1)
-		n.disco.syncReqsDropped.Add(1)
+		uerr.Newf(n.metrics, codeSyncShed, "serve cap %d reached, dropping request from %s",
+			maxConcurrentSyncServes, from)
 		return
 	}
 	recs, version := n.log.Snapshot()
@@ -1217,7 +1298,7 @@ func (n *Node) handleSyncReq(from transport.NodeID, f *protocol.Frame) {
 	chunks, err := naming.EncodeSyncChunks(ann, n.mtu-syncFrameOverhead)
 	if err != nil {
 		n.syncServing.Add(-1)
-		n.disco.encodeErrors.Add(1)
+		uerr.Note(n.metrics, codeSyncRepEncode, err, "encode sync chunks")
 		return
 	}
 	var outstanding atomic.Int64
@@ -1230,22 +1311,24 @@ func (n *Node) handleSyncReq(from transport.NodeID, f *protocol.Frame) {
 			Payload:  chunk,
 		}
 		n.SendReliable(from, frame, qos.ReliableARQ, func(err error) {
-			if err != nil {
-				n.disco.sendErrors.Add(1)
-			}
+			uerr.Note(n.metrics, codeSyncRepSend, err, "deliver sync chunk")
 			if outstanding.Add(-1) == 0 {
 				n.syncServing.Add(-1)
 			}
 		})
 	}
-	n.disco.syncReqsServed.Add(1)
+	n.disco.syncReqsServed.Inc()
 	n.disco.syncChunksSent.Add(uint64(len(chunks)))
 }
 
 func (n *Node) handleSyncRep(from transport.NodeID, f *protocol.Frame) {
 	c, err := naming.DecodeSyncChunk(f.Payload)
-	if err != nil || c.Node != from {
-		n.disco.malformed.Add(1)
+	if err != nil {
+		uerr.Note(n.metrics, codeDiscoMalformed, err, "sync chunk decode")
+		return
+	}
+	if c.Node != from {
+		uerr.Newf(n.metrics, codeNodeMismatch, "sync chunk from %s claims node %s", from, c.Node)
 		return
 	}
 	if from == n.id {
@@ -1261,7 +1344,7 @@ func (n *Node) handleSyncRep(from transport.NodeID, f *protocol.Frame) {
 	n.live.Touch(from, now)
 	n.dir.Apply(ann, now)
 	n.applyBearerOffer(from, ann.Records)
-	n.disco.syncApplied.Add(1)
+	n.disco.syncApplied.Inc()
 }
 
 func (n *Node) handleBye(from transport.NodeID) {
@@ -1482,9 +1565,10 @@ func (n *Node) handleProbe(bearer string, from transport.NodeID, f *protocol.Fra
 	}
 	raw, err := protocol.EncodeFrame(echo)
 	if err != nil {
+		uerr.Note(n.metrics, codeProbeEncode, err, "encode probe echo")
 		return
 	}
-	_ = n.egress.EnqueueOn(bearer, from, qos.PriorityHigh, raw)
+	uerr.Note(n.metrics, codeProbeSend, n.egress.EnqueueOn(bearer, from, qos.PriorityHigh, raw), "enqueue probe echo")
 }
 
 // handleProbeEcho closes a probe round trip on the bearer that carried it.
@@ -1544,9 +1628,10 @@ func (n *Node) probeBearer(br *bearerRuntime, now time.Time) {
 		}
 		raw, err := protocol.EncodeFrame(frame)
 		if err != nil {
+			uerr.Note(n.metrics, codeProbeEncode, err, "encode probe")
 			return
 		}
-		_ = n.egress.EnqueueOn(br.name, peer, qos.PriorityHigh, raw)
+		uerr.Note(n.metrics, codeProbeSend, n.egress.EnqueueOn(br.name, peer, qos.PriorityHigh, raw), "enqueue probe")
 	}
 }
 
@@ -1688,9 +1773,10 @@ func (n *Node) Close() error {
 	// Stop services in reverse start order.
 	n.stopAllServices()
 
-	// Goodbye to the fleet.
+	// Goodbye to the fleet. A failed goodbye is counted, not fatal: peers
+	// fall back to the failure deadline.
 	bye := &protocol.Frame{Type: protocol.MTBye, Priority: qos.PriorityHigh, Seq: n.NextSeq()}
-	_ = n.SendGroup(fabric.DiscoveryGroup, bye)
+	uerr.Note(n.metrics, codeByeSend, n.SendGroup(fabric.DiscoveryGroup, bye), "broadcast goodbye")
 
 	close(n.stop)
 	clock.Blocking(n.clk, n.wg.Wait)
@@ -1733,6 +1819,51 @@ func (n *Node) Files() *filetransfer.Engine { return n.files }
 // EgressStats snapshots the egress plane counters (per-class enqueued /
 // sent / dropped / coalesced, pacing waits, transport errors).
 func (n *Node) EgressStats() egress.Stats { return n.egress.Stats() }
+
+// Metrics implements fabric.Instrumented: the node's unified registry.
+// Engines resolve their counter handles from it at construction, and
+// every uerr constructed with it lands in a "<component>.errors" family.
+func (n *Node) Metrics() *metrics.Registry { return n.metrics }
+
+// MetricsSnapshot samples the node's point-in-time gauges (link health
+// and RTT, transport byte counts, scheduler backlog) into the registry
+// and exports everything — one deterministic, scrapeable view of every
+// plane. Two same-seed virtual-time runs export byte-identical text.
+func (n *Node) MetricsSnapshot() metrics.Snapshot {
+	n.sampleGauges()
+	return n.metrics.Snapshot()
+}
+
+// sampleGauges mirrors externally-owned state into registry gauges at
+// snapshot time: transports are constructed outside the node and keep
+// their own counters, and link health is a verdict, not an event stream,
+// so neither can feed the registry incrementally.
+func (n *Node) sampleGauges() {
+	now := n.clk.Now()
+	for _, br := range n.bearers {
+		lb := metrics.L("bearer", br.name)
+		rep := br.mon.Report(now)
+		healthy := int64(0)
+		if rep.Healthy {
+			healthy = 1
+		}
+		n.metrics.Gauge("link", "healthy", lb).Set(healthy)
+		n.metrics.Gauge("link", "rtt_us", lb).Set(rep.RTT.Microseconds())
+		n.metrics.Gauge("link", "probe_loss_ppm", lb).Set(int64(rep.ProbeLoss * 1e6))
+		n.metrics.Gauge("link", "peers_heard", lb).Set(int64(rep.PeersHeard))
+		ts := br.tr.Stats()
+		n.metrics.Gauge("transport", "packets_sent", lb).Set(int64(ts.PacketsSent))
+		n.metrics.Gauge("transport", "bytes_sent", lb).Set(int64(ts.BytesSent))
+		n.metrics.Gauge("transport", "packets_wire", lb).Set(int64(ts.PacketsWire))
+		n.metrics.Gauge("transport", "bytes_wire", lb).Set(int64(ts.BytesWire))
+		n.metrics.Gauge("transport", "packets_received", lb).Set(int64(ts.PacketsRecv))
+		n.metrics.Gauge("transport", "bytes_received", lb).Set(int64(ts.BytesRecv))
+		n.metrics.Gauge("transport", "packets_dropped", lb).Set(int64(ts.PacketsDropped))
+	}
+	if pool, ok := n.sched.(*scheduler.Pool); ok {
+		n.metrics.Gauge("scheduler", "backlog").Set(int64(pool.Backlog()))
+	}
+}
 
 // SetBulkRate re-shapes the *default bearer's* PriorityBulk egress lane at
 // runtime (0 turns shaping off) — for links whose capacity is discovered

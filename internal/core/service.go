@@ -15,8 +15,14 @@ import (
 	"uavmw/internal/qos"
 	"uavmw/internal/rpc"
 	"uavmw/internal/transport"
+	"uavmw/internal/uerr"
 	"uavmw/internal/variables"
 )
+
+// codeServicePanic types a panicking service handler: panic containment
+// marks the service failed (§3 "watching for their correct operation")
+// and the failure lands in the node registry like any other.
+var codeServicePanic = uerr.Register("service.handler_panic", uerr.CatResource)
 
 // Service is the unit of business logic the container manages (§3 "the
 // container is the responsible of starting and stopping the services it
@@ -365,7 +371,7 @@ func (c *Context) guard(body func()) func() {
 	return func() {
 		defer func() {
 			if r := recover(); r != nil {
-				c.Fail(fmt.Errorf("panic: %v", r))
+				c.Fail(uerr.Newf(c.node.metrics, codeServicePanic, "%s: panic: %v", c.service, r))
 			}
 		}()
 		body()
@@ -438,7 +444,7 @@ func (c *Context) RegisterFunction(name string, argType, retType *presentation.T
 	guarded := func(args any) (v any, err error) {
 		defer func() {
 			if r := recover(); r != nil {
-				err = fmt.Errorf("panic: %v", r)
+				err = uerr.Newf(c.node.metrics, codeServicePanic, "%s/%s: panic: %v", c.service, name, r)
 			}
 		}()
 		return h(args)

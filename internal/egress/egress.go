@@ -42,9 +42,20 @@ import (
 	"time"
 
 	"uavmw/internal/clock"
+	"uavmw/internal/metrics"
 	"uavmw/internal/protocol"
 	"uavmw/internal/qos"
 	"uavmw/internal/transport"
+	"uavmw/internal/uerr"
+)
+
+// Wire-path error codes: transmit failures and drop-oldest evictions
+// land in the "egress.errors" registry family by category, alongside the
+// per-bearer operational counters.
+var (
+	codeTransmit     = uerr.Register("egress.transmit", uerr.CatSend)
+	codeLaneOverflow = uerr.Register("egress.lane_overflow", uerr.CatResource)
+	codeRerouteDrop  = uerr.Register("egress.reroute_drop", uerr.CatResource)
 )
 
 // Sender is the downstream transmit interface (one raw datagram transport).
@@ -121,6 +132,11 @@ type Config struct {
 	// Clock is the time source pacing the bearer (token refill, bulk
 	// waits); nil means the wall clock.
 	Clock clock.Clock
+	// Metrics is the registry receiving the bearer's counter families
+	// ("egress" component, series labeled by bearer and class) and its
+	// typed-error counts. Nil gets a private registry, so bare test
+	// planes keep working unchanged.
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -179,7 +195,10 @@ type ClassStats struct {
 	Bytes uint64
 }
 
-// Stats is a snapshot of plane (or single-bearer) activity.
+// Stats is a snapshot of plane (or single-bearer) activity. It is a view
+// over the node registry's "egress" families: bearers increment
+// pre-resolved counter handles, and snapshotting reads the same series
+// MetricsSnapshot exports.
 type Stats struct {
 	// PerClass is indexed by qos.Priority.Index().
 	PerClass [numClasses]ClassStats
@@ -445,7 +464,8 @@ func (p *Plane) Reroute(name string) int {
 	for _, it := range items {
 		pr := qos.PriorityBulk + qos.Priority(it.class)
 		if it.key.group == "" {
-			_ = p.Enqueue(it.key.node, pr, it.raw)
+			uerr.Note(b.reg, codeRerouteDrop, p.Enqueue(it.key.node, pr, it.raw),
+				"reroute off "+name)
 			continue
 		}
 		target := ""
@@ -462,7 +482,8 @@ func (p *Plane) Reroute(name string) int {
 			// rather than dropping silently.
 			target = name
 		}
-		_ = p.EnqueueOnGroup(target, it.key.group, pr, it.raw)
+		uerr.Note(b.reg, codeRerouteDrop, p.EnqueueOnGroup(target, it.key.group, pr, it.raw),
+			"reroute off "+name)
 	}
 	return len(items)
 }
@@ -532,7 +553,8 @@ type bearer struct {
 	lastRefill   time.Time
 	rate         int64 // current bulk shaping rate (0 = off)
 	transmitting bool  // drainer holds a dequeued datagram
-	stats        Stats
+	reg          *metrics.Registry
+	ctr          bearerCounters
 	closed       bool
 
 	trigger clock.Trigger
@@ -540,9 +562,54 @@ type bearer struct {
 	wg      sync.WaitGroup
 }
 
+// classCounters holds one (bearer, class) series set, pre-resolved so the
+// drain path pays one atomic add per counter, no registry lookups.
+type classCounters struct {
+	enqueued, sent, datagrams, coalesced, dropped, bytes *metrics.Counter
+}
+
+// bearerCounters holds one bearer's registry handles.
+type bearerCounters struct {
+	perClass     [numClasses]classCounters
+	bulkWaits    *metrics.Counter
+	rerouted     *metrics.Counter
+	sendFailures *metrics.Counter
+	// overflow is the pre-resolved "egress.errors" series for drop-oldest
+	// evictions: the eviction is a per-frame hot-path event with no error
+	// value to hand anyone, so it counts through the handle rather than a
+	// uerr construction.
+	overflow *metrics.Counter
+}
+
+func newBearerCounters(reg *metrics.Registry, bearerName string) bearerCounters {
+	lb := metrics.L("bearer", bearerName)
+	var ctr bearerCounters
+	for _, pr := range qos.Levels() {
+		cl := metrics.L("class", pr.String())
+		c := func(name string) *metrics.Counter { return reg.Counter("egress", name, lb, cl) }
+		ctr.perClass[pr.Index()] = classCounters{
+			enqueued:  c("enqueued"),
+			sent:      c("sent"),
+			datagrams: c("datagrams"),
+			coalesced: c("coalesced"),
+			dropped:   c("dropped"),
+			bytes:     c("bytes"),
+		}
+	}
+	ctr.bulkWaits = reg.Counter("egress", "bulk_waits", lb)
+	ctr.rerouted = reg.Counter("egress", "rerouted", lb)
+	ctr.sendFailures = reg.Counter("egress", "send_failures", lb)
+	ctr.overflow = uerr.Handle(reg, codeLaneOverflow)
+	return ctr
+}
+
 func newBearer(name string, sender Sender, cfg Config) *bearer {
 	cfg = cfg.withDefaults()
 	clk := clock.Or(cfg.Clock)
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	b := &bearer{
 		name:       name,
 		cfg:        cfg,
@@ -552,6 +619,8 @@ func newBearer(name string, sender Sender, cfg Config) *bearer {
 		rate:       cfg.BulkRateBPS,
 		tokens:     float64(cfg.BulkBurst),
 		lastRefill: clk.Now(),
+		reg:        reg,
+		ctr:        newBearerCounters(reg, name),
 		trigger:    clock.NewTrigger(clk),
 		stop:       make(chan struct{}),
 	}
@@ -569,10 +638,23 @@ func (b *bearer) setBulkRate(bps int64) {
 	b.signal()
 }
 
+// snapshot reads the bearer's registry series back into the Stats shape.
 func (b *bearer) snapshot() Stats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.stats
+	var s Stats
+	for i, cc := range b.ctr.perClass {
+		s.PerClass[i] = ClassStats{
+			Enqueued:  cc.enqueued.Value(),
+			Sent:      cc.sent.Value(),
+			Datagrams: cc.datagrams.Value(),
+			Coalesced: cc.coalesced.Value(),
+			Dropped:   cc.dropped.Value(),
+			Bytes:     cc.bytes.Value(),
+		}
+	}
+	s.SendErrors = b.ctr.sendFailures.Value()
+	s.BulkWaits = b.ctr.bulkWaits.Value()
+	s.Rerouted = b.ctr.rerouted.Value()
+	return s
 }
 
 func (b *bearer) enqueue(key destKey, pr qos.Priority, raw []byte) error {
@@ -593,10 +675,11 @@ func (b *bearer) enqueue(key destKey, pr qos.Priority, raw []byte) error {
 	if len(ln.q[c]) >= b.cfg.QueueCap {
 		// Drop-oldest: the stalest frame in this lane+class makes room.
 		ln.q[c] = ln.q[c][1:]
-		b.stats.PerClass[c].Dropped++
+		b.ctr.perClass[c].dropped.Inc()
+		b.ctr.overflow.Inc()
 	}
 	ln.q[c] = append(ln.q[c], raw)
-	b.stats.PerClass[c].Enqueued++
+	b.ctr.perClass[c].enqueued.Inc()
 	if !ln.queued[c] {
 		ln.queued[c] = true
 		b.ready[c] = append(b.ready[c], ln)
@@ -644,7 +727,7 @@ func (b *bearer) next() (datagram []byte, key destKey, wait time.Duration, ok bo
 					need = burst
 				}
 				if b.tokens < need {
-					b.stats.BulkWaits++
+					b.ctr.bulkWaits.Inc()
 					wait = time.Duration((need - b.tokens) / float64(b.rate) * float64(time.Second))
 					if wait <= 0 {
 						wait = time.Millisecond
@@ -664,15 +747,15 @@ func (b *bearer) next() (datagram []byte, key destKey, wait time.Duration, ok bo
 					datagram = frames[0]
 					frames = frames[:1]
 				} else {
-					b.stats.PerClass[c].Coalesced += uint64(len(frames))
+					b.ctr.perClass[c].coalesced.Add(uint64(len(frames)))
 				}
 			}
 			if c == bulkClass && b.rate > 0 {
 				b.tokens -= float64(len(datagram))
 			}
-			b.stats.PerClass[c].Sent += uint64(len(frames))
-			b.stats.PerClass[c].Datagrams++
-			b.stats.PerClass[c].Bytes += uint64(len(datagram))
+			b.ctr.perClass[c].sent.Add(uint64(len(frames)))
+			b.ctr.perClass[c].datagrams.Inc()
+			b.ctr.perClass[c].bytes.Add(uint64(len(datagram)))
 			// Rotate for round-robin fairness within the class.
 			b.ready[c] = b.ready[c][1:]
 			if len(ln.q[c]) > 0 {
@@ -735,9 +818,8 @@ func (b *bearer) transmit(key destKey, datagram []byte) {
 		err = b.sender.Send(key.node, datagram)
 	}
 	if err != nil {
-		b.mu.Lock()
-		b.stats.SendErrors++
-		b.mu.Unlock()
+		b.ctr.sendFailures.Inc()
+		uerr.Note(b.reg, codeTransmit, err, "transport send on "+b.name)
 	}
 }
 
@@ -818,7 +900,7 @@ func (b *bearer) drainQueued() []queuedFrame {
 			delete(b.lanes, key)
 		}
 	}
-	b.stats.Rerouted += uint64(len(out))
+	b.ctr.rerouted.Add(uint64(len(out)))
 	b.idle.Broadcast()
 	return out
 }
@@ -840,14 +922,19 @@ func (b *bearer) close() {
 	for c := numClasses - 1; c >= 0; c-- {
 		for _, ln := range b.ready[c] {
 			for _, raw := range ln.q[c] {
+				var err error
 				if ln.key.group != "" {
-					_ = b.sender.SendGroup(ln.key.group, raw)
+					err = b.sender.SendGroup(ln.key.group, raw)
 				} else {
-					_ = b.sender.Send(ln.key.node, raw)
+					err = b.sender.Send(ln.key.node, raw)
 				}
-				b.stats.PerClass[c].Sent++
-				b.stats.PerClass[c].Datagrams++
-				b.stats.PerClass[c].Bytes += uint64(len(raw))
+				if err != nil {
+					b.ctr.sendFailures.Inc()
+					uerr.Note(b.reg, codeTransmit, err, "final flush on "+b.name)
+				}
+				b.ctr.perClass[c].sent.Inc()
+				b.ctr.perClass[c].datagrams.Inc()
+				b.ctr.perClass[c].bytes.Add(uint64(len(raw)))
 			}
 			ln.q[c] = nil
 			ln.queued[c] = false

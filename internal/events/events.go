@@ -31,11 +31,21 @@ import (
 
 	"uavmw/internal/clock"
 	"uavmw/internal/fabric"
+	"uavmw/internal/metrics"
 	"uavmw/internal/naming"
 	"uavmw/internal/presentation"
 	"uavmw/internal/protocol"
 	"uavmw/internal/qos"
 	"uavmw/internal/transport"
+	"uavmw/internal/uerr"
+)
+
+// Event wire-path error codes.
+var (
+	codeEventPublish = uerr.Register("events.publish", uerr.CatSend)
+	codeEventPartial = uerr.Register("events.partial_delivery", uerr.CatSend)
+	codeEventLeave   = uerr.Register("events.leave_group", uerr.CatResource)
+	codeEventShed    = uerr.Register("events.dispatch_shed", uerr.CatAdmission)
 )
 
 // Errors.
@@ -70,6 +80,7 @@ type shard struct {
 type Engine struct {
 	f      fabric.Fabric
 	clk    clock.Clock
+	reg    *metrics.Registry
 	shards [numShards]shard
 }
 
@@ -79,7 +90,7 @@ func New(f fabric.Fabric) *Engine {
 	if c, ok := f.(fabric.Clocked); ok {
 		clk = clock.Or(c.Clock())
 	}
-	e := &Engine{f: f, clk: clk}
+	e := &Engine{f: f, clk: clk, reg: fabric.MetricsOf(f)}
 	for i := range e.shards {
 		e.shards[i].pubs = make(map[string]*Publisher)
 		e.shards[i].subs = make(map[string][]*Subscription)
@@ -130,6 +141,7 @@ func (e *Engine) Offer(topic, service string, t *presentation.Type, q qos.EventQ
 		sh.mu.Unlock()
 		return nil, fmt.Errorf("events: %q: %w", topic, ErrDuplicateName)
 	}
+	lb := metrics.L("topic", topic)
 	p := &Publisher{
 		engine:      e,
 		topic:       topic,
@@ -138,6 +150,9 @@ func (e *Engine) Offer(topic, service string, t *presentation.Type, q qos.EventQ
 		q:           q,
 		id:          protocol.NewIncarnation(),
 		subscribers: make(map[transport.NodeID]time.Time),
+		published:   e.reg.Counter("events", "published", lb),
+		failures:    e.reg.Counter("events", "subscriber_failures", lb),
+		repairs:     e.reg.Counter("events", "repairs", lb),
 	}
 	if q.Delivery == qos.DeliverMulticast {
 		p.replay = newReplayRing(replayDepth)
@@ -203,9 +218,12 @@ type Publisher struct {
 	replay      *replayRing                    // multicast mode only
 	closed      bool
 
-	published uint64
-	failures  uint64
-	repairs   uint64 // occurrences retransmitted on NACK
+	// Registry handles ("events" component, labeled by topic); the
+	// Stats/Repairs accessors are views over the same series the node's
+	// MetricsSnapshot exports.
+	published *metrics.Counter
+	failures  *metrics.Counter
+	repairs   *metrics.Counter // occurrences retransmitted on NACK
 }
 
 // subscriberTTL drops remote subscribers that stop refreshing (their node
@@ -275,7 +293,7 @@ func (p *Publisher) Publish(ctx context.Context, v any) error {
 		}
 		targets = append(targets, node)
 	}
-	p.published++
+	p.published.Inc()
 	if p.replay != nil {
 		p.replay.put(seq, body)
 	}
@@ -309,10 +327,8 @@ func (p *Publisher) publishGroup(seq uint64, body []byte) error {
 	*bufp = payload[:0]
 	payloadPool.Put(bufp)
 	if err != nil {
-		p.mu.Lock()
-		p.failures++
-		p.mu.Unlock()
-		return fmt.Errorf("events: publish %q: %w", p.topic, err)
+		p.failures.Inc()
+		return uerr.Wrapf(p.engine.reg, codeEventPublish, err, "publish %q", p.topic)
 	}
 	return nil
 }
@@ -379,17 +395,15 @@ func (p *Publisher) publishUnicast(ctx context.Context, seq uint64, body []byte,
 		}
 	})
 	if failed > 0 {
-		p.mu.Lock()
-		p.failures += uint64(failed)
-		p.mu.Unlock()
+		p.failures.Add(uint64(failed))
 	}
 	if cancelErr != nil {
 		return fmt.Errorf("events: publish %q (%d subscribers unreachable before cancellation): %w",
 			p.topic, failed, cancelErr)
 	}
 	if failed > 0 {
-		return fmt.Errorf("events: %q: %d of %d subscribers unreachable: %w",
-			p.topic, failed, len(targets), ErrPartialDelivery)
+		return uerr.Wrapf(p.engine.reg, codeEventPartial, ErrPartialDelivery,
+			"%q: %d of %d subscribers unreachable", p.topic, failed, len(targets))
 	}
 	return nil
 }
@@ -414,7 +428,7 @@ func (p *Publisher) repairFor(node transport.NodeID, seqs []uint64) {
 			repairs = append(repairs, repair{seq: seq, body: append([]byte(nil), body...)})
 		}
 	}
-	p.repairs += uint64(len(repairs))
+	p.repairs.Add(uint64(len(repairs)))
 	p.mu.Unlock()
 
 	for _, rep := range repairs {
@@ -453,18 +467,12 @@ func (p *Publisher) dropSubscriber(node transport.NodeID) {
 
 // Stats reports published event and failed-subscriber counts.
 func (p *Publisher) Stats() (published, failures uint64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.published, p.failures
+	return p.published.Value(), p.failures.Value()
 }
 
 // Repairs reports how many occurrences were retransmitted on NACK
 // (multicast mode).
-func (p *Publisher) Repairs() uint64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.repairs
-}
+func (p *Publisher) Repairs() uint64 { return p.repairs.Value() }
 
 // Close withdraws the publisher.
 func (p *Publisher) Close() {
@@ -671,7 +679,8 @@ func (s *Subscription) Close() {
 	sh.mu.Unlock()
 
 	if remaining == 0 && joined {
-		_ = e.f.Leave(fabric.EventGroup(s.topic))
+		uerr.Note(e.reg, codeEventLeave, e.f.Leave(fabric.EventGroup(s.topic)),
+			"leave "+s.topic)
 	}
 	if remaining == 0 && provider != "" && provider != e.f.Self() {
 		frame := &protocol.Frame{
@@ -706,7 +715,8 @@ func (s *Subscription) dispatch(v any, from transport.NodeID) {
 	h := s.handler
 	pr := s.q.Priority
 	s.mu.Unlock()
-	_ = s.engine.f.Schedule(pr, func() { h(v, from) })
+	uerr.Note(s.engine.reg, codeEventShed,
+		s.engine.f.Schedule(pr, func() { h(v, from) }), "dispatch "+s.topic)
 }
 
 // HandleSubscribe processes a remote MTSubscribe.

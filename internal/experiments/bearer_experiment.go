@@ -66,6 +66,10 @@ type E14Result struct {
 	// Single-bearer baseline: alarms only, same blackout, wifi only.
 	SingleSent, SingleLost int
 	SingleBlackout         time.Duration
+
+	// MetricsText is the UAV node's observability snapshot at the end of
+	// the multi-bearer run (metrics.Snapshot.Text).
+	MetricsText string
 }
 
 // e14ShapeFraction paces each bearer's bulk lane below its link rate. It
@@ -377,6 +381,7 @@ func runE14Multi(clk clock.Clock, res *E14Result, seed int64) error {
 	}
 	res.Multi, res.MultiLost = rec.collect(loadedFrom, loadedTo)
 	res.MultiSent = loadedTo - loadedFrom + 1
+	res.MetricsText = uav.MetricsSnapshot().Text()
 	return nil
 }
 

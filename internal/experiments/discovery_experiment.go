@@ -36,6 +36,11 @@ type E12Result struct {
 	// Converge is the latency from offering one new variable on a node
 	// to it being resolvable on the farthest other node.
 	Converge time.Duration
+	// MetricsText is node n000's full observability snapshot
+	// (metrics.Snapshot.Text) at measurement end. It is a plain string so
+	// E12Result stays comparable: the virtual-time determinism test
+	// requires two same-seed runs to produce byte-identical snapshots.
+	MetricsText string
 }
 
 // e12Fn names one synthetic function registration.
@@ -244,6 +249,7 @@ func RunE12(clk clock.Clock, nodes, recordsPerNode int, seed int64) (*E12Result,
 	}
 	_, bytes, _ = net.WireStats()
 	res.BaselineBytesPerPeriod = float64(bytes) / baselineRounds
+	res.MetricsText = fleet[0].MetricsSnapshot().Text()
 	return res, nil
 }
 

@@ -57,6 +57,10 @@ type E13Result struct {
 	ShapedDropped uint64
 	// ShapedCoalesced counts frames that shared a batch datagram.
 	ShapedCoalesced uint64
+
+	// MetricsText is the UAV node's observability snapshot at the end of
+	// the shaped run (metrics.Snapshot.Text).
+	MetricsText string
 }
 
 // alarmRecorder correlates published alarms with their arrival at the
@@ -317,6 +321,7 @@ func runE13Phase(clk clock.Clock, res *E13Result, shaped bool, seed int64) error
 		st := uav.EgressStats()
 		res.ShapedDropped = st.Class(qos.PriorityBulk).Dropped
 		res.ShapedCoalesced = st.Totals().Coalesced
+		res.MetricsText = uav.MetricsSnapshot().Text()
 	} else {
 		res.Flood, res.FloodLost, res.FloodSent = hist, lost, loadedTo-loadedFrom+1
 		res.FloodTransfer, res.FloodGoodput = transfer, goodput

@@ -31,6 +31,15 @@ func TestVirtualRunsAreDeterministic(t *testing.T) {
 	if a != b {
 		t.Fatalf("same seed, different results:\n  first:  %+v\n  second: %+v", a, b)
 	}
+	// The comparison above includes MetricsText: two same-seed runs must
+	// export byte-identical observability snapshots. Guard against the
+	// field silently becoming empty, which would make that vacuous.
+	if a.MetricsText == "" {
+		t.Fatal("E12 result carries no metrics snapshot")
+	}
+	if a.MetricsText != b.MetricsText {
+		t.Fatal("same seed, different metrics snapshots") // unreachable given a == b; kept for clarity on partial failures
+	}
 }
 
 // The 256-node discovery scenario exists only because of the virtual

@@ -11,6 +11,7 @@ import (
 	"uavmw/internal/clock"
 
 	"uavmw/internal/encoding"
+	"uavmw/internal/metrics"
 	"uavmw/internal/naming"
 	"uavmw/internal/protocol"
 	"uavmw/internal/qos"
@@ -112,6 +113,27 @@ type TunedSender interface {
 // and test fabrics keep working unchanged.
 type Clocked interface {
 	Clock() clock.Clock
+}
+
+// Instrumented is optionally implemented by fabrics that carry the node's
+// unified metrics registry. Engines resolve it through MetricsOf, so every
+// plane's counters and typed-error families land in one exportable
+// registry (core.Node.MetricsSnapshot); bare test fabrics get a private
+// registry and keep working unchanged.
+type Instrumented interface {
+	Metrics() *metrics.Registry
+}
+
+// MetricsOf returns f's registry when f is Instrumented, else a fresh
+// private registry — never nil, so engines can resolve counter handles
+// unconditionally at construction.
+func MetricsOf(f Fabric) *metrics.Registry {
+	if in, ok := f.(Instrumented); ok {
+		if reg := in.Metrics(); reg != nil {
+			return reg
+		}
+	}
+	return metrics.NewRegistry()
 }
 
 // Group naming scheme shared by engines and the container.

@@ -30,10 +30,21 @@ import (
 	"uavmw/internal/clock"
 	"uavmw/internal/encoding"
 	"uavmw/internal/fabric"
+	"uavmw/internal/metrics"
 	"uavmw/internal/naming"
 	"uavmw/internal/protocol"
 	"uavmw/internal/qos"
 	"uavmw/internal/transport"
+	"uavmw/internal/uerr"
+)
+
+// File-transfer wire-path error codes. Chunk-round sends are repaired by
+// the NACK cycle, but every failure is counted, never discarded.
+var (
+	codeFileAnnounce = uerr.Register("filetransfer.announce", uerr.CatSend)
+	codeFileChunk    = uerr.Register("filetransfer.chunk_send", uerr.CatSend)
+	codeFileQuery    = uerr.Register("filetransfer.query_send", uerr.CatSend)
+	codeFileLeave    = uerr.Register("filetransfer.leave_group", uerr.CatResource)
 )
 
 // Errors.
@@ -66,6 +77,7 @@ const (
 type Engine struct {
 	f   fabric.Fabric
 	clk clock.Clock
+	reg *metrics.Registry
 
 	queryWindow time.Duration
 	maxStrikes  int
@@ -111,6 +123,7 @@ func New(f fabric.Fabric, opts ...Option) *Engine {
 	e := &Engine{
 		f:           f,
 		clk:         clock.Or(clk),
+		reg:         fabric.MetricsOf(f),
 		queryWindow: DefaultQueryWindow,
 		maxStrikes:  DefaultMaxStrikes,
 		offers:      make(map[string]*Offer),
@@ -308,7 +321,8 @@ func (o *Offer) announce() {
 		Seq:      o.engine.f.NextSeq(),
 		Payload:  payload,
 	}
-	_ = o.engine.f.SendGroup(fabric.FileGroup(o.name), frame)
+	uerr.Note(o.engine.reg, codeFileAnnounce,
+		o.engine.f.SendGroup(fabric.FileGroup(o.name), frame), "announce "+o.name)
 }
 
 // addSubscriber registers a receiver and ensures the transfer loop runs.
@@ -408,7 +422,7 @@ func (o *Offer) transferLoop() {
 				wire := len(frame.Payload) + chunkWireOverhead
 				nextSend = nextSend.Add(time.Duration(float64(wire) / float64(o.q.RateBPS) * float64(time.Second)))
 			}
-			_ = e.f.SendGroup(group, frame)
+			uerr.Note(e.reg, codeFileChunk, e.f.SendGroup(group, frame), "chunk round")
 		}
 		if aborted {
 			continue // loop head observes closed and exits
@@ -424,7 +438,7 @@ func (o *Offer) transferLoop() {
 			Seq:      round,
 			Payload:  encodeFileMeta(revision, 0, uint32(o.q.ChunkSize), total),
 		}
-		_ = e.f.SendGroup(group, query)
+		uerr.Note(e.reg, codeFileQuery, e.f.SendGroup(group, query), "completion query")
 		if !o.sleep(e.queryWindow) {
 			continue
 		}
@@ -720,7 +734,7 @@ func (e *Engine) leaveGroup(name string) {
 	}
 	e.mu.Unlock()
 	if last {
-		_ = e.f.Leave(fabric.FileGroup(name))
+		uerr.Note(e.reg, codeFileLeave, e.f.Leave(fabric.FileGroup(name)), "leave "+name)
 	}
 }
 

@@ -1,0 +1,213 @@
+// Package lint holds repo-enforced source checks that run as ordinary go
+// tests (CI's `go test ./...` executes them; no extra tooling). They pin
+// the observability-plane contract: wire-path failures are constructed
+// through the uerr taxonomy, not ad-hoc fmt.Errorf strings, and error
+// codes carry a well-formed component plus an explicit category.
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wirePathPackages are the layers whose failures ride the wire or the
+// node's send/receive machinery. In these packages a fmt.Errorf must wrap
+// a cause (%w) — typically one of the package's sentinel errors surfaced
+// through a caller-facing API. A fmt.Errorf without %w manufactures an
+// untyped, uncounted error string; construct it through uerr instead so
+// it lands in the node registry with a component and category.
+var wirePathPackages = []string{
+	"internal/core",
+	"internal/egress",
+	"internal/events",
+	"internal/filetransfer",
+	"internal/link",
+	"internal/naming",
+	"internal/protocol",
+	"internal/rpc",
+	"internal/transport",
+	"internal/variables",
+}
+
+// repoRoot walks up from the test's working directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+// parsePackageFiles parses every non-test .go file under dir.
+func parsePackageFiles(t *testing.T, fset *token.FileSet, dir string) []*ast.File {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read %s: %v", dir, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, 0)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	return files
+}
+
+// selectorCall matches a call of the form pkg.Fn and returns its operands.
+func selectorCall(n ast.Node) (pkg, fn string, call *ast.CallExpr) {
+	c, ok := n.(*ast.CallExpr)
+	if !ok {
+		return "", "", nil
+	}
+	sel, ok := c.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", nil
+	}
+	return id.Name, sel.Sel.Name, c
+}
+
+// TestWirePathErrorsAreTyped rejects fmt.Errorf calls without a %w verb
+// in wire-path packages. Wrapping a sentinel with %w keeps a caller API's
+// errors.Is contract and stays legal; a bare formatted string is an
+// untyped error invisible to the metrics plane.
+func TestWirePathErrorsAreTyped(t *testing.T) {
+	root := repoRoot(t)
+	fset := token.NewFileSet()
+	for _, rel := range wirePathPackages {
+		for _, f := range parsePackageFiles(t, fset, filepath.Join(root, rel)) {
+			ast.Inspect(f, func(n ast.Node) bool {
+				pkg, fn, call := selectorCall(n)
+				if pkg != "fmt" || fn != "Errorf" || len(call.Args) == 0 {
+					return true
+				}
+				lit, ok := call.Args[0].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					t.Errorf("%s: fmt.Errorf with non-literal format; use uerr so the failure is typed and counted",
+						fset.Position(call.Pos()))
+					return true
+				}
+				format, err := strconv.Unquote(lit.Value)
+				if err != nil || !strings.Contains(format, "%w") {
+					t.Errorf("%s: fmt.Errorf without %%w on a wire path; construct through uerr (typed + counted) or wrap a sentinel with %%w",
+						fset.Position(call.Pos()))
+				}
+				return true
+			})
+		}
+	}
+}
+
+// codePattern is the uerr.Register contract: lowercase component.name.
+var codePattern = regexp.MustCompile(`^[a-z][a-z0-9_]*\.[a-z][a-z0-9_]*$`)
+
+// TestErrorCodesCarryComponentAndCategory statically validates every
+// uerr.Register call in the repo: the code is a literal "component.name"
+// string (no computed codes — the vocabulary must be greppable) and the
+// category is an explicit uerr.Cat* selector, never CatUnknown. The
+// runtime panics in Register catch the same mistakes, but only on the
+// first execution of the offending package; this runs on every file,
+// executed or not.
+func TestErrorCodesCarryComponentAndCategory(t *testing.T) {
+	root := repoRoot(t)
+	fset := token.NewFileSet()
+	registrations := 0
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, 0)
+		if perr != nil {
+			return perr
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			pkg, fn, call := selectorCall(n)
+			if pkg != "uerr" || fn != "Register" {
+				return true
+			}
+			registrations++
+			if len(call.Args) != 2 {
+				t.Errorf("%s: uerr.Register wants (code, category)", fset.Position(call.Pos()))
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				t.Errorf("%s: uerr.Register code must be a string literal", fset.Position(call.Pos()))
+				return true
+			}
+			code, uqErr := strconv.Unquote(lit.Value)
+			if uqErr != nil || !codePattern.MatchString(code) {
+				t.Errorf("%s: code %s is not lowercase component.name", fset.Position(call.Pos()), lit.Value)
+			}
+			for _, word := range strings.FieldsFunc(code, func(r rune) bool { return r == '.' || r == '_' }) {
+				if word == "err" || word == "error" || word == "errors" {
+					t.Errorf("%s: code %q contains %q; the errors family already says so",
+						fset.Position(call.Pos()), code, word)
+				}
+			}
+			catPkg, catName, _ := selectorCallArg(call.Args[1])
+			if catPkg != "uerr" || !strings.HasPrefix(catName, "Cat") || catName == "CatUnknown" {
+				t.Errorf("%s: category must be an explicit uerr.Cat* (not CatUnknown), got %s.%s",
+					fset.Position(call.Pos()), catPkg, catName)
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if registrations == 0 {
+		t.Fatal("no uerr.Register calls found; the lint is miswired")
+	}
+}
+
+// selectorCallArg reads a pkg.Name selector expression argument.
+func selectorCallArg(e ast.Expr) (pkg, name string, ok bool) {
+	sel, isSel := e.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isID := sel.X.(*ast.Ident)
+	if !isID {
+		return "", "", false
+	}
+	return id.Name, sel.Sel.Name, true
+}

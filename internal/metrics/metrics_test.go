@@ -160,14 +160,14 @@ func TestBucketMapping(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	r := NewRegistry()
-	r.Counter("a").Inc()
-	if r.Counter("a").Value() != 1 {
+	r.Counter("core", "frames").Inc()
+	if r.Counter("core", "frames").Value() != 1 {
 		t.Error("counter identity not stable")
 	}
-	r.Gauge("g").Set(5)
-	r.Histogram("h").Observe(time.Millisecond)
+	r.Gauge("core", "backlog").Set(5)
+	r.Histogram("rpc", "latency").Observe(time.Millisecond)
 	dump := r.Dump()
-	for _, want := range []string{"counter a = 1", "gauge g = 5", "histogram h:"} {
+	for _, want := range []string{"counter core.frames 1", "gauge core.backlog 5", "histogram rpc.latency count=1"} {
 		if !strings.Contains(dump, want) {
 			t.Errorf("Dump missing %q:\n%s", want, dump)
 		}
@@ -176,8 +176,216 @@ func TestRegistry(t *testing.T) {
 
 func TestRegistryZeroValue(t *testing.T) {
 	var r Registry
-	r.Counter("x").Add(2)
-	if r.Counter("x").Value() != 2 {
+	r.Counter("core", "x").Add(2)
+	if r.Counter("core", "x").Value() != 2 {
 		t.Error("zero-value registry unusable")
 	}
+}
+
+func TestRegistryLabelIdentity(t *testing.T) {
+	r := NewRegistry()
+	// Label order must not matter: both resolve the same series.
+	a := r.Counter("egress", "sent", L("bearer", "wifi"), L("class", "bulk"))
+	b := r.Counter("egress", "sent", L("class", "bulk"), L("bearer", "wifi"))
+	if a != b {
+		t.Fatal("label order changed series identity")
+	}
+	a.Inc()
+	if got := r.Counter("egress", "sent", L("bearer", "wifi"), L("class", "bulk")).Value(); got != 1 {
+		t.Errorf("labeled counter = %d, want 1", got)
+	}
+	// Different label values are different series.
+	c := r.Counter("egress", "sent", L("bearer", "radio"), L("class", "bulk"))
+	if c == a || c.Value() != 0 {
+		t.Error("distinct labels must resolve distinct series")
+	}
+}
+
+func TestRegistrySumCounters(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("discovery", "errors", L("category", "encode"), L("code", "beacon")).Add(3)
+	r.Counter("discovery", "errors", L("category", "encode"), L("code", "delta")).Add(2)
+	r.Counter("discovery", "errors", L("category", "send"), L("code", "beacon")).Add(7)
+	if got := r.SumCounters("discovery", "errors", L("category", "encode")); got != 5 {
+		t.Errorf("sum(category=encode) = %d, want 5", got)
+	}
+	if got := r.SumCounters("discovery", "errors"); got != 12 {
+		t.Errorf("sum(all) = %d, want 12", got)
+	}
+	if got := r.SumCounters("discovery", "nope"); got != 0 {
+		t.Errorf("missing family sum = %d, want 0", got)
+	}
+}
+
+func TestRegistryInvalidNamePanics(t *testing.T) {
+	for _, bad := range []struct{ component, name string }{
+		{"Core", "x"}, {"core", "Frames"}, {"", "x"}, {"core", ""},
+		{"co-re", "x"}, {"core", "a.b"}, {"1core", "x"},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Counter(%q, %q) did not panic", bad.component, bad.name)
+				}
+			}()
+			NewRegistry().Counter(bad.component, bad.name)
+		}()
+	}
+}
+
+// TestRegistryConcurrent drives parallel plane-style updates (resolution
+// races included) and snapshots concurrently; run under -race it pins the
+// registry's concurrency story.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	bearers := []string{"wifi", "radio", "satcom", "lte"}
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("egress", "sent", L("bearer", bearers[i%len(bearers)]))
+			h := r.Histogram("rpc", "latency")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				r.Gauge("link", "healthy", L("bearer", bearers[j%len(bearers)])).Set(int64(j & 1))
+				if j%100 == 0 {
+					h.Observe(time.Duration(j) * time.Microsecond)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				_ = r.Snapshot().Text()
+			}
+		}()
+	}
+	wg.Wait()
+	var total uint64
+	for _, b := range bearers {
+		total += r.Counter("egress", "sent", L("bearer", b)).Value()
+	}
+	if total != 8000 {
+		t.Errorf("total sent = %d, want 8000", total)
+	}
+}
+
+// TestSnapshotDeterministic pins the export contract the virtual-time
+// determinism tests rely on: identical registry state renders identical
+// bytes, whatever order series were created or updated in.
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func(reverse bool) *Registry {
+		r := NewRegistry()
+		labels := [][]Label{
+			{L("bearer", "wifi"), L("class", "bulk")},
+			{L("class", "critical"), L("bearer", "radio")},
+			{L("bearer", "radio"), L("class", "bulk")},
+		}
+		if reverse {
+			for i, j := 0, len(labels)-1; i < j; i, j = i+1, j-1 {
+				labels[i], labels[j] = labels[j], labels[i]
+			}
+		}
+		for i, ls := range labels {
+			r.Counter("egress", "sent", ls...).Add(uint64(7 * (i + 1)))
+		}
+		r.Gauge("link", "rtt_us", L("bearer", "wifi")).Set(1234)
+		r.Histogram("rpc", "latency").Observe(3 * time.Millisecond)
+		r.Histogram("rpc", "latency").Observe(90 * time.Millisecond)
+		return r
+	}
+	// Counters were added per-labelset in both orders, so totals per series
+	// differ; rebuild identically instead: same calls, different creation
+	// order only.
+	a := build(false)
+	b := build(false)
+	c := build(true)
+	ta, tb := a.Snapshot().Text(), b.Snapshot().Text()
+	if ta != tb {
+		t.Fatalf("same state, different text:\n%s\n---\n%s", ta, tb)
+	}
+	ja, err := a.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := b.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ja) != string(jb) {
+		t.Fatal("same state, different JSON")
+	}
+	// Creation order must not leak into family/series ordering.
+	if got := strings.Join(c.Snapshot().FamilyList(), "\n"); got != strings.Join(a.Snapshot().FamilyList(), "\n") {
+		t.Fatalf("creation order changed family list:\n%s", got)
+	}
+}
+
+func TestSnapshotFamilyList(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("discovery", "heartbeats_sent").Inc()
+	r.Counter("discovery", "errors", L("category", "send"), L("code", "beacon_send")).Inc()
+	r.Gauge("link", "healthy", L("bearer", "wifi")).Set(1)
+	list := r.Snapshot().FamilyList()
+	want := []string{
+		"counter discovery.errors",
+		"counter discovery.heartbeats_sent",
+		"gauge link.healthy",
+	}
+	if len(list) != len(want) {
+		t.Fatalf("family list %v, want %v", list, want)
+	}
+	for i := range want {
+		if list[i] != want[i] {
+			t.Fatalf("family list %v, want %v", list, want)
+		}
+	}
+}
+
+// BenchmarkCounterHotPath compares the pre-resolved registry handle
+// against a raw atomic — the bench guard for the refactor's claim that
+// plane hot paths pay nothing for riding the registry.
+func BenchmarkCounterHotPath(b *testing.B) {
+	b.Run("raw-atomic", func(b *testing.B) {
+		var c Counter
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Inc()
+			}
+		})
+	})
+	b.Run("registry-handle", func(b *testing.B) {
+		r := NewRegistry()
+		c := r.Counter("egress", "sent", L("bearer", "wifi"), L("class", "bulk"))
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Inc()
+			}
+		})
+	})
+	b.Run("registry-resolve-each-time", func(b *testing.B) {
+		r := NewRegistry()
+		for i := 0; i < b.N; i++ {
+			r.Counter("egress", "sent", L("bearer", "wifi"), L("class", "bulk")).Inc()
+		}
+	})
+}
+
+// BenchmarkHistogramHotPath measures Observe on the shared-bucket
+// histogram, the other hot-path primitive planes ride.
+func BenchmarkHistogramHotPath(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("rpc", "latency")
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h.Observe(time.Duration(i) * time.Microsecond)
+			i++
+		}
+	})
 }

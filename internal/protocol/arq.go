@@ -2,13 +2,24 @@ package protocol
 
 import (
 	"errors"
-	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"uavmw/internal/clock"
+	"uavmw/internal/metrics"
 	"uavmw/internal/transport"
+	"uavmw/internal/uerr"
+)
+
+// ARQ wire-path error codes. Every failure the engine reports (or used to
+// swallow — retransmission sends) is typed and counted in the node
+// registry's "arq.errors" family.
+var (
+	codeARQClosed  = uerr.Register("arq.closed_engine", uerr.CatResource)
+	codeARQDupSeq  = uerr.Register("arq.duplicate_seq", uerr.CatProtocol)
+	codeARQAckWait = uerr.Register("arq.ack_wait", uerr.CatTimeout)
+	codeARQFirstTx = uerr.Register("arq.first_transmit", uerr.CatSend)
+	codeARQRetryTx = uerr.Register("arq.retransmit", uerr.CatSend)
 )
 
 // ARQ is the application-level acknowledgment/retransmission engine the
@@ -33,6 +44,7 @@ type ARQ struct {
 	pending map[arqKey]*arqPending
 	closed  bool
 
+	reg   *metrics.Registry
 	stats arqCounters
 }
 
@@ -79,20 +91,31 @@ type ARQStats struct {
 	Failed      uint64
 }
 
-// arqCounters is the lock-free backing store for ARQStats.
+// arqCounters holds the engine's pre-resolved registry handles ("arq"
+// component); increments stay lock-free atomics and ARQStats is a view
+// over the same series MetricsSnapshot exports.
 type arqCounters struct {
-	sent        atomic.Uint64
-	retransmits atomic.Uint64
-	acked       atomic.Uint64
-	failed      atomic.Uint64
+	sent        *metrics.Counter
+	retransmits *metrics.Counter
+	acked       *metrics.Counter
+	failed      *metrics.Counter
+}
+
+func newARQCounters(reg *metrics.Registry) arqCounters {
+	return arqCounters{
+		sent:        reg.Counter("arq", "sent"),
+		retransmits: reg.Counter("arq", "retransmits"),
+		acked:       reg.Counter("arq", "acked"),
+		failed:      reg.Counter("arq", "failed"),
+	}
 }
 
 func (c *arqCounters) snapshot() ARQStats {
 	return ARQStats{
-		Sent:        c.sent.Load(),
-		Retransmits: c.retransmits.Load(),
-		Acked:       c.acked.Load(),
-		Failed:      c.failed.Load(),
+		Sent:        c.sent.Value(),
+		Retransmits: c.retransmits.Value(),
+		Acked:       c.acked.Value(),
+		Failed:      c.failed.Value(),
 	}
 }
 
@@ -151,6 +174,18 @@ func WithBackoff(f float64) ARQOption {
 	}
 }
 
+// WithMetrics lands the engine's counters and typed-error families in the
+// given registry — the container passes the node registry so ARQ activity
+// shows up in MetricsSnapshot. Without it the engine keeps a private
+// registry and bare uses work unchanged.
+func WithMetrics(reg *metrics.Registry) ARQOption {
+	return func(a *ARQ) {
+		if reg != nil {
+			a.reg = reg
+		}
+	}
+}
+
 // NewARQ builds an engine that transmits via send.
 func NewARQ(send SendFunc, opts ...ARQOption) *ARQ {
 	a := &ARQ{
@@ -164,6 +199,10 @@ func NewARQ(send SendFunc, opts ...ARQOption) *ARQ {
 	for _, opt := range opts {
 		opt(a)
 	}
+	if a.reg == nil {
+		a.reg = metrics.NewRegistry()
+	}
+	a.stats = newARQCounters(a.reg)
 	return a
 }
 
@@ -185,22 +224,22 @@ func (a *ARQ) SendTuned(to transport.NodeID, seq uint64, frame []byte, tune Send
 	a.mu.Lock()
 	if a.closed {
 		a.mu.Unlock()
-		return fmt.Errorf("protocol: %w", ErrARQClosed)
+		return uerr.Wrap(a.reg, codeARQClosed, ErrARQClosed, "send refused")
 	}
 	if _, dup := a.pending[key]; dup {
 		a.mu.Unlock()
-		return fmt.Errorf("protocol: duplicate in-flight seq %d to %q", seq, to)
+		return uerr.Newf(a.reg, codeARQDupSeq, "in-flight seq %d to %q", seq, to)
 	}
 	a.pending[key] = p
 	p.timer = a.clk.AfterFunc(a.timeoutFor(p), func() { a.retransmit(key, 1) })
 	a.mu.Unlock()
 
-	a.stats.sent.Add(1)
+	a.stats.sent.Inc()
 
 	if err := a.send(to, frame); err != nil {
 		// First transmission failed outright (unknown node, closed
 		// transport): fail fast rather than burning the retry budget.
-		a.finish(key, fmt.Errorf("protocol: arq first send: %w", err))
+		a.finish(key, uerr.Wrap(a.reg, codeARQFirstTx, err, "first transmission"))
 		return nil // outcome reported via result
 	}
 	return nil
@@ -216,9 +255,9 @@ func (a *ARQ) retransmit(key arqKey, attempt int) {
 	}
 	if attempt > a.retriesFor(p) {
 		a.mu.Unlock()
-		a.stats.failed.Add(1)
-		a.finish(key, fmt.Errorf("protocol: seq %d to %q after %d attempts: %w",
-			key.seq, key.to, attempt, ErrTimeout))
+		a.stats.failed.Inc()
+		a.finish(key, uerr.Wrapf(a.reg, codeARQAckWait, ErrTimeout,
+			"seq %d to %q after %d attempts", key.seq, key.to, attempt))
 		return
 	}
 	frame := p.frame
@@ -230,8 +269,11 @@ func (a *ARQ) retransmit(key arqKey, attempt int) {
 	p.timer = a.clk.AfterFunc(delay, func() { a.retransmit(key, attempt+1) })
 	a.mu.Unlock()
 
-	a.stats.retransmits.Add(1)
-	_ = a.send(key.to, frame) // transient failures retry on next timer
+	a.stats.retransmits.Inc()
+	// A transient failure retries on the next timer, but it is counted,
+	// not discarded: a bearer blackout shows up as arq.retransmit send
+	// errors long before retry budgets start expiring.
+	uerr.Note(a.reg, codeARQRetryTx, a.send(key.to, frame), "retransmission")
 }
 
 // timeoutFor resolves one message's effective initial timeout.
@@ -254,7 +296,7 @@ func (a *ARQ) retriesFor(p *arqPending) int {
 // (late or duplicate ACKs).
 func (a *ARQ) Ack(from transport.NodeID, seq uint64) {
 	key := arqKey{to: from, seq: seq}
-	a.stats.acked.Add(1)
+	a.stats.acked.Inc()
 	a.finish(key, nil)
 }
 
@@ -299,6 +341,6 @@ func (a *ARQ) Close() {
 	}
 	a.mu.Unlock()
 	for _, key := range keys {
-		a.finish(key, fmt.Errorf("protocol: %w", ErrARQClosed))
+		a.finish(key, uerr.Wrap(a.reg, codeARQClosed, ErrARQClosed, "engine closing"))
 	}
 }

@@ -2,13 +2,20 @@ package protocol
 
 import (
 	"errors"
-	"fmt"
 	"sync"
 	"time"
 
 	"uavmw/internal/clock"
 	"uavmw/internal/encoding"
+	"uavmw/internal/metrics"
 	"uavmw/internal/transport"
+	"uavmw/internal/uerr"
+)
+
+// GBN wire-path error codes.
+var (
+	codeGBNClosed   = uerr.Register("gbn.closed_stream", uerr.CatResource)
+	codeGBNTransmit = uerr.Register("gbn.transmit", uerr.CatSend)
 )
 
 // GoBackN is a TCP-like reliable ordered byte-message stream over an
@@ -44,6 +51,7 @@ type GoBackN struct {
 	// batches (the stream guarantee would silently break).
 	deliverMu sync.Mutex
 
+	reg   *metrics.Registry
 	stats GBNStats
 }
 
@@ -85,6 +93,16 @@ func WithGBNClock(c clock.Clock) GBNOption {
 	}
 }
 
+// WithGBNMetrics lands the stream's typed-error counts in the given
+// registry (default: a private one).
+func WithGBNMetrics(reg *metrics.Registry) GBNOption {
+	return func(g *GoBackN) {
+		if reg != nil {
+			g.reg = reg
+		}
+	}
+}
+
 // NewGoBackN builds one direction of a stream to peer. deliver receives
 // messages strictly in send order.
 func NewGoBackN(peer transport.NodeID, send SendFunc, deliver func([]byte), timeout time.Duration, window int, opts ...GBNOption) *GoBackN {
@@ -107,6 +125,9 @@ func NewGoBackN(peer transport.NodeID, send SendFunc, deliver func([]byte), time
 	for _, opt := range opts {
 		opt(g)
 	}
+	if g.reg == nil {
+		g.reg = metrics.NewRegistry()
+	}
 	return g
 }
 
@@ -122,7 +143,7 @@ func (g *GoBackN) Send(msg []byte) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.closed {
-		return fmt.Errorf("protocol: %w", ErrGBNClosed)
+		return uerr.Wrap(g.reg, codeGBNClosed, ErrGBNClosed, "send refused")
 	}
 	if g.nextSeq-g.sendBase >= uint64(g.window) {
 		cp := make([]byte, len(msg))
@@ -153,7 +174,9 @@ func (g *GoBackN) rawSend(kind uint8, seq uint64, payload []byte) {
 	w.Uint8(kind)
 	w.Uint64(seq)
 	w.Raw(payload)
-	_ = g.send(g.peer, w.Bytes())
+	// The window timer is the recovery path for a lost transmission, but
+	// the failure is counted, not discarded.
+	uerr.Note(g.reg, codeGBNTransmit, g.send(g.peer, w.Bytes()), "stream transmit")
 }
 
 // onTimeout retransmits the whole unacked window (classic Go-Back-N).

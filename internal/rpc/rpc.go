@@ -34,11 +34,22 @@ import (
 	"uavmw/internal/clock"
 	"uavmw/internal/encoding"
 	"uavmw/internal/fabric"
+	"uavmw/internal/metrics"
 	"uavmw/internal/naming"
 	"uavmw/internal/presentation"
 	"uavmw/internal/protocol"
 	"uavmw/internal/qos"
 	"uavmw/internal/transport"
+	"uavmw/internal/uerr"
+)
+
+// Wire-path error codes: admission sheds, malformed replies and protocol
+// violations land in the registry's "rpc.errors" family by category.
+var (
+	codeBusyShed        = uerr.Register("rpc.busy_shed", uerr.CatAdmission)
+	codeUnknownFunction = uerr.Register("rpc.unknown_function", uerr.CatProtocol)
+	codeReplyDecode     = uerr.Register("rpc.reply_decode", uerr.CatDecode)
+	codeArgsDecode      = uerr.Register("rpc.args_decode", uerr.CatDecode)
 )
 
 // Errors.
@@ -112,8 +123,14 @@ type Engine struct {
 	// (0 = unlimited); excess requests are answered MTBusy.
 	inflightLimit atomic.Int64
 	inflight      atomic.Int64
-	busyRejects   atomic.Uint64 // requests shed by this provider
-	hedges        atomic.Uint64 // speculative dispatches by this caller
+
+	// Registry handles, resolved once at construction. busyRejects is the
+	// pre-resolved "rpc.errors" admission series (a shed is a per-request
+	// event with no error value to hand anyone); hedges is an ordinary
+	// counter family.
+	reg         *metrics.Registry
+	busyRejects *metrics.Counter
+	hedges      *metrics.Counter
 }
 
 type registration struct {
@@ -123,7 +140,7 @@ type registration struct {
 	retType *presentation.Type // nil = no return value
 	handler Handler
 	q       qos.CallQoS
-	calls   atomic.Uint64
+	calls   *metrics.Counter // "rpc.calls" series labeled by function
 }
 
 // pendingCall carries one in-flight remote attempt's reply slot. The
@@ -170,11 +187,15 @@ func New(f fabric.Fabric) *Engine {
 	if c, ok := f.(fabric.Clocked); ok {
 		clk = clock.Or(c.Clock())
 	}
+	reg := fabric.MetricsOf(f)
 	e := &Engine{
-		f:         f,
-		clk:       clk,
-		functions: make(map[string]*registration),
-		pins:      make(map[string]transport.NodeID),
+		f:           f,
+		clk:         clk,
+		functions:   make(map[string]*registration),
+		pins:        make(map[string]transport.NodeID),
+		reg:         reg,
+		busyRejects: uerr.Handle(reg, codeBusyShed),
+		hedges:      reg.Counter("rpc", "hedges"),
 	}
 	for i := range e.pending {
 		e.pending[i].calls = make(map[uint64]*pendingCall)
@@ -195,7 +216,7 @@ func (e *Engine) SetInflightLimit(n int) {
 
 // BusyRejects reports how many incoming calls this provider has shed via
 // MTBusy (admission control + budget shedding).
-func (e *Engine) BusyRejects() uint64 { return e.busyRejects.Load() }
+func (e *Engine) BusyRejects() uint64 { return e.busyRejects.Value() }
 
 // Inflight reports how many remote-call handlers are executing right now
 // (diagnostics / load probes).
@@ -203,7 +224,37 @@ func (e *Engine) Inflight() int { return int(e.inflight.Load()) }
 
 // Hedges reports how many speculative hedged dispatches this caller has
 // issued.
-func (e *Engine) Hedges() uint64 { return e.hedges.Load() }
+func (e *Engine) Hedges() uint64 { return e.hedges.Value() }
+
+// Stats is a snapshot of the engine — a view over the registry's "rpc"
+// families, the same series Node.MetricsSnapshot exports.
+type Stats struct {
+	// BusyRejects counts requests this provider shed via MTBusy.
+	BusyRejects uint64
+	// Hedges counts speculative hedged dispatches issued by this caller.
+	Hedges uint64
+	// Inflight is the number of handlers executing at snapshot time.
+	Inflight int
+	// DecodeDrops counts malformed replies and argument payloads dropped.
+	DecodeDrops uint64
+	// ProtocolViolations counts wire-contract breaches (unknown function
+	// names offered as providers, admission sheds excluded).
+	ProtocolViolations uint64
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	cat := func(c uerr.Category) uint64 {
+		return e.reg.SumCounters("rpc", "errors", metrics.L("category", c.String()))
+	}
+	return Stats{
+		BusyRejects:        e.busyRejects.Value(),
+		Hedges:             e.hedges.Value(),
+		Inflight:           int(e.inflight.Load()),
+		DecodeDrops:        cat(uerr.CatDecode),
+		ProtocolViolations: cat(uerr.CatProtocol),
+	}
+}
 
 // Register exposes a function. argType/retType may be nil for void.
 func (e *Engine) Register(name, service string, argType, retType *presentation.Type, q qos.CallQoS, h Handler) error {
@@ -235,6 +286,7 @@ func (e *Engine) Register(name, service string, argType, retType *presentation.T
 		retType: retType,
 		handler: h,
 		q:       q.Normalize(),
+		calls:   e.reg.Counter("rpc", "calls", metrics.L("function", name)),
 	}
 	e.regMu.Unlock()
 	e.f.OfferChanged()
@@ -479,7 +531,7 @@ func (e *Engine) Call(ctx context.Context, name string, args any, argType, retTy
 			}
 			if hedging && appErr == nil && !e.clk.Now().Before(hedgeAt) {
 				if launched < maxAttempts && launch() == nil {
-					e.hedges.Add(1)
+					e.hedges.Inc()
 					rearmHedge()
 				} else {
 					hedging = false // no untried provider left; stop hedging
@@ -649,7 +701,7 @@ func (e *Engine) callLocal(ctx context.Context, name string, payload []byte, arg
 		r := out
 		rmu.Unlock()
 		if r != nil {
-			reg.calls.Add(1)
+			reg.calls.Inc()
 			if r.err != nil {
 				return nil, &AppError{Name: name, Message: r.err.Error()}, nil
 			}
@@ -715,7 +767,8 @@ func (e *Engine) callRemote(ctx context.Context, provider transport.NodeID, name
 				return nil, nil, fmt.Errorf("rpc: %s to %q: %w", name, provider, ErrBusy)
 			}
 			if res.infraErr {
-				return nil, nil, fmt.Errorf("rpc: %s: provider %q has no such function", name, provider)
+				return nil, nil, uerr.Newf(e.reg, codeUnknownFunction,
+					"%s: provider %q has no such function", name, provider)
 			}
 			if res.appErr != "" {
 				return nil, &AppError{Name: name, Message: res.appErr}, nil
@@ -769,6 +822,7 @@ func (e *Engine) HandleCall(from transport.NodeID, fr *protocol.Frame) {
 		decoded, err := e.f.Encoding().Unmarshal(reg.argType, fr.Payload)
 		if err != nil {
 			e.inflight.Add(-1)
+			uerr.Wrapf(e.reg, codeArgsDecode, err, "%s from %q", reg.name, from)
 			e.replyAppError(from, fr, fmt.Sprintf("bad arguments: %v", err))
 			return
 		}
@@ -794,7 +848,7 @@ func (e *Engine) HandleCall(from transport.NodeID, fr *protocol.Frame) {
 			return
 		}
 		v, err := handler(args)
-		reg.calls.Add(1)
+		reg.calls.Inc()
 		if err != nil {
 			e.replyAppError(from, fr, err.Error())
 			return
@@ -832,7 +886,7 @@ func (e *Engine) HandleCall(from transport.NodeID, fr *protocol.Frame) {
 // control); the caller treats it as an infrastructure failure and fails
 // over.
 func (e *Engine) replyBusy(to transport.NodeID, call *protocol.Frame) {
-	e.busyRejects.Add(1)
+	e.busyRejects.Inc()
 	reply := &protocol.Frame{
 		Type:     protocol.MTBusy,
 		Priority: call.Priority,
@@ -886,6 +940,7 @@ func decodeReply(payload []byte) (callID uint64, body []byte, ok bool) {
 func (e *Engine) HandleReturn(from transport.NodeID, fr *protocol.Frame) {
 	callID, body, ok := decodeReply(fr.Payload)
 	if !ok {
+		uerr.Newf(e.reg, codeReplyDecode, "return from %q", from)
 		return
 	}
 	e.complete(callID, callResult{payload: append([]byte(nil), body...), from: from})
@@ -896,6 +951,7 @@ func (e *Engine) HandleReturn(from transport.NodeID, fr *protocol.Frame) {
 func (e *Engine) HandleBusy(from transport.NodeID, fr *protocol.Frame) {
 	callID, _, ok := decodeReply(fr.Payload)
 	if !ok {
+		uerr.Newf(e.reg, codeReplyDecode, "busy from %q", from)
 		return
 	}
 	e.complete(callID, callResult{busy: true, from: from})
@@ -905,6 +961,7 @@ func (e *Engine) HandleBusy(from transport.NodeID, fr *protocol.Frame) {
 func (e *Engine) HandleError(from transport.NodeID, fr *protocol.Frame) {
 	callID, body, ok := decodeReply(fr.Payload)
 	if !ok {
+		uerr.Newf(e.reg, codeReplyDecode, "error reply from %q", from)
 		return
 	}
 	if fr.Flags&protocol.FlagAppError != 0 {
@@ -974,7 +1031,7 @@ func (e *Engine) Calls(name string) uint64 {
 	reg := e.functions[name]
 	e.regMu.Unlock()
 	if reg != nil {
-		return reg.calls.Load()
+		return reg.calls.Value()
 	}
 	return 0
 }

@@ -1,0 +1,348 @@
+// Package uerr is the middleware's typed error taxonomy. Every wire-path
+// failure — an encode that can't round-trip, a send the egress plane
+// refused, an ARQ retry budget spent, a malformed frame dropped on
+// arrival, an admission-control shed — is constructed through this
+// package instead of an anonymous counter increment or a discarded
+// `_ = err`, so failures carry *which component* and *which kind of
+// failure* wherever they propagate, and are counted the moment they are
+// born.
+//
+// The taxonomy has two axes:
+//
+//   - Category: the failure kind — encode/decode, send, timeout,
+//     admission, resource, protocol violation. Categories are closed: a
+//     new failure mode must pick one (or extend the enum deliberately).
+//   - Code: a registry-validated "component.name" identifier (lowercase,
+//     underscores; never containing "err"/"error"), registered once at
+//     package init via Register. Malformed or duplicate codes panic at
+//     init, so a typo cannot ship.
+//
+// Construction auto-increments the owning component's
+// "<component>.errors" counter family in the supplied metrics.Registry,
+// labeled {category, code} — the observability-plane contract that makes
+// every dropped frame visible in Node.MetricsSnapshot without any layer
+// remembering to count. A nil registry skips counting (unit-test
+// construction, engines wired to bare fabrics).
+//
+// uerr errors interoperate with the standard errors package: Wrap keeps
+// the cause reachable through errors.Is / errors.As (this package
+// re-exports the passthroughs, birdnet-go-style, so callers need not
+// import both), and CodeOf / CategoryOf recover the taxonomy from
+// anywhere in a wrapped chain.
+package uerr
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"uavmw/internal/metrics"
+)
+
+// Category classifies a failure by kind, orthogonal to which component it
+// happened in.
+type Category uint8
+
+// The closed category space. CatProtocol covers protocol violations:
+// frames that decode but break the protocol contract (wrong node in the
+// payload, unknown call ids, signature mismatches).
+const (
+	CatUnknown Category = iota
+	CatEncode
+	CatDecode
+	CatSend
+	CatTimeout
+	CatAdmission
+	CatResource
+	CatProtocol
+)
+
+// String returns the category's label value in error metric families.
+func (c Category) String() string {
+	switch c {
+	case CatEncode:
+		return "encode"
+	case CatDecode:
+		return "decode"
+	case CatSend:
+		return "send"
+	case CatTimeout:
+		return "timeout"
+	case CatAdmission:
+		return "admission"
+	case CatResource:
+		return "resource"
+	case CatProtocol:
+		return "protocol_violation"
+	default:
+		return "unknown"
+	}
+}
+
+// Code is a validated "component.name" error identifier. Construct only
+// through Register.
+type Code string
+
+// Component returns the code's component prefix.
+func (c Code) Component() string {
+	s := string(c)
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// Name returns the code's name suffix.
+func (c Code) Name() string {
+	s := string(c)
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[Code]Category)
+)
+
+// wordOK validates one code segment: lowercase letters, digits,
+// underscores, starting with a letter.
+func wordOK(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z':
+		case (r == '_' || (r >= '0' && r <= '9')) && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Register validates and registers a code with its category, returning the
+// Code for package-level var blocks:
+//
+//	var codeBeaconSend = uerr.Register("discovery.beacon_send", uerr.CatSend)
+//
+// It panics on a malformed code (must be "component.name", lowercase with
+// underscores, no "err"/"error" segments — the counter family already says
+// it's an error), an unknown category, or a duplicate registration: error
+// codes are a fleet-wide vocabulary and collisions are bugs.
+func Register(code string, cat Category) Code {
+	component, name, ok := strings.Cut(code, ".")
+	if !ok || !wordOK(component) || !wordOK(name) {
+		panic(fmt.Sprintf("uerr: malformed code %q: want lowercase component.name", code))
+	}
+	for _, seg := range []string{component, name} {
+		for _, word := range strings.Split(seg, "_") {
+			if word == "err" || word == "error" || word == "errors" {
+				panic(fmt.Sprintf("uerr: code %q contains %q: the error family already says so", code, word))
+			}
+		}
+	}
+	if cat == CatUnknown || cat > CatProtocol {
+		panic(fmt.Sprintf("uerr: code %q registered with invalid category %d", code, cat))
+	}
+	c := Code(code)
+	regMu.Lock()
+	defer regMu.Unlock()
+	if prev, dup := registry[c]; dup {
+		panic(fmt.Sprintf("uerr: duplicate code %q (already %s)", code, prev))
+	}
+	registry[c] = cat
+	return c
+}
+
+// CategoryFor reports the registered category of a code.
+func CategoryFor(code Code) (Category, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	cat, ok := registry[code]
+	return cat, ok
+}
+
+// RegisteredCodes lists every registered code, sorted — the lint and the
+// taxonomy doc table read it.
+func RegisteredCodes() []Code {
+	regMu.RLock()
+	out := make([]Code, 0, len(registry))
+	for c := range registry {
+		out = append(out, c)
+	}
+	regMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// E is one typed middleware error.
+type E struct {
+	// Code is the registry-validated "component.name" identifier.
+	Code Code
+	// Category is the failure kind (fixed by the code's registration).
+	Category Category
+	msg      string
+	cause    error
+}
+
+// Error renders "component.name: msg: cause".
+func (e *E) Error() string {
+	var b strings.Builder
+	b.WriteString(string(e.Code))
+	if e.msg != "" {
+		b.WriteString(": ")
+		b.WriteString(e.msg)
+	}
+	if e.cause != nil {
+		b.WriteString(": ")
+		b.WriteString(e.cause.Error())
+	}
+	return b.String()
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *E) Unwrap() error { return e.cause }
+
+// Is matches another *E with the same Code, so
+// errors.Is(err, &uerr.E{Code: c}) and sentinel comparisons both work.
+func (e *E) Is(target error) bool {
+	if t, ok := target.(*E); ok {
+		return t.Code == e.Code
+	}
+	return false
+}
+
+// Component returns the owning component (the code prefix).
+func (e *E) Component() string { return e.Code.Component() }
+
+// count increments the code's error family in reg: one counter family per
+// component, named "errors", labeled by category and code name.
+func count(reg *metrics.Registry, code Code, cat Category) {
+	if reg == nil {
+		return
+	}
+	reg.Counter(code.Component(), "errors",
+		metrics.L("category", cat.String()),
+		metrics.L("code", code.Name())).Inc()
+}
+
+// Handle pre-resolves code's error-family counter in reg — the same
+// series New/Wrap feed — for hot paths that must count a failure without
+// constructing an error value (per-frame drop-oldest eviction in a
+// flooded egress lane). It panics on an unregistered code or nil reg:
+// handle resolution happens at construction time, where a nil registry
+// is a wiring bug.
+func Handle(reg *metrics.Registry, code Code) *metrics.Counter {
+	cat, ok := CategoryFor(code)
+	if !ok {
+		panic(fmt.Sprintf("uerr: code %q used before Register", code))
+	}
+	return reg.Counter(code.Component(), "errors",
+		metrics.L("category", cat.String()),
+		metrics.L("code", code.Name()))
+}
+
+// newE builds an E for a registered code, panicking on unregistered codes:
+// construction sites pass package-level Code vars, so an unregistered code
+// is a wiring bug the first test run catches.
+func newE(reg *metrics.Registry, code Code, msg string, cause error) *E {
+	cat, ok := CategoryFor(code)
+	if !ok {
+		panic(fmt.Sprintf("uerr: code %q used before Register", code))
+	}
+	count(reg, code, cat)
+	return &E{Code: code, Category: cat, msg: msg, cause: cause}
+}
+
+// New constructs a typed error and counts it in reg (nil reg skips
+// counting).
+func New(reg *metrics.Registry, code Code, msg string) *E {
+	return newE(reg, code, msg, nil)
+}
+
+// Newf is New with a formatted message. A %w verb is not supported here;
+// use Wrap to keep a cause reachable.
+func Newf(reg *metrics.Registry, code Code, format string, args ...any) *E {
+	return newE(reg, code, fmt.Sprintf(format, args...), nil)
+}
+
+// Wrap constructs a typed error around cause and counts it in reg. The
+// cause stays reachable through errors.Is / errors.As, so existing
+// sentinel checks (protocol.ErrTimeout, transport.ErrClosed) keep working
+// when a path is lifted onto the taxonomy.
+func Wrap(reg *metrics.Registry, code Code, cause error, msg string) *E {
+	return newE(reg, code, msg, cause)
+}
+
+// Wrapf is Wrap with a formatted message.
+func Wrapf(reg *metrics.Registry, code Code, cause error, format string, args ...any) *E {
+	return newE(reg, code, fmt.Sprintf(format, args...), cause)
+}
+
+// Note counts err against code when err is non-nil — the pattern for
+// wire-path failures with no caller to return to (beacon loops, ack
+// emission, fire-and-forget repair sends). It returns the typed error
+// (nil when err is nil) so call sites that do have a caller can still
+// propagate it.
+func Note(reg *metrics.Registry, code Code, err error, msg string) error {
+	if err == nil {
+		return nil
+	}
+	return Wrap(reg, code, err, msg)
+}
+
+// CodeOf returns the outermost uerr code in err's chain.
+func CodeOf(err error) (Code, bool) {
+	var e *E
+	if errors.As(err, &e) {
+		return e.Code, true
+	}
+	return "", false
+}
+
+// CategoryOf returns the outermost uerr category in err's chain.
+func CategoryOf(err error) (Category, bool) {
+	var e *E
+	if errors.As(err, &e) {
+		return e.Category, true
+	}
+	return CatUnknown, false
+}
+
+// IsCode reports whether err's chain carries the given code.
+func IsCode(err error, code Code) bool {
+	for err != nil {
+		if e, ok := err.(*E); ok && e.Code == code {
+			return true
+		}
+		err = errors.Unwrap(err)
+	}
+	return false
+}
+
+// IsCategory reports whether err's chain carries the given category.
+func IsCategory(err error, cat Category) bool {
+	for err != nil {
+		if e, ok := err.(*E); ok && e.Category == cat {
+			return true
+		}
+		err = errors.Unwrap(err)
+	}
+	return false
+}
+
+// Standard-library passthroughs, so wire-path packages import only uerr.
+
+// Is reports whether any error in err's chain matches target.
+func Is(err, target error) bool { return errors.Is(err, target) }
+
+// As finds the first error in err's chain matching target's type.
+func As(err error, target any) bool { return errors.As(err, target) }
+
+// Unwrap returns err's cause, if any.
+func Unwrap(err error) error { return errors.Unwrap(err) }

@@ -1,0 +1,171 @@
+package uerr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"uavmw/internal/metrics"
+)
+
+var (
+	testSend    = Register("uerrtest.beacon_send", CatSend)
+	testDecode  = Register("uerrtest.frame_decode", CatDecode)
+	testTimeout = Register("uerrtest.ack_wait", CatTimeout)
+)
+
+func TestRegisterRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"", "noperiod", "Upper.case", "comp.Name", "comp.", ".name",
+		"comp.na-me", "comp.err", "comp.error_path", "err.thing",
+		"comp.name.extra",
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register(%q) did not panic", bad)
+				}
+			}()
+			Register(bad, CatSend)
+		}()
+	}
+}
+
+func TestRegisterRejectsDuplicateAndBadCategory(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate Register did not panic")
+			}
+		}()
+		Register("uerrtest.beacon_send", CatSend)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("CatUnknown Register did not panic")
+			}
+		}()
+		Register("uerrtest.other_thing", CatUnknown)
+	}()
+}
+
+func TestCodeParts(t *testing.T) {
+	if testSend.Component() != "uerrtest" || testSend.Name() != "beacon_send" {
+		t.Errorf("code parts = %q/%q", testSend.Component(), testSend.Name())
+	}
+}
+
+func TestNewCountsInRegistry(t *testing.T) {
+	reg := metrics.NewRegistry()
+	err := New(reg, testSend, "egress refused the frame")
+	if err.Category != CatSend {
+		t.Errorf("category = %v", err.Category)
+	}
+	if got := reg.SumCounters("uerrtest", "errors", metrics.L("category", "send")); got != 1 {
+		t.Errorf("send errors counted = %d, want 1", got)
+	}
+	if got := reg.SumCounters("uerrtest", "errors", metrics.L("code", "beacon_send")); got != 1 {
+		t.Errorf("code-labeled count = %d, want 1", got)
+	}
+	// nil registry must not panic.
+	_ = New(nil, testSend, "uncounted")
+}
+
+func TestWrapKeepsCauseReachable(t *testing.T) {
+	sentinel := errors.New("transport closed")
+	reg := metrics.NewRegistry()
+	err := Wrapf(reg, testTimeout, sentinel, "seq %d unacked", 42)
+	if !errors.Is(err, sentinel) {
+		t.Error("errors.Is lost the cause")
+	}
+	if !Is(err, sentinel) {
+		t.Error("passthrough Is lost the cause")
+	}
+	var e *E
+	if !errors.As(err, &e) || e.Code != testTimeout {
+		t.Error("errors.As failed to recover *E")
+	}
+	wrapped := fmt.Errorf("outer: %w", err)
+	if code, ok := CodeOf(wrapped); !ok || code != testTimeout {
+		t.Errorf("CodeOf(wrapped) = %q, %v", code, ok)
+	}
+	if cat, ok := CategoryOf(wrapped); !ok || cat != CatTimeout {
+		t.Errorf("CategoryOf(wrapped) = %v, %v", cat, ok)
+	}
+	if !IsCode(wrapped, testTimeout) || IsCode(wrapped, testSend) {
+		t.Error("IsCode mismatch")
+	}
+	if !IsCategory(wrapped, CatTimeout) || IsCategory(wrapped, CatAdmission) {
+		t.Error("IsCategory mismatch")
+	}
+}
+
+func TestErrorString(t *testing.T) {
+	cause := errors.New("short write")
+	err := Wrap(nil, testDecode, cause, "truncated header")
+	want := "uerrtest.frame_decode: truncated header: short write"
+	if err.Error() != want {
+		t.Errorf("Error() = %q, want %q", err.Error(), want)
+	}
+	if got := New(nil, testDecode, "").Error(); got != "uerrtest.frame_decode" {
+		t.Errorf("bare Error() = %q", got)
+	}
+}
+
+func TestIsMatchesByCode(t *testing.T) {
+	a := New(nil, testSend, "first")
+	b := New(nil, testSend, "second")
+	c := New(nil, testDecode, "other")
+	if !errors.Is(a, b) {
+		t.Error("same-code errors must Is-match")
+	}
+	if errors.Is(a, c) {
+		t.Error("different-code errors must not Is-match")
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	want := map[Category]string{
+		CatEncode: "encode", CatDecode: "decode", CatSend: "send",
+		CatTimeout: "timeout", CatAdmission: "admission",
+		CatResource: "resource", CatProtocol: "protocol_violation",
+		CatUnknown: "unknown",
+	}
+	for cat, s := range want {
+		if cat.String() != s {
+			t.Errorf("%d.String() = %q, want %q", cat, cat.String(), s)
+		}
+	}
+}
+
+func TestRegisteredCodesSorted(t *testing.T) {
+	codes := RegisteredCodes()
+	if len(codes) < 3 {
+		t.Fatalf("expected at least the test codes, got %v", codes)
+	}
+	for i := 1; i < len(codes); i++ {
+		if codes[i-1] >= codes[i] {
+			t.Fatalf("codes not sorted at %d: %v", i, codes)
+		}
+	}
+	found := false
+	for _, c := range codes {
+		if strings.HasPrefix(string(c), "uerrtest.") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("test codes missing from RegisteredCodes")
+	}
+}
+
+func TestUnregisteredCodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with unregistered code did not panic")
+		}
+	}()
+	_ = New(nil, Code("ghost.code"), "boo")
+}

@@ -23,11 +23,19 @@ import (
 
 	"uavmw/internal/encoding"
 	"uavmw/internal/fabric"
+	"uavmw/internal/metrics"
 	"uavmw/internal/naming"
 	"uavmw/internal/presentation"
 	"uavmw/internal/protocol"
 	"uavmw/internal/qos"
 	"uavmw/internal/transport"
+	"uavmw/internal/uerr"
+)
+
+// Variable wire-path error codes.
+var (
+	codeVarShed  = uerr.Register("variables.dispatch_shed", uerr.CatAdmission)
+	codeVarLeave = uerr.Register("variables.leave_group", uerr.CatResource)
 )
 
 // Errors.
@@ -47,7 +55,8 @@ var (
 
 // Engine is the per-container variable runtime.
 type Engine struct {
-	f fabric.Fabric
+	f   fabric.Fabric
+	reg *metrics.Registry
 
 	mu   sync.Mutex
 	pubs map[string]*Publisher
@@ -58,6 +67,7 @@ type Engine struct {
 func New(f fabric.Fabric) *Engine {
 	return &Engine{
 		f:    f,
+		reg:  fabric.MetricsOf(f),
 		pubs: make(map[string]*Publisher),
 		subs: make(map[string][]*Subscription),
 	}
@@ -486,7 +496,9 @@ func (s *Subscription) accept(v any, ts time.Time, validity time.Duration, pub u
 
 	s.resetTimer()
 	if onSample != nil {
-		_ = s.engine.f.Schedule(s.opts.QoS.Priority, func() { onSample(v, ts) })
+		uerr.Note(s.engine.reg, codeVarShed,
+			s.engine.f.Schedule(s.opts.QoS.Priority, func() { onSample(v, ts) }),
+			"sample callback "+s.name)
 	}
 }
 
@@ -539,7 +551,9 @@ func (s *Subscription) fireTimeout() {
 	}
 	s.mu.Unlock()
 	if onTimeout != nil {
-		_ = s.engine.f.Schedule(qos.PriorityHigh, func() { onTimeout(silence) })
+		uerr.Note(s.engine.reg, codeVarShed,
+			s.engine.f.Schedule(qos.PriorityHigh, func() { onTimeout(silence) }),
+			"silence warning "+s.name)
 	}
 }
 
@@ -573,7 +587,7 @@ func (s *Subscription) Close() {
 	remaining := len(list)
 	e.mu.Unlock()
 	if remaining == 0 {
-		_ = e.f.Leave(fabric.VarGroup(s.name))
+		uerr.Note(e.reg, codeVarLeave, e.f.Leave(fabric.VarGroup(s.name)), "leave "+s.name)
 	}
 }
 
