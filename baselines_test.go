@@ -1,9 +1,11 @@
 package uavmw
 
-// Baseline guards for the observability plane: re-run the E13 and E14
-// scenarios at the exact parameters that produced the committed
+// Baseline guards for the observability plane: re-run the E13, E14, and
+// E15 scenarios at the exact parameters that produced the committed
 // testdata/bench_baseline snapshots and assert the headline metrics are
-// unchanged within noise. The metrics registry sits on the egress and
+// unchanged within noise. E15 additionally pins the wire path's exact
+// allocation counts — the zero-allocation contract as a replayable record,
+// not just a package test. The metrics registry sits on the egress and
 // ARQ hot paths, so a regression here means the instrumentation (or any
 // later change) altered scheduling or wire behaviour, not just numbers.
 //
@@ -97,6 +99,52 @@ func TestE13MatchesBaseline(t *testing.T) {
 	exact(t, base, "flood_lost", float64(res.FloodLost))
 	exact(t, base, "shaped_lost", float64(res.ShapedLost))
 	exact(t, base, "shaped_dropped", float64(res.ShapedDropped))
+}
+
+func TestE15MatchesBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size E15 baseline run; executed by the dedicated CI step")
+	}
+	base := loadBaseline(t, "BENCH_E15.json")
+
+	var res *experiments.E15Result
+	if _, err := experiments.RunVirtual(func(clk clock.Clock) error {
+		var err error
+		// UDP loopback stays off: its rates are host wall-clock, not
+		// replayable. The codec alloc counts and the netsim wire figures
+		// are the deterministic core this guard pins.
+		res, err = experiments.RunE15(clk, 400, false, base.Seed)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	codec := map[string]experiments.E15CodecPoint{}
+	for _, c := range res.Codec {
+		codec[c.Name] = c
+	}
+	for _, name := range []string{"small", "mtu", "batch"} {
+		c, ok := codec[name]
+		if !ok {
+			t.Fatalf("e15 codec point %q missing", name)
+		}
+		// Alloc counts are exact: AllocsPerRun on a deterministic op.
+		// The tiny absolute floor only absorbs float formatting, not an
+		// extra allocation (1 alloc on the batch point moves the
+		// per-frame figure by 1/16 = 0.0625).
+		withinRel(t, base, "codec_"+name+"_pooled_allocs", c.PooledAllocsPerFrame, 0, 0.02)
+		withinRel(t, base, "codec_"+name+"_legacy_allocs", c.LegacyAllocsPerFrame, 0, 0.02)
+		exact(t, base, "codec_"+name+"_wire_b", c.WireBytesPerFrame)
+		// Rates are host wall-clock: the wide tolerance only catches a
+		// wire path that got drastically slower (an accidental copy or
+		// re-encode), not scheduling noise.
+		withinRel(t, base, "codec_"+name+"_pooled_fps", c.PooledFramesPerSec, 0.75, 0)
+		withinRel(t, base, "codec_"+name+"_legacy_fps", c.LegacyFramesPerSec, 0.75, 0)
+	}
+	exact(t, base, "netsim_samples", float64(res.Netsim.Samples))
+	exact(t, base, "netsim_delivered", float64(res.Netsim.Delivered))
+	exact(t, base, "netsim_wire_packets", float64(res.Netsim.WirePackets))
+	exact(t, base, "netsim_wire_bytes", float64(res.Netsim.WireBytes))
 }
 
 func TestE14MatchesBaseline(t *testing.T) {

@@ -19,6 +19,7 @@ import (
 	"uavmw/internal/scheduler"
 	"uavmw/internal/services"
 	"uavmw/internal/transport"
+	"uavmw/internal/variables"
 )
 
 // BenchmarkE1_EventVsRPC reports median one-way notification latency for
@@ -398,6 +399,81 @@ func BenchmarkFrameCodec(b *testing.B) {
 func sizedName(n int) string { return fmt.Sprintf("%d", n) }
 
 var _ = sizedName // reserved for sweep-style sub-benchmarks
+
+// BenchmarkWirePath measures one end-to-end telemetry publish between two
+// containers on the in-process bus: presentation coercion, compiled
+// encoding, pooled sample+frame encode, egress lane drain, transport
+// delivery, pooled decode, and sample dispatch on the receiver's
+// scheduler. Run with -benchmem: the wire path proper (encode → egress →
+// transport → decode) is pooled and allocation-free, so the bytes/op
+// reported here are value boxing at the presentation boundary and
+// scheduler hand-off — the application-layer floor, not the wire.
+func BenchmarkWirePath(b *testing.B) {
+	bus := transport.NewBus()
+	epA, err := bus.Endpoint("wp-a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	epB, err := bus.Endpoint("wp-b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := newBenchNode(epA)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = src.Close() }()
+	dst, err := newBenchNode(epB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = dst.Close() }()
+
+	typ := services.TypePosition
+	val := services.PositionValue(flightStateForBench())
+	pub, err := src.Variables().Offer("wp.pos", "bench", typ, qos.VariableQoS{Validity: time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
+	received := make(chan struct{}, 1)
+	sub, err := dst.Variables().Subscribe("wp.pos", typ, variables.SubscribeOptions{
+		OnSample: func(any, time.Time) {
+			select {
+			case received <- struct{}{}:
+			default:
+			}
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sub.Close()
+
+	// Publish until the cross-node subscription handshake lands and the
+	// first sample arrives; everything after is steady state.
+	warm := time.After(5 * time.Second)
+	for ready := false; !ready; {
+		if err := pub.Publish(val); err != nil {
+			b.Fatal(err)
+		}
+		select {
+		case <-received:
+			ready = true
+		case <-warm:
+			b.Fatal("wire path: subscriber never received a sample")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pub.Publish(val); err != nil {
+			b.Fatal(err)
+		}
+		<-received
+	}
+}
 
 // BenchmarkE14_BearerHandover drives the multi-bearer link plane through a
 // WiFi→radio handover: a 96KB transfer rides the 1 Mb/s wifi bearer while

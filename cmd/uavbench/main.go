@@ -55,9 +55,9 @@ type runner func(clk clock.Clock, quick bool) (map[string]any, string, error)
 
 func main() {
 	var (
-		runFlag  = flag.String("run", "all", "comma-separated experiments: e1,e2,e3,e4,e5,e7,e8,e9,e11,e12,e13,e14 or all")
+		runFlag  = flag.String("run", "all", "comma-separated experiments: e1,e2,e3,e4,e5,e7,e8,e9,e11,e12,e13,e14,e15 or all")
 		quick    = flag.Bool("quick", false, "reduced iteration counts for smoke runs")
-		realtime = flag.Bool("realtime", false, "pace the simulation-backed experiments (e3, e11-e14) against the wall clock instead of the virtual clock")
+		realtime = flag.Bool("realtime", false, "pace the simulation-backed experiments (e3, e11-e15) against the wall clock instead of the virtual clock")
 		benchDir = flag.String("bench-dir", ".", "directory for BENCH_E<n>.json records")
 	)
 	flag.Parse()
@@ -80,6 +80,7 @@ func main() {
 		{"e8", 0, false, runE8}, {"e9", 0, false, runE9},
 		{"e11", 11, true, runE11}, {"e12", 12, true, runE12},
 		{"e13", 13, true, runE13}, {"e14", 14, true, runE14},
+		{"e15", 15, true, runE15},
 	}
 	log.SetFlags(0)
 	for _, exp := range all {
@@ -568,6 +569,59 @@ func runE14(clk clock.Clock, quick bool) (map[string]any, string, error) {
 		"transfer_ms":         float64(res.Transfer) / float64(time.Millisecond),
 		"single_blackout_sec": res.SingleBlackout.Seconds(),
 	}, res.MetricsText, nil
+}
+
+func runE15(clk clock.Clock, quick bool) (map[string]any, string, error) {
+	header("E15 — zero-allocation wire path: pooled encode/decode and batch syscalls")
+	samples := 400
+	includeUDP := true
+	if quick {
+		samples = 100
+		includeUDP = false
+	}
+	res, err := experiments.RunE15(clk, samples, includeUDP, 15)
+	if err != nil {
+		return nil, "", err
+	}
+	// Flat float metrics only: the baseline guard replays this record and
+	// parses Metrics as map[string]float64.
+	metrics := map[string]float64{}
+	fmt.Printf("%-8s %10s %12s %14s %12s %14s\n",
+		"size", "B/frame", "pooled a/f", "pooled Mf/s", "legacy a/f", "legacy Mf/s")
+	for _, c := range res.Codec {
+		fmt.Printf("%-8s %10.1f %12.3f %14.2f %12.3f %14.2f\n",
+			c.Name, c.WireBytesPerFrame,
+			c.PooledAllocsPerFrame, c.PooledFramesPerSec/1e6,
+			c.LegacyAllocsPerFrame, c.LegacyFramesPerSec/1e6)
+		metrics["codec_"+c.Name+"_wire_b"] = c.WireBytesPerFrame
+		metrics["codec_"+c.Name+"_pooled_allocs"] = c.PooledAllocsPerFrame
+		metrics["codec_"+c.Name+"_legacy_allocs"] = c.LegacyAllocsPerFrame
+		metrics["codec_"+c.Name+"_pooled_fps"] = c.PooledFramesPerSec
+		metrics["codec_"+c.Name+"_legacy_fps"] = c.LegacyFramesPerSec
+	}
+	ns := res.Netsim
+	fmt.Printf("netsim: %d/%d samples delivered, %d packets %d bytes on the wire (%.1f B/sample)\n",
+		ns.Delivered, ns.Samples, ns.WirePackets, ns.WireBytes, ns.BytesPerSample)
+	metrics["netsim_samples"] = float64(ns.Samples)
+	metrics["netsim_delivered"] = float64(ns.Delivered)
+	metrics["netsim_wire_packets"] = float64(ns.WirePackets)
+	metrics["netsim_wire_bytes"] = float64(ns.WireBytes)
+	metrics["netsim_bytes_per_sample"] = ns.BytesPerSample
+	if res.UDPSkipped != "" {
+		fmt.Printf("udp loopback: skipped (%s)\n", res.UDPSkipped)
+	}
+	for _, u := range res.UDP {
+		fmt.Printf("udp %-10s %5dB: %7.0f kframes/s pushed (%.0f MB/s), %d/%d kept by the reader\n",
+			u.Mode, u.PayloadBytes, u.FramesPerSec/1e3, u.MBPerSec, u.Delivered, u.Sent)
+		key := fmt.Sprintf("udp_%s_%db", u.Mode, u.PayloadBytes)
+		metrics[key+"_fps"] = u.FramesPerSec
+		metrics[key+"_delivered"] = float64(u.Delivered)
+	}
+	out := make(map[string]any, len(metrics))
+	for k, v := range metrics {
+		out[k] = v
+	}
+	return out, res.MetricsText, nil
 }
 
 func byteSize(n int) string {

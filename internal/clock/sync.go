@@ -29,37 +29,26 @@ func NewTrigger(c Clock) Trigger {
 	if v, ok := c.(*Virtual); ok {
 		return &virtualTrigger{v: v}
 	}
-	return &realTrigger{}
+	return &realTrigger{ch: make(chan struct{}, 1)}
 }
 
+// realTrigger is a capacity-1 channel: a buffered token is exactly the
+// "pending wake-up" state, and reusing one channel for the life of the
+// trigger keeps the park/unpark cycle allocation-free (the egress drainers
+// park once per drained burst — with a per-Wait channel that alloc shows
+// up in the wire path's per-frame cost).
 type realTrigger struct {
-	mu      sync.Mutex
-	pending bool
-	waiter  chan struct{}
+	ch chan struct{}
 }
 
 func (t *realTrigger) Signal() {
-	t.mu.Lock()
-	if t.waiter != nil {
-		close(t.waiter)
-		t.waiter = nil
-	} else {
-		t.pending = true
+	select {
+	case t.ch <- struct{}{}:
+	default: // a wake-up is already pending; coalesce
 	}
-	t.mu.Unlock()
 }
 
 func (t *realTrigger) Wait(d time.Duration, stop <-chan struct{}) bool {
-	t.mu.Lock()
-	if t.pending {
-		t.pending = false
-		t.mu.Unlock()
-		return true
-	}
-	w := make(chan struct{})
-	t.waiter = w
-	t.mu.Unlock()
-
 	var tc <-chan time.Time
 	if d >= 0 {
 		tm := time.NewTimer(d)
@@ -67,27 +56,13 @@ func (t *realTrigger) Wait(d time.Duration, stop <-chan struct{}) bool {
 		tc = tm.C
 	}
 	select {
-	case <-w:
+	case <-t.ch:
 		return true
 	case <-tc:
-		t.clear(w)
 		return true
 	case <-stop:
-		t.clear(w)
 		return false
 	}
-}
-
-// clear retires an abandoned waiter; a signal that raced the abandon is
-// preserved as pending.
-func (t *realTrigger) clear(w chan struct{}) {
-	t.mu.Lock()
-	if t.waiter == w {
-		t.waiter = nil
-	} else {
-		t.pending = true
-	}
-	t.mu.Unlock()
 }
 
 type virtualTrigger struct {

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"uavmw/internal/bufpool"
 	"uavmw/internal/clock"
 	"uavmw/internal/egress"
 	"uavmw/internal/encoding"
@@ -555,20 +556,40 @@ func (n *Node) Leave(group string) error {
 	return firstErr
 }
 
+// encodePooled serializes f into an exactly-sized pooled buffer. The caller
+// owns the result: hand it to an Owned enqueue (egress releases it after the
+// wire write) or bufpool.Put it once the bytes are consumed.
+func encodePooled(f *protocol.Frame) ([]byte, error) {
+	buf := bufpool.Get(protocol.FrameWireSize(f))
+	raw, err := protocol.AppendFrame(buf, f)
+	if err != nil {
+		bufpool.Put(buf)
+		return nil, err
+	}
+	return raw, nil
+}
+
 // SendBestEffort implements fabric.Fabric.
 func (n *Node) SendBestEffort(to transport.NodeID, f *protocol.Frame) error {
 	if f.Seq == 0 {
 		f.Seq = n.NextSeq()
 	}
-	raw, err := protocol.EncodeFrame(f)
+	raw, err := encodePooled(f)
 	if err != nil {
 		return err
 	}
 	if to == n.id {
 		n.handleFrameBytes(n.id, raw)
+		bufpool.Put(raw)
 		return nil
 	}
+	if len(raw) <= n.mtu {
+		// Single datagram: the steady-state path. Ownership of the
+		// pooled buffer transfers to egress.
+		return n.egress.EnqueueOwned(to, f.Priority, raw)
+	}
 	parts, err := protocol.Fragment(raw, f.Seq, n.mtu)
+	bufpool.Put(raw) // fragments carry their own GC-owned copies
 	if err != nil {
 		return err
 	}
@@ -585,11 +606,15 @@ func (n *Node) SendGroup(group string, f *protocol.Frame) error {
 	if f.Seq == 0 {
 		f.Seq = n.NextSeq()
 	}
-	raw, err := protocol.EncodeFrame(f)
+	raw, err := encodePooled(f)
 	if err != nil {
 		return err
 	}
+	if len(raw) <= n.mtu {
+		return n.egress.EnqueueGroupOwned(group, f.Priority, raw)
+	}
 	parts, err := protocol.Fragment(raw, f.Seq, n.mtu)
+	bufpool.Put(raw)
 	if err != nil {
 		return err
 	}
@@ -618,14 +643,17 @@ func (n *Node) SendReliableTuned(to transport.NodeID, f *protocol.Frame, rel qos
 	if f.Seq == 0 {
 		f.Seq = n.NextSeq()
 	}
-	// Local loopback: deliver straight through the dispatcher.
+	// Local loopback: deliver straight through the dispatcher. The
+	// dispatch is synchronous and retains nothing, so the encode buffer
+	// is pooled.
 	if to == n.id {
-		raw, err := protocol.EncodeFrame(f)
+		raw, err := encodePooled(f)
 		if err != nil {
 			finish(err)
 			return
 		}
 		n.handleFrameBytes(n.id, raw)
+		bufpool.Put(raw)
 		finish(nil)
 		return
 	}
@@ -717,12 +745,17 @@ func (n *Node) handleFrameBytes(from transport.NodeID, raw []byte) {
 // handleFrameBytesOn decodes and routes one frame that arrived on the
 // named bearer ("" when no datagram bearer carried it).
 func (n *Node) handleFrameBytesOn(bearer string, from transport.NodeID, raw []byte) {
-	f, err := protocol.DecodeFrame(raw)
-	if err != nil {
+	// The frame struct is pooled: every route handler consumes it
+	// synchronously and none retains the pointer past its call (the rpc
+	// engine captures scalars before scheduling handler work).
+	f := protocol.GetFrame()
+	if err := protocol.DecodeFrameInto(f, raw); err != nil {
+		protocol.PutFrame(f)
 		uerr.Note(n.metrics, codeFrameDecode, err, "drop undecodable frame")
 		return
 	}
 	n.handleFrame(bearer, from, f)
+	protocol.PutFrame(f)
 }
 
 func (n *Node) handleFrame(bearer string, from transport.NodeID, f *protocol.Frame) {
@@ -788,8 +821,8 @@ func (n *Node) handleFrame(bearer string, from transport.NodeID, f *protocol.Fra
 }
 
 func (n *Node) sendAck(bearer string, to transport.NodeID, seq uint64) {
-	ack := &protocol.Frame{Type: protocol.MTAck, Seq: seq, Priority: qos.PriorityCritical}
-	raw, err := protocol.EncodeFrame(ack)
+	ack := protocol.Frame{Type: protocol.MTAck, Seq: seq, Priority: qos.PriorityCritical}
+	raw, err := encodePooled(&ack)
 	if err != nil {
 		uerr.Note(n.metrics, codeAckEncode, err, "encode ack")
 		return
@@ -801,7 +834,7 @@ func (n *Node) sendAck(bearer string, to transport.NodeID, seq uint64) {
 	// keeping alive) the same link as the data it acknowledges. A refused
 	// enqueue (node closing) is counted, not returned: the peer's ARQ
 	// retry is the recovery path.
-	uerr.Note(n.metrics, codeAckSend, n.egress.EnqueueOn(bearer, to, qos.PriorityCritical, raw), "enqueue ack")
+	uerr.Note(n.metrics, codeAckSend, n.egress.EnqueueOnOwned(bearer, to, qos.PriorityCritical, raw), "enqueue ack")
 }
 
 // route dispatches a frame to its engine.
@@ -1563,12 +1596,12 @@ func (n *Node) handleProbe(bearer string, from transport.NodeID, f *protocol.Fra
 		Seq:      n.NextSeq(),
 		Payload:  f.Payload,
 	}
-	raw, err := protocol.EncodeFrame(echo)
+	raw, err := encodePooled(echo)
 	if err != nil {
 		uerr.Note(n.metrics, codeProbeEncode, err, "encode probe echo")
 		return
 	}
-	uerr.Note(n.metrics, codeProbeSend, n.egress.EnqueueOn(bearer, from, qos.PriorityHigh, raw), "enqueue probe echo")
+	uerr.Note(n.metrics, codeProbeSend, n.egress.EnqueueOnOwned(bearer, from, qos.PriorityHigh, raw), "enqueue probe echo")
 }
 
 // handleProbeEcho closes a probe round trip on the bearer that carried it.
@@ -1626,12 +1659,12 @@ func (n *Node) probeBearer(br *bearerRuntime, now time.Time) {
 			Seq:      n.NextSeq(),
 			Payload:  w.Bytes(),
 		}
-		raw, err := protocol.EncodeFrame(frame)
+		raw, err := encodePooled(frame)
 		if err != nil {
 			uerr.Note(n.metrics, codeProbeEncode, err, "encode probe")
 			return
 		}
-		uerr.Note(n.metrics, codeProbeSend, n.egress.EnqueueOn(br.name, peer, qos.PriorityHigh, raw), "enqueue probe")
+		uerr.Note(n.metrics, codeProbeSend, n.egress.EnqueueOnOwned(br.name, peer, qos.PriorityHigh, raw), "enqueue probe")
 	}
 }
 

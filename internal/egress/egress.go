@@ -41,6 +41,7 @@ import (
 	"sync"
 	"time"
 
+	"uavmw/internal/bufpool"
 	"uavmw/internal/clock"
 	"uavmw/internal/metrics"
 	"uavmw/internal/protocol"
@@ -59,6 +60,12 @@ var (
 )
 
 // Sender is the downstream transmit interface (one raw datagram transport).
+// Implementations must not retain payload once the call returns — the plane
+// recycles pooled datagrams immediately after a send — so a sender that
+// delivers asynchronously (in-process bus, network simulator) copies first.
+// A Sender that also implements transport.BatchSender gets runs of queued
+// datagrams handed over in one call (syscall batching); bearers detect that
+// at registration time.
 type Sender interface {
 	Send(to transport.NodeID, payload []byte) error
 	SendGroup(group string, payload []byte) error
@@ -162,16 +169,80 @@ type destKey struct {
 	group string
 }
 
+// item is one queued encoded datagram. owned marks frames whose storage
+// the plane took responsibility for (pooled buffers from the zero-alloc
+// send paths): the bearer returns them to bufpool after the bytes are on
+// the wire (or evicted). Borrowed frames — anything a caller may still
+// alias, like ARQ retransmission state — are left to the GC.
+type item struct {
+	raw   []byte
+	owned bool
+}
+
+// release returns an owned item's storage to the pool.
+func (it item) release() {
+	if it.owned {
+		bufpool.Put(it.raw)
+	}
+}
+
 // lane holds one destination's per-class queues on one bearer.
+// lane queues are head-indexed rings over a reusable backing array: popping
+// advances head instead of re-slicing the base away, so the array's capacity
+// survives a full drain and the steady-state enqueue→drain cycle never
+// reallocates it.
 type lane struct {
 	key    destKey
-	q      [numClasses][][]byte
+	q      [numClasses][]item
+	head   [numClasses]int
 	queued [numClasses]bool // lane is on the ready list for the class
+}
+
+// size reports the frames queued at class c.
+func (ln *lane) size(c int) int { return len(ln.q[c]) - ln.head[c] }
+
+// peek returns the head item of class c without removing it.
+func (ln *lane) peek(c int) *item { return &ln.q[c][ln.head[c]] }
+
+// pop removes and returns the head item of class c, rewinding the ring to
+// the start of its backing array when it empties.
+func (ln *lane) pop(c int) item {
+	it := ln.q[c][ln.head[c]]
+	ln.q[c][ln.head[c]] = item{} // drop the buffer reference
+	ln.head[c]++
+	if ln.head[c] == len(ln.q[c]) {
+		ln.q[c] = ln.q[c][:0]
+		ln.head[c] = 0
+	}
+	return it
+}
+
+// push appends an item at class c, compacting dead head space before
+// growing the backing array.
+func (ln *lane) push(c int, it item) {
+	if ln.head[c] > 0 && len(ln.q[c]) == cap(ln.q[c]) {
+		n := copy(ln.q[c], ln.q[c][ln.head[c]:])
+		for i := n; i < len(ln.q[c]); i++ {
+			ln.q[c][i] = item{}
+		}
+		ln.q[c] = ln.q[c][:n]
+		ln.head[c] = 0
+	}
+	ln.q[c] = append(ln.q[c], it)
+}
+
+// popLane removes the front entry in place, preserving the backing array's
+// capacity (a plain q[1:] re-slice would slide the base away and force the
+// next append to reallocate).
+func popLane(q []*lane) []*lane {
+	copy(q, q[1:])
+	q[len(q)-1] = nil
+	return q[:len(q)-1]
 }
 
 func (ln *lane) empty() bool {
 	for c := range ln.q {
-		if len(ln.q[c]) > 0 {
+		if ln.size(c) > 0 {
 			return false
 		}
 	}
@@ -331,17 +402,32 @@ func (p *Plane) bearerOrDefault(name string) *bearer {
 }
 
 // Enqueue queues one encoded datagram for a unicast destination on the
-// bearer the selector chooses.
+// bearer the selector chooses. The caller keeps ownership of raw's storage
+// (the plane treats it as GC-owned); senders encoding into pooled buffers
+// use EnqueueOwned instead.
 func (p *Plane) Enqueue(to transport.NodeID, pr qos.Priority, raw []byte) error {
+	return p.enqueueUnicast(to, pr, item{raw: raw})
+}
+
+// EnqueueOwned is Enqueue with a transfer of buffer ownership: raw must be
+// a bufpool buffer nothing else aliases, and the plane releases it back to
+// the pool once the bytes are on the wire, evicted, or the enqueue fails.
+// The caller must not touch raw after the call, success or not.
+func (p *Plane) EnqueueOwned(to transport.NodeID, pr qos.Priority, raw []byte) error {
+	return p.enqueueUnicast(to, pr, item{raw: raw, owned: true})
+}
+
+func (p *Plane) enqueueUnicast(to transport.NodeID, pr qos.Priority, it item) error {
 	var name string
 	if s := p.getSelector(); s != nil {
 		name = s.Unicast(to, pr)
 	}
 	b := p.bearerOrDefault(name)
 	if b == nil {
+		it.release()
 		return ErrClosed
 	}
-	return b.enqueue(destKey{node: to}, pr, raw)
+	return b.enqueue(destKey{node: to}, pr, it)
 }
 
 // EnqueueOn queues one encoded unicast datagram pinned to the named
@@ -350,16 +436,40 @@ func (p *Plane) Enqueue(to transport.NodeID, pr qos.Priority, raw []byte) error 
 // measures the same bearer as the data it acknowledges. An unknown name
 // falls back to the default bearer.
 func (p *Plane) EnqueueOn(bearerName string, to transport.NodeID, pr qos.Priority, raw []byte) error {
+	return p.enqueueOn(bearerName, to, pr, item{raw: raw})
+}
+
+// EnqueueOnOwned is EnqueueOn with ownership transfer (see EnqueueOwned).
+func (p *Plane) EnqueueOnOwned(bearerName string, to transport.NodeID, pr qos.Priority, raw []byte) error {
+	return p.enqueueOn(bearerName, to, pr, item{raw: raw, owned: true})
+}
+
+func (p *Plane) enqueueOn(bearerName string, to transport.NodeID, pr qos.Priority, it item) error {
 	b := p.bearerOrDefault(bearerName)
 	if b == nil {
+		it.release()
 		return ErrClosed
 	}
-	return b.enqueue(destKey{node: to}, pr, raw)
+	return b.enqueue(destKey{node: to}, pr, it)
 }
 
 // EnqueueGroup queues one encoded datagram for a multicast group on every
-// bearer the selector names (once per distinct name).
+// bearer the selector names (once per distinct name). The caller keeps
+// ownership of raw's storage.
 func (p *Plane) EnqueueGroup(group string, pr qos.Priority, raw []byte) error {
+	return p.enqueueGroup(group, pr, item{raw: raw})
+}
+
+// EnqueueGroupOwned is EnqueueGroup with ownership transfer (see
+// EnqueueOwned). When the selector fans the frame out to several bearers
+// the same bytes sit in several queues at once, so ownership degrades to
+// GC (the buffer is not recycled); the single-bearer case — all data
+// groups — releases to the pool as usual.
+func (p *Plane) EnqueueGroupOwned(group string, pr qos.Priority, raw []byte) error {
+	return p.enqueueGroup(group, pr, item{raw: raw, owned: true})
+}
+
+func (p *Plane) enqueueGroup(group string, pr qos.Priority, it item) error {
 	var names []string
 	if s := p.getSelector(); s != nil {
 		names = s.Group(group, pr)
@@ -367,13 +477,15 @@ func (p *Plane) EnqueueGroup(group string, pr qos.Priority, raw []byte) error {
 	if len(names) == 0 {
 		b := p.bearerOrDefault("")
 		if b == nil {
+			it.release()
 			return ErrClosed
 		}
-		return b.enqueue(destKey{group: group}, pr, raw)
+		return b.enqueue(destKey{group: group}, pr, it)
 	}
 	var firstErr error
 	accepted := false
 	seen := make(map[string]bool, len(names))
+	targets := make([]*bearer, 0, len(names))
 	for _, name := range names {
 		if seen[name] {
 			continue
@@ -386,7 +498,17 @@ func (p *Plane) EnqueueGroup(group string, pr qos.Priority, raw []byte) error {
 			}
 			continue
 		}
-		if err := b.enqueue(destKey{group: group}, pr, raw); err != nil {
+		targets = append(targets, b)
+	}
+	if len(targets) > 1 {
+		// Fan-out: several queues alias the bytes; no single release point.
+		it.owned = false
+	}
+	if len(targets) == 0 {
+		it.release()
+	}
+	for _, b := range targets {
+		if err := b.enqueue(destKey{group: group}, pr, it); err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
@@ -461,16 +583,16 @@ func (p *Plane) Reroute(name string) int {
 	}
 	sel := p.getSelector()
 	items := b.drainQueued()
-	for _, it := range items {
-		pr := qos.PriorityBulk + qos.Priority(it.class)
-		if it.key.group == "" {
-			uerr.Note(b.reg, codeRerouteDrop, p.Enqueue(it.key.node, pr, it.raw),
+	for _, qf := range items {
+		pr := qos.PriorityBulk + qos.Priority(qf.class)
+		if qf.key.group == "" {
+			uerr.Note(b.reg, codeRerouteDrop, p.enqueueUnicast(qf.key.node, pr, qf.item),
 				"reroute off "+name)
 			continue
 		}
 		target := ""
 		if sel != nil {
-			for _, cand := range sel.Group(it.key.group, pr) {
+			for _, cand := range sel.Group(qf.key.group, pr) {
 				if cand != name {
 					target = cand
 					break
@@ -482,7 +604,7 @@ func (p *Plane) Reroute(name string) int {
 			// rather than dropping silently.
 			target = name
 		}
-		uerr.Note(b.reg, codeRerouteDrop, p.EnqueueOnGroup(target, it.key.group, pr, it.raw),
+		uerr.Note(b.reg, codeRerouteDrop, p.enqueueOnGroup(target, qf.key.group, pr, qf.item),
 			"reroute off "+name)
 	}
 	return len(items)
@@ -492,11 +614,16 @@ func (p *Plane) Reroute(name string) int {
 // bearer, bypassing the selector. An unknown name falls back to the
 // default bearer.
 func (p *Plane) EnqueueOnGroup(bearerName, group string, pr qos.Priority, raw []byte) error {
+	return p.enqueueOnGroup(bearerName, group, pr, item{raw: raw})
+}
+
+func (p *Plane) enqueueOnGroup(bearerName, group string, pr qos.Priority, it item) error {
 	b := p.bearerOrDefault(bearerName)
 	if b == nil {
+		it.release()
 		return ErrClosed
 	}
-	return b.enqueue(destKey{group: group}, pr, raw)
+	return b.enqueue(destKey{group: group}, pr, it)
 }
 
 // Flush blocks until every frame queued at call time on every bearer has
@@ -542,12 +669,25 @@ type bearer struct {
 	name   string
 	cfg    Config
 	sender Sender
+	// batch is non-nil when sender supports syscall-batched transmission;
+	// the drainer then hands it runs of queued datagrams in one call.
+	batch transport.BatchSender
 
 	clk clock.Clock
+
+	// Drainer-private scratch, reused across drains so the steady-state
+	// transmit path allocates nothing. collect* are filled under b.mu by
+	// collectLocked; batchMsgs/batchOwned only ever touched by the drain
+	// goroutine.
+	collectRaw   [][]byte
+	collectOwned []bool
+	batchMsgs    []transport.BatchMessage
+	batchOwned   []bool
 
 	mu           sync.Mutex
 	idle         *clock.Cond // signalled when a transmit completes
 	lanes        map[destKey]*lane
+	laneFree     []*lane // recycled drained lanes (bounded)
 	ready        [numClasses][]*lane
 	tokens       float64 // bulk bucket fill, bytes; may go briefly negative
 	lastRefill   time.Time
@@ -624,6 +764,7 @@ func newBearer(name string, sender Sender, cfg Config) *bearer {
 		trigger:    clock.NewTrigger(clk),
 		stop:       make(chan struct{}),
 	}
+	b.batch, _ = sender.(transport.BatchSender)
 	b.idle = clock.NewCond(clk, &b.mu)
 	b.wg.Add(1)
 	clock.Go(clk, b.run)
@@ -657,7 +798,7 @@ func (b *bearer) snapshot() Stats {
 	return s
 }
 
-func (b *bearer) enqueue(key destKey, pr qos.Priority, raw []byte) error {
+func (b *bearer) enqueue(key destKey, pr qos.Priority, it item) error {
 	c := pr.Index()
 	if c < 0 {
 		c = qos.PriorityNormal.Index()
@@ -665,20 +806,28 @@ func (b *bearer) enqueue(key destKey, pr qos.Priority, raw []byte) error {
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
+		it.release()
 		return ErrClosed
 	}
 	ln := b.lanes[key]
 	if ln == nil {
-		ln = &lane{key: key}
+		if n := len(b.laneFree); n > 0 {
+			ln = b.laneFree[n-1]
+			b.laneFree[n-1] = nil
+			b.laneFree = b.laneFree[:n-1]
+			ln.key = key
+		} else {
+			ln = &lane{key: key}
+		}
 		b.lanes[key] = ln
 	}
-	if len(ln.q[c]) >= b.cfg.QueueCap {
+	if ln.size(c) >= b.cfg.QueueCap {
 		// Drop-oldest: the stalest frame in this lane+class makes room.
-		ln.q[c] = ln.q[c][1:]
+		ln.pop(c).release()
 		b.ctr.perClass[c].dropped.Inc()
 		b.ctr.overflow.Inc()
 	}
-	ln.q[c] = append(ln.q[c], raw)
+	ln.push(c, it)
 	b.ctr.perClass[c].enqueued.Inc()
 	if !ln.queued[c] {
 		ln.queued[c] = true
@@ -705,15 +854,17 @@ func (b *bearer) refillLocked(now time.Time) {
 // next picks the next datagram to transmit: the head of the highest
 // non-empty class, round-robin across that class's destinations, coalescing
 // small same-lane same-class frames into a batch. If only throttled bulk is
-// pending it returns wait > 0 instead.
-func (b *bearer) next() (datagram []byte, key destKey, wait time.Duration, ok bool) {
+// pending it returns wait > 0 instead. owned marks a datagram the drainer
+// must return to bufpool after transmission (a pooled batch buffer or an
+// ownership-transferred single frame).
+func (b *bearer) next() (datagram []byte, key destKey, owned bool, wait time.Duration, ok bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for c := numClasses - 1; c >= 0; c-- {
 		for len(b.ready[c]) > 0 {
 			ln := b.ready[c][0]
-			if len(ln.q[c]) == 0 { // emptied by a flush; drop the entry
-				b.ready[c] = b.ready[c][1:]
+			if ln.size(c) == 0 { // emptied by a flush; drop the entry
+				b.ready[c] = popLane(b.ready[c])
 				ln.queued[c] = false
 				b.reapLocked(ln)
 				continue
@@ -722,7 +873,7 @@ func (b *bearer) next() (datagram []byte, key destKey, wait time.Duration, ok bo
 				b.refillLocked(b.clk.Now())
 				// A frame larger than the whole bucket must still pass
 				// once the bucket is full; the deficit is repaid below.
-				need := float64(len(ln.q[c][0]))
+				need := float64(len(ln.peek(c).raw))
 				if burst := float64(b.cfg.BulkBurst); need > burst {
 					need = burst
 				}
@@ -732,67 +883,95 @@ func (b *bearer) next() (datagram []byte, key destKey, wait time.Duration, ok bo
 					if wait <= 0 {
 						wait = time.Millisecond
 					}
-					return nil, destKey{}, wait, false
+					return nil, destKey{}, false, wait, false
 				}
 			}
-			frames := b.collectLocked(ln, c)
-			if len(frames) == 1 {
-				datagram = frames[0]
+			n := b.collectLocked(ln, c)
+			if n == 1 {
+				datagram = b.collectRaw[0]
+				owned = b.collectOwned[0]
 			} else {
-				var err error
-				datagram, err = protocol.EncodeBatch(frames, qos.PriorityBulk+qos.Priority(c))
+				// Coalesce into one pooled wire buffer: each inner frame
+				// is copied exactly once, directly into its batch slot.
+				size := protocol.BatchOverhead(n)
+				for _, f := range b.collectRaw {
+					size += len(f)
+				}
+				buf := bufpool.Get(size)
+				dst, err := protocol.AppendBatch(buf, b.collectRaw, qos.PriorityBulk+qos.Priority(c))
 				if err != nil {
 					// Cannot happen with well-formed queues; fall back to
 					// the head frame alone rather than wedging the lane.
-					datagram = frames[0]
-					frames = frames[:1]
+					bufpool.Put(buf)
+					datagram = b.collectRaw[0]
+					owned = b.collectOwned[0]
+					for i := 1; i < n; i++ {
+						if b.collectOwned[i] {
+							bufpool.Put(b.collectRaw[i])
+						}
+					}
+					n = 1
 				} else {
-					b.ctr.perClass[c].coalesced.Add(uint64(len(frames)))
+					// The inner frames' bytes now live in the batch buffer;
+					// recycle the pooled ones immediately.
+					for i, f := range b.collectRaw {
+						if b.collectOwned[i] {
+							bufpool.Put(f)
+						}
+					}
+					datagram = dst
+					owned = true
+					b.ctr.perClass[c].coalesced.Add(uint64(n))
 				}
 			}
 			if c == bulkClass && b.rate > 0 {
 				b.tokens -= float64(len(datagram))
 			}
-			b.ctr.perClass[c].sent.Add(uint64(len(frames)))
+			b.ctr.perClass[c].sent.Add(uint64(n))
 			b.ctr.perClass[c].datagrams.Inc()
 			b.ctr.perClass[c].bytes.Add(uint64(len(datagram)))
-			// Rotate for round-robin fairness within the class.
-			b.ready[c] = b.ready[c][1:]
-			if len(ln.q[c]) > 0 {
-				b.ready[c] = append(b.ready[c], ln)
+			key = ln.key // reapLocked may recycle ln below
+			// Rotate for round-robin fairness within the class,
+			// in place so the ready array's capacity survives.
+			if ln.size(c) > 0 {
+				q := b.ready[c]
+				copy(q, q[1:])
+				q[len(q)-1] = ln
 			} else {
+				b.ready[c] = popLane(b.ready[c])
 				ln.queued[c] = false
 				b.reapLocked(ln)
 			}
 			b.transmitting = true
-			return datagram, ln.key, 0, true
+			return datagram, key, owned, 0, true
 		}
 	}
-	return nil, destKey{}, 0, false
+	return nil, destKey{}, false, 0, false
 }
 
 // collectLocked pops the head frame of lane ln at class c plus any
-// immediately following small frames that fit one batch datagram. Caller
-// holds b.mu.
-func (b *bearer) collectLocked(ln *lane, c int) [][]byte {
-	head := ln.q[c][0]
-	ln.q[c] = ln.q[c][1:]
-	frames := [][]byte{head}
-	if b.cfg.CoalesceMax < 0 || len(head) > b.cfg.CoalesceMax {
-		return frames
+// immediately following small frames that fit one batch datagram, filling
+// the bearer's reusable collect scratch. Caller holds b.mu.
+func (b *bearer) collectLocked(ln *lane, c int) int {
+	head := ln.pop(c)
+	b.collectRaw = append(b.collectRaw[:0], head.raw)
+	b.collectOwned = append(b.collectOwned[:0], head.owned)
+	if b.cfg.CoalesceMax < 0 || len(head.raw) > b.cfg.CoalesceMax {
+		return 1
 	}
-	total := protocol.BatchOverhead(1) + len(head)
-	for len(ln.q[c]) > 0 {
-		nxt := ln.q[c][0]
-		if len(nxt) > b.cfg.CoalesceMax ||
-			total+protocol.BatchEntryOverhead+len(nxt) > b.cfg.MaxDatagram {
+	total := protocol.BatchOverhead(1) + len(head.raw)
+	for ln.size(c) > 0 {
+		nxt := ln.peek(c)
+		if len(nxt.raw) > b.cfg.CoalesceMax ||
+			total+protocol.BatchEntryOverhead+len(nxt.raw) > b.cfg.MaxDatagram {
 			break
 		}
-		ln.q[c] = ln.q[c][1:]
-		frames = append(frames, nxt)
-		total += protocol.BatchEntryOverhead + len(nxt)
+		it := ln.pop(c)
+		b.collectRaw = append(b.collectRaw, it.raw)
+		b.collectOwned = append(b.collectOwned, it.owned)
+		total += protocol.BatchEntryOverhead + len(it.raw)
 	}
-	return frames
+	return len(b.collectRaw)
 }
 
 // reapLocked deletes a fully drained lane so the map stays bounded by the
@@ -807,6 +986,12 @@ func (b *bearer) reapLocked(ln *lane) {
 		}
 	}
 	delete(b.lanes, ln.key)
+	// Recycle the lane (its queue arrays keep their capacity) so churning
+	// one destination does not allocate a lane per frame.
+	if len(b.laneFree) < 8 {
+		ln.key = destKey{}
+		b.laneFree = append(b.laneFree, ln)
+	}
 }
 
 // transmit hands one datagram to the transport.
@@ -823,18 +1008,40 @@ func (b *bearer) transmit(key destKey, datagram []byte) {
 	}
 }
 
+// maxSyscallBatch bounds how many queued datagrams one BatchSender call
+// carries — enough to amortize the syscall, small enough to keep the
+// drainer responsive to newly enqueued critical frames.
+const maxSyscallBatch = 32
+
 // run is the drain goroutine. It parks on the clock between frames, so
-// under a Virtual clock bulk pacing is discrete-event driven.
+// under a Virtual clock bulk pacing is discrete-event driven. Senders that
+// implement transport.BatchSender get runs of datagrams handed over in one
+// call; everything else drains strictly one datagram per send, which also
+// keeps the deterministic simulators' event order stable.
 func (b *bearer) run() {
 	defer b.wg.Done()
 	for {
-		datagram, key, wait, ok := b.next()
+		var wait time.Duration
+		var ok bool
+		if b.batch != nil {
+			wait, ok = b.drainBatch()
+		} else {
+			var datagram []byte
+			var key destKey
+			var owned bool
+			datagram, key, owned, wait, ok = b.next()
+			if ok {
+				b.transmit(key, datagram)
+				if owned {
+					bufpool.Put(datagram)
+				}
+				b.mu.Lock()
+				b.transmitting = false
+				b.idle.Broadcast()
+				b.mu.Unlock()
+			}
+		}
 		if ok {
-			b.transmit(key, datagram)
-			b.mu.Lock()
-			b.transmitting = false
-			b.idle.Broadcast()
-			b.mu.Unlock()
 			continue
 		}
 		if wait <= 0 {
@@ -846,6 +1053,43 @@ func (b *bearer) run() {
 			return
 		}
 	}
+}
+
+// drainBatch dequeues up to maxSyscallBatch ready datagrams and hands them
+// to the sender's BatchSender in one call. Pacing and priority still come
+// from next(): a throttled bulk lane ends the run and its wait is returned.
+func (b *bearer) drainBatch() (wait time.Duration, ok bool) {
+	msgs := b.batchMsgs[:0]
+	owned := b.batchOwned[:0]
+	for len(msgs) < maxSyscallBatch {
+		datagram, key, own, w, k := b.next()
+		if !k {
+			wait = w
+			break
+		}
+		msgs = append(msgs, transport.BatchMessage{To: key.node, Group: key.group, Payload: datagram})
+		owned = append(owned, own)
+	}
+	if len(msgs) == 0 {
+		b.batchMsgs, b.batchOwned = msgs, owned
+		return wait, false
+	}
+	if err := b.batch.SendBatch(msgs); err != nil {
+		b.ctr.sendFailures.Inc()
+		uerr.Note(b.reg, codeTransmit, err, "batched transport send on "+b.name)
+	}
+	for i := range msgs {
+		if owned[i] {
+			bufpool.Put(msgs[i].Payload)
+		}
+		msgs[i] = transport.BatchMessage{} // drop pooled-buffer refs
+	}
+	b.batchMsgs, b.batchOwned = msgs[:0], owned[:0]
+	b.mu.Lock()
+	b.transmitting = false
+	b.idle.Broadcast()
+	b.mu.Unlock()
+	return wait, true
 }
 
 func (b *bearer) flush() {
@@ -861,7 +1105,7 @@ func (b *bearer) flush() {
 func (b *bearer) pendingLocked() bool {
 	for c := range b.ready {
 		for _, ln := range b.ready[c] {
-			if len(ln.q[c]) > 0 {
+			if ln.size(c) > 0 {
 				return true
 			}
 		}
@@ -869,11 +1113,12 @@ func (b *bearer) pendingLocked() bool {
 	return false
 }
 
-// queuedFrame is one frame pulled off a bearer by drainQueued.
+// queuedFrame is one frame pulled off a bearer by drainQueued, ownership
+// included.
 type queuedFrame struct {
 	key   destKey
 	class int
-	raw   []byte
+	item  item
 }
 
 // drainQueued atomically removes everything queued on the bearer and
@@ -887,10 +1132,11 @@ func (b *bearer) drainQueued() []queuedFrame {
 	var out []queuedFrame
 	for c := numClasses - 1; c >= 0; c-- {
 		for _, ln := range b.ready[c] {
-			for _, raw := range ln.q[c] {
-				out = append(out, queuedFrame{key: ln.key, class: c, raw: raw})
+			for _, it := range ln.q[c][ln.head[c]:] {
+				out = append(out, queuedFrame{key: ln.key, class: c, item: it})
 			}
 			ln.q[c] = nil
+			ln.head[c] = 0
 			ln.queued[c] = false
 		}
 		b.ready[c] = nil
@@ -921,12 +1167,12 @@ func (b *bearer) close() {
 	defer b.mu.Unlock()
 	for c := numClasses - 1; c >= 0; c-- {
 		for _, ln := range b.ready[c] {
-			for _, raw := range ln.q[c] {
+			for _, it := range ln.q[c][ln.head[c]:] {
 				var err error
 				if ln.key.group != "" {
-					err = b.sender.SendGroup(ln.key.group, raw)
+					err = b.sender.SendGroup(ln.key.group, it.raw)
 				} else {
-					err = b.sender.Send(ln.key.node, raw)
+					err = b.sender.Send(ln.key.node, it.raw)
 				}
 				if err != nil {
 					b.ctr.sendFailures.Inc()
@@ -934,9 +1180,11 @@ func (b *bearer) close() {
 				}
 				b.ctr.perClass[c].sent.Inc()
 				b.ctr.perClass[c].datagrams.Inc()
-				b.ctr.perClass[c].bytes.Add(uint64(len(raw)))
+				b.ctr.perClass[c].bytes.Add(uint64(len(it.raw)))
+				it.release()
 			}
 			ln.q[c] = nil
+			ln.head[c] = 0
 			ln.queued[c] = false
 		}
 		b.ready[c] = nil

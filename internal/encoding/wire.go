@@ -240,6 +240,20 @@ func (r *Reader) String() string {
 	return s
 }
 
+// RawBytes reads a u32 length-prefixed byte sequence without copying. The
+// result aliases the input; callers that retain it must copy. It applies
+// the same length sanity checks as String/BytesCopy but allocates nothing,
+// which is what the zero-allocation frame decode path needs.
+func (r *Reader) RawBytes() []byte {
+	n := r.seqLen()
+	if r.err != nil || r.fail(n) {
+		return nil
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
 // BytesCopy reads a length-prefixed byte sequence into fresh storage.
 func (r *Reader) BytesCopy() []byte {
 	n := r.seqLen()

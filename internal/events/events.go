@@ -115,6 +115,7 @@ func (e *Engine) shardOf(topic string) *shard {
 // into the wire buffer. Frames are pooled under the same contract: the
 // fabric must not retain the *protocol.Frame past the call.
 var (
+	//wirepath:alloc pool-miss constructor; amortized across reuses
 	payloadPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
 	framePool   = sync.Pool{New: func() any { return new(protocol.Frame) }}
 )

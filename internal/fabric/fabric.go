@@ -61,6 +61,13 @@ type Fabric interface {
 	NextSeq() uint64
 	// SendBestEffort transmits one unacknowledged frame to a node over
 	// the datagram transport (§4.1 variables).
+	//
+	// No-retention contract (all three send methods): the fabric encodes
+	// f synchronously and keeps neither the frame nor its payload after
+	// the call returns, so callers may hand in pooled storage and recycle
+	// it immediately — the engines do exactly that on their hot paths.
+	// Fabric implementations (including test fakes) that defer the send
+	// must copy first.
 	SendBestEffort(to transport.NodeID, f *protocol.Frame) error
 	// SendGroup multicasts one unacknowledged frame (§4.1, §4.4).
 	SendGroup(group string, f *protocol.Frame) error

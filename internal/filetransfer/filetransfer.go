@@ -574,6 +574,7 @@ func (e *Engine) Fetch(ctx context.Context, name string, opts FetchOptions) ([]b
 	if o, local := e.offers[name]; local {
 		e.mu.Unlock()
 		data, rev := o.Data()
+		//wirepath:alloc snapshot copy returned to the caller, which retains it
 		out := make([]byte, len(data))
 		copy(out, data)
 		return out, rev, nil
@@ -816,6 +817,7 @@ func (e *Engine) HandleChunk(from transport.NodeID, fr *protocol.Frame) {
 		st.mu.Unlock()
 		return
 	}
+	//wirepath:alloc chunk copy retained by the reassembly buffer
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	st.parts[index] = cp
@@ -826,6 +828,7 @@ func (e *Engine) HandleChunk(from transport.NodeID, fr *protocol.Frame) {
 		for _, p := range st.parts {
 			size += len(p)
 		}
+		//wirepath:alloc reassembled file handed to the store, which retains it
 		buf := make([]byte, 0, size)
 		for _, p := range st.parts {
 			buf = append(buf, p...)

@@ -125,6 +125,82 @@ func TestWirePathErrorsAreTyped(t *testing.T) {
 	}
 }
 
+// wirepathAllocTag marks a reviewed allocation on a wire-path package:
+// `//wirepath:alloc <reason>` on the same line as (or the line above) a
+// bare make([]byte, ...). Everything else in these packages must come from
+// bufpool (steady-state buffers) so the zero-allocation gates keep holding.
+const wirepathAllocTag = "wirepath:alloc"
+
+// TestWirePathBuffersArePooled rejects unannotated make([]byte, ...) in
+// wire-path packages. A bare make on a per-frame path is exactly the
+// allocation the pooled encode/decode work removed; legitimate ones
+// (retained copies, pool-miss constructors, one-time rings) carry a
+// //wirepath:alloc comment stating why the buffer may not be pooled.
+func TestWirePathBuffersArePooled(t *testing.T) {
+	root := repoRoot(t)
+	sites := 0
+	for _, rel := range wirePathPackages {
+		dir := filepath.Join(root, rel)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("read %s: %v", dir, err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+			if err != nil {
+				t.Fatalf("parse %s: %v", name, err)
+			}
+			// Lines blessed by an annotation: the tag's own line and the
+			// one below it (tag-above-statement is the common form).
+			annotated := map[int]bool{}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					idx := strings.Index(c.Text, wirepathAllocTag)
+					if idx < 0 {
+						continue
+					}
+					if strings.TrimSpace(c.Text[idx+len(wirepathAllocTag):]) == "" {
+						t.Errorf("%s: %s needs a reason", fset.Position(c.Pos()), wirepathAllocTag)
+					}
+					line := fset.Position(c.Pos()).Line
+					annotated[line] = true
+					annotated[line+1] = true
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, isID := call.Fun.(*ast.Ident); !isID || id.Name != "make" || len(call.Args) < 2 {
+					return true
+				}
+				at, isArr := call.Args[0].(*ast.ArrayType)
+				if !isArr || at.Len != nil {
+					return true
+				}
+				if elt, isID := at.Elt.(*ast.Ident); !isID || elt.Name != "byte" {
+					return true
+				}
+				sites++
+				if !annotated[fset.Position(call.Pos()).Line] {
+					t.Errorf("%s: bare make([]byte, ...) on a wire-path package; use bufpool.Get/Put, or annotate with //%s <reason> if the buffer genuinely cannot be pooled",
+						fset.Position(call.Pos()), wirepathAllocTag)
+				}
+				return true
+			})
+		}
+	}
+	if sites == 0 {
+		t.Fatal("no make([]byte) sites found; the lint is miswired")
+	}
+}
+
 // codePattern is the uerr.Register contract: lowercase component.name.
 var codePattern = regexp.MustCompile(`^[a-z][a-z0-9_]*\.[a-z][a-z0-9_]*$`)
 

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"uavmw/internal/bufpool"
 	"uavmw/internal/clock"
 	"uavmw/internal/transport"
 )
@@ -341,6 +342,12 @@ func (n *Net) transmit(src *Node, receivers []*Node, pkt transport.Packet) {
 	if n.closed {
 		return
 	}
+
+	// Delivery happens later on the event goroutine, while the sender may
+	// recycle its buffer the moment Send returns (the transport ownership
+	// contract): take one GC-owned copy per transmission, shared by every
+	// receiver — handlers must not retain or mutate it.
+	pkt.Payload = bufpool.Copy(pkt.Payload)
 
 	// Sender-side serialization: the medium is occupied for size/bw.
 	start := now

@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"uavmw/internal/encoding"
@@ -30,22 +31,43 @@ const batchHeaderOverhead = 19
 // the MTU.
 func BatchOverhead(n int) int { return batchHeaderOverhead + n*BatchEntryOverhead }
 
+// AppendBatch serializes an MTBatch datagram containing the given encoded
+// frames onto dst and returns the extended slice. Each inner frame is
+// copied exactly once, directly into its wire position — no intermediate
+// payload assembly — and the output is byte-identical to what EncodeFrame
+// would produce for the equivalent MTBatch frame. dst is typically a pooled
+// buffer sized with BatchOverhead plus the inner lengths. On error dst is
+// returned unmodified.
+func AppendBatch(dst []byte, frames [][]byte, p qos.Priority) ([]byte, error) {
+	if len(frames) == 0 {
+		return dst, fmt.Errorf("protocol: empty batch: %w", ErrBadFrame)
+	}
+	// Outer frame header: empty channel, no seq, no flags — batches carry
+	// no sequence semantics of their own.
+	dst = binary.BigEndian.AppendUint16(dst, frameMagic)
+	dst = append(dst, frameVersion, uint8(MTBatch), 0, 0, uint8(p))
+	dst = binary.BigEndian.AppendUint32(dst, 0) // channel length
+	dst = binary.BigEndian.AppendUint64(dst, 0) // seq
+	for _, f := range frames {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(f)))
+		dst = append(dst, f...)
+	}
+	return dst, nil
+}
+
 // EncodeBatch packs the given encoded frames into one MTBatch datagram.
 // Order is preserved; the outer frame's priority is p.
 func EncodeBatch(frames [][]byte, p qos.Priority) ([]byte, error) {
-	if len(frames) == 0 {
-		return nil, fmt.Errorf("protocol: empty batch: %w", ErrBadFrame)
-	}
-	size := 0
+	size := BatchOverhead(len(frames))
 	for _, f := range frames {
-		size += BatchEntryOverhead + len(f)
+		size += len(f)
 	}
-	w := encoding.NewWriter(size)
-	for _, f := range frames {
-		w.Uint32(uint32(len(f)))
-		w.Raw(f)
+	//wirepath:alloc exact-size, GC-owned encode for callers that retain the result
+	out, err := AppendBatch(make([]byte, 0, size), frames, p)
+	if err != nil {
+		return nil, err
 	}
-	return EncodeFrame(&Frame{Type: MTBatch, Priority: p, Payload: w.Bytes()})
+	return out, nil
 }
 
 // DecodeBatch splits an MTBatch payload back into the raw inner frames. The

@@ -47,6 +47,7 @@ const MaxNackSeqs = 256
 func EncodeEventPayload(pubID uint32, topicSeq uint64, body []byte, buf []byte) []byte {
 	need := eventHeaderLen + len(body)
 	if cap(buf) < need {
+		//wirepath:alloc growth fallback when the caller's reused buffer is too small
 		buf = make([]byte, need)
 	}
 	buf = buf[:need]

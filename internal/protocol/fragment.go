@@ -1,10 +1,12 @@
 package protocol
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 	"time"
 
+	"uavmw/internal/bufpool"
 	"uavmw/internal/clock"
 	"uavmw/internal/encoding"
 	"uavmw/internal/transport"
@@ -51,24 +53,26 @@ func Fragment(raw []byte, msgID uint64, mtu int) ([][]byte, error) {
 	for i := 0; i < total; i++ {
 		start := i * mtu
 		end := min(start+mtu, len(raw))
-		w := encoding.NewWriter(16 + (end - start))
-		w.Uint64(msgID)
-		w.Uint16(uint16(i))
-		w.Uint16(uint16(total))
-		w.Raw(raw[start:end])
-		frame, err := EncodeFrame(&Frame{
-			Type:     MTFragment,
-			Priority: pr,
-			Seq:      msgID,
-			Payload:  w.Bytes(),
-		})
+		// One exact-size allocation per fragment: the frame header goes
+		// through AppendFrame with an empty payload, then the fragment
+		// header and chunk are appended directly in wire position.
+		//wirepath:alloc fragments are retained by ARQ/egress, so they are GC-owned
+		frame := make([]byte, 0, frameHeaderLen+fragHeaderLen+(end-start))
+		frame, err := AppendFrame(frame, &Frame{Type: MTFragment, Priority: pr, Seq: msgID})
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, frame)
+		frame = binary.BigEndian.AppendUint64(frame, msgID)
+		frame = binary.BigEndian.AppendUint16(frame, uint16(i))
+		frame = binary.BigEndian.AppendUint16(frame, uint16(total))
+		out = append(out, append(frame, raw[start:end]...))
 	}
 	return out, nil
 }
+
+// fragHeaderLen is the fragment payload header: u64 msgID, u16 index, u16
+// total.
+const fragHeaderLen = 12
 
 // Reassembler collects MTFragment frames and yields completed original
 // frames. Incomplete messages are discarded after a timeout so lost
@@ -146,9 +150,9 @@ func (ra *Reassembler) Offer(from transport.NodeID, f *Frame) ([]byte, error) {
 	}
 	st.deadline = now.Add(ra.ttl)
 	if st.parts[index] == nil {
-		cp := make([]byte, len(data))
-		copy(cp, data)
-		st.parts[index] = cp
+		// Fragment data aliases the receive buffer, which is recycled the
+		// moment the handler returns; reassembly state must own its bytes.
+		st.parts[index] = bufpool.Copy(data)
 		st.received++
 	}
 	if st.received < total {
@@ -159,6 +163,7 @@ func (ra *Reassembler) Offer(from transport.NodeID, f *Frame) ([]byte, error) {
 	for _, p := range st.parts {
 		size += len(p)
 	}
+	//wirepath:alloc the reassembled frame is handed to the receive path, which owns it
 	out := make([]byte, 0, size)
 	for _, p := range st.parts {
 		out = append(out, p...)

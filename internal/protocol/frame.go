@@ -3,11 +3,30 @@
 // the low-level bookkeeping the paper assigns to this layer — application-
 // level acknowledgment and retransmission (§4.2), fragmentation of payloads
 // beyond the datagram MTU, and duplicate suppression.
+//
+// # Buffer ownership
+//
+// The codec is built for a zero-allocation wire path, which makes aliasing
+// explicit:
+//
+//   - Encoding never retains its input. AppendFrame/AppendBatch copy the
+//     frame (including Payload) into dst; the caller may reuse or release
+//     the Frame and its Payload the moment the call returns.
+//   - Decoding never copies its input. DecodeFrame/DecodeFrameInto set
+//     Payload to a sub-slice of data, and DecodeBatch returns sub-slices of
+//     the batch payload. Whoever owns the encoded bytes (typically a pooled
+//     receive buffer) must keep them alive — and unmodified — for as long
+//     as any decoded view is in use, and anything that outlives that window
+//     (handler state, reassembly, dedup) must copy first.
+//   - Frames handed to Handle-style callbacks follow the same rule as
+//     transport.Packet: use within the call, copy to retain.
 package protocol
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"uavmw/internal/encoding"
@@ -184,16 +203,36 @@ var (
 	ErrVersion = errors.New("protocol version mismatch")
 )
 
-// EncodeFrame serializes f.
-func EncodeFrame(f *Frame) ([]byte, error) {
+// frameHeaderLen is the fixed header cost of every encoded frame: magic
+// u16, version, type, flags, encoding, priority, the channel's u32 length
+// prefix, and the u64 sequence number. Channel bytes and the optional
+// budget word come on top.
+const frameHeaderLen = 19
+
+// FrameWireSize returns the exact number of bytes AppendFrame writes for f,
+// so callers can size a buffer with no slack and no regrowth.
+func FrameWireSize(f *Frame) int {
+	n := frameHeaderLen + len(f.Channel) + len(f.Payload)
+	if f.Budget > 0 {
+		n += 4
+	}
+	return n
+}
+
+// AppendFrame serializes f onto the end of dst and returns the extended
+// slice. It copies f.Payload into dst and retains nothing, so the caller
+// may recycle both the frame and its payload immediately; dst is typically
+// a pooled buffer (bufpool.Get) or an exact-size allocation
+// (FrameWireSize). On error dst is returned unmodified.
+func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
 	if !f.Type.Valid() {
-		return nil, fmt.Errorf("protocol: type %d: %w", f.Type, ErrBadFrame)
+		return dst, fmt.Errorf("protocol: type %d: %w", f.Type, ErrBadFrame)
 	}
 	if len(f.Channel) > MaxChannelLen {
-		return nil, fmt.Errorf("protocol: channel %q too long: %w", f.Channel[:32]+"...", ErrBadFrame)
+		return dst, fmt.Errorf("protocol: channel %q too long: %w", f.Channel[:32]+"...", ErrBadFrame)
 	}
 	if f.Budget < 0 {
-		return nil, fmt.Errorf("protocol: negative budget %v: %w", f.Budget, ErrBadFrame)
+		return dst, fmt.Errorf("protocol: negative budget %v: %w", f.Budget, ErrBadFrame)
 	}
 	flags := f.Flags
 	if f.Budget > 0 {
@@ -201,15 +240,11 @@ func EncodeFrame(f *Frame) ([]byte, error) {
 	} else {
 		flags &^= FlagHasBudget
 	}
-	w := encoding.NewWriter(28 + len(f.Channel) + len(f.Payload))
-	w.Uint16(frameMagic)
-	w.Uint8(frameVersion)
-	w.Uint8(uint8(f.Type))
-	w.Uint8(flags)
-	w.Uint8(f.Encoding)
-	w.Uint8(uint8(f.Priority))
-	w.String(f.Channel)
-	w.Uint64(f.Seq)
+	dst = binary.BigEndian.AppendUint16(dst, frameMagic)
+	dst = append(dst, frameVersion, uint8(f.Type), flags, f.Encoding, uint8(f.Priority))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(f.Channel)))
+	dst = append(dst, f.Channel...)
+	dst = binary.BigEndian.AppendUint64(dst, f.Seq)
 	if f.Budget > 0 {
 		budget := f.Budget
 		if budget > maxBudget {
@@ -218,38 +253,117 @@ func EncodeFrame(f *Frame) ([]byte, error) {
 		if budget < time.Microsecond {
 			budget = time.Microsecond // flag implies a non-zero word
 		}
-		w.Uint32(uint32(budget / time.Microsecond))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(budget/time.Microsecond))
 	}
-	w.Raw(f.Payload)
-	return w.Bytes(), nil
+	return append(dst, f.Payload...), nil
 }
 
-// DecodeFrame parses data into a frame. The returned frame's Payload aliases
-// data; callers that retain it must copy.
-func DecodeFrame(data []byte) (*Frame, error) {
+// EncodeFrame serializes f into exactly one exact-size allocation.
+func EncodeFrame(f *Frame) ([]byte, error) {
+	//wirepath:alloc exact-size, GC-owned encode for callers that retain the result
+	out, err := AppendFrame(make([]byte, 0, FrameWireSize(f)), f)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Channel-name interning for the decode path. Channels are primitive
+// instance names — a small, stable vocabulary per deployment — so decoding
+// them as fresh strings on every frame is pure garbage. The table is
+// bounded: once full, unseen names fall back to a plain allocation rather
+// than evicting hot entries, so a hostile sender spraying channel names
+// costs allocations, not memory.
+const internCap = 4096
+
+var (
+	internMu sync.RWMutex
+	interned = make(map[string]string, 64)
+)
+
+// internChannel resolves the channel bytes to a shared string, allocating
+// only the first time a name is seen (the map lookup on a []byte key
+// compiles to a no-allocation probe).
+func internChannel(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	internMu.RLock()
+	s, ok := interned[string(b)]
+	internMu.RUnlock()
+	if ok {
+		return s
+	}
+	internMu.Lock()
+	defer internMu.Unlock()
+	if s, ok = interned[string(b)]; ok {
+		return s
+	}
+	s = string(b)
+	if len(interned) < internCap {
+		interned[s] = s
+	}
+	return s
+}
+
+// DecodeFrameInto parses data into f, overwriting every field. The frame's
+// Payload aliases data (callers that retain it must copy) and the Channel
+// string is interned, so a steady-state decode allocates nothing. f is
+// typically pooled (GetFrame/PutFrame); on error its contents are
+// unspecified.
+func DecodeFrameInto(f *Frame, data []byte) error {
 	r := encoding.NewReader(data)
 	if magic := r.Uint16(); magic != frameMagic {
-		return nil, fmt.Errorf("protocol: magic %#04x: %w", magic, ErrBadFrame)
+		return fmt.Errorf("protocol: magic %#04x: %w", magic, ErrBadFrame)
 	}
 	if v := r.Uint8(); v != frameVersion {
-		return nil, fmt.Errorf("protocol: version %d, want %d: %w", v, frameVersion, ErrVersion)
+		return fmt.Errorf("protocol: version %d, want %d: %w", v, frameVersion, ErrVersion)
 	}
-	f := &Frame{}
 	f.Type = MsgType(r.Uint8())
 	f.Flags = r.Uint8()
 	f.Encoding = r.Uint8()
 	f.Priority = qos.Priority(r.Uint8())
-	f.Channel = r.String()
+	f.Channel = internChannel(r.RawBytes())
 	f.Seq = r.Uint64()
+	f.Budget = 0
 	if f.Flags&FlagHasBudget != 0 {
 		f.Budget = time.Duration(r.Uint32()) * time.Microsecond
 	}
 	if err := r.Err(); err != nil {
-		return nil, fmt.Errorf("protocol: header: %w", err)
+		return fmt.Errorf("protocol: header: %w", err)
 	}
 	if !f.Type.Valid() {
-		return nil, fmt.Errorf("protocol: type %d: %w", f.Type, ErrBadFrame)
+		return fmt.Errorf("protocol: type %d: %w", f.Type, ErrBadFrame)
 	}
 	f.Payload = r.Raw(r.Remaining())
+	return nil
+}
+
+// DecodeFrame parses data into a fresh frame. The returned frame's Payload
+// aliases data; callers that retain it must copy.
+func DecodeFrame(data []byte) (*Frame, error) {
+	f := &Frame{}
+	if err := DecodeFrameInto(f, data); err != nil {
+		return nil, err
+	}
 	return f, nil
+}
+
+// framePool recycles Frame structs for the receive path, pairing with
+// DecodeFrameInto so routing a datagram heap-allocates neither the frame
+// nor its header fields.
+var framePool = sync.Pool{New: func() any { return new(Frame) }}
+
+// GetFrame returns a zeroed pooled frame. Release it with PutFrame once
+// nothing retains the pointer — handlers that keep a frame past their call
+// must copy the fields they need instead (the same retention rule as
+// Payload).
+func GetFrame() *Frame { return framePool.Get().(*Frame) }
+
+// PutFrame zeroes f and returns it to the pool. Callers must guarantee no
+// alias of f survives; when retention is uncertain, drop the frame on the
+// floor and let the GC have it.
+func PutFrame(f *Frame) {
+	*f = Frame{}
+	framePool.Put(f)
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"uavmw/internal/bufpool"
 	"uavmw/internal/clock"
 	"uavmw/internal/encoding"
 	"uavmw/internal/metrics"
@@ -146,9 +147,7 @@ func (g *GoBackN) Send(msg []byte) error {
 		return uerr.Wrap(g.reg, codeGBNClosed, ErrGBNClosed, "send refused")
 	}
 	if g.nextSeq-g.sendBase >= uint64(g.window) {
-		cp := make([]byte, len(msg))
-		copy(cp, msg)
-		g.pending = append(g.pending, cp)
+		g.pending = append(g.pending, bufpool.Copy(msg))
 		return nil
 	}
 	g.transmitLocked(msg)
@@ -159,8 +158,7 @@ func (g *GoBackN) Send(msg []byte) error {
 func (g *GoBackN) transmitLocked(msg []byte) {
 	seq := g.nextSeq
 	g.nextSeq++
-	cp := make([]byte, len(msg))
-	copy(cp, msg)
+	cp := bufpool.Copy(msg)
 	g.buf[seq] = cp
 	g.stats.Sent++
 	if g.timer == nil {
@@ -256,9 +254,7 @@ func (g *GoBackN) handleData(seq uint64, data []byte) {
 	case seq < g.recvNext:
 		// Duplicate of already-delivered data; re-ack.
 	case seq == g.recvNext:
-		cp := make([]byte, len(data))
-		copy(cp, data)
-		toDeliver = append(toDeliver, cp)
+		toDeliver = append(toDeliver, bufpool.Copy(data))
 		g.recvNext++
 		// Drain any buffered successors.
 		for {
@@ -275,9 +271,7 @@ func (g *GoBackN) handleData(seq uint64, data []byte) {
 		// the classic drop-everything GBN and still preserves the
 		// in-order delivery semantics being compared).
 		if _, dup := g.recvBuf[seq]; !dup && seq-g.recvNext < uint64(g.window)*4 {
-			cp := make([]byte, len(data))
-			copy(cp, data)
-			g.recvBuf[seq] = cp
+			g.recvBuf[seq] = bufpool.Copy(data)
 			g.stats.OutOfOrder++
 		}
 	}

@@ -24,6 +24,7 @@ package rpc
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"strings"
@@ -31,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"uavmw/internal/bufpool"
 	"uavmw/internal/clock"
 	"uavmw/internal/encoding"
 	"uavmw/internal/fabric"
@@ -798,14 +800,11 @@ func (e *Engine) HandleCall(from transport.NodeID, fr *protocol.Frame) {
 	reg := e.functions[fr.Channel]
 	e.regMu.Unlock()
 	callID := fr.Seq
+	// The scheduled handler below outlives fr (the fabric pools decoded
+	// frames), so everything it needs is captured as scalars here.
+	rawPr, ch := fr.Priority, fr.Channel
 	if reg == nil {
-		reply := &protocol.Frame{
-			Type:     protocol.MTError,
-			Priority: fr.Priority,
-			Channel:  fr.Channel,
-			Payload:  encodeReply(callID, nil),
-		}
-		e.f.SendReliable(from, reply, qos.ReliableARQ, nil)
+		e.sendReply(from, protocol.MTError, 0, rawPr, ch, callID, nil)
 		return
 	}
 	// Concurrency limit: strict reserve-then-check so the cap holds under
@@ -813,7 +812,7 @@ func (e *Engine) HandleCall(from transport.NodeID, fr *protocol.Frame) {
 	limit := e.inflightLimit.Load()
 	if e.inflight.Add(1) > limit && limit > 0 {
 		e.inflight.Add(-1)
-		e.replyBusy(from, fr)
+		e.replyBusy(from, callID, rawPr, ch)
 		return
 	}
 	arrival := e.clk.Now()
@@ -823,7 +822,7 @@ func (e *Engine) HandleCall(from transport.NodeID, fr *protocol.Frame) {
 		if err != nil {
 			e.inflight.Add(-1)
 			uerr.Wrapf(e.reg, codeArgsDecode, err, "%s from %q", reg.name, from)
-			e.replyAppError(from, fr, fmt.Sprintf("bad arguments: %v", err))
+			e.replyAppError(from, callID, rawPr, ch, fmt.Sprintf("bad arguments: %v", err))
 			return
 		}
 		args = decoded
@@ -844,70 +843,82 @@ func (e *Engine) HandleCall(from transport.NodeID, fr *protocol.Frame) {
 			// synchronized — so this catches queueing delay, the
 			// dominant term on an overloaded provider, not every spent
 			// budget.)
-			e.replyBusy(from, fr)
+			e.replyBusy(from, callID, rawPr, ch)
 			return
 		}
 		v, err := handler(args)
 		reg.calls.Inc()
 		if err != nil {
-			e.replyAppError(from, fr, err.Error())
+			e.replyAppError(from, callID, rawPr, ch, err.Error())
 			return
 		}
 		var payload []byte
 		if reg.retType != nil {
 			cv, cerr := presentation.Coerce(reg.retType, v)
 			if cerr != nil {
-				e.replyAppError(from, fr, cerr.Error())
+				e.replyAppError(from, callID, rawPr, ch, cerr.Error())
 				return
 			}
 			payload, cerr = e.f.Encoding().Marshal(reg.retType, cv)
 			if cerr != nil {
-				e.replyAppError(from, fr, cerr.Error())
+				e.replyAppError(from, callID, rawPr, ch, cerr.Error())
 				return
 			}
 		}
-		reply := &protocol.Frame{
-			Type:     protocol.MTReturn,
-			Encoding: e.f.Encoding().ID(),
-			Priority: pr,
-			Channel:  fr.Channel,
-			Payload:  encodeReply(callID, payload),
-		}
-		e.f.SendReliable(from, reply, qos.ReliableARQ, nil)
+		e.sendReply(from, protocol.MTReturn, e.f.Encoding().ID(), pr, ch, callID, payload)
 	}); err != nil {
 		// Scheduler saturated: shed so the caller fails over rather than
 		// treating local overload as an application error.
 		e.inflight.Add(-1)
-		e.replyBusy(from, fr)
+		e.replyBusy(from, callID, rawPr, ch)
 	}
+}
+
+// sendReply builds one reply frame (MTReturn / MTError / MTBusy) on pooled
+// storage — the frame from the protocol frame pool, the call-id-prefixed
+// payload from bufpool — and recycles both once SendReliable returns (the
+// fabric encodes synchronously and retains neither).
+func (e *Engine) sendReply(to transport.NodeID, mt protocol.MsgType, enc uint8, pr qos.Priority, ch string, callID uint64, body []byte) {
+	buf := bufpool.Get(8 + len(body))
+	buf = binary.BigEndian.AppendUint64(buf, callID)
+	buf = append(buf, body...)
+	reply := protocol.GetFrame()
+	*reply = protocol.Frame{
+		Type:     mt,
+		Encoding: enc,
+		Priority: pr,
+		Channel:  ch,
+		Payload:  buf,
+	}
+	e.f.SendReliable(to, reply, qos.ReliableARQ, nil)
+	protocol.PutFrame(reply)
+	bufpool.Put(buf)
 }
 
 // replyBusy sheds one request with an explicit MTBusy (§4.3 admission
 // control); the caller treats it as an infrastructure failure and fails
 // over.
-func (e *Engine) replyBusy(to transport.NodeID, call *protocol.Frame) {
+func (e *Engine) replyBusy(to transport.NodeID, callID uint64, pr qos.Priority, ch string) {
 	e.busyRejects.Inc()
-	reply := &protocol.Frame{
-		Type:     protocol.MTBusy,
-		Priority: call.Priority,
-		Channel:  call.Channel,
-		Payload:  encodeReply(call.Seq, nil),
-	}
-	e.f.SendReliable(to, reply, qos.ReliableARQ, nil)
+	e.sendReply(to, protocol.MTBusy, 0, pr, ch, callID, nil)
 }
 
-func (e *Engine) replyAppError(to transport.NodeID, call *protocol.Frame, msg string) {
-	w := encoding.NewWriter(12 + len(msg))
-	w.Uint64(call.Seq)
-	w.String(msg)
-	reply := &protocol.Frame{
+func (e *Engine) replyAppError(to transport.NodeID, callID uint64, pr qos.Priority, ch string, msg string) {
+	buf := bufpool.Get(12 + len(msg))
+	buf = binary.BigEndian.AppendUint64(buf, callID)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(msg)))
+	buf = append(buf, msg...)
+	reply := protocol.GetFrame()
+	*reply = protocol.Frame{
 		Type:     protocol.MTError,
 		Flags:    protocol.FlagAppError,
-		Priority: call.Priority,
-		Channel:  call.Channel,
-		Payload:  w.Bytes(),
+		Priority: pr,
+		Channel:  ch,
+		Payload:  buf,
 	}
 	e.f.SendReliable(to, reply, qos.ReliableARQ, nil)
+	protocol.PutFrame(reply)
+	bufpool.Put(buf)
 }
 
 // Replies must not reuse the caller-allocated call id as their wire

@@ -3,6 +3,8 @@ package transport
 import (
 	"fmt"
 	"sync"
+
+	"uavmw/internal/bufpool"
 )
 
 // Bus is an in-process transport fabric: every endpoint created from the
@@ -171,7 +173,10 @@ func (e *BusEndpoint) Send(to NodeID, payload []byte) error {
 	}
 	e.stats.sent(len(payload))
 	e.stats.wire(len(payload))
-	dst.enqueue(Packet{From: e.id, To: to, Payload: payload})
+	// Delivery is asynchronous (queue + dispatch goroutine) while the
+	// caller may recycle payload the moment Send returns, so the bus takes
+	// a GC-owned copy here — the transport ownership contract.
+	dst.enqueue(Packet{From: e.id, To: to, Payload: bufpool.Copy(payload)})
 	return nil
 }
 
@@ -185,11 +190,14 @@ func (e *BusEndpoint) SendGroup(group string, payload []byte) error {
 	// models a shared medium with true multicast. No self-loopback —
 	// local delivery is the container's bypass path.
 	e.stats.wire(len(payload))
+	// One copy shared by every member: receivers must not retain or
+	// mutate Packet.Payload, so aliasing across queues is safe.
+	cp := bufpool.Copy(payload)
 	for _, member := range e.bus.members(group) {
 		if member == e {
 			continue
 		}
-		member.enqueue(Packet{From: e.id, Group: group, Payload: payload})
+		member.enqueue(Packet{From: e.id, Group: group, Payload: cp})
 	}
 	return nil
 }

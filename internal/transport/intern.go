@@ -1,0 +1,42 @@
+package transport
+
+import "sync"
+
+// Interning table for the short identifier strings that arrive on every
+// datagram envelope (sender node id, group name). Converting the raw header
+// bytes to a string per packet would be one heap allocation per datagram;
+// the population of distinct ids on a deployment is tiny, so a bounded
+// lookaside table makes the conversion allocation-free after first sight.
+// Once the table is full, unseen names fall back to plain allocation rather
+// than evicting — an adversarial flood of unique ids degrades to the old
+// cost, it cannot poison the cache.
+const internCap = 4096
+
+var (
+	internMu  sync.RWMutex
+	internTab = make(map[string]string, 64)
+)
+
+// internString returns a canonical string for b without allocating on the
+// hit path (the compiler recognizes the map[string(b)] lookup idiom).
+func internString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	internMu.RLock()
+	s, ok := internTab[string(b)]
+	internMu.RUnlock()
+	if ok {
+		return s
+	}
+	internMu.Lock()
+	defer internMu.Unlock()
+	if s, ok := internTab[string(b)]; ok {
+		return s
+	}
+	s = string(b)
+	if len(internTab) < internCap {
+		internTab[s] = s
+	}
+	return s
+}

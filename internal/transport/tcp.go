@@ -137,6 +137,7 @@ func (t *TCP) seal(payload []byte) []byte {
 	w.String(string(t.id))
 	w.Raw(payload)
 	body := w.Bytes()
+	//wirepath:alloc stream framing copy; the TCP-like bearer is the E2 baseline, not the datagram fast path
 	frame := make([]byte, 4+len(body))
 	binary.BigEndian.PutUint32(frame, uint32(len(body)))
 	copy(frame[4:], body)
@@ -277,6 +278,7 @@ func (t *TCP) readLoop(conn net.Conn) {
 		if n == 0 || n > maxTCPFrame {
 			return // corrupt peer
 		}
+		//wirepath:alloc stream read buffer retained across the length-prefixed read
 		body := make([]byte, n)
 		if _, err := io.ReadFull(conn, body); err != nil {
 			return

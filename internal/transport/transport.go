@@ -7,6 +7,22 @@
 // inproc.go) for same-host containers and tests, real UDP and TCP transports
 // over the loopback/LAN, and the deterministic simulated network in package
 // netsim used by the loss/latency experiments.
+//
+// # Buffer ownership
+//
+// The wire path recycles its buffers (internal/bufpool), so retention is a
+// contract, not a convention:
+//
+//   - Send / SendGroup / SendBatch: the payload belongs to the caller and
+//     is valid only for the duration of the call. A transport that delivers
+//     asynchronously — enqueueing, simulating latency, fanning out on
+//     another goroutine — must copy the payload before returning (see
+//     bufpool.Copy). Synchronous transports (UDP, TCP) hand the bytes to
+//     the kernel within the call and retain nothing.
+//   - Receive: Packet.Payload belongs to the transport and is valid only
+//     for the duration of the Handler call; the backing storage (typically
+//     a pooled receive buffer) is reused for the next datagram. Handlers
+//     that retain any part of it must copy.
 package transport
 
 import (
@@ -63,6 +79,27 @@ type Transport interface {
 	// Close releases resources and stops the dispatch goroutines.
 	// Implementations must be idempotent.
 	Close() error
+}
+
+// BatchMessage is one datagram in a BatchSender call: exactly one of To or
+// Group is set, mirroring Send/SendGroup.
+type BatchMessage struct {
+	To      NodeID
+	Group   string
+	Payload []byte
+}
+
+// BatchSender is implemented by transports that can put several datagrams
+// on the wire in one call (sendmmsg on Linux UDP). The egress drainers feed
+// it runs of already-paced, priority-ordered datagrams, amortizing the
+// per-datagram syscall cost. Semantics match issuing the Sends in slice
+// order; a non-nil error means one or more messages failed (best effort —
+// datagram transports don't guarantee delivery anyway). Payloads follow the
+// Send ownership rule: valid only for the duration of the call. Transports
+// without a native batching primitive simply don't implement the interface
+// and callers fall back to one Send per datagram.
+type BatchSender interface {
+	SendBatch(msgs []BatchMessage) error
 }
 
 // Multicaster is implemented by transports whose SendGroup puts a single

@@ -1,11 +1,13 @@
 package transport
 
 import (
+	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 	"net"
 	"sync"
 
+	"uavmw/internal/bufpool"
 	"uavmw/internal/encoding"
 )
 
@@ -33,6 +35,13 @@ type UDP struct {
 	stats counters
 
 	groupBase int // base UDP port for derived multicast groups
+
+	// SendBatch scratch, guarded by batchMu: resolved datagrams, the
+	// pooled envelopes to release, and the platform syscall state.
+	batchMu   sync.Mutex
+	batchOuts []wireDatagram
+	batchEnvs [][]byte
+	bw        batchWriter
 }
 
 type udpGroup struct {
@@ -42,6 +51,7 @@ type udpGroup struct {
 
 var _ Transport = (*UDP)(nil)
 var _ Multicaster = (*UDP)(nil)
+var _ BatchSender = (*UDP)(nil)
 
 // envelope bytes.
 const (
@@ -167,14 +177,21 @@ func (u *UDP) GroupAddr(group string) *net.UDPAddr {
 	}
 }
 
-func (u *UDP) seal(kind uint8, group string, payload []byte) []byte {
-	w := encoding.NewWriter(len(payload) + len(u.id) + len(group) + 12)
-	w.Uint8(udpMagic)
-	w.Uint8(kind)
-	w.String(string(u.id))
-	w.String(group)
-	w.Raw(payload)
-	return w.Bytes()
+// envelopeLen is the sealed size of one datagram: magic, kind, u32-prefixed
+// sender id and group, payload.
+func (u *UDP) envelopeLen(group string, payload []byte) int {
+	return 10 + len(u.id) + len(group) + len(payload)
+}
+
+// seal appends the envelope onto dst (typically a pooled buffer the caller
+// releases once the kernel has the bytes).
+func (u *UDP) seal(dst []byte, kind uint8, group string, payload []byte) []byte {
+	dst = append(dst, udpMagic, kind)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(u.id)))
+	dst = append(dst, u.id...)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(group)))
+	dst = append(dst, group...)
+	return append(dst, payload...)
 }
 
 // Send implements Transport.
@@ -189,9 +206,11 @@ func (u *UDP) Send(to NodeID, payload []byte) error {
 	if addr == nil {
 		return fmt.Errorf("transport: send to %q: %w", to, ErrUnknownNode)
 	}
-	buf := u.seal(udpUnicast, "", payload)
+	env := u.seal(bufpool.Get(u.envelopeLen("", payload)), udpUnicast, "", payload)
 	u.stats.sent(len(payload))
-	if _, err := u.conn.WriteToUDP(buf, addr); err != nil {
+	_, err := u.conn.WriteToUDP(env, addr)
+	bufpool.Put(env) // the kernel copied the bytes; WriteToUDP retains nothing
+	if err != nil {
 		u.stats.dropped()
 		return fmt.Errorf("transport: udp send to %q: %w", to, err)
 	}
@@ -214,19 +233,22 @@ func (u *UDP) SendGroup(group string, payload []byte) error {
 		}
 	}
 	u.mu.Unlock()
-	buf := u.seal(udpMulticast, group, payload)
+	env := u.seal(bufpool.Get(u.envelopeLen(group, payload)), udpMulticast, group, payload)
 	u.stats.sent(len(payload))
 	if u.fanout {
 		for _, addr := range peerAddrs {
-			if _, err := u.conn.WriteToUDP(buf, addr); err != nil {
+			if _, err := u.conn.WriteToUDP(env, addr); err != nil {
 				u.stats.dropped()
 				continue
 			}
 			u.stats.wire(len(payload))
 		}
+		bufpool.Put(env)
 		return nil
 	}
-	if _, err := u.conn.WriteToUDP(buf, u.GroupAddr(group)); err != nil {
+	_, err := u.conn.WriteToUDP(env, u.GroupAddr(group))
+	bufpool.Put(env)
+	if err != nil {
 		u.stats.dropped()
 		return fmt.Errorf("transport: udp multicast to %q: %w", group, err)
 	}
@@ -309,13 +331,26 @@ const maxDatagram = 64 << 10
 
 func (u *UDP) readLoop(conn *net.UDPConn, g *udpGroup) {
 	defer u.wg.Done()
-	buf := make([]byte, maxDatagram)
+	// A fixed ring of receive buffers, reused for the life of the loop.
+	// Where recvmmsg is available (Linux) one syscall fills a run of them;
+	// elsewhere the ring is a single buffer and read degenerates to one
+	// ReadFromUDP. Handlers see the buffers directly (no per-datagram
+	// copy): Packet.Payload is only valid during the handler call.
+	rd := newDatagramReader(conn)
+	bufs := make([][]byte, recvRing)
+	for i := range bufs {
+		//wirepath:alloc receive ring, allocated once per transport
+		bufs[i] = make([]byte, maxDatagram)
+	}
+	sizes := make([]int, recvRing)
 	for {
-		n, _, err := conn.ReadFromUDP(buf)
+		n, err := rd.read(bufs, sizes)
 		if err != nil {
 			return // closed
 		}
-		u.handleDatagram(buf[:n])
+		for i := 0; i < n; i++ {
+			u.handleDatagram(bufs[i][:sizes[i]])
+		}
 	}
 }
 
@@ -326,8 +361,8 @@ func (u *UDP) handleDatagram(data []byte) {
 		return
 	}
 	kind := r.Uint8()
-	from := NodeID(r.String())
-	group := r.String()
+	from := NodeID(internString(r.RawBytes()))
+	group := internString(r.RawBytes())
 	if r.Err() != nil || from == "" {
 		u.stats.dropped()
 		return
@@ -353,15 +388,109 @@ func (u *UDP) handleDatagram(data []byte) {
 		u.stats.dropped()
 		return
 	}
-	// Copy: buf is reused by the read loop.
-	cp := make([]byte, len(payload))
-	copy(cp, payload)
-	u.stats.recv(len(cp))
-	pkt := Packet{From: from, Payload: cp}
+	// No copy: payload aliases the ring buffer, which is reused only
+	// after the handler returns (the Packet ownership contract).
+	u.stats.recv(len(payload))
+	pkt := Packet{From: from, Payload: payload}
 	if kind == udpMulticast {
 		pkt.Group = group
 	} else {
 		pkt.To = u.id
 	}
 	h(pkt)
+}
+
+// wireDatagram is one resolved, sealed datagram awaiting transmission.
+type wireDatagram struct {
+	env  []byte // sealed envelope (pooled)
+	addr *net.UDPAddr
+	pay  int // payload bytes, for wire accounting
+}
+
+// SendBatch implements BatchSender: it seals every message into a pooled
+// envelope, resolves addresses under one lock acquisition, and hands the
+// whole run to the platform writer — sendmmsg on Linux, a WriteToUDP loop
+// elsewhere. Group messages expand to their fan-out targets when the
+// transport runs in fan-out mode.
+func (u *UDP) SendBatch(msgs []BatchMessage) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	u.batchMu.Lock()
+	defer u.batchMu.Unlock()
+	outs := u.batchOuts[:0]
+	envs := u.batchEnvs[:0]
+
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return fmt.Errorf("transport: udp batch from %q: %w", u.id, ErrClosed)
+	}
+	var firstErr error
+	for i := range msgs {
+		m := &msgs[i]
+		if m.Group != "" {
+			env := u.seal(bufpool.Get(u.envelopeLen(m.Group, m.Payload)), udpMulticast, m.Group, m.Payload)
+			envs = append(envs, env)
+			u.stats.sent(len(m.Payload))
+			if u.fanout {
+				for _, addr := range u.peers {
+					outs = append(outs, wireDatagram{env: env, addr: addr, pay: len(m.Payload)})
+				}
+			} else {
+				outs = append(outs, wireDatagram{env: env, addr: u.GroupAddr(m.Group), pay: len(m.Payload)})
+			}
+			continue
+		}
+		addr, ok := u.peers[m.To]
+		if !ok {
+			u.stats.dropped()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("transport: udp batch to %q: %w", m.To, ErrUnknownNode)
+			}
+			continue
+		}
+		env := u.seal(bufpool.Get(u.envelopeLen("", m.Payload)), udpUnicast, "", m.Payload)
+		envs = append(envs, env)
+		u.stats.sent(len(m.Payload))
+		outs = append(outs, wireDatagram{env: env, addr: addr, pay: len(m.Payload)})
+	}
+	u.mu.Unlock()
+
+	sent, werr := u.writeBatch(outs)
+	for i := range outs {
+		if i < sent {
+			u.stats.wire(outs[i].pay)
+		} else {
+			u.stats.dropped()
+		}
+	}
+	if werr != nil && firstErr == nil {
+		firstErr = fmt.Errorf("transport: udp batch from %q: %w", u.id, werr)
+	}
+
+	// The kernel (or the fallback WriteToUDP loop) copied every envelope
+	// it accepted; recycle them all.
+	for i, env := range envs {
+		bufpool.Put(env)
+		envs[i] = nil
+	}
+	for i := range outs {
+		outs[i] = wireDatagram{}
+	}
+	u.batchOuts = outs[:0]
+	u.batchEnvs = envs[:0]
+	return firstErr
+}
+
+// sequentialWrite is the portable datagram batch writer: one WriteToUDP per
+// datagram. It reports how many datagrams were accepted before the first
+// failure.
+func sequentialWrite(conn *net.UDPConn, outs []wireDatagram) (int, error) {
+	for i, out := range outs {
+		if _, err := conn.WriteToUDP(out.env, out.addr); err != nil {
+			return i, err
+		}
+	}
+	return len(outs), nil
 }

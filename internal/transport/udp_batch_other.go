@@ -1,0 +1,36 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package transport
+
+import "net"
+
+// Portable fallback: no vectored datagram syscalls, one syscall per
+// datagram. SendBatch still buys the caller one lock acquisition and pooled
+// sealing per run; the read loop uses a single reused buffer.
+
+const recvRing = 1
+
+type batchWriter struct{}
+
+func (u *UDP) writeBatch(outs []wireDatagram) (int, error) {
+	return sequentialWrite(u.conn, outs)
+}
+
+type datagramReader interface {
+	read(bufs [][]byte, sizes []int) (int, error)
+}
+
+type singleReader struct{ conn *net.UDPConn }
+
+func newDatagramReader(conn *net.UDPConn) datagramReader {
+	return singleReader{conn}
+}
+
+func (r singleReader) read(bufs [][]byte, sizes []int) (int, error) {
+	n, _, err := r.conn.ReadFromUDP(bufs[0])
+	if err != nil {
+		return 0, err
+	}
+	sizes[0] = n
+	return 1, nil
+}

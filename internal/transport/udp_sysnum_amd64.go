@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package transport
+
+// Vectored-datagram syscall numbers; the stdlib syscall table omits
+// sendmmsg on amd64.
+const (
+	sysSendmmsg = 307
+	sysRecvmmsg = 299
+)

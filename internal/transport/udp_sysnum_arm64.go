@@ -1,0 +1,8 @@
+//go:build linux && arm64
+
+package transport
+
+const (
+	sysSendmmsg = 269
+	sysRecvmmsg = 243
+)

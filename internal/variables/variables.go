@@ -16,11 +16,13 @@
 package variables
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"uavmw/internal/bufpool"
 	"uavmw/internal/encoding"
 	"uavmw/internal/fabric"
 	"uavmw/internal/metrics"
@@ -80,17 +82,22 @@ func New(f fabric.Fabric) *Engine {
 //	u32 publisher incarnation (non-zero; resets subscriber seq filters)
 //	raw encoded value
 
+// appendSamplePayload appends the sample header and encoded body onto dst
+// (typically a pooled buffer sized 16 + len(body)).
+func appendSamplePayload(dst []byte, body []byte, ts time.Time, validity time.Duration, pub uint32) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, uint64(ts.UnixNano()))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(validity/time.Millisecond))
+	dst = binary.BigEndian.AppendUint32(dst, pub)
+	return append(dst, body...)
+}
+
 func encodeSamplePayload(enc encoding.Encoding, t *presentation.Type, v any, ts time.Time, validity time.Duration, pub uint32) ([]byte, error) {
 	body, err := enc.Marshal(t, v)
 	if err != nil {
 		return nil, err
 	}
-	w := encoding.NewWriter(16 + len(body))
-	w.Int64(ts.UnixNano())
-	w.Uint32(uint32(validity / time.Millisecond))
-	w.Uint32(pub)
-	w.Raw(body)
-	return w.Bytes(), nil
+	//wirepath:alloc exact-size, GC-owned encode for callers that retain the result
+	return appendSamplePayload(make([]byte, 0, 16+len(body)), body, ts, validity, pub), nil
 }
 
 func decodeSamplePayload(enc encoding.Encoding, t *presentation.Type, payload []byte) (v any, ts time.Time, validity time.Duration, pub uint32, err error) {
@@ -203,11 +210,16 @@ func (p *Publisher) Publish(v any) error {
 	p.mu.Unlock()
 
 	enc := p.engine.f.Encoding()
-	payload, err := encodeSamplePayload(enc, p.typ, cv, now, p.q.Validity, p.id)
+	body, err := enc.Marshal(p.typ, cv)
 	if err != nil {
 		return err
 	}
-	frame := &protocol.Frame{
+	// Pooled sample assembly: the payload buffer and the frame both come
+	// from pools and go back the moment SendGroup returns — the fabric
+	// encodes synchronously and retains neither.
+	payload := appendSamplePayload(bufpool.Get(16+len(body)), body, now, p.q.Validity, p.id)
+	frame := protocol.GetFrame()
+	*frame = protocol.Frame{
 		Type:     protocol.MTSample,
 		Encoding: enc.ID(),
 		Priority: p.q.Priority,
@@ -219,7 +231,10 @@ func (p *Publisher) Publish(v any) error {
 	// no encode/decode on the hot path (§4.4's bypass principle applied
 	// to variables; experiment F2).
 	p.engine.deliverLocal(p.name, cv, now, p.q.Validity)
-	if err := p.engine.f.SendGroup(fabric.VarGroup(p.name), frame); err != nil {
+	err = p.engine.f.SendGroup(fabric.VarGroup(p.name), frame)
+	protocol.PutFrame(frame)
+	bufpool.Put(payload)
+	if err != nil {
 		return fmt.Errorf("variables: publish %q: %w", p.name, err)
 	}
 	return nil

@@ -55,13 +55,21 @@ func (f *fakeFabric) SendBestEffort(transport.NodeID, *protocol.Frame) error { r
 func (f *fakeFabric) SendGroup(group string, fr *protocol.Frame) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.group[group] = append(f.group[group], fr)
+	f.group[group] = append(f.group[group], copyFrame(fr))
 	return nil
+}
+
+// copyFrame snapshots a frame: the engine recycles frame and payload once
+// the send returns, per the fabric no-retention contract.
+func copyFrame(fr *protocol.Frame) *protocol.Frame {
+	cp := *fr
+	cp.Payload = append([]byte(nil), fr.Payload...)
+	return &cp
 }
 
 func (f *fakeFabric) SendReliable(_ transport.NodeID, fr *protocol.Frame, _ qos.Reliability, done func(error)) {
 	f.mu.Lock()
-	f.reliable = append(f.reliable, fr)
+	f.reliable = append(f.reliable, copyFrame(fr))
 	f.mu.Unlock()
 	if done != nil {
 		done(nil)
