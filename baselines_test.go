@@ -1,11 +1,12 @@
 package uavmw
 
-// Baseline guards for the observability plane: re-run the E13, E14, and
-// E15 scenarios at the exact parameters that produced the committed
+// Baseline guards for the observability plane: re-run the E13, E14, E15,
+// and E16 scenarios at the exact parameters that produced the committed
 // testdata/bench_baseline snapshots and assert the headline metrics are
 // unchanged within noise. E15 additionally pins the wire path's exact
 // allocation counts — the zero-allocation contract as a replayable record,
-// not just a package test. The metrics registry sits on the egress and
+// not just a package test — and E16 does the same for the ground gateway's
+// fan-out path and its flat air-link cost. The metrics registry sits on the egress and
 // ARQ hot paths, so a regression here means the instrumentation (or any
 // later change) altered scheduling or wire behaviour, not just numbers.
 //
@@ -21,6 +22,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strconv"
 	"testing"
 	"time"
 
@@ -147,6 +149,61 @@ func TestE15MatchesBaseline(t *testing.T) {
 	exact(t, base, "netsim_wire_bytes", float64(res.Netsim.WireBytes))
 }
 
+func TestE16MatchesBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size E16 baseline run; executed by the dedicated CI step")
+	}
+	base := loadBaseline(t, "BENCH_E16.json")
+
+	var res *experiments.E16Result
+	if _, err := experiments.RunVirtual(func(clk clock.Clock) error {
+		var err error
+		res, err = experiments.RunE16(clk, []int{1000, 10_000, 100_000}, 20, base.Seed)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(res.Sweep) != 3 {
+		t.Fatalf("e16 sweep has %d points, want 3", len(res.Sweep))
+	}
+	for _, pt := range res.Sweep {
+		p := "sweep_" + strconv.Itoa(pt.Clients) + "_"
+		// Delivery counts are exact: every client hears every sample or the
+		// shared-subscription plumbing broke.
+		exact(t, base, p+"clients", float64(pt.Clients))
+		exact(t, base, p+"samples", float64(pt.Samples))
+		exact(t, base, p+"delivered", float64(pt.Delivered))
+		// Air-side cost may shift by a heartbeat packet when warm-up
+		// duration moves the discovery phase; it must not shift by a
+		// per-client resubscription (that lands orders of magnitude out).
+		withinRel(t, base, p+"air_bytes", float64(pt.AirBytes), 0.25, 200)
+		withinRel(t, base, p+"air_bytes_per_sample", pt.AirBytesPerSample, 0.25, 10)
+		// Pushed bytes drift only with seq-number digit width; a re-encode
+		// per client would multiply this.
+		withinRel(t, base, p+"client_bytes", float64(pt.ClientBytes), 0.05, 0)
+	}
+	// The tentpole claim: 100x the audience, same air link.
+	withinRel(t, base, "air_flatness_ratio", res.AirFlatnessRatio, 0, 0.5)
+
+	// Absolute allocs/sample absorb ±1 background allocation; the marginal
+	// per-client figure is the contract and pins at zero.
+	withinRel(t, base, "alloc_small_per_sample", res.Alloc.SmallPerSample, 0, 1)
+	withinRel(t, base, "alloc_big_per_sample", res.Alloc.BigPerSample, 0, 1)
+	withinRel(t, base, "alloc_per_client_marginal", res.Alloc.PerClientMarginal, 0, 0.01)
+
+	// Every deliberately stalled consumer is evicted, none of the healthy.
+	exact(t, base, "slow_evicted", float64(res.Slow.Evicted))
+	exact(t, base, "slow_stalled", float64(res.Slow.StalledClients))
+	exact(t, base, "slow_healthy", float64(res.Slow.HealthyClients))
+	// Latencies are host wall-clock: the guard only catches healthy
+	// deliveries queueing behind a stalled socket, not scheduler noise.
+	if res.Slow.StalledP99Ms > 2*res.Slow.BaselineP99Ms && res.Slow.StalledP99Ms > res.Slow.BaselineP99Ms+5 {
+		t.Errorf("healthy p99 %.2fms with stalled consumers vs %.2fms baseline (>2x)",
+			res.Slow.StalledP99Ms, res.Slow.BaselineP99Ms)
+	}
+}
+
 func TestE14MatchesBaseline(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-size E14 baseline run; executed by the dedicated CI step")
@@ -172,6 +229,12 @@ func TestE14MatchesBaseline(t *testing.T) {
 	withinRel(t, base, "radio_bytes", float64(res.RadioBytes), 0.10, 0)
 	exact(t, base, "multi_lost", float64(res.MultiLost))
 	exact(t, base, "multi_sent", float64(res.MultiSent))
-	exact(t, base, "single_lost", float64(res.SingleLost))
+	// The single-bearer arm's loss count rides ARQ retry phase against
+	// the blackout edges, and host load shifts which edge alarms still
+	// recover (the harness's clock.Blocking waits advance virtual time by
+	// wall-clock-dependent amounts — observed 71 idle, 77–83 loaded, on
+	// this change's base commit too). The dual-bearer gate above stays
+	// exact; the lossy baseline gets slack for that scheduling jitter.
+	withinRel(t, base, "single_lost", float64(res.SingleLost), 0.25, 8)
 	exact(t, base, "single_sent", float64(res.SingleSent))
 }

@@ -55,9 +55,9 @@ type runner func(clk clock.Clock, quick bool) (map[string]any, string, error)
 
 func main() {
 	var (
-		runFlag  = flag.String("run", "all", "comma-separated experiments: e1,e2,e3,e4,e5,e7,e8,e9,e11,e12,e13,e14,e15 or all")
+		runFlag  = flag.String("run", "all", "comma-separated experiments: e1,e2,e3,e4,e5,e7,e8,e9,e11,e12,e13,e14,e15,e16 or all")
 		quick    = flag.Bool("quick", false, "reduced iteration counts for smoke runs")
-		realtime = flag.Bool("realtime", false, "pace the simulation-backed experiments (e3, e11-e15) against the wall clock instead of the virtual clock")
+		realtime = flag.Bool("realtime", false, "pace the simulation-backed experiments (e3, e11-e16) against the wall clock instead of the virtual clock")
 		benchDir = flag.String("bench-dir", ".", "directory for BENCH_E<n>.json records")
 	)
 	flag.Parse()
@@ -80,7 +80,7 @@ func main() {
 		{"e8", 0, false, runE8}, {"e9", 0, false, runE9},
 		{"e11", 11, true, runE11}, {"e12", 12, true, runE12},
 		{"e13", 13, true, runE13}, {"e14", 14, true, runE14},
-		{"e15", 15, true, runE15},
+		{"e15", 15, true, runE15}, {"e16", 16, true, runE16},
 	}
 	log.SetFlags(0)
 	for _, exp := range all {
@@ -617,6 +617,65 @@ func runE15(clk clock.Clock, quick bool) (map[string]any, string, error) {
 		metrics[key+"_fps"] = u.FramesPerSec
 		metrics[key+"_delivered"] = float64(u.Delivered)
 	}
+	out := make(map[string]any, len(metrics))
+	for k, v := range metrics {
+		out[k] = v
+	}
+	return out, res.MetricsText, nil
+}
+
+func runE16(clk clock.Clock, quick bool) (map[string]any, string, error) {
+	header("E16 — ground gateway: encode-once fan-out to external clients (shared subs, LVC)")
+	counts := []int{1000, 10_000, 100_000}
+	samples := 20
+	if quick {
+		counts = []int{500, 5000}
+		samples = 10
+	}
+	res, err := experiments.RunE16(clk, counts, samples, 16)
+	if err != nil {
+		return nil, "", err
+	}
+	// Flat float metrics only: the baseline guard replays this record and
+	// parses Metrics as map[string]float64.
+	metrics := map[string]float64{}
+	fmt.Printf("%-10s %10s %12s %12s %14s %14s\n",
+		"clients", "delivered", "air pkts", "air KB", "air B/sample", "client MB")
+	for _, pt := range res.Sweep {
+		fmt.Printf("%-10d %10d %12d %12.1f %14.1f %14.2f\n",
+			pt.Clients, pt.Delivered, pt.AirPackets, float64(pt.AirBytes)/1024,
+			pt.AirBytesPerSample, float64(pt.ClientBytes)/(1<<20))
+		p := fmt.Sprintf("sweep_%d_", pt.Clients)
+		metrics[p+"clients"] = float64(pt.Clients)
+		metrics[p+"samples"] = float64(pt.Samples)
+		metrics[p+"delivered"] = float64(pt.Delivered)
+		metrics[p+"air_packets"] = float64(pt.AirPackets)
+		metrics[p+"air_bytes"] = float64(pt.AirBytes)
+		metrics[p+"air_bytes_per_sample"] = pt.AirBytesPerSample
+		metrics[p+"client_bytes"] = float64(pt.ClientBytes)
+	}
+	fmt.Printf("air flatness (largest/smallest B/sample): %.2f — one fabric subscription feeds every audience size\n",
+		res.AirFlatnessRatio)
+	a := res.Alloc
+	fmt.Printf("allocs/sample: %.1f @ %d clients, %.1f @ %d clients — marginal %.4f per extra client\n",
+		a.SmallPerSample, a.SmallClients, a.BigPerSample, a.BigClients, a.PerClientMarginal)
+	s := res.Slow
+	fmt.Printf("slow consumers: %d/%d stalled clients evicted; healthy p99 %.2fms with stalls vs %.2fms clean (%d healthy, %d samples)\n",
+		s.Evicted, s.StalledClients, s.StalledP99Ms, s.BaselineP99Ms, s.HealthyClients, s.Samples)
+	metrics["air_flatness_ratio"] = res.AirFlatnessRatio
+	metrics["alloc_small_clients"] = float64(a.SmallClients)
+	metrics["alloc_big_clients"] = float64(a.BigClients)
+	metrics["alloc_small_per_sample"] = a.SmallPerSample
+	metrics["alloc_big_per_sample"] = a.BigPerSample
+	metrics["alloc_per_client_marginal"] = a.PerClientMarginal
+	metrics["slow_healthy"] = float64(s.HealthyClients)
+	metrics["slow_stalled"] = float64(s.StalledClients)
+	metrics["slow_samples"] = float64(s.Samples)
+	metrics["slow_evicted"] = float64(s.Evicted)
+	metrics["slow_baseline_p50_ms"] = s.BaselineP50Ms
+	metrics["slow_baseline_p99_ms"] = s.BaselineP99Ms
+	metrics["slow_stalled_p50_ms"] = s.StalledP50Ms
+	metrics["slow_stalled_p99_ms"] = s.StalledP99Ms
 	out := make(map[string]any, len(metrics))
 	for k, v := range metrics {
 		out[k] = v

@@ -5,18 +5,29 @@
 // terminal" (§5).
 //
 //	uavgs -bind 127.0.0.1:7190 -peers fcs=127.0.0.1:7101,payload=127.0.0.1:7102
+//
+// With -gateway it additionally serves external consumers over TCP:
+// length-prefixed JSON subscriptions that share one fabric subscription
+// per topic, are fed from the last-value cache on connect, and never touch
+// the air link. -http exposes the node's metrics snapshot and a health
+// probe on the same machinery.
+//
+//	uavgs -gateway :7200 -http :7201
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 
 	"uavmw/internal/core"
+	"uavmw/internal/gateway"
 	"uavmw/internal/services"
 	"uavmw/internal/transport"
 )
@@ -28,15 +39,17 @@ func main() {
 		peersFlag = flag.String("peers", "", "comma-separated peer list: id=host:port,...")
 		groupBase = flag.Int("group-port-base", 17000, "base UDP port for derived multicast groups")
 		multicast = flag.Bool("multicast", false, "use native IP multicast for groups; off = unicast fan-out to -peers")
+		gwAddr    = flag.String("gateway", "", "TCP listen address for external telemetry consumers (empty = off)")
+		httpAddr  = flag.String("http", "", "HTTP listen address for /healthz, /metrics, /metrics.json (empty = off)")
 	)
 	flag.Parse()
-	if err := run(*id, *bind, *peersFlag, *groupBase, *multicast); err != nil {
+	if err := run(*id, *bind, *peersFlag, *groupBase, *multicast, *gwAddr, *httpAddr); err != nil {
 		log.SetFlags(0)
 		log.Fatalf("uavgs: %v", err)
 	}
 }
 
-func run(id, bind, peersFlag string, groupBase int, multicast bool) error {
+func run(id, bind, peersFlag string, groupBase int, multicast bool, gwAddr, httpAddr string) error {
 	opts := []transport.UDPOption{transport.WithGroupPortBase(groupBase)}
 	if !multicast {
 		opts = append(opts, transport.WithUnicastFanout())
@@ -68,6 +81,40 @@ func run(id, bind, peersFlag string, groupBase int, multicast bool) error {
 	}
 	if err := node.StartServices(); err != nil {
 		return err
+	}
+
+	var gw *gateway.Gateway
+	if gwAddr != "" || httpAddr != "" {
+		gw = gateway.New(node, gateway.Options{})
+		defer gw.Close()
+	}
+	if gwAddr != "" {
+		l, err := net.Listen("tcp", gwAddr)
+		if err != nil {
+			return fmt.Errorf("gateway listen: %w", err)
+		}
+		defer func() { _ = l.Close() }()
+		go func() {
+			if err := gw.Serve(l); err != nil {
+				log.Printf("uavgs: gateway: %v", err)
+			}
+		}()
+		log.Printf("uavgs gateway for external consumers on %s", l.Addr())
+	}
+	if httpAddr != "" {
+		hl, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			return fmt.Errorf("http listen: %w", err)
+		}
+		defer func() { _ = hl.Close() }()
+		srv := &http.Server{Handler: gw.HTTPHandler()}
+		defer func() { _ = srv.Close() }()
+		go func() {
+			if err := srv.Serve(hl); err != nil && err != http.ErrServerClosed {
+				log.Printf("uavgs: http: %v", err)
+			}
+		}()
+		log.Printf("uavgs metrics/health on http://%s", hl.Addr())
 	}
 	log.Printf("uavgs listening on %s; ^C to stop", udp.LocalAddr())
 

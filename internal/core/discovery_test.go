@@ -45,8 +45,10 @@ func TestRegistrationAnnouncesWithoutBeacon(t *testing.T) {
 	bus := transport.NewBus()
 	pub := newBusNode(t, bus, "pub", WithAnnouncePeriod(10*time.Second))
 	sub := newBusNode(t, bus, "sub", WithAnnouncePeriod(10*time.Second))
-	// Let the startup full-state announce fire first, so the offer below
-	// can only propagate via the delta path.
+	// Introduce both nodes first (a beacon tick is 10s away), so the
+	// offer below can only propagate via the delta path.
+	pub.AnnounceNow()
+	sub.AnnounceNow()
 	waitUntil(t, 2*time.Second, "startup announce", func() bool {
 		return pub.DiscoveryStats().FullAnnouncesSent >= 1
 	})

@@ -123,6 +123,7 @@ type Node struct {
 	// syncs, and per-peer sync-request throttling.
 	log         *naming.Log
 	announceMu  sync.Mutex    // orders log updates with their broadcasts
+	introduced  bool          // a full-state announce has gone out (guarded by announceMu)
 	offerDirty  clock.Trigger // coalesces OfferChanged signals
 	syncMu      sync.Mutex
 	syncAsm     *naming.SyncAssembler
@@ -1008,10 +1009,24 @@ func (n *Node) discoveryLoop() {
 	defer n.wg.Done()
 	ticker := n.clk.NewTicker(n.announcePeriod)
 	defer ticker.Stop()
-	// Introduce the node with one full-state announcement; from here on
-	// the beacon is the constant-size digest.
-	n.announceNow()
 	for ticker.Wait(n.stop) {
+		// Introduce the node with one full-state announcement; from then
+		// on the beacon is the constant-size digest. Introduction rides
+		// the first tick (or an earlier explicit AnnounceNow) rather than
+		// the loop's spawn: NewNode returns into the caller's
+		// registration burst, and announcing concurrently with it would
+		// race the record log against flushOffer — the full announce and
+		// the first delta would split the offer nondeterministically.
+		n.announceMu.Lock()
+		introduced := n.introduced
+		n.announceMu.Unlock()
+		if !introduced {
+			n.announceNow()
+			n.sweep()
+			n.bearerSweep(n.clk.Now())
+			n.events.Refresh()
+			continue
+		}
 		n.heartbeatNow()
 		n.sweep()
 		n.bearerSweep(n.clk.Now())
@@ -1055,6 +1070,7 @@ func (n *Node) buildRecords() []naming.Record {
 func (n *Node) announceNow() {
 	n.announceMu.Lock()
 	defer n.announceMu.Unlock()
+	n.introduced = true
 	recs := n.buildRecords()
 	// Update returns the current version whether or not anything changed.
 	_, _, _, version, _ := n.log.Update(recs)
@@ -1110,6 +1126,16 @@ func (n *Node) offerFlushLoop() {
 func (n *Node) flushOffer() {
 	n.announceMu.Lock()
 	defer n.announceMu.Unlock()
+	// Before the introduction announce there is no delta to send: peers
+	// hold no prior version to diff against, and the registrations
+	// accumulated so far ride the full-state announce that introduces the
+	// node. Leaving the log untouched here is what makes bootstrap
+	// deterministic — whichever of flushOffer and the first announce runs
+	// first, the whole offer goes out in the announce, never split with a
+	// racing version-zero delta.
+	if !n.introduced {
+		return
+	}
 	recs := n.buildRecords()
 	added, withdrawn, from, to, changed := n.log.Update(recs)
 	if !changed {

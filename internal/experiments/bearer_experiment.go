@@ -184,6 +184,11 @@ func runE14Multi(clk clock.Clock, res *E14Result, seed int64) error {
 	if err != nil {
 		return err
 	}
+	// Introduce both nodes now that the offers are registered — the
+	// deterministic bootstrap: registrations ride the explicit announce
+	// instead of waiting on a beacon tick that races the burst.
+	uav.AnnounceNow()
+	gs.AnnounceNow()
 	rec := &alarmRecorder{}
 	if err := waitProviders(clk, gs, kindEvent, "e14.alarm", 1, 5*time.Second); err != nil {
 		return err
@@ -428,6 +433,11 @@ func runE14Single(clk clock.Clock, res *E14Result, seed int64) error {
 	if err != nil {
 		return err
 	}
+	// Introduce both nodes now that the offers are registered — the
+	// deterministic bootstrap: registrations ride the explicit announce
+	// instead of waiting on a beacon tick that races the burst.
+	uav.AnnounceNow()
+	gs.AnnounceNow()
 	rec := &alarmRecorder{}
 	if err := waitProviders(clk, gs, kindEvent, "e14.alarm", 1, 5*time.Second); err != nil {
 		return err

@@ -247,6 +247,13 @@ func RunE12(clk clock.Clock, nodes, recordsPerNode int, seed int64) (*E12Result,
 	for _, n := range fleet {
 		n.FlushEgress()
 	}
+	// Flush returns when the egress queues are empty, not when the medium
+	// has delivered what it accepted: the last packets — and any delta
+	// repairs their arrival triggers — are still in flight one latency
+	// horizon past the flush. Settle them on the virtual timeline before
+	// reading the wire counters and the metrics snapshot, so repeated
+	// runs observe identical totals.
+	clk.Sleep(5 * time.Millisecond)
 	_, bytes, _ = net.WireStats()
 	res.BaselineBytesPerPeriod = float64(bytes) / baselineRounds
 	res.MetricsText = fleet[0].MetricsSnapshot().Text()

@@ -1,0 +1,40 @@
+package gateway
+
+import (
+	"net/http"
+	"strconv"
+)
+
+// HTTPHandler serves the gateway's health and telemetry endpoints:
+//
+//	GET /healthz       — liveness plus current client count
+//	GET /metrics       — the node's full metrics snapshot, text form
+//	GET /metrics.json  — the same snapshot as JSON
+//
+// The payload is Node.MetricsSnapshot(): the gateway grows no counter
+// store of its own — its gateway.* families live in the same registry as
+// every other layer, so one scrape covers the whole node.
+func (g *Gateway) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		body := `{"status":"ok","clients":` +
+			strconv.FormatInt(g.m.clients.Value(), 10) + `,"fabric_subscriptions":` +
+			strconv.FormatInt(g.m.fabricSubs.Value(), 10) + "}\n"
+		_, _ = w.Write([]byte(body))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(g.node.MetricsSnapshot().Text()))
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		raw, err := g.node.MetricsSnapshot().JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(raw)
+	})
+	return mux
+}

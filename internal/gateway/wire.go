@@ -1,0 +1,245 @@
+package gateway
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+
+	"uavmw/internal/bufpool"
+	"uavmw/internal/uerr"
+)
+
+// External wire protocol: every message, in both directions, is a 4-byte
+// big-endian length followed by that many bytes of JSON (the gateway also
+// appends a trailing newline inside the body so a human can read the
+// stream with nothing but `nc`).
+//
+// Client → gateway requests:
+//
+//	{"op":"subscribe","stream":"variable","name":"uav.position"}
+//	{"op":"unsubscribe","stream":"event","name":"uav.alarm"}
+//
+// Gateway → client data frames:
+//
+//	{"stream":"variable","name":"uav.position","seq":12,"ts_unix_ns":...,"value":{...}}
+//	{"stream":"event","name":"uav.alarm","seq":3,"ts_unix_ns":...,"from":"uav","value":7}
+//
+// and control frames acknowledging requests:
+//
+//	{"stream":"control","op":"subscribed","name":"uav.position"}
+//	{"stream":"control","op":"error","name":"x","error":"no provider for variable \"x\""}
+
+// maxRequestLen bounds one client request frame; requests are tiny, and
+// the bound keeps a malicious length prefix from sizing a huge read.
+const maxRequestLen = 4096
+
+// Request is one decoded client request.
+type Request struct {
+	Op     string `json:"op"`
+	Stream string `json:"stream"`
+	Name   string `json:"name"`
+}
+
+// ParseStream maps the wire spelling of a stream kind.
+func ParseStream(s string) (Stream, bool) {
+	switch s {
+	case "variable":
+		return StreamVariable, true
+	case "event":
+		return StreamEvent, true
+	}
+	return 0, false
+}
+
+// Serve accepts external clients on l until it is closed. Each
+// connection gets its own read loop; writes ride the shard writers.
+func (g *Gateway) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			g.mu.Lock()
+			closed := g.closed
+			g.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return uerr.Wrap(g.reg, codeGwAccept, err, "accept")
+		}
+		go g.ServeConn(conn)
+	}
+}
+
+// ServeConn attaches conn and runs its request read loop until the
+// client disconnects, misbehaves, or is evicted.
+func (g *Gateway) ServeConn(conn net.Conn) {
+	c, err := g.Attach(conn)
+	if err != nil {
+		_ = conn.Close()
+		return
+	}
+	g.readLoop(c, conn)
+}
+
+// readLoop decodes length-prefixed requests. Any framing or decode error
+// is terminal: a client that desynchronizes the stream cannot be trusted
+// to stay aligned.
+func (g *Gateway) readLoop(c *Client, r io.Reader) {
+	var head [4]byte
+	//wirepath:alloc one request scratch per connection, reused across requests
+	body := make([]byte, 0, 512)
+	for {
+		if _, err := io.ReadFull(r, head[:]); err != nil {
+			g.drop(c, reasonBye, false)
+			return
+		}
+		n := binary.BigEndian.Uint32(head[:])
+		if n == 0 || n > maxRequestLen {
+			uerr.Handle(g.reg, codeGwDecode).Inc()
+			g.drop(c, reasonProtocol, false)
+			return
+		}
+		if cap(body) < int(n) {
+			//wirepath:alloc request scratch growth, bounded by maxRequestLen
+			body = make([]byte, n)
+		}
+		body = body[:n]
+		if _, err := io.ReadFull(r, body); err != nil {
+			g.drop(c, reasonBye, false)
+			return
+		}
+		var req Request
+		if err := json.Unmarshal(body, &req); err != nil {
+			uerr.Handle(g.reg, codeGwDecode).Inc()
+			g.drop(c, reasonProtocol, false)
+			return
+		}
+		if !g.handleRequest(c, req) {
+			return
+		}
+	}
+}
+
+// handleRequest applies one request; false means the client is gone.
+func (g *Gateway) handleRequest(c *Client, req Request) bool {
+	stream, ok := ParseStream(req.Stream)
+	if req.Op == "bye" {
+		c.Close()
+		return false
+	}
+	if !ok || req.Name == "" {
+		uerr.Handle(g.reg, codeGwDecode).Inc()
+		g.sendControl(c, "error", req.Name, "unknown stream or empty name")
+		return true
+	}
+	switch req.Op {
+	case "subscribe":
+		ts, err := c.subscribeTopic(stream, req.Name)
+		if err != nil {
+			g.sendControl(c, "error", req.Name, err.Error())
+			return true
+		}
+		g.sendControl(c, "subscribed", req.Name, "")
+		if ts != nil {
+			c.replayLast(ts)
+		}
+	case "unsubscribe":
+		c.Unsubscribe(stream, req.Name)
+		g.sendControl(c, "unsubscribed", req.Name, "")
+	default:
+		uerr.Handle(g.reg, codeGwDecode).Inc()
+		g.sendControl(c, "error", req.Name, "unknown op")
+	}
+	return true
+}
+
+// sendControl enqueues a control frame for c. Control frames ride the
+// reliable class: a lost subscribe ack is a protocol break, not a stale
+// sample.
+func (g *Gateway) sendControl(c *Client, op, name, errMsg string) {
+	buf := bufpool.Get(4 + 64 + len(op) + len(name) + len(errMsg))
+	buf = append(buf, 0, 0, 0, 0)
+	buf = append(buf, `{"stream":"control","op":`...)
+	buf = appendJSONString(buf, op)
+	buf = append(buf, `,"name":`...)
+	buf = appendJSONString(buf, name)
+	if errMsg != "" {
+		buf = append(buf, `,"error":`...)
+		buf = appendJSONString(buf, errMsg)
+	}
+	buf = append(buf, '}', '\n')
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	s := bufpool.Share(buf)
+	sh := c.sh
+	sh.mu.Lock()
+	sh.enqueueLocked(c, s, true)
+	sh.mu.Unlock()
+	s.Release()
+	sh.trigger.Signal()
+}
+
+// marshalValue encodes a fabric payload value for the external wire.
+// This is the only per-occurrence allocation on the fan-out path and is
+// independent of the client count.
+func marshalValue(v any) ([]byte, error) {
+	return json.Marshal(v)
+}
+
+// appendJSONString appends s as a JSON string literal. Topic names and
+// node IDs are short identifiers; escaping stays allocation-free on dst.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		switch {
+		case b == '"' || b == '\\':
+			dst = append(dst, '\\', b)
+		case b >= 0x20:
+			dst = append(dst, b)
+		case b == '\n':
+			dst = append(dst, '\\', 'n')
+		case b == '\t':
+			dst = append(dst, '\\', 't')
+		case b == '\r':
+			dst = append(dst, '\\', 'r')
+		default:
+			const hex = "0123456789abcdef"
+			dst = append(dst, '\\', 'u', '0', '0', hex[b>>4], hex[b&0xf])
+		}
+	}
+	return append(dst, '"')
+}
+
+// ReadFrame reads one gateway→client frame from r: the length prefix and
+// the JSON body. A convenience for clients and tests; the gateway itself
+// never calls it.
+func ReadFrame(r io.Reader, scratch []byte) ([]byte, error) {
+	var head [4]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint32(head[:]))
+	if cap(scratch) < n {
+		//wirepath:alloc client-side convenience reader, not on the gateway fan-out path
+		scratch = make([]byte, n)
+	}
+	scratch = scratch[:n]
+	if _, err := io.ReadFull(r, scratch); err != nil {
+		return nil, err
+	}
+	return scratch, nil
+}
+
+// AppendRequest appends a length-prefixed request frame onto dst — the
+// client-side encoder matching readLoop.
+func AppendRequest(dst []byte, req Request) ([]byte, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return dst, err
+	}
+	var head [4]byte
+	binary.BigEndian.PutUint32(head[:], uint32(len(body)))
+	dst = append(dst, head[:]...)
+	return append(dst, body...), nil
+}

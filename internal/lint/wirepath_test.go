@@ -28,6 +28,7 @@ var wirePathPackages = []string{
 	"internal/egress",
 	"internal/events",
 	"internal/filetransfer",
+	"internal/gateway",
 	"internal/link",
 	"internal/naming",
 	"internal/protocol",

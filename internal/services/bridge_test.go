@@ -1,0 +1,173 @@
+package services
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"uavmw/internal/core"
+	"uavmw/internal/qos"
+	"uavmw/internal/telemetry"
+	"uavmw/internal/transport"
+	"uavmw/internal/variables"
+)
+
+// localPositionNode brings up one node with svc installed and a local
+// position publisher announced into its own directory — the smallest
+// harness that drives a subscribing service through the real variable
+// plane.
+func localPositionNode(t *testing.T, svc core.Service) *variables.Publisher {
+	t.Helper()
+	bus := transport.NewBus()
+	ep, err := bus.Endpoint("gs-local")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := core.NewNode(core.WithDatagram(ep), core.WithAnnouncePeriod(20*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = node.Close() })
+	if _, err := node.AddService(svc); err != nil {
+		t.Fatal(err)
+	}
+	pub, err := node.Variables().Offer(VarPosition, "test", TypePosition, qos.VariableQoS{Validity: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.AnnounceNow()
+	if err := node.StartServices(); err != nil {
+		t.Fatal(err)
+	}
+	return pub
+}
+
+// publishUntil re-publishes v until cond holds (subscription binding is
+// asynchronous behind discovery).
+func publishUntil(t *testing.T, pub *variables.Publisher, v map[string]any, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("no sample delivered within 5s")
+		}
+		if err := pub.Publish(v); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func testPositionValue() map[string]any {
+	return map[string]any{
+		"lat":      testLat,
+		"lon":      testLon,
+		"alt":      float32(120.5),
+		"speed":    float32(25.5),
+		"heading":  float32(93.5),
+		"fix":      uint8(3),
+		"wp":       uint32(2),
+		"complete": false,
+	}
+}
+
+// TestLastPositionReturnsCopy is the aliasing regression: LastPosition
+// used to hand out the internal map, so a caller's mutation corrupted
+// the console's state (and raced with the subscription callback).
+func TestLastPositionReturnsCopy(t *testing.T) {
+	gs := &GroundStation{Out: io.Discard}
+	pub := localPositionNode(t, gs)
+	publishUntil(t, pub, testPositionValue(), func() bool { return gs.Positions() > 0 })
+
+	first, ok := gs.LastPosition()
+	if !ok {
+		t.Fatal("LastPosition empty after a delivered sample")
+	}
+	first["lat"] = float64(-90)
+	delete(first, "alt")
+
+	second, ok := gs.LastPosition()
+	if !ok {
+		t.Fatal("LastPosition empty on second call")
+	}
+	if got := second["lat"]; got != testLat {
+		t.Errorf("mutation of a returned map leaked into internal state: lat = %v, want %v", got, testLat)
+	}
+	if _, ok := second["alt"]; !ok {
+		t.Error("deleting a key on a returned map removed it from internal state")
+	}
+}
+
+// TestTelemetryBridgeNMEABurst pins the bridge's output bytes for a known
+// position sample: the burst must equal telemetry.Encode of the fix the
+// bridge is specified to assemble (coordinates, unit conversions,
+// checksums — everything).
+func TestTelemetryBridgeNMEABurst(t *testing.T) {
+	var mu sync.Mutex
+	var out bytes.Buffer
+	bridge := &TelemetryBridge{Out: writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return out.Write(p)
+	})}
+	pub := localPositionNode(t, bridge)
+	publishUntil(t, pub, testPositionValue(), func() bool { return bridge.Fixes() > 0 })
+
+	mu.Lock()
+	burst := out.String()
+	mu.Unlock()
+	lines := strings.Split(strings.TrimSpace(burst), "\r\n")
+	if len(lines) < 2 {
+		t.Fatalf("burst = %q, want RMC + GGA", burst)
+	}
+	if !strings.HasPrefix(lines[0], "$GPRMC,") || !strings.HasPrefix(lines[1], "$GPGGA,") {
+		t.Fatalf("burst lines = %q, %q", lines[0], lines[1])
+	}
+
+	// The sample timestamp is assigned by the variable plane; recover it
+	// from the emitted sentence (it is centisecond-truncated there), then
+	// the whole burst must reproduce byte for byte.
+	fields := strings.Split(strings.TrimPrefix(lines[0], "$"), ",")
+	ts, err := time.Parse("150405.00 020106", fields[1]+" "+fields[9])
+	if err != nil {
+		t.Fatalf("timestamp fields %q %q: %v", fields[1], fields[9], err)
+	}
+	want := telemetry.Encode(telemetry.Fix{
+		Lat:       testLat,
+		Lon:       testLon,
+		AltM:      float64(float32(120.5)),
+		SpeedMS:   float64(float32(25.5)),
+		CourseDeg: float64(float32(93.5)),
+		Time:      ts,
+		Valid:     true,
+	})
+	if !strings.HasPrefix(burst, want) {
+		t.Errorf("burst:\n%q\nwant prefix:\n%q", burst, want)
+	}
+}
+
+// failWriter refuses every write, counting attempts.
+type failWriter struct{ calls atomic.Int64 }
+
+func (f *failWriter) Write([]byte) (int, error) {
+	f.calls.Add(1)
+	return 0, errors.New("telemetry sink full")
+}
+
+// TestTelemetryBridgeWriteFailureNotCounted: a burst the consumer never
+// received is not a delivered fix.
+func TestTelemetryBridgeWriteFailureNotCounted(t *testing.T) {
+	fw := &failWriter{}
+	bridge := &TelemetryBridge{Out: fw}
+	pub := localPositionNode(t, bridge)
+	publishUntil(t, pub, testPositionValue(), func() bool { return fw.calls.Load() >= 3 })
+
+	if got := bridge.Fixes(); got != 0 {
+		t.Errorf("Fixes() = %d after %d failed writes, want 0", got, fw.calls.Load())
+	}
+}

@@ -105,12 +105,15 @@ func (gs *GroundStation) EventCount(topic string) uint64 {
 	return gs.events[topic]
 }
 
-// LastPosition returns the freshest position sample, if any.
+// LastPosition returns the freshest position sample, if any. The result
+// is a deep copy: the internal map is shared with the subscription
+// callback and would otherwise race with (or be mutated under) the
+// caller.
 func (gs *GroundStation) LastPosition() (map[string]any, bool) {
 	gs.mu.Lock()
 	defer gs.mu.Unlock()
 	if gs.lastPos == nil {
 		return nil, false
 	}
-	return gs.lastPos, true
+	return presentation.DeepCopy(gs.lastPos).(map[string]any), true
 }

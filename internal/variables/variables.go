@@ -240,7 +240,15 @@ func (p *Publisher) Publish(v any) error {
 	return nil
 }
 
-// Snapshot returns the last published value (for the snapshot protocol).
+// Snapshot returns a copy of the last published value and its publication
+// instant, or ok=false before the first Publish. This is the ground-side
+// read API the gateway's last-value cache mirrors: a consumer joining late
+// reads the current value without a wire exchange.
+func (p *Publisher) Snapshot() (v any, ts time.Time, ok bool) {
+	return p.snapshot()
+}
+
+// snapshot returns the last published value (for the snapshot protocol).
 func (p *Publisher) snapshot() (any, time.Time, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -438,6 +446,20 @@ func (s *Subscription) Get() (any, time.Time, error) {
 		return nil, s.ts, fmt.Errorf("variables: %q age %v: %w", s.name, age.Round(time.Millisecond), ErrStale)
 	}
 	return presentation.DeepCopy(s.value), s.ts, nil
+}
+
+// Snapshot returns a copy of the cached last value and its publisher-clock
+// timestamp regardless of validity, or ok=false before the first sample.
+// Unlike Get it never reports staleness: it is the last-value-cache read
+// for consumers (the ground gateway fanning out to external clients) that
+// want "the freshest thing known" semantics and judge age themselves.
+func (s *Subscription) Snapshot() (v any, ts time.Time, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.haveVal {
+		return nil, time.Time{}, false
+	}
+	return presentation.DeepCopy(s.value), s.ts, true
 }
 
 // Stats reports received sample and timeout counts.

@@ -507,3 +507,57 @@ func TestForeignEncodingIgnored(t *testing.T) {
 		t.Error("foreign-encoded sample was accepted")
 	}
 }
+
+// TestSnapshotReadAPIs covers the public last-value read surface the
+// ground gateway builds its cache on: Publisher.Snapshot before/after a
+// publish, Subscription.Snapshot ignoring validity, and both returning
+// copies rather than aliases of the cached value.
+func TestSnapshotReadAPIs(t *testing.T) {
+	f := newFakeFabric("n")
+	e := New(f)
+	p, err := e.Offer("v", "svc", posType, qos.VariableQoS{Validity: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := p.Snapshot(); ok {
+		t.Fatal("Publisher.Snapshot reported a value before any publish")
+	}
+	s, err := e.Subscribe("v", posType, SubscribeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, _, ok := s.Snapshot(); ok {
+		t.Fatal("Subscription.Snapshot reported a value before any sample")
+	}
+
+	want := map[string]any{"lat": 1.0, "lon": 2.0}
+	if err := p.Publish(want); err != nil {
+		t.Fatal(err)
+	}
+	v, ts, ok := p.Snapshot()
+	if !ok || ts.IsZero() || !presentation.EqualValues(v, want) {
+		t.Fatalf("Publisher.Snapshot = %v, %v, %v", v, ts, ok)
+	}
+	// Mutating the returned map must not touch the cache.
+	v.(map[string]any)["lat"] = -99.0
+	if again, _, _ := p.Snapshot(); !presentation.EqualValues(again, want) {
+		t.Fatal("Publisher.Snapshot aliases its cache")
+	}
+
+	// The local bypass delivered the sample to the subscription; its
+	// snapshot serves the cached value even after validity lapses, where
+	// Get reports ErrStale.
+	sv, _, ok := s.Snapshot()
+	if !ok || !presentation.EqualValues(sv, want) {
+		t.Fatalf("Subscription.Snapshot = %v, %v", sv, ok)
+	}
+	sv.(map[string]any)["lon"] = -99.0
+	time.Sleep(15 * time.Millisecond)
+	if _, _, err := s.Get(); !errors.Is(err, ErrStale) {
+		t.Fatalf("Get past validity: %v", err)
+	}
+	if again, _, ok := s.Snapshot(); !ok || !presentation.EqualValues(again, want) {
+		t.Fatalf("stale Snapshot = %v, %v (want cached value, no staleness)", again, ok)
+	}
+}
