@@ -26,6 +26,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -55,12 +57,40 @@ type runner func(clk clock.Clock, quick bool) (map[string]any, string, error)
 
 func main() {
 	var (
-		runFlag  = flag.String("run", "all", "comma-separated experiments: e1,e2,e3,e4,e5,e7,e8,e9,e11,e12,e13,e14,e15,e16 or all")
-		quick    = flag.Bool("quick", false, "reduced iteration counts for smoke runs")
-		realtime = flag.Bool("realtime", false, "pace the simulation-backed experiments (e3, e11-e16) against the wall clock instead of the virtual clock")
-		benchDir = flag.String("bench-dir", ".", "directory for BENCH_E<n>.json records")
+		runFlag    = flag.String("run", "all", "comma-separated experiments: e1,e2,e3,e4,e5,e7,e8,e9,e11,e12,e13,e14,e15,e16,e17 or all")
+		quick      = flag.Bool("quick", false, "reduced iteration counts for smoke runs")
+		realtime   = flag.Bool("realtime", false, "pace the simulation-backed experiments (e3, e11-e17) against the wall clock instead of the virtual clock")
+		benchDir   = flag.String("bench-dir", ".", "directory for BENCH_E<n>.json records")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile (after the selected experiments) to this file")
 	)
 	flag.Parse()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("uavbench: -cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("uavbench: -cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			_ = f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatalf("uavbench: -memprofile: %v", err)
+			}
+			defer func() { _ = f.Close() }()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatalf("uavbench: -memprofile: %v", err)
+			}
+		}()
+	}
 	selected := map[string]bool{}
 	for _, name := range strings.Split(*runFlag, ",") {
 		selected[strings.TrimSpace(strings.ToLower(name))] = true
@@ -81,6 +111,7 @@ func main() {
 		{"e11", 11, true, runE11}, {"e12", 12, true, runE12},
 		{"e13", 13, true, runE13}, {"e14", 14, true, runE14},
 		{"e15", 15, true, runE15}, {"e16", 16, true, runE16},
+		{"e17", 17, true, runE17},
 	}
 	log.SetFlags(0)
 	for _, exp := range all {
@@ -676,6 +707,57 @@ func runE16(clk clock.Clock, quick bool) (map[string]any, string, error) {
 	metrics["slow_baseline_p99_ms"] = s.BaselineP99Ms
 	metrics["slow_stalled_p50_ms"] = s.StalledP50Ms
 	metrics["slow_stalled_p99_ms"] = s.StalledP99Ms
+	out := make(map[string]any, len(metrics))
+	for k, v := range metrics {
+		out[k] = v
+	}
+	return out, res.MetricsText, nil
+}
+
+func runE17(clk clock.Clock, quick bool) (map[string]any, string, error) {
+	header("E17 — sharded ingress: multi-sender ingest scaling and receive-path allocations")
+	samples := 300
+	scalingDur := 200 * time.Millisecond
+	if quick {
+		samples = 80
+		scalingDur = 0 // skip the wall-clock flood on smoke runs
+	}
+	res, err := experiments.RunE17(clk, samples, scalingDur, 17)
+	if err != nil {
+		return nil, "", err
+	}
+	// Flat float metrics only: the baseline guard replays this record and
+	// parses Metrics as map[string]float64.
+	metrics := map[string]float64{}
+	a := res.Alloc
+	fmt.Printf("allocs/frame through the full receive path: owned %.3f, pooled copy %.3f, ack-required %.3f\n",
+		a.OwnedPerFrame, a.CopyPerFrame, a.AckedPerFrame)
+	metrics["alloc_owned_per_frame"] = a.OwnedPerFrame
+	metrics["alloc_copy_per_frame"] = a.CopyPerFrame
+	metrics["alloc_acked_per_frame"] = a.AckedPerFrame
+	if len(res.Scaling) > 0 {
+		fmt.Printf("%-8s %10s %12s %12s %14s\n", "shards", "senders", "delivered", "dropped", "Mframes/s")
+		for _, pt := range res.Scaling {
+			fmt.Printf("%-8d %10d %12d %12d %14.2f\n",
+				pt.Shards, pt.Senders, pt.Delivered, pt.Dropped, pt.FramesPerSec/1e6)
+			p := fmt.Sprintf("scaling_%d_", pt.Shards)
+			metrics[p+"delivered"] = float64(pt.Delivered)
+			metrics[p+"dropped"] = float64(pt.Dropped)
+			metrics[p+"fps"] = pt.FramesPerSec
+		}
+		fmt.Printf("scaling ratio 4/1 shards: %.2fx, 8/1 shards: %.2fx (host has %d cores)\n",
+			res.ScalingRatio(4, 1), res.ScalingRatio(8, 1), runtime.GOMAXPROCS(0))
+		metrics["scaling_ratio_4_over_1"] = res.ScalingRatio(4, 1)
+		metrics["scaling_ratio_8_over_1"] = res.ScalingRatio(8, 1)
+	}
+	ns := res.Netsim
+	fmt.Printf("netsim: %d senders x %d samples into a 4-shard subscriber, %d delivered, %d packets %d bytes on the wire\n",
+		ns.Senders, ns.Samples, ns.Delivered, ns.WirePackets, ns.WireBytes)
+	metrics["netsim_senders"] = float64(ns.Senders)
+	metrics["netsim_samples"] = float64(ns.Samples)
+	metrics["netsim_delivered"] = float64(ns.Delivered)
+	metrics["netsim_wire_packets"] = float64(ns.WirePackets)
+	metrics["netsim_wire_bytes"] = float64(ns.WireBytes)
 	out := make(map[string]any, len(metrics))
 	for k, v := range metrics {
 		out[k] = v

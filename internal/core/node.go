@@ -19,6 +19,7 @@ import (
 	"uavmw/internal/events"
 	"uavmw/internal/fabric"
 	"uavmw/internal/filetransfer"
+	"uavmw/internal/ingress"
 	"uavmw/internal/link"
 	"uavmw/internal/metrics"
 	"uavmw/internal/naming"
@@ -66,6 +67,7 @@ var (
 	codeNodeMismatch   = uerr.Register("discovery.node_mismatch", uerr.CatProtocol)
 	codeFrameDecode    = uerr.Register("core.frame_decode", uerr.CatDecode)
 	codeBatchDecode    = uerr.Register("core.batch_decode", uerr.CatDecode)
+	codeBatchNested    = uerr.Register("core.batch_nested", uerr.CatProtocol)
 	codeFragReassembly = uerr.Register("core.fragment_reassembly", uerr.CatDecode)
 	codeAckEncode      = uerr.Register("core.ack_encode", uerr.CatEncode)
 	codeAckSend        = uerr.Register("core.ack_send", uerr.CatSend)
@@ -112,11 +114,19 @@ type Node struct {
 	types    *presentation.Registry
 	arq      *protocol.ARQ
 	egress   *egress.Plane
-	dedup    *protocol.Dedup
-	reasm    *protocol.Reassembler
-	seq      atomic.Uint64
-	epoch    uint64
-	mtu      int
+	// ingress is the sharded receive pipeline between the bearer
+	// transports and handleFrame: packets hash by source onto shards
+	// (preserving per-source FIFO), shards decode and dispatch in
+	// parallel. shards holds the per-shard protocol state (dedup windows,
+	// reassembly, pending ack coalescing); local is the equivalent state
+	// for the synchronous paths that bypass the pipeline (self loopback,
+	// the stream transport).
+	ingress *ingress.Pipeline
+	shards  []*recvShard
+	local   *recvShard
+	seq     atomic.Uint64
+	epoch   uint64
+	mtu     int
 
 	// Incremental discovery plane (§3 at fleet scale): the versioned log
 	// of this node's own offer, the reassembly state for unicast full
@@ -186,6 +196,7 @@ type nodeConfig struct {
 	budget          ResourceBudget
 	rpcInflight     int
 	egressCfg       egress.Config
+	ingressShards   int
 	clk             clock.Clock
 }
 
@@ -321,6 +332,15 @@ func WithRPCInflightLimit(n int) NodeOption {
 	return func(c *nodeConfig) { c.rpcInflight = n }
 }
 
+// WithIngressShards pins the receive pipeline's worker count. Zero (the
+// default) sizes it automatically: GOMAXPROCS on a real clock, one shard
+// under a clock.Virtual so same-seed virtual runs stay byte-identical.
+// Traffic is sharded by source node, so per-source frame order is
+// preserved at any shard count.
+func WithIngressShards(n int) NodeOption {
+	return func(c *nodeConfig) { c.ingressShards = n }
+}
+
 // WithClock injects the node's time source (nil means the wall clock).
 // Every time-driven part of the container rides it — discovery beacons,
 // liveness sweeps, link monitors, ARQ retransmission timers, egress pacing
@@ -389,8 +409,6 @@ func NewNode(opts ...NodeOption) (*Node, error) {
 		dir:             naming.NewDirectory(cfg.directoryTTL),
 		live:            naming.NewLiveness(cfg.failureDeadline),
 		types:           presentation.NewRegistry(),
-		dedup:           protocol.NewDedup(0),
-		reasm:           protocol.NewReassembler(0, clk),
 		epoch:           uint64(clk.Now().UnixNano()) + epochSalt.Add(1),
 		mtu:             cfg.mtu,
 		log:             naming.NewLog(),
@@ -469,6 +487,22 @@ func NewNode(opts ...NodeOption) (*Node, error) {
 		n.loadProbe = n.defaultLoad
 	}
 
+	// The sharded receive pipeline sits between the bearer transports and
+	// the dispatcher. Per-shard protocol state (dedup, reassembly, ack
+	// coalescing) is touched only by that shard's worker; the local shard
+	// serves the synchronous bypass paths (self loopback, stream).
+	n.ingress = ingress.New(ingress.Config{
+		Shards:  cfg.ingressShards,
+		Clock:   clk,
+		Metrics: n.metrics,
+		Deliver: n.deliverBatch,
+	})
+	n.shards = make([]*recvShard, n.ingress.Shards())
+	for i := range n.shards {
+		n.shards[i] = newRecvShard(clk, true)
+	}
+	n.local = newRecvShard(clk, false)
+
 	// Each bearer's receive path is tagged with the bearer name: the link
 	// monitor sees every arrival, and replies that must ride the arrival
 	// link (ARQ acks, probe echoes) know where to go.
@@ -476,7 +510,7 @@ func NewNode(opts ...NodeOption) (*Node, error) {
 		br := br
 		br.tr.SetHandler(func(pkt transport.Packet) {
 			br.mon.SawRx(pkt.From, n.clk.Now())
-			n.handleFrameBytesOn(br.name, pkt.From, pkt.Payload)
+			n.ingress.Enqueue(br.name, pkt)
 		})
 	}
 	if n.stream != nil {
@@ -487,6 +521,7 @@ func NewNode(opts ...NodeOption) (*Node, error) {
 	// single bearer's blackout.
 	for _, br := range n.bearers {
 		if err := br.tr.Join(fabric.DiscoveryGroup); err != nil {
+			n.ingress.Close()
 			n.egress.Close()
 			return nil, fmt.Errorf("core: join discovery on %q: %w", br.name, err)
 		}
@@ -732,20 +767,79 @@ var (
 	_ fabric.Instrumented = (*Node)(nil)
 )
 
+// recvShard is one ingress shard's protocol-layer state. Dedup windows and
+// reassembly are source-keyed, and the pipeline hashes packets by source,
+// so each peer's state lives on exactly one shard and the pre-pipeline
+// global dedup lock is gone (the embedded mutexes survive only for the
+// rare cross-shard Forget on peer failure). The ack fields are the drain
+// batch's coalescing scratch, touched only by the owning shard worker.
+type recvShard struct {
+	dedup *protocol.Dedup
+	reasm *protocol.Reassembler
+	// coalesce batches acks generated within one pipeline drain into a
+	// single MTBatch per (bearer, peer) at batch end. Off for the local
+	// shard: its callers dispatch one frame at a time, synchronously.
+	coalesce bool
+	acks     []pendingAck
+	seqs     []uint64
+	ackBufs  [][]byte
+}
+
+// pendingAck is one acknowledgment owed at the end of a drain batch.
+type pendingAck struct {
+	bearer string
+	to     transport.NodeID
+	seq    uint64
+	done   bool
+}
+
+func newRecvShard(clk clock.Clock, coalesce bool) *recvShard {
+	return &recvShard{
+		dedup:    protocol.NewDedup(0),
+		reasm:    protocol.NewReassembler(0, clk),
+		coalesce: coalesce,
+	}
+}
+
+// maxBatchNesting bounds MTBatch recursion. Depth 0 is a batch arriving as
+// its own datagram (egress coalescing); depth 1 is a batch inside that
+// batch (a coalesced ack batch riding an egress batch). Anything deeper
+// cannot be produced by this stack and is rejected as a protocol violation
+// rather than recursed into — a hostile or corrupt nested batch must not
+// turn the dispatcher into unbounded recursion.
+const maxBatchNesting = 2
+
+// deliverBatch is the ingress pipeline's dispatch callback: one shard
+// worker hands over a drain batch in per-source arrival order. Frame
+// payloads alias the pipeline's pooled buffers, which stay alive for the
+// duration of this call — every route handler consumes its payload
+// synchronously (copying whatever it keeps), so no per-frame heap copy is
+// taken.
+func (n *Node) deliverBatch(shard int, batch []ingress.Packet) {
+	sh := n.shards[shard]
+	for i := range batch {
+		n.handleFrameOn(sh, batch[i].Bearer, batch[i].From, batch[i].Payload, 0)
+	}
+	n.flushAcks(sh)
+}
+
 // handlePacket is the stream transport's receive entry point (bearer-less).
 func (n *Node) handlePacket(pkt transport.Packet) {
 	n.handleFrameBytes(pkt.From, pkt.Payload)
 }
 
 // handleFrameBytes decodes and routes one frame with no bearer attribution
-// (local bypass, stream transport).
+// (local bypass, stream transport), synchronously on the caller's
+// goroutine — these paths never enter the pipeline and use the dedicated
+// local shard state.
 func (n *Node) handleFrameBytes(from transport.NodeID, raw []byte) {
-	n.handleFrameBytesOn("", from, raw)
+	n.handleFrameOn(n.local, "", from, raw, 0)
 }
 
-// handleFrameBytesOn decodes and routes one frame that arrived on the
-// named bearer ("" when no datagram bearer carried it).
-func (n *Node) handleFrameBytesOn(bearer string, from transport.NodeID, raw []byte) {
+// handleFrameOn decodes and routes one frame that arrived on the named
+// bearer ("" when no datagram bearer carried it) using the given shard's
+// protocol state. depth counts MTBatch nesting.
+func (n *Node) handleFrameOn(sh *recvShard, bearer string, from transport.NodeID, raw []byte, depth int) {
 	// The frame struct is pooled: every route handler consumes it
 	// synchronously and none retains the pointer past its call (the rpc
 	// engine captures scalars before scheduling handler work).
@@ -755,11 +849,11 @@ func (n *Node) handleFrameBytesOn(bearer string, from transport.NodeID, raw []by
 		uerr.Note(n.metrics, codeFrameDecode, err, "drop undecodable frame")
 		return
 	}
-	n.handleFrame(bearer, from, f)
+	n.handleFrame(sh, bearer, from, f, depth)
 	protocol.PutFrame(f)
 }
 
-func (n *Node) handleFrame(bearer string, from transport.NodeID, f *protocol.Frame) {
+func (n *Node) handleFrame(sh *recvShard, bearer string, from transport.NodeID, f *protocol.Frame, depth int) {
 	switch f.Type {
 	case protocol.MTAck:
 		n.arq.Ack(from, f.Seq)
@@ -769,25 +863,29 @@ func (n *Node) handleFrame(bearer string, from transport.NodeID, f *protocol.Fra
 		// each through the full decode path, so per-frame acknowledgment,
 		// dedup and priority scheduling behave exactly as if the frames
 		// had arrived in separate datagrams.
+		if depth >= maxBatchNesting {
+			_ = uerr.Newf(n.metrics, codeBatchNested, "drop batch nested beyond depth %d", maxBatchNesting)
+			return
+		}
 		subs, err := protocol.DecodeBatch(f.Payload)
 		if err != nil {
 			uerr.Note(n.metrics, codeBatchDecode, err, "drop undecodable batch")
 			return
 		}
 		for _, sub := range subs {
-			n.handleFrameBytesOn(bearer, from, sub)
+			n.handleFrameOn(sh, bearer, from, sub, depth+1)
 		}
 		return
 	case protocol.MTFragment:
 		// Ack-required fragments are acknowledged and deduped
 		// individually before reassembly.
 		if from != n.id && f.Flags&protocol.FlagAckRequired != 0 {
-			n.sendAck(bearer, from, f.Seq)
-			if n.dedup.Seen(from, f.Seq) {
+			n.queueAck(sh, bearer, from, f.Seq)
+			if sh.dedup.Seen(from, f.Seq) {
 				return
 			}
 		}
-		complete, err := n.reasm.Offer(from, f)
+		complete, err := sh.reasm.Offer(from, f)
 		if err != nil {
 			uerr.Note(n.metrics, codeFragReassembly, err, "drop bad fragment")
 			return
@@ -795,30 +893,105 @@ func (n *Node) handleFrame(bearer string, from transport.NodeID, f *protocol.Fra
 		if complete == nil {
 			return
 		}
-		inner, err := protocol.DecodeFrame(complete)
-		if err != nil {
+		// The reassembled message decodes through the pooled path like
+		// every other arrival; its payload aliases the GC-owned
+		// reassembly buffer, consumed synchronously by route.
+		inner := protocol.GetFrame()
+		if err := protocol.DecodeFrameInto(inner, complete); err != nil {
+			protocol.PutFrame(inner)
 			uerr.Note(n.metrics, codeFrameDecode, err, "drop undecodable reassembly")
 			return
 		}
 		// Dedup the logical message too: a fully retransmitted
 		// fragment set must not deliver twice.
-		if from != n.id && n.dedup.Seen(from, inner.Seq) {
-			return
+		if from == n.id || !sh.dedup.Seen(from, inner.Seq) {
+			n.route(bearer, from, inner)
 		}
-		n.route(bearer, from, inner)
+		protocol.PutFrame(inner)
 		return
 	default:
 	}
 	if from != n.id && f.Flags&protocol.FlagAckRequired != 0 {
-		n.sendAck(bearer, from, f.Seq)
-		if n.dedup.Seen(from, f.Seq) {
+		n.queueAck(sh, bearer, from, f.Seq)
+		if sh.dedup.Seen(from, f.Seq) {
 			return
 		}
 	}
-	// Frames routed asynchronously must own their payload: transports may
-	// reuse the receive buffer.
-	f.Payload = append([]byte(nil), f.Payload...)
+	// No payload copy: the bytes alias the pipeline's pooled receive
+	// buffer (or the bypass caller's encode buffer), alive until the
+	// dispatch returns; route handlers copy whatever they retain.
 	n.route(bearer, from, f)
+}
+
+// queueAck records an acknowledgment owed for (bearer, to, seq). On a
+// pipeline shard it is deferred to the end of the drain batch so acks to
+// the same peer coalesce into one datagram; on the local shard it goes out
+// immediately.
+func (n *Node) queueAck(sh *recvShard, bearer string, to transport.NodeID, seq uint64) {
+	if !sh.coalesce {
+		n.sendAck(bearer, to, seq)
+		return
+	}
+	sh.acks = append(sh.acks, pendingAck{bearer: bearer, to: to, seq: seq})
+}
+
+// flushAcks sends every acknowledgment queued during a drain batch,
+// grouping same-(bearer, peer) acks into one MTBatch of MTAck frames. A
+// lone ack takes the direct path unchanged.
+func (n *Node) flushAcks(sh *recvShard) {
+	acks := sh.acks
+	for i := range acks {
+		if acks[i].done {
+			continue
+		}
+		bearer, to := acks[i].bearer, acks[i].to
+		sh.seqs = sh.seqs[:0]
+		for j := i; j < len(acks); j++ {
+			if !acks[j].done && acks[j].bearer == bearer && acks[j].to == to {
+				acks[j].done = true
+				sh.seqs = append(sh.seqs, acks[j].seq)
+			}
+		}
+		if len(sh.seqs) == 1 {
+			n.sendAck(bearer, to, sh.seqs[0])
+		} else {
+			n.sendAckBatch(sh, bearer, to, sh.seqs)
+		}
+	}
+	sh.acks = sh.acks[:0]
+}
+
+// sendAckBatch coalesces several acks for one peer into a single MTBatch
+// datagram on the critical lane: one egress enqueue and one wire packet
+// where a drained burst would have produced one ack datagram per frame.
+func (n *Node) sendAckBatch(sh *recvShard, bearer string, to transport.NodeID, seqs []uint64) {
+	frames := sh.ackBufs[:0]
+	size := protocol.BatchOverhead(len(seqs))
+	for _, seq := range seqs {
+		ack := protocol.Frame{Type: protocol.MTAck, Seq: seq, Priority: qos.PriorityCritical}
+		raw, err := encodePooled(&ack)
+		if err != nil {
+			uerr.Note(n.metrics, codeAckEncode, err, "encode ack")
+			continue
+		}
+		frames = append(frames, raw)
+		size += len(raw)
+	}
+	sh.ackBufs = frames
+	if len(frames) == 0 {
+		return
+	}
+	batch, err := protocol.AppendBatch(bufpool.Get(size), frames, qos.PriorityCritical)
+	for i, fr := range frames {
+		bufpool.Put(fr)
+		frames[i] = nil
+	}
+	sh.ackBufs = frames[:0]
+	if err != nil {
+		uerr.Note(n.metrics, codeAckEncode, err, "encode ack batch")
+		return
+	}
+	uerr.Note(n.metrics, codeAckSend, n.egress.EnqueueOnOwned(bearer, to, qos.PriorityCritical, batch), "enqueue ack batch")
 }
 
 func (n *Node) sendAck(bearer string, to transport.NodeID, seq uint64) {
@@ -1771,7 +1944,11 @@ func (n *Node) sweep() {
 // the engines and registered callbacks (§3 cache clearing + §4.3 failover).
 func (n *Node) peerGone(node transport.NodeID) {
 	n.dir.RemoveNode(node)
-	n.dedup.Forget(node)
+	// The peer's dedup window lives on the ingress shard its traffic
+	// hashes to (plus the local-bypass shard); forget it there so a
+	// rejoining peer starting from seq 1 is not silently dropped.
+	n.shards[n.ingress.ShardOf(node)].dedup.Forget(node)
+	n.local.dedup.Forget(node)
 	n.syncMu.Lock()
 	n.syncAsm.Forget(node)
 	delete(n.syncReqAt, node)
@@ -1839,6 +2016,10 @@ func (n *Node) Close() error {
 
 	close(n.stop)
 	clock.Blocking(n.clk, n.wg.Wait)
+	// Drain the receive pipeline before the ARQ and egress planes go
+	// down: queued arrivals still dispatch (final acks enqueue onto a
+	// live egress), then the workers stop.
+	n.ingress.Close()
 	n.arq.Close()
 	// Flush the egress plane (goodbye, final acks) before the transports
 	// close underneath it.
@@ -1878,6 +2059,14 @@ func (n *Node) Files() *filetransfer.Engine { return n.files }
 // EgressStats snapshots the egress plane counters (per-class enqueued /
 // sent / dropped / coalesced, pacing waits, transport errors).
 func (n *Node) EgressStats() egress.Stats { return n.egress.Stats() }
+
+// IngressShards reports the receive pipeline's worker count.
+func (n *Node) IngressShards() int { return n.ingress.Shards() }
+
+// IngressDelivered reports how many packets the receive pipeline has
+// dispatched to the frame dispatcher so far. Benchmarks and tests quiesce
+// on it; per-shard detail lives in the "ingress" metrics families.
+func (n *Node) IngressDelivered() uint64 { return n.ingress.Delivered() }
 
 // Metrics implements fabric.Instrumented: the node's unified registry.
 // Engines resolve their counter handles from it at construction, and

@@ -308,6 +308,16 @@ func TestMetricsEndpoint(t *testing.T) {
 	if !strings.Contains(text, "discovery.") {
 		t.Fatal("/metrics should carry non-gateway families too")
 	}
+	// The node's sharded receive pipeline registers its families eagerly,
+	// so the ingress plane is scrapeable before the first packet arrives.
+	for _, want := range []string{
+		"ingress.shards", "ingress.queue_depth", "ingress.frames",
+		"ingress.drops", "ingress.batch_frames",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing ingress family %q:\n%s", want, text)
+		}
+	}
 
 	var snap map[string]any
 	if err := json.Unmarshal([]byte(get("/metrics.json")), &snap); err != nil {

@@ -29,6 +29,7 @@ var wirePathPackages = []string{
 	"internal/events",
 	"internal/filetransfer",
 	"internal/gateway",
+	"internal/ingress",
 	"internal/link",
 	"internal/naming",
 	"internal/protocol",

@@ -20,6 +20,12 @@
 //     (handler state, reassembly, dedup) must copy first.
 //   - Frames handed to Handle-style callbacks follow the same rule as
 //     transport.Packet: use within the call, copy to retain.
+//   - The container's receive path applies this end to end: the ingress
+//     pipeline (internal/ingress) holds the refcounted pooled receive
+//     buffer while a shard worker decodes and dispatches, releasing it
+//     when the drain batch returns. Decoded payload views are therefore
+//     valid exactly for the dispatch call; per-source state that outlives
+//     it (reassembly buffers, dedup windows) copies what it keeps.
 package protocol
 
 import (

@@ -175,9 +175,19 @@ func (e *BusEndpoint) Send(to NodeID, payload []byte) error {
 	e.stats.wire(len(payload))
 	// Delivery is asynchronous (queue + dispatch goroutine) while the
 	// caller may recycle payload the moment Send returns, so the bus takes
-	// a GC-owned copy here — the transport ownership contract.
-	dst.enqueue(Packet{From: e.id, To: to, Payload: bufpool.Copy(payload)})
+	// a pooled copy and hands the receiver a refcounted reference — the
+	// transport ownership contract, with zero GC garbage in steady state.
+	dst.enqueue(sharedPacket(Packet{From: e.id, To: to}, payload))
 	return nil
+}
+
+// sharedPacket copies payload into a pooled buffer and attaches it to pkt
+// as a refcounted Owner holding one reference (the queue's).
+func sharedPacket(pkt Packet, payload []byte) Packet {
+	buf := append(bufpool.Get(len(payload)), payload...)
+	pkt.Owner = bufpool.Share(buf)
+	pkt.Payload = buf
+	return pkt
 }
 
 // SendGroup implements Transport.
@@ -190,15 +200,18 @@ func (e *BusEndpoint) SendGroup(group string, payload []byte) error {
 	// models a shared medium with true multicast. No self-loopback —
 	// local delivery is the container's bypass path.
 	e.stats.wire(len(payload))
-	// One copy shared by every member: receivers must not retain or
-	// mutate Packet.Payload, so aliasing across queues is safe.
-	cp := bufpool.Copy(payload)
+	// One pooled copy shared by every member: each queue holds its own
+	// reference on the same immutable buffer, and the last consumer's
+	// Release returns it to the pool.
+	pkt := sharedPacket(Packet{From: e.id, Group: group}, payload)
 	for _, member := range e.bus.members(group) {
 		if member == e {
 			continue
 		}
-		member.enqueue(Packet{From: e.id, Group: group, Payload: cp})
+		member.enqueue(Packet{From: pkt.From, Group: pkt.Group, Payload: pkt.Payload, Owner: pkt.Owner.Retain()})
 	}
+	// Drop the construction reference: delivery queues now own the buffer.
+	pkt.Owner.Release()
 	return nil
 }
 
@@ -240,11 +253,13 @@ func (e *BusEndpoint) Close() error {
 }
 
 // enqueue places a packet on the receive queue, dropping on overflow or
-// after close.
+// after close. A dropped packet's buffer reference is released here; a
+// queued one is released by deliver.
 func (e *BusEndpoint) enqueue(pkt Packet) {
 	select {
 	case <-e.done:
 		e.stats.dropped()
+		pkt.Owner.Release()
 		return
 	default:
 	}
@@ -252,6 +267,7 @@ func (e *BusEndpoint) enqueue(pkt Packet) {
 	case e.queue <- pkt:
 	default:
 		e.stats.dropped()
+		pkt.Owner.Release()
 	}
 }
 
@@ -278,6 +294,7 @@ func (e *BusEndpoint) dispatch() {
 }
 
 func (e *BusEndpoint) deliver(pkt Packet) {
+	defer pkt.Owner.Release()
 	h := e.currentHandler()
 	if h == nil {
 		e.stats.dropped()

@@ -22,12 +22,18 @@
 //   - Receive: Packet.Payload belongs to the transport and is valid only
 //     for the duration of the Handler call; the backing storage (typically
 //     a pooled receive buffer) is reused for the next datagram. Handlers
-//     that retain any part of it must copy.
+//     that retain any part of it must copy — unless the packet carries an
+//     Owner, in which case the handler may Retain the reference instead and
+//     keep the payload alive past the call without copying (the ingress
+//     pipeline's zero-copy handoff). The transport drops its own reference
+//     when the handler returns; the last Release recycles the buffer.
 package transport
 
 import (
 	"errors"
 	"sync/atomic"
+
+	"uavmw/internal/bufpool"
 )
 
 // NodeID identifies a container node on the network. The paper gives every
@@ -46,8 +52,15 @@ type Packet struct {
 	// unicast.
 	Group string
 	// Payload is the protocol frame. Receivers must not retain it past
-	// the handler call unless they copy.
+	// the handler call unless they copy — or Retain Owner when it is set.
 	Payload []byte
+	// Owner, when non-nil, is the refcounted pooled buffer backing Payload.
+	// A handler that needs the payload past its call Retains it and
+	// Releases when done; handlers that consume synchronously ignore it.
+	// Transports that deliver from GC-owned or shared storage (netsim's
+	// one-copy multicast) leave it nil, and receivers needing ownership
+	// copy as before.
+	Owner *bufpool.Shared
 }
 
 // Handler processes one received packet on the transport's dispatch

@@ -331,30 +331,40 @@ const maxDatagram = 64 << 10
 
 func (u *UDP) readLoop(conn *net.UDPConn, g *udpGroup) {
 	defer u.wg.Done()
-	// A fixed ring of receive buffers, reused for the life of the loop.
-	// Where recvmmsg is available (Linux) one syscall fills a run of them;
-	// elsewhere the ring is a single buffer and read degenerates to one
-	// ReadFromUDP. Handlers see the buffers directly (no per-datagram
-	// copy): Packet.Payload is only valid during the handler call.
+	// A ring of pooled receive buffers. Where recvmmsg is available (Linux)
+	// one syscall fills a run of them; elsewhere the ring is a single buffer
+	// and read degenerates to one ReadFromUDP. Handlers see the buffers
+	// directly (no per-datagram copy): each filled slot is wrapped in a
+	// refcounted bufpool.Shared and delivered as Packet.Owner, so a handler
+	// that needs the payload past its call Retains the buffer instead of
+	// copying. The loop drops its own reference after the handler returns
+	// and refills the slot from the pool — in steady state the consumer's
+	// Release has already returned the previous buffer, so the ring cycles
+	// through pooled storage without touching the GC.
 	rd := newDatagramReader(conn)
 	bufs := make([][]byte, recvRing)
 	for i := range bufs {
-		//wirepath:alloc receive ring, allocated once per transport
-		bufs[i] = make([]byte, maxDatagram)
+		bufs[i] = bufpool.Get(maxDatagram)[:maxDatagram]
 	}
 	sizes := make([]int, recvRing)
 	for {
 		n, err := rd.read(bufs, sizes)
 		if err != nil {
+			for i := range bufs {
+				bufpool.Put(bufs[i])
+			}
 			return // closed
 		}
 		for i := 0; i < n; i++ {
-			u.handleDatagram(bufs[i][:sizes[i]])
+			owner := bufpool.Share(bufs[i][:sizes[i]])
+			u.handleDatagram(bufs[i][:sizes[i]], owner)
+			owner.Release()
+			bufs[i] = bufpool.Get(maxDatagram)[:maxDatagram]
 		}
 	}
 }
 
-func (u *UDP) handleDatagram(data []byte) {
+func (u *UDP) handleDatagram(data []byte, owner *bufpool.Shared) {
 	r := encoding.NewReader(data)
 	if r.Uint8() != udpMagic {
 		u.stats.dropped()
@@ -388,10 +398,10 @@ func (u *UDP) handleDatagram(data []byte) {
 		u.stats.dropped()
 		return
 	}
-	// No copy: payload aliases the ring buffer, which is reused only
-	// after the handler returns (the Packet ownership contract).
+	// No copy: payload aliases the pooled ring buffer, whose lifetime the
+	// Owner reference controls (the Packet ownership contract).
 	u.stats.recv(len(payload))
-	pkt := Packet{From: from, Payload: payload}
+	pkt := Packet{From: from, Payload: payload, Owner: owner}
 	if kind == udpMulticast {
 		pkt.Group = group
 	} else {
